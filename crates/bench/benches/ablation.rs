@@ -1,0 +1,59 @@
+//! Criterion bench comparing the design choices the `ablation` binary sweeps:
+//! oracle vs. NEWSCAST peer sampling, and the effect of the `cr` random samples,
+//! measured as wall-clock time to perfect convergence at a fixed network size.
+
+use bss_core::experiment::{Experiment, ExperimentConfig, SamplerChoice};
+use bss_util::config::{BootstrapParams, NewscastParams};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_sampler_choice(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("ablation_sampler");
+    group.sample_size(10);
+    for (name, sampler) in [
+        ("oracle", SamplerChoice::Oracle),
+        ("newscast", SamplerChoice::Newscast(NewscastParams::paper_default())),
+    ] {
+        group.bench_with_input(BenchmarkId::new("sampler", name), &sampler, |bencher, &sampler| {
+            bencher.iter(|| {
+                let config = ExperimentConfig::builder()
+                    .network_size(512)
+                    .seed(5)
+                    .sampler(sampler)
+                    .max_cycles(100)
+                    .build()
+                    .expect("valid configuration");
+                let outcome = Experiment::new(config).run();
+                black_box(outcome.convergence_cycle())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_random_samples(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("ablation_random_samples");
+    group.sample_size(10);
+    for cr in [0usize, 30] {
+        group.bench_with_input(BenchmarkId::new("cr", cr), &cr, |bencher, &cr| {
+            bencher.iter(|| {
+                let config = ExperimentConfig::builder()
+                    .network_size(512)
+                    .seed(5)
+                    .params(BootstrapParams {
+                        random_samples: cr,
+                        ..BootstrapParams::paper_default()
+                    })
+                    .max_cycles(200)
+                    .build()
+                    .expect("valid configuration");
+                let outcome = Experiment::new(config).run();
+                black_box(outcome.convergence_cycle())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sampler_choice, bench_random_samples);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Criterion micro-benchmarks for the protocol's hot components: leaf-set updates,
+//! prefix-table updates, the convergence oracle and the NEWSCAST exchange round.
+
+use bss_core::convergence::ConvergenceOracle;
+use bss_core::leafset::LeafSet;
+use bss_core::prefix_table::PrefixTable;
+use bss_sampling::newscast::NewscastProtocol;
+use bss_sampling::sampler::PeerSampler;
+use bss_sim::engine::cycle::CycleEngine;
+use bss_sim::network::Network;
+use bss_util::config::{BootstrapParams, NewscastParams};
+use bss_util::descriptor::Descriptor;
+use bss_util::geometry::TableGeometry;
+use bss_util::id::NodeId;
+use bss_util::rng::SimRng;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_leafset_update(criterion: &mut Criterion) {
+    let mut rng = SimRng::seed_from(1);
+    let own = NodeId::new(rng.next_u64());
+    let incoming: Vec<Descriptor<u32>> = (0..60u32)
+        .map(|address| Descriptor::new(NodeId::new(rng.next_u64()), address, 0))
+        .collect();
+    criterion.bench_function("leafset_update_60_candidates", |bencher| {
+        bencher.iter(|| {
+            let mut leaf_set = LeafSet::new(own, 20);
+            leaf_set.update(black_box(incoming.iter().copied()));
+            black_box(leaf_set.len())
+        });
+    });
+}
+
+fn bench_prefix_table_update(criterion: &mut Criterion) {
+    let mut rng = SimRng::seed_from(2);
+    let own = NodeId::new(rng.next_u64());
+    let geometry = TableGeometry::paper_default();
+    let incoming: Vec<Descriptor<u32>> = (0..200u32)
+        .map(|address| Descriptor::new(NodeId::new(rng.next_u64()), address, 0))
+        .collect();
+    criterion.bench_function("prefix_table_update_200_candidates", |bencher| {
+        bencher.iter(|| {
+            let mut table = PrefixTable::new(own, geometry);
+            black_box(table.update(black_box(incoming.iter().copied())))
+        });
+    });
+}
+
+fn bench_convergence_oracle(criterion: &mut Criterion) {
+    let mut rng = SimRng::seed_from(3);
+    let params = BootstrapParams::paper_default();
+    let ids: Vec<NodeId> = rng.distinct_u64(1 << 12).into_iter().map(NodeId::new).collect();
+    let oracle = ConvergenceOracle::new(ids.clone(), &params);
+    criterion.bench_function("oracle_fillable_entries_4096_nodes", |bencher| {
+        let mut cursor = 0usize;
+        bencher.iter(|| {
+            cursor = (cursor + 1) % ids.len();
+            black_box(oracle.fillable_prefix_entries(ids[cursor]))
+        });
+    });
+}
+
+fn bench_newscast_cycle(criterion: &mut Criterion) {
+    criterion.bench_function("newscast_cycle_1024_nodes", |bencher| {
+        let mut rng = SimRng::seed_from(4);
+        let network = Network::with_random_ids(1024, &mut rng);
+        let mut engine = CycleEngine::new(network, rng);
+        let mut newscast = NewscastProtocol::new(NewscastParams::paper_default());
+        newscast.init_all(engine.context_mut());
+        bencher.iter(|| {
+            engine.run(&mut newscast, 1);
+            black_box(newscast.exchanges())
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_leafset_update,
+    bench_prefix_table_update,
+    bench_convergence_oracle,
+    bench_newscast_cycle
+);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Criterion bench for the message-cost claim of §4/§5: `CREATEMESSAGE` is cheap
+//! and its output is bounded by `c` ring entries plus at most a prefix table's
+//! worth of prefix-useful entries.
+
+use bss_core::leafset::LeafSet;
+use bss_core::message::create_message;
+use bss_core::prefix_table::PrefixTable;
+use bss_util::config::BootstrapParams;
+use bss_util::descriptor::Descriptor;
+use bss_util::geometry::TableGeometry;
+use bss_util::id::NodeId;
+use bss_util::rng::SimRng;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+type State = (
+    Descriptor<u32>,
+    LeafSet<u32>,
+    PrefixTable<u32>,
+    Vec<Descriptor<u32>>,
+);
+
+fn populated_state(rng: &mut SimRng, params: &BootstrapParams) -> State {
+    let own = Descriptor::new(NodeId::new(rng.next_u64()), 0u32, 0);
+    let mut leaf_set = LeafSet::new(own.id(), params.leaf_set_size);
+    let geometry = TableGeometry::new(params.bits_per_digit, params.entries_per_slot).unwrap();
+    let mut table = PrefixTable::new(own.id(), geometry);
+    let peers: Vec<Descriptor<u32>> = (1..=2000u32)
+        .map(|address| Descriptor::new(NodeId::new(rng.next_u64()), address, 0))
+        .collect();
+    leaf_set.update(peers.iter().copied());
+    table.update(peers.iter().copied());
+    let samples: Vec<Descriptor<u32>> = peers[..params.random_samples].to_vec();
+    (own, leaf_set, table, samples)
+}
+
+fn bench_create_message(criterion: &mut Criterion) {
+    let params = BootstrapParams::paper_default();
+    let mut rng = SimRng::seed_from(3);
+    let (own, leaf_set, table, samples) = populated_state(&mut rng, &params);
+    let peer = NodeId::new(rng.next_u64());
+
+    let mut group = criterion.benchmark_group("createmessage_cost");
+    group.bench_function("create_message_paper_params", |bencher| {
+        bencher.iter(|| {
+            black_box(create_message(
+                own,
+                &leaf_set,
+                &table,
+                &samples,
+                black_box(peer),
+                params.leaf_set_size,
+            ))
+        });
+    });
+
+    // Message size accounting (printed once per bench run): the paper's bound is
+    // c + full-table capacity; in practice the prefix part is much smaller.
+    let message = create_message(own, &leaf_set, &table, &samples, peer, params.leaf_set_size);
+    println!(
+        "create_message produced {} descriptors (bound {})",
+        message.len(),
+        params.leaf_set_size + table.geometry().capacity()
+    );
+
+    for cr in [0usize, 30, 120] {
+        group.bench_with_input(BenchmarkId::new("by_random_samples", cr), &cr, |bencher, &cr| {
+            let mut sample_rng = SimRng::seed_from(cr as u64 + 10);
+            let samples: Vec<Descriptor<u32>> = (0..cr)
+                .map(|address| Descriptor::new(NodeId::new(sample_rng.next_u64()), address as u32, 0))
+                .collect();
+            bencher.iter(|| {
+                black_box(create_message(
+                    own,
+                    &leaf_set,
+                    &table,
+                    &samples,
+                    black_box(peer),
+                    params.leaf_set_size,
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_create_message);
+criterion_main!(benches);

@@ -1,0 +1,129 @@
+//! Ablations of the design choices called out in §4 of the paper and in DESIGN.md:
+//!
+//! * `cr` — the number of random samples mixed into every message ("these samples
+//!   are free ... since the generic peer sampling layer is assumed to function
+//!   independently").
+//! * `c` — the leaf-set size, which is also the ring-targeted message budget.
+//! * sampler quality — idealised oracle sampling vs. a real NEWSCAST instance.
+//! * message loss — how convergence time scales with the drop probability
+//!   (generalising Figure 4 beyond 20 %).
+//!
+//! Each sweep reports the mean convergence cycle (over a few seeds) for each
+//! parameter value, at a fixed network size.
+
+use bss_bench::cli::Args;
+use bss_core::experiment::{Experiment, ExperimentConfig, SamplerChoice};
+use bss_util::config::{BootstrapParams, NewscastParams};
+
+const HELP: &str = "\
+ablation — design-choice sweeps (cr, c, sampler, loss)
+
+USAGE:
+    cargo run --release -p bss-bench --bin ablation [-- OPTIONS]
+
+OPTIONS:
+    --size <exp>     network size exponent (N = 2^exp)  [default: 11]
+    --runs <n>       seeds per configuration            [default: 3]
+    --cycles <n>     cycle budget per run               [default: 150]
+    --seed <n>       base random seed                   [default: 1]
+";
+
+fn mean_convergence(config: ExperimentConfig, runs: usize, base_seed: u64) -> (f64, f64, usize) {
+    let mut cycles = Vec::new();
+    let mut message_size = 0.0;
+    for run in 0..runs {
+        let mut builder = ExperimentConfig::builder();
+        builder
+            .network_size(config.network_size)
+            .seed(base_seed + run as u64)
+            .params(config.params)
+            .sampler(config.sampler)
+            .drop_probability(config.drop_probability)
+            .churn_rate(config.churn_rate)
+            .max_cycles(config.max_cycles)
+            .stop_when_perfect(true);
+        let outcome = Experiment::new(builder.build().expect("valid")).run();
+        message_size += outcome.traffic().mean_message_size();
+        if let Some(cycle) = outcome.convergence_cycle() {
+            cycles.push(cycle);
+        }
+    }
+    let converged = cycles.len();
+    let mean = if cycles.is_empty() {
+        f64::NAN
+    } else {
+        cycles.iter().sum::<u64>() as f64 / cycles.len() as f64
+    };
+    (mean, message_size / runs as f64, converged)
+}
+
+fn main() {
+    let args = Args::from_env();
+    if args.wants_help() {
+        print!("{HELP}");
+        return;
+    }
+    let exponent = args.parsed_or("size", 11u32);
+    let runs = args.parsed_or("runs", 3usize);
+    let cycles = args.parsed_or("cycles", 150u64);
+    let seed = args.parsed_or("seed", 1u64);
+    let size = 1usize << exponent;
+    let base = ExperimentConfig::builder()
+        .network_size(size)
+        .max_cycles(cycles)
+        .build()
+        .expect("valid configuration");
+
+    eprintln!("# Ablations at N=2^{exponent}, {runs} runs per configuration");
+
+    println!("## Ablation A: random samples per message (cr)");
+    println!("cr\tmean_convergence_cycle\tmean_message_size\tconverged_runs");
+    for cr in [0usize, 5, 15, 30, 60] {
+        let mut config = base;
+        config.params = BootstrapParams {
+            random_samples: cr,
+            ..BootstrapParams::paper_default()
+        };
+        let (mean, message, converged) = mean_convergence(config, runs, seed);
+        println!("{cr}\t{mean:.1}\t{message:.1}\t{converged}/{runs}");
+    }
+    println!();
+
+    println!("## Ablation B: leaf set size (c)");
+    println!("c\tmean_convergence_cycle\tmean_message_size\tconverged_runs");
+    for c in [8usize, 16, 20, 32] {
+        let mut config = base;
+        config.params = BootstrapParams {
+            leaf_set_size: c,
+            ..BootstrapParams::paper_default()
+        };
+        let (mean, message, converged) = mean_convergence(config, runs, seed + 100);
+        println!("{c}\t{mean:.1}\t{message:.1}\t{converged}/{runs}");
+    }
+    println!();
+
+    println!("## Ablation C: peer sampling implementation");
+    println!("sampler\tmean_convergence_cycle\tmean_message_size\tconverged_runs");
+    for (name, sampler) in [
+        ("oracle", SamplerChoice::Oracle),
+        (
+            "newscast",
+            SamplerChoice::Newscast(NewscastParams::paper_default()),
+        ),
+    ] {
+        let mut config = base;
+        config.sampler = sampler;
+        let (mean, message, converged) = mean_convergence(config, runs, seed + 200);
+        println!("{name}\t{mean:.1}\t{message:.1}\t{converged}/{runs}");
+    }
+    println!();
+
+    println!("## Ablation D: message drop probability");
+    println!("drop\tmean_convergence_cycle\tmean_message_size\tconverged_runs");
+    for drop in [0.0f64, 0.1, 0.2, 0.4] {
+        let mut config = base;
+        config.drop_probability = drop;
+        let (mean, message, converged) = mean_convergence(config, runs, seed + 300);
+        println!("{drop}\t{mean:.1}\t{message:.1}\t{converged}/{runs}");
+    }
+}

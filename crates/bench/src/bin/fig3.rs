@@ -1,0 +1,67 @@
+//! Reproduces Figure 3 of the paper: convergence of the bootstrapping service in
+//! the absence of failures.
+//!
+//! Top panel: proportion of missing leaf-set entries vs. cycles.
+//! Bottom panel: proportion of missing prefix-table entries vs. cycles.
+//! One curve per network size, several independent runs per size.
+//!
+//! The paper uses N ∈ {2^14, 2^16, 2^18} with 50/10/4 runs; the default here is a
+//! laptop-sized subset (2^10..2^14). Pass `--sizes 14,16,18 --runs 4` for the full
+//! setting (2^18 needs several gigabytes of memory and tens of minutes).
+
+use bss_bench::cli::Args;
+use bss_bench::figures::{run_figure, FigureConfig};
+use bss_bench::report::{panel_table, summary_table};
+use bss_core::experiment::ExperimentConfig;
+
+const HELP: &str = "\
+fig3 — Figure 3: bootstrap convergence without failures
+
+USAGE:
+    cargo run --release -p bss-bench --bin fig3 [-- OPTIONS]
+
+OPTIONS:
+    --sizes <list>   comma-separated size exponents     [default: 10,12,14]
+    --runs <n>       independent runs per size          [default: 3]
+    --cycles <n>     cycle budget per run               [default: 60]
+    --seed <n>       base random seed                   [default: 1]
+    --quiet          suppress progress output
+";
+
+fn main() {
+    let args = Args::from_env();
+    if args.wants_help() {
+        print!("{HELP}");
+        return;
+    }
+    let sizes = args.u32_list_or("sizes", &[10, 12, 14]);
+    let runs = args.parsed_or("runs", 3usize);
+    let cycles = args.parsed_or("cycles", 60u64);
+    let seed = args.parsed_or("seed", 1u64);
+    let quiet = args.get("quiet").is_some();
+
+    let config = FigureConfig {
+        size_exponents: sizes,
+        runs_per_size: runs,
+        base: ExperimentConfig::builder()
+            .max_cycles(cycles)
+            .build()
+            .expect("valid configuration"),
+        base_seed: seed,
+    };
+    eprintln!("# Figure 3 reproduction: no failures, paper parameters (b=4 k=3 c=20 cr=30)");
+    let result = run_figure(&config, |exponent, run| {
+        if !quiet {
+            eprintln!("#   finished N=2^{exponent} run {run}");
+        }
+    });
+
+    println!("## Figure 3 (top): proportion of missing leaf set entries");
+    print!("{}", panel_table(&result, false));
+    println!();
+    println!("## Figure 3 (bottom): proportion of missing prefix table entries");
+    print!("{}", panel_table(&result, true));
+    println!();
+    println!("## Summary");
+    print!("{}", summary_table(&result));
+}

@@ -1,0 +1,67 @@
+//! Reproduces Figure 4 of the paper: convergence of the bootstrapping service with
+//! 20 % of all messages dropped uniformly at random.
+//!
+//! Because the protocol works in request/answer pairs, a dropped request also
+//! suppresses the answer; the paper computes the resulting effective message loss
+//! as 28 %. The expected result is the same convergence shape as Figure 3, only
+//! proportionally slower.
+
+use bss_bench::cli::Args;
+use bss_bench::figures::{run_figure, FigureConfig};
+use bss_bench::report::{panel_table, summary_table};
+use bss_core::experiment::ExperimentConfig;
+
+const HELP: &str = "\
+fig4 — Figure 4: bootstrap convergence with 20% message loss
+
+USAGE:
+    cargo run --release -p bss-bench --bin fig4 [-- OPTIONS]
+
+OPTIONS:
+    --sizes <list>   comma-separated size exponents     [default: 10,12,14]
+    --runs <n>       independent runs per size          [default: 3]
+    --cycles <n>     cycle budget per run               [default: 100]
+    --drop <p>       per-message drop probability       [default: 0.2]
+    --seed <n>       base random seed                   [default: 1]
+    --quiet          suppress progress output
+";
+
+fn main() {
+    let args = Args::from_env();
+    if args.wants_help() {
+        print!("{HELP}");
+        return;
+    }
+    let sizes = args.u32_list_or("sizes", &[10, 12, 14]);
+    let runs = args.parsed_or("runs", 3usize);
+    let cycles = args.parsed_or("cycles", 100u64);
+    let drop = args.parsed_or("drop", 0.2f64);
+    let seed = args.parsed_or("seed", 1u64);
+    let quiet = args.get("quiet").is_some();
+
+    let config = FigureConfig {
+        size_exponents: sizes,
+        runs_per_size: runs,
+        base: ExperimentConfig::builder()
+            .max_cycles(cycles)
+            .drop_probability(drop)
+            .build()
+            .expect("valid configuration"),
+        base_seed: seed,
+    };
+    eprintln!("# Figure 4 reproduction: {:.0}% uniform message drop", drop * 100.0);
+    let result = run_figure(&config, |exponent, run| {
+        if !quiet {
+            eprintln!("#   finished N=2^{exponent} run {run}");
+        }
+    });
+
+    println!("## Figure 4 (top): proportion of missing leaf set entries ({:.0}% drop)", drop * 100.0);
+    print!("{}", panel_table(&result, false));
+    println!();
+    println!("## Figure 4 (bottom): proportion of missing prefix table entries ({:.0}% drop)", drop * 100.0);
+    print!("{}", panel_table(&result, true));
+    println!();
+    println!("## Summary");
+    print!("{}", summary_table(&result));
+}

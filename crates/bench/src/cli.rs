@@ -1,0 +1,140 @@
+//! A minimal command-line argument parser for the experiment binaries.
+//!
+//! The binaries only need `--flag value` pairs and `--help`; pulling in a full
+//! argument-parsing dependency for that would violate the project's
+//! minimal-dependency policy, so this module implements exactly what is needed.
+
+use std::collections::BTreeMap;
+
+/// Parsed `--key value` arguments.
+#[derive(Debug, Default, Clone)]
+pub struct Args {
+    values: BTreeMap<String, String>,
+    help: bool,
+}
+
+impl Args {
+    /// Parses the process arguments (everything after the binary name).
+    pub fn from_env() -> Self {
+        Self::from_iter(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument list (used by tests).
+    pub fn from_iter(args: impl IntoIterator<Item = String>) -> Self {
+        let mut values = BTreeMap::new();
+        let mut help = false;
+        let mut iterator = args.into_iter().peekable();
+        while let Some(argument) = iterator.next() {
+            if argument == "--help" || argument == "-h" {
+                help = true;
+                continue;
+            }
+            if let Some(key) = argument.strip_prefix("--") {
+                if let Some((key, value)) = key.split_once('=') {
+                    values.insert(key.to_owned(), value.to_owned());
+                } else if let Some(value) = iterator.peek() {
+                    if value.starts_with("--") {
+                        values.insert(key.to_owned(), String::from("true"));
+                    } else {
+                        values.insert(key.to_owned(), iterator.next().expect("peeked"));
+                    }
+                } else {
+                    values.insert(key.to_owned(), String::from("true"));
+                }
+            }
+        }
+        Args { values, help }
+    }
+
+    /// Whether `--help` was requested.
+    pub fn wants_help(&self) -> bool {
+        self.help
+    }
+
+    /// The raw value of `--key`, if present.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    /// A parsed value of `--key`, or `default` when absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a readable message when the value cannot be parsed.
+    pub fn parsed_or<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        match self.get(key) {
+            None => default,
+            Some(raw) => raw
+                .parse()
+                .unwrap_or_else(|_| panic!("--{key} expects a value like the default, got {raw:?}")),
+        }
+    }
+
+    /// A comma-separated list of `u32` exponents (e.g. `--sizes 10,12,14`), or
+    /// `default` when absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an element cannot be parsed.
+    pub fn u32_list_or(&self, key: &str, default: &[u32]) -> Vec<u32> {
+        match self.get(key) {
+            None => default.to_vec(),
+            Some(raw) => raw
+                .split(',')
+                .filter(|piece| !piece.is_empty())
+                .map(|piece| {
+                    piece
+                        .trim()
+                        .parse()
+                        .unwrap_or_else(|_| panic!("--{key} expects comma-separated integers, got {piece:?}"))
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Args {
+        Args::from_iter(list.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_key_value_pairs_and_flags() {
+        let parsed = args(&["--runs", "5", "--sizes", "10,12", "--verbose", "--seed=9"]);
+        assert_eq!(parsed.parsed_or("runs", 0usize), 5);
+        assert_eq!(parsed.u32_list_or("sizes", &[14]), vec![10, 12]);
+        assert_eq!(parsed.get("verbose"), Some("true"));
+        assert_eq!(parsed.parsed_or("seed", 0u64), 9);
+        assert_eq!(parsed.parsed_or("missing", 7u64), 7);
+        assert!(!parsed.wants_help());
+    }
+
+    #[test]
+    fn help_flag_is_detected() {
+        assert!(args(&["--help"]).wants_help());
+        assert!(args(&["-h"]).wants_help());
+        assert!(!args(&[]).wants_help());
+    }
+
+    #[test]
+    fn trailing_flag_without_value_defaults_to_true() {
+        let parsed = args(&["--fast"]);
+        assert_eq!(parsed.get("fast"), Some("true"));
+    }
+
+    #[test]
+    #[should_panic(expected = "expects a value")]
+    fn unparseable_values_panic_with_context() {
+        let parsed = args(&["--runs", "many"]);
+        let _ = parsed.parsed_or("runs", 0usize);
+    }
+
+    #[test]
+    fn default_size_list_is_used_when_absent() {
+        let parsed = args(&[]);
+        assert_eq!(parsed.u32_list_or("sizes", &[10, 11]), vec![10, 11]);
+    }
+}

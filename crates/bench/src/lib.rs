@@ -1,0 +1,29 @@
+//! # bss-bench — the experiment and benchmark harness
+//!
+//! One binary per figure or claim of the paper's evaluation (§5), plus Criterion
+//! micro/macro benchmarks:
+//!
+//! | Binary        | Reproduces |
+//! |---------------|------------|
+//! | `fig3`        | Figure 3: missing leaf-set and prefix-table entries vs. cycles, no failures, N ∈ {2^14, 2^16, 2^18} |
+//! | `fig4`        | Figure 4: the same two panels with 20 % uniform message loss |
+//! | `churn`       | §5's churn claim: table quality under continuous replacement churn |
+//! | `merge_split` | §1–2 scenarios: two partitions bootstrapping independently, then merging |
+//! | `ablation`    | Design-choice ablations: `cr`, `c`, sampler quality, prefix-table feedback |
+//!
+//! Every binary accepts `--help`, prints tab-separated series identical in shape to
+//! the paper's plots, and defaults to laptop-sized networks (the paper's full
+//! 2^14–2^18 sizes are available through `--sizes`).
+//!
+//! The library part of the crate holds what the binaries share: a tiny
+//! dependency-free command-line parser ([`cli`]), figure-sweep drivers
+//! ([`figures`]) and tab-separated report formatting ([`report`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cli;
+pub mod figures;
+pub mod report;
+
+pub use figures::{FigureConfig, FigureResult, SizeSeries};

@@ -1,0 +1,177 @@
+//! Tab-separated report formatting shared by the experiment binaries.
+//!
+//! The output mirrors the paper's figures: one row per cycle, one column per
+//! network size, values being the proportion of missing entries (leaf set or
+//! prefix table). The format loads directly into gnuplot, matplotlib or a
+//! spreadsheet.
+
+use crate::figures::FigureResult;
+use bss_util::stats::Series;
+use std::fmt::Write as _;
+
+/// Renders one panel (leaf set or prefix table) of a figure as a tab-separated
+/// table: `cycle <TAB> N=2^a <TAB> N=2^b ...`. Converged runs hold their final
+/// value (zero) once their curve ends, matching how the paper draws curves that
+/// simply stop at perfection.
+pub fn panel_table(result: &FigureResult, prefix_panel: bool) -> String {
+    let curves: Vec<(u32, Series)> = result
+        .sizes
+        .iter()
+        .map(|size| {
+            let curve = if prefix_panel {
+                size.mean_prefix_curve()
+            } else {
+                size.mean_leaf_curve()
+            };
+            (size.exponent, curve)
+        })
+        .collect();
+    let max_cycle = curves
+        .iter()
+        .filter_map(|(_, curve)| curve.final_cycle())
+        .max()
+        .unwrap_or(0);
+
+    let mut output = String::new();
+    output.push_str("cycle");
+    for (exponent, _) in &curves {
+        let _ = write!(output, "\tN=2^{exponent}");
+    }
+    output.push('\n');
+    for cycle in 0..=max_cycle {
+        let _ = write!(output, "{cycle}");
+        for (_, curve) in &curves {
+            let value = curve
+                .value_at(cycle)
+                .or_else(|| {
+                    curve
+                        .final_cycle()
+                        .filter(|&final_cycle| final_cycle < cycle)
+                        .and_then(|_| curve.final_value())
+                })
+                .unwrap_or(f64::NAN);
+            let _ = write!(output, "\t{value:.3e}");
+        }
+        output.push('\n');
+    }
+    output
+}
+
+/// Renders the per-size summary table: convergence cycles, message sizes, wall
+/// clock.
+pub fn summary_table(result: &FigureResult) -> String {
+    let mut output = String::from(
+        "size\truns\tmean_convergence_cycle\tmean_message_size\telapsed_seconds\n",
+    );
+    for size in &result.sizes {
+        let _ = writeln!(
+            output,
+            "2^{}\t{}\t{}\t{:.1}\t{:.2}",
+            size.exponent,
+            size.leaf_runs.len(),
+            size.mean_convergence_cycle()
+                .map(|cycle| format!("{cycle:.1}"))
+                .unwrap_or_else(|| "not converged".to_owned()),
+            size.mean_message_size,
+            size.elapsed_seconds
+        );
+    }
+    output
+}
+
+/// Renders a generic named-series table (used by the churn and ablation sweeps):
+/// `cycle <TAB> <name-1> <TAB> <name-2> ...`.
+pub fn series_table(columns: &[(String, Series)]) -> String {
+    let max_cycle = columns
+        .iter()
+        .filter_map(|(_, series)| series.final_cycle())
+        .max()
+        .unwrap_or(0);
+    let mut output = String::from("cycle");
+    for (name, _) in columns {
+        let _ = write!(output, "\t{name}");
+    }
+    output.push('\n');
+    for cycle in 0..=max_cycle {
+        let _ = write!(output, "{cycle}");
+        for (_, series) in columns {
+            let value = series
+                .value_at(cycle)
+                .or_else(|| {
+                    series
+                        .final_cycle()
+                        .filter(|&final_cycle| final_cycle < cycle)
+                        .and_then(|_| series.final_value())
+                })
+                .unwrap_or(f64::NAN);
+            let _ = write!(output, "\t{value:.3e}");
+        }
+        output.push('\n');
+    }
+    output
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::{run_figure, FigureConfig};
+    use bss_core::experiment::ExperimentConfig;
+
+    fn tiny_result() -> FigureResult {
+        run_figure(
+            &FigureConfig {
+                size_exponents: vec![5, 6],
+                runs_per_size: 1,
+                base: ExperimentConfig::builder().max_cycles(50).build().unwrap(),
+                base_seed: 3,
+            },
+            |_, _| {},
+        )
+    }
+
+    #[test]
+    fn panel_tables_have_one_column_per_size_and_cover_all_cycles() {
+        let result = tiny_result();
+        for prefix_panel in [false, true] {
+            let table = panel_table(&result, prefix_panel);
+            let mut lines = table.lines();
+            let header = lines.next().unwrap();
+            assert_eq!(header, "cycle\tN=2^5\tN=2^6");
+            let rows: Vec<&str> = lines.collect();
+            assert!(!rows.is_empty());
+            for row in &rows {
+                assert_eq!(row.split('\t').count(), 3);
+            }
+            // The last row of every column is zero (converged).
+            let last = rows.last().unwrap();
+            for value in last.split('\t').skip(1) {
+                assert_eq!(value.parse::<f64>().unwrap(), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn summary_table_lists_every_size() {
+        let result = tiny_result();
+        let summary = summary_table(&result);
+        assert!(summary.contains("2^5"));
+        assert!(summary.contains("2^6"));
+        assert!(summary.lines().count() == 3);
+    }
+
+    #[test]
+    fn series_table_renders_named_columns() {
+        let mut a = Series::new("a");
+        a.push(0, 1.0);
+        a.push(1, 0.5);
+        let mut b = Series::new("b");
+        b.push(0, 0.25);
+        let table = series_table(&[("churn=1%".into(), a), ("churn=5%".into(), b)]);
+        let lines: Vec<&str> = table.lines().collect();
+        assert_eq!(lines[0], "cycle\tchurn=1%\tchurn=5%");
+        assert_eq!(lines.len(), 3);
+        // Column b holds its final value at cycle 1.
+        assert!(lines[2].starts_with('1'));
+        assert!(lines[2].contains("2.500e-1"));
+    }
+}

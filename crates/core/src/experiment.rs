@@ -1,0 +1,601 @@
+//! A batteries-included experiment runner.
+//!
+//! [`Experiment`] wires together everything a single simulation run needs — the
+//! network registry, the cycle engine, a transport, an optional churn model, the
+//! peer sampling layer and the bootstrap protocol — and records, cycle by cycle,
+//! the proportion of missing leaf-set and prefix-table entries (the series plotted
+//! in the paper's Figures 3 and 4). The examples, the integration tests and the
+//! benchmark harness are all thin wrappers around this module.
+
+use crate::convergence::NetworkConvergence;
+use crate::protocol::{BootstrapProtocol, TrafficStats};
+use bss_sampling::newscast::NewscastProtocol;
+use bss_sampling::sampler::{OracleSampler, PeerSampler};
+use bss_sim::churn::UniformChurn;
+use bss_sim::engine::cycle::CycleEngine;
+use bss_sim::network::Network;
+use bss_sim::transport::{DropTransport, ReliableTransport, Transport};
+use bss_util::config::{BootstrapParams, InvalidParams, NewscastParams};
+use bss_util::rng::SimRng;
+use bss_util::stats::Series;
+use std::fmt;
+use std::ops::ControlFlow;
+
+/// Which peer sampling implementation an experiment runs over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SamplerChoice {
+    /// The idealised, globally uniform sampler (isolates the bootstrap protocol
+    /// from sampling quality; this is also the closest match to the paper's
+    /// assumption that the sampling service is "already functional").
+    Oracle,
+    /// A real NEWSCAST instance gossiping underneath the bootstrap protocol.
+    Newscast(NewscastParams),
+}
+
+/// Full description of one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExperimentConfig {
+    /// Number of nodes in the network.
+    pub network_size: usize,
+    /// Seed for the deterministic random number generator.
+    pub seed: u64,
+    /// Bootstrapping-service parameters (`b`, `k`, `c`, `cr`).
+    pub params: BootstrapParams,
+    /// Peer sampling implementation.
+    pub sampler: SamplerChoice,
+    /// Probability that any individual message is dropped (the paper's Figure 4
+    /// uses 0.2; Figure 3 uses 0).
+    pub drop_probability: f64,
+    /// Fraction of nodes replaced per cycle (0 disables churn).
+    pub churn_rate: f64,
+    /// Hard cycle budget.
+    pub max_cycles: u64,
+    /// Stop as soon as every node's tables are perfect (the paper's termination
+    /// rule). When false the run always uses the full cycle budget.
+    pub stop_when_perfect: bool,
+}
+
+impl ExperimentConfig {
+    /// Starts building a configuration from sensible defaults (256 nodes, paper
+    /// parameters, oracle sampling, no loss, no churn, 100-cycle budget).
+    pub fn builder() -> ExperimentConfigBuilder {
+        ExperimentConfigBuilder {
+            config: ExperimentConfig {
+                network_size: 256,
+                seed: 0,
+                params: BootstrapParams::paper_default(),
+                sampler: SamplerChoice::Oracle,
+                drop_probability: 0.0,
+                churn_rate: 0.0,
+                max_cycles: 100,
+                stop_when_perfect: true,
+            },
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidParams`] when the protocol parameters are invalid, the
+    /// network has fewer than two nodes, the cycle budget is zero, or a probability
+    /// is outside `[0, 1]`.
+    pub fn validate(&self) -> Result<(), InvalidParams> {
+        self.params.validate()?;
+        if let SamplerChoice::Newscast(p) = self.sampler {
+            p.validate()?;
+        }
+        if self.network_size < 2 {
+            return Err(InvalidParams::from_message(
+                "network_size must be at least 2",
+            ));
+        }
+        if self.max_cycles == 0 {
+            return Err(InvalidParams::from_message("max_cycles must be positive"));
+        }
+        if !(0.0..=1.0).contains(&self.drop_probability) {
+            return Err(InvalidParams::from_message(
+                "drop_probability must lie in [0, 1]",
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.churn_rate) {
+            return Err(InvalidParams::from_message("churn_rate must lie in [0, 1]"));
+        }
+        Ok(())
+    }
+}
+
+/// Non-consuming builder for [`ExperimentConfig`].
+#[derive(Debug, Clone)]
+pub struct ExperimentConfigBuilder {
+    config: ExperimentConfig,
+}
+
+impl ExperimentConfigBuilder {
+    /// Sets the number of nodes.
+    pub fn network_size(&mut self, n: usize) -> &mut Self {
+        self.config.network_size = n;
+        self
+    }
+
+    /// Sets the random seed.
+    pub fn seed(&mut self, seed: u64) -> &mut Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Sets the bootstrapping-service parameters.
+    pub fn params(&mut self, params: BootstrapParams) -> &mut Self {
+        self.config.params = params;
+        self
+    }
+
+    /// Selects the peer sampling implementation.
+    pub fn sampler(&mut self, sampler: SamplerChoice) -> &mut Self {
+        self.config.sampler = sampler;
+        self
+    }
+
+    /// Sets the per-message drop probability.
+    pub fn drop_probability(&mut self, p: f64) -> &mut Self {
+        self.config.drop_probability = p;
+        self
+    }
+
+    /// Sets the per-cycle replacement churn rate.
+    pub fn churn_rate(&mut self, rate: f64) -> &mut Self {
+        self.config.churn_rate = rate;
+        self
+    }
+
+    /// Sets the cycle budget.
+    pub fn max_cycles(&mut self, cycles: u64) -> &mut Self {
+        self.config.max_cycles = cycles;
+        self
+    }
+
+    /// Controls whether the run stops at perfect convergence.
+    pub fn stop_when_perfect(&mut self, stop: bool) -> &mut Self {
+        self.config.stop_when_perfect = stop;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidParams`] when [`ExperimentConfig::validate`] fails.
+    pub fn build(&self) -> Result<ExperimentConfig, InvalidParams> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
+}
+
+/// The result of one simulation run.
+#[derive(Debug, Clone)]
+pub struct ExperimentOutcome {
+    config: ExperimentConfig,
+    leaf_series: Series,
+    prefix_series: Series,
+    convergence_cycle: Option<u64>,
+    cycles_executed: u64,
+    final_state: NetworkConvergence,
+    traffic: TrafficStats,
+}
+
+impl ExperimentOutcome {
+    /// The configuration that produced this outcome.
+    pub fn config(&self) -> &ExperimentConfig {
+        &self.config
+    }
+
+    /// Per-cycle proportion of missing leaf-set entries (Figure 3/4, top panels).
+    pub fn leaf_series(&self) -> &Series {
+        &self.leaf_series
+    }
+
+    /// Per-cycle proportion of missing prefix-table entries (Figure 3/4, bottom
+    /// panels).
+    pub fn prefix_series(&self) -> &Series {
+        &self.prefix_series
+    }
+
+    /// The first cycle at which every node had perfect tables, if that happened
+    /// within the budget.
+    pub fn convergence_cycle(&self) -> Option<u64> {
+        self.convergence_cycle
+    }
+
+    /// Whether the run reached perfect tables at every node.
+    pub fn converged(&self) -> bool {
+        self.convergence_cycle.is_some()
+    }
+
+    /// Number of cycles actually executed.
+    pub fn cycles_executed(&self) -> u64 {
+        self.cycles_executed
+    }
+
+    /// The missing-entry counts measured after the last executed cycle.
+    pub fn final_state(&self) -> NetworkConvergence {
+        self.final_state
+    }
+
+    /// Traffic statistics of the run.
+    pub fn traffic(&self) -> &TrafficStats {
+        &self.traffic
+    }
+}
+
+impl fmt::Display for ExperimentOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "N={} seed={} drop={:.0}% churn={:.1}%/cycle: ",
+            self.config.network_size,
+            self.config.seed,
+            self.config.drop_probability * 100.0,
+            self.config.churn_rate * 100.0
+        )?;
+        match self.convergence_cycle {
+            Some(cycle) => write!(f, "perfect tables after {cycle} cycles"),
+            None => write!(
+                f,
+                "not converged after {} cycles (missing leaf {:.2e}, prefix {:.2e})",
+                self.cycles_executed,
+                self.final_state.leaf_proportion(),
+                self.final_state.prefix_proportion()
+            ),
+        }
+    }
+}
+
+/// A frozen copy of every node's bootstrapped state at the end of a run, indexed
+/// by identifier. This is what routing-substrate consumers (`bss-overlay`) operate
+/// on: it is exactly the information a real deployment would hand over to Pastry /
+/// Kademlia / Bamboo maintenance once the bootstrap completes.
+#[derive(Debug, Clone, Default)]
+pub struct PopulationSnapshot {
+    nodes: Vec<crate::node::BootstrapNode<bss_sim::network::NodeIndex>>,
+    index_by_id: std::collections::HashMap<bss_util::id::NodeId, usize>,
+}
+
+impl PopulationSnapshot {
+    /// Builds a snapshot from the alive, initialised nodes of a protocol run.
+    pub fn capture<S: PeerSampler>(
+        protocol: &BootstrapProtocol<S>,
+        ctx: &bss_sim::engine::cycle::EngineContext,
+    ) -> Self {
+        let mut snapshot = PopulationSnapshot::default();
+        for node in ctx.network.alive_indices() {
+            if let Some(state) = protocol.node(node) {
+                snapshot.index_by_id.insert(state.id(), snapshot.nodes.len());
+                snapshot.nodes.push(state.clone());
+            }
+        }
+        snapshot
+    }
+
+    /// Number of nodes in the snapshot.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the snapshot is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// All identifiers in the snapshot, in capture order.
+    pub fn ids(&self) -> impl Iterator<Item = bss_util::id::NodeId> + '_ {
+        self.nodes.iter().map(|n| n.id())
+    }
+
+    /// The node state with the given identifier, if present.
+    pub fn node_by_id(
+        &self,
+        id: bss_util::id::NodeId,
+    ) -> Option<&crate::node::BootstrapNode<bss_sim::network::NodeIndex>> {
+        self.index_by_id.get(&id).map(|&i| &self.nodes[i])
+    }
+
+    /// The node state at a dense position (useful for picking random nodes).
+    pub fn node_at(
+        &self,
+        position: usize,
+    ) -> Option<&crate::node::BootstrapNode<bss_sim::network::NodeIndex>> {
+        self.nodes.get(position)
+    }
+}
+
+/// A single, ready-to-run simulation.
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    config: ExperimentConfig,
+}
+
+impl Experiment {
+    /// Creates an experiment from a validated configuration.
+    pub fn new(config: ExperimentConfig) -> Self {
+        Experiment { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ExperimentConfig {
+        &self.config
+    }
+
+    /// Runs the simulation to completion and returns the recorded outcome.
+    pub fn run(&self) -> ExperimentOutcome {
+        self.run_with_snapshot().0
+    }
+
+    /// Runs the simulation and additionally returns a [`PopulationSnapshot`] of
+    /// every node's final leaf set and prefix table, ready to be handed to the
+    /// routing-substrate consumers in `bss-overlay`.
+    pub fn run_with_snapshot(&self) -> (ExperimentOutcome, PopulationSnapshot) {
+        match self.config.sampler {
+            SamplerChoice::Oracle => self.run_with_sampler(OracleSampler::new(), false),
+            SamplerChoice::Newscast(params) => {
+                self.run_with_sampler(NewscastProtocol::new(params), true)
+            }
+        }
+    }
+
+    fn run_with_sampler<S: PeerSampler>(
+        &self,
+        sampler: S,
+        sampler_steps: bool,
+    ) -> (ExperimentOutcome, PopulationSnapshot) {
+        let config = self.config;
+        let mut rng = SimRng::seed_from(config.seed);
+        let network = Network::with_random_ids(config.network_size, &mut rng);
+
+        let transport: Box<dyn Transport> = if config.drop_probability > 0.0 {
+            Box::new(DropTransport::new(config.drop_probability))
+        } else {
+            Box::new(ReliableTransport::new())
+        };
+        let mut engine = CycleEngine::new(network, rng).with_transport(transport);
+        if config.churn_rate > 0.0 {
+            engine = engine.with_churn(Box::new(UniformChurn::new(config.churn_rate)));
+        }
+
+        let mut protocol = BootstrapProtocol::new(config.params, sampler);
+        if sampler_steps {
+            protocol = protocol.with_sampler_steps();
+        }
+        protocol.init_all(engine.context_mut());
+
+        // Under churn the live membership changes every cycle, so the oracle has to
+        // be rebuilt; without churn one oracle serves the whole run.
+        let static_oracle = if config.churn_rate == 0.0 {
+            Some(protocol.oracle_for(engine.context()))
+        } else {
+            None
+        };
+
+        let mut leaf_series = Series::new("missing_leafset_proportion");
+        let mut prefix_series = Series::new("missing_prefix_proportion");
+        let mut convergence_cycle = None;
+        let mut final_state = NetworkConvergence::default();
+
+        let cycles_executed = engine.run_with_observer(
+            &mut protocol,
+            config.max_cycles,
+            |protocol, ctx, cycle| {
+                let measured = match &static_oracle {
+                    Some(oracle) => protocol.measure(oracle, ctx),
+                    None => {
+                        let oracle = protocol.oracle_for(ctx);
+                        protocol.measure(&oracle, ctx)
+                    }
+                };
+                leaf_series.push(cycle, measured.leaf_proportion());
+                prefix_series.push(cycle, measured.prefix_proportion());
+                final_state = measured;
+                if measured.is_perfect() {
+                    if convergence_cycle.is_none() {
+                        convergence_cycle = Some(cycle);
+                    }
+                    if config.stop_when_perfect {
+                        return ControlFlow::Break(());
+                    }
+                } else {
+                    // Under churn a previously perfect network can degrade again.
+                    convergence_cycle = convergence_cycle.filter(|_| config.churn_rate == 0.0);
+                }
+                ControlFlow::Continue(())
+            },
+        );
+
+        let snapshot = PopulationSnapshot::capture(&protocol, engine.context());
+        let outcome = ExperimentOutcome {
+            config,
+            leaf_series,
+            prefix_series,
+            convergence_cycle,
+            cycles_executed,
+            final_state,
+            traffic: protocol.traffic().clone(),
+        };
+        (outcome, snapshot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_validates_inputs() {
+        assert!(ExperimentConfig::builder().network_size(1).build().is_err());
+        assert!(ExperimentConfig::builder().max_cycles(0).build().is_err());
+        assert!(ExperimentConfig::builder().drop_probability(1.5).build().is_err());
+        assert!(ExperimentConfig::builder().churn_rate(-0.1).build().is_err());
+        let ok = ExperimentConfig::builder()
+            .network_size(64)
+            .seed(3)
+            .max_cycles(50)
+            .build()
+            .unwrap();
+        assert_eq!(ok.network_size, 64);
+        assert_eq!(ok.seed, 3);
+        assert!(ok.stop_when_perfect);
+    }
+
+    #[test]
+    fn small_network_converges_and_reports_series() {
+        let config = ExperimentConfig::builder()
+            .network_size(100)
+            .seed(42)
+            .max_cycles(60)
+            .build()
+            .unwrap();
+        let outcome = Experiment::new(config).run();
+        assert!(outcome.converged(), "{outcome}");
+        let convergence = outcome.convergence_cycle().unwrap();
+        assert!(convergence < 40);
+        // The series cover every executed cycle and end at zero.
+        assert_eq!(outcome.leaf_series().len(), outcome.cycles_executed() as usize);
+        assert_eq!(outcome.prefix_series().len(), outcome.cycles_executed() as usize);
+        assert_eq!(outcome.leaf_series().final_value(), Some(0.0));
+        assert_eq!(outcome.prefix_series().final_value(), Some(0.0));
+        assert!(outcome.final_state().is_perfect());
+        assert!(outcome.traffic().requests_sent > 0);
+        assert_eq!(outcome.config().network_size, 100);
+        let text = outcome.to_string();
+        assert!(text.contains("perfect tables"));
+    }
+
+    #[test]
+    fn identical_seeds_give_identical_outcomes() {
+        let config = ExperimentConfig::builder()
+            .network_size(80)
+            .seed(7)
+            .max_cycles(50)
+            .build()
+            .unwrap();
+        let a = Experiment::new(config).run();
+        let b = Experiment::new(config).run();
+        assert_eq!(a.convergence_cycle(), b.convergence_cycle());
+        assert_eq!(a.leaf_series().points(), b.leaf_series().points());
+        assert_eq!(a.prefix_series().points(), b.prefix_series().points());
+    }
+
+    #[test]
+    fn message_loss_slows_but_does_not_prevent_convergence() {
+        // Average over several seeds: any individual pair of runs is noisy, but on
+        // average 20 % loss must cost extra cycles (Figure 4 vs Figure 3).
+        let mut reliable_total = 0u64;
+        let mut lossy_total = 0u64;
+        for seed in 0..5u64 {
+            let reliable = Experiment::new(
+                ExperimentConfig::builder()
+                    .network_size(100)
+                    .seed(seed)
+                    .max_cycles(150)
+                    .build()
+                    .unwrap(),
+            )
+            .run();
+            let lossy = Experiment::new(
+                ExperimentConfig::builder()
+                    .network_size(100)
+                    .seed(seed)
+                    .drop_probability(0.2)
+                    .max_cycles(150)
+                    .build()
+                    .unwrap(),
+            )
+            .run();
+            assert!(reliable.converged());
+            assert!(lossy.converged(), "{lossy}");
+            reliable_total += reliable.convergence_cycle().unwrap();
+            lossy_total += lossy.convergence_cycle().unwrap();
+        }
+        assert!(
+            lossy_total >= reliable_total,
+            "on average, loss must slow convergence (reliable {reliable_total}, lossy {lossy_total})"
+        );
+    }
+
+    #[test]
+    fn newscast_sampling_also_converges() {
+        let config = ExperimentConfig::builder()
+            .network_size(100)
+            .seed(11)
+            .sampler(SamplerChoice::Newscast(NewscastParams {
+                view_size: 20,
+                period_millis: 1000,
+            }))
+            .max_cycles(80)
+            .build()
+            .unwrap();
+        let outcome = Experiment::new(config).run();
+        assert!(outcome.converged(), "{outcome}");
+    }
+
+    #[test]
+    fn churn_keeps_tables_imperfect_but_close() {
+        let config = ExperimentConfig::builder()
+            .network_size(100)
+            .seed(13)
+            .churn_rate(0.01)
+            .max_cycles(30)
+            .stop_when_perfect(false)
+            .build()
+            .unwrap();
+        let outcome = Experiment::new(config).run();
+        assert_eq!(outcome.cycles_executed(), 30);
+        // The protocol has no failure detector (it is designed for a short burst),
+        // so descriptors of departed nodes accumulate in the leaf sets: after T
+        // cycles of replacement churn at rate r the live fraction of the nearest
+        // neighbours is roughly 1 / (1 + rT), and the missing-entry proportion
+        // settles near rT / (1 + rT). With r = 1 % and T = 30 that bound is ~0.23;
+        // quality must stay well within it, and far from collapse.
+        let final_leaf = outcome.leaf_series().final_value().unwrap();
+        assert!(final_leaf < 0.35, "leaf quality too poor under churn: {final_leaf}");
+        let final_prefix = outcome.prefix_series().final_value().unwrap();
+        assert!(final_prefix < 0.35, "prefix quality too poor under churn: {final_prefix}");
+        assert!(!outcome.converged());
+        let text = outcome.to_string();
+        assert!(text.contains("churn"));
+    }
+
+    #[test]
+    fn snapshot_exposes_every_nodes_final_state() {
+        let config = ExperimentConfig::builder()
+            .network_size(64)
+            .seed(21)
+            .max_cycles(50)
+            .build()
+            .unwrap();
+        let (outcome, snapshot) = Experiment::new(config).run_with_snapshot();
+        assert!(outcome.converged());
+        assert_eq!(snapshot.len(), 64);
+        assert!(!snapshot.is_empty());
+        assert_eq!(snapshot.ids().count(), 64);
+        let some_id = snapshot.node_at(0).unwrap().id();
+        let by_id = snapshot.node_by_id(some_id).unwrap();
+        assert_eq!(by_id.id(), some_id);
+        assert!(by_id.leaf_set().len() > 0);
+        assert!(snapshot.node_by_id(bss_util::id::NodeId::new(u64::MAX)).is_none() || true);
+        assert!(snapshot.node_at(64).is_none());
+    }
+
+    #[test]
+    fn stop_when_perfect_false_runs_full_budget() {
+        let config = ExperimentConfig::builder()
+            .network_size(64)
+            .seed(17)
+            .max_cycles(30)
+            .stop_when_perfect(false)
+            .build()
+            .unwrap();
+        let outcome = Experiment::new(config).run();
+        assert_eq!(outcome.cycles_executed(), 30);
+        assert!(outcome.converged());
+        assert!(outcome.convergence_cycle().unwrap() < 30);
+    }
+}

@@ -1,0 +1,340 @@
+//! The leaf set: a node's `c` nearest neighbours on the identifier ring.
+//!
+//! The paper's `UPDATELEAFSET` (§4) "merges the set given as a parameter and the
+//! current leaf set, and then sorts this set according to distance from the node's
+//! own ID in the ring of all possible IDs. [...] in an effort to collect an equal
+//! amount of successors and predecessors, the method attempts to keep an equal
+//! number (c/2) of closest successors and predecessors. If there are not enough
+//! successors or predecessors, then the leaf set is filled with the closest
+//! elements in the other direction."
+//!
+//! [`LeafSet`] implements exactly that, and in addition exposes the orderings
+//! needed by `SELECTPEER` (sort by distance from the own identifier) and
+//! `CREATEMESSAGE` (sort by distance from the peer's identifier).
+
+use bss_util::descriptor::{Address, Descriptor};
+use bss_util::id::NodeId;
+
+/// A balanced set of ring neighbours maintained by `UPDATELEAFSET`.
+///
+/// # Example
+///
+/// ```rust
+/// use bss_core::leafset::LeafSet;
+/// use bss_util::descriptor::Descriptor;
+/// use bss_util::id::NodeId;
+///
+/// let mut leaf_set: LeafSet<u32> = LeafSet::new(NodeId::new(1000), 4);
+/// leaf_set.update([
+///     Descriptor::new(NodeId::new(1010), 1, 0),
+///     Descriptor::new(NodeId::new(1020), 2, 0),
+///     Descriptor::new(NodeId::new(990), 3, 0),
+///     Descriptor::new(NodeId::new(980), 4, 0),
+///     Descriptor::new(NodeId::new(5000), 5, 0),
+/// ]);
+/// // Two closest successors and two closest predecessors are kept.
+/// assert_eq!(leaf_set.len(), 4);
+/// assert!(leaf_set.contains(NodeId::new(1010)));
+/// assert!(leaf_set.contains(NodeId::new(990)));
+/// assert!(!leaf_set.contains(NodeId::new(5000)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LeafSet<A> {
+    own_id: NodeId,
+    capacity: usize,
+    /// Successors: nodes closer in the increasing (clockwise) direction, kept
+    /// sorted by clockwise distance, closest first.
+    successors: Vec<Descriptor<A>>,
+    /// Predecessors: nodes closer in the decreasing direction, kept sorted by
+    /// counter-clockwise distance, closest first.
+    predecessors: Vec<Descriptor<A>>,
+}
+
+impl<A: Address> LeafSet<A> {
+    /// Creates an empty leaf set for the node with identifier `own_id` and total
+    /// capacity `capacity` (the paper's `c`; half is reserved for successors and
+    /// half for predecessors).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero or odd.
+    pub fn new(own_id: NodeId, capacity: usize) -> Self {
+        assert!(capacity > 0, "leaf set capacity must be positive");
+        assert!(capacity % 2 == 0, "leaf set capacity must be even");
+        LeafSet {
+            own_id,
+            capacity,
+            successors: Vec::with_capacity(capacity),
+            predecessors: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// The identifier of the owning node.
+    pub fn own_id(&self) -> NodeId {
+        self.own_id
+    }
+
+    /// The configured capacity `c`.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of descriptors currently held.
+    pub fn len(&self) -> usize {
+        self.successors.len() + self.predecessors.len()
+    }
+
+    /// Whether the leaf set holds no descriptors.
+    pub fn is_empty(&self) -> bool {
+        self.successors.is_empty() && self.predecessors.is_empty()
+    }
+
+    /// The current successors, closest first.
+    pub fn successors(&self) -> &[Descriptor<A>] {
+        &self.successors
+    }
+
+    /// The current predecessors, closest first.
+    pub fn predecessors(&self) -> &[Descriptor<A>] {
+        &self.predecessors
+    }
+
+    /// Iterates over all descriptors (successors first, then predecessors).
+    pub fn iter(&self) -> impl Iterator<Item = &Descriptor<A>> {
+        self.successors.iter().chain(self.predecessors.iter())
+    }
+
+    /// Collects all descriptors into a vector.
+    pub fn to_vec(&self) -> Vec<Descriptor<A>> {
+        self.iter().copied().collect()
+    }
+
+    /// Whether a descriptor with the given identifier is present.
+    pub fn contains(&self, id: NodeId) -> bool {
+        self.iter().any(|d| d.id() == id)
+    }
+
+    /// `UPDATELEAFSET`: merges `incoming` with the current content and keeps the
+    /// `c/2` closest successors and `c/2` closest predecessors, spilling into the
+    /// other direction when one side has too few candidates.
+    ///
+    /// Descriptors equal to the own identifier are ignored; duplicates keep the
+    /// freshest timestamp.
+    pub fn update(&mut self, incoming: impl IntoIterator<Item = Descriptor<A>>) {
+        // Merge: current content plus the incoming descriptors.
+        let mut merged: Vec<Descriptor<A>> = self.to_vec();
+        merged.extend(incoming.into_iter().filter(|d| d.id() != self.own_id));
+        if merged.is_empty() {
+            return;
+        }
+        bss_util::descriptor::dedup_freshest(&mut merged);
+
+        // Classify into successors and predecessors.
+        let mut successors: Vec<Descriptor<A>> = Vec::new();
+        let mut predecessors: Vec<Descriptor<A>> = Vec::new();
+        for descriptor in merged {
+            if self.own_id.is_successor(descriptor.id()) {
+                successors.push(descriptor);
+            } else {
+                predecessors.push(descriptor);
+            }
+        }
+        let own = self.own_id;
+        successors.sort_by(|a, b| {
+            own.clockwise_distance(a.id())
+                .cmp(&own.clockwise_distance(b.id()))
+                .then_with(|| a.id().cmp(&b.id()))
+        });
+        predecessors.sort_by(|a, b| {
+            a.id()
+                .clockwise_distance(own)
+                .cmp(&b.id().clockwise_distance(own))
+                .then_with(|| a.id().cmp(&b.id()))
+        });
+
+        // Keep c/2 of each; spill over when one side is short.
+        let half = self.capacity / 2;
+        let succ_short = half.saturating_sub(successors.len());
+        let pred_short = half.saturating_sub(predecessors.len());
+        let succ_keep = (half + pred_short).min(successors.len());
+        let pred_keep = (half + succ_short).min(predecessors.len());
+        successors.truncate(succ_keep);
+        predecessors.truncate(pred_keep);
+
+        self.successors = successors;
+        self.predecessors = predecessors;
+    }
+
+    /// The descriptors sorted by undirected ring distance from the own identifier,
+    /// closest first — the ordering `SELECTPEER` uses before picking a random
+    /// element from the first half.
+    pub fn sorted_by_distance_from_self(&self) -> Vec<Descriptor<A>> {
+        self.sorted_by_distance_from(self.own_id)
+    }
+
+    /// The descriptors sorted by undirected ring distance from an arbitrary
+    /// reference identifier, closest first (used by `CREATEMESSAGE` to target the
+    /// content at the peer).
+    pub fn sorted_by_distance_from(&self, reference: NodeId) -> Vec<Descriptor<A>> {
+        let mut all = self.to_vec();
+        all.sort_by(|a, b| {
+            reference
+                .ring_distance(a.id())
+                .cmp(&reference.ring_distance(b.id()))
+                .then_with(|| a.id().cmp(&b.id()))
+        });
+        all
+    }
+
+    /// The closest known successor (the node that would follow this one on the
+    /// ring), if any.
+    pub fn closest_successor(&self) -> Option<&Descriptor<A>> {
+        self.successors.first()
+    }
+
+    /// The closest known predecessor, if any.
+    pub fn closest_predecessor(&self) -> Option<&Descriptor<A>> {
+        self.predecessors.first()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(id: u64, addr: u32) -> Descriptor<u32> {
+        Descriptor::new(NodeId::new(id), addr, 0)
+    }
+
+    fn ids<A: Address>(set: &LeafSet<A>) -> Vec<u64> {
+        set.iter().map(|x| x.id().raw()).collect()
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn odd_capacity_is_rejected() {
+        let _: LeafSet<u32> = LeafSet::new(NodeId::new(0), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_is_rejected() {
+        let _: LeafSet<u32> = LeafSet::new(NodeId::new(0), 0);
+    }
+
+    #[test]
+    fn keeps_balanced_closest_neighbours() {
+        let mut set = LeafSet::new(NodeId::new(1000), 4);
+        set.update([
+            d(1001, 1),
+            d(1002, 2),
+            d(1003, 3),
+            d(999, 4),
+            d(998, 5),
+            d(997, 6),
+        ]);
+        assert_eq!(set.len(), 4);
+        let mut kept = ids(&set);
+        kept.sort_unstable();
+        assert_eq!(kept, vec![998, 999, 1001, 1002]);
+        assert_eq!(set.successors().len(), 2);
+        assert_eq!(set.predecessors().len(), 2);
+        assert_eq!(set.closest_successor().unwrap().id().raw(), 1001);
+        assert_eq!(set.closest_predecessor().unwrap().id().raw(), 999);
+    }
+
+    #[test]
+    fn spills_into_other_direction_when_one_side_is_short() {
+        // Only successors available: all four slots fill with successors.
+        let mut set = LeafSet::new(NodeId::new(0), 4);
+        set.update([d(1, 1), d(2, 2), d(3, 3), d(4, 4), d(5, 5)]);
+        assert_eq!(set.len(), 4);
+        let mut kept = ids(&set);
+        kept.sort_unstable();
+        assert_eq!(kept, vec![1, 2, 3, 4]);
+
+        // Mixed but unbalanced: one predecessor and many successors.
+        let mut set = LeafSet::new(NodeId::new(100), 4);
+        set.update([d(99, 1), d(101, 2), d(102, 3), d(103, 4), d(104, 5)]);
+        let mut kept = ids(&set);
+        kept.sort_unstable();
+        assert_eq!(kept, vec![99, 101, 102, 103]);
+    }
+
+    #[test]
+    fn update_is_monotone_improvement() {
+        let mut set = LeafSet::new(NodeId::new(1000), 4);
+        set.update([d(2000, 1), d(3000, 2), d(50, 3), d(100, 4)]);
+        assert_eq!(set.len(), 4);
+        // Better candidates displace worse ones.
+        set.update([d(1001, 5), d(999, 6)]);
+        assert!(set.contains(NodeId::new(1001)));
+        assert!(set.contains(NodeId::new(999)));
+        assert_eq!(set.len(), 4);
+        // The displaced far-away successors are gone.
+        assert!(!set.contains(NodeId::new(3000)));
+    }
+
+    #[test]
+    fn ignores_own_identifier_and_duplicates() {
+        let mut set = LeafSet::new(NodeId::new(42), 4);
+        set.update([d(42, 1), d(43, 2), d(43, 3), d(44, 4)]);
+        assert!(!set.contains(NodeId::new(42)));
+        assert_eq!(set.len(), 2);
+        // The freshest duplicate wins.
+        let mut set = LeafSet::new(NodeId::new(42), 4);
+        set.update([
+            Descriptor::new(NodeId::new(43), 2u32, 1),
+            Descriptor::new(NodeId::new(43), 9u32, 5),
+        ]);
+        let entry = set.iter().next().unwrap();
+        assert_eq!(entry.address(), 9);
+        assert_eq!(entry.timestamp(), 5);
+    }
+
+    #[test]
+    fn wrap_around_neighbours_are_classified_correctly() {
+        let mut set = LeafSet::new(NodeId::new(u64::MAX - 1), 4);
+        set.update([d(0, 1), d(1, 2), d(u64::MAX - 3, 3), d(u64::MAX - 2, 4)]);
+        assert_eq!(set.successors().len(), 2);
+        assert_eq!(set.predecessors().len(), 2);
+        // Identifiers 0 and 1 wrap around and are the closest successors.
+        assert_eq!(set.closest_successor().unwrap().id().raw(), 0);
+        assert_eq!(set.closest_predecessor().unwrap().id().raw(), u64::MAX - 2);
+    }
+
+    #[test]
+    fn wrap_around_closest_successor_is_across_zero() {
+        let mut set = LeafSet::new(NodeId::new(u64::MAX - 1), 4);
+        set.update([d(5, 1), d(0, 2), d(u64::MAX - 10, 3)]);
+        assert_eq!(set.closest_successor().unwrap().id().raw(), 0);
+        assert_eq!(set.closest_predecessor().unwrap().id().raw(), u64::MAX - 10);
+    }
+
+    #[test]
+    fn sorted_by_distance_orders_by_ring_metric() {
+        let mut set = LeafSet::new(NodeId::new(1000), 6);
+        set.update([d(1010, 1), d(1100, 2), d(900, 3), d(995, 4)]);
+        let from_self = set.sorted_by_distance_from_self();
+        assert_eq!(from_self[0].id().raw(), 995);
+        assert_eq!(from_self[1].id().raw(), 1010);
+        let from_peer = set.sorted_by_distance_from(NodeId::new(1100));
+        assert_eq!(from_peer[0].id().raw(), 1100);
+        assert_eq!(from_peer.last().unwrap().id().raw(), 900);
+    }
+
+    #[test]
+    fn empty_update_and_empty_set_accessors() {
+        let mut set: LeafSet<u32> = LeafSet::new(NodeId::new(5), 4);
+        assert!(set.is_empty());
+        assert_eq!(set.len(), 0);
+        set.update(std::iter::empty());
+        assert!(set.is_empty());
+        assert!(set.closest_successor().is_none());
+        assert!(set.closest_predecessor().is_none());
+        assert!(set.sorted_by_distance_from_self().is_empty());
+        assert_eq!(set.capacity(), 4);
+        assert_eq!(set.own_id(), NodeId::new(5));
+        assert!(set.to_vec().is_empty());
+    }
+}

@@ -1,0 +1,203 @@
+//! `CREATEMESSAGE`: composing the peer-targeted gossip message.
+//!
+//! "Knowing the ID of the peer, the method optimizes the information to be sent as
+//! follows. First it takes the union of the leaf set, cr random samples taken from
+//! the sampling service, the current prefix table, and its own descriptor (in other
+//! words, all locally available information). It orders this set according to
+//! distance from the peer node, and keeps the first c entries. In addition, it adds
+//! to the message all node descriptors that are potentially useful for the peer for
+//! its prefix table (i.e., have a common prefix with the peer ID). The size of this
+//! additional part is not fixed but is bounded by the size of the full prefix
+//! table, and usually is smaller in practice." (§4)
+
+use crate::leafset::LeafSet;
+use crate::prefix_table::PrefixTable;
+use bss_util::descriptor::{dedup_freshest, Address, Descriptor};
+use bss_util::id::NodeId;
+
+/// Builds the message a node sends to `peer_id`.
+///
+/// * `own` — the sender's own descriptor (always included in the candidate union).
+/// * `leaf_set`, `prefix_table` — the sender's current state.
+/// * `random_samples` — the `cr` descriptors freshly obtained from the peer
+///   sampling service.
+/// * `ring_entries` — the number of entries kept from the distance-ordered union
+///   (the paper's `c`).
+///
+/// The returned message contains at most `ring_entries` descriptors chosen by ring
+/// distance to the peer plus every locally known descriptor sharing a prefix with
+/// the peer; duplicates are removed. The peer's own descriptor is never included.
+pub fn create_message<A: Address>(
+    own: Descriptor<A>,
+    leaf_set: &LeafSet<A>,
+    prefix_table: &PrefixTable<A>,
+    random_samples: &[Descriptor<A>],
+    peer_id: NodeId,
+    ring_entries: usize,
+) -> Vec<Descriptor<A>> {
+    // The union of all locally available information.
+    let mut union: Vec<Descriptor<A>> = Vec::with_capacity(
+        1 + leaf_set.len() + prefix_table.len() + random_samples.len(),
+    );
+    union.push(own);
+    union.extend(leaf_set.iter().copied());
+    union.extend(random_samples.iter().copied());
+    union.extend(prefix_table.iter().copied());
+    union.retain(|d| d.id() != peer_id);
+    dedup_freshest(&mut union);
+
+    // Part one: the `c` descriptors closest to the peer on the ring, selected the
+    // same way the peer's own `UPDATELEAFSET` will select them — up to `c/2`
+    // closest successors and `c/2` closest predecessors of the peer (spilling when
+    // one side is short). A plain undirected-distance cut-off would starve the
+    // peer's sparser ring side whenever its denser side has more than `c` nodes
+    // nearby, which is exactly the "last few entries" end-game the paper relies on
+    // the message optimisation to finish quickly.
+    let by_distance: Vec<Descriptor<A>> = if ring_entries == 0 {
+        Vec::new()
+    } else {
+        let balanced_budget = if ring_entries % 2 == 0 {
+            ring_entries
+        } else {
+            ring_entries + 1
+        };
+        let mut targeted = LeafSet::new(peer_id, balanced_budget);
+        targeted.update(union.iter().copied());
+        let mut selected = targeted.to_vec();
+        selected.truncate(ring_entries);
+        selected
+    };
+
+    // Part two: every descriptor "potentially useful for the peer for its prefix
+    // table". The sender estimates usefulness by building, from its local union, the
+    // prefix table the *peer* would construct (same geometry, keyed on the peer's
+    // identifier) and shipping its content. This is what bounds the additional part
+    // "by the size of the full prefix table" — at most `k` descriptors per slot are
+    // ever selected — and it is what lets a node's already-complete rows (for
+    // example row 0, which holds every other leading digit) propagate to peers whose
+    // corresponding rows are still empty.
+    let mut useful_for_peer: PrefixTable<A> = PrefixTable::new(peer_id, prefix_table.geometry());
+    useful_for_peer.update(union.iter().copied());
+
+    let mut message = by_distance;
+    message.extend(useful_for_peer.iter().copied());
+    dedup_freshest(&mut message);
+    message
+}
+
+/// An upper bound on the size of any message produced by [`create_message`] with
+/// the given parameters: the `c` ring-targeted entries plus a full prefix table's
+/// worth of prefix-sharing entries (the paper notes the prefix part "is bounded by
+/// the size of the full prefix table, and usually is smaller in practice").
+pub fn message_size_bound(ring_entries: usize, prefix_capacity: usize) -> usize {
+    ring_entries + prefix_capacity
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bss_util::geometry::TableGeometry;
+
+    fn d(id: u64, addr: u32) -> Descriptor<u32> {
+        Descriptor::new(NodeId::new(id), addr, 0)
+    }
+
+    fn setup(own_id: u64) -> (Descriptor<u32>, LeafSet<u32>, PrefixTable<u32>) {
+        let own = d(own_id, 0);
+        let leaf_set = LeafSet::new(NodeId::new(own_id), 4);
+        let table = PrefixTable::new(NodeId::new(own_id), TableGeometry::new(4, 3).unwrap());
+        (own, leaf_set, table)
+    }
+
+    #[test]
+    fn message_contains_closest_entries_to_the_peer() {
+        let (own, mut leaf_set, table) = setup(1000);
+        leaf_set.update([d(900, 1), d(1100, 2), d(1200, 3), d(800, 4)]);
+        let peer = NodeId::new(1150);
+        let message = create_message(own, &leaf_set, &table, &[], peer, 2);
+        // The two candidates closest to 1150 (1100 and 1200) are always included in
+        // the ring-targeted part of the message.
+        let ids: Vec<u64> = message.iter().map(|d| d.id().raw()).collect();
+        assert!(ids.contains(&1100));
+        assert!(ids.contains(&1200));
+        // Everything else may still ride along as prefix-useful content, but never
+        // beyond the documented bound.
+        assert!(message.len() <= message_size_bound(2, table.geometry().capacity()));
+    }
+
+    #[test]
+    fn message_never_contains_the_peer_itself() {
+        let (own, mut leaf_set, table) = setup(1000);
+        leaf_set.update([d(1100, 1)]);
+        let peer = NodeId::new(1100);
+        let message = create_message(own, &leaf_set, &table, &[d(1100, 9)], peer, 10);
+        assert!(message.iter().all(|d| d.id() != peer));
+        // The sender's own descriptor is eligible content.
+        assert!(message.iter().any(|d| d.id() == own.id()));
+    }
+
+    #[test]
+    fn prefix_sharing_entries_are_appended_beyond_the_ring_budget() {
+        let (own, mut leaf_set, mut table) = setup(0x1000_0000_0000_0000);
+        // Ring-wise close to the peer: a couple of nearby identifiers.
+        leaf_set.update([d(0xF000_0000_0000_0010, 1), d(0xF000_0000_0000_0020, 2)]);
+        // Prefix-wise useful for the peer (shares the first digit 0xF) but
+        // ring-wise far from it.
+        let useful = d(0xF800_0000_0000_0000, 3);
+        table.insert(useful);
+        let peer = NodeId::new(0xF000_0000_0000_0000);
+        let message = create_message(own, &leaf_set, &table, &[], peer, 2);
+        assert!(
+            message.iter().any(|d| d.id() == useful.id()),
+            "prefix-sharing descriptor must be included even past the ring budget"
+        );
+        // The bound from the paper holds.
+        assert!(message.len() <= message_size_bound(2, table.geometry().capacity()));
+    }
+
+    #[test]
+    fn random_samples_are_eligible_content() {
+        let (own, leaf_set, table) = setup(1000);
+        let sample = d(1300, 7);
+        let message = create_message(own, &leaf_set, &table, &[sample], NodeId::new(1301), 5);
+        assert!(message.iter().any(|d| d.id() == sample.id()));
+    }
+
+    #[test]
+    fn duplicates_are_removed_keeping_freshest() {
+        let (own, mut leaf_set, table) = setup(1000);
+        leaf_set.update([Descriptor::new(NodeId::new(1100), 1u32, 2)]);
+        let stale_copy = Descriptor::new(NodeId::new(1100), 8u32, 1);
+        let message = create_message(own, &leaf_set, &table, &[stale_copy], NodeId::new(1101), 10);
+        let copies: Vec<_> = message.iter().filter(|d| d.id() == NodeId::new(1100)).collect();
+        assert_eq!(copies.len(), 1);
+        assert_eq!(copies[0].timestamp(), 2, "freshest copy wins");
+    }
+
+    #[test]
+    fn empty_state_produces_only_the_own_descriptor() {
+        let (own, leaf_set, table) = setup(1000);
+        let message = create_message(own, &leaf_set, &table, &[], NodeId::new(5), 20);
+        assert_eq!(message, vec![own]);
+    }
+
+    #[test]
+    fn ring_budget_zero_still_sends_prefix_entries() {
+        let (own, leaf_set, mut table) = setup(0x1000_0000_0000_0000);
+        let useful = d(0xF100_0000_0000_0000, 3);
+        table.insert(useful);
+        let peer = NodeId::new(0xF000_0000_0000_0000);
+        let message = create_message(own, &leaf_set, &table, &[], peer, 0);
+        assert!(
+            message.iter().any(|d| d.id() == useful.id()),
+            "prefix-useful entry must be sent even with a zero ring budget"
+        );
+        assert!(message.iter().all(|d| d.id() != peer));
+    }
+
+    #[test]
+    fn size_bound_formula() {
+        assert_eq!(message_size_bound(20, 720), 740);
+        assert_eq!(message_size_bound(0, 0), 0);
+    }
+}

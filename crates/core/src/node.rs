@@ -1,0 +1,297 @@
+//! Per-node protocol state: the active/passive thread logic of Fig. 2.
+//!
+//! A [`BootstrapNode`] owns one node's leaf set and prefix table and implements the
+//! protocol's node-local operations: peer selection (`SELECTPEER`), message
+//! composition (`CREATEMESSAGE`, delegated to [`crate::message`]) and state update
+//! on receipt (`UPDATELEAFSET` + `UPDATEPREFIXTABLE`). It is deliberately free of
+//! any simulator or network dependency — the same type is driven by the
+//! cycle-driven simulator ([`crate::protocol`]), the event-driven simulator and the
+//! UDP deployment in `bss-net`.
+
+use crate::leafset::LeafSet;
+use crate::message::create_message;
+use crate::prefix_table::PrefixTable;
+use bss_util::config::BootstrapParams;
+use bss_util::descriptor::{Address, Descriptor};
+use bss_util::geometry::TableGeometry;
+use bss_util::id::NodeId;
+use bss_util::rng::SimRng;
+
+/// One node's bootstrapping-service state.
+///
+/// # Example
+///
+/// ```rust
+/// use bss_core::node::BootstrapNode;
+/// use bss_util::config::BootstrapParams;
+/// use bss_util::descriptor::Descriptor;
+/// use bss_util::id::NodeId;
+/// use bss_util::rng::SimRng;
+///
+/// let params = BootstrapParams::paper_default();
+/// let own = Descriptor::new(NodeId::new(42), 0u32, 0);
+/// let mut node = BootstrapNode::new(own, &params).unwrap();
+///
+/// // Seed the leaf set with a few random contacts (the paper's start condition).
+/// node.initialize([Descriptor::new(NodeId::new(99), 1u32, 0)]);
+/// let mut rng = SimRng::seed_from(1);
+/// let peer = node.select_peer(&mut rng).unwrap();
+/// assert_eq!(peer.id(), NodeId::new(99));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BootstrapNode<A> {
+    own: Descriptor<A>,
+    params: BootstrapParams,
+    leaf_set: LeafSet<A>,
+    prefix_table: PrefixTable<A>,
+    exchanges_initiated: u64,
+    descriptors_received: u64,
+}
+
+impl<A: Address> BootstrapNode<A> {
+    /// Creates the state for the node described by `own`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the parameter-validation error when `params` is invalid.
+    pub fn new(
+        own: Descriptor<A>,
+        params: &BootstrapParams,
+    ) -> Result<Self, bss_util::config::InvalidParams> {
+        params.validate()?;
+        let geometry = params
+            .geometry()
+            .expect("geometry validated by params.validate()");
+        Ok(BootstrapNode {
+            own,
+            params: *params,
+            leaf_set: LeafSet::new(own.id(), params.leaf_set_size),
+            prefix_table: PrefixTable::new(own.id(), geometry),
+            exchanges_initiated: 0,
+            descriptors_received: 0,
+        })
+    }
+
+    /// The node's own descriptor.
+    pub fn own_descriptor(&self) -> Descriptor<A> {
+        self.own
+    }
+
+    /// The node's identifier.
+    pub fn id(&self) -> NodeId {
+        self.own.id()
+    }
+
+    /// The protocol parameters this node runs with.
+    pub fn params(&self) -> &BootstrapParams {
+        &self.params
+    }
+
+    /// The table geometry.
+    pub fn geometry(&self) -> TableGeometry {
+        self.prefix_table.geometry()
+    }
+
+    /// The current leaf set.
+    pub fn leaf_set(&self) -> &LeafSet<A> {
+        &self.leaf_set
+    }
+
+    /// The current prefix table.
+    pub fn prefix_table(&self) -> &PrefixTable<A> {
+        &self.prefix_table
+    }
+
+    /// Number of exchanges this node has initiated (active-thread iterations).
+    pub fn exchanges_initiated(&self) -> u64 {
+        self.exchanges_initiated
+    }
+
+    /// Total number of descriptors received in messages so far.
+    pub fn descriptors_received(&self) -> u64 {
+        self.descriptors_received
+    }
+
+    /// Start-up: "all nodes use the peer sampling service to initialize their leaf
+    /// sets with a set of random nodes, and clear their prefix table" (§4).
+    pub fn initialize(&mut self, random_contacts: impl IntoIterator<Item = Descriptor<A>>) {
+        self.leaf_set = LeafSet::new(self.own.id(), self.params.leaf_set_size);
+        self.prefix_table = PrefixTable::new(self.own.id(), self.geometry());
+        self.leaf_set.update(random_contacts);
+    }
+
+    /// `SELECTPEER`: sorts the leaf set by ring distance from the own identifier
+    /// and picks a random element from the first (closer) half. Returns `None`
+    /// when the leaf set is empty.
+    pub fn select_peer(&self, rng: &mut SimRng) -> Option<Descriptor<A>> {
+        let sorted = self.leaf_set.sorted_by_distance_from_self();
+        if sorted.is_empty() {
+            return None;
+        }
+        let half = (sorted.len() / 2).max(1);
+        Some(sorted[rng.index(half)])
+    }
+
+    /// `CREATEMESSAGE`: composes the message to send to `peer_id`, mixing in the
+    /// `cr` random samples obtained from the peer sampling service. Increments the
+    /// exchange counter when `initiating` is true (the active thread).
+    pub fn create_message(
+        &mut self,
+        peer_id: NodeId,
+        random_samples: &[Descriptor<A>],
+        initiating: bool,
+    ) -> Vec<Descriptor<A>> {
+        if initiating {
+            self.exchanges_initiated += 1;
+        }
+        create_message(
+            self.own,
+            &self.leaf_set,
+            &self.prefix_table,
+            random_samples,
+            peer_id,
+            self.params.leaf_set_size,
+        )
+    }
+
+    /// Processes a received message: `UPDATELEAFSET` followed by
+    /// `UPDATEPREFIXTABLE` (both the active and the passive thread do exactly
+    /// this, Fig. 2).
+    pub fn receive(&mut self, descriptors: &[Descriptor<A>]) {
+        self.descriptors_received += descriptors.len() as u64;
+        self.leaf_set.update(descriptors.iter().copied());
+        self.prefix_table.update(descriptors.iter().copied());
+    }
+
+    /// Removes every trace of a departed peer from the local state (used by the
+    /// churn-aware driver; the basic protocol never needs it because stale entries
+    /// are simply out-competed).
+    pub fn forget(&mut self, id: NodeId) {
+        self.prefix_table.remove(id);
+        let survivors: Vec<Descriptor<A>> = self
+            .leaf_set
+            .iter()
+            .filter(|d| d.id() != id)
+            .copied()
+            .collect();
+        self.leaf_set = LeafSet::new(self.own.id(), self.params.leaf_set_size);
+        self.leaf_set.update(survivors);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn descriptor(id: u64, addr: u32) -> Descriptor<u32> {
+        Descriptor::new(NodeId::new(id), addr, 0)
+    }
+
+    fn node(id: u64) -> BootstrapNode<u32> {
+        let params = BootstrapParams {
+            leaf_set_size: 4,
+            random_samples: 4,
+            ..BootstrapParams::paper_default()
+        };
+        BootstrapNode::new(descriptor(id, 0), &params).unwrap()
+    }
+
+    #[test]
+    fn construction_validates_parameters() {
+        let bad = BootstrapParams {
+            leaf_set_size: 3,
+            ..BootstrapParams::paper_default()
+        };
+        assert!(BootstrapNode::new(descriptor(1, 0), &bad).is_err());
+        let good = BootstrapNode::new(descriptor(1, 0), &BootstrapParams::paper_default());
+        assert!(good.is_ok());
+    }
+
+    #[test]
+    fn initialize_seeds_leafset_and_clears_table() {
+        let mut n = node(1000);
+        n.receive(&[descriptor(0xF000_0000_0000_0000, 9)]);
+        assert!(!n.prefix_table().is_empty());
+        n.initialize([descriptor(1500, 1), descriptor(800, 2)]);
+        assert_eq!(n.leaf_set().len(), 2);
+        assert!(n.prefix_table().is_empty());
+        assert_eq!(n.id(), NodeId::new(1000));
+        assert_eq!(n.own_descriptor().address(), 0);
+        assert_eq!(n.params().leaf_set_size, 4);
+    }
+
+    #[test]
+    fn select_peer_prefers_the_closer_half() {
+        let mut n = node(1000);
+        n.initialize([
+            descriptor(1001, 1),
+            descriptor(999, 2),
+            descriptor(5000, 3),
+            descriptor(u64::MAX / 2, 4),
+        ]);
+        let mut rng = SimRng::seed_from(3);
+        for _ in 0..100 {
+            let peer = n.select_peer(&mut rng).unwrap();
+            // Only the two nearest identifiers (1001 and 999) are eligible.
+            assert!(peer.id() == NodeId::new(1001) || peer.id() == NodeId::new(999));
+        }
+    }
+
+    #[test]
+    fn select_peer_on_empty_state_returns_none() {
+        let n = node(7);
+        let mut rng = SimRng::seed_from(1);
+        assert!(n.select_peer(&mut rng).is_none());
+    }
+
+    #[test]
+    fn select_peer_with_single_entry_returns_it() {
+        let mut n = node(7);
+        n.initialize([descriptor(9, 1)]);
+        let mut rng = SimRng::seed_from(1);
+        assert_eq!(n.select_peer(&mut rng).unwrap().id(), NodeId::new(9));
+    }
+
+    #[test]
+    fn receive_updates_both_structures() {
+        let mut n = node(0x1234_0000_0000_0000);
+        let near = descriptor(0x1234_0000_0000_0005, 1);
+        let far = descriptor(0xF000_0000_0000_0000, 2);
+        n.receive(&[near, far]);
+        assert!(n.leaf_set().contains(near.id()));
+        assert!(n.leaf_set().contains(far.id()));
+        assert!(n.prefix_table().contains(near.id()));
+        assert!(n.prefix_table().contains(far.id()));
+        assert_eq!(n.descriptors_received(), 2);
+    }
+
+    #[test]
+    fn create_message_counts_initiated_exchanges() {
+        let mut n = node(1000);
+        n.initialize([descriptor(1001, 1)]);
+        let message = n.create_message(NodeId::new(2000), &[descriptor(3000, 2)], true);
+        assert!(!message.is_empty());
+        assert_eq!(n.exchanges_initiated(), 1);
+        let _ = n.create_message(NodeId::new(2000), &[], false);
+        assert_eq!(n.exchanges_initiated(), 1, "passive replies are not counted");
+    }
+
+    #[test]
+    fn forget_removes_departed_peer_everywhere() {
+        let mut n = node(1000);
+        let peer = descriptor(1001, 1);
+        n.receive(&[peer, descriptor(999, 2)]);
+        assert!(n.leaf_set().contains(peer.id()));
+        n.forget(peer.id());
+        assert!(!n.leaf_set().contains(peer.id()));
+        assert!(!n.prefix_table().contains(peer.id()));
+        assert!(n.leaf_set().contains(NodeId::new(999)), "others survive");
+    }
+
+    #[test]
+    fn geometry_matches_parameters() {
+        let n = node(1);
+        assert_eq!(n.geometry().bits_per_digit(), 4);
+        assert_eq!(n.geometry().entries_per_slot(), 3);
+    }
+}

@@ -1,0 +1,400 @@
+//! The prefix routing table: `UPDATEPREFIXTABLE` and the `(i, j, k)` slot layout.
+//!
+//! "The prefix table of a given node contains up to k IDs for all pairs (i, j),
+//! where i is the length (in digits) of the longest common prefix of the ID and the
+//! node's own ID, and j is the first differing digit" (§4). This is exactly the
+//! routing table of Pastry, Kademlia (per-bucket view), Tapestry and Bamboo, which
+//! is why bootstrapping it bootstraps all those substrates at once.
+//!
+//! Rows are allocated lazily: in a network of `n` nodes only about
+//! `log_{2^b}(n)` rows can ever contain entries, so dense allocation of all
+//! `64 / b` rows would waste memory at large scale.
+
+use bss_util::descriptor::{Address, Descriptor};
+use bss_util::geometry::TableGeometry;
+use bss_util::id::NodeId;
+
+/// One row of the table: `columns` slots, each holding up to `k` descriptors.
+type Row<A> = Vec<Vec<Descriptor<A>>>;
+
+/// A prefix routing table under construction.
+///
+/// `UPDATEPREFIXTABLE` "takes a set of node descriptors and fills in any missing
+/// table entries from this set": entries are only ever *added* (up to `k` per
+/// slot), never replaced, which makes the table monotonically improving during the
+/// bootstrap.
+///
+/// # Example
+///
+/// ```rust
+/// use bss_core::prefix_table::PrefixTable;
+/// use bss_util::descriptor::Descriptor;
+/// use bss_util::geometry::TableGeometry;
+/// use bss_util::id::NodeId;
+///
+/// let geometry = TableGeometry::new(4, 3).unwrap();
+/// let own = NodeId::new(0xAB00_0000_0000_0000);
+/// let mut table: PrefixTable<u32> = PrefixTable::new(own, geometry);
+///
+/// // A node sharing one digit, differing with digit 0xC, lands in slot (1, 0xC).
+/// let other = Descriptor::new(NodeId::new(0xAC00_0000_0000_0000), 7, 0);
+/// table.update([other]);
+/// assert_eq!(table.slot(1, 0xC).len(), 1);
+/// assert_eq!(table.len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PrefixTable<A> {
+    own_id: NodeId,
+    geometry: TableGeometry,
+    rows: Vec<Option<Row<A>>>,
+    entries: usize,
+}
+
+impl<A: Address> PrefixTable<A> {
+    /// Creates an empty table for the node with identifier `own_id`.
+    pub fn new(own_id: NodeId, geometry: TableGeometry) -> Self {
+        PrefixTable {
+            own_id,
+            geometry,
+            rows: vec![None; geometry.rows()],
+            entries: 0,
+        }
+    }
+
+    /// The identifier of the owning node.
+    pub fn own_id(&self) -> NodeId {
+        self.own_id
+    }
+
+    /// The table geometry (`b`, `k`).
+    pub fn geometry(&self) -> TableGeometry {
+        self.geometry
+    }
+
+    /// Total number of descriptors stored.
+    pub fn len(&self) -> usize {
+        self.entries
+    }
+
+    /// Whether the table holds no descriptors.
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    /// The descriptors stored in slot `(row, column)` (empty when none).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `column` is outside the geometry.
+    pub fn slot(&self, row: usize, column: u8) -> &[Descriptor<A>] {
+        assert!(row < self.geometry.rows(), "row {row} out of range");
+        assert!(
+            (column as usize) < self.geometry.columns(),
+            "column {column} out of range"
+        );
+        match &self.rows[row] {
+            Some(cells) => &cells[column as usize],
+            None => &[],
+        }
+    }
+
+    /// Whether the slot that `id` would occupy already holds `k` descriptors (or
+    /// `id` is the owner itself, which needs no slot).
+    pub fn slot_is_full_for(&self, id: NodeId) -> bool {
+        match self.geometry.slot_of(self.own_id, id) {
+            None => true,
+            Some((row, column)) => self.slot(row, column).len() >= self.geometry.entries_per_slot(),
+        }
+    }
+
+    /// Whether a descriptor with this identifier is stored anywhere in the table.
+    pub fn contains(&self, id: NodeId) -> bool {
+        match self.geometry.slot_of(self.own_id, id) {
+            None => false,
+            Some((row, column)) => self.slot(row, column).iter().any(|d| d.id() == id),
+        }
+    }
+
+    /// `UPDATEPREFIXTABLE`: for every incoming descriptor, if the slot it belongs
+    /// to still has free capacity and does not already contain that identifier,
+    /// store it. Returns the number of descriptors actually inserted.
+    pub fn update(&mut self, incoming: impl IntoIterator<Item = Descriptor<A>>) -> usize {
+        let mut inserted = 0;
+        for descriptor in incoming {
+            if self.insert(descriptor) {
+                inserted += 1;
+            }
+        }
+        inserted
+    }
+
+    /// Inserts a single descriptor if its slot has room; returns whether it was
+    /// stored.
+    pub fn insert(&mut self, descriptor: Descriptor<A>) -> bool {
+        let Some((row, column)) = self.geometry.slot_of(self.own_id, descriptor.id()) else {
+            return false; // own descriptor
+        };
+        let capacity = self.geometry.entries_per_slot();
+        let columns = self.geometry.columns();
+        let row_cells = self.rows[row].get_or_insert_with(|| vec![Vec::new(); columns]);
+        let cell = &mut row_cells[column as usize];
+        if cell.len() >= capacity || cell.iter().any(|d| d.id() == descriptor.id()) {
+            return false;
+        }
+        cell.push(descriptor);
+        self.entries += 1;
+        true
+    }
+
+    /// Removes every descriptor with the given identifier (used when a node learns
+    /// that a peer has departed). Returns the number of descriptors removed.
+    pub fn remove(&mut self, id: NodeId) -> usize {
+        let Some((row, column)) = self.geometry.slot_of(self.own_id, id) else {
+            return 0;
+        };
+        if let Some(cells) = &mut self.rows[row] {
+            let cell = &mut cells[column as usize];
+            let before = cell.len();
+            cell.retain(|d| d.id() != id);
+            let removed = before - cell.len();
+            self.entries -= removed;
+            return removed;
+        }
+        0
+    }
+
+    /// Iterates over every stored descriptor.
+    pub fn iter(&self) -> impl Iterator<Item = &Descriptor<A>> {
+        self.rows
+            .iter()
+            .flatten()
+            .flat_map(|cells| cells.iter().flat_map(|cell| cell.iter()))
+    }
+
+    /// Collects every stored descriptor into a vector.
+    pub fn to_vec(&self) -> Vec<Descriptor<A>> {
+        self.iter().copied().collect()
+    }
+
+    /// The descriptors "potentially useful for the peer for its prefix table", as
+    /// `CREATEMESSAGE` puts it: every stored descriptor whose identifier shares at
+    /// least one digit of prefix with `peer_id` (the peer itself is excluded — a
+    /// node never needs its own descriptor).
+    pub fn entries_useful_for(&self, peer_id: NodeId) -> Vec<Descriptor<A>> {
+        let b = self.geometry.bits_per_digit();
+        self.iter()
+            .filter(|d| d.id() != peer_id && peer_id.common_prefix_len(d.id(), b) >= 1)
+            .copied()
+            .collect()
+    }
+
+    /// Number of non-empty slots.
+    pub fn occupied_slots(&self) -> usize {
+        self.rows
+            .iter()
+            .flatten()
+            .map(|cells| cells.iter().filter(|cell| !cell.is_empty()).count())
+            .sum()
+    }
+
+    /// The deepest row (longest common prefix) that currently holds an entry, if
+    /// any. In a uniformly random network this hovers around `log_{2^b}(n)`.
+    pub fn deepest_occupied_row(&self) -> Option<usize> {
+        (0..self.geometry.rows())
+            .rev()
+            .find(|&row| {
+                self.rows[row]
+                    .as_ref()
+                    .map(|cells| cells.iter().any(|c| !c.is_empty()))
+                    .unwrap_or(false)
+            })
+    }
+
+    /// The best stored candidate for routing a message towards `target`: the
+    /// descriptor with the longest common prefix with `target`, ties broken by ring
+    /// distance. Returns `None` when the table is empty. (This is the core of the
+    /// prefix-routing consumers in `bss-overlay`; it is exposed here so the routing
+    /// feedback loop described in §4 — "the prefix tables, even before completed,
+    /// can already fulfill a kind of routing function" — can also be exercised
+    /// directly on the table.)
+    pub fn best_route_towards(&self, target: NodeId) -> Option<&Descriptor<A>> {
+        let b = self.geometry.bits_per_digit();
+        self.iter().max_by(|x, y| {
+            let px = target.common_prefix_len(x.id(), b);
+            let py = target.common_prefix_len(y.id(), b);
+            px.cmp(&py)
+                .then_with(|| {
+                    target
+                        .ring_distance(y.id())
+                        .cmp(&target.ring_distance(x.id()))
+                })
+                .then_with(|| y.id().cmp(&x.id()))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geometry() -> TableGeometry {
+        TableGeometry::new(4, 3).unwrap()
+    }
+
+    fn own() -> NodeId {
+        NodeId::new(0x1234_5678_0000_0000)
+    }
+
+    fn d(id: u64, addr: u32) -> Descriptor<u32> {
+        Descriptor::new(NodeId::new(id), addr, 0)
+    }
+
+    #[test]
+    fn entries_land_in_the_defined_slot() {
+        let mut table = PrefixTable::new(own(), geometry());
+        // Shares "123" then differs with digit 0x9.
+        let descriptor = d(0x1239_0000_0000_0000, 1);
+        assert_eq!(table.update([descriptor]), 1);
+        assert_eq!(table.slot(3, 0x9), &[descriptor]);
+        assert!(table.contains(descriptor.id()));
+        assert_eq!(table.len(), 1);
+        assert_eq!(table.occupied_slots(), 1);
+        assert_eq!(table.deepest_occupied_row(), Some(3));
+        assert_eq!(table.geometry().bits_per_digit(), 4);
+        assert_eq!(table.own_id(), own());
+    }
+
+    #[test]
+    fn slot_capacity_is_respected() {
+        let mut table = PrefixTable::new(own(), geometry());
+        // Four different nodes all belonging to slot (0, 0xF).
+        let candidates = [
+            d(0xF000_0000_0000_0001, 1),
+            d(0xF000_0000_0000_0002, 2),
+            d(0xF000_0000_0000_0003, 3),
+            d(0xF000_0000_0000_0004, 4),
+        ];
+        let inserted = table.update(candidates);
+        assert_eq!(inserted, 3, "only k = 3 descriptors fit in one slot");
+        assert_eq!(table.slot(0, 0xF).len(), 3);
+        assert!(table.slot_is_full_for(NodeId::new(0xF000_0000_0000_0009)));
+        assert!(!table.slot_is_full_for(NodeId::new(0x2000_0000_0000_0000)));
+    }
+
+    #[test]
+    fn duplicates_and_own_id_are_ignored() {
+        let mut table = PrefixTable::new(own(), geometry());
+        let descriptor = d(0xAAAA_0000_0000_0000, 1);
+        assert_eq!(table.update([descriptor, descriptor]), 1);
+        assert_eq!(table.len(), 1);
+        // Same identifier, different address: still a duplicate.
+        assert!(!table.insert(Descriptor::new(descriptor.id(), 99u32, 5)));
+        // The node's own identifier is never stored.
+        assert!(!table.insert(Descriptor::new(own(), 1u32, 0)));
+        assert!(table.slot_is_full_for(own()));
+        assert!(!table.contains(own()));
+    }
+
+    #[test]
+    fn remove_deletes_all_copies_of_an_identifier() {
+        let mut table = PrefixTable::new(own(), geometry());
+        let descriptor = d(0xBBBB_0000_0000_0000, 1);
+        table.insert(descriptor);
+        assert_eq!(table.remove(descriptor.id()), 1);
+        assert_eq!(table.len(), 0);
+        assert!(!table.contains(descriptor.id()));
+        // Removing something absent (or the own identifier) is a no-op.
+        assert_eq!(table.remove(descriptor.id()), 0);
+        assert_eq!(table.remove(own()), 0);
+    }
+
+    #[test]
+    fn iteration_covers_every_entry() {
+        let mut table = PrefixTable::new(own(), geometry());
+        let descriptors = [
+            d(0xF000_0000_0000_0000, 1),
+            d(0x1300_0000_0000_0000, 2),
+            d(0x1235_0000_0000_0000, 3),
+        ];
+        table.update(descriptors);
+        assert_eq!(table.len(), 3);
+        let collected = table.to_vec();
+        assert_eq!(collected.len(), 3);
+        for descriptor in descriptors {
+            assert!(collected.contains(&descriptor));
+        }
+        assert!(table.is_empty() == false);
+    }
+
+    #[test]
+    fn entries_useful_for_requires_shared_prefix() {
+        let mut table = PrefixTable::new(own(), geometry());
+        let sharing = d(0x1239_0000_0000_0000, 1); // shares "123" with own and peer below
+        let not_sharing = d(0xF000_0000_0000_0000, 2); // shares nothing with the peer
+        table.update([sharing, not_sharing]);
+
+        let peer = NodeId::new(0x1230_0000_0000_0000);
+        let useful = table.entries_useful_for(peer);
+        assert_eq!(useful, vec![sharing]);
+
+        // The peer's own descriptor is never "useful for the peer".
+        let mut table = PrefixTable::new(own(), geometry());
+        let peer_descriptor = Descriptor::new(peer, 9u32, 0);
+        table.insert(peer_descriptor);
+        assert!(table.entries_useful_for(peer).is_empty());
+    }
+
+    #[test]
+    fn best_route_prefers_longer_prefix_then_ring_distance() {
+        let mut table = PrefixTable::new(own(), geometry());
+        let coarse = d(0x1200_0000_0000_0000, 1);
+        let fine = d(0x1234_5000_0000_0000, 2);
+        table.update([coarse, fine]);
+        let target = NodeId::new(0x1234_5679_0000_0000);
+        assert_eq!(table.best_route_towards(target).unwrap().id(), fine.id());
+
+        let empty: PrefixTable<u32> = PrefixTable::new(own(), geometry());
+        assert!(empty.best_route_towards(target).is_none());
+    }
+
+    #[test]
+    fn empty_table_accessors() {
+        let table: PrefixTable<u32> = PrefixTable::new(own(), geometry());
+        assert!(table.is_empty());
+        assert_eq!(table.len(), 0);
+        assert_eq!(table.occupied_slots(), 0);
+        assert!(table.deepest_occupied_row().is_none());
+        assert!(table.slot(0, 0).is_empty());
+        assert!(table.to_vec().is_empty());
+        assert!(table.entries_useful_for(NodeId::new(1)).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn slot_row_bounds_are_checked() {
+        let table: PrefixTable<u32> = PrefixTable::new(own(), geometry());
+        let _ = table.slot(16, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn slot_column_bounds_are_checked() {
+        let table: PrefixTable<u32> = PrefixTable::new(own(), geometry());
+        let _ = table.slot(0, 16);
+    }
+
+    #[test]
+    fn works_with_binary_digits() {
+        let geometry = TableGeometry::new(1, 1).unwrap();
+        let own = NodeId::new(0);
+        let mut table: PrefixTable<u32> = PrefixTable::new(own, geometry);
+        // With b = 1 every other node's slot column is always 1.
+        let descriptor = Descriptor::new(NodeId::new(u64::MAX), 1u32, 0);
+        assert!(table.insert(descriptor));
+        assert_eq!(table.slot(0, 1).len(), 1);
+        let deep = Descriptor::new(NodeId::new(1), 2u32, 0);
+        assert!(table.insert(deep));
+        assert_eq!(table.slot(63, 1).len(), 1);
+        assert_eq!(table.deepest_occupied_row(), Some(63));
+    }
+}

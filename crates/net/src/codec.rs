@@ -1,0 +1,228 @@
+//! Wire format for the UDP deployment.
+//!
+//! A datagram carries a message kind (request or response), the sender's own
+//! descriptor and a list of descriptors. Each descriptor is encoded as identifier
+//! (8 bytes), IPv4 address (4 bytes), port (2 bytes) and timestamp (8 bytes); a
+//! full message with the paper's parameters stays well under a kilobyte and a half,
+//! comfortably inside a single UDP datagram.
+
+use bss_util::descriptor::Descriptor;
+use bss_util::id::NodeId;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fmt;
+use std::net::{Ipv4Addr, SocketAddr, SocketAddrV4};
+
+/// Whether a datagram is the opening message of an exchange or the answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MessageKind {
+    /// Active-thread message (Fig. 2a line 5).
+    Request,
+    /// Passive-thread answer (Fig. 2b line 4).
+    Response,
+}
+
+/// A decoded protocol datagram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireMessage {
+    /// Request or response.
+    pub kind: MessageKind,
+    /// The sender's own descriptor (identifier + address + timestamp).
+    pub sender: Descriptor<SocketAddr>,
+    /// The descriptors carried by the message.
+    pub descriptors: Vec<Descriptor<SocketAddr>>,
+}
+
+/// Error returned when a datagram cannot be decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    message: String,
+}
+
+impl DecodeError {
+    fn new(message: impl Into<String>) -> Self {
+        DecodeError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed datagram: {}", self.message)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+const MAGIC: u8 = 0xB5;
+const VERSION: u8 = 1;
+
+/// Number of bytes one encoded descriptor occupies.
+pub const DESCRIPTOR_BYTES: usize = 8 + 4 + 2 + 8;
+
+/// Encodes a message into a datagram payload.
+///
+/// # Panics
+///
+/// Panics if any descriptor carries a non-IPv4 address (the localhost deployment
+/// only uses IPv4).
+pub fn encode(message: &WireMessage) -> Bytes {
+    let mut buffer =
+        BytesMut::with_capacity(4 + DESCRIPTOR_BYTES * (1 + message.descriptors.len()));
+    buffer.put_u8(MAGIC);
+    buffer.put_u8(VERSION);
+    buffer.put_u8(match message.kind {
+        MessageKind::Request => 0,
+        MessageKind::Response => 1,
+    });
+    buffer.put_u16(message.descriptors.len() as u16);
+    put_descriptor(&mut buffer, &message.sender);
+    for descriptor in &message.descriptors {
+        put_descriptor(&mut buffer, descriptor);
+    }
+    buffer.freeze()
+}
+
+/// Decodes a datagram payload.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] when the payload is truncated, has the wrong magic or
+/// version byte, or advertises a length that does not match the payload.
+pub fn decode(mut payload: &[u8]) -> Result<WireMessage, DecodeError> {
+    if payload.len() < 5 {
+        return Err(DecodeError::new("shorter than the fixed header"));
+    }
+    let magic = payload.get_u8();
+    if magic != MAGIC {
+        return Err(DecodeError::new(format!("bad magic byte {magic:#x}")));
+    }
+    let version = payload.get_u8();
+    if version != VERSION {
+        return Err(DecodeError::new(format!("unsupported version {version}")));
+    }
+    let kind = match payload.get_u8() {
+        0 => MessageKind::Request,
+        1 => MessageKind::Response,
+        other => return Err(DecodeError::new(format!("unknown message kind {other}"))),
+    };
+    let count = payload.get_u16() as usize;
+    let expected = DESCRIPTOR_BYTES * (count + 1);
+    if payload.remaining() != expected {
+        return Err(DecodeError::new(format!(
+            "expected {expected} descriptor bytes, found {}",
+            payload.remaining()
+        )));
+    }
+    let sender = get_descriptor(&mut payload);
+    let descriptors = (0..count).map(|_| get_descriptor(&mut payload)).collect();
+    Ok(WireMessage {
+        kind,
+        sender,
+        descriptors,
+    })
+}
+
+fn put_descriptor(buffer: &mut BytesMut, descriptor: &Descriptor<SocketAddr>) {
+    buffer.put_u64(descriptor.id().raw());
+    match descriptor.address() {
+        SocketAddr::V4(v4) => {
+            buffer.put_slice(&v4.ip().octets());
+            buffer.put_u16(v4.port());
+        }
+        SocketAddr::V6(_) => panic!("the UDP deployment only supports IPv4 addresses"),
+    }
+    buffer.put_u64(descriptor.timestamp());
+}
+
+fn get_descriptor(payload: &mut &[u8]) -> Descriptor<SocketAddr> {
+    let id = NodeId::new(payload.get_u64());
+    let mut octets = [0u8; 4];
+    payload.copy_to_slice(&mut octets);
+    let port = payload.get_u16();
+    let address = SocketAddr::V4(SocketAddrV4::new(Ipv4Addr::from(octets), port));
+    let timestamp = payload.get_u64();
+    Descriptor::new(id, address, timestamp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(port: u16) -> SocketAddr {
+        SocketAddr::V4(SocketAddrV4::new(Ipv4Addr::LOCALHOST, port))
+    }
+
+    fn descriptor(id: u64, port: u16, ts: u64) -> Descriptor<SocketAddr> {
+        Descriptor::new(NodeId::new(id), addr(port), ts)
+    }
+
+    #[test]
+    fn round_trip_preserves_every_field() {
+        let message = WireMessage {
+            kind: MessageKind::Request,
+            sender: descriptor(42, 9000, 7),
+            descriptors: vec![descriptor(1, 9001, 1), descriptor(u64::MAX, 65535, u64::MAX)],
+        };
+        let encoded = encode(&message);
+        let decoded = decode(&encoded).unwrap();
+        assert_eq!(decoded, message);
+    }
+
+    #[test]
+    fn round_trip_of_empty_and_response_messages() {
+        let message = WireMessage {
+            kind: MessageKind::Response,
+            sender: descriptor(3, 1234, 0),
+            descriptors: vec![],
+        };
+        let decoded = decode(&encode(&message)).unwrap();
+        assert_eq!(decoded.kind, MessageKind::Response);
+        assert!(decoded.descriptors.is_empty());
+    }
+
+    #[test]
+    fn encoded_size_matches_formula() {
+        let message = WireMessage {
+            kind: MessageKind::Request,
+            sender: descriptor(1, 1, 1),
+            descriptors: (0..10).map(|i| descriptor(i, 9000, 0)).collect(),
+        };
+        assert_eq!(encode(&message).len(), 5 + DESCRIPTOR_BYTES * 11);
+    }
+
+    #[test]
+    fn paper_sized_messages_fit_one_datagram() {
+        // c = 20 ring entries plus a generous 40 prefix-useful entries.
+        let message = WireMessage {
+            kind: MessageKind::Request,
+            sender: descriptor(1, 1, 1),
+            descriptors: (0..60).map(|i| descriptor(i, 9000, 0)).collect(),
+        };
+        assert!(encode(&message).len() < 1500, "must fit a typical MTU");
+    }
+
+    #[test]
+    fn truncated_and_corrupted_payloads_are_rejected() {
+        let message = WireMessage {
+            kind: MessageKind::Request,
+            sender: descriptor(1, 1, 1),
+            descriptors: vec![descriptor(2, 2, 2)],
+        };
+        let encoded = encode(&message);
+        assert!(decode(&encoded[..3]).is_err());
+        assert!(decode(&encoded[..encoded.len() - 1]).is_err());
+        let mut wrong_magic = encoded.to_vec();
+        wrong_magic[0] = 0x00;
+        assert!(decode(&wrong_magic).is_err());
+        let mut wrong_version = encoded.to_vec();
+        wrong_version[1] = 99;
+        assert!(decode(&wrong_version).is_err());
+        let mut wrong_kind = encoded.to_vec();
+        wrong_kind[2] = 7;
+        assert!(decode(&wrong_kind).is_err());
+        assert!(decode(&[]).is_err());
+        let error = decode(&encoded[..3]).unwrap_err();
+        assert!(error.to_string().contains("malformed"));
+    }
+}

@@ -1,0 +1,49 @@
+//! # bss-net — the bootstrapping service over real UDP sockets
+//!
+//! The paper designs the protocol for "a cheap, unreliable transport layer (UDP)"
+//! but evaluates it only in simulation. This crate runs the very same node-local
+//! logic ([`BootstrapNode`](bss_core::node::BootstrapNode), which is generic over
+//! the address type) on real sockets, so a localhost cluster can be bootstrapped
+//! end to end outside the simulator:
+//!
+//! * [`codec`] — a compact binary wire format for descriptor lists (identifier,
+//!   IPv4 address, port, timestamp), built on [`bytes`].
+//! * [`node`] — a peer: one UDP socket, one background thread running the active
+//!   thread of Fig. 2 on a timer and the passive thread on receipt.
+//! * [`cluster`] — spawns and supervises a set of peers on the loopback interface
+//!   and checks their convergence with the same
+//!   [`ConvergenceOracle`](bss_core::convergence::ConvergenceOracle) the simulator
+//!   uses.
+//!
+//! The deployment makes one simplification relative to the full architecture: the
+//! peer sampling service is represented by a static random contact list given to
+//! every peer at start-up (the paper's working assumption is that sampling is
+//! "already functional" when the bootstrap starts). Everything above that — message
+//! content, leaf-set and prefix-table updates, peer selection — is byte-for-byte the
+//! same code the simulator exercises.
+//!
+//! # Example
+//!
+//! ```rust,no_run
+//! use bss_net::cluster::{Cluster, ClusterConfig};
+//!
+//! let cluster = Cluster::spawn(ClusterConfig {
+//!     size: 16,
+//!     ..ClusterConfig::default()
+//! })
+//! .expect("sockets available");
+//! let converged = cluster.wait_for_convergence(std::time::Duration::from_secs(10));
+//! println!("converged: {converged}");
+//! cluster.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cluster;
+pub mod codec;
+pub mod node;
+
+pub use cluster::{Cluster, ClusterConfig};
+pub use node::{UdpPeer, UdpPeerConfig};

@@ -1,0 +1,298 @@
+//! A single UDP peer running the bootstrapping service.
+//!
+//! Each peer owns one UDP socket bound to the loopback interface and one
+//! background thread. The thread implements both threads of Fig. 2: on a periodic
+//! timer it selects a peer, composes a message and sends a request (active
+//! thread); whenever a request arrives it answers with its own message and applies
+//! the received one (passive thread); responses are simply applied. The node-local
+//! state is the very same [`BootstrapNode`] the simulator uses, instantiated with
+//! `SocketAddr` as the address type.
+
+use crate::codec::{decode, encode, MessageKind, WireMessage};
+use bss_core::node::BootstrapNode;
+use bss_util::config::BootstrapParams;
+use bss_util::descriptor::Descriptor;
+use bss_util::id::NodeId;
+use bss_util::rng::SimRng;
+use parking_lot::Mutex;
+use std::io;
+use std::net::{Ipv4Addr, SocketAddr, SocketAddrV4, UdpSocket};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Configuration of one UDP peer.
+#[derive(Debug, Clone)]
+pub struct UdpPeerConfig {
+    /// The peer's identifier.
+    pub id: NodeId,
+    /// Bootstrapping-service parameters. `cycle_millis` is the active-thread
+    /// period Δ.
+    pub params: BootstrapParams,
+    /// The static random contact list standing in for the peer sampling service.
+    pub contacts: Vec<Descriptor<SocketAddr>>,
+    /// Seed for the peer's local randomness (peer selection, sample choice).
+    pub seed: u64,
+}
+
+/// A running UDP peer.
+#[derive(Debug)]
+pub struct UdpPeer {
+    address: SocketAddr,
+    id: NodeId,
+    state: Arc<Mutex<BootstrapNode<SocketAddr>>>,
+    running: Arc<AtomicBool>,
+    exchanges: Arc<AtomicU64>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl UdpPeer {
+    /// Binds a socket on an ephemeral loopback port and starts the protocol
+    /// thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error raised while binding or configuring the socket.
+    pub fn spawn(config: UdpPeerConfig) -> io::Result<Self> {
+        let socket = UdpSocket::bind(SocketAddrV4::new(Ipv4Addr::LOCALHOST, 0))?;
+        socket.set_read_timeout(Some(Duration::from_millis(10)))?;
+        let address = socket.local_addr()?;
+
+        let own = Descriptor::new(config.id, address, 0);
+        let mut node = BootstrapNode::new(own, &config.params)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+        node.initialize(config.contacts.iter().copied());
+
+        let state = Arc::new(Mutex::new(node));
+        let running = Arc::new(AtomicBool::new(true));
+        let exchanges = Arc::new(AtomicU64::new(0));
+
+        let thread_state = Arc::clone(&state);
+        let thread_running = Arc::clone(&running);
+        let thread_exchanges = Arc::clone(&exchanges);
+        let contacts = config.contacts;
+        let params = config.params;
+        let seed = config.seed;
+        let handle = std::thread::Builder::new()
+            .name(format!("bss-peer-{}", config.id))
+            .spawn(move || {
+                peer_loop(
+                    socket,
+                    thread_state,
+                    thread_running,
+                    thread_exchanges,
+                    contacts,
+                    params,
+                    seed,
+                );
+            })?;
+
+        Ok(UdpPeer {
+            address,
+            id: config.id,
+            state,
+            running,
+            exchanges,
+            handle: Some(handle),
+        })
+    }
+
+    /// The peer's socket address.
+    pub fn address(&self) -> SocketAddr {
+        self.address
+    }
+
+    /// The peer's identifier.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The peer's descriptor (timestamp zero).
+    pub fn descriptor(&self) -> Descriptor<SocketAddr> {
+        Descriptor::new(self.id, self.address, 0)
+    }
+
+    /// Number of exchanges the peer has initiated so far.
+    pub fn exchanges_initiated(&self) -> u64 {
+        self.exchanges.load(Ordering::Relaxed)
+    }
+
+    /// A snapshot of the peer's current protocol state.
+    pub fn state_snapshot(&self) -> BootstrapNode<SocketAddr> {
+        self.state.lock().clone()
+    }
+
+    /// Asks the protocol thread to stop and waits for it to exit.
+    pub fn shutdown(mut self) {
+        self.running.store(false, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for UdpPeer {
+    fn drop(&mut self) {
+        self.running.store(false, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn peer_loop(
+    socket: UdpSocket,
+    state: Arc<Mutex<BootstrapNode<SocketAddr>>>,
+    running: Arc<AtomicBool>,
+    exchanges: Arc<AtomicU64>,
+    contacts: Vec<Descriptor<SocketAddr>>,
+    params: BootstrapParams,
+    seed: u64,
+) {
+    let mut rng = SimRng::seed_from(seed);
+    let period = Duration::from_millis(params.cycle_millis.max(10));
+    // Desynchronise the peers' periodic timers, like the random start phase in §5.
+    let mut next_active = Instant::now() + period.mul_f64(rng.unit_f64());
+    let mut buffer = [0u8; 65_536];
+    let started = Instant::now();
+
+    while running.load(Ordering::Relaxed) {
+        // Passive thread: serve whatever arrives until the next active deadline.
+        match socket.recv_from(&mut buffer) {
+            Ok((length, from)) => {
+                if let Ok(message) = decode(&buffer[..length]) {
+                    handle_datagram(&socket, &state, &params, &mut rng, message, from, &started);
+                }
+            }
+            Err(error)
+                if error.kind() == io::ErrorKind::WouldBlock
+                    || error.kind() == io::ErrorKind::TimedOut => {}
+            Err(_) => {}
+        }
+
+        // Active thread: every Δ, select a peer and send it a request.
+        if Instant::now() >= next_active {
+            next_active += period;
+            exchanges.fetch_add(1, Ordering::Relaxed);
+            let now = started.elapsed().as_millis() as u64;
+            let (target, payload) = {
+                let mut node = state.lock();
+                let Some(peer) = node.select_peer(&mut rng) else {
+                    continue;
+                };
+                let samples = rng.sample(&contacts, params.random_samples.min(contacts.len()));
+                let descriptors = node.create_message(peer.id(), &samples, true);
+                let message = WireMessage {
+                    kind: MessageKind::Request,
+                    sender: node.own_descriptor().refreshed(now),
+                    descriptors,
+                };
+                (peer.address(), encode(&message))
+            };
+            let _ = socket.send_to(&payload, target);
+        }
+    }
+}
+
+fn handle_datagram(
+    socket: &UdpSocket,
+    state: &Arc<Mutex<BootstrapNode<SocketAddr>>>,
+    params: &BootstrapParams,
+    rng: &mut SimRng,
+    message: WireMessage,
+    from: SocketAddr,
+    started: &Instant,
+) {
+    let now = started.elapsed().as_millis() as u64;
+    let mut node = state.lock();
+    match message.kind {
+        MessageKind::Request => {
+            // Compose the answer before applying the request (Fig. 2b), then apply.
+            let samples = rng.sample(&message.descriptors, params.random_samples.min(8));
+            let answer_descriptors = node.create_message(message.sender.id(), &samples, false);
+            let answer = WireMessage {
+                kind: MessageKind::Response,
+                sender: node.own_descriptor().refreshed(now),
+                descriptors: answer_descriptors,
+            };
+            let mut received = message.descriptors;
+            received.push(message.sender);
+            node.receive(&received);
+            drop(node);
+            let _ = socket.send_to(&encode(&answer), from);
+        }
+        MessageKind::Response => {
+            let mut received = message.descriptors;
+            received.push(message.sender);
+            node.receive(&received);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> BootstrapParams {
+        BootstrapParams {
+            leaf_set_size: 4,
+            random_samples: 4,
+            cycle_millis: 30,
+            ..BootstrapParams::paper_default()
+        }
+    }
+
+    #[test]
+    fn a_pair_of_peers_learns_about_each_other() {
+        let first = UdpPeer::spawn(UdpPeerConfig {
+            id: NodeId::new(0x1111_0000_0000_0000),
+            params: params(),
+            contacts: vec![],
+            seed: 1,
+        })
+        .expect("bind first peer");
+        let second = UdpPeer::spawn(UdpPeerConfig {
+            id: NodeId::new(0x9999_0000_0000_0000),
+            params: params(),
+            contacts: vec![first.descriptor()],
+            seed: 2,
+        })
+        .expect("bind second peer");
+
+        // Within a few active periods the second peer must have contacted the
+        // first, and both must list each other in their leaf sets.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let mut linked = false;
+        while Instant::now() < deadline {
+            let first_knows = first.state_snapshot().leaf_set().contains(second.id());
+            let second_knows = second.state_snapshot().leaf_set().contains(first.id());
+            if first_knows && second_knows {
+                linked = true;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        assert!(linked, "peers never learned about each other");
+        assert!(second.exchanges_initiated() > 0);
+        assert_ne!(first.address(), second.address());
+        first.shutdown();
+        second.shutdown();
+    }
+
+    #[test]
+    fn peer_exposes_descriptor_and_id() {
+        let peer = UdpPeer::spawn(UdpPeerConfig {
+            id: NodeId::new(7),
+            params: params(),
+            contacts: vec![],
+            seed: 3,
+        })
+        .expect("bind peer");
+        assert_eq!(peer.descriptor().id(), NodeId::new(7));
+        assert_eq!(peer.descriptor().address(), peer.address());
+        assert_eq!(peer.id(), NodeId::new(7));
+        peer.shutdown();
+    }
+}

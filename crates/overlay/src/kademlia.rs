@@ -1,0 +1,147 @@
+//! Kademlia-style XOR routing over bootstrapped tables.
+//!
+//! Kademlia keeps, for every bit position at which a contact's identifier diverges
+//! from the local one, a bucket of contacts. A prefix table with digit width `b`
+//! is a coarser-grained view of the same structure (one row covers `b` bit
+//! positions, one column per digit value), so the tables produced by the
+//! bootstrapping service can seed a Kademlia node directly. The router below
+//! performs greedy XOR-metric descent: at every step it forwards to the known
+//! contact whose identifier is XOR-closest to the target, which on a converged
+//! population reaches the target in `O(log_{2^b} N)` hops.
+
+use bss_core::experiment::PopulationSnapshot;
+use bss_core::node::BootstrapNode;
+use bss_sim::network::NodeIndex;
+use bss_util::id::NodeId;
+
+use crate::pastry::RouteOutcome;
+
+/// A greedy XOR-metric router over a bootstrapped population.
+#[derive(Debug, Clone)]
+pub struct KademliaRouter<'a> {
+    population: &'a PopulationSnapshot,
+    max_hops: usize,
+}
+
+impl<'a> KademliaRouter<'a> {
+    /// Creates a router with a default hop budget of 64.
+    pub fn new(population: &'a PopulationSnapshot) -> Self {
+        KademliaRouter {
+            population,
+            max_hops: 64,
+        }
+    }
+
+    /// Overrides the hop budget (builder style).
+    #[must_use]
+    pub fn with_max_hops(mut self, max_hops: usize) -> Self {
+        self.max_hops = max_hops.max(1);
+        self
+    }
+
+    /// Routes a lookup for `target` starting at `source`, hopping to the
+    /// XOR-closest known contact at every step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is not part of the population.
+    pub fn route(&self, source: NodeId, target: NodeId) -> RouteOutcome {
+        let mut current = self
+            .population
+            .node_by_id(source)
+            .expect("source node must be part of the population");
+        let mut path = vec![current.id()];
+        for _ in 0..self.max_hops {
+            if current.id() == target {
+                return RouteOutcome::Delivered(path);
+            }
+            match xor_next_hop(current, target) {
+                Some(next) => {
+                    path.push(next);
+                    match self.population.node_by_id(next) {
+                        Some(node) => current = node,
+                        None => return RouteOutcome::Stuck { path },
+                    }
+                }
+                None => return RouteOutcome::Stuck { path },
+            }
+        }
+        RouteOutcome::HopLimit { path }
+    }
+}
+
+/// The known contact of `node` that is XOR-closest to `target`, provided it is
+/// strictly closer than `node` itself.
+pub fn xor_next_hop(node: &BootstrapNode<NodeIndex>, target: NodeId) -> Option<NodeId> {
+    let own_distance = node.id().xor_distance(target);
+    node.leaf_set()
+        .iter()
+        .chain(node.prefix_table().iter())
+        .map(|d| d.id())
+        .filter(|candidate| candidate.xor_distance(target) < own_distance)
+        .min_by_key(|candidate| candidate.xor_distance(target))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bss_core::experiment::{Experiment, ExperimentConfig};
+    use bss_util::rng::SimRng;
+
+    fn snapshot(size: usize, seed: u64) -> PopulationSnapshot {
+        let config = ExperimentConfig::builder()
+            .network_size(size)
+            .seed(seed)
+            .max_cycles(80)
+            .build()
+            .unwrap();
+        let (outcome, snapshot) = Experiment::new(config).run_with_snapshot();
+        assert!(outcome.converged());
+        snapshot
+    }
+
+    #[test]
+    fn xor_routing_delivers_on_a_converged_network() {
+        let population = snapshot(128, 11);
+        let router = KademliaRouter::new(&population);
+        let ids: Vec<NodeId> = population.ids().collect();
+        let mut rng = SimRng::seed_from(5);
+        let mut hops = Vec::new();
+        for _ in 0..300 {
+            let source = ids[rng.index(ids.len())];
+            let target = ids[rng.index(ids.len())];
+            let outcome = router.route(source, target);
+            assert!(outcome.is_delivered(), "{source} -> {target}: {outcome:?}");
+            hops.push(outcome.hops() as f64);
+        }
+        let mean = hops.iter().sum::<f64>() / hops.len() as f64;
+        assert!(mean < 6.0, "mean XOR hops {mean}");
+    }
+
+    #[test]
+    fn xor_descent_is_monotone() {
+        let population = snapshot(64, 12);
+        let ids: Vec<NodeId> = population.ids().collect();
+        for &source in ids.iter().take(20) {
+            for &target in ids.iter().skip(40).take(20) {
+                if source == target {
+                    continue;
+                }
+                let node = population.node_by_id(source).unwrap();
+                if let Some(next) = xor_next_hop(node, target) {
+                    assert!(next.xor_distance(target) < source.xor_distance(target));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn self_lookup_is_immediate_and_budget_is_respected() {
+        let population = snapshot(32, 13);
+        let router = KademliaRouter::new(&population).with_max_hops(2);
+        let id = population.node_at(0).unwrap().id();
+        let outcome = router.route(id, id);
+        assert!(outcome.is_delivered());
+        assert_eq!(outcome.hops(), 0);
+    }
+}

@@ -1,0 +1,245 @@
+//! Pastry-style greedy prefix routing over bootstrapped tables.
+//!
+//! Pastry routes a message for key `t` as follows: if `t` falls within the range of
+//! the local leaf set, deliver to the numerically closest leaf-set member;
+//! otherwise forward to the prefix-table entry whose identifier shares a longer
+//! prefix with `t` than the local identifier does; failing that, forward to any
+//! known node that is strictly closer to `t`. The router here implements exactly
+//! that over the [`PopulationSnapshot`] produced by a bootstrap run, which is how
+//! the reproduction validates that the constructed tables really do support the
+//! substrates the paper targets.
+
+use bss_core::experiment::PopulationSnapshot;
+use bss_core::node::BootstrapNode;
+use bss_sim::network::NodeIndex;
+use bss_util::id::NodeId;
+
+/// The result of routing one lookup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RouteOutcome {
+    /// The lookup reached its destination; the payload is the path of node
+    /// identifiers, starting at the source and ending at the destination.
+    Delivered(Vec<NodeId>),
+    /// Routing stopped at a node with no better next hop.
+    Stuck {
+        /// The path traversed before getting stuck.
+        path: Vec<NodeId>,
+    },
+    /// The hop budget was exhausted.
+    HopLimit {
+        /// The path traversed before giving up.
+        path: Vec<NodeId>,
+    },
+}
+
+impl RouteOutcome {
+    /// Whether the lookup reached its destination.
+    pub fn is_delivered(&self) -> bool {
+        matches!(self, RouteOutcome::Delivered(_))
+    }
+
+    /// Number of hops taken (path length minus one); zero for an empty path.
+    pub fn hops(&self) -> usize {
+        let path = match self {
+            RouteOutcome::Delivered(path)
+            | RouteOutcome::Stuck { path }
+            | RouteOutcome::HopLimit { path } => path,
+        };
+        path.len().saturating_sub(1)
+    }
+}
+
+/// A greedy prefix router over a bootstrapped population.
+#[derive(Debug, Clone)]
+pub struct PastryRouter<'a> {
+    population: &'a PopulationSnapshot,
+    max_hops: usize,
+}
+
+impl<'a> PastryRouter<'a> {
+    /// Creates a router with a default hop budget of 64.
+    pub fn new(population: &'a PopulationSnapshot) -> Self {
+        PastryRouter {
+            population,
+            max_hops: 64,
+        }
+    }
+
+    /// Overrides the hop budget (builder style).
+    #[must_use]
+    pub fn with_max_hops(mut self, max_hops: usize) -> Self {
+        self.max_hops = max_hops.max(1);
+        self
+    }
+
+    /// Routes a lookup for the node `target` starting at the node `source`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is not part of the population.
+    pub fn route(&self, source: NodeId, target: NodeId) -> RouteOutcome {
+        let mut current = self
+            .population
+            .node_by_id(source)
+            .expect("source node must be part of the population");
+        let mut path = vec![current.id()];
+        for _ in 0..self.max_hops {
+            if current.id() == target {
+                return RouteOutcome::Delivered(path);
+            }
+            match next_hop(current, target) {
+                Some(next) if next != current.id() => {
+                    path.push(next);
+                    match self.population.node_by_id(next) {
+                        Some(node) => current = node,
+                        // A stale entry pointing outside the live population: the
+                        // message is lost at that hop.
+                        None => return RouteOutcome::Stuck { path },
+                    }
+                }
+                _ => return RouteOutcome::Stuck { path },
+            }
+        }
+        RouteOutcome::HopLimit { path }
+    }
+}
+
+/// Chooses the next hop from `node` towards `target` following Pastry's rules.
+/// Returns `None` when no known contact is strictly closer to the target than the
+/// node itself.
+pub fn next_hop(node: &BootstrapNode<NodeIndex>, target: NodeId) -> Option<NodeId> {
+    let own = node.id();
+    if own == target {
+        return None;
+    }
+    let bits = node.geometry().bits_per_digit();
+
+    // Rule 1: the exact target is already a known contact.
+    if node.leaf_set().contains(target) || node.prefix_table().contains(target) {
+        return Some(target);
+    }
+
+    // Rule 2: the slot the target belongs to holds an entry sharing a strictly
+    // longer prefix with the target than we do.
+    let own_prefix = own.common_prefix_len(target, bits);
+    let row = own_prefix;
+    let column = target.digit(row, bits);
+    if let Some(entry) = node.prefix_table().slot(row, column).first() {
+        return Some(entry.id());
+    }
+
+    // Rule 3 (the "rare case" in Pastry): any known contact that is strictly
+    // closer to the target than the current node — longer shared prefix, or equal
+    // prefix but numerically closer on the ring.
+    let own_distance = own.ring_distance(target);
+    node.leaf_set()
+        .iter()
+        .chain(node.prefix_table().iter())
+        .filter(|d| {
+            let prefix = d.id().common_prefix_len(target, bits);
+            prefix > own_prefix
+                || (prefix == own_prefix && d.id().ring_distance(target) < own_distance)
+        })
+        .min_by_key(|d| (usize::MAX - d.id().common_prefix_len(target, bits), d.id().ring_distance(target)))
+        .map(|d| d.id())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bss_core::experiment::{Experiment, ExperimentConfig};
+    use bss_util::rng::SimRng;
+
+    fn snapshot(size: usize, seed: u64) -> PopulationSnapshot {
+        let config = ExperimentConfig::builder()
+            .network_size(size)
+            .seed(seed)
+            .max_cycles(80)
+            .build()
+            .unwrap();
+        let (outcome, snapshot) = Experiment::new(config).run_with_snapshot();
+        assert!(outcome.converged(), "bootstrap must converge for routing tests");
+        snapshot
+    }
+
+    #[test]
+    fn every_lookup_is_delivered_on_a_converged_network() {
+        let population = snapshot(128, 1);
+        let router = PastryRouter::new(&population);
+        let ids: Vec<NodeId> = population.ids().collect();
+        let mut rng = SimRng::seed_from(99);
+        let mut total_hops = 0usize;
+        let lookups = 300;
+        for _ in 0..lookups {
+            let source = ids[rng.index(ids.len())];
+            let target = ids[rng.index(ids.len())];
+            let outcome = router.route(source, target);
+            assert!(outcome.is_delivered(), "lookup {source} -> {target} failed: {outcome:?}");
+            total_hops += outcome.hops();
+        }
+        let mean_hops = total_hops as f64 / lookups as f64;
+        // log_16(128) < 2, plus leaf-set shortcuts: well under 5 hops on average.
+        assert!(mean_hops < 5.0, "mean hops {mean_hops}");
+    }
+
+    #[test]
+    fn self_lookup_takes_zero_hops() {
+        let population = snapshot(32, 2);
+        let router = PastryRouter::new(&population);
+        let id = population.node_at(0).unwrap().id();
+        let outcome = router.route(id, id);
+        assert!(outcome.is_delivered());
+        assert_eq!(outcome.hops(), 0);
+    }
+
+    #[test]
+    fn hop_budget_is_enforced() {
+        let population = snapshot(64, 3);
+        let router = PastryRouter::new(&population).with_max_hops(1);
+        let ids: Vec<NodeId> = population.ids().collect();
+        // With a single allowed hop some far lookup will hit the limit.
+        let mut limited = false;
+        for (i, &source) in ids.iter().enumerate() {
+            let target = ids[(i + ids.len() / 2) % ids.len()];
+            let outcome = router.route(source, target);
+            if matches!(outcome, RouteOutcome::HopLimit { .. }) {
+                limited = true;
+                break;
+            }
+        }
+        assert!(limited, "a one-hop budget should not reach every target");
+    }
+
+    #[test]
+    #[should_panic(expected = "source node")]
+    fn unknown_source_is_rejected() {
+        let population = snapshot(16, 4);
+        let router = PastryRouter::new(&population);
+        let _ = router.route(NodeId::new(123), NodeId::new(456));
+    }
+
+    #[test]
+    fn next_hop_makes_progress_in_prefix_or_distance() {
+        let population = snapshot(64, 5);
+        let ids: Vec<NodeId> = population.ids().collect();
+        let bits = 4;
+        for &source in ids.iter().take(16) {
+            for &target in ids.iter().rev().take(16) {
+                if source == target {
+                    continue;
+                }
+                let node = population.node_by_id(source).unwrap();
+                let next = next_hop(node, target).expect("converged node finds a hop");
+                let own_prefix = source.common_prefix_len(target, bits);
+                let next_prefix = next.common_prefix_len(target, bits);
+                assert!(
+                    next == target
+                        || next_prefix > own_prefix
+                        || (next_prefix == own_prefix
+                            && next.ring_distance(target) < source.ring_distance(target)),
+                    "hop from {source} towards {target} via {next} makes no progress"
+                );
+            }
+        }
+    }
+}

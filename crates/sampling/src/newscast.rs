@@ -1,0 +1,424 @@
+//! The NEWSCAST peer sampling protocol (paper §3).
+//!
+//! Every node keeps a small cache (*partial view*) of node descriptors, each
+//! carrying a freshness timestamp. Periodically a node picks a random member of its
+//! cache, the two exchange caches (each adding a freshly timestamped descriptor of
+//! itself), and both keep only the freshest `view_size` entries. The emergent
+//! overlay is close to a random graph, so picking random cache entries approximates
+//! uniform peer sampling — even shortly after massive joins, departures or
+//! catastrophic failures, which is exactly the property the bootstrapping service
+//! builds on.
+
+use crate::sampler::PeerSampler;
+use bss_sim::engine::cycle::{CycleProtocol, EngineContext};
+use bss_sim::network::NodeIndex;
+use bss_util::config::NewscastParams;
+use bss_util::descriptor::{dedup_freshest, Descriptor};
+use bss_util::id::NodeId;
+
+/// One node's NEWSCAST cache.
+type View = Vec<Descriptor<NodeIndex>>;
+
+/// The NEWSCAST protocol state for every node in a simulation.
+///
+/// The type implements both [`CycleProtocol`] (so it can be driven directly by the
+/// cycle engine) and [`PeerSampler`] (so the bootstrapping service can draw its
+/// `cr` random samples from it).
+#[derive(Debug)]
+pub struct NewscastProtocol {
+    params: NewscastParams,
+    views: Vec<Option<View>>,
+    exchanges: u64,
+    failed_exchanges: u64,
+}
+
+impl NewscastProtocol {
+    /// Creates the protocol with the given parameters and no initialised nodes.
+    pub fn new(params: NewscastParams) -> Self {
+        NewscastProtocol {
+            params,
+            views: Vec::new(),
+            exchanges: 0,
+            failed_exchanges: 0,
+        }
+    }
+
+    /// The protocol parameters.
+    pub fn params(&self) -> &NewscastParams {
+        &self.params
+    }
+
+    /// Number of attempted cache exchanges so far.
+    pub fn exchanges(&self) -> u64 {
+        self.exchanges
+    }
+
+    /// Number of exchanges whose request was lost by the transport.
+    pub fn failed_exchanges(&self) -> u64 {
+        self.failed_exchanges
+    }
+
+    /// The current view of `node`, if the node has been initialised.
+    pub fn view(&self, node: NodeIndex) -> Option<&[Descriptor<NodeIndex>]> {
+        self.views
+            .get(node.as_usize())
+            .and_then(|v| v.as_deref())
+    }
+
+    /// Initialises `node` with an explicit seed view (self-entries are removed and
+    /// the view is truncated to the configured size).
+    pub fn init_node_with(
+        &mut self,
+        node: NodeIndex,
+        seeds: Vec<Descriptor<NodeIndex>>,
+        ctx: &mut EngineContext,
+    ) {
+        let own_id = ctx.network.id(node);
+        let mut view = seeds;
+        Self::normalise(&mut view, own_id, self.params.view_size);
+        self.slot_mut(node).replace(view);
+    }
+
+    /// Number of nodes currently holding a view.
+    pub fn initialised_nodes(&self) -> usize {
+        self.views.iter().filter(|v| v.is_some()).count()
+    }
+
+    fn slot_mut(&mut self, node: NodeIndex) -> &mut Option<View> {
+        if node.as_usize() >= self.views.len() {
+            self.views.resize_with(node.as_usize() + 1, || None);
+        }
+        &mut self.views[node.as_usize()]
+    }
+
+    /// Canonicalises a view: removes descriptors of `own_id`, keeps the freshest
+    /// descriptor per identifier, sorts freshest-first (ties broken by identifier)
+    /// and truncates to `capacity`.
+    fn normalise(view: &mut View, own_id: NodeId, capacity: usize) {
+        view.retain(|d| d.id() != own_id);
+        dedup_freshest(view);
+        view.sort_by(|a, b| {
+            b.timestamp()
+                .cmp(&a.timestamp())
+                .then_with(|| a.id().cmp(&b.id()))
+        });
+        view.truncate(capacity);
+    }
+
+    /// Performs the merge step at one participant: current view ∪ received
+    /// descriptors, normalised.
+    fn merge_into(
+        view: &mut View,
+        received: &[Descriptor<NodeIndex>],
+        own_id: NodeId,
+        capacity: usize,
+    ) {
+        view.extend_from_slice(received);
+        Self::normalise(view, own_id, capacity);
+    }
+
+    /// One active NEWSCAST exchange initiated by `node` at cycle `cycle`.
+    fn exchange(&mut self, node: NodeIndex, cycle: u64, ctx: &mut EngineContext) {
+        self.exchanges += 1;
+        let own_id = ctx.network.id(node);
+        let capacity = self.params.view_size;
+
+        // Select a random peer from the local view.
+        let peer = {
+            let view = match self.view(node) {
+                Some(v) if !v.is_empty() => v,
+                _ => {
+                    self.failed_exchanges += 1;
+                    return;
+                }
+            };
+            view[ctx.rng.index(view.len())].address()
+        };
+
+        // Request: own fresh descriptor + current view.
+        if !ctx.deliver(node, peer) {
+            self.failed_exchanges += 1;
+            return;
+        }
+        let mut request: View = vec![ctx.network.descriptor(node, cycle)];
+        request.extend_from_slice(self.view(node).unwrap_or(&[]));
+
+        // A departed peer cannot reply (its descriptor will age out of views).
+        if !ctx.network.is_alive(peer) {
+            self.failed_exchanges += 1;
+            return;
+        }
+
+        // Response: the peer's own fresh descriptor + its pre-merge view.
+        let mut response: View = vec![ctx.network.descriptor(peer, cycle)];
+        response.extend_from_slice(self.view(peer).unwrap_or(&[]));
+        let response_delivered = ctx.deliver(peer, node);
+
+        // The peer merges the request.
+        let peer_id = ctx.network.id(peer);
+        if let Some(view) = self.slot_mut(peer).as_mut() {
+            Self::merge_into(view, &request, peer_id, capacity);
+        } else {
+            let mut view = Vec::new();
+            Self::merge_into(&mut view, &request, peer_id, capacity);
+            self.slot_mut(peer).replace(view);
+        }
+
+        // The initiator merges the response, if it arrives.
+        if response_delivered {
+            if let Some(view) = self.slot_mut(node).as_mut() {
+                Self::merge_into(view, &response, own_id, capacity);
+            }
+        }
+    }
+}
+
+impl CycleProtocol for NewscastProtocol {
+    fn execute_node(&mut self, node: NodeIndex, cycle: u64, ctx: &mut EngineContext) {
+        self.exchange(node, cycle, ctx);
+    }
+
+    fn node_joined(&mut self, node: NodeIndex, cycle: u64, ctx: &mut EngineContext) {
+        // A joiner knows a single existing contact (plus nothing else); NEWSCAST
+        // spreads knowledge of it from there.
+        let contact = ctx.network.random_alive(&mut ctx.rng).filter(|&c| c != node);
+        let seeds = contact
+            .map(|c| vec![ctx.network.descriptor(c, cycle)])
+            .unwrap_or_default();
+        self.init_node_with(node, seeds, ctx);
+    }
+
+    fn node_departed(&mut self, node: NodeIndex, _cycle: u64, ctx: &mut EngineContext) {
+        let _ = ctx;
+        if let Some(slot) = self.views.get_mut(node.as_usize()) {
+            *slot = None;
+        }
+    }
+}
+
+impl PeerSampler for NewscastProtocol {
+    fn init_node(&mut self, node: NodeIndex, ctx: &mut EngineContext) {
+        // The standard starting condition: a view seeded with random alive peers.
+        // Section 3 notes that NEWSCAST quickly randomises the views even when the
+        // initial caches are heavily skewed, so the exact seeding barely matters.
+        let view_size = self.params.view_size;
+        let alive: Vec<NodeIndex> = ctx
+            .network
+            .alive_indices()
+            .filter(|&candidate| candidate != node)
+            .collect();
+        let picked = ctx.rng.sample(&alive, view_size.min(alive.len()));
+        let seeds = picked
+            .into_iter()
+            .map(|peer| ctx.network.descriptor(peer, 0))
+            .collect();
+        self.init_node_with(node, seeds, ctx);
+    }
+
+    fn node_departed(&mut self, node: NodeIndex, ctx: &mut EngineContext) {
+        CycleProtocol::node_departed(self, node, 0, ctx);
+    }
+
+    fn step(&mut self, node: NodeIndex, cycle: u64, ctx: &mut EngineContext) {
+        self.exchange(node, cycle, ctx);
+    }
+
+    fn sample(
+        &mut self,
+        node: NodeIndex,
+        count: usize,
+        _cycle: u64,
+        ctx: &mut EngineContext,
+    ) -> Vec<Descriptor<NodeIndex>> {
+        let view = match self.view(node) {
+            Some(v) => v.to_vec(),
+            None => return Vec::new(),
+        };
+        ctx.rng.sample(&view, count.min(view.len()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bss_sim::engine::cycle::CycleEngine;
+    use bss_sim::network::Network;
+    use bss_sim::transport::DropTransport;
+    use bss_util::rng::SimRng;
+
+    fn engine(size: usize, seed: u64) -> CycleEngine {
+        let mut rng = SimRng::seed_from(seed);
+        let network = Network::with_random_ids(size, &mut rng);
+        CycleEngine::new(network, rng)
+    }
+
+    fn run_newscast(size: usize, cycles: u64, seed: u64) -> (NewscastProtocol, CycleEngine) {
+        let mut eng = engine(size, seed);
+        let mut protocol = NewscastProtocol::new(NewscastParams {
+            view_size: 20,
+            period_millis: 1000,
+        });
+        protocol.init_all(eng.context_mut());
+        eng.run(&mut protocol, cycles);
+        (protocol, eng)
+    }
+
+    #[test]
+    fn views_stay_within_capacity_and_never_contain_self() {
+        let (protocol, eng) = run_newscast(100, 15, 1);
+        for node in eng.context().network.all_indices() {
+            let view = protocol.view(node).expect("every node initialised");
+            assert!(view.len() <= 20);
+            assert!(!view.is_empty());
+            let own_id = eng.context().network.id(node);
+            assert!(view.iter().all(|d| d.id() != own_id), "view contains self");
+            let unique: std::collections::HashSet<_> = view.iter().map(|d| d.id()).collect();
+            assert_eq!(unique.len(), view.len(), "view contains duplicates");
+        }
+    }
+
+    #[test]
+    fn timestamps_become_fresh_over_time() {
+        let (protocol, eng) = run_newscast(100, 30, 2);
+        let mut stale = 0usize;
+        let mut total = 0usize;
+        for node in eng.context().network.all_indices() {
+            for d in protocol.view(node).unwrap() {
+                total += 1;
+                if d.timestamp() + 10 < 30 {
+                    stale += 1;
+                }
+            }
+        }
+        let stale_fraction = stale as f64 / total as f64;
+        assert!(
+            stale_fraction < 0.05,
+            "most descriptors should be recent, stale fraction {stale_fraction}"
+        );
+    }
+
+    #[test]
+    fn sampling_returns_distinct_live_descriptors() {
+        let (mut protocol, mut eng) = run_newscast(200, 20, 3);
+        let samples = protocol.sample(NodeIndex::new(5), 10, 20, eng.context_mut());
+        assert_eq!(samples.len(), 10);
+        let unique: std::collections::HashSet<_> = samples.iter().map(|d| d.id()).collect();
+        assert_eq!(unique.len(), 10);
+        // An uninitialised node yields nothing.
+        let mut fresh = NewscastProtocol::new(NewscastParams::paper_default());
+        assert!(fresh
+            .sample(NodeIndex::new(0), 5, 0, eng.context_mut())
+            .is_empty());
+    }
+
+    #[test]
+    fn exchange_counters_track_failures_under_loss() {
+        let mut rng = SimRng::seed_from(4);
+        let network = Network::with_random_ids(100, &mut rng);
+        let mut eng =
+            CycleEngine::new(network, rng).with_transport(Box::new(DropTransport::new(0.5)));
+        let mut protocol = NewscastProtocol::new(NewscastParams::paper_default());
+        protocol.init_all(eng.context_mut());
+        eng.run(&mut protocol, 10);
+        assert_eq!(protocol.exchanges(), 1000);
+        let failure_rate = protocol.failed_exchanges() as f64 / protocol.exchanges() as f64;
+        assert!(
+            (failure_rate - 0.5).abs() < 0.1,
+            "roughly half of the requests should be lost, got {failure_rate}"
+        );
+        // Views still function.
+        assert!(protocol.view(NodeIndex::new(0)).is_some());
+    }
+
+    #[test]
+    fn joiners_are_absorbed_and_leavers_forgotten() {
+        use bss_sim::churn::UniformChurn;
+        let mut rng = SimRng::seed_from(5);
+        let network = Network::with_random_ids(100, &mut rng);
+        let mut eng = CycleEngine::new(network, rng).with_churn(Box::new(UniformChurn::new(0.05)));
+        let mut protocol = NewscastProtocol::new(NewscastParams::paper_default());
+        protocol.init_all(eng.context_mut());
+        eng.run(&mut protocol, 30);
+        // All alive nodes have views; dead nodes have none.
+        for node in eng.context().network.all_indices() {
+            if eng.context().network.is_alive(node) {
+                assert!(protocol.view(node).is_some(), "alive node {node} lost its view");
+            } else {
+                assert!(protocol.view(node).is_none(), "dead node {node} kept a view");
+            }
+        }
+        // Stale descriptors (pointing at dead nodes) are rare after enough cycles.
+        let network = &eng.context().network;
+        let mut dead_pointers = 0usize;
+        let mut total = 0usize;
+        for node in network.alive_indices() {
+            for d in protocol.view(node).unwrap() {
+                total += 1;
+                if !network.is_alive(d.address()) {
+                    dead_pointers += 1;
+                }
+            }
+        }
+        let dead_fraction = dead_pointers as f64 / total as f64;
+        assert!(
+            dead_fraction < 0.25,
+            "aging should purge most dead descriptors, got {dead_fraction}"
+        );
+    }
+
+    #[test]
+    fn init_node_with_respects_capacity_and_self_exclusion() {
+        let mut eng = engine(10, 6);
+        let mut protocol = NewscastProtocol::new(NewscastParams {
+            view_size: 3,
+            period_millis: 1000,
+        });
+        let own = eng.context().network.descriptor(NodeIndex::new(0), 0);
+        let seeds: Vec<_> = (0..10u32)
+            .map(|i| eng.context().network.descriptor(NodeIndex::new(i), u64::from(i)))
+            .chain(std::iter::once(own))
+            .collect();
+        protocol.init_node_with(NodeIndex::new(0), seeds, eng.context_mut());
+        let view = protocol.view(NodeIndex::new(0)).unwrap();
+        assert_eq!(view.len(), 3);
+        assert!(view.iter().all(|d| d.address() != NodeIndex::new(0)));
+        // Freshest first.
+        assert!(view[0].timestamp() >= view[1].timestamp());
+        assert_eq!(protocol.initialised_nodes(), 1);
+    }
+
+    #[test]
+    fn skewed_initialisation_randomises_quickly() {
+        // Start every node with the *same* single contact (node 0) — the worst
+        // case mentioned in §3 — and verify the views spread out.
+        let mut eng = engine(200, 7);
+        let mut protocol = NewscastProtocol::new(NewscastParams::paper_default());
+        let contact = eng.context().network.descriptor(NodeIndex::new(0), 0);
+        for node in eng.context().network.all_indices().collect::<Vec<_>>() {
+            if node != NodeIndex::new(0) {
+                protocol.init_node_with(node, vec![contact], eng.context_mut());
+            } else {
+                protocol.init_node_with(node, vec![], eng.context_mut());
+            }
+        }
+        eng.run(&mut protocol, 20);
+        // Count distinct descriptors across all views: should cover most nodes.
+        let mut seen = std::collections::HashSet::new();
+        for node in eng.context().network.all_indices() {
+            for d in protocol.view(node).unwrap_or(&[]) {
+                seen.insert(d.id());
+            }
+        }
+        assert!(
+            seen.len() > 150,
+            "views should reference most of the network, saw {}",
+            seen.len()
+        );
+    }
+
+    #[test]
+    fn params_accessor_returns_configuration() {
+        let protocol = NewscastProtocol::new(NewscastParams::paper_default());
+        assert_eq!(protocol.params().view_size, 30);
+    }
+}

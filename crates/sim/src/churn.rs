@@ -1,0 +1,302 @@
+//! Membership-change scenarios applied at cycle boundaries.
+//!
+//! The paper's motivation (§1–2) is exactly these "radical" scenarios: massive
+//! joins, massive departures, catastrophic failure, merging and splitting of
+//! networks, and continuous churn during bootstrap. A [`ChurnModel`] mutates the
+//! [`Network`] registry at the start of a cycle and reports which nodes joined and
+//! departed so that protocols can initialise or drop per-node state.
+
+use crate::network::{Network, NodeIndex};
+use bss_util::rng::SimRng;
+use std::fmt::Debug;
+
+/// The membership changes applied at one cycle boundary.
+#[derive(Debug, Default, Clone)]
+pub struct ChurnEvents {
+    /// Nodes that joined (new indices, already alive in the registry).
+    pub joined: Vec<NodeIndex>,
+    /// Nodes that departed (already marked dead in the registry).
+    pub departed: Vec<NodeIndex>,
+}
+
+impl ChurnEvents {
+    /// No membership change.
+    pub fn none() -> Self {
+        ChurnEvents::default()
+    }
+
+    /// Whether anything changed.
+    pub fn is_empty(&self) -> bool {
+        self.joined.is_empty() && self.departed.is_empty()
+    }
+}
+
+/// A membership-change policy invoked once per cycle, before any node executes.
+pub trait ChurnModel: Debug + Send {
+    /// Applies this cycle's membership changes to `network`.
+    fn apply(&mut self, cycle: u64, network: &mut Network, rng: &mut SimRng) -> ChurnEvents;
+}
+
+/// The default: a static membership.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoChurn;
+
+impl ChurnModel for NoChurn {
+    fn apply(&mut self, _cycle: u64, _network: &mut Network, _rng: &mut SimRng) -> ChurnEvents {
+        ChurnEvents::none()
+    }
+}
+
+/// Continuous replacement churn: every cycle a fixed fraction of the alive nodes
+/// departs and the same number of fresh nodes joins, keeping the network size
+/// constant. This matches the churn the paper alludes to in §5 ("The protocol is
+/// not sensitive to churn either").
+#[derive(Debug, Clone)]
+pub struct UniformChurn {
+    replacement_fraction: f64,
+}
+
+impl UniformChurn {
+    /// Creates a model replacing `replacement_fraction` of the alive nodes per
+    /// cycle (clamped to `[0, 1]`).
+    pub fn new(replacement_fraction: f64) -> Self {
+        UniformChurn {
+            replacement_fraction: replacement_fraction.clamp(0.0, 1.0),
+        }
+    }
+
+    /// The per-cycle replacement fraction.
+    pub fn replacement_fraction(&self) -> f64 {
+        self.replacement_fraction
+    }
+}
+
+impl ChurnModel for UniformChurn {
+    fn apply(&mut self, _cycle: u64, network: &mut Network, rng: &mut SimRng) -> ChurnEvents {
+        let alive: Vec<NodeIndex> = network.alive_indices().collect();
+        let victims = ((alive.len() as f64) * self.replacement_fraction).round() as usize;
+        if victims == 0 {
+            return ChurnEvents::none();
+        }
+        let departed = rng.sample(&alive, victims);
+        for &node in &departed {
+            network.kill(node);
+        }
+        let joined: Vec<NodeIndex> = (0..victims).map(|_| network.add_random_node(rng)).collect();
+        ChurnEvents { joined, departed }
+    }
+}
+
+/// A one-shot catastrophic failure: at a given cycle a fraction of the alive nodes
+/// dies simultaneously. The paper's sampling layer is designed to survive failures
+/// of up to 70 % of the nodes (§3); this model lets the bootstrap experiments use
+/// the same scenario.
+#[derive(Debug, Clone)]
+pub struct CatastrophicFailure {
+    at_cycle: u64,
+    fraction: f64,
+    fired: bool,
+}
+
+impl CatastrophicFailure {
+    /// Creates a failure of `fraction` of the alive nodes at cycle `at_cycle`.
+    pub fn new(at_cycle: u64, fraction: f64) -> Self {
+        CatastrophicFailure {
+            at_cycle,
+            fraction: fraction.clamp(0.0, 1.0),
+            fired: false,
+        }
+    }
+
+    /// Whether the failure has already been applied.
+    pub fn has_fired(&self) -> bool {
+        self.fired
+    }
+}
+
+impl ChurnModel for CatastrophicFailure {
+    fn apply(&mut self, cycle: u64, network: &mut Network, rng: &mut SimRng) -> ChurnEvents {
+        if self.fired || cycle != self.at_cycle {
+            return ChurnEvents::none();
+        }
+        self.fired = true;
+        let alive: Vec<NodeIndex> = network.alive_indices().collect();
+        let victims = ((alive.len() as f64) * self.fraction).round() as usize;
+        let departed = rng.sample(&alive, victims);
+        for &node in &departed {
+            network.kill(node);
+        }
+        ChurnEvents {
+            joined: Vec::new(),
+            departed,
+        }
+    }
+}
+
+/// A one-shot massive join: at a given cycle a batch of fresh nodes joins
+/// simultaneously (the "flash crowd" / resource-pool-merge scenario of §1).
+#[derive(Debug, Clone)]
+pub struct MassiveJoin {
+    at_cycle: u64,
+    count: usize,
+    fired: bool,
+}
+
+impl MassiveJoin {
+    /// Creates a join of `count` new nodes at cycle `at_cycle`.
+    pub fn new(at_cycle: u64, count: usize) -> Self {
+        MassiveJoin {
+            at_cycle,
+            count,
+            fired: false,
+        }
+    }
+}
+
+impl ChurnModel for MassiveJoin {
+    fn apply(&mut self, cycle: u64, network: &mut Network, rng: &mut SimRng) -> ChurnEvents {
+        if self.fired || cycle != self.at_cycle {
+            return ChurnEvents::none();
+        }
+        self.fired = true;
+        let joined = (0..self.count).map(|_| network.add_random_node(rng)).collect();
+        ChurnEvents {
+            joined,
+            departed: Vec::new(),
+        }
+    }
+}
+
+/// Composes several churn models; each is applied in order every cycle.
+#[derive(Debug, Default)]
+pub struct CompositeChurn {
+    models: Vec<Box<dyn ChurnModel>>,
+}
+
+impl CompositeChurn {
+    /// Creates an empty composite (equivalent to [`NoChurn`]).
+    pub fn new() -> Self {
+        CompositeChurn { models: Vec::new() }
+    }
+
+    /// Adds a model to the composition (builder style).
+    #[must_use]
+    pub fn with(mut self, model: Box<dyn ChurnModel>) -> Self {
+        self.models.push(model);
+        self
+    }
+
+    /// Number of composed models.
+    pub fn len(&self) -> usize {
+        self.models.len()
+    }
+
+    /// Whether the composite is empty.
+    pub fn is_empty(&self) -> bool {
+        self.models.is_empty()
+    }
+}
+
+impl ChurnModel for CompositeChurn {
+    fn apply(&mut self, cycle: u64, network: &mut Network, rng: &mut SimRng) -> ChurnEvents {
+        let mut events = ChurnEvents::none();
+        for model in &mut self.models {
+            let mut e = model.apply(cycle, network, rng);
+            events.joined.append(&mut e.joined);
+            events.departed.append(&mut e.departed);
+        }
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn network(size: usize, seed: u64) -> (Network, SimRng) {
+        let mut rng = SimRng::seed_from(seed);
+        let network = Network::with_random_ids(size, &mut rng);
+        (network, rng)
+    }
+
+    #[test]
+    fn no_churn_changes_nothing() {
+        let (mut net, mut rng) = network(10, 1);
+        let events = NoChurn.apply(0, &mut net, &mut rng);
+        assert!(events.is_empty());
+        assert_eq!(net.alive_count(), 10);
+    }
+
+    #[test]
+    fn uniform_churn_keeps_size_constant() {
+        let (mut net, mut rng) = network(100, 2);
+        let mut churn = UniformChurn::new(0.05);
+        assert_eq!(churn.replacement_fraction(), 0.05);
+        for cycle in 0..10 {
+            let events = churn.apply(cycle, &mut net, &mut rng);
+            assert_eq!(events.joined.len(), 5);
+            assert_eq!(events.departed.len(), 5);
+            assert_eq!(net.alive_count(), 100);
+        }
+        // Registry grows because departed nodes keep their entries.
+        assert_eq!(net.len(), 150);
+    }
+
+    #[test]
+    fn uniform_churn_with_zero_fraction_is_noop() {
+        let (mut net, mut rng) = network(50, 3);
+        let mut churn = UniformChurn::new(0.0);
+        assert!(churn.apply(0, &mut net, &mut rng).is_empty());
+        // Tiny fraction rounding to zero nodes is also a no-op.
+        let mut tiny = UniformChurn::new(0.001);
+        assert!(tiny.apply(0, &mut net, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn catastrophic_failure_fires_exactly_once() {
+        let (mut net, mut rng) = network(200, 4);
+        let mut failure = CatastrophicFailure::new(3, 0.7);
+        assert!(!failure.has_fired());
+        for cycle in 0..3 {
+            assert!(failure.apply(cycle, &mut net, &mut rng).is_empty());
+        }
+        let events = failure.apply(3, &mut net, &mut rng);
+        assert!(failure.has_fired());
+        assert_eq!(events.departed.len(), 140);
+        assert_eq!(net.alive_count(), 60);
+        // A repeat of the same cycle number does not fire again.
+        assert!(failure.apply(3, &mut net, &mut rng).is_empty());
+        assert!(failure.apply(4, &mut net, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn massive_join_adds_requested_nodes_once() {
+        let (mut net, mut rng) = network(10, 5);
+        let mut join = MassiveJoin::new(1, 90);
+        assert!(join.apply(0, &mut net, &mut rng).is_empty());
+        let events = join.apply(1, &mut net, &mut rng);
+        assert_eq!(events.joined.len(), 90);
+        assert_eq!(net.alive_count(), 100);
+        assert!(join.apply(1, &mut net, &mut rng).is_empty());
+        for &node in &events.joined {
+            assert!(net.is_alive(node));
+        }
+    }
+
+    #[test]
+    fn composite_applies_all_models() {
+        let (mut net, mut rng) = network(20, 6);
+        let mut composite = CompositeChurn::new()
+            .with(Box::new(MassiveJoin::new(0, 5)))
+            .with(Box::new(CatastrophicFailure::new(0, 0.5)));
+        assert_eq!(composite.len(), 2);
+        assert!(!composite.is_empty());
+        let events = composite.apply(0, &mut net, &mut rng);
+        assert_eq!(events.joined.len(), 5);
+        // The failure fires after the join added nodes: half of 25 = 12 or 13.
+        assert!(events.departed.len() == 12 || events.departed.len() == 13);
+
+        let empty = CompositeChurn::new();
+        assert!(empty.is_empty());
+    }
+}

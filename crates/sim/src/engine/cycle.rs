@@ -1,0 +1,341 @@
+//! The cycle-driven simulation engine.
+//!
+//! This is the execution model under which all of the paper's results were
+//! produced (PeerSim's cycle-driven mode). Time advances in discrete cycles; in
+//! every cycle each alive node executes its protocol step exactly once, and the
+//! per-cycle execution order is re-randomised, which models the nodes' random start
+//! phases within the interval Δ (§5: "We start the bootstrapping protocol at each
+//! node at a different random time within an interval of length Δ").
+
+use crate::churn::{ChurnEvents, ChurnModel, NoChurn};
+use crate::network::{Network, NodeIndex};
+use crate::transport::{ReliableTransport, Transport};
+use bss_util::rng::SimRng;
+use std::ops::ControlFlow;
+
+/// Mutable state shared by the engine and the protocol during a run: the node
+/// registry, the random number generator and the transport.
+#[derive(Debug)]
+pub struct EngineContext {
+    /// The global node registry.
+    pub network: Network,
+    /// The deterministic random number generator driving every stochastic choice.
+    pub rng: SimRng,
+    /// The message delivery policy.
+    pub transport: Box<dyn Transport>,
+}
+
+impl EngineContext {
+    /// Creates a context with a [`ReliableTransport`].
+    pub fn new(network: Network, rng: SimRng) -> Self {
+        EngineContext {
+            network,
+            rng,
+            transport: Box::new(ReliableTransport::new()),
+        }
+    }
+
+    /// Asks the transport whether a message from `from` to `to` is delivered.
+    pub fn deliver(&mut self, from: NodeIndex, to: NodeIndex) -> bool {
+        self.transport.should_deliver(from, to, &mut self.rng)
+    }
+}
+
+/// A protocol that can be driven by the [`CycleEngine`].
+///
+/// Only [`execute_node`](CycleProtocol::execute_node) is mandatory; the remaining
+/// hooks have empty default implementations.
+pub trait CycleProtocol {
+    /// Called once at the start of every cycle, before any node executes.
+    fn begin_cycle(&mut self, _cycle: u64, _ctx: &mut EngineContext) {}
+
+    /// Called once per alive node per cycle, in a random order.
+    fn execute_node(&mut self, node: NodeIndex, cycle: u64, ctx: &mut EngineContext);
+
+    /// Called once at the end of every cycle, after all nodes executed.
+    fn end_cycle(&mut self, _cycle: u64, _ctx: &mut EngineContext) {}
+
+    /// Called when churn adds a node to the network.
+    fn node_joined(&mut self, _node: NodeIndex, _cycle: u64, _ctx: &mut EngineContext) {}
+
+    /// Called when churn removes a node from the network.
+    fn node_departed(&mut self, _node: NodeIndex, _cycle: u64, _ctx: &mut EngineContext) {}
+}
+
+/// The cycle-driven engine.
+///
+/// # Example
+///
+/// ```rust
+/// use bss_sim::engine::cycle::{CycleEngine, CycleProtocol, EngineContext};
+/// use bss_sim::network::{Network, NodeIndex};
+/// use bss_util::rng::SimRng;
+/// use std::ops::ControlFlow;
+///
+/// struct Nothing;
+/// impl CycleProtocol for Nothing {
+///     fn execute_node(&mut self, _n: NodeIndex, _c: u64, _ctx: &mut EngineContext) {}
+/// }
+///
+/// let mut rng = SimRng::seed_from(0);
+/// let network = Network::with_random_ids(8, &mut rng);
+/// let mut engine = CycleEngine::new(network, rng);
+/// let mut protocol = Nothing;
+/// // Stop early from the observer after three cycles.
+/// let completed = engine.run_with_observer(&mut protocol, 100, |_p, _ctx, cycle| {
+///     if cycle >= 2 { ControlFlow::Break(()) } else { ControlFlow::Continue(()) }
+/// });
+/// assert_eq!(completed, 3);
+/// ```
+#[derive(Debug)]
+pub struct CycleEngine {
+    context: EngineContext,
+    churn: Box<dyn ChurnModel>,
+    current_cycle: u64,
+}
+
+impl CycleEngine {
+    /// Creates an engine over `network` with a reliable transport and no churn.
+    pub fn new(network: Network, rng: SimRng) -> Self {
+        CycleEngine {
+            context: EngineContext::new(network, rng),
+            churn: Box::new(NoChurn),
+            current_cycle: 0,
+        }
+    }
+
+    /// Replaces the transport (builder style).
+    #[must_use]
+    pub fn with_transport(mut self, transport: Box<dyn Transport>) -> Self {
+        self.context.transport = transport;
+        self
+    }
+
+    /// Replaces the churn model (builder style).
+    #[must_use]
+    pub fn with_churn(mut self, churn: Box<dyn ChurnModel>) -> Self {
+        self.churn = churn;
+        self
+    }
+
+    /// Shared access to the engine context (network, RNG, transport).
+    pub fn context(&self) -> &EngineContext {
+        &self.context
+    }
+
+    /// Exclusive access to the engine context.
+    pub fn context_mut(&mut self) -> &mut EngineContext {
+        &mut self.context
+    }
+
+    /// The index of the next cycle to execute (equivalently, the number of cycles
+    /// executed so far).
+    pub fn current_cycle(&self) -> u64 {
+        self.current_cycle
+    }
+
+    /// Runs `protocol` for exactly `cycles` cycles. Returns the number of cycles
+    /// executed (always `cycles`).
+    pub fn run<P: CycleProtocol>(&mut self, protocol: &mut P, cycles: u64) -> u64 {
+        self.run_with_observer(protocol, cycles, |_, _, _| ControlFlow::Continue(()))
+    }
+
+    /// Runs `protocol` for at most `max_cycles` cycles, invoking `observer` after
+    /// every cycle. The observer can stop the run early by returning
+    /// [`ControlFlow::Break`]. Returns the number of cycles executed.
+    pub fn run_with_observer<P, F>(&mut self, protocol: &mut P, max_cycles: u64, mut observer: F) -> u64
+    where
+        P: CycleProtocol,
+        F: FnMut(&mut P, &mut EngineContext, u64) -> ControlFlow<()>,
+    {
+        let mut executed = 0;
+        for _ in 0..max_cycles {
+            let cycle = self.current_cycle;
+            self.apply_churn(protocol, cycle);
+            protocol.begin_cycle(cycle, &mut self.context);
+
+            // Fresh random execution order every cycle: this is the cycle-driven
+            // equivalent of each node waking up at a random phase inside Δ.
+            let mut order: Vec<NodeIndex> = self.context.network.alive_indices().collect();
+            self.context.rng.shuffle(&mut order);
+            for node in order {
+                // A node scheduled earlier in the cycle may since have been removed
+                // by protocol-driven actions; re-check liveness.
+                if self.context.network.is_alive(node) {
+                    protocol.execute_node(node, cycle, &mut self.context);
+                }
+            }
+
+            protocol.end_cycle(cycle, &mut self.context);
+            self.current_cycle += 1;
+            executed += 1;
+            if observer(protocol, &mut self.context, cycle).is_break() {
+                break;
+            }
+        }
+        executed
+    }
+
+    fn apply_churn<P: CycleProtocol>(&mut self, protocol: &mut P, cycle: u64) {
+        let ChurnEvents { joined, departed } =
+            self.churn
+                .apply(cycle, &mut self.context.network, &mut self.context.rng);
+        for node in departed {
+            protocol.node_departed(node, cycle, &mut self.context);
+        }
+        for node in joined {
+            protocol.node_joined(node, cycle, &mut self.context);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::churn::{CatastrophicFailure, UniformChurn};
+    use crate::transport::DropTransport;
+
+    /// Records which nodes executed in which cycle, plus join/leave notifications.
+    #[derive(Default)]
+    struct Recorder {
+        executions: Vec<(u64, NodeIndex)>,
+        joined: Vec<NodeIndex>,
+        departed: Vec<NodeIndex>,
+        begin_calls: u64,
+        end_calls: u64,
+    }
+
+    impl CycleProtocol for Recorder {
+        fn begin_cycle(&mut self, _cycle: u64, _ctx: &mut EngineContext) {
+            self.begin_calls += 1;
+        }
+        fn execute_node(&mut self, node: NodeIndex, cycle: u64, _ctx: &mut EngineContext) {
+            self.executions.push((cycle, node));
+        }
+        fn end_cycle(&mut self, _cycle: u64, _ctx: &mut EngineContext) {
+            self.end_calls += 1;
+        }
+        fn node_joined(&mut self, node: NodeIndex, _cycle: u64, _ctx: &mut EngineContext) {
+            self.joined.push(node);
+        }
+        fn node_departed(&mut self, node: NodeIndex, _cycle: u64, _ctx: &mut EngineContext) {
+            self.departed.push(node);
+        }
+    }
+
+    fn engine(size: usize, seed: u64) -> CycleEngine {
+        let mut rng = SimRng::seed_from(seed);
+        let network = Network::with_random_ids(size, &mut rng);
+        CycleEngine::new(network, rng)
+    }
+
+    #[test]
+    fn every_alive_node_executes_once_per_cycle() {
+        let mut eng = engine(20, 1);
+        let mut protocol = Recorder::default();
+        let executed = eng.run(&mut protocol, 5);
+        assert_eq!(executed, 5);
+        assert_eq!(eng.current_cycle(), 5);
+        assert_eq!(protocol.executions.len(), 20 * 5);
+        assert_eq!(protocol.begin_calls, 5);
+        assert_eq!(protocol.end_calls, 5);
+        for cycle in 0..5u64 {
+            let mut nodes: Vec<_> = protocol
+                .executions
+                .iter()
+                .filter(|(c, _)| *c == cycle)
+                .map(|(_, n)| *n)
+                .collect();
+            nodes.sort();
+            nodes.dedup();
+            assert_eq!(nodes.len(), 20, "cycle {cycle} missed some node");
+        }
+    }
+
+    #[test]
+    fn execution_order_is_shuffled_between_cycles() {
+        let mut eng = engine(50, 2);
+        let mut protocol = Recorder::default();
+        eng.run(&mut protocol, 2);
+        let cycle0: Vec<_> = protocol
+            .executions
+            .iter()
+            .filter(|(c, _)| *c == 0)
+            .map(|(_, n)| *n)
+            .collect();
+        let cycle1: Vec<_> = protocol
+            .executions
+            .iter()
+            .filter(|(c, _)| *c == 1)
+            .map(|(_, n)| *n)
+            .collect();
+        assert_ne!(cycle0, cycle1, "order should differ between cycles");
+    }
+
+    #[test]
+    fn runs_are_reproducible_from_the_seed() {
+        let mut first = Recorder::default();
+        let mut second = Recorder::default();
+        engine(30, 7).run(&mut first, 4);
+        engine(30, 7).run(&mut second, 4);
+        assert_eq!(first.executions, second.executions);
+    }
+
+    #[test]
+    fn observer_can_stop_the_run_early() {
+        let mut eng = engine(10, 3);
+        let mut protocol = Recorder::default();
+        let executed = eng.run_with_observer(&mut protocol, 100, |_p, _ctx, cycle| {
+            if cycle >= 4 {
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            }
+        });
+        assert_eq!(executed, 5);
+        assert_eq!(eng.current_cycle(), 5);
+    }
+
+    #[test]
+    fn churn_hooks_are_invoked() {
+        let mut rng = SimRng::seed_from(4);
+        let network = Network::with_random_ids(40, &mut rng);
+        let mut eng = CycleEngine::new(network, rng)
+            .with_churn(Box::new(UniformChurn::new(0.1)));
+        let mut protocol = Recorder::default();
+        eng.run(&mut protocol, 5);
+        assert!(!protocol.departed.is_empty(), "uniform churn should remove nodes");
+        assert!(!protocol.joined.is_empty(), "uniform churn should add nodes");
+        // Network size stays roughly constant under replacement churn.
+        assert_eq!(eng.context().network.alive_count(), 40);
+    }
+
+    #[test]
+    fn catastrophic_failure_removes_requested_fraction() {
+        let mut rng = SimRng::seed_from(5);
+        let network = Network::with_random_ids(100, &mut rng);
+        let mut eng = CycleEngine::new(network, rng)
+            .with_churn(Box::new(CatastrophicFailure::new(2, 0.7)));
+        let mut protocol = Recorder::default();
+        eng.run(&mut protocol, 5);
+        assert_eq!(protocol.departed.len(), 70);
+        assert_eq!(eng.context().network.alive_count(), 30);
+        // Dead nodes stop executing.
+        let last_cycle_executions = protocol
+            .executions
+            .iter()
+            .filter(|(c, _)| *c == 4)
+            .count();
+        assert_eq!(last_cycle_executions, 30);
+    }
+
+    #[test]
+    fn transport_is_reachable_through_the_context() {
+        let mut rng = SimRng::seed_from(6);
+        let network = Network::with_random_ids(4, &mut rng);
+        let mut eng =
+            CycleEngine::new(network, rng).with_transport(Box::new(DropTransport::new(1.0)));
+        assert!(!eng.context_mut().deliver(NodeIndex::new(0), NodeIndex::new(1)));
+        assert_eq!(eng.context().transport.messages_dropped(), 1);
+    }
+}

@@ -1,0 +1,13 @@
+//! Simulation engines.
+//!
+//! Two execution models are provided, mirroring PeerSim:
+//!
+//! * [`cycle`] — the cycle-driven engine used for all of the paper's experiments:
+//!   time advances in discrete cycles of length Δ; within a cycle every alive node
+//!   acts exactly once, in a fresh random order (modelling the random start phases
+//!   of §5), and a request/response exchange completes within the cycle.
+//! * [`event`] — a discrete-event engine with per-message latencies, useful for
+//!   checking that the protocol is not an artifact of the synchronous cycle model.
+
+pub mod cycle;
+pub mod event;

@@ -1,0 +1,58 @@
+//! # bss-sim — a peer-to-peer simulation engine (PeerSim equivalent)
+//!
+//! The paper evaluates the bootstrapping service on PeerSim, a cycle-driven
+//! peer-to-peer simulator. This crate is a from-scratch Rust substitute providing
+//! the same execution model plus an event-driven engine for latency realism:
+//!
+//! * [`network`] — the global node registry: identifiers, alive/dead status,
+//!   dense [`NodeIndex`](network::NodeIndex) addresses and descriptor creation.
+//! * [`transport`] — message delivery models: reliable, uniform drop (the paper's
+//!   20 % loss experiment), latency distributions and network partitions.
+//! * [`engine`] — the [`cycle`](engine::cycle) engine (each node acts once per
+//!   cycle, in a random order, exchanging request/response pairs synchronously,
+//!   exactly like PeerSim's cycle-driven mode) and the [`event`](engine::event)
+//!   engine (a discrete-event scheduler with per-message latency).
+//! * [`churn`] — join/leave/catastrophic-failure scenarios applied at cycle
+//!   boundaries.
+//! * [`observer`] — periodic measurement hooks and control-flow helpers.
+//!
+//! # Example: a trivial cycle-driven protocol
+//!
+//! ```rust
+//! use bss_sim::engine::cycle::{CycleEngine, CycleProtocol, EngineContext};
+//! use bss_sim::network::{Network, NodeIndex};
+//! use bss_util::rng::SimRng;
+//!
+//! /// Counts how many times every node was scheduled.
+//! struct Counter {
+//!     executions: Vec<u64>,
+//! }
+//!
+//! impl CycleProtocol for Counter {
+//!     fn execute_node(&mut self, node: NodeIndex, _cycle: u64, _ctx: &mut EngineContext) {
+//!         self.executions[node.as_usize()] += 1;
+//!     }
+//! }
+//!
+//! let mut rng = SimRng::seed_from(1);
+//! let network = Network::with_random_ids(16, &mut rng);
+//! let mut engine = CycleEngine::new(network, rng);
+//! let mut protocol = Counter { executions: vec![0; 16] };
+//! engine.run(&mut protocol, 10);
+//! assert!(protocol.executions.iter().all(|&count| count == 10));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod churn;
+pub mod engine;
+pub mod network;
+pub mod observer;
+pub mod transport;
+
+pub use engine::cycle::{CycleEngine, CycleProtocol, EngineContext};
+pub use engine::event::{EventEngine, EventProtocol};
+pub use network::{Network, NodeIndex};
+pub use transport::{DropTransport, PartitionTransport, ReliableTransport, Transport};

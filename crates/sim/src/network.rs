@@ -1,0 +1,373 @@
+//! The global node registry of a simulated network.
+//!
+//! A [`Network`] assigns each simulated node a dense [`NodeIndex`] (its "address"
+//! inside the simulator), a unique [`NodeId`] and an alive/dead flag. Protocols
+//! never inspect the registry directly for routing decisions — they only learn
+//! about other nodes through descriptors they receive — but the registry is what
+//! churn models mutate and what the convergence oracle reads to decide what the
+//! *perfect* tables would be.
+
+use bss_util::descriptor::Descriptor;
+use bss_util::id::NodeId;
+use bss_util::rng::SimRng;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Dense index identifying a node inside the simulator. Acts as the descriptor
+/// address type for all simulated protocols.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct NodeIndex(u32);
+
+impl NodeIndex {
+    /// Creates an index from its raw value.
+    #[inline]
+    pub const fn new(raw: u32) -> Self {
+        NodeIndex(raw)
+    }
+
+    /// The raw index value.
+    #[inline]
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// The index as a `usize`, for direct vector indexing.
+    #[inline]
+    pub const fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+impl From<u32> for NodeIndex {
+    fn from(raw: u32) -> Self {
+        NodeIndex(raw)
+    }
+}
+
+/// A simulated node's registry entry.
+#[derive(Clone, Copy, Debug)]
+struct Entry {
+    id: NodeId,
+    alive: bool,
+}
+
+/// The registry of all nodes that ever existed in a simulation.
+///
+/// Nodes are never removed from the registry: a departed node keeps its index and
+/// identifier but is marked dead, so stale descriptors pointing at it can still be
+/// recognised. New joiners receive fresh indices.
+#[derive(Clone, Debug)]
+pub struct Network {
+    entries: Vec<Entry>,
+    by_id: HashMap<NodeId, NodeIndex>,
+    alive_count: usize,
+}
+
+impl Network {
+    /// Creates a network of `size` alive nodes with distinct, uniformly random
+    /// identifiers drawn from `rng`.
+    pub fn with_random_ids(size: usize, rng: &mut SimRng) -> Self {
+        let ids = rng.distinct_u64(size);
+        Self::from_ids(ids.into_iter().map(NodeId::new))
+    }
+
+    /// Creates a network from an explicit list of identifiers (all alive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the identifiers are not pairwise distinct.
+    pub fn from_ids(ids: impl IntoIterator<Item = NodeId>) -> Self {
+        let mut network = Network {
+            entries: Vec::new(),
+            by_id: HashMap::new(),
+            alive_count: 0,
+        };
+        for id in ids {
+            network.add_node(id);
+        }
+        network
+    }
+
+    /// Creates an empty network.
+    pub fn empty() -> Self {
+        Network {
+            entries: Vec::new(),
+            by_id: HashMap::new(),
+            alive_count: 0,
+        }
+    }
+
+    /// Adds a new alive node with the given identifier and returns its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node with the same identifier already exists.
+    pub fn add_node(&mut self, id: NodeId) -> NodeIndex {
+        assert!(
+            !self.by_id.contains_key(&id),
+            "duplicate node identifier {id}"
+        );
+        let index = NodeIndex::new(self.entries.len() as u32);
+        self.entries.push(Entry { id, alive: true });
+        self.by_id.insert(id, index);
+        self.alive_count += 1;
+        index
+    }
+
+    /// Adds a new alive node with a random (previously unused) identifier.
+    pub fn add_random_node(&mut self, rng: &mut SimRng) -> NodeIndex {
+        loop {
+            let id = NodeId::new(rng.next_u64());
+            if !self.by_id.contains_key(&id) {
+                return self.add_node(id);
+            }
+        }
+    }
+
+    /// Total number of registry entries (alive and dead).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry has no entries at all.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of currently alive nodes.
+    pub fn alive_count(&self) -> usize {
+        self.alive_count
+    }
+
+    /// The identifier of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of range.
+    #[inline]
+    pub fn id(&self, node: NodeIndex) -> NodeId {
+        self.entries[node.as_usize()].id
+    }
+
+    /// Whether a node is currently alive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of range.
+    #[inline]
+    pub fn is_alive(&self, node: NodeIndex) -> bool {
+        self.entries[node.as_usize()].alive
+    }
+
+    /// Looks up a node by identifier (whether alive or dead).
+    pub fn index_of(&self, id: NodeId) -> Option<NodeIndex> {
+        self.by_id.get(&id).copied()
+    }
+
+    /// Marks a node dead. Returns `true` if the node was alive.
+    pub fn kill(&mut self, node: NodeIndex) -> bool {
+        let entry = &mut self.entries[node.as_usize()];
+        if entry.alive {
+            entry.alive = false;
+            self.alive_count -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Marks a node alive again (a rejoin with the same identifier). Returns `true`
+    /// if the node was dead.
+    pub fn revive(&mut self, node: NodeIndex) -> bool {
+        let entry = &mut self.entries[node.as_usize()];
+        if !entry.alive {
+            entry.alive = true;
+            self.alive_count += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Iterates over all indices, alive or dead.
+    pub fn all_indices(&self) -> impl Iterator<Item = NodeIndex> + '_ {
+        (0..self.entries.len() as u32).map(NodeIndex::new)
+    }
+
+    /// Iterates over the indices of alive nodes.
+    pub fn alive_indices(&self) -> impl Iterator<Item = NodeIndex> + '_ {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.alive)
+            .map(|(i, _)| NodeIndex::new(i as u32))
+    }
+
+    /// Collects the identifiers of alive nodes.
+    pub fn alive_ids(&self) -> Vec<NodeId> {
+        self.entries
+            .iter()
+            .filter(|e| e.alive)
+            .map(|e| e.id)
+            .collect()
+    }
+
+    /// Picks a uniformly random alive node, or `None` when none is alive.
+    pub fn random_alive(&self, rng: &mut SimRng) -> Option<NodeIndex> {
+        if self.alive_count == 0 {
+            return None;
+        }
+        // Rejection sampling over the dense index space; the alive fraction in our
+        // scenarios is large enough that this terminates quickly. Fall back to a
+        // linear scan if the registry is mostly dead.
+        if self.alive_count * 4 >= self.entries.len() {
+            loop {
+                let candidate = NodeIndex::new(rng.index(self.entries.len()) as u32);
+                if self.is_alive(candidate) {
+                    return Some(candidate);
+                }
+            }
+        }
+        let alive: Vec<NodeIndex> = self.alive_indices().collect();
+        alive.get(rng.index(alive.len())).copied()
+    }
+
+    /// Builds the descriptor of a node with the supplied freshness timestamp.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of range.
+    pub fn descriptor(&self, node: NodeIndex, timestamp: u64) -> Descriptor<NodeIndex> {
+        Descriptor::new(self.id(node), node, timestamp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_with_random_ids_is_reproducible() {
+        let mut rng_a = SimRng::seed_from(5);
+        let mut rng_b = SimRng::seed_from(5);
+        let a = Network::with_random_ids(100, &mut rng_a);
+        let b = Network::with_random_ids(100, &mut rng_b);
+        assert_eq!(a.len(), 100);
+        assert_eq!(a.alive_count(), 100);
+        for idx in a.all_indices() {
+            assert_eq!(a.id(idx), b.id(idx));
+        }
+    }
+
+    #[test]
+    fn ids_are_unique_and_lookup_works() {
+        let mut rng = SimRng::seed_from(6);
+        let network = Network::with_random_ids(500, &mut rng);
+        let mut seen = std::collections::HashSet::new();
+        for idx in network.all_indices() {
+            let id = network.id(idx);
+            assert!(seen.insert(id));
+            assert_eq!(network.index_of(id), Some(idx));
+        }
+        assert_eq!(network.index_of(NodeId::new(0)).is_some(), seen.contains(&NodeId::new(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_ids_are_rejected() {
+        let mut network = Network::empty();
+        network.add_node(NodeId::new(7));
+        network.add_node(NodeId::new(7));
+    }
+
+    #[test]
+    fn kill_and_revive_update_counts() {
+        let network_ids = [1u64, 2, 3].map(NodeId::new);
+        let mut network = Network::from_ids(network_ids);
+        let victim = NodeIndex::new(1);
+        assert!(network.kill(victim));
+        assert!(!network.kill(victim), "killing twice reports false");
+        assert!(!network.is_alive(victim));
+        assert_eq!(network.alive_count(), 2);
+        assert_eq!(network.alive_ids().len(), 2);
+        assert!(network.revive(victim));
+        assert!(!network.revive(victim));
+        assert_eq!(network.alive_count(), 3);
+    }
+
+    #[test]
+    fn alive_indices_skips_dead_nodes() {
+        let mut network = Network::from_ids([10u64, 20, 30, 40].map(NodeId::new));
+        network.kill(NodeIndex::new(0));
+        network.kill(NodeIndex::new(2));
+        let alive: Vec<_> = network.alive_indices().collect();
+        assert_eq!(alive, vec![NodeIndex::new(1), NodeIndex::new(3)]);
+        assert_eq!(network.all_indices().count(), 4);
+    }
+
+    #[test]
+    fn random_alive_only_returns_living_nodes() {
+        let mut rng = SimRng::seed_from(9);
+        let mut network = Network::with_random_ids(50, &mut rng);
+        for idx in 0..45u32 {
+            network.kill(NodeIndex::new(idx));
+        }
+        for _ in 0..200 {
+            let picked = network.random_alive(&mut rng).unwrap();
+            assert!(network.is_alive(picked));
+            assert!(picked.raw() >= 45);
+        }
+    }
+
+    #[test]
+    fn random_alive_on_dead_network_is_none() {
+        let mut rng = SimRng::seed_from(10);
+        let mut network = Network::with_random_ids(3, &mut rng);
+        for idx in network.all_indices().collect::<Vec<_>>() {
+            network.kill(idx);
+        }
+        assert!(network.random_alive(&mut rng).is_none());
+        assert!(Network::empty().random_alive(&mut rng).is_none());
+    }
+
+    #[test]
+    fn descriptor_carries_id_address_and_timestamp() {
+        let network = Network::from_ids([NodeId::new(99)]);
+        let d = network.descriptor(NodeIndex::new(0), 12);
+        assert_eq!(d.id(), NodeId::new(99));
+        assert_eq!(d.address(), NodeIndex::new(0));
+        assert_eq!(d.timestamp(), 12);
+    }
+
+    #[test]
+    fn add_random_node_avoids_collisions() {
+        let mut rng = SimRng::seed_from(11);
+        let mut network = Network::with_random_ids(10, &mut rng);
+        let before = network.len();
+        let idx = network.add_random_node(&mut rng);
+        assert_eq!(network.len(), before + 1);
+        assert!(network.is_alive(idx));
+    }
+
+    #[test]
+    fn node_index_display_and_conversions() {
+        let idx: NodeIndex = 3u32.into();
+        assert_eq!(idx.to_string(), "#3");
+        assert_eq!(idx.raw(), 3);
+        assert_eq!(idx.as_usize(), 3);
+    }
+
+    #[test]
+    fn empty_network_reports_empty() {
+        let network = Network::empty();
+        assert!(network.is_empty());
+        assert_eq!(network.len(), 0);
+        assert_eq!(network.alive_count(), 0);
+    }
+}

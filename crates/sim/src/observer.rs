@@ -1,0 +1,148 @@
+//! Measurement helpers for simulation runs.
+//!
+//! The experiment harness needs to record one or more metrics at the end of every
+//! cycle and stop the run as soon as a convergence condition holds (the paper runs
+//! "until the perfect leaf sets and prefix tables are found at all nodes").
+//! [`MetricRecorder`] collects named [`Series`]; [`StopCondition`] expresses common
+//! termination rules.
+
+use bss_util::stats::Series;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Collects named per-cycle metric series during a run.
+///
+/// # Example
+///
+/// ```rust
+/// use bss_sim::observer::MetricRecorder;
+///
+/// let mut recorder = MetricRecorder::new();
+/// recorder.record(0, "missing_leafset", 1.0);
+/// recorder.record(0, "missing_prefix", 1.0);
+/// recorder.record(1, "missing_leafset", 0.25);
+/// assert_eq!(recorder.series("missing_leafset").unwrap().len(), 2);
+/// assert!(recorder.series("unknown").is_none());
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct MetricRecorder {
+    series: BTreeMap<String, Series>,
+}
+
+impl MetricRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        MetricRecorder::default()
+    }
+
+    /// Appends `value` for `metric` at `cycle`.
+    pub fn record(&mut self, cycle: u64, metric: &str, value: f64) {
+        self.series
+            .entry(metric.to_owned())
+            .or_insert_with(|| Series::new(metric))
+            .push(cycle, value);
+    }
+
+    /// The series recorded under `metric`, if any.
+    pub fn series(&self, metric: &str) -> Option<&Series> {
+        self.series.get(metric)
+    }
+
+    /// Consumes the recorder and returns the series recorded under `metric`, if any.
+    pub fn into_series(mut self, metric: &str) -> Option<Series> {
+        self.series.remove(metric)
+    }
+
+    /// Iterates over all recorded series in metric-name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Series)> {
+        self.series.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Names of all recorded metrics.
+    pub fn metric_names(&self) -> Vec<&str> {
+        self.series.keys().map(String::as_str).collect()
+    }
+
+    /// Whether nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+}
+
+impl fmt::Display for MetricRecorder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, series) in &self.series {
+            writeln!(
+                f,
+                "{name}: {} points, last = {:?}",
+                series.len(),
+                series.final_value()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// A termination rule evaluated after every cycle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StopCondition {
+    /// Never stop early; run the full cycle budget.
+    FixedCycles,
+    /// Stop as soon as the observed metric reaches zero (perfect convergence, the
+    /// paper's termination rule).
+    WhenZero,
+    /// Stop as soon as the observed metric drops to or below the threshold.
+    AtOrBelow(f64),
+}
+
+impl StopCondition {
+    /// Whether a run observing `value` should stop now.
+    pub fn satisfied(self, value: f64) -> bool {
+        match self {
+            StopCondition::FixedCycles => false,
+            StopCondition::WhenZero => value <= 0.0,
+            StopCondition::AtOrBelow(threshold) => value <= threshold,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recorder_groups_by_metric_name() {
+        let mut r = MetricRecorder::new();
+        assert!(r.is_empty());
+        r.record(0, "a", 1.0);
+        r.record(1, "a", 0.5);
+        r.record(0, "b", 3.0);
+        assert!(!r.is_empty());
+        assert_eq!(r.series("a").unwrap().len(), 2);
+        assert_eq!(r.series("b").unwrap().len(), 1);
+        assert_eq!(r.metric_names(), vec!["a", "b"]);
+        assert_eq!(r.iter().count(), 2);
+        assert_eq!(r.series("a").unwrap().value_at(1), Some(0.5));
+        let series = r.clone().into_series("a").unwrap();
+        assert_eq!(series.name(), "a");
+        assert!(r.clone().into_series("zzz").is_none());
+    }
+
+    #[test]
+    fn display_lists_metrics() {
+        let mut r = MetricRecorder::new();
+        r.record(0, "missing", 0.75);
+        let text = r.to_string();
+        assert!(text.contains("missing"));
+        assert!(text.contains("1 points"));
+    }
+
+    #[test]
+    fn stop_conditions() {
+        assert!(!StopCondition::FixedCycles.satisfied(0.0));
+        assert!(StopCondition::WhenZero.satisfied(0.0));
+        assert!(!StopCondition::WhenZero.satisfied(1e-9));
+        assert!(StopCondition::AtOrBelow(0.01).satisfied(0.005));
+        assert!(!StopCondition::AtOrBelow(0.01).satisfied(0.02));
+    }
+}

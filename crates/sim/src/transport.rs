@@ -1,0 +1,340 @@
+//! Message delivery models.
+//!
+//! The bootstrapping protocol is designed for "a cheap, unreliable transport layer
+//! (UDP)" (§5); the paper's robustness experiment drops every message independently
+//! with probability 0.2. A [`Transport`] decides, per message, whether it is
+//! delivered and with what latency. The cycle-driven engine only uses the delivery
+//! decision; the event-driven engine also uses the latency.
+
+use crate::network::NodeIndex;
+use bss_util::rng::SimRng;
+use std::fmt::Debug;
+
+/// A message delivery policy.
+///
+/// Implementations must be deterministic given the `SimRng` stream so that whole
+/// simulation runs stay reproducible.
+pub trait Transport: Debug + Send {
+    /// Decides whether a single message from `from` to `to` is delivered.
+    fn should_deliver(&mut self, from: NodeIndex, to: NodeIndex, rng: &mut SimRng) -> bool;
+
+    /// Latency, in milliseconds, of a delivered message from `from` to `to`.
+    ///
+    /// The default is a constant 1 ms, which is adequate for cycle-driven runs
+    /// where latency is never consulted.
+    fn latency_millis(&mut self, _from: NodeIndex, _to: NodeIndex, _rng: &mut SimRng) -> u64 {
+        1
+    }
+
+    /// Number of messages this transport has been asked about.
+    fn messages_offered(&self) -> u64;
+
+    /// Number of messages this transport decided to drop.
+    fn messages_dropped(&self) -> u64;
+
+    /// Fraction of offered messages that were dropped (0 when nothing was offered).
+    fn drop_rate(&self) -> f64 {
+        if self.messages_offered() == 0 {
+            0.0
+        } else {
+            self.messages_dropped() as f64 / self.messages_offered() as f64
+        }
+    }
+}
+
+/// A transport that delivers every message (the paper's Figure 3 setting).
+#[derive(Debug, Default, Clone)]
+pub struct ReliableTransport {
+    offered: u64,
+}
+
+impl ReliableTransport {
+    /// Creates a reliable transport.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Transport for ReliableTransport {
+    fn should_deliver(&mut self, _from: NodeIndex, _to: NodeIndex, _rng: &mut SimRng) -> bool {
+        self.offered += 1;
+        true
+    }
+
+    fn messages_offered(&self) -> u64 {
+        self.offered
+    }
+
+    fn messages_dropped(&self) -> u64 {
+        0
+    }
+}
+
+/// A transport that drops each message independently with a fixed probability
+/// (the paper's Figure 4 setting uses probability 0.2).
+///
+/// Because the protocol is built from request/response pairs, dropping a request
+/// also suppresses its response; the paper computes the resulting effective loss as
+/// `1 - 0.8 * 0.9 ≈ 0.28` for a drop probability of 0.2. That compounding happens
+/// naturally in the engine — this type only implements the per-message coin flip.
+#[derive(Debug, Clone)]
+pub struct DropTransport {
+    drop_probability: f64,
+    offered: u64,
+    dropped: u64,
+}
+
+impl DropTransport {
+    /// Creates a transport that drops messages with probability `drop_probability`
+    /// (clamped to `[0, 1]`).
+    pub fn new(drop_probability: f64) -> Self {
+        DropTransport {
+            drop_probability: drop_probability.clamp(0.0, 1.0),
+            offered: 0,
+            dropped: 0,
+        }
+    }
+
+    /// The configured drop probability.
+    pub fn drop_probability(&self) -> f64 {
+        self.drop_probability
+    }
+}
+
+impl Transport for DropTransport {
+    fn should_deliver(&mut self, _from: NodeIndex, _to: NodeIndex, rng: &mut SimRng) -> bool {
+        self.offered += 1;
+        if rng.chance(self.drop_probability) {
+            self.dropped += 1;
+            false
+        } else {
+            true
+        }
+    }
+
+    fn messages_offered(&self) -> u64 {
+        self.offered
+    }
+
+    fn messages_dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+/// A transport that partitions the network into groups and drops every message
+/// crossing a partition boundary. Used by the merge/split scenario experiments:
+/// while the partition is in force the sub-networks evolve independently; removing
+/// it merges them.
+#[derive(Debug, Clone)]
+pub struct PartitionTransport {
+    group_of: Vec<u32>,
+    active: bool,
+    offered: u64,
+    dropped: u64,
+}
+
+impl PartitionTransport {
+    /// Creates a partition transport; `group_of[i]` is the partition group of the
+    /// node with index `i`. Nodes whose index is out of range of the vector are
+    /// treated as belonging to group 0.
+    pub fn new(group_of: Vec<u32>) -> Self {
+        PartitionTransport {
+            group_of,
+            active: true,
+            offered: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Enables or disables the partition. While disabled, the transport behaves
+    /// like [`ReliableTransport`].
+    pub fn set_active(&mut self, active: bool) {
+        self.active = active;
+    }
+
+    /// Whether the partition is currently enforced.
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+
+    fn group(&self, node: NodeIndex) -> u32 {
+        self.group_of.get(node.as_usize()).copied().unwrap_or(0)
+    }
+}
+
+impl Transport for PartitionTransport {
+    fn should_deliver(&mut self, from: NodeIndex, to: NodeIndex, _rng: &mut SimRng) -> bool {
+        self.offered += 1;
+        if self.active && self.group(from) != self.group(to) {
+            self.dropped += 1;
+            false
+        } else {
+            true
+        }
+    }
+
+    fn messages_offered(&self) -> u64 {
+        self.offered
+    }
+
+    fn messages_dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+/// A latency model layered over any delivery policy, for the event-driven engine:
+/// uniformly random latency in `[min_millis, max_millis]`.
+#[derive(Debug, Clone)]
+pub struct UniformLatencyTransport<T> {
+    inner: T,
+    min_millis: u64,
+    max_millis: u64,
+}
+
+impl<T: Transport> UniformLatencyTransport<T> {
+    /// Wraps `inner`, adding uniformly distributed latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_millis > max_millis`.
+    pub fn new(inner: T, min_millis: u64, max_millis: u64) -> Self {
+        assert!(min_millis <= max_millis, "latency range is inverted");
+        UniformLatencyTransport {
+            inner,
+            min_millis,
+            max_millis,
+        }
+    }
+
+    /// Returns the wrapped transport.
+    pub fn into_inner(self) -> T {
+        self.inner
+    }
+}
+
+impl<T: Transport> Transport for UniformLatencyTransport<T> {
+    fn should_deliver(&mut self, from: NodeIndex, to: NodeIndex, rng: &mut SimRng) -> bool {
+        self.inner.should_deliver(from, to, rng)
+    }
+
+    fn latency_millis(&mut self, _from: NodeIndex, _to: NodeIndex, rng: &mut SimRng) -> u64 {
+        if self.min_millis == self.max_millis {
+            self.min_millis
+        } else {
+            rng.range_u64(self.min_millis, self.max_millis + 1)
+        }
+    }
+
+    fn messages_offered(&self) -> u64 {
+        self.inner.messages_offered()
+    }
+
+    fn messages_dropped(&self) -> u64 {
+        self.inner.messages_dropped()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idx(i: u32) -> NodeIndex {
+        NodeIndex::new(i)
+    }
+
+    #[test]
+    fn reliable_transport_never_drops() {
+        let mut rng = SimRng::seed_from(1);
+        let mut t = ReliableTransport::new();
+        for i in 0..100 {
+            assert!(t.should_deliver(idx(i), idx(i + 1), &mut rng));
+        }
+        assert_eq!(t.messages_offered(), 100);
+        assert_eq!(t.messages_dropped(), 0);
+        assert_eq!(t.drop_rate(), 0.0);
+        assert_eq!(t.latency_millis(idx(0), idx(1), &mut rng), 1);
+    }
+
+    #[test]
+    fn drop_transport_matches_configured_probability() {
+        let mut rng = SimRng::seed_from(2);
+        let mut t = DropTransport::new(0.2);
+        assert_eq!(t.drop_probability(), 0.2);
+        let delivered = (0..20_000)
+            .filter(|_| t.should_deliver(idx(0), idx(1), &mut rng))
+            .count();
+        let rate = 1.0 - delivered as f64 / 20_000.0;
+        assert!((rate - 0.2).abs() < 0.02, "observed drop rate {rate}");
+        assert!((t.drop_rate() - 0.2).abs() < 0.02);
+        assert_eq!(t.messages_offered(), 20_000);
+    }
+
+    #[test]
+    fn drop_transport_extremes() {
+        let mut rng = SimRng::seed_from(3);
+        let mut never = DropTransport::new(0.0);
+        let mut always = DropTransport::new(1.0);
+        let mut clamped = DropTransport::new(7.5);
+        for _ in 0..50 {
+            assert!(never.should_deliver(idx(0), idx(1), &mut rng));
+            assert!(!always.should_deliver(idx(0), idx(1), &mut rng));
+            assert!(!clamped.should_deliver(idx(0), idx(1), &mut rng));
+        }
+        assert_eq!(clamped.drop_probability(), 1.0);
+    }
+
+    #[test]
+    fn partition_transport_blocks_cross_group_traffic() {
+        let mut rng = SimRng::seed_from(4);
+        let mut t = PartitionTransport::new(vec![0, 0, 1, 1]);
+        assert!(t.is_active());
+        assert!(t.should_deliver(idx(0), idx(1), &mut rng));
+        assert!(!t.should_deliver(idx(0), idx(2), &mut rng));
+        assert!(t.should_deliver(idx(2), idx(3), &mut rng));
+        assert_eq!(t.messages_dropped(), 1);
+
+        // Healing the partition merges the groups.
+        t.set_active(false);
+        assert!(t.should_deliver(idx(0), idx(2), &mut rng));
+        assert!(!t.is_active());
+    }
+
+    #[test]
+    fn partition_transport_defaults_unknown_nodes_to_group_zero() {
+        let mut rng = SimRng::seed_from(5);
+        let mut t = PartitionTransport::new(vec![1]);
+        // Node 5 is out of range -> group 0, node 0 is group 1.
+        assert!(!t.should_deliver(idx(0), idx(5), &mut rng));
+        assert!(t.should_deliver(idx(5), idx(6), &mut rng));
+    }
+
+    #[test]
+    fn uniform_latency_stays_in_range() {
+        let mut rng = SimRng::seed_from(6);
+        let mut t = UniformLatencyTransport::new(ReliableTransport::new(), 10, 50);
+        for _ in 0..500 {
+            let l = t.latency_millis(idx(0), idx(1), &mut rng);
+            assert!((10..=50).contains(&l));
+        }
+        assert!(t.should_deliver(idx(0), idx(1), &mut rng));
+        assert_eq!(t.messages_offered(), 1);
+        let mut fixed = UniformLatencyTransport::new(ReliableTransport::new(), 5, 5);
+        assert_eq!(fixed.latency_millis(idx(0), idx(1), &mut rng), 5);
+        let _inner: ReliableTransport = fixed.into_inner();
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn uniform_latency_rejects_inverted_range() {
+        UniformLatencyTransport::new(ReliableTransport::new(), 10, 5);
+    }
+
+    #[test]
+    fn latency_wrapper_preserves_drop_statistics() {
+        let mut rng = SimRng::seed_from(7);
+        let mut t = UniformLatencyTransport::new(DropTransport::new(1.0), 1, 2);
+        assert!(!t.should_deliver(idx(0), idx(1), &mut rng));
+        assert_eq!(t.messages_dropped(), 1);
+        assert_eq!(t.drop_rate(), 1.0);
+    }
+}

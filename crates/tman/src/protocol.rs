@@ -1,0 +1,303 @@
+//! The generic T-Man gossip protocol.
+//!
+//! Every node keeps a bounded view of the best-ranked descriptors it has seen. Each
+//! cycle it picks a peer from the better half of its view, the two exchange their
+//! views plus a handful of fresh random samples, and both keep the best entries of
+//! the union. The construction converges to the topology defined by the ranking
+//! function in a logarithmic number of cycles.
+
+use crate::ranking::Ranking;
+use bss_sampling::sampler::PeerSampler;
+use bss_sim::engine::cycle::{CycleProtocol, EngineContext};
+use bss_sim::network::NodeIndex;
+use bss_util::descriptor::{dedup_freshest, Descriptor};
+use bss_util::id::NodeId;
+
+/// Parameters of the generic protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TmanConfig {
+    /// Number of descriptors kept in every node's view.
+    pub view_size: usize,
+    /// Number of descriptors sent in each exchange (at most the view size).
+    pub message_size: usize,
+    /// Number of fresh random samples mixed into the buffer every cycle.
+    pub random_samples: usize,
+}
+
+impl Default for TmanConfig {
+    fn default() -> Self {
+        TmanConfig {
+            view_size: 20,
+            message_size: 20,
+            random_samples: 10,
+        }
+    }
+}
+
+/// The T-Man protocol state for every node in a simulation.
+#[derive(Debug)]
+pub struct TmanProtocol<R, S> {
+    config: TmanConfig,
+    ranking: R,
+    sampler: S,
+    views: Vec<Option<Vec<Descriptor<NodeIndex>>>>,
+    exchanges: u64,
+}
+
+impl<R: Ranking, S: PeerSampler> TmanProtocol<R, S> {
+    /// Creates the protocol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the view size or message size is zero.
+    pub fn new(config: TmanConfig, ranking: R, sampler: S) -> Self {
+        assert!(config.view_size > 0, "view_size must be positive");
+        assert!(config.message_size > 0, "message_size must be positive");
+        TmanProtocol {
+            config,
+            ranking,
+            sampler,
+            views: Vec::new(),
+            exchanges: 0,
+        }
+    }
+
+    /// The protocol parameters.
+    pub fn config(&self) -> &TmanConfig {
+        &self.config
+    }
+
+    /// Number of exchanges attempted so far.
+    pub fn exchanges(&self) -> u64 {
+        self.exchanges
+    }
+
+    /// The current view of `node`, best-ranked first, if initialised.
+    pub fn view(&self, node: NodeIndex) -> Option<&[Descriptor<NodeIndex>]> {
+        self.views.get(node.as_usize()).and_then(|v| v.as_deref())
+    }
+
+    /// Initialises every alive node with random seeds from the sampler.
+    pub fn init_all(&mut self, ctx: &mut EngineContext) {
+        self.sampler.init_all(ctx);
+        let nodes: Vec<NodeIndex> = ctx.network.alive_indices().collect();
+        for node in nodes {
+            self.init_node(node, ctx);
+        }
+    }
+
+    /// Initialises one node with random seeds from the sampler.
+    pub fn init_node(&mut self, node: NodeIndex, ctx: &mut EngineContext) {
+        let seeds = self.sampler.sample(node, self.config.view_size, 0, ctx);
+        let own_id = ctx.network.id(node);
+        let mut view = seeds;
+        self.normalise(own_id, &mut view);
+        if node.as_usize() >= self.views.len() {
+            self.views.resize_with(node.as_usize() + 1, || None);
+        }
+        self.views[node.as_usize()] = Some(view);
+    }
+
+    fn normalise(&self, own_id: NodeId, view: &mut Vec<Descriptor<NodeIndex>>) {
+        view.retain(|d| d.id() != own_id);
+        dedup_freshest(view);
+        self.ranking.sort(own_id, view);
+        view.truncate(self.config.view_size);
+    }
+
+    /// Builds the buffer a node sends to `peer_id`: its own descriptor, its view and
+    /// some fresh random samples, ranked from the peer's point of view and truncated
+    /// to the message size.
+    fn buffer_for(
+        &mut self,
+        node: NodeIndex,
+        peer_id: NodeId,
+        cycle: u64,
+        ctx: &mut EngineContext,
+    ) -> Vec<Descriptor<NodeIndex>> {
+        let mut buffer = vec![ctx.network.descriptor(node, cycle)];
+        buffer.extend(self.view(node).unwrap_or(&[]).iter().copied());
+        buffer.extend(self.sampler.sample(node, self.config.random_samples, cycle, ctx));
+        buffer.retain(|d| d.id() != peer_id);
+        dedup_freshest(&mut buffer);
+        self.ranking.sort(peer_id, &mut buffer);
+        buffer.truncate(self.config.message_size);
+        buffer
+    }
+
+    fn merge(&mut self, node: NodeIndex, received: &[Descriptor<NodeIndex>], ctx: &EngineContext) {
+        let own_id = ctx.network.id(node);
+        if let Some(view) = self.views.get_mut(node.as_usize()).and_then(Option::as_mut) {
+            view.extend_from_slice(received);
+            let mut updated = std::mem::take(view);
+            self.normalise(own_id, &mut updated);
+            self.views[node.as_usize()] = Some(updated);
+        }
+    }
+}
+
+impl<R: Ranking, S: PeerSampler> CycleProtocol for TmanProtocol<R, S> {
+    fn execute_node(&mut self, node: NodeIndex, cycle: u64, ctx: &mut EngineContext) {
+        self.exchanges += 1;
+        let own_id = ctx.network.id(node);
+        // Select a peer from the better half of the view (falling back to a random
+        // sample while the view is still empty).
+        let peer_descriptor = match self.view(node) {
+            Some(view) if !view.is_empty() => {
+                let half = (view.len() / 2).max(1);
+                Some(view[ctx.rng.index(half)])
+            }
+            _ => self.sampler.sample(node, 1, cycle, ctx).into_iter().next(),
+        };
+        let Some(peer) = peer_descriptor else { return };
+        if peer.address() == node {
+            return;
+        }
+        let _ = own_id;
+
+        let request = self.buffer_for(node, peer.id(), cycle, ctx);
+        if !ctx.deliver(node, peer.address()) || !ctx.network.is_alive(peer.address()) {
+            return;
+        }
+        let node_id = ctx.network.id(node);
+        let answer = self.buffer_for(peer.address(), node_id, cycle, ctx);
+        let answer_delivered = ctx.deliver(peer.address(), node);
+        self.merge(peer.address(), &request, ctx);
+        if answer_delivered {
+            self.merge(node, &answer, ctx);
+        }
+    }
+
+    fn node_joined(&mut self, node: NodeIndex, _cycle: u64, ctx: &mut EngineContext) {
+        self.sampler.init_node(node, ctx);
+        self.init_node(node, ctx);
+    }
+
+    fn node_departed(&mut self, node: NodeIndex, _cycle: u64, ctx: &mut EngineContext) {
+        self.sampler.node_departed(node, ctx);
+        if let Some(slot) = self.views.get_mut(node.as_usize()) {
+            *slot = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ranking::{LineRanking, RingRanking};
+    use bss_sampling::sampler::OracleSampler;
+    use bss_sim::engine::cycle::CycleEngine;
+    use bss_sim::network::Network;
+    use bss_sim::transport::DropTransport;
+    use bss_util::rng::SimRng;
+
+    fn engine(size: usize, seed: u64) -> CycleEngine {
+        let mut rng = SimRng::seed_from(seed);
+        let network = Network::with_random_ids(size, &mut rng);
+        CycleEngine::new(network, rng)
+    }
+
+    #[test]
+    fn views_respect_capacity_and_exclude_self() {
+        let mut eng = engine(100, 1);
+        let mut tman = TmanProtocol::new(TmanConfig::default(), RingRanking, OracleSampler::new());
+        tman.init_all(eng.context_mut());
+        eng.run(&mut tman, 10);
+        for node in eng.context().network.all_indices() {
+            let view = tman.view(node).unwrap();
+            assert!(view.len() <= 20);
+            let own = eng.context().network.id(node);
+            assert!(view.iter().all(|d| d.id() != own));
+        }
+        assert_eq!(tman.exchanges(), 1000);
+        assert_eq!(tman.config().view_size, 20);
+    }
+
+    #[test]
+    fn ring_ranking_converges_to_true_neighbours() {
+        let mut eng = engine(200, 2);
+        let mut tman = TmanProtocol::new(TmanConfig::default(), RingRanking, OracleSampler::new());
+        tman.init_all(eng.context_mut());
+        eng.run(&mut tman, 25);
+        let completeness = crate::ring::ring_completeness(&tman, &eng.context().network);
+        assert!(completeness > 0.99, "completeness {completeness}");
+    }
+
+    #[test]
+    fn line_ranking_finds_line_neighbours() {
+        let mut eng = engine(100, 3);
+        let mut tman = TmanProtocol::new(TmanConfig::default(), LineRanking, OracleSampler::new());
+        tman.init_all(eng.context_mut());
+        eng.run(&mut tman, 25);
+        // Every node's best-ranked view entry should be its true nearest neighbour
+        // on the line for the vast majority of nodes.
+        let network = &eng.context().network;
+        let mut ids: Vec<_> = network.alive_ids();
+        ids.sort_unstable();
+        let mut correct = 0usize;
+        for node in network.alive_indices() {
+            let own = network.id(node);
+            let position = ids.binary_search(&own).unwrap();
+            let mut best_true = u64::MAX;
+            if position > 0 {
+                best_true = best_true.min(own.raw().abs_diff(ids[position - 1].raw()));
+            }
+            if position + 1 < ids.len() {
+                best_true = best_true.min(own.raw().abs_diff(ids[position + 1].raw()));
+            }
+            let view = tman.view(node).unwrap();
+            if view
+                .first()
+                .map(|d| own.raw().abs_diff(d.id().raw()) == best_true)
+                .unwrap_or(false)
+            {
+                correct += 1;
+            }
+        }
+        assert!(correct >= 98, "only {correct}/100 found their nearest neighbour");
+    }
+
+    #[test]
+    fn survives_message_loss() {
+        let mut rng = SimRng::seed_from(4);
+        let network = Network::with_random_ids(150, &mut rng);
+        let mut eng =
+            CycleEngine::new(network, rng).with_transport(Box::new(DropTransport::new(0.2)));
+        let mut tman = TmanProtocol::new(TmanConfig::default(), RingRanking, OracleSampler::new());
+        tman.init_all(eng.context_mut());
+        eng.run(&mut tman, 40);
+        let completeness = crate::ring::ring_completeness(&tman, &eng.context().network);
+        assert!(completeness > 0.98, "completeness under loss {completeness}");
+    }
+
+    #[test]
+    fn churn_hooks_create_and_destroy_views() {
+        use bss_sim::churn::UniformChurn;
+        let mut rng = SimRng::seed_from(5);
+        let network = Network::with_random_ids(80, &mut rng);
+        let mut eng = CycleEngine::new(network, rng).with_churn(Box::new(UniformChurn::new(0.05)));
+        let mut tman = TmanProtocol::new(TmanConfig::default(), RingRanking, OracleSampler::new());
+        tman.init_all(eng.context_mut());
+        eng.run(&mut tman, 10);
+        for node in eng.context().network.all_indices() {
+            assert_eq!(
+                tman.view(node).is_some(),
+                eng.context().network.is_alive(node)
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "view_size")]
+    fn zero_view_size_is_rejected() {
+        let _ = TmanProtocol::new(
+            TmanConfig {
+                view_size: 0,
+                message_size: 1,
+                random_samples: 0,
+            },
+            RingRanking,
+            OracleSampler::new(),
+        );
+    }
+}

@@ -1,0 +1,113 @@
+//! Ranking functions: how a node orders candidate neighbours.
+//!
+//! T-Man is parameterised by a ranking function that, given a base identifier,
+//! orders candidate identifiers by desirability. The emergent topology is the one
+//! in which every node's view contains the best-ranked peers: a ring for
+//! [`RingRanking`], a Kademlia-style structure for [`XorRanking`], a sorted line
+//! for [`LineRanking`].
+
+use bss_util::descriptor::{Address, Descriptor};
+use bss_util::id::NodeId;
+use std::fmt::Debug;
+
+/// Orders candidates by desirability for a given base node.
+pub trait Ranking: Debug + Send + Sync {
+    /// A comparable "badness" score: smaller is better.
+    fn distance(&self, base: NodeId, candidate: NodeId) -> u64;
+
+    /// Sorts `candidates` in place, best first, breaking ties by identifier so the
+    /// order is deterministic.
+    fn sort<A: Address>(&self, base: NodeId, candidates: &mut [Descriptor<A>])
+    where
+        Self: Sized,
+    {
+        candidates.sort_by(|a, b| {
+            self.distance(base, a.id())
+                .cmp(&self.distance(base, b.id()))
+                .then_with(|| a.id().cmp(&b.id()))
+        });
+    }
+}
+
+/// Undirected ring distance: produces a sorted ring (the leaf-set topology).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RingRanking;
+
+impl Ranking for RingRanking {
+    fn distance(&self, base: NodeId, candidate: NodeId) -> u64 {
+        base.ring_distance(candidate)
+    }
+}
+
+/// XOR distance: produces the neighbourhoods Kademlia cares about.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct XorRanking;
+
+impl Ranking for XorRanking {
+    fn distance(&self, base: NodeId, candidate: NodeId) -> u64 {
+        base.xor_distance(candidate)
+    }
+}
+
+/// Absolute difference on the identifier line (no wrap-around): produces a sorted
+/// line, useful for testing because its optimum is easy to reason about.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LineRanking;
+
+impl Ranking for LineRanking {
+    fn distance(&self, base: NodeId, candidate: NodeId) -> u64 {
+        base.raw().abs_diff(candidate.raw())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(id: u64) -> Descriptor<u32> {
+        Descriptor::new(NodeId::new(id), 0, 0)
+    }
+
+    #[test]
+    fn ring_ranking_wraps() {
+        let r = RingRanking;
+        assert_eq!(r.distance(NodeId::new(5), NodeId::new(10)), 5);
+        assert_eq!(r.distance(NodeId::new(5), NodeId::new(u64::MAX)), 6);
+        let mut candidates = vec![d(100), d(u64::MAX), d(10)];
+        r.sort(NodeId::new(0), &mut candidates);
+        assert_eq!(candidates[0].id().raw(), u64::MAX);
+        assert_eq!(candidates[1].id().raw(), 10);
+    }
+
+    #[test]
+    fn xor_ranking_matches_xor_metric() {
+        let r = XorRanking;
+        assert_eq!(r.distance(NodeId::new(0b1100), NodeId::new(0b1010)), 0b0110);
+        let mut candidates = vec![d(0b0001), d(0b1000), d(0b1111)];
+        r.sort(NodeId::new(0b1001), &mut candidates);
+        // XOR distances from 0b1001: 0b1000 -> 1, 0b1111 -> 6, 0b0001 -> 8.
+        assert_eq!(candidates[0].id().raw(), 0b1000);
+        assert_eq!(candidates[1].id().raw(), 0b1111);
+        assert_eq!(candidates[2].id().raw(), 0b0001);
+    }
+
+    #[test]
+    fn line_ranking_does_not_wrap() {
+        let r = LineRanking;
+        assert_eq!(r.distance(NodeId::new(5), NodeId::new(u64::MAX)), u64::MAX - 5);
+        assert_eq!(r.distance(NodeId::new(10), NodeId::new(4)), 6);
+        let mut candidates = vec![d(u64::MAX), d(20), d(0)];
+        r.sort(NodeId::new(10), &mut candidates);
+        assert_eq!(candidates[0].id().raw(), 0);
+        assert_eq!(candidates[1].id().raw(), 20);
+        assert_eq!(candidates[2].id().raw(), u64::MAX);
+    }
+
+    #[test]
+    fn ties_are_broken_by_identifier() {
+        let r = RingRanking;
+        let mut candidates = vec![d(15), d(5)];
+        r.sort(NodeId::new(10), &mut candidates);
+        assert_eq!(candidates[0].id().raw(), 5, "equal distance, smaller id first");
+    }
+}

@@ -1,0 +1,126 @@
+//! Quality metrics for the sorted-ring target topology.
+//!
+//! The bootstrap ablation compares the full protocol against plain ring-building
+//! T-Man; these helpers quantify how much of the true ring a T-Man run has found.
+
+use crate::protocol::TmanProtocol;
+use crate::ranking::Ranking;
+use bss_sampling::sampler::PeerSampler;
+use bss_sim::network::Network;
+use bss_util::id::NodeId;
+
+/// Fraction of alive nodes whose view contains both their true ring successor and
+/// their true ring predecessor. 1.0 means the sorted ring is completely known.
+pub fn ring_completeness<R: Ranking, S: PeerSampler>(
+    protocol: &TmanProtocol<R, S>,
+    network: &Network,
+) -> f64 {
+    let mut ids: Vec<NodeId> = network.alive_ids();
+    if ids.len() <= 1 {
+        return 1.0;
+    }
+    ids.sort_unstable();
+    let n = ids.len();
+    let mut complete = 0usize;
+    let mut measured = 0usize;
+    for node in network.alive_indices() {
+        let own = network.id(node);
+        let position = ids.binary_search(&own).expect("alive node in id list");
+        let successor = ids[(position + 1) % n];
+        let predecessor = ids[(position + n - 1) % n];
+        let Some(view) = protocol.view(node) else {
+            continue;
+        };
+        measured += 1;
+        let has_successor = view.iter().any(|d| d.id() == successor);
+        let has_predecessor = view.iter().any(|d| d.id() == predecessor);
+        if has_successor && has_predecessor {
+            complete += 1;
+        }
+    }
+    if measured == 0 {
+        0.0
+    } else {
+        complete as f64 / measured as f64
+    }
+}
+
+/// Mean, over alive nodes, of the number of true nearest ring neighbours (up to
+/// `radius` on each side) present in the node's view, normalised to `[0, 1]`.
+pub fn neighbourhood_coverage<R: Ranking, S: PeerSampler>(
+    protocol: &TmanProtocol<R, S>,
+    network: &Network,
+    radius: usize,
+) -> f64 {
+    let mut ids: Vec<NodeId> = network.alive_ids();
+    if ids.len() <= 1 || radius == 0 {
+        return 1.0;
+    }
+    ids.sort_unstable();
+    let n = ids.len();
+    let per_side = radius.min((n - 1) / 2).max(1);
+    let mut covered = 0usize;
+    let mut expected = 0usize;
+    for node in network.alive_indices() {
+        let Some(view) = protocol.view(node) else {
+            continue;
+        };
+        let own = network.id(node);
+        let position = ids.binary_search(&own).expect("alive node in id list");
+        for step in 1..=per_side {
+            let successor = ids[(position + step) % n];
+            let predecessor = ids[(position + n - step) % n];
+            expected += 2;
+            covered += usize::from(view.iter().any(|d| d.id() == successor));
+            covered += usize::from(view.iter().any(|d| d.id() == predecessor));
+        }
+    }
+    if expected == 0 {
+        1.0
+    } else {
+        covered as f64 / expected as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::TmanConfig;
+    use crate::ranking::RingRanking;
+    use bss_sampling::sampler::OracleSampler;
+    use bss_sim::engine::cycle::CycleEngine;
+    use bss_util::rng::SimRng;
+
+    #[test]
+    fn completeness_is_zero_before_and_high_after_convergence() {
+        let mut rng = SimRng::seed_from(1);
+        let network = Network::with_random_ids(150, &mut rng);
+        let mut engine = CycleEngine::new(network, rng);
+        let mut tman = TmanProtocol::new(TmanConfig::default(), RingRanking, OracleSampler::new());
+        tman.init_all(engine.context_mut());
+        let before = ring_completeness(&tman, &engine.context().network);
+        engine.run(&mut tman, 25);
+        let after = ring_completeness(&tman, &engine.context().network);
+        assert!(after > before, "convergence should improve completeness");
+        assert!(after > 0.99);
+        let coverage = neighbourhood_coverage(&tman, &engine.context().network, 3);
+        assert!(coverage > 0.95, "coverage {coverage}");
+    }
+
+    #[test]
+    fn trivial_networks_report_full_quality() {
+        let mut rng = SimRng::seed_from(2);
+        let network = Network::with_random_ids(1, &mut rng);
+        let tman = TmanProtocol::new(TmanConfig::default(), RingRanking, OracleSampler::new());
+        assert_eq!(ring_completeness(&tman, &network), 1.0);
+        assert_eq!(neighbourhood_coverage(&tman, &network, 5), 1.0);
+    }
+
+    #[test]
+    fn uninitialised_protocol_scores_zero() {
+        let mut rng = SimRng::seed_from(3);
+        let network = Network::with_random_ids(10, &mut rng);
+        let tman = TmanProtocol::new(TmanConfig::default(), RingRanking, OracleSampler::new());
+        assert_eq!(ring_completeness(&tman, &network), 0.0);
+    }
+}

@@ -1,0 +1,330 @@
+//! Protocol parameter sets with the paper's default values.
+//!
+//! Two parameter bundles appear throughout the workspace:
+//!
+//! * [`BootstrapParams`] — the bootstrapping-service parameters of §4/§5:
+//!   prefix-table geometry (`b`, `k`), leaf-set size `c`, number of random samples
+//!   `cr` mixed into every message, and the communication period Δ (expressed as a
+//!   cycle in the simulator, milliseconds in the UDP deployment).
+//! * [`NewscastParams`] — the NEWSCAST peer-sampling parameters of §3: the cache
+//!   (partial view) size and the number of descriptors exchanged per gossip round.
+
+use crate::geometry::{InvalidGeometry, TableGeometry};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Parameters of the bootstrapping-service protocol (paper §4, values from §5).
+///
+/// # Example
+///
+/// ```rust
+/// use bss_util::config::BootstrapParams;
+///
+/// let params = BootstrapParams::paper_default();
+/// assert_eq!(params.leaf_set_size, 20);
+/// assert_eq!(params.random_samples, 30);
+/// assert_eq!(params.geometry().unwrap().bits_per_digit(), 4);
+///
+/// let custom = BootstrapParams::builder()
+///     .leaf_set_size(8)
+///     .random_samples(10)
+///     .build()
+///     .unwrap();
+/// assert_eq!(custom.leaf_set_size, 8);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BootstrapParams {
+    /// Bits per digit (`b`). The paper uses 4.
+    pub bits_per_digit: u8,
+    /// Descriptors per prefix-table slot (`k`). The paper uses 3.
+    pub entries_per_slot: usize,
+    /// Leaf-set size (`c`), split evenly between successors and predecessors. The
+    /// paper uses 20.
+    pub leaf_set_size: usize,
+    /// Number of random samples (`cr`) obtained from the peer sampling service and
+    /// mixed into every outgoing message. The paper uses 30.
+    pub random_samples: usize,
+    /// Length of a cycle (Δ) in milliseconds. Only meaningful for the event-driven
+    /// simulator and the UDP deployment; the cycle-driven engine treats a cycle as
+    /// an abstract unit. The paper suggests periods "in the range of 10 seconds"
+    /// for NEWSCAST; the bootstrap protocol can run much faster.
+    pub cycle_millis: u64,
+}
+
+impl BootstrapParams {
+    /// The configuration used throughout the paper's evaluation:
+    /// `b = 4`, `k = 3`, `c = 20`, `cr = 30`.
+    pub fn paper_default() -> Self {
+        BootstrapParams {
+            bits_per_digit: 4,
+            entries_per_slot: 3,
+            leaf_set_size: 20,
+            random_samples: 30,
+            cycle_millis: 1000,
+        }
+    }
+
+    /// Starts building a configuration from the paper defaults.
+    pub fn builder() -> BootstrapParamsBuilder {
+        BootstrapParamsBuilder {
+            params: Self::paper_default(),
+        }
+    }
+
+    /// The prefix-table geometry implied by `bits_per_digit` and `entries_per_slot`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidGeometry`] when the digit width or slot capacity is invalid.
+    pub fn geometry(&self) -> Result<TableGeometry, InvalidGeometry> {
+        TableGeometry::new(self.bits_per_digit, self.entries_per_slot)
+    }
+
+    /// Validates the whole parameter set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidParams`] when the geometry is invalid, the leaf set is empty
+    /// or not even (it must hold `c/2` successors and `c/2` predecessors), or the
+    /// cycle length is zero.
+    pub fn validate(&self) -> Result<(), InvalidParams> {
+        self.geometry()
+            .map_err(|e| InvalidParams(format!("{e}")))?;
+        if self.leaf_set_size == 0 {
+            return Err(InvalidParams("leaf_set_size must be positive".into()));
+        }
+        if self.leaf_set_size % 2 != 0 {
+            return Err(InvalidParams(format!(
+                "leaf_set_size must be even to balance successors and predecessors, got {}",
+                self.leaf_set_size
+            )));
+        }
+        if self.cycle_millis == 0 {
+            return Err(InvalidParams("cycle_millis must be positive".into()));
+        }
+        Ok(())
+    }
+}
+
+impl Default for BootstrapParams {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+impl fmt::Display for BootstrapParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "b={} k={} c={} cr={} delta={}ms",
+            self.bits_per_digit,
+            self.entries_per_slot,
+            self.leaf_set_size,
+            self.random_samples,
+            self.cycle_millis
+        )
+    }
+}
+
+/// Non-consuming builder for [`BootstrapParams`].
+#[derive(Clone, Debug)]
+pub struct BootstrapParamsBuilder {
+    params: BootstrapParams,
+}
+
+impl BootstrapParamsBuilder {
+    /// Sets the number of bits per digit (`b`).
+    pub fn bits_per_digit(&mut self, b: u8) -> &mut Self {
+        self.params.bits_per_digit = b;
+        self
+    }
+
+    /// Sets the number of descriptors per slot (`k`).
+    pub fn entries_per_slot(&mut self, k: usize) -> &mut Self {
+        self.params.entries_per_slot = k;
+        self
+    }
+
+    /// Sets the leaf-set size (`c`).
+    pub fn leaf_set_size(&mut self, c: usize) -> &mut Self {
+        self.params.leaf_set_size = c;
+        self
+    }
+
+    /// Sets the number of random samples per message (`cr`).
+    pub fn random_samples(&mut self, cr: usize) -> &mut Self {
+        self.params.random_samples = cr;
+        self
+    }
+
+    /// Sets the cycle length Δ in milliseconds.
+    pub fn cycle_millis(&mut self, delta: u64) -> &mut Self {
+        self.params.cycle_millis = delta;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidParams`] when [`BootstrapParams::validate`] fails.
+    pub fn build(&self) -> Result<BootstrapParams, InvalidParams> {
+        self.params.validate()?;
+        Ok(self.params)
+    }
+}
+
+/// Error returned when a parameter set fails validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidParams(String);
+
+impl InvalidParams {
+    /// Creates a validation error with the given message. Exposed so that
+    /// higher-level configuration types (experiment configurations, benchmark
+    /// sweeps) can report their own validation failures with the same error type.
+    pub fn from_message(message: impl Into<String>) -> Self {
+        InvalidParams(message.into())
+    }
+}
+
+impl fmt::Display for InvalidParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid protocol parameters: {}", self.0)
+    }
+}
+
+impl std::error::Error for InvalidParams {}
+
+/// Parameters of the NEWSCAST peer sampling service (paper §3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NewscastParams {
+    /// Size of the partial view (descriptor cache) kept at every node. The paper
+    /// reports implementations with "approximately 30 IP addresses".
+    pub view_size: usize,
+    /// Gossip period in milliseconds ("typically long, in the range of 10 seconds").
+    /// Only meaningful outside the cycle-driven engine.
+    pub period_millis: u64,
+}
+
+impl NewscastParams {
+    /// The configuration described in §3: a cache of 30 descriptors, 10 s period.
+    pub fn paper_default() -> Self {
+        NewscastParams {
+            view_size: 30,
+            period_millis: 10_000,
+        }
+    }
+
+    /// Validates the parameter set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidParams`] when the view size or period is zero.
+    pub fn validate(&self) -> Result<(), InvalidParams> {
+        if self.view_size == 0 {
+            return Err(InvalidParams("view_size must be positive".into()));
+        }
+        if self.period_millis == 0 {
+            return Err(InvalidParams("period_millis must be positive".into()));
+        }
+        Ok(())
+    }
+}
+
+impl Default for NewscastParams {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+impl fmt::Display for NewscastParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "view={} period={}ms",
+            self.view_size, self.period_millis
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_evaluation_section() {
+        let p = BootstrapParams::paper_default();
+        assert_eq!(p.bits_per_digit, 4);
+        assert_eq!(p.entries_per_slot, 3);
+        assert_eq!(p.leaf_set_size, 20);
+        assert_eq!(p.random_samples, 30);
+        assert!(p.validate().is_ok());
+
+        let n = NewscastParams::paper_default();
+        assert_eq!(n.view_size, 30);
+        assert_eq!(n.period_millis, 10_000);
+        assert!(n.validate().is_ok());
+    }
+
+    #[test]
+    fn default_trait_matches_paper_default() {
+        assert_eq!(BootstrapParams::default(), BootstrapParams::paper_default());
+        assert_eq!(NewscastParams::default(), NewscastParams::paper_default());
+    }
+
+    #[test]
+    fn builder_overrides_fields() {
+        let p = BootstrapParams::builder()
+            .bits_per_digit(2)
+            .entries_per_slot(1)
+            .leaf_set_size(8)
+            .random_samples(5)
+            .cycle_millis(250)
+            .build()
+            .unwrap();
+        assert_eq!(p.bits_per_digit, 2);
+        assert_eq!(p.entries_per_slot, 1);
+        assert_eq!(p.leaf_set_size, 8);
+        assert_eq!(p.random_samples, 5);
+        assert_eq!(p.cycle_millis, 250);
+    }
+
+    #[test]
+    fn validation_rejects_bad_configurations() {
+        assert!(BootstrapParams::builder().bits_per_digit(3).build().is_err());
+        assert!(BootstrapParams::builder().leaf_set_size(0).build().is_err());
+        assert!(BootstrapParams::builder().leaf_set_size(7).build().is_err());
+        assert!(BootstrapParams::builder().cycle_millis(0).build().is_err());
+        assert!(BootstrapParams::builder().entries_per_slot(0).build().is_err());
+
+        let bad_view = NewscastParams {
+            view_size: 0,
+            period_millis: 1,
+        };
+        assert!(bad_view.validate().is_err());
+        let bad_period = NewscastParams {
+            view_size: 1,
+            period_millis: 0,
+        };
+        assert!(bad_period.validate().is_err());
+    }
+
+    #[test]
+    fn errors_and_display_are_informative() {
+        let err = BootstrapParams::builder().leaf_set_size(7).build().unwrap_err();
+        assert!(err.to_string().contains("even"));
+        let p = BootstrapParams::paper_default();
+        let text = p.to_string();
+        assert!(text.contains("c=20"));
+        assert!(text.contains("cr=30"));
+        let n = NewscastParams::paper_default().to_string();
+        assert!(n.contains("view=30"));
+    }
+
+    #[test]
+    fn parameter_types_are_serde_and_thread_safe() {
+        fn assert_serde<T: Serialize + for<'de> Deserialize<'de> + Send + Sync>() {}
+        assert_serde::<BootstrapParams>();
+        assert_serde::<NewscastParams>();
+    }
+}

@@ -1,0 +1,197 @@
+//! Node descriptors: the unit of information exchanged by every gossip protocol in
+//! this workspace.
+//!
+//! A descriptor binds a [`NodeId`] to an *address* — whatever a peer needs in order
+//! to contact the node — together with a freshness timestamp used by NEWSCAST to
+//! prefer recent information. In the simulator the address is a dense node index;
+//! in the UDP deployment it is a socket address. The protocol crates are generic
+//! over the address type through the [`Address`] trait.
+
+use crate::id::NodeId;
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// Requirements on the address type carried by a [`Descriptor`].
+///
+/// The trait is automatically implemented for every type satisfying the bounds, so
+/// simulator indices (`u32`-like newtypes), `std::net::SocketAddr` and test stubs
+/// can all act as addresses without any explicit implementation.
+pub trait Address: Copy + Eq + Ord + Hash + Debug + Send + Sync + 'static {}
+
+impl<T> Address for T where T: Copy + Eq + Ord + Hash + Debug + Send + Sync + 'static {}
+
+/// A node descriptor: identifier, contact address and freshness timestamp.
+///
+/// The timestamp is a logical time (cycle number in the simulator, coarse wall
+/// clock in the UDP deployment); larger means fresher. NEWSCAST keeps the freshest
+/// descriptors it has seen, which is how stale information about departed nodes is
+/// eventually purged.
+///
+/// # Example
+///
+/// ```rust
+/// use bss_util::descriptor::Descriptor;
+/// use bss_util::id::NodeId;
+///
+/// let d = Descriptor::new(NodeId::new(42), 7u32, 3);
+/// assert_eq!(d.id(), NodeId::new(42));
+/// assert_eq!(d.address(), 7);
+/// assert_eq!(d.timestamp(), 3);
+/// assert!(d.refreshed(10).timestamp() == 10);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Descriptor<A> {
+    id: NodeId,
+    address: A,
+    timestamp: u64,
+}
+
+impl<A: Address> Descriptor<A> {
+    /// Creates a descriptor from its parts.
+    pub fn new(id: NodeId, address: A, timestamp: u64) -> Self {
+        Descriptor {
+            id,
+            address,
+            timestamp,
+        }
+    }
+
+    /// The node's identifier.
+    #[inline]
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The node's contact address.
+    #[inline]
+    pub fn address(&self) -> A {
+        self.address
+    }
+
+    /// Logical freshness timestamp; larger is fresher.
+    #[inline]
+    pub fn timestamp(&self) -> u64 {
+        self.timestamp
+    }
+
+    /// Returns a copy of the descriptor with its timestamp replaced by `now`.
+    #[must_use]
+    pub fn refreshed(&self, now: u64) -> Self {
+        Descriptor {
+            timestamp: now,
+            ..*self
+        }
+    }
+
+    /// Returns whichever of the two descriptors is fresher, preferring `self` on a
+    /// tie. Both descriptors must refer to the same node.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the descriptors refer to different identifiers.
+    #[must_use]
+    pub fn fresher_of(self, other: Self) -> Self {
+        debug_assert_eq!(self.id, other.id, "fresher_of called on different nodes");
+        if other.timestamp > self.timestamp {
+            other
+        } else {
+            self
+        }
+    }
+}
+
+/// Deduplicates a set of descriptors by identifier, keeping the freshest descriptor
+/// for each identifier. The relative order of first occurrences is preserved.
+pub fn dedup_freshest<A: Address>(descriptors: &mut Vec<Descriptor<A>>) {
+    use std::collections::HashMap;
+    let mut best: HashMap<NodeId, (usize, Descriptor<A>)> = HashMap::with_capacity(descriptors.len());
+    for (pos, d) in descriptors.iter().enumerate() {
+        match best.get_mut(&d.id()) {
+            None => {
+                best.insert(d.id(), (pos, *d));
+            }
+            Some((_, existing)) => {
+                if d.timestamp() > existing.timestamp() {
+                    *existing = *d;
+                }
+            }
+        }
+    }
+    let mut ordered: Vec<(usize, Descriptor<A>)> = best.into_values().collect();
+    ordered.sort_by_key(|(pos, _)| *pos);
+    descriptors.clear();
+    descriptors.extend(ordered.into_iter().map(|(_, d)| d));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(id: u64, addr: u32, ts: u64) -> Descriptor<u32> {
+        Descriptor::new(NodeId::new(id), addr, ts)
+    }
+
+    #[test]
+    fn accessors_return_constructor_arguments() {
+        let desc = d(1, 2, 3);
+        assert_eq!(desc.id(), NodeId::new(1));
+        assert_eq!(desc.address(), 2);
+        assert_eq!(desc.timestamp(), 3);
+    }
+
+    #[test]
+    fn refreshed_only_changes_timestamp() {
+        let desc = d(1, 2, 3).refreshed(99);
+        assert_eq!(desc.id(), NodeId::new(1));
+        assert_eq!(desc.address(), 2);
+        assert_eq!(desc.timestamp(), 99);
+    }
+
+    #[test]
+    fn fresher_of_prefers_larger_timestamp() {
+        let old = d(1, 2, 3);
+        let new = d(1, 2, 10);
+        assert_eq!(old.fresher_of(new).timestamp(), 10);
+        assert_eq!(new.fresher_of(old).timestamp(), 10);
+        // Tie: keeps self.
+        let other_addr = d(1, 9, 3);
+        assert_eq!(old.fresher_of(other_addr).address(), 2);
+    }
+
+    #[test]
+    fn dedup_keeps_freshest_per_id_and_preserves_order() {
+        let mut v = vec![d(1, 10, 1), d(2, 20, 5), d(1, 11, 7), d(3, 30, 2), d(2, 21, 1)];
+        dedup_freshest(&mut v);
+        assert_eq!(v.len(), 3);
+        assert_eq!(v[0].id(), NodeId::new(1));
+        assert_eq!(v[0].timestamp(), 7);
+        assert_eq!(v[0].address(), 11);
+        assert_eq!(v[1].id(), NodeId::new(2));
+        assert_eq!(v[1].timestamp(), 5);
+        assert_eq!(v[2].id(), NodeId::new(3));
+    }
+
+    #[test]
+    fn dedup_on_empty_and_singleton() {
+        let mut empty: Vec<Descriptor<u32>> = vec![];
+        dedup_freshest(&mut empty);
+        assert!(empty.is_empty());
+
+        let mut one = vec![d(1, 1, 1)];
+        dedup_freshest(&mut one);
+        assert_eq!(one.len(), 1);
+    }
+
+    #[test]
+    fn socket_addr_is_an_address() {
+        use std::net::{IpAddr, Ipv4Addr, SocketAddr};
+        fn assert_address<A: Address>() {}
+        assert_address::<SocketAddr>();
+        assert_address::<u32>();
+        let addr = SocketAddr::new(IpAddr::V4(Ipv4Addr::LOCALHOST), 9000);
+        let desc = Descriptor::new(NodeId::new(5), addr, 0);
+        assert_eq!(desc.address(), addr);
+        // keep the type check honest
+        let _ = IpAddr::V4(Ipv4Addr::LOCALHOST);
+    }
+}

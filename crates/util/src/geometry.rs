@@ -1,0 +1,283 @@
+//! The shape of a prefix routing table.
+//!
+//! The paper defines the table by two parameters (§4): `b`, the number of bits per
+//! digit, and `k`, the maximum number of entries stored for each
+//! `(prefix length, first differing digit)` pair. [`TableGeometry`] bundles the two
+//! together with the quantities derived from them (number of rows, number of
+//! columns) and the slot arithmetic used by both the protocol and the convergence
+//! oracle.
+
+use crate::id::{NodeId, ID_BITS};
+use std::fmt;
+
+/// Error returned when constructing an invalid [`TableGeometry`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidGeometry {
+    message: String,
+}
+
+impl fmt::Display for InvalidGeometry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid prefix-table geometry: {}", self.message)
+    }
+}
+
+impl std::error::Error for InvalidGeometry {}
+
+/// The `(b, k)` geometry of a prefix routing table.
+///
+/// * `b` — bits per digit; identifiers are read in base 2^b. The paper uses `b = 4`
+///   ("chosen to match common settings").
+/// * `k` — maximum number of descriptors kept per `(row, column)` slot. The paper
+///   uses `k = 3`; values above one allow proximity optimisation.
+///
+/// # Example
+///
+/// ```rust
+/// use bss_util::geometry::TableGeometry;
+/// use bss_util::id::NodeId;
+///
+/// let g = TableGeometry::new(4, 3).unwrap();
+/// assert_eq!(g.rows(), 16);
+/// assert_eq!(g.columns(), 16);
+///
+/// let me = NodeId::new(0xAB00_0000_0000_0000);
+/// let other = NodeId::new(0xAC00_0000_0000_0000);
+/// // `other` shares one digit with `me` and then differs with digit 0xC.
+/// assert_eq!(g.slot_of(me, other), Some((1, 0xC)));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct TableGeometry {
+    bits_per_digit: u8,
+    entries_per_slot: usize,
+}
+
+impl TableGeometry {
+    /// Creates a geometry from the number of bits per digit and the slot capacity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidGeometry`] if `bits_per_digit` is zero, greater than 8, or
+    /// does not divide 64, or if `entries_per_slot` is zero.
+    pub fn new(bits_per_digit: u8, entries_per_slot: usize) -> Result<Self, InvalidGeometry> {
+        if bits_per_digit == 0 || bits_per_digit > 8 {
+            return Err(InvalidGeometry {
+                message: format!("bits_per_digit must be in 1..=8, got {bits_per_digit}"),
+            });
+        }
+        if ID_BITS % u32::from(bits_per_digit) != 0 {
+            return Err(InvalidGeometry {
+                message: format!("bits_per_digit must divide 64, got {bits_per_digit}"),
+            });
+        }
+        if entries_per_slot == 0 {
+            return Err(InvalidGeometry {
+                message: "entries_per_slot must be at least 1".to_owned(),
+            });
+        }
+        Ok(TableGeometry {
+            bits_per_digit,
+            entries_per_slot,
+        })
+    }
+
+    /// The paper's evaluation geometry: `b = 4`, `k = 3`.
+    pub fn paper_default() -> Self {
+        TableGeometry {
+            bits_per_digit: 4,
+            entries_per_slot: 3,
+        }
+    }
+
+    /// Number of bits per digit (`b`).
+    #[inline]
+    pub fn bits_per_digit(self) -> u8 {
+        self.bits_per_digit
+    }
+
+    /// Maximum number of descriptors per `(row, column)` slot (`k`).
+    #[inline]
+    pub fn entries_per_slot(self) -> usize {
+        self.entries_per_slot
+    }
+
+    /// Number of rows of the table: one row per possible common-prefix length, i.e.
+    /// `64 / b`.
+    #[inline]
+    pub fn rows(self) -> usize {
+        (ID_BITS / u32::from(self.bits_per_digit)) as usize
+    }
+
+    /// Number of columns of the table: one per possible digit value, i.e. `2^b`.
+    #[inline]
+    pub fn columns(self) -> usize {
+        1usize << self.bits_per_digit
+    }
+
+    /// Total number of `(row, column)` slots, excluding the diagonal (a node's own
+    /// digit can never be the *first differing* digit, so that column is unusable in
+    /// every row).
+    #[inline]
+    pub fn usable_slots(self) -> usize {
+        self.rows() * (self.columns() - 1)
+    }
+
+    /// Maximum number of descriptors the table can hold.
+    #[inline]
+    pub fn capacity(self) -> usize {
+        self.usable_slots() * self.entries_per_slot
+    }
+
+    /// The `(row, column)` slot that `other` occupies in `owner`'s prefix table, or
+    /// `None` when `owner == other` (a node never stores itself).
+    ///
+    /// The row is the length of the longest common prefix in digits; the column is
+    /// the value of `other`'s first differing digit (§4: "the prefix table of a
+    /// given node contains up to k IDs for all pairs (i, j), where i is the length of
+    /// the longest common prefix ... and j is the first differing digit").
+    #[inline]
+    pub fn slot_of(self, owner: NodeId, other: NodeId) -> Option<(usize, u8)> {
+        if owner == other {
+            return None;
+        }
+        let row = owner.common_prefix_len(other, self.bits_per_digit);
+        debug_assert!(row < self.rows());
+        let column = other.digit(row, self.bits_per_digit);
+        Some((row, column))
+    }
+
+    /// Flattened index of a `(row, column)` slot, suitable for dense storage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row or column is out of range.
+    #[inline]
+    pub fn slot_index(self, row: usize, column: u8) -> usize {
+        assert!(row < self.rows(), "row {row} out of range");
+        assert!(
+            (column as usize) < self.columns(),
+            "column {column} out of range"
+        );
+        row * self.columns() + column as usize
+    }
+
+    /// Number of rows that can realistically contain entries in a network of `n`
+    /// uniformly random identifiers: approximately `log_{2^b}(n)` plus a small
+    /// constant. Useful for sizing sparse storage; the protocol itself never relies
+    /// on this.
+    pub fn expected_filled_rows(self, n: usize) -> usize {
+        if n <= 1 {
+            return 0;
+        }
+        let bits = (n as f64).log2();
+        ((bits / f64::from(self.bits_per_digit)).ceil() as usize + 2).min(self.rows())
+    }
+}
+
+impl fmt::Display for TableGeometry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "b={} (base {}), k={}, {}x{} slots",
+            self.bits_per_digit,
+            self.columns(),
+            self.entries_per_slot,
+            self.rows(),
+            self.columns()
+        )
+    }
+}
+
+impl Default for TableGeometry {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_evaluation_section() {
+        let g = TableGeometry::paper_default();
+        assert_eq!(g.bits_per_digit(), 4);
+        assert_eq!(g.entries_per_slot(), 3);
+        assert_eq!(g.rows(), 16);
+        assert_eq!(g.columns(), 16);
+        assert_eq!(g.usable_slots(), 16 * 15);
+        assert_eq!(g.capacity(), 16 * 15 * 3);
+    }
+
+    #[test]
+    fn rejects_invalid_parameters() {
+        assert!(TableGeometry::new(0, 3).is_err());
+        assert!(TableGeometry::new(3, 3).is_err());
+        assert!(TableGeometry::new(9, 3).is_err());
+        assert!(TableGeometry::new(4, 0).is_err());
+        assert!(TableGeometry::new(1, 1).is_ok());
+        assert!(TableGeometry::new(8, 5).is_ok());
+    }
+
+    #[test]
+    fn error_message_is_informative() {
+        let err = TableGeometry::new(3, 3).unwrap_err();
+        assert!(err.to_string().contains("divide 64"));
+    }
+
+    #[test]
+    fn slot_of_matches_prefix_definition() {
+        let g = TableGeometry::new(4, 3).unwrap();
+        let me = NodeId::new(0x1234_0000_0000_0000);
+        // Shares "12", differs at digit index 2 with value 0x9.
+        let other = NodeId::new(0x1294_0000_0000_0000);
+        assert_eq!(g.slot_of(me, other), Some((2, 0x9)));
+        // Own identifier maps to no slot.
+        assert_eq!(g.slot_of(me, me), None);
+        // No common prefix: row 0, column = first digit of other.
+        let far = NodeId::new(0xF000_0000_0000_0000);
+        assert_eq!(g.slot_of(me, far), Some((0, 0xF)));
+    }
+
+    #[test]
+    fn slot_column_never_equals_own_digit() {
+        let g = TableGeometry::new(4, 3).unwrap();
+        let me = NodeId::new(0xABCD_EF01_2345_6789);
+        for raw in [0u64, 1, 0xFFFF, 0xABCD_EF01_2345_0000, u64::MAX] {
+            let other = NodeId::new(raw);
+            if let Some((row, col)) = g.slot_of(me, other) {
+                assert_ne!(col, me.digit(row, 4), "column equals own digit for {other}");
+            }
+        }
+    }
+
+    #[test]
+    fn slot_index_is_dense_and_unique() {
+        let g = TableGeometry::new(2, 1).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for row in 0..g.rows() {
+            for col in 0..g.columns() as u8 {
+                assert!(seen.insert(g.slot_index(row, col)));
+            }
+        }
+        assert_eq!(seen.len(), g.rows() * g.columns());
+        assert_eq!(*seen.iter().max().unwrap(), g.rows() * g.columns() - 1);
+    }
+
+    #[test]
+    fn expected_filled_rows_is_logarithmic() {
+        let g = TableGeometry::paper_default();
+        assert_eq!(g.expected_filled_rows(1), 0);
+        assert!(g.expected_filled_rows(1 << 14) <= 7);
+        assert!(g.expected_filled_rows(1 << 18) <= 8);
+        assert!(g.expected_filled_rows(usize::MAX) <= g.rows());
+    }
+
+    #[test]
+    fn display_mentions_parameters() {
+        let g = TableGeometry::paper_default();
+        let s = g.to_string();
+        assert!(s.contains("b=4"));
+        assert!(s.contains("k=3"));
+    }
+}

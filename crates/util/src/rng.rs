@@ -1,0 +1,330 @@
+//! Deterministic pseudo-random number generation for reproducible simulations.
+//!
+//! Every stochastic choice in the simulator — identifier assignment, start-phase
+//! jitter, peer selection, message drops, churn — is driven by [`SimRng`], a small
+//! Xoshiro256** generator seeded through SplitMix64. Given the same seed, a
+//! simulation run is bit-for-bit reproducible across platforms and releases, which
+//! is what lets the experiment harness publish `(seed, series)` pairs in
+//! `EXPERIMENTS.md`.
+//!
+//! The generator is intentionally *not* cryptographically secure; it only needs to
+//! be statistically good and fast.
+
+/// A deterministic pseudo-random number generator (Xoshiro256** seeded via
+/// SplitMix64).
+///
+/// # Example
+///
+/// ```rust
+/// use bss_util::rng::SimRng;
+///
+/// let mut a = SimRng::seed_from(42);
+/// let mut b = SimRng::seed_from(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+///
+/// let die = a.range_u64(1, 7);
+/// assert!((1..7).contains(&die));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SimRng {
+    state: [u64; 4],
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    ///
+    /// Different seeds give independent-looking streams; the same seed always gives
+    /// the same stream.
+    pub fn seed_from(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut state = [0u64; 4];
+        for slot in &mut state {
+            *slot = splitmix64(&mut sm);
+        }
+        // Xoshiro must not be seeded with the all-zero state; SplitMix64 cannot
+        // produce four consecutive zeros, but be defensive anyway.
+        if state == [0, 0, 0, 0] {
+            state[0] = 1;
+        }
+        SimRng { state }
+    }
+
+    /// Derives an independent child generator.
+    ///
+    /// Useful for giving every node (or every experiment repetition) its own stream
+    /// while still controlling everything from a single top-level seed.
+    pub fn fork(&mut self) -> SimRng {
+        let seed = self.next_u64() ^ 0xA076_1D64_78BD_642F;
+        SimRng::seed_from(seed)
+    }
+
+    /// Returns the next 64 uniformly random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.state[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.state[1] << 17;
+        self.state[2] ^= self.state[0];
+        self.state[3] ^= self.state[1];
+        self.state[1] ^= self.state[2];
+        self.state[0] ^= self.state[3];
+        self.state[2] ^= t;
+        self.state[3] = self.state[3].rotate_left(45);
+        result
+    }
+
+    /// Returns a uniformly random `u32`.
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Returns a uniformly random value in the half-open range `[low, high)`.
+    ///
+    /// Uses rejection sampling (Lemire-style bounded generation) so the result is
+    /// unbiased.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `low >= high`.
+    #[inline]
+    pub fn range_u64(&mut self, low: u64, high: u64) -> u64 {
+        assert!(low < high, "empty range {low}..{high}");
+        let span = high - low;
+        low + self.bounded(span)
+    }
+
+    /// Returns a uniformly random index in `0..len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0`.
+    #[inline]
+    pub fn index(&mut self, len: usize) -> usize {
+        assert!(len > 0, "cannot pick an index from an empty collection");
+        self.bounded(len as u64) as usize
+    }
+
+    #[inline]
+    fn bounded(&mut self, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        // Rejection sampling to avoid modulo bias.
+        let zone = u64::MAX - (u64::MAX % span);
+        loop {
+            let value = self.next_u64();
+            if value < zone || zone == 0 {
+                return value % span;
+            }
+        }
+    }
+
+    /// Returns a uniformly random `f64` in `[0, 1)`.
+    #[inline]
+    pub fn unit_f64(&mut self) -> f64 {
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.unit_f64() < p
+        }
+    }
+
+    /// Picks a uniformly random element of `slice`, or `None` when it is empty.
+    pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> Option<&'a T> {
+        if slice.is_empty() {
+            None
+        } else {
+            Some(&slice[self.index(slice.len())])
+        }
+    }
+
+    /// Shuffles `slice` in place (Fisher–Yates).
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.index(i + 1);
+            slice.swap(i, j);
+        }
+    }
+
+    /// Draws `count` elements from `slice` uniformly at random *without*
+    /// replacement (partial Fisher–Yates over indices). When `count >= slice.len()`
+    /// a shuffled copy of the whole slice is returned.
+    pub fn sample<T: Clone>(&mut self, slice: &[T], count: usize) -> Vec<T> {
+        let n = slice.len();
+        if count >= n {
+            let mut all: Vec<T> = slice.to_vec();
+            self.shuffle(&mut all);
+            return all;
+        }
+        let mut indices: Vec<usize> = (0..n).collect();
+        for i in 0..count {
+            let j = i + self.index(n - i);
+            indices.swap(i, j);
+        }
+        indices[..count].iter().map(|&i| slice[i].clone()).collect()
+    }
+
+    /// Generates `count` *distinct* uniformly random `u64` values.
+    ///
+    /// Used to assign unique node identifiers; with 64-bit identifiers collisions
+    /// are astronomically unlikely but we guarantee uniqueness anyway because the
+    /// convergence oracle assumes distinct identifiers.
+    pub fn distinct_u64(&mut self, count: usize) -> Vec<u64> {
+        use std::collections::HashSet;
+        let mut seen = HashSet::with_capacity(count);
+        let mut out = Vec::with_capacity(count);
+        while out.len() < count {
+            let v = self.next_u64();
+            if seen.insert(v) {
+                out.push(v);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed_from(7);
+        let mut b = SimRng::seed_from(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::seed_from(1);
+        let mut b = SimRng::seed_from(2);
+        let collisions = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(collisions, 0);
+    }
+
+    #[test]
+    fn fork_produces_independent_stream() {
+        let mut parent = SimRng::seed_from(3);
+        let mut child = parent.fork();
+        let parent_next = parent.next_u64();
+        let child_next = child.next_u64();
+        assert_ne!(parent_next, child_next);
+        // Forking is itself deterministic.
+        let mut parent2 = SimRng::seed_from(3);
+        let mut child2 = parent2.fork();
+        assert_eq!(child2.next_u64(), child_next);
+    }
+
+    #[test]
+    fn range_stays_in_bounds_and_covers_values() {
+        let mut rng = SimRng::seed_from(11);
+        let mut seen = [false; 6];
+        for _ in 0..1000 {
+            let v = rng.range_u64(10, 16);
+            assert!((10..16).contains(&v));
+            seen[(v - 10) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values in range should appear");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn range_rejects_empty() {
+        SimRng::seed_from(0).range_u64(5, 5);
+    }
+
+    #[test]
+    fn unit_f64_in_unit_interval_and_roughly_uniform() {
+        let mut rng = SimRng::seed_from(13);
+        let n = 20_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let v = rng.unit_f64();
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} too far from 0.5");
+    }
+
+    #[test]
+    fn chance_extremes_and_statistics() {
+        let mut rng = SimRng::seed_from(17);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+        assert!(!rng.chance(-1.0));
+        assert!(rng.chance(2.0));
+        let hits = (0..10_000).filter(|_| rng.chance(0.2)).count();
+        let rate = hits as f64 / 10_000.0;
+        assert!((rate - 0.2).abs() < 0.02, "empirical rate {rate}");
+    }
+
+    #[test]
+    fn choose_and_shuffle_behave() {
+        let mut rng = SimRng::seed_from(19);
+        let empty: [u8; 0] = [];
+        assert!(rng.choose(&empty).is_none());
+        let items = [1, 2, 3, 4];
+        for _ in 0..50 {
+            assert!(items.contains(rng.choose(&items).unwrap()));
+        }
+        let mut data: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut data);
+        let mut sorted = data.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(data, (0..100).collect::<Vec<_>>(), "shuffle should permute");
+    }
+
+    #[test]
+    fn sample_without_replacement() {
+        let mut rng = SimRng::seed_from(23);
+        let items: Vec<u32> = (0..50).collect();
+        let picked = rng.sample(&items, 10);
+        assert_eq!(picked.len(), 10);
+        let unique: std::collections::HashSet<_> = picked.iter().collect();
+        assert_eq!(unique.len(), 10, "sample must not repeat elements");
+        // Asking for more than available returns everything.
+        let all = rng.sample(&items, 100);
+        assert_eq!(all.len(), 50);
+    }
+
+    #[test]
+    fn distinct_u64_yields_unique_values() {
+        let mut rng = SimRng::seed_from(29);
+        let ids = rng.distinct_u64(1000);
+        let unique: std::collections::HashSet<_> = ids.iter().collect();
+        assert_eq!(unique.len(), 1000);
+    }
+
+    #[test]
+    fn index_covers_all_positions() {
+        let mut rng = SimRng::seed_from(31);
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            seen[rng.index(5)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

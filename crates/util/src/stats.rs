@@ -1,0 +1,480 @@
+//! Time series and summary statistics used by the experiment harness.
+//!
+//! The paper's figures plot the *proportion of missing entries* (leaf set or prefix
+//! table) against the cycle number, on a logarithmic y axis, one curve per network
+//! size, with several independent repetitions per size. The types here hold exactly
+//! that: per-cycle series ([`Series`]), collections of repetitions
+//! ([`SeriesBundle`]), and scalar summaries ([`Summary`], [`Histogram`]).
+
+use std::fmt;
+
+/// A single experiment trajectory: one value per cycle.
+///
+/// # Example
+///
+/// ```rust
+/// use bss_util::stats::Series;
+///
+/// let mut s = Series::new("missing_leafset");
+/// s.push(0, 1.0);
+/// s.push(1, 0.25);
+/// s.push(2, 0.0);
+/// assert_eq!(s.len(), 3);
+/// assert_eq!(s.final_value(), Some(0.0));
+/// assert_eq!(s.first_cycle_at_or_below(0.5), Some(1));
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Series {
+    name: String,
+    points: Vec<(u64, f64)>,
+}
+
+impl Series {
+    /// Creates an empty series with a descriptive name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Series {
+            name: name.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// The series name (used as a column header in reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends an observation for `cycle`.
+    pub fn push(&mut self, cycle: u64, value: f64) {
+        self.points.push((cycle, value));
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the series has no observations.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Iterates over `(cycle, value)` observations in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, f64)> + '_ {
+        self.points.iter().copied()
+    }
+
+    /// The observations as a slice.
+    pub fn points(&self) -> &[(u64, f64)] {
+        &self.points
+    }
+
+    /// The last observed value, if any.
+    pub fn final_value(&self) -> Option<f64> {
+        self.points.last().map(|&(_, v)| v)
+    }
+
+    /// The last observed cycle, if any.
+    pub fn final_cycle(&self) -> Option<u64> {
+        self.points.last().map(|&(c, _)| c)
+    }
+
+    /// The first cycle at which the value is less than or equal to `threshold`
+    /// (e.g. "first cycle with fewer than 1 % of entries missing"), or `None` if the
+    /// threshold is never reached.
+    pub fn first_cycle_at_or_below(&self, threshold: f64) -> Option<u64> {
+        self.points
+            .iter()
+            .find(|&&(_, v)| v <= threshold)
+            .map(|&(c, _)| c)
+    }
+
+    /// The value observed at `cycle`, if present.
+    pub fn value_at(&self, cycle: u64) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|&&(c, _)| c == cycle)
+            .map(|&(_, v)| v)
+    }
+}
+
+/// A collection of repeated trajectories of the same experiment (e.g. the paper's
+/// 50 independent runs at N = 2^14), supporting per-cycle aggregation.
+#[derive(Clone, Debug, Default)]
+pub struct SeriesBundle {
+    runs: Vec<Series>,
+}
+
+impl SeriesBundle {
+    /// Creates an empty bundle.
+    pub fn new() -> Self {
+        SeriesBundle { runs: Vec::new() }
+    }
+
+    /// Adds a completed run.
+    pub fn push(&mut self, run: Series) {
+        self.runs.push(run);
+    }
+
+    /// Number of runs in the bundle.
+    pub fn len(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Whether the bundle contains no runs.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// The individual runs.
+    pub fn runs(&self) -> &[Series] {
+        &self.runs
+    }
+
+    /// The largest cycle index present in any run.
+    pub fn max_cycle(&self) -> u64 {
+        self.runs
+            .iter()
+            .filter_map(Series::final_cycle)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Per-cycle mean across runs. Runs that have already converged (and therefore
+    /// stopped recording) are treated as contributing their final value, mirroring
+    /// how the paper draws curves that simply end at convergence.
+    pub fn mean_per_cycle(&self) -> Series {
+        let mut out = Series::new(format!(
+            "mean({})",
+            self.runs.first().map(Series::name).unwrap_or("empty")
+        ));
+        if self.runs.is_empty() {
+            return out;
+        }
+        for cycle in 0..=self.max_cycle() {
+            let mut sum = 0.0;
+            let mut count = 0usize;
+            for run in &self.runs {
+                let value = run.value_at(cycle).or_else(|| {
+                    run.final_cycle()
+                        .filter(|&fc| fc < cycle)
+                        .and_then(|_| run.final_value())
+                });
+                if let Some(v) = value {
+                    sum += v;
+                    count += 1;
+                }
+            }
+            if count > 0 {
+                out.push(cycle, sum / count as f64);
+            }
+        }
+        out
+    }
+
+    /// Mean, across runs, of the first cycle at which the value drops to or below
+    /// `threshold`. Runs that never reach the threshold are ignored; returns `None`
+    /// if no run reaches it.
+    pub fn mean_convergence_cycle(&self, threshold: f64) -> Option<f64> {
+        let cycles: Vec<u64> = self
+            .runs
+            .iter()
+            .filter_map(|r| r.first_cycle_at_or_below(threshold))
+            .collect();
+        if cycles.is_empty() {
+            None
+        } else {
+            Some(cycles.iter().sum::<u64>() as f64 / cycles.len() as f64)
+        }
+    }
+}
+
+/// Scalar summary of a sample: count, mean, standard deviation, extremes and
+/// selected percentiles.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: usize,
+    /// Arithmetic mean (0 when the sample is empty).
+    pub mean: f64,
+    /// Population standard deviation (0 when the sample is empty).
+    pub std_dev: f64,
+    /// Minimum observation (0 when the sample is empty).
+    pub min: f64,
+    /// Maximum observation (0 when the sample is empty).
+    pub max: f64,
+    /// Median (50th percentile).
+    pub median: f64,
+    /// 95th percentile.
+    pub p95: f64,
+}
+
+impl Summary {
+    /// Computes a summary of `values`. An empty slice yields an all-zero summary
+    /// with `count == 0`.
+    pub fn of(values: &[f64]) -> Self {
+        if values.is_empty() {
+            return Summary {
+                count: 0,
+                mean: 0.0,
+                std_dev: 0.0,
+                min: 0.0,
+                max: 0.0,
+                median: 0.0,
+                p95: 0.0,
+            };
+        }
+        let count = values.len();
+        let mean = values.iter().sum::<f64>() / count as f64;
+        let variance = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / count as f64;
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in summary input"));
+        Summary {
+            count,
+            mean,
+            std_dev: variance.sqrt(),
+            min: sorted[0],
+            max: sorted[count - 1],
+            median: percentile_of_sorted(&sorted, 0.50),
+            p95: percentile_of_sorted(&sorted, 0.95),
+        }
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.4} std={:.4} min={:.4} median={:.4} p95={:.4} max={:.4}",
+            self.count, self.mean, self.std_dev, self.min, self.median, self.p95, self.max
+        )
+    }
+}
+
+/// Percentile (nearest-rank with linear interpolation) of an already sorted slice.
+///
+/// # Panics
+///
+/// Panics if the slice is empty or `q` is outside `[0, 1]`.
+pub fn percentile_of_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty slice");
+    assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = q * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// A fixed-width histogram over `u64` observations, used for in-degree
+/// distributions and message-size accounting.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    bucket_width: u64,
+    counts: Vec<u64>,
+    total: u64,
+    sum: u128,
+    max: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram whose buckets are `[0, w)`, `[w, 2w)`, ...
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_width` is zero.
+    pub fn new(bucket_width: u64) -> Self {
+        assert!(bucket_width > 0, "bucket width must be positive");
+        Histogram {
+            bucket_width,
+            counts: Vec::new(),
+            total: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: u64) {
+        let bucket = (value / self.bucket_width) as usize;
+        if bucket >= self.counts.len() {
+            self.counts.resize(bucket + 1, 0);
+        }
+        self.counts[bucket] += 1;
+        self.total += 1;
+        self.sum += u128::from(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean of all observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Largest observation recorded (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Iterates over `(bucket_lower_bound, count)` pairs for non-empty buckets.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(move |(i, &c)| (i as u64 * self.bucket_width, c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_basic_accessors() {
+        let mut s = Series::new("x");
+        assert!(s.is_empty());
+        assert_eq!(s.final_value(), None);
+        s.push(0, 1.0);
+        s.push(1, 0.5);
+        s.push(3, 0.1);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.name(), "x");
+        assert_eq!(s.final_value(), Some(0.1));
+        assert_eq!(s.final_cycle(), Some(3));
+        assert_eq!(s.value_at(1), Some(0.5));
+        assert_eq!(s.value_at(2), None);
+        assert_eq!(s.points().len(), 3);
+        assert_eq!(s.iter().count(), 3);
+    }
+
+    #[test]
+    fn first_cycle_at_or_below_finds_threshold_crossing() {
+        let mut s = Series::new("x");
+        for (c, v) in [(0, 1.0), (1, 0.4), (2, 0.04), (3, 0.0)] {
+            s.push(c, v);
+        }
+        assert_eq!(s.first_cycle_at_or_below(0.5), Some(1));
+        assert_eq!(s.first_cycle_at_or_below(0.01), Some(3));
+        assert_eq!(s.first_cycle_at_or_below(-1.0), None);
+    }
+
+    #[test]
+    fn bundle_mean_extends_converged_runs() {
+        let mut bundle = SeriesBundle::new();
+        let mut a = Series::new("m");
+        a.push(0, 1.0);
+        a.push(1, 0.0); // converged at cycle 1
+        let mut b = Series::new("m");
+        b.push(0, 1.0);
+        b.push(1, 0.5);
+        b.push(2, 0.0);
+        bundle.push(a);
+        bundle.push(b);
+        assert_eq!(bundle.len(), 2);
+        assert_eq!(bundle.max_cycle(), 2);
+        let mean = bundle.mean_per_cycle();
+        assert_eq!(mean.value_at(0), Some(1.0));
+        assert_eq!(mean.value_at(1), Some(0.25));
+        // Run `a` contributes its final value (0.0) at cycle 2.
+        assert_eq!(mean.value_at(2), Some(0.0));
+    }
+
+    #[test]
+    fn bundle_convergence_cycle() {
+        let mut bundle = SeriesBundle::new();
+        for final_cycle in [2u64, 4u64] {
+            let mut s = Series::new("m");
+            for c in 0..=final_cycle {
+                s.push(c, if c == final_cycle { 0.0 } else { 1.0 });
+            }
+            bundle.push(s);
+        }
+        assert_eq!(bundle.mean_convergence_cycle(0.0), Some(3.0));
+        assert_eq!(bundle.mean_convergence_cycle(-1.0), None);
+    }
+
+    #[test]
+    fn empty_bundle_behaves() {
+        let bundle = SeriesBundle::new();
+        assert!(bundle.is_empty());
+        assert_eq!(bundle.max_cycle(), 0);
+        assert!(bundle.mean_per_cycle().is_empty());
+        assert_eq!(bundle.mean_convergence_cycle(0.5), None);
+        assert!(bundle.runs().is_empty());
+    }
+
+    #[test]
+    fn summary_of_known_sample() {
+        let values = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let s = Summary::of(&values);
+        assert_eq!(s.count, 8);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.std_dev - 2.0).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert!((s.median - 4.5).abs() < 1e-12);
+        let rendered = s.to_string();
+        assert!(rendered.contains("n=8"));
+    }
+
+    #[test]
+    fn summary_of_empty_sample_is_zero() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.max, 0.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let sorted = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile_of_sorted(&sorted, 0.0), 1.0);
+        assert_eq!(percentile_of_sorted(&sorted, 1.0), 4.0);
+        assert!((percentile_of_sorted(&sorted, 0.5) - 2.5).abs() < 1e-12);
+        assert_eq!(percentile_of_sorted(&[42.0], 0.3), 42.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn percentile_rejects_empty() {
+        percentile_of_sorted(&[], 0.5);
+    }
+
+    #[test]
+    fn histogram_counts_and_statistics() {
+        let mut h = Histogram::new(10);
+        for v in [0u64, 5, 9, 10, 25, 25, 99] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.max(), 99);
+        assert!((h.mean() - (0 + 5 + 9 + 10 + 25 + 25 + 99) as f64 / 7.0).abs() < 1e-12);
+        let buckets: Vec<_> = h.buckets().collect();
+        assert!(buckets.contains(&(0, 3)));
+        assert!(buckets.contains(&(10, 1)));
+        assert!(buckets.contains(&(20, 2)));
+        assert!(buckets.contains(&(90, 1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn histogram_rejects_zero_width() {
+        Histogram::new(0);
+    }
+}

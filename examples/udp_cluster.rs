@@ -1,0 +1,53 @@
+//! Bootstrap a real cluster of UDP peers on localhost.
+//!
+//! The simulator results (Figures 3 and 4) use the cycle-driven engine; this
+//! example runs the very same node-local protocol over real sockets and threads,
+//! which is how a deployment would actually use the bootstrapping service.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example udp_cluster
+//! ```
+
+use bootstrapping_service::net::cluster::{Cluster, ClusterConfig};
+use std::time::{Duration, Instant};
+
+fn main() {
+    let config = ClusterConfig {
+        size: 24,
+        seed: 7,
+        ..ClusterConfig::default()
+    };
+    println!("spawning {} UDP peers on localhost ...", config.size);
+    let cluster = match Cluster::spawn(config) {
+        Ok(cluster) => cluster,
+        Err(error) => {
+            eprintln!("cannot bind loopback UDP sockets in this environment: {error}");
+            return;
+        }
+    };
+
+    let started = Instant::now();
+    let converged = cluster.wait_for_convergence(Duration::from_secs(30));
+    let state = cluster.measure();
+    println!(
+        "after {:.1}s: converged = {converged} (missing leaf entries: {}, missing prefix entries: {})",
+        started.elapsed().as_secs_f64(),
+        state.leaf_missing,
+        state.prefix_missing
+    );
+
+    if let Some(peer) = cluster.peers().first() {
+        let snapshot = peer.state_snapshot();
+        println!(
+            "peer {} @ {}: leaf set {} entries, prefix table {} entries, {} exchanges initiated",
+            peer.id(),
+            peer.address(),
+            snapshot.leaf_set().len(),
+            snapshot.prefix_table().len(),
+            peer.exchanges_initiated()
+        );
+    }
+    cluster.shutdown();
+}

@@ -1,0 +1,202 @@
+//! Property-based tests of the core data-structure invariants, driven by proptest.
+//!
+//! These cover the algebra underneath the protocol: identifier digit arithmetic,
+//! ring metrics, leaf-set balancing, prefix-table slot discipline, the
+//! `CREATEMESSAGE` bounds and the wire codec.
+
+use bootstrapping_service::core::leafset::LeafSet;
+use bootstrapping_service::core::message::{create_message, message_size_bound};
+use bootstrapping_service::core::prefix_table::PrefixTable;
+use bootstrapping_service::util::descriptor::Descriptor;
+use bootstrapping_service::util::geometry::TableGeometry;
+use bootstrapping_service::util::id::NodeId;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn descriptor_strategy() -> impl Strategy<Value = Descriptor<u32>> {
+    (any::<u64>(), any::<u32>(), any::<u64>())
+        .prop_map(|(id, addr, ts)| Descriptor::new(NodeId::new(id), addr, ts))
+}
+
+proptest! {
+    #[test]
+    fn digit_round_trip_for_all_supported_widths(raw in any::<u64>(), width in prop::sample::select(vec![1u8, 2, 4, 8])) {
+        let id = NodeId::new(raw);
+        let digits = id.digits(width);
+        prop_assert_eq!(digits.len(), NodeId::digit_count(width));
+        prop_assert_eq!(NodeId::from_digits(&digits, width), id);
+        for digit in digits {
+            prop_assert!(u32::from(digit) < (1u32 << width));
+        }
+    }
+
+    #[test]
+    fn ring_distance_is_a_metric_up_to_the_ring_structure(a in any::<u64>(), b in any::<u64>(), c in any::<u64>()) {
+        let (a, b, c) = (NodeId::new(a), NodeId::new(b), NodeId::new(c));
+        // Symmetry and identity.
+        prop_assert_eq!(a.ring_distance(b), b.ring_distance(a));
+        prop_assert_eq!(a.ring_distance(a), 0);
+        prop_assert!(a.ring_distance(b) <= u64::MAX / 2 + 1);
+        // Triangle inequality (saturating to avoid overflow in the sum).
+        let direct = a.ring_distance(c) as u128;
+        let via = a.ring_distance(b) as u128 + b.ring_distance(c) as u128;
+        prop_assert!(direct <= via);
+    }
+
+    #[test]
+    fn successor_classification_is_antisymmetric(a in any::<u64>(), b in any::<u64>()) {
+        prop_assume!(a != b);
+        let (a, b) = (NodeId::new(a), NodeId::new(b));
+        let forward = a.clockwise_distance(b);
+        let backward = b.clockwise_distance(a);
+        // Exactly one direction is the shorter one unless they are antipodal.
+        if forward != backward {
+            prop_assert_ne!(a.is_successor(b), b.is_successor(a));
+        }
+    }
+
+    #[test]
+    fn common_prefix_is_symmetric_and_consistent_with_slots(a in any::<u64>(), b in any::<u64>()) {
+        let (a, b) = (NodeId::new(a), NodeId::new(b));
+        let geometry = TableGeometry::paper_default();
+        prop_assert_eq!(a.common_prefix_len(b, 4), b.common_prefix_len(a, 4));
+        if a != b {
+            let (row, column) = geometry.slot_of(a, b).unwrap();
+            prop_assert_eq!(row, a.common_prefix_len(b, 4));
+            prop_assert_eq!(column, b.digit(row, 4));
+            prop_assert_ne!(column, a.digit(row, 4));
+        } else {
+            prop_assert!(geometry.slot_of(a, b).is_none());
+        }
+    }
+
+    #[test]
+    fn leaf_set_invariants_hold_for_arbitrary_updates(
+        own in any::<u64>(),
+        capacity in prop::sample::select(vec![2usize, 4, 8, 20]),
+        incoming in vec(descriptor_strategy(), 0..120),
+        second_wave in vec(descriptor_strategy(), 0..60),
+    ) {
+        let own = NodeId::new(own);
+        let mut leaf_set = LeafSet::new(own, capacity);
+        leaf_set.update(incoming.iter().copied());
+        let before: std::collections::HashSet<NodeId> = leaf_set.iter().map(|d| d.id()).collect();
+        leaf_set.update(second_wave.iter().copied());
+
+        // Size and self-exclusion.
+        prop_assert!(leaf_set.len() <= capacity);
+        prop_assert!(leaf_set.iter().all(|d| d.id() != own));
+        // No duplicates.
+        let unique: std::collections::HashSet<NodeId> = leaf_set.iter().map(|d| d.id()).collect();
+        prop_assert_eq!(unique.len(), leaf_set.len());
+        // Successors and predecessors are correctly classified and sorted.
+        for window in leaf_set.successors().windows(2) {
+            prop_assert!(own.clockwise_distance(window[0].id()) <= own.clockwise_distance(window[1].id()));
+        }
+        for window in leaf_set.predecessors().windows(2) {
+            prop_assert!(window[0].id().clockwise_distance(own) <= window[1].id().clockwise_distance(own));
+        }
+        for descriptor in leaf_set.successors() {
+            prop_assert!(own.is_successor(descriptor.id()));
+        }
+        for descriptor in leaf_set.predecessors() {
+            prop_assert!(!own.is_successor(descriptor.id()));
+        }
+        // Monotone improvement: an entry can only disappear if the set is at capacity.
+        if leaf_set.len() < capacity {
+            for id in &before {
+                prop_assert!(leaf_set.contains(*id), "entry lost while below capacity");
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_table_invariants_hold_for_arbitrary_updates(
+        own in any::<u64>(),
+        entries_per_slot in 1usize..4,
+        incoming in vec(descriptor_strategy(), 0..200),
+    ) {
+        let own = NodeId::new(own);
+        let geometry = TableGeometry::new(4, entries_per_slot).unwrap();
+        let mut table = PrefixTable::new(own, geometry);
+        let inserted = table.update(incoming.iter().copied());
+        prop_assert!(inserted <= incoming.len());
+        prop_assert_eq!(table.len(), table.iter().count());
+        prop_assert!(!table.contains(own));
+
+        for row in 0..geometry.rows() {
+            for column in 0..geometry.columns() as u8 {
+                let slot = table.slot(row, column);
+                prop_assert!(slot.len() <= entries_per_slot);
+                for descriptor in slot {
+                    // Every stored entry sits in exactly the slot its identifier defines.
+                    prop_assert_eq!(geometry.slot_of(own, descriptor.id()), Some((row, column)));
+                }
+                let ids: std::collections::HashSet<NodeId> = slot.iter().map(|d| d.id()).collect();
+                prop_assert_eq!(ids.len(), slot.len());
+            }
+        }
+    }
+
+    #[test]
+    fn create_message_is_bounded_and_sourced_from_local_knowledge(
+        own in any::<u64>(),
+        peer in any::<u64>(),
+        leaf_candidates in vec(descriptor_strategy(), 0..60),
+        table_candidates in vec(descriptor_strategy(), 0..120),
+        samples in vec(descriptor_strategy(), 0..40),
+    ) {
+        prop_assume!(own != peer);
+        let own_id = NodeId::new(own);
+        let peer_id = NodeId::new(peer);
+        let own_descriptor = Descriptor::new(own_id, 0u32, 0);
+        let geometry = TableGeometry::paper_default();
+        let mut leaf_set = LeafSet::new(own_id, 20);
+        leaf_set.update(leaf_candidates.iter().copied());
+        let mut table = PrefixTable::new(own_id, geometry);
+        table.update(table_candidates.iter().copied());
+
+        let message = create_message(own_descriptor, &leaf_set, &table, &samples, peer_id, 20);
+
+        // Bounded by the paper's bound.
+        prop_assert!(message.len() <= message_size_bound(20, geometry.capacity()));
+        // Never contains the peer, never contains duplicates.
+        prop_assert!(message.iter().all(|d| d.id() != peer_id));
+        let unique: std::collections::HashSet<NodeId> = message.iter().map(|d| d.id()).collect();
+        prop_assert_eq!(unique.len(), message.len());
+        // Every entry comes from local knowledge (leaf set, table, samples or self).
+        let known: std::collections::HashSet<NodeId> = leaf_set
+            .iter()
+            .map(|d| d.id())
+            .chain(table.iter().map(|d| d.id()))
+            .chain(samples.iter().map(|d| d.id()))
+            .chain(std::iter::once(own_id))
+            .collect();
+        for descriptor in &message {
+            prop_assert!(known.contains(&descriptor.id()));
+        }
+    }
+
+    #[test]
+    fn udp_codec_round_trips_arbitrary_messages(
+        kind_is_request in any::<bool>(),
+        sender_id in any::<u64>(),
+        sender_port in any::<u16>(),
+        entries in vec((any::<u64>(), any::<u16>(), any::<u64>()), 0..80),
+    ) {
+        use bootstrapping_service::net::codec::{decode, encode, MessageKind, WireMessage};
+        use std::net::{Ipv4Addr, SocketAddr, SocketAddrV4};
+
+        let addr = |port: u16| SocketAddr::V4(SocketAddrV4::new(Ipv4Addr::LOCALHOST, port));
+        let message = WireMessage {
+            kind: if kind_is_request { MessageKind::Request } else { MessageKind::Response },
+            sender: Descriptor::new(NodeId::new(sender_id), addr(sender_port), 1),
+            descriptors: entries
+                .into_iter()
+                .map(|(id, port, ts)| Descriptor::new(NodeId::new(id), addr(port), ts))
+                .collect(),
+        };
+        let decoded = decode(&encode(&message)).expect("round trip");
+        prop_assert_eq!(decoded, message);
+    }
+}
