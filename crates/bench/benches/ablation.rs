@@ -12,21 +12,28 @@ fn bench_sampler_choice(criterion: &mut Criterion) {
     group.sample_size(10);
     for (name, sampler) in [
         ("oracle", SamplerChoice::Oracle),
-        ("newscast", SamplerChoice::Newscast(NewscastParams::paper_default())),
+        (
+            "newscast",
+            SamplerChoice::Newscast(NewscastParams::paper_default()),
+        ),
     ] {
-        group.bench_with_input(BenchmarkId::new("sampler", name), &sampler, |bencher, &sampler| {
-            bencher.iter(|| {
-                let config = ExperimentConfig::builder()
-                    .network_size(512)
-                    .seed(5)
-                    .sampler(sampler)
-                    .max_cycles(100)
-                    .build()
-                    .expect("valid configuration");
-                let outcome = Experiment::new(config).run();
-                black_box(outcome.convergence_cycle())
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("sampler", name),
+            &sampler,
+            |bencher, &sampler| {
+                bencher.iter(|| {
+                    let config = ExperimentConfig::builder()
+                        .network_size(512)
+                        .seed(5)
+                        .sampler(sampler)
+                        .max_cycles(100)
+                        .build()
+                        .expect("valid configuration");
+                    let outcome = Experiment::new(config).run();
+                    black_box(outcome.convergence_cycle())
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -49,7 +49,11 @@ fn bench_prefix_table_update(criterion: &mut Criterion) {
 fn bench_convergence_oracle(criterion: &mut Criterion) {
     let mut rng = SimRng::seed_from(3);
     let params = BootstrapParams::paper_default();
-    let ids: Vec<NodeId> = rng.distinct_u64(1 << 12).into_iter().map(NodeId::new).collect();
+    let ids: Vec<NodeId> = rng
+        .distinct_u64(1 << 12)
+        .into_iter()
+        .map(NodeId::new)
+        .collect();
     let oracle = ConvergenceOracle::new(ids.clone(), &params);
     criterion.bench_function("oracle_fillable_entries_4096_nodes", |bencher| {
         let mut cursor = 0usize;

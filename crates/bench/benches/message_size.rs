@@ -64,22 +64,28 @@ fn bench_create_message(criterion: &mut Criterion) {
     );
 
     for cr in [0usize, 30, 120] {
-        group.bench_with_input(BenchmarkId::new("by_random_samples", cr), &cr, |bencher, &cr| {
-            let mut sample_rng = SimRng::seed_from(cr as u64 + 10);
-            let samples: Vec<Descriptor<u32>> = (0..cr)
-                .map(|address| Descriptor::new(NodeId::new(sample_rng.next_u64()), address as u32, 0))
-                .collect();
-            bencher.iter(|| {
-                black_box(create_message(
-                    own,
-                    &leaf_set,
-                    &table,
-                    &samples,
-                    black_box(peer),
-                    params.leaf_set_size,
-                ))
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("by_random_samples", cr),
+            &cr,
+            |bencher, &cr| {
+                let mut sample_rng = SimRng::seed_from(cr as u64 + 10);
+                let samples: Vec<Descriptor<u32>> = (0..cr)
+                    .map(|address| {
+                        Descriptor::new(NodeId::new(sample_rng.next_u64()), address as u32, 0)
+                    })
+                    .collect();
+                bencher.iter(|| {
+                    black_box(create_message(
+                        own,
+                        &leaf_set,
+                        &table,
+                        &samples,
+                        black_box(peer),
+                        params.leaf_set_size,
+                    ))
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -49,17 +49,26 @@ fn main() {
             .expect("valid configuration"),
         base_seed: seed,
     };
-    eprintln!("# Figure 4 reproduction: {:.0}% uniform message drop", drop * 100.0);
+    eprintln!(
+        "# Figure 4 reproduction: {:.0}% uniform message drop",
+        drop * 100.0
+    );
     let result = run_figure(&config, |exponent, run| {
         if !quiet {
             eprintln!("#   finished N=2^{exponent} run {run}");
         }
     });
 
-    println!("## Figure 4 (top): proportion of missing leaf set entries ({:.0}% drop)", drop * 100.0);
+    println!(
+        "## Figure 4 (top): proportion of missing leaf set entries ({:.0}% drop)",
+        drop * 100.0
+    );
     print!("{}", panel_table(&result, false));
     println!();
-    println!("## Figure 4 (bottom): proportion of missing prefix table entries ({:.0}% drop)", drop * 100.0);
+    println!(
+        "## Figure 4 (bottom): proportion of missing prefix table entries ({:.0}% drop)",
+        drop * 100.0
+    );
     print!("{}", panel_table(&result, true));
     println!();
     println!("## Summary");

@@ -46,7 +46,10 @@ fn main() {
     let cycles = args.parsed_or("cycles", 80u64);
     let seed = args.parsed_or("seed", 1u64);
     let size = 1usize << exponent;
-    assert!(merge_at < cycles, "--merge-at must be smaller than --cycles");
+    assert!(
+        merge_at < cycles,
+        "--merge-at must be smaller than --cycles"
+    );
 
     eprintln!("# Merge/split scenario: N=2^{exponent}, partition heals at cycle {merge_at}");
 

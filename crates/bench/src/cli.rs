@@ -16,11 +16,11 @@ pub struct Args {
 impl Args {
     /// Parses the process arguments (everything after the binary name).
     pub fn from_env() -> Self {
-        Self::from_iter(std::env::args().skip(1))
+        Self::parse_args(std::env::args().skip(1))
     }
 
     /// Parses an explicit argument list (used by tests).
-    pub fn from_iter(args: impl IntoIterator<Item = String>) -> Self {
+    pub fn parse_args(args: impl IntoIterator<Item = String>) -> Self {
         let mut values = BTreeMap::new();
         let mut help = false;
         let mut iterator = args.into_iter().peekable();
@@ -64,9 +64,9 @@ impl Args {
     pub fn parsed_or<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
         match self.get(key) {
             None => default,
-            Some(raw) => raw
-                .parse()
-                .unwrap_or_else(|_| panic!("--{key} expects a value like the default, got {raw:?}")),
+            Some(raw) => raw.parse().unwrap_or_else(|_| {
+                panic!("--{key} expects a value like the default, got {raw:?}")
+            }),
         }
     }
 
@@ -83,10 +83,9 @@ impl Args {
                 .split(',')
                 .filter(|piece| !piece.is_empty())
                 .map(|piece| {
-                    piece
-                        .trim()
-                        .parse()
-                        .unwrap_or_else(|_| panic!("--{key} expects comma-separated integers, got {piece:?}"))
+                    piece.trim().parse().unwrap_or_else(|_| {
+                        panic!("--{key} expects comma-separated integers, got {piece:?}")
+                    })
                 })
                 .collect(),
         }
@@ -98,7 +97,7 @@ mod tests {
     use super::*;
 
     fn args(list: &[&str]) -> Args {
-        Args::from_iter(list.iter().map(|s| s.to_string()))
+        Args::parse_args(list.iter().map(|s| s.to_string()))
     }
 
     #[test]

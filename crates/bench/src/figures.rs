@@ -69,7 +69,9 @@ pub fn run_figure(config: &FigureConfig, mut progress: impl FnMut(u32, usize)) -
                     .churn_rate(config.base.churn_rate)
                     .max_cycles(config.base.max_cycles)
                     .stop_when_perfect(config.base.stop_when_perfect);
-                builder.build().expect("figure sweep configuration is valid")
+                builder
+                    .build()
+                    .expect("figure sweep configuration is valid")
             };
             let outcome = Experiment::new(experiment_config).run();
             if let Some(cycle) = outcome.convergence_cycle() {

@@ -60,9 +60,8 @@ pub fn panel_table(result: &FigureResult, prefix_panel: bool) -> String {
 /// Renders the per-size summary table: convergence cycles, message sizes, wall
 /// clock.
 pub fn summary_table(result: &FigureResult) -> String {
-    let mut output = String::from(
-        "size\truns\tmean_convergence_cycle\tmean_message_size\telapsed_seconds\n",
-    );
+    let mut output =
+        String::from("size\truns\tmean_convergence_cycle\tmean_message_size\telapsed_seconds\n");
     for size in &result.sizes {
         let _ = writeln!(
             output,

@@ -214,7 +214,10 @@ impl ConvergenceOracle {
         // Leaf set: how many of the perfect entries are present?
         let perfect = self.perfect_leaf_set(id);
         let present: HashSet<NodeId> = node.leaf_set().iter().map(|d| d.id()).collect();
-        let leaf_missing = perfect.iter().filter(|target| !present.contains(target)).count();
+        let leaf_missing = perfect
+            .iter()
+            .filter(|target| !present.contains(target))
+            .count();
         let leaf_total = perfect.len();
 
         // Prefix table: per slot, how many of the fillable entries are present and
@@ -358,7 +361,10 @@ mod tests {
         let top = ids[7];
         let perfect = oracle.perfect_leaf_set(top);
         let as_set: HashSet<NodeId> = perfect.iter().copied().collect();
-        assert!(as_set.contains(&ids[0]), "first id is the wrap-around successor");
+        assert!(
+            as_set.contains(&ids[0]),
+            "first id is the wrap-around successor"
+        );
         assert!(as_set.contains(&ids[1]));
         assert!(as_set.contains(&ids[6]));
         assert!(as_set.contains(&ids[5]));
@@ -372,22 +378,18 @@ mod tests {
         use bss_util::rng::SimRng;
         let p = params(6, 3);
         let mut rng = SimRng::seed_from(7);
-        let mut populations: Vec<Vec<NodeId>> = vec![
-            [1u64, 2, 3, 5, 8, 13, 21, 34, 55, 89].map(NodeId::new).into(),
-        ];
+        let mut populations: Vec<Vec<NodeId>> = vec![[1u64, 2, 3, 5, 8, 13, 21, 34, 55, 89]
+            .map(NodeId::new)
+            .into()];
         populations.push(rng.distinct_u64(40).into_iter().map(NodeId::new).collect());
         for ids in populations {
             let oracle = ConvergenceOracle::new(ids.clone(), &p);
             for &me in &ids {
                 let mut leaf_set: crate::leafset::LeafSet<u32> =
                     crate::leafset::LeafSet::new(me, p.leaf_set_size);
-                leaf_set.update(
-                    ids.iter()
-                        .map(|&other| Descriptor::new(other, 0u32, 0)),
-                );
+                leaf_set.update(ids.iter().map(|&other| Descriptor::new(other, 0u32, 0)));
                 let achieved: HashSet<NodeId> = leaf_set.iter().map(|d| d.id()).collect();
-                let perfect: HashSet<NodeId> =
-                    oracle.perfect_leaf_set(me).into_iter().collect();
+                let perfect: HashSet<NodeId> = oracle.perfect_leaf_set(me).into_iter().collect();
                 assert_eq!(achieved, perfect, "fixed point mismatch for {me}");
             }
         }
@@ -482,7 +484,10 @@ mod tests {
         let fresh = oracle.measure_node(&node);
         assert_eq!(fresh.leaf_total, 4);
         assert_eq!(fresh.leaf_missing, 4);
-        assert_eq!(fresh.prefix_total, oracle.fillable_prefix_entries(NodeId::new(300)));
+        assert_eq!(
+            fresh.prefix_total,
+            oracle.fillable_prefix_entries(NodeId::new(300))
+        );
         assert_eq!(fresh.prefix_missing, fresh.prefix_total);
 
         // Feed the node everything: it becomes perfect.

@@ -269,7 +269,9 @@ impl PopulationSnapshot {
         let mut snapshot = PopulationSnapshot::default();
         for node in ctx.network.alive_indices() {
             if let Some(state) = protocol.node(node) {
-                snapshot.index_by_id.insert(state.id(), snapshot.nodes.len());
+                snapshot
+                    .index_by_id
+                    .insert(state.id(), snapshot.nodes.len());
                 snapshot.nodes.push(state.clone());
             }
         }
@@ -380,10 +382,8 @@ impl Experiment {
         let mut convergence_cycle = None;
         let mut final_state = NetworkConvergence::default();
 
-        let cycles_executed = engine.run_with_observer(
-            &mut protocol,
-            config.max_cycles,
-            |protocol, ctx, cycle| {
+        let cycles_executed =
+            engine.run_with_observer(&mut protocol, config.max_cycles, |protocol, ctx, cycle| {
                 let measured = match &static_oracle {
                     Some(oracle) => protocol.measure(oracle, ctx),
                     None => {
@@ -406,8 +406,7 @@ impl Experiment {
                     convergence_cycle = convergence_cycle.filter(|_| config.churn_rate == 0.0);
                 }
                 ControlFlow::Continue(())
-            },
-        );
+            });
 
         let snapshot = PopulationSnapshot::capture(&protocol, engine.context());
         let outcome = ExperimentOutcome {
@@ -431,8 +430,14 @@ mod tests {
     fn builder_validates_inputs() {
         assert!(ExperimentConfig::builder().network_size(1).build().is_err());
         assert!(ExperimentConfig::builder().max_cycles(0).build().is_err());
-        assert!(ExperimentConfig::builder().drop_probability(1.5).build().is_err());
-        assert!(ExperimentConfig::builder().churn_rate(-0.1).build().is_err());
+        assert!(ExperimentConfig::builder()
+            .drop_probability(1.5)
+            .build()
+            .is_err());
+        assert!(ExperimentConfig::builder()
+            .churn_rate(-0.1)
+            .build()
+            .is_err());
         let ok = ExperimentConfig::builder()
             .network_size(64)
             .seed(3)
@@ -457,8 +462,14 @@ mod tests {
         let convergence = outcome.convergence_cycle().unwrap();
         assert!(convergence < 40);
         // The series cover every executed cycle and end at zero.
-        assert_eq!(outcome.leaf_series().len(), outcome.cycles_executed() as usize);
-        assert_eq!(outcome.prefix_series().len(), outcome.cycles_executed() as usize);
+        assert_eq!(
+            outcome.leaf_series().len(),
+            outcome.cycles_executed() as usize
+        );
+        assert_eq!(
+            outcome.prefix_series().len(),
+            outcome.cycles_executed() as usize
+        );
         assert_eq!(outcome.leaf_series().final_value(), Some(0.0));
         assert_eq!(outcome.prefix_series().final_value(), Some(0.0));
         assert!(outcome.final_state().is_perfect());
@@ -476,11 +487,47 @@ mod tests {
             .max_cycles(50)
             .build()
             .unwrap();
-        let a = Experiment::new(config).run();
-        let b = Experiment::new(config).run();
+        let (a, snapshot_a) = Experiment::new(config).run_with_snapshot();
+        let (b, snapshot_b) = Experiment::new(config).run_with_snapshot();
+        // The whole convergence trace must replay exactly: cycle counts, both
+        // per-cycle series, traffic counters and every node's final tables.
         assert_eq!(a.convergence_cycle(), b.convergence_cycle());
+        assert_eq!(a.cycles_executed(), b.cycles_executed());
         assert_eq!(a.leaf_series().points(), b.leaf_series().points());
         assert_eq!(a.prefix_series().points(), b.prefix_series().points());
+        assert_eq!(a.traffic().requests_sent, b.traffic().requests_sent);
+        assert_eq!(
+            a.traffic().requests_delivered,
+            b.traffic().requests_delivered
+        );
+        assert_eq!(a.traffic().answers_delivered, b.traffic().answers_delivered);
+        assert_eq!(snapshot_a.len(), snapshot_b.len());
+        for (node_a, node_b) in (0..snapshot_a.len()).map(|i| {
+            (
+                snapshot_a.node_at(i).unwrap(),
+                snapshot_b.node_at(i).unwrap(),
+            )
+        }) {
+            assert_eq!(node_a.id(), node_b.id());
+            assert_eq!(node_a.leaf_set().to_vec(), node_b.leaf_set().to_vec());
+            assert_eq!(
+                node_a.prefix_table().to_vec(),
+                node_b.prefix_table().to_vec()
+            );
+        }
+
+        // A different seed must actually change the trace, otherwise the
+        // comparison above proves nothing.
+        let reseeded = Experiment::new(
+            ExperimentConfig::builder()
+                .network_size(80)
+                .seed(8)
+                .max_cycles(50)
+                .build()
+                .unwrap(),
+        )
+        .run();
+        assert_ne!(a.leaf_series().points(), reseeded.leaf_series().points());
     }
 
     #[test]
@@ -555,9 +602,15 @@ mod tests {
         // settles near rT / (1 + rT). With r = 1 % and T = 30 that bound is ~0.23;
         // quality must stay well within it, and far from collapse.
         let final_leaf = outcome.leaf_series().final_value().unwrap();
-        assert!(final_leaf < 0.35, "leaf quality too poor under churn: {final_leaf}");
+        assert!(
+            final_leaf < 0.35,
+            "leaf quality too poor under churn: {final_leaf}"
+        );
         let final_prefix = outcome.prefix_series().final_value().unwrap();
-        assert!(final_prefix < 0.35, "prefix quality too poor under churn: {final_prefix}");
+        assert!(
+            final_prefix < 0.35,
+            "prefix quality too poor under churn: {final_prefix}"
+        );
         assert!(!outcome.converged());
         let text = outcome.to_string();
         assert!(text.contains("churn"));
@@ -579,8 +632,12 @@ mod tests {
         let some_id = snapshot.node_at(0).unwrap().id();
         let by_id = snapshot.node_by_id(some_id).unwrap();
         assert_eq!(by_id.id(), some_id);
-        assert!(by_id.leaf_set().len() > 0);
-        assert!(snapshot.node_by_id(bss_util::id::NodeId::new(u64::MAX)).is_none() || true);
+        assert!(!by_id.leaf_set().is_empty());
+        // The run is seeded, so no node drew the id u64::MAX; looking it up
+        // must miss.
+        assert!(snapshot
+            .node_by_id(bss_util::id::NodeId::new(u64::MAX))
+            .is_none());
         assert!(snapshot.node_at(64).is_none());
     }
 

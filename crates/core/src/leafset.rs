@@ -323,6 +323,107 @@ mod tests {
         assert_eq!(from_peer.last().unwrap().id().raw(), 900);
     }
 
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn descriptor() -> impl Strategy<Value = Descriptor<u32>> {
+            (any::<u64>(), any::<u32>(), any::<u64>())
+                .prop_map(|(id, addr, ts)| Descriptor::new(NodeId::new(id), addr, ts))
+        }
+
+        proptest! {
+            #[test]
+            fn successors_and_predecessors_stay_balanced(
+                own in any::<u64>(),
+                capacity in prop::sample::select(vec![2usize, 4, 8, 20]),
+                incoming in prop::collection::vec(descriptor(), 0..96),
+            ) {
+                let own = NodeId::new(own);
+                let mut set = LeafSet::new(own, capacity);
+                set.update(incoming.iter().copied());
+                let half = capacity / 2;
+
+                prop_assert!(set.len() <= capacity);
+                // A side may only exceed its c/2 share by spilling into space
+                // the other side could not fill.
+                prop_assert!(
+                    set.successors().len() <= half + half.saturating_sub(set.predecessors().len()),
+                    "successors over quota: {} successors, {} predecessors, c = {capacity}",
+                    set.successors().len(),
+                    set.predecessors().len(),
+                );
+                prop_assert!(
+                    set.predecessors().len() <= half + half.saturating_sub(set.successors().len()),
+                    "predecessors over quota: {} successors, {} predecessors, c = {capacity}",
+                    set.successors().len(),
+                    set.predecessors().len(),
+                );
+                // Every entry is classified into the right direction.
+                for entry in set.successors() {
+                    prop_assert!(own.is_successor(entry.id()));
+                }
+                for entry in set.predecessors() {
+                    prop_assert!(!own.is_successor(entry.id()));
+                }
+            }
+
+            #[test]
+            fn both_orderings_follow_the_ring_metric(
+                own in any::<u64>(),
+                reference in any::<u64>(),
+                incoming in prop::collection::vec(descriptor(), 1..64),
+            ) {
+                let own = NodeId::new(own);
+                let mut set = LeafSet::new(own, 8);
+                set.update(incoming.iter().copied());
+
+                // Directed orderings: each side sorted by its own direction,
+                // closest first.
+                for pair in set.successors().windows(2) {
+                    prop_assert!(
+                        own.clockwise_distance(pair[0].id()) <= own.clockwise_distance(pair[1].id())
+                    );
+                }
+                for pair in set.predecessors().windows(2) {
+                    prop_assert!(
+                        pair[0].id().clockwise_distance(own) <= pair[1].id().clockwise_distance(own)
+                    );
+                }
+                // Undirected ordering from an arbitrary reference point.
+                let reference = NodeId::new(reference);
+                let sorted = set.sorted_by_distance_from(reference);
+                prop_assert_eq!(sorted.len(), set.len());
+                for pair in sorted.windows(2) {
+                    prop_assert!(
+                        reference.ring_distance(pair[0].id()) <= reference.ring_distance(pair[1].id())
+                    );
+                }
+            }
+
+            #[test]
+            fn update_is_idempotent(
+                own in any::<u64>(),
+                capacity in prop::sample::select(vec![2usize, 4, 8, 20]),
+                incoming in prop::collection::vec(descriptor(), 0..96),
+            ) {
+                let own = NodeId::new(own);
+                let mut once = LeafSet::new(own, capacity);
+                once.update(incoming.iter().copied());
+
+                // Replaying the same batch must not change the result.
+                let mut twice = once.clone();
+                twice.update(incoming.iter().copied());
+                prop_assert_eq!(twice.to_vec(), once.to_vec());
+
+                // Feeding the set its own content back is a no-op too.
+                let mut refed = once.clone();
+                refed.update(once.to_vec());
+                prop_assert_eq!(refed.to_vec(), once.to_vec());
+            }
+        }
+    }
+
     #[test]
     fn empty_update_and_empty_set_accessors() {
         let mut set: LeafSet<u32> = LeafSet::new(NodeId::new(5), 4);

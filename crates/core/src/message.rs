@@ -36,9 +36,8 @@ pub fn create_message<A: Address>(
     ring_entries: usize,
 ) -> Vec<Descriptor<A>> {
     // The union of all locally available information.
-    let mut union: Vec<Descriptor<A>> = Vec::with_capacity(
-        1 + leaf_set.len() + prefix_table.len() + random_samples.len(),
-    );
+    let mut union: Vec<Descriptor<A>> =
+        Vec::with_capacity(1 + leaf_set.len() + prefix_table.len() + random_samples.len());
     union.push(own);
     union.extend(leaf_set.iter().copied());
     union.extend(random_samples.iter().copied());
@@ -169,7 +168,10 @@ mod tests {
         leaf_set.update([Descriptor::new(NodeId::new(1100), 1u32, 2)]);
         let stale_copy = Descriptor::new(NodeId::new(1100), 8u32, 1);
         let message = create_message(own, &leaf_set, &table, &[stale_copy], NodeId::new(1101), 10);
-        let copies: Vec<_> = message.iter().filter(|d| d.id() == NodeId::new(1100)).collect();
+        let copies: Vec<_> = message
+            .iter()
+            .filter(|d| d.id() == NodeId::new(1100))
+            .collect();
         assert_eq!(copies.len(), 1);
         assert_eq!(copies[0].timestamp(), 2, "freshest copy wins");
     }

@@ -273,7 +273,11 @@ mod tests {
         assert!(!message.is_empty());
         assert_eq!(n.exchanges_initiated(), 1);
         let _ = n.create_message(NodeId::new(2000), &[], false);
-        assert_eq!(n.exchanges_initiated(), 1, "passive replies are not counted");
+        assert_eq!(
+            n.exchanges_initiated(),
+            1,
+            "passive replies are not counted"
+        );
     }
 
     #[test]

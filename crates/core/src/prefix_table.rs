@@ -200,14 +200,12 @@ impl<A: Address> PrefixTable<A> {
     /// The deepest row (longest common prefix) that currently holds an entry, if
     /// any. In a uniformly random network this hovers around `log_{2^b}(n)`.
     pub fn deepest_occupied_row(&self) -> Option<usize> {
-        (0..self.geometry.rows())
-            .rev()
-            .find(|&row| {
-                self.rows[row]
-                    .as_ref()
-                    .map(|cells| cells.iter().any(|c| !c.is_empty()))
-                    .unwrap_or(false)
-            })
+        (0..self.geometry.rows()).rev().find(|&row| {
+            self.rows[row]
+                .as_ref()
+                .map(|cells| cells.iter().any(|c| !c.is_empty()))
+                .unwrap_or(false)
+        })
     }
 
     /// The best stored candidate for routing a message towards `target`: the
@@ -323,7 +321,7 @@ mod tests {
         for descriptor in descriptors {
             assert!(collected.contains(&descriptor));
         }
-        assert!(table.is_empty() == false);
+        assert!(!table.is_empty());
     }
 
     #[test]
@@ -381,6 +379,83 @@ mod tests {
     fn slot_column_bounds_are_checked() {
         let table: PrefixTable<u32> = PrefixTable::new(own(), geometry());
         let _ = table.slot(0, 16);
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn descriptor() -> impl Strategy<Value = Descriptor<u32>> {
+            (any::<u64>(), any::<u32>(), any::<u64>())
+                .prop_map(|(id, addr, ts)| Descriptor::new(NodeId::new(id), addr, ts))
+        }
+
+        proptest! {
+            #[test]
+            fn every_entry_sits_in_its_defined_slot_and_k_is_never_exceeded(
+                own in any::<u64>(),
+                bits in prop::sample::select(vec![1u8, 2, 4]),
+                entries_per_slot in 1usize..4,
+                incoming in prop::collection::vec(descriptor(), 0..160),
+            ) {
+                let own = NodeId::new(own);
+                let geometry = TableGeometry::new(bits, entries_per_slot).unwrap();
+                let mut table = PrefixTable::new(own, geometry);
+                let inserted = table.update(incoming.iter().copied());
+
+                prop_assert!(inserted <= incoming.len());
+                prop_assert_eq!(table.len(), table.iter().count());
+                prop_assert!(!table.contains(own));
+
+                for row in 0..geometry.rows() {
+                    for column in 0..geometry.columns() as u8 {
+                        let slot = table.slot(row, column);
+                        prop_assert!(
+                            slot.len() <= entries_per_slot,
+                            "slot ({row}, {column}) holds {} > k = {entries_per_slot}",
+                            slot.len(),
+                        );
+                        for stored in slot {
+                            // The slot that stores a descriptor is exactly the
+                            // (prefix-length, digit) pair its identifier defines.
+                            prop_assert_eq!(
+                                geometry.slot_of(own, stored.id()),
+                                Some((row, column)),
+                                "descriptor {:?} misfiled in slot ({row}, {column})",
+                                stored.id(),
+                            );
+                        }
+                        // No identifier is stored twice within a slot.
+                        let unique: std::collections::HashSet<NodeId> =
+                            slot.iter().map(|d| d.id()).collect();
+                        prop_assert_eq!(unique.len(), slot.len());
+                    }
+                }
+            }
+
+            #[test]
+            fn update_only_adds_and_replay_is_a_no_op(
+                own in any::<u64>(),
+                first_wave in prop::collection::vec(descriptor(), 0..80),
+                second_wave in prop::collection::vec(descriptor(), 0..80),
+            ) {
+                let own = NodeId::new(own);
+                let geometry = TableGeometry::paper_default();
+                let mut table = PrefixTable::new(own, geometry);
+                table.update(first_wave.iter().copied());
+                let before = table.to_vec();
+
+                // Monotone: a later update never evicts an earlier entry.
+                table.update(second_wave.iter().copied());
+                for earlier in &before {
+                    prop_assert!(table.contains(earlier.id()));
+                }
+
+                // Replaying everything already stored inserts nothing.
+                let replayed = table.update(table.to_vec());
+                prop_assert_eq!(replayed, 0);
+            }
+        }
     }
 
     #[test]

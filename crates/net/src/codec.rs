@@ -162,7 +162,10 @@ mod tests {
         let message = WireMessage {
             kind: MessageKind::Request,
             sender: descriptor(42, 9000, 7),
-            descriptors: vec![descriptor(1, 9001, 1), descriptor(u64::MAX, 65535, u64::MAX)],
+            descriptors: vec![
+                descriptor(1, 9001, 1),
+                descriptor(u64::MAX, 65535, u64::MAX),
+            ],
         };
         let encoded = encode(&message);
         let decoded = decode(&encoded).unwrap();

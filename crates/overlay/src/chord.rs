@@ -44,7 +44,10 @@ impl ChordRing {
     ) -> Self {
         assert!(successor_list_len > 0, "successor list must be non-empty");
         let mut sorted_ids: Vec<NodeId> = ids.into_iter().collect();
-        assert!(!sorted_ids.is_empty(), "a Chord ring needs at least one node");
+        assert!(
+            !sorted_ids.is_empty(),
+            "a Chord ring needs at least one node"
+        );
         sorted_ids.sort_unstable();
         let before = sorted_ids.len();
         sorted_ids.dedup();
@@ -96,10 +99,7 @@ impl ChordRing {
 
     /// The finger table of `node`, deduplicated, nearest finger first.
     pub fn fingers(&self, node: NodeId) -> &[NodeId] {
-        self.fingers
-            .get(&node)
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        self.fingers.get(&node).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// Greedy Chord routing from `source` to the node responsible for `target`:
@@ -178,8 +178,15 @@ mod tests {
         assert!(!ring.is_empty());
         assert_eq!(ring.successor(NodeId::new(15)).raw(), 20);
         assert_eq!(ring.successor(NodeId::new(20)).raw(), 20);
-        assert_eq!(ring.successor(NodeId::new(35)).raw(), 10, "wraps past the end");
-        assert_eq!(ring.successor_list(NodeId::new(30)), vec![NodeId::new(10), NodeId::new(20)]);
+        assert_eq!(
+            ring.successor(NodeId::new(35)).raw(),
+            10,
+            "wraps past the end"
+        );
+        assert_eq!(
+            ring.successor_list(NodeId::new(30)),
+            vec![NodeId::new(10), NodeId::new(20)]
+        );
     }
 
     #[test]

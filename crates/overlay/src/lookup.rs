@@ -244,6 +244,6 @@ mod tests {
         assert_eq!(report.attempted(), 0);
         assert_eq!(report.success_rate(), 0.0);
         assert_eq!(report.mean_hops(), 0.0);
-        assert!(evaluator.population().len() > 0);
+        assert!(!evaluator.population().is_empty());
     }
 }

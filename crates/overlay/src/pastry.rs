@@ -140,7 +140,12 @@ pub fn next_hop(node: &BootstrapNode<NodeIndex>, target: NodeId) -> Option<NodeI
             prefix > own_prefix
                 || (prefix == own_prefix && d.id().ring_distance(target) < own_distance)
         })
-        .min_by_key(|d| (usize::MAX - d.id().common_prefix_len(target, bits), d.id().ring_distance(target)))
+        .min_by_key(|d| {
+            (
+                usize::MAX - d.id().common_prefix_len(target, bits),
+                d.id().ring_distance(target),
+            )
+        })
         .map(|d| d.id())
 }
 
@@ -158,7 +163,10 @@ mod tests {
             .build()
             .unwrap();
         let (outcome, snapshot) = Experiment::new(config).run_with_snapshot();
-        assert!(outcome.converged(), "bootstrap must converge for routing tests");
+        assert!(
+            outcome.converged(),
+            "bootstrap must converge for routing tests"
+        );
         snapshot
     }
 
@@ -174,7 +182,10 @@ mod tests {
             let source = ids[rng.index(ids.len())];
             let target = ids[rng.index(ids.len())];
             let outcome = router.route(source, target);
-            assert!(outcome.is_delivered(), "lookup {source} -> {target} failed: {outcome:?}");
+            assert!(
+                outcome.is_delivered(),
+                "lookup {source} -> {target} failed: {outcome:?}"
+            );
             total_hops += outcome.hops();
         }
         let mean_hops = total_hops as f64 / lookups as f64;

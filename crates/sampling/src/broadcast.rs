@@ -159,7 +159,10 @@ mod tests {
                 ControlFlow::Continue(())
             }
         });
-        assert!(cycles <= 15, "1000 nodes should be informed quickly, took {cycles}");
+        assert!(
+            cycles <= 15,
+            "1000 nodes should be informed quickly, took {cycles}"
+        );
         assert_eq!(broadcast.informed_count(), 1000);
         assert!(broadcast.informed_cycle_spread().unwrap() <= cycles);
         assert!(broadcast.messages_sent() > 0);

@@ -60,9 +60,7 @@ impl NewscastProtocol {
 
     /// The current view of `node`, if the node has been initialised.
     pub fn view(&self, node: NodeIndex) -> Option<&[Descriptor<NodeIndex>]> {
-        self.views
-            .get(node.as_usize())
-            .and_then(|v| v.as_deref())
+        self.views.get(node.as_usize()).and_then(|v| v.as_deref())
     }
 
     /// Initialises `node` with an explicit seed view (self-entries are removed and
@@ -181,7 +179,10 @@ impl CycleProtocol for NewscastProtocol {
     fn node_joined(&mut self, node: NodeIndex, cycle: u64, ctx: &mut EngineContext) {
         // A joiner knows a single existing contact (plus nothing else); NEWSCAST
         // spreads knowledge of it from there.
-        let contact = ctx.network.random_alive(&mut ctx.rng).filter(|&c| c != node);
+        let contact = ctx
+            .network
+            .random_alive(&mut ctx.rng)
+            .filter(|&c| c != node);
         let seeds = contact
             .map(|c| vec![ctx.network.descriptor(c, cycle)])
             .unwrap_or_default();
@@ -342,9 +343,15 @@ mod tests {
         // All alive nodes have views; dead nodes have none.
         for node in eng.context().network.all_indices() {
             if eng.context().network.is_alive(node) {
-                assert!(protocol.view(node).is_some(), "alive node {node} lost its view");
+                assert!(
+                    protocol.view(node).is_some(),
+                    "alive node {node} lost its view"
+                );
             } else {
-                assert!(protocol.view(node).is_none(), "dead node {node} kept a view");
+                assert!(
+                    protocol.view(node).is_none(),
+                    "dead node {node} kept a view"
+                );
             }
         }
         // Stale descriptors (pointing at dead nodes) are rare after enough cycles.
@@ -375,7 +382,11 @@ mod tests {
         });
         let own = eng.context().network.descriptor(NodeIndex::new(0), 0);
         let seeds: Vec<_> = (0..10u32)
-            .map(|i| eng.context().network.descriptor(NodeIndex::new(i), u64::from(i)))
+            .map(|i| {
+                eng.context()
+                    .network
+                    .descriptor(NodeIndex::new(i), u64::from(i))
+            })
             .chain(std::iter::once(own))
             .collect();
         protocol.init_node_with(NodeIndex::new(0), seeds, eng.context_mut());

@@ -147,10 +147,7 @@ mod tests {
         assert!((summary.mean - 20.0).abs() < 1.5, "mean {summary}");
         // NEWSCAST's freshest-first rule produces a somewhat skewed in-degree
         // distribution (temporary hubs), but no node should dominate the caches.
-        assert!(
-            summary.max < 150.0,
-            "max in-degree too large: {summary}"
-        );
+        assert!(summary.max < 150.0, "max in-degree too large: {summary}");
         assert!(summary.min >= 0.0);
         let histogram = in_degree_histogram(&protocol, network);
         assert_eq!(histogram.count(), 300);
@@ -165,20 +162,21 @@ mod tests {
     #[test]
     fn dead_pointer_fraction_reflects_failures() {
         let (mut protocol, mut engine) = converged_newscast(100, 15, 3);
-        assert_eq!(dead_pointer_fraction(&protocol, &engine.context().network), 0.0);
+        assert_eq!(
+            dead_pointer_fraction(&protocol, &engine.context().network),
+            0.0
+        );
         // Kill 30 % of the nodes without letting the protocol react.
-        let victims: Vec<NodeIndex> = engine
-            .context()
-            .network
-            .alive_indices()
-            .take(30)
-            .collect();
+        let victims: Vec<NodeIndex> = engine.context().network.alive_indices().take(30).collect();
         for v in victims {
             engine.context_mut().network.kill(v);
             PeerSampler::node_departed(&mut protocol, v, engine.context_mut());
         }
         let fraction_before = dead_pointer_fraction(&protocol, &engine.context().network);
-        assert!(fraction_before > 0.05, "dead pointers should appear: {fraction_before}");
+        assert!(
+            fraction_before > 0.05,
+            "dead pointers should appear: {fraction_before}"
+        );
         // Let NEWSCAST heal.
         engine.run(&mut protocol, 15);
         let fraction_after = dead_pointer_fraction(&protocol, &engine.context().network);

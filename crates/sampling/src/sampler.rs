@@ -144,7 +144,7 @@ mod tests {
     fn oracle_sampling_is_roughly_uniform() {
         let mut ctx = context(20, 4);
         let mut oracle = OracleSampler::new();
-        let mut counts = vec![0u32; 20];
+        let mut counts = [0u32; 20];
         for _ in 0..2000 {
             for d in oracle.sample(NodeIndex::new(0), 1, 0, &mut ctx) {
                 counts[d.address().as_usize()] += 1;

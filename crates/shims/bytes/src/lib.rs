@@ -1,0 +1,230 @@
+//! Minimal offline stand-in for the `bytes` crate.
+//!
+//! Provides the subset used by the workspace's UDP wire codec: an owned
+//! immutable buffer ([`Bytes`]), a growable write buffer ([`BytesMut`]) and
+//! big-endian cursor-style read/write traits ([`Buf`], [`BufMut`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::Deref;
+
+/// An immutable byte buffer (here simply an owned `Vec<u8>`).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct Bytes {
+    data: Vec<u8>,
+}
+
+impl Bytes {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    /// Copies the slice into an owned buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes {
+            data: data.to_vec(),
+        }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Bytes { data }
+    }
+}
+
+/// A growable byte buffer for building messages.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// Creates an empty buffer with at least the given capacity reserved.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Converts the accumulated bytes into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes { data: self.data }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+/// Cursor-style big-endian reads over a shrinking `&[u8]`.
+pub trait Buf {
+    /// Number of bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Reads one byte and advances.
+    fn get_u8(&mut self) -> u8;
+
+    /// Reads a big-endian `u16` and advances.
+    fn get_u16(&mut self) -> u16;
+
+    /// Reads a big-endian `u32` and advances.
+    fn get_u32(&mut self) -> u32;
+
+    /// Reads a big-endian `u64` and advances.
+    fn get_u64(&mut self) -> u64;
+
+    /// Fills `target` from the front of the buffer and advances.
+    fn copy_to_slice(&mut self, target: &mut [u8]);
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let mut bytes = [0u8; 1];
+        self.copy_to_slice(&mut bytes);
+        bytes[0]
+    }
+
+    fn get_u16(&mut self) -> u16 {
+        let mut bytes = [0u8; 2];
+        self.copy_to_slice(&mut bytes);
+        u16::from_be_bytes(bytes)
+    }
+
+    fn get_u32(&mut self) -> u32 {
+        let mut bytes = [0u8; 4];
+        self.copy_to_slice(&mut bytes);
+        u32::from_be_bytes(bytes)
+    }
+
+    fn get_u64(&mut self) -> u64 {
+        let mut bytes = [0u8; 8];
+        self.copy_to_slice(&mut bytes);
+        u64::from_be_bytes(bytes)
+    }
+
+    fn copy_to_slice(&mut self, target: &mut [u8]) {
+        assert!(
+            self.len() >= target.len(),
+            "buffer underflow: need {} bytes, have {}",
+            target.len(),
+            self.len()
+        );
+        let (head, tail) = self.split_at(target.len());
+        target.copy_from_slice(head);
+        *self = tail;
+    }
+}
+
+/// Big-endian appends onto a growing buffer.
+pub trait BufMut {
+    /// Appends one byte.
+    fn put_u8(&mut self, value: u8);
+
+    /// Appends a big-endian `u16`.
+    fn put_u16(&mut self, value: u16);
+
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, value: u32);
+
+    /// Appends a big-endian `u64`.
+    fn put_u64(&mut self, value: u64);
+
+    /// Appends a slice verbatim.
+    fn put_slice(&mut self, slice: &[u8]);
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, value: u8) {
+        self.data.push(value);
+    }
+
+    fn put_u16(&mut self, value: u16) {
+        self.data.extend_from_slice(&value.to_be_bytes());
+    }
+
+    fn put_u32(&mut self, value: u32) {
+        self.data.extend_from_slice(&value.to_be_bytes());
+    }
+
+    fn put_u64(&mut self, value: u64) {
+        self.data.extend_from_slice(&value.to_be_bytes());
+    }
+
+    fn put_slice(&mut self, slice: &[u8]) {
+        self.data.extend_from_slice(slice);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_every_width() {
+        let mut buffer = BytesMut::with_capacity(32);
+        buffer.put_u8(0xAB);
+        buffer.put_u16(0x1234);
+        buffer.put_u32(0xDEAD_BEEF);
+        buffer.put_u64(0x0102_0304_0506_0708);
+        buffer.put_slice(&[9, 9]);
+        let frozen = buffer.freeze();
+        assert_eq!(frozen.len(), 1 + 2 + 4 + 8 + 2);
+
+        let mut cursor: &[u8] = &frozen;
+        assert_eq!(cursor.get_u8(), 0xAB);
+        assert_eq!(cursor.get_u16(), 0x1234);
+        assert_eq!(cursor.get_u32(), 0xDEAD_BEEF);
+        assert_eq!(cursor.get_u64(), 0x0102_0304_0506_0708);
+        let mut tail = [0u8; 2];
+        cursor.copy_to_slice(&mut tail);
+        assert_eq!(tail, [9, 9]);
+        assert_eq!(cursor.remaining(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer underflow")]
+    fn underflow_panics() {
+        let mut cursor: &[u8] = &[1];
+        let _ = cursor.get_u16();
+    }
+}

@@ -1,0 +1,277 @@
+//! Minimal offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset of the API the workspace's benches use —
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], [`Bencher::iter`]
+//! and the [`criterion_group!`] / [`criterion_main!`] macros — with a simple
+//! wall-clock measurement loop instead of criterion's statistical analysis.
+//! Each benchmark runs a warm-up pass, then `sample_size` timed samples, and
+//! prints the per-iteration mean and min/max across samples.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const DEFAULT_SAMPLE_SIZE: usize = 20;
+const WARM_UP: Duration = Duration::from_millis(200);
+const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(100);
+
+/// The benchmark driver handed to every `criterion_group!` function.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: DEFAULT_SAMPLE_SIZE,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the default number of timed samples per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(name, self.sample_size, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            _criterion: self,
+        }
+    }
+}
+
+/// A named set of related benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples for benchmarks in this group.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// Runs a benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_benchmark(&label, self.sample_size, f);
+        self
+    }
+
+    /// Runs a benchmark parameterised by `input`.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_benchmark(&label, self.sample_size, |bencher| f(bencher, input));
+        self
+    }
+
+    /// Ends the group (a no-op; reports are printed as benchmarks run).
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group: a function name plus a parameter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a displayed parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Builds an id from a displayed parameter value alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Conversion accepted by the `bench_*` methods: a [`BenchmarkId`] or a plain
+/// string label.
+pub trait IntoBenchmarkId {
+    /// The label to report the benchmark under.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.label
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Times the closure handed to it by the benchmark body.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly and records the elapsed wall-clock time.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let iterations = self.iterations.max(1);
+        let start = Instant::now();
+        for _ in 0..iterations {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark<F>(label: &str, sample_size: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // Warm-up: run single iterations until the warm-up budget is spent, using
+    // the observed cost to size the timed samples.
+    let warm_up_start = Instant::now();
+    let mut warm_up_iterations = 0u64;
+    let mut bencher = Bencher {
+        iterations: 1,
+        elapsed: Duration::ZERO,
+    };
+    while warm_up_start.elapsed() < WARM_UP {
+        f(&mut bencher);
+        warm_up_iterations += 1;
+    }
+    let per_iteration = warm_up_start.elapsed() / warm_up_iterations.max(1) as u32;
+    let iterations_per_sample = if per_iteration.is_zero() {
+        1000
+    } else {
+        (TARGET_SAMPLE_TIME.as_nanos() / per_iteration.as_nanos().max(1)).clamp(1, 1_000_000) as u64
+    };
+
+    let mut per_iteration_times = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        bencher.iterations = iterations_per_sample;
+        f(&mut bencher);
+        per_iteration_times.push(bencher.elapsed.div_f64(iterations_per_sample as f64));
+    }
+    let total: Duration = per_iteration_times.iter().sum();
+    let mean = total.div_f64(per_iteration_times.len().max(1) as f64);
+    let min = per_iteration_times
+        .iter()
+        .min()
+        .copied()
+        .unwrap_or_default();
+    let max = per_iteration_times
+        .iter()
+        .max()
+        .copied()
+        .unwrap_or_default();
+    println!(
+        "{label:<60} time: [{min:>12.3?} {mean:>12.3?} {max:>12.3?}]  \
+         ({sample_size} samples × {iterations_per_sample} iters)"
+    );
+}
+
+/// Bundles benchmark functions into a group runner, mirroring criterion's
+/// macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($function:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($function(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `fn main` running the listed groups, mirroring criterion's macro
+/// of the same name.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_the_routine() {
+        let mut criterion = Criterion::default();
+        criterion.sample_size(2);
+        let mut runs = 0u64;
+        criterion.bench_function("smoke", |bencher| {
+            bencher.iter(|| {
+                runs += 1;
+                runs
+            });
+        });
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn groups_and_ids_compose_labels() {
+        let id = BenchmarkId::new("f", 42);
+        assert_eq!(id.to_string(), "f/42");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

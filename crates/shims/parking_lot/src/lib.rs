@@ -1,0 +1,98 @@
+//! Minimal offline stand-in for the `parking_lot` crate.
+//!
+//! Wraps `std::sync::Mutex` behind parking_lot's non-poisoning API: `lock()`
+//! returns the guard directly. A thread that panicked while holding the lock
+//! does not poison it for everyone else — matching parking_lot semantics —
+//! because the wrapper recovers the inner guard from a poison error.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::sync::{Mutex as StdMutex, MutexGuard, TryLockError};
+
+/// A mutual-exclusion primitive with parking_lot's panic-free `lock()`.
+#[derive(Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: StdMutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a mutex protecting `value`.
+    pub fn new(value: T) -> Self {
+        Mutex {
+            inner: StdMutex::new(value),
+        }
+    }
+
+    /// Consumes the mutex and returns the protected value.
+    pub fn into_inner(self) -> T {
+        match self.inner.into_inner() {
+            Ok(value) => value,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking until it is available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        match self.inner.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Attempts to acquire the lock without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(guard) => Some(guard),
+            Err(TryLockError::Poisoned(poisoned)) => Some(poisoned.into_inner()),
+            Err(TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Returns a mutable reference to the protected value (no locking needed:
+    /// the exclusive borrow proves no other thread holds the mutex).
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.inner.get_mut() {
+            Ok(value) => value,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.try_lock() {
+            Some(guard) => f.debug_struct("Mutex").field("data", &&*guard).finish(),
+            None => f.debug_struct("Mutex").field("data", &"<locked>").finish(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn lock_round_trips_a_value() {
+        let mutex = Mutex::new(41);
+        *mutex.lock() += 1;
+        assert_eq!(*mutex.lock(), 42);
+        assert_eq!(mutex.into_inner(), 42);
+    }
+
+    #[test]
+    fn panicking_holder_does_not_poison() {
+        let shared = Arc::new(Mutex::new(0));
+        let worker = Arc::clone(&shared);
+        let _ = std::thread::spawn(move || {
+            let _guard = worker.lock();
+            panic!("die while holding the lock");
+        })
+        .join();
+        assert_eq!(*shared.lock(), 0);
+    }
+}

@@ -1,0 +1,294 @@
+//! Minimal offline stand-in for the `serde` crate.
+//!
+//! Serialization is to a plain-text `key=value` line format (one line per
+//! field, nested structs joined with `.`) rather than serde's generic data
+//! model: enough for configuration round-trips and for code written against
+//! the `Serialize` / `Deserialize` trait bounds to compile and behave
+//! sensibly. The `derive` feature provides `#[derive(Serialize, Deserialize)]`
+//! via the sibling `serde_derive` shim.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Error raised when deserialization fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Creates an error with the given message.
+    pub fn custom(message: impl Into<String>) -> Self {
+        Error {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "deserialization error: {}", self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A type that can render itself to the `key=value` line format.
+pub trait Serialize {
+    /// Writes this value under the full key path `key` (structs fan out to
+    /// `key.field`, scalars emit one `key=value` line).
+    fn serialize_fields(&self, key: &str, out: &mut String);
+
+    /// Serializes the value to a standalone string.
+    fn to_plain(&self) -> String {
+        let mut out = String::new();
+        self.serialize_fields("", &mut out);
+        out
+    }
+}
+
+/// A type that can be parsed back from the `key=value` line format.
+pub trait Deserialize<'de>: Sized {
+    /// Reads this value from the full key path `key` in `map`.
+    fn deserialize_fields(key: &str, map: &FieldMap<'de>) -> Result<Self, Error>;
+
+    /// Deserializes a value from a standalone string.
+    fn from_plain(input: &'de str) -> Result<Self, Error> {
+        Self::deserialize_fields("", &FieldMap::parse(input))
+    }
+}
+
+/// The parsed `key=value` lines of a serialized document.
+#[derive(Debug, Clone, Default)]
+pub struct FieldMap<'de> {
+    entries: BTreeMap<&'de str, &'de str>,
+}
+
+impl<'de> FieldMap<'de> {
+    /// Splits `input` into `key=value` entries, one per non-empty line. Keys
+    /// are trimmed; values are kept verbatim so escaped string content (which
+    /// may carry significant whitespace) survives.
+    pub fn parse(input: &'de str) -> Self {
+        let entries = input
+            .lines()
+            .filter(|line| !line.trim().is_empty())
+            .filter_map(|line| line.split_once('='))
+            .map(|(key, value)| (key.trim(), value))
+            .collect();
+        FieldMap { entries }
+    }
+
+    /// The verbatim (still-escaped) value stored under a full key.
+    pub fn raw(&self, key: &str) -> Result<&'de str, Error> {
+        self.entries
+            .get(key)
+            .copied()
+            .ok_or_else(|| Error::custom(format!("missing field `{key}`")))
+    }
+
+    /// Looks up a full key and parses its value with [`std::str::FromStr`]
+    /// (whitespace-trimmed, as no scalar carries significant whitespace).
+    pub fn lookup<T>(&self, key: &str) -> Result<T, Error>
+    where
+        T: std::str::FromStr,
+        T::Err: fmt::Display,
+    {
+        self.raw(key)?
+            .trim()
+            .parse()
+            .map_err(|e| Error::custom(format!("field `{key}`: {e}")))
+    }
+}
+
+/// Joins a field path prefix and a field name (`""` + `x` → `x`; `a` + `x` → `a.x`).
+pub fn compose_key(prefix: &str, name: &str) -> String {
+    if prefix.is_empty() {
+        name.to_string()
+    } else {
+        format!("{prefix}.{name}")
+    }
+}
+
+/// The key a scalar stores itself under: the path itself, or `value` at the root.
+fn scalar_key(key: &str) -> &str {
+    if key.is_empty() {
+        "value"
+    } else {
+        key
+    }
+}
+
+macro_rules! impl_scalar {
+    ($($ty:ty),* $(,)?) => {
+        $(
+            impl Serialize for $ty {
+                fn serialize_fields(&self, key: &str, out: &mut String) {
+                    out.push_str(scalar_key(key));
+                    out.push('=');
+                    out.push_str(&self.to_string());
+                    out.push('\n');
+                }
+
+                fn to_plain(&self) -> String {
+                    self.to_string()
+                }
+            }
+
+            impl<'de> Deserialize<'de> for $ty {
+                fn deserialize_fields(key: &str, map: &FieldMap<'de>) -> Result<Self, Error> {
+                    map.lookup(scalar_key(key))
+                }
+
+                fn from_plain(input: &'de str) -> Result<Self, Error> {
+                    input
+                        .trim()
+                        .parse()
+                        .map_err(|e| Error::custom(format!("{e}")))
+                }
+            }
+        )*
+    };
+}
+
+impl_scalar!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, bool);
+
+/// Percent-escapes the characters that would corrupt the line format.
+fn escape_text(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '%' => out.push_str("%25"),
+            '=' => out.push_str("%3D"),
+            '\n' => out.push_str("%0A"),
+            '\r' => out.push_str("%0D"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+fn unescape_text(value: &str) -> Result<String, Error> {
+    let mut out = String::with_capacity(value.len());
+    let mut chars = value.chars();
+    while let Some(c) = chars.next() {
+        if c != '%' {
+            out.push(c);
+            continue;
+        }
+        let code: String = chars.by_ref().take(2).collect();
+        match code.as_str() {
+            "25" => out.push('%'),
+            "3D" => out.push('='),
+            "0A" => out.push('\n'),
+            "0D" => out.push('\r'),
+            other => {
+                return Err(Error::custom(format!("bad escape sequence `%{other}`")));
+            }
+        }
+    }
+    Ok(out)
+}
+
+// Strings (and chars, which can be '=' or '\n') need escaping so that the
+// line-oriented format survives arbitrary content.
+impl Serialize for String {
+    fn serialize_fields(&self, key: &str, out: &mut String) {
+        out.push_str(scalar_key(key));
+        out.push('=');
+        out.push_str(&escape_text(self));
+        out.push('\n');
+    }
+
+    fn to_plain(&self) -> String {
+        self.clone()
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize_fields(key: &str, map: &FieldMap<'de>) -> Result<Self, Error> {
+        unescape_text(map.raw(scalar_key(key))?)
+    }
+
+    fn from_plain(input: &'de str) -> Result<Self, Error> {
+        Ok(input.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn serialize_fields(&self, key: &str, out: &mut String) {
+        self.to_string().serialize_fields(key, out);
+    }
+
+    fn to_plain(&self) -> String {
+        self.to_string()
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn deserialize_fields(key: &str, map: &FieldMap<'de>) -> Result<Self, Error> {
+        let text = String::deserialize_fields(key, map)?;
+        let mut chars = text.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::custom(format!(
+                "expected a single character, got {text:?}"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        assert_eq!(42u64.to_plain(), "42");
+        assert_eq!(u64::from_plain("42").unwrap(), 42);
+        assert!(bool::from_plain("true").unwrap());
+        assert!(u8::from_plain("300").is_err());
+    }
+
+    #[test]
+    fn field_map_parses_lines() {
+        let map = FieldMap::parse("a=1\n\nnested.b=2\n");
+        assert_eq!(map.lookup::<u32>("a").unwrap(), 1);
+        assert_eq!(map.lookup::<u32>("nested.b").unwrap(), 2);
+        assert!(map.lookup::<u32>("missing").is_err());
+    }
+
+    #[test]
+    fn strings_with_structural_characters_round_trip() {
+        for hostile in [
+            "a=b",
+            "line\nbreak",
+            "100%",
+            "\r\n=%",
+            "",
+            " padded ",
+            "   ",
+            "\ttab\t",
+        ] {
+            let mut out = String::new();
+            hostile.to_string().serialize_fields("field", &mut out);
+            let map = FieldMap::parse(&out);
+            assert_eq!(
+                String::deserialize_fields("field", &map).unwrap(),
+                hostile,
+                "corrupted by the line format: {hostile:?}"
+            );
+        }
+        let mut out = String::new();
+        '='.serialize_fields("c", &mut out);
+        let map = FieldMap::parse(&out);
+        assert_eq!(char::deserialize_fields("c", &map).unwrap(), '=');
+        assert!(String::deserialize_fields("missing", &map).is_err());
+        assert!(unescape_text("%ZZ").is_err());
+    }
+}

@@ -1,0 +1,151 @@
+//! Derive macros for the offline `serde` shim.
+//!
+//! Supports non-generic structs with named fields — exactly what the
+//! workspace's configuration types need. The generated impls delegate each
+//! field to the shim's `Serialize` / `Deserialize` traits under the composed
+//! key path `prefix.field`, so nested derived structs round-trip too.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write;
+
+/// Derives the shim's `serde::Serialize` for a named-field struct.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = StructShape::parse(input);
+    let mut body = String::new();
+    for field in &parsed.fields {
+        writeln!(
+            body,
+            "::serde::Serialize::serialize_fields(&self.{field}, \
+             &::serde::compose_key(key, \"{field}\"), out);"
+        )
+        .unwrap();
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize_fields(&self, key: &str, out: &mut String) {{\n{body}}}\n\
+         }}",
+        name = parsed.name
+    )
+    .parse()
+    .expect("serialize impl must be valid Rust")
+}
+
+/// Derives the shim's `serde::Deserialize` for a named-field struct.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = StructShape::parse(input);
+    let mut body = String::new();
+    for field in &parsed.fields {
+        writeln!(
+            body,
+            "{field}: ::serde::Deserialize::deserialize_fields(\
+             &::serde::compose_key(key, \"{field}\"), map)?,"
+        )
+        .unwrap();
+    }
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize_fields(\
+                 key: &str, \
+                 map: &::serde::FieldMap<'de>,\
+             ) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 ::std::result::Result::Ok({name} {{\n{body}}})\n\
+             }}\n\
+         }}",
+        name = parsed.name
+    )
+    .parse()
+    .expect("deserialize impl must be valid Rust")
+}
+
+struct StructShape {
+    name: String,
+    fields: Vec<String>,
+}
+
+impl StructShape {
+    fn parse(input: TokenStream) -> Self {
+        let mut iter = input.into_iter();
+        let mut name = None;
+        for token in iter.by_ref() {
+            if matches!(&token, TokenTree::Ident(id) if id.to_string() == "struct") {
+                match iter.next() {
+                    Some(TokenTree::Ident(n)) => name = Some(n.to_string()),
+                    other => panic!("serde shim derive: expected struct name, got {other:?}"),
+                }
+                break;
+            }
+        }
+        let name = name.expect("serde shim derive: only structs are supported");
+
+        let mut fields = None;
+        for token in iter {
+            match token {
+                TokenTree::Punct(p) if p.as_char() == '<' => {
+                    panic!("serde shim derive: generic structs are not supported")
+                }
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                    fields = Some(parse_named_fields(g.stream()));
+                    break;
+                }
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                    panic!("serde shim derive: tuple structs are not supported")
+                }
+                _ => {}
+            }
+        }
+        StructShape {
+            name,
+            fields: fields.expect("serde shim derive: unit structs are not supported"),
+        }
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    loop {
+        // Skip attributes (`#[...]`, including doc comments).
+        while matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            iter.next();
+            iter.next();
+        }
+        // Skip visibility (`pub`, `pub(crate)` and friends).
+        if matches!(iter.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            iter.next();
+            if matches!(iter.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                iter.next();
+            }
+        }
+        match iter.next() {
+            Some(TokenTree::Ident(field)) => {
+                fields.push(field.to_string());
+                // Skip `: Type` up to the next top-level comma. Angle brackets
+                // are counted so commas inside generics don't split fields; the
+                // `>` of a `->` (fn-pointer return type) closes nothing.
+                let mut angle_depth = 0i32;
+                let mut joint_minus = false;
+                for token in iter.by_ref() {
+                    if let TokenTree::Punct(p) = token {
+                        let arrow_tail = p.as_char() == '>' && joint_minus;
+                        joint_minus =
+                            p.as_char() == '-' && p.spacing() == proc_macro::Spacing::Joint;
+                        match p.as_char() {
+                            '<' => angle_depth += 1,
+                            '>' if !arrow_tail => angle_depth -= 1,
+                            ',' if angle_depth == 0 => break,
+                            _ => {}
+                        }
+                    } else {
+                        joint_minus = false;
+                    }
+                }
+            }
+            None => break,
+            Some(other) => panic!("serde shim derive: unexpected token {other} in struct body"),
+        }
+    }
+    fields
+}

@@ -1,0 +1,100 @@
+//! Integration tests of the derive macros against the serde shim: derive onto
+//! real structs (including the shapes that stress the field parser) and check
+//! that serialized values round-trip.
+
+use serde::{Deserialize, Serialize};
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Flat {
+    /// Doc comments are attributes the field parser must skip.
+    pub count: u64,
+    ratio: f64,
+    pub(crate) enabled: bool,
+    label: String,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Nested {
+    name: String,
+    inner: Flat,
+    tail: u8,
+}
+
+/// Serializes as nothing; exists so a field type can mention `fn(u8) -> u8`.
+#[derive(Debug, PartialEq)]
+struct Tagged<T>(std::marker::PhantomData<T>);
+
+impl<T> Default for Tagged<T> {
+    fn default() -> Self {
+        Tagged(std::marker::PhantomData)
+    }
+}
+
+impl<T> Serialize for Tagged<T> {
+    fn serialize_fields(&self, _key: &str, _out: &mut String) {}
+}
+
+impl<'de, T> Deserialize<'de> for Tagged<T> {
+    fn deserialize_fields(_key: &str, _map: &serde::FieldMap<'de>) -> Result<Self, serde::Error> {
+        Ok(Tagged(std::marker::PhantomData))
+    }
+}
+
+/// A field whose type contains a `->` must not desynchronize the parser: the
+/// fields after it still have to be seen.
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
+struct WithFnPointer {
+    before: u32,
+    callback: Tagged<fn(u8) -> u8>,
+    after: u32,
+}
+
+#[test]
+fn flat_struct_round_trips() {
+    let value = Flat {
+        count: 42,
+        ratio: 0.5,
+        enabled: true,
+        label: "hello = world\nsecond line".to_string(),
+    };
+    let text = value.to_plain();
+    assert!(text.contains("count=42"), "unexpected format: {text}");
+    assert_eq!(Flat::from_plain(&text).unwrap(), value);
+}
+
+#[test]
+fn nested_struct_round_trips_with_dotted_keys() {
+    let value = Nested {
+        name: "n".to_string(),
+        inner: Flat {
+            count: 1,
+            ratio: 2.0,
+            enabled: false,
+            label: String::new(),
+        },
+        tail: 9,
+    };
+    let text = value.to_plain();
+    assert!(text.contains("inner.count=1"), "unexpected format: {text}");
+    assert_eq!(Nested::from_plain(&text).unwrap(), value);
+}
+
+#[test]
+fn missing_fields_are_reported_by_name() {
+    let error = Flat::from_plain("count=1\nratio=0.5\n").unwrap_err();
+    assert!(error.to_string().contains("enabled"), "{error}");
+}
+
+#[test]
+fn fields_after_a_fn_pointer_type_are_not_swallowed() {
+    let value = WithFnPointer {
+        before: 7,
+        callback: Tagged::default(),
+        after: 9,
+    };
+    let text = value.to_plain();
+    assert!(text.contains("after=9"), "field lost by the parser: {text}");
+    let parsed = WithFnPointer::from_plain(&text).unwrap();
+    assert_eq!(parsed.before, 7);
+    assert_eq!(parsed.after, 9);
+}

@@ -159,7 +159,9 @@ impl ChurnModel for MassiveJoin {
             return ChurnEvents::none();
         }
         self.fired = true;
-        let joined = (0..self.count).map(|_| network.add_random_node(rng)).collect();
+        let joined = (0..self.count)
+            .map(|_| network.add_random_node(rng))
+            .collect();
         ChurnEvents {
             joined,
             departed: Vec::new(),

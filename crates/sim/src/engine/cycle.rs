@@ -143,7 +143,12 @@ impl CycleEngine {
     /// Runs `protocol` for at most `max_cycles` cycles, invoking `observer` after
     /// every cycle. The observer can stop the run early by returning
     /// [`ControlFlow::Break`]. Returns the number of cycles executed.
-    pub fn run_with_observer<P, F>(&mut self, protocol: &mut P, max_cycles: u64, mut observer: F) -> u64
+    pub fn run_with_observer<P, F>(
+        &mut self,
+        protocol: &mut P,
+        max_cycles: u64,
+        mut observer: F,
+    ) -> u64
     where
         P: CycleProtocol,
         F: FnMut(&mut P, &mut EngineContext, u64) -> ControlFlow<()>,
@@ -300,12 +305,17 @@ mod tests {
     fn churn_hooks_are_invoked() {
         let mut rng = SimRng::seed_from(4);
         let network = Network::with_random_ids(40, &mut rng);
-        let mut eng = CycleEngine::new(network, rng)
-            .with_churn(Box::new(UniformChurn::new(0.1)));
+        let mut eng = CycleEngine::new(network, rng).with_churn(Box::new(UniformChurn::new(0.1)));
         let mut protocol = Recorder::default();
         eng.run(&mut protocol, 5);
-        assert!(!protocol.departed.is_empty(), "uniform churn should remove nodes");
-        assert!(!protocol.joined.is_empty(), "uniform churn should add nodes");
+        assert!(
+            !protocol.departed.is_empty(),
+            "uniform churn should remove nodes"
+        );
+        assert!(
+            !protocol.joined.is_empty(),
+            "uniform churn should add nodes"
+        );
         // Network size stays roughly constant under replacement churn.
         assert_eq!(eng.context().network.alive_count(), 40);
     }
@@ -314,18 +324,14 @@ mod tests {
     fn catastrophic_failure_removes_requested_fraction() {
         let mut rng = SimRng::seed_from(5);
         let network = Network::with_random_ids(100, &mut rng);
-        let mut eng = CycleEngine::new(network, rng)
-            .with_churn(Box::new(CatastrophicFailure::new(2, 0.7)));
+        let mut eng =
+            CycleEngine::new(network, rng).with_churn(Box::new(CatastrophicFailure::new(2, 0.7)));
         let mut protocol = Recorder::default();
         eng.run(&mut protocol, 5);
         assert_eq!(protocol.departed.len(), 70);
         assert_eq!(eng.context().network.alive_count(), 30);
         // Dead nodes stop executing.
-        let last_cycle_executions = protocol
-            .executions
-            .iter()
-            .filter(|(c, _)| *c == 4)
-            .count();
+        let last_cycle_executions = protocol.executions.iter().filter(|(c, _)| *c == 4).count();
         assert_eq!(last_cycle_executions, 30);
     }
 
@@ -335,7 +341,9 @@ mod tests {
         let network = Network::with_random_ids(4, &mut rng);
         let mut eng =
             CycleEngine::new(network, rng).with_transport(Box::new(DropTransport::new(1.0)));
-        assert!(!eng.context_mut().deliver(NodeIndex::new(0), NodeIndex::new(1)));
+        assert!(!eng
+            .context_mut()
+            .deliver(NodeIndex::new(0), NodeIndex::new(1)));
         assert_eq!(eng.context().transport.messages_dropped(), 1);
     }
 }

@@ -182,9 +182,13 @@ impl<M: Debug> EventEngine<M> {
         let start_nodes: Vec<NodeIndex> = self.network.alive_indices().collect();
         let mut effects = Effects::default();
         for node in start_nodes {
-            self.with_context(&mut effects, |protocol_ctx, p: &mut P| {
-                p.on_start(node, protocol_ctx);
-            }, protocol);
+            self.with_context(
+                &mut effects,
+                |protocol_ctx, p: &mut P| {
+                    p.on_start(node, protocol_ctx);
+                },
+                protocol,
+            );
             self.apply_effects(&mut effects);
         }
 
@@ -204,14 +208,22 @@ impl<M: Debug> EventEngine<M> {
             match event.payload {
                 Payload::Message { from, body } => {
                     self.delivered += 1;
-                    self.with_context(&mut effects, |ctx, p: &mut P| {
-                        p.on_message(event.to, from, body, ctx);
-                    }, protocol);
+                    self.with_context(
+                        &mut effects,
+                        |ctx, p: &mut P| {
+                            p.on_message(event.to, from, body, ctx);
+                        },
+                        protocol,
+                    );
                 }
                 Payload::Timer { id } => {
-                    self.with_context(&mut effects, |ctx, p: &mut P| {
-                        p.on_timer(event.to, id, ctx);
-                    }, protocol);
+                    self.with_context(
+                        &mut effects,
+                        |ctx, p: &mut P| {
+                            p.on_timer(event.to, id, ctx);
+                        },
+                        protocol,
+                    );
                 }
             }
             self.apply_effects(&mut effects);
@@ -326,7 +338,14 @@ mod tests {
             ctx.set_timer(node, 10, 1);
         }
 
-        fn on_message(&mut self, _n: NodeIndex, _f: NodeIndex, _m: (), _ctx: &mut EventContext<'_, ()>) {}
+        fn on_message(
+            &mut self,
+            _n: NodeIndex,
+            _f: NodeIndex,
+            _m: (),
+            _ctx: &mut EventContext<'_, ()>,
+        ) {
+        }
 
         fn on_timer(&mut self, node: NodeIndex, timer: u64, ctx: &mut EventContext<'_, ()>) {
             self.fired.push((node, ctx.now()));
@@ -343,7 +362,9 @@ mod tests {
     #[test]
     fn ping_pong_exchanges_the_expected_number_of_messages() {
         let mut engine = small_engine(2, 1);
-        let mut protocol = PingPong { received: Vec::new() };
+        let mut protocol = PingPong {
+            received: Vec::new(),
+        };
         let processed = engine.run_until(&mut protocol, 1_000_000);
         // 9 messages total (hops 8..=0), all delivered.
         assert_eq!(protocol.received.len(), 9);
@@ -359,7 +380,9 @@ mod tests {
     fn drop_transport_silences_the_conversation() {
         let mut engine: EventEngine<u32> =
             small_engine::<u32>(2, 2).with_transport(Box::new(DropTransport::new(1.0)));
-        let mut protocol = PingPong { received: Vec::new() };
+        let mut protocol = PingPong {
+            received: Vec::new(),
+        };
         engine.run_until(&mut protocol, 1_000_000);
         assert!(protocol.received.is_empty());
         assert_eq!(engine.messages_sent(), 1);
@@ -381,7 +404,9 @@ mod tests {
     fn messages_to_dead_nodes_are_dropped() {
         let mut engine = small_engine(2, 4);
         engine.network_mut().kill(NodeIndex::new(1));
-        let mut protocol = PingPong { received: Vec::new() };
+        let mut protocol = PingPong {
+            received: Vec::new(),
+        };
         engine.run_until(&mut protocol, 1_000);
         assert!(protocol.received.is_empty(), "dead node must not receive");
         assert_eq!(engine.network().alive_count(), 1);
@@ -392,14 +417,18 @@ mod tests {
         let mut engine: EventEngine<u32> = small_engine::<u32>(2, 5).with_transport(Box::new(
             UniformLatencyTransport::new(ReliableTransport::new(), 5, 50),
         ));
-        let mut protocol = PingPong { received: Vec::new() };
+        let mut protocol = PingPong {
+            received: Vec::new(),
+        };
         engine.run_until(&mut protocol, 10_000);
         assert_eq!(protocol.received.len(), 9);
         // Re-running with the same seed reproduces the same trace.
         let mut engine2: EventEngine<u32> = small_engine::<u32>(2, 5).with_transport(Box::new(
             UniformLatencyTransport::new(ReliableTransport::new(), 5, 50),
         ));
-        let mut protocol2 = PingPong { received: Vec::new() };
+        let mut protocol2 = PingPong {
+            received: Vec::new(),
+        };
         engine2.run_until(&mut protocol2, 10_000);
         assert_eq!(protocol.received, protocol2.received);
         assert_eq!(engine.now(), engine2.now());

@@ -275,7 +275,10 @@ mod tests {
             assert!(seen.insert(id));
             assert_eq!(network.index_of(id), Some(idx));
         }
-        assert_eq!(network.index_of(NodeId::new(0)).is_some(), seen.contains(&NodeId::new(0)));
+        assert_eq!(
+            network.index_of(NodeId::new(0)).is_some(),
+            seen.contains(&NodeId::new(0))
+        );
     }
 
     #[test]

@@ -117,7 +117,10 @@ impl<R: Ranking, S: PeerSampler> TmanProtocol<R, S> {
     ) -> Vec<Descriptor<NodeIndex>> {
         let mut buffer = vec![ctx.network.descriptor(node, cycle)];
         buffer.extend(self.view(node).unwrap_or(&[]).iter().copied());
-        buffer.extend(self.sampler.sample(node, self.config.random_samples, cycle, ctx));
+        buffer.extend(
+            self.sampler
+                .sample(node, self.config.random_samples, cycle, ctx),
+        );
         buffer.retain(|d| d.id() != peer_id);
         dedup_freshest(&mut buffer);
         self.ranking.sort(peer_id, &mut buffer);
@@ -254,7 +257,10 @@ mod tests {
                 correct += 1;
             }
         }
-        assert!(correct >= 98, "only {correct}/100 found their nearest neighbour");
+        assert!(
+            correct >= 98,
+            "only {correct}/100 found their nearest neighbour"
+        );
     }
 
     #[test]
@@ -267,7 +273,10 @@ mod tests {
         tman.init_all(eng.context_mut());
         eng.run(&mut tman, 40);
         let completeness = crate::ring::ring_completeness(&tman, &eng.context().network);
-        assert!(completeness > 0.98, "completeness under loss {completeness}");
+        assert!(
+            completeness > 0.98,
+            "completeness under loss {completeness}"
+        );
     }
 
     #[test]

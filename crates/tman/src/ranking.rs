@@ -94,7 +94,10 @@ mod tests {
     #[test]
     fn line_ranking_does_not_wrap() {
         let r = LineRanking;
-        assert_eq!(r.distance(NodeId::new(5), NodeId::new(u64::MAX)), u64::MAX - 5);
+        assert_eq!(
+            r.distance(NodeId::new(5), NodeId::new(u64::MAX)),
+            u64::MAX - 5
+        );
         assert_eq!(r.distance(NodeId::new(10), NodeId::new(4)), 6);
         let mut candidates = vec![d(u64::MAX), d(20), d(0)];
         r.sort(NodeId::new(10), &mut candidates);
@@ -108,6 +111,10 @@ mod tests {
         let r = RingRanking;
         let mut candidates = vec![d(15), d(5)];
         r.sort(NodeId::new(10), &mut candidates);
-        assert_eq!(candidates[0].id().raw(), 5, "equal distance, smaller id first");
+        assert_eq!(
+            candidates[0].id().raw(),
+            5,
+            "equal distance, smaller id first"
+        );
     }
 }

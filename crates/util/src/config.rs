@@ -10,6 +10,7 @@
 //!   (partial view) size and the number of descriptors exchanged per gossip round.
 
 use crate::geometry::{InvalidGeometry, TableGeometry};
+#[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -32,7 +33,8 @@ use std::fmt;
 ///     .unwrap();
 /// assert_eq!(custom.leaf_set_size, 8);
 /// ```
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct BootstrapParams {
     /// Bits per digit (`b`). The paper uses 4.
     pub bits_per_digit: u8,
@@ -88,8 +90,7 @@ impl BootstrapParams {
     /// or not even (it must hold `c/2` successors and `c/2` predecessors), or the
     /// cycle length is zero.
     pub fn validate(&self) -> Result<(), InvalidParams> {
-        self.geometry()
-            .map_err(|e| InvalidParams(format!("{e}")))?;
+        self.geometry().map_err(|e| InvalidParams(format!("{e}")))?;
         if self.leaf_set_size == 0 {
             return Err(InvalidParams("leaf_set_size must be positive".into()));
         }
@@ -196,7 +197,8 @@ impl fmt::Display for InvalidParams {
 impl std::error::Error for InvalidParams {}
 
 /// Parameters of the NEWSCAST peer sampling service (paper §3).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct NewscastParams {
     /// Size of the partial view (descriptor cache) kept at every node. The paper
     /// reports implementations with "approximately 30 IP addresses".
@@ -239,11 +241,7 @@ impl Default for NewscastParams {
 
 impl fmt::Display for NewscastParams {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "view={} period={}ms",
-            self.view_size, self.period_millis
-        )
+        write!(f, "view={} period={}ms", self.view_size, self.period_millis)
     }
 }
 
@@ -291,11 +289,17 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_configurations() {
-        assert!(BootstrapParams::builder().bits_per_digit(3).build().is_err());
+        assert!(BootstrapParams::builder()
+            .bits_per_digit(3)
+            .build()
+            .is_err());
         assert!(BootstrapParams::builder().leaf_set_size(0).build().is_err());
         assert!(BootstrapParams::builder().leaf_set_size(7).build().is_err());
         assert!(BootstrapParams::builder().cycle_millis(0).build().is_err());
-        assert!(BootstrapParams::builder().entries_per_slot(0).build().is_err());
+        assert!(BootstrapParams::builder()
+            .entries_per_slot(0)
+            .build()
+            .is_err());
 
         let bad_view = NewscastParams {
             view_size: 0,
@@ -311,7 +315,10 @@ mod tests {
 
     #[test]
     fn errors_and_display_are_informative() {
-        let err = BootstrapParams::builder().leaf_set_size(7).build().unwrap_err();
+        let err = BootstrapParams::builder()
+            .leaf_set_size(7)
+            .build()
+            .unwrap_err();
         assert!(err.to_string().contains("even"));
         let p = BootstrapParams::paper_default();
         let text = p.to_string();
@@ -321,6 +328,7 @@ mod tests {
         assert!(n.contains("view=30"));
     }
 
+    #[cfg(feature = "serde")]
     #[test]
     fn parameter_types_are_serde_and_thread_safe() {
         fn assert_serde<T: Serialize + for<'de> Deserialize<'de> + Send + Sync>() {}

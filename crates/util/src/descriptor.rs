@@ -104,7 +104,8 @@ impl<A: Address> Descriptor<A> {
 /// for each identifier. The relative order of first occurrences is preserved.
 pub fn dedup_freshest<A: Address>(descriptors: &mut Vec<Descriptor<A>>) {
     use std::collections::HashMap;
-    let mut best: HashMap<NodeId, (usize, Descriptor<A>)> = HashMap::with_capacity(descriptors.len());
+    let mut best: HashMap<NodeId, (usize, Descriptor<A>)> =
+        HashMap::with_capacity(descriptors.len());
     for (pos, d) in descriptors.iter().enumerate() {
         match best.get_mut(&d.id()) {
             None => {
@@ -160,7 +161,13 @@ mod tests {
 
     #[test]
     fn dedup_keeps_freshest_per_id_and_preserves_order() {
-        let mut v = vec![d(1, 10, 1), d(2, 20, 5), d(1, 11, 7), d(3, 30, 2), d(2, 21, 1)];
+        let mut v = vec![
+            d(1, 10, 1),
+            d(2, 20, 5),
+            d(1, 11, 7),
+            d(3, 30, 2),
+            d(2, 21, 1),
+        ];
         dedup_freshest(&mut v);
         assert_eq!(v.len(), 3);
         assert_eq!(v[0].id(), NodeId::new(1));

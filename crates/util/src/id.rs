@@ -66,7 +66,10 @@ impl NodeId {
             "bits_per_digit must be in 1..=8 and divide 64, got {bits_per_digit}"
         );
         let digits = (ID_BITS / b) as usize;
-        assert!(index < digits, "digit index {index} out of range 0..{digits}");
+        assert!(
+            index < digits,
+            "digit index {index} out of range 0..{digits}"
+        );
         let shift = ID_BITS - b * (index as u32 + 1);
         ((self.0 >> shift) & ((1u64 << b) - 1)) as u8
     }
@@ -205,7 +208,11 @@ impl NodeId {
         };
         let digit_shift = ID_BITS - prefix_bits - b;
         let digit_part = u64::from(next_digit) << digit_shift;
-        let suffix_mask = if digit_shift == 0 { 0 } else { u64::MAX >> (ID_BITS - digit_shift) };
+        let suffix_mask = if digit_shift == 0 {
+            0
+        } else {
+            u64::MAX >> (ID_BITS - digit_shift)
+        };
         NodeId(kept | digit_part | (suffix_bits & suffix_mask))
     }
 }

@@ -464,7 +464,7 @@ mod tests {
         }
         assert_eq!(h.count(), 7);
         assert_eq!(h.max(), 99);
-        assert!((h.mean() - (0 + 5 + 9 + 10 + 25 + 25 + 99) as f64 / 7.0).abs() < 1e-12);
+        assert!((h.mean() - (5 + 9 + 10 + 25 + 25 + 99) as f64 / 7.0).abs() < 1e-12);
         let buckets: Vec<_> = h.buckets().collect();
         assert!(buckets.contains(&(0, 3)));
         assert!(buckets.contains(&(10, 1)));

@@ -24,7 +24,10 @@ fn main() {
         .build()
         .expect("valid configuration");
 
-    println!("bootstrapping a network of {} nodes ...", config.network_size);
+    println!(
+        "bootstrapping a network of {} nodes ...",
+        config.network_size
+    );
     let (outcome, snapshot) = Experiment::new(config).run_with_snapshot();
 
     println!("{outcome}");

@@ -41,7 +41,10 @@ fn convergence_time_grows_additively_with_network_size() {
             .build()
             .unwrap();
         let outcome = Experiment::new(config).run();
-        assert!(outcome.converged(), "N=2^{exponent} did not converge: {outcome}");
+        assert!(
+            outcome.converged(),
+            "N=2^{exponent} did not converge: {outcome}"
+        );
         cycles.push(outcome.convergence_cycle().unwrap());
     }
     assert!(cycles[1] >= cycles[0]);
@@ -81,7 +84,10 @@ fn twenty_percent_message_loss_only_slows_convergence_down() {
         assert!(outcome.converged(), "loss must not prevent convergence");
         lossy += outcome.convergence_cycle().unwrap();
     }
-    assert!(lossy >= reliable, "loss should cost cycles ({reliable} vs {lossy})");
+    assert!(
+        lossy >= reliable,
+        "loss should cost cycles ({reliable} vs {lossy})"
+    );
     assert!(
         lossy <= reliable * 4,
         "the paper reports a proportional slow-down, not a collapse ({reliable} vs {lossy})"
@@ -144,8 +150,14 @@ fn churn_during_bootstrap_keeps_quality_high_but_imperfect() {
     let outcome = Experiment::new(config).run();
     let leaf = outcome.leaf_series().final_value().unwrap();
     let prefix = outcome.prefix_series().final_value().unwrap();
-    assert!(leaf < 0.2, "leaf quality under light churn too poor: {leaf}");
-    assert!(prefix < 0.2, "prefix quality under light churn too poor: {prefix}");
+    assert!(
+        leaf < 0.2,
+        "leaf quality under light churn too poor: {leaf}"
+    );
+    assert!(
+        prefix < 0.2,
+        "prefix quality under light churn too poor: {prefix}"
+    );
 }
 
 #[test]
@@ -161,7 +173,10 @@ fn deterministic_replay_across_the_whole_stack() {
     let second = Experiment::new(config).run();
     assert_eq!(first.convergence_cycle(), second.convergence_cycle());
     assert_eq!(first.leaf_series().points(), second.leaf_series().points());
-    assert_eq!(first.prefix_series().points(), second.prefix_series().points());
+    assert_eq!(
+        first.prefix_series().points(),
+        second.prefix_series().points()
+    );
     assert_eq!(
         first.traffic().requests_delivered,
         second.traffic().requests_delivered
