@@ -1,0 +1,222 @@
+//! Scaling sweep of the simulation hot path: wall-clock throughput across
+//! network sizes, samplers and loss rates.
+//!
+//! Unlike the figure binaries (which reproduce the paper's *convergence* curves),
+//! this binary measures the *simulator itself*: cycles per second, wall-clock
+//! time, peak-RSS proxy and cycles-to-perfect for every cell of the sweep
+//! `sizes × {oracle, newscast} × loss {0, 0.2}`. The results are written as JSON
+//! (`BENCH_scaling.json` by default) so successive PRs have a perf trajectory to
+//! beat; see the "Performance" section of the README.
+//!
+//! The `fig3_10k` reference entry — a 10 000-node, 60-cycle, oracle-sampled run
+//! with the perfection stop disabled — is the fixed datapoint used to compare
+//! engine versions.
+
+use bss_bench::cli::Args;
+use bss_core::experiment::{Experiment, ExperimentConfig, SamplerChoice};
+use bss_util::config::NewscastParams;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const HELP: &str = "\
+scaling — hot-path scaling sweep (cycles/sec, peak RSS, cycles-to-perfect)
+
+USAGE:
+    cargo run --release -p bss-bench --bin scaling [-- OPTIONS]
+
+OPTIONS:
+    --sizes <list>       comma-separated size exponents  [default: 8,9,10,11,12,13,14,15]
+    --cycles <n>         cycle budget per run            [default: 60]
+    --seed <n>           base random seed                [default: 1]
+    --measure-every <n>  observer cadence in cycles      [default: 1]
+    --out <path>         output JSON path                [default: BENCH_scaling.json]
+    --smoke              tiny sweep (exponents 8,9; finishes in seconds)
+    --skip-reference     skip the fixed 10k-node oracle reference run
+    --quiet              suppress progress output
+";
+
+/// One measured cell of the sweep.
+struct Measurement {
+    label: String,
+    network_size: usize,
+    sampler: &'static str,
+    drop_probability: f64,
+    cycles_executed: u64,
+    convergence_cycle: Option<u64>,
+    elapsed_seconds: f64,
+    cycles_per_second: f64,
+    node_cycles_per_second: f64,
+    peak_rss_kib: u64,
+}
+
+/// Peak resident set size of this process in KiB (`VmHWM` from
+/// `/proc/self/status`). Monotone over the process lifetime, so per-run values
+/// are an upper-bound proxy, recorded in sweep order (small sizes first).
+fn peak_rss_kib() -> u64 {
+    #[cfg(target_os = "linux")]
+    {
+        if let Ok(status) = std::fs::read_to_string("/proc/self/status") {
+            for line in status.lines() {
+                if let Some(rest) = line.strip_prefix("VmHWM:") {
+                    return rest
+                        .trim()
+                        .trim_end_matches(" kB")
+                        .trim()
+                        .parse()
+                        .unwrap_or(0);
+                }
+            }
+        }
+    }
+    0
+}
+
+fn run_cell(config: ExperimentConfig, label: String, sampler_name: &'static str) -> Measurement {
+    let start = Instant::now();
+    let outcome = Experiment::new(config).run();
+    let elapsed = start.elapsed().as_secs_f64();
+    let cycles = outcome.cycles_executed();
+    Measurement {
+        label,
+        network_size: config.network_size,
+        sampler: sampler_name,
+        drop_probability: config.drop_probability,
+        cycles_executed: cycles,
+        convergence_cycle: outcome.convergence_cycle(),
+        elapsed_seconds: elapsed,
+        cycles_per_second: cycles as f64 / elapsed.max(1e-9),
+        node_cycles_per_second: (cycles as f64 * config.network_size as f64) / elapsed.max(1e-9),
+        peak_rss_kib: peak_rss_kib(),
+    }
+}
+
+fn render_json(measurements: &[Measurement]) -> String {
+    let mut out = String::from("{\n  \"benchmark\": \"scaling\",\n  \"unit_notes\": ");
+    out.push_str(
+        "\"cycles_per_second = simulated cycles / wall second; \
+         node_cycles_per_second = network_size * cycles_per_second; \
+         peak_rss_kib = VmHWM proxy, monotone over the sweep\",\n",
+    );
+    out.push_str("  \"entries\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        let convergence = match m.convergence_cycle {
+            Some(cycle) => cycle.to_string(),
+            None => "null".to_owned(),
+        };
+        let _ = write!(
+            out,
+            "    {{\"label\": \"{}\", \"network_size\": {}, \"sampler\": \"{}\", \
+             \"drop_probability\": {}, \"cycles_executed\": {}, \"convergence_cycle\": {}, \
+             \"elapsed_seconds\": {:.4}, \"cycles_per_second\": {:.2}, \
+             \"node_cycles_per_second\": {:.0}, \"peak_rss_kib\": {}}}",
+            m.label,
+            m.network_size,
+            m.sampler,
+            m.drop_probability,
+            m.cycles_executed,
+            convergence,
+            m.elapsed_seconds,
+            m.cycles_per_second,
+            m.node_cycles_per_second,
+            m.peak_rss_kib
+        );
+        out.push_str(if i + 1 < measurements.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let args = Args::from_env();
+    if args.wants_help() {
+        print!("{HELP}");
+        return;
+    }
+    let smoke = args.get("smoke").is_some();
+    let default_sizes: &[u32] = if smoke {
+        &[8, 9]
+    } else {
+        &[8, 9, 10, 11, 12, 13, 14, 15]
+    };
+    let sizes = args.u32_list_or("sizes", default_sizes);
+    let cycles = args.parsed_or("cycles", 60u64);
+    let seed = args.parsed_or("seed", 1u64);
+    let measure_every = args.parsed_or("measure-every", 1u64);
+    let out_path = args.get("out").unwrap_or("BENCH_scaling.json").to_owned();
+    let quiet = args.get("quiet").is_some();
+    let skip_reference = args.get("skip-reference").is_some();
+
+    let mut measurements = Vec::new();
+
+    // The fixed engine-version reference point: 10k nodes, 60 full cycles,
+    // oracle sampling, no loss. Disabling the perfection stop makes the
+    // wall-clock comparable across engine versions regardless of convergence.
+    if !skip_reference && !smoke {
+        if !quiet {
+            eprintln!("# reference: N=10000, 60 cycles, oracle, loss 0");
+        }
+        let config = ExperimentConfig::builder()
+            .network_size(10_000)
+            .seed(seed)
+            .max_cycles(60)
+            .measure_every(measure_every)
+            .stop_when_perfect(false)
+            .build()
+            .expect("valid reference configuration");
+        let reference = run_cell(config, "fig3_10k".to_owned(), "oracle");
+        if !quiet {
+            eprintln!(
+                "#   {:.2}s ({:.1} cycles/s)",
+                reference.elapsed_seconds, reference.cycles_per_second
+            );
+        }
+        measurements.push(reference);
+    }
+
+    let samplers: [(&'static str, SamplerChoice); 2] = [
+        ("oracle", SamplerChoice::Oracle),
+        (
+            "newscast",
+            SamplerChoice::Newscast(NewscastParams::paper_default()),
+        ),
+    ];
+    let losses = [0.0, 0.2];
+
+    for &exponent in &sizes {
+        let network_size = 1usize << exponent;
+        for (sampler_name, sampler) in samplers {
+            for loss in losses {
+                if !quiet {
+                    eprintln!("# N=2^{exponent} sampler={sampler_name} loss={loss}");
+                }
+                let config = ExperimentConfig::builder()
+                    .network_size(network_size)
+                    .seed(seed + u64::from(exponent))
+                    .sampler(sampler)
+                    .drop_probability(loss)
+                    .max_cycles(cycles)
+                    .measure_every(measure_every)
+                    .build()
+                    .expect("valid sweep configuration");
+                let label = format!("2^{exponent}_{sampler_name}_loss{loss}");
+                let m = run_cell(config, label, sampler_name);
+                if !quiet {
+                    eprintln!(
+                        "#   {:.2}s ({:.1} cycles/s, converged at {:?})",
+                        m.elapsed_seconds, m.cycles_per_second, m.convergence_cycle
+                    );
+                }
+                measurements.push(m);
+            }
+        }
+    }
+
+    let json = render_json(&measurements);
+    std::fs::write(&out_path, &json).expect("write benchmark JSON");
+    eprintln!("# wrote {out_path}");
+    print!("{json}");
+}

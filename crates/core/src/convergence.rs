@@ -68,6 +68,28 @@ impl NetworkConvergence {
         self.prefix_total += node.prefix_total;
     }
 
+    /// Removes one node's previously accumulated counts from the aggregate (the
+    /// inverse of [`NetworkConvergence::accumulate`], used by the incremental
+    /// tracker when a node's cached measurement is replaced).
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `node` was never accumulated, i.e. the
+    /// subtraction would underflow.
+    pub fn retract(&mut self, node: NodeConvergence) {
+        debug_assert!(
+            self.leaf_missing >= node.leaf_missing
+                && self.leaf_total >= node.leaf_total
+                && self.prefix_missing >= node.prefix_missing
+                && self.prefix_total >= node.prefix_total,
+            "retracting counts that were never accumulated"
+        );
+        self.leaf_missing -= node.leaf_missing;
+        self.leaf_total -= node.leaf_total;
+        self.prefix_missing -= node.prefix_missing;
+        self.prefix_total -= node.prefix_total;
+    }
+
     /// Proportion of missing leaf-set entries (0 when nothing is expected).
     pub fn leaf_proportion(&self) -> f64 {
         if self.leaf_total == 0 {
@@ -90,6 +112,57 @@ impl NetworkConvergence {
     /// paper's termination condition.
     pub fn is_perfect(&self) -> bool {
         self.leaf_missing == 0 && self.prefix_missing == 0
+    }
+}
+
+/// Incremental convergence accounting: caches one [`NodeConvergence`] per node
+/// and maintains their running sum, so a measurement pass only has to
+/// re-measure the nodes whose tables actually changed since the previous pass
+/// (the *dirty set* reported by the protocol driver).
+///
+/// Once the epidemic saturates, most exchanges stop changing tables, so the
+/// dirty set — and with it the per-cycle observer cost — collapses from O(n)
+/// table walks to a handful. The cached aggregate is exact: the sums it reports
+/// are integer-identical to re-measuring every node against the same oracle.
+///
+/// Only valid while the oracle (the live identifier population) is unchanged;
+/// under churn the caller must rebuild both the oracle and the tracker.
+#[derive(Debug, Clone, Default)]
+pub struct ConvergenceTracker {
+    per_node: Vec<Option<NodeConvergence>>,
+    aggregate: NetworkConvergence,
+}
+
+impl ConvergenceTracker {
+    /// Creates an empty tracker (no node measured yet).
+    pub fn new() -> Self {
+        ConvergenceTracker::default()
+    }
+
+    /// The current aggregate over every cached node measurement.
+    pub fn aggregate(&self) -> NetworkConvergence {
+        self.aggregate
+    }
+
+    /// Number of nodes with a cached measurement.
+    pub fn measured_nodes(&self) -> usize {
+        self.per_node.iter().filter(|m| m.is_some()).count()
+    }
+
+    /// Replaces the cached measurement of the node at `index` (`None` when the
+    /// node is dead or uninitialised and must no longer count), keeping the
+    /// aggregate in sync.
+    pub fn update_node(&mut self, index: usize, measured: Option<NodeConvergence>) {
+        if index >= self.per_node.len() {
+            self.per_node.resize(index + 1, None);
+        }
+        if let Some(previous) = self.per_node[index].take() {
+            self.aggregate.retract(previous);
+        }
+        if let Some(current) = measured {
+            self.aggregate.accumulate(current);
+        }
+        self.per_node[index] = measured;
     }
 }
 

@@ -7,7 +7,7 @@
 //! in the paper's Figures 3 and 4). The examples, the integration tests and the
 //! benchmark harness are all thin wrappers around this module.
 
-use crate::convergence::NetworkConvergence;
+use crate::convergence::{ConvergenceTracker, NetworkConvergence};
 use crate::protocol::{BootstrapProtocol, TrafficStats};
 use bss_sampling::newscast::NewscastProtocol;
 use bss_sampling::sampler::{OracleSampler, PeerSampler};
@@ -53,6 +53,10 @@ pub struct ExperimentConfig {
     /// Stop as soon as every node's tables are perfect (the paper's termination
     /// rule). When false the run always uses the full cycle budget.
     pub stop_when_perfect: bool,
+    /// Observer cadence: convergence is measured every `measure_every` cycles
+    /// (1 = every cycle). Larger cadences make huge sweeps cheaper at the cost
+    /// of coarser series; the perfection stop only triggers on measured cycles.
+    pub measure_every: u64,
 }
 
 impl ExperimentConfig {
@@ -69,6 +73,7 @@ impl ExperimentConfig {
                 churn_rate: 0.0,
                 max_cycles: 100,
                 stop_when_perfect: true,
+                measure_every: 1,
             },
         }
     }
@@ -92,6 +97,11 @@ impl ExperimentConfig {
         }
         if self.max_cycles == 0 {
             return Err(InvalidParams::from_message("max_cycles must be positive"));
+        }
+        if self.measure_every == 0 {
+            return Err(InvalidParams::from_message(
+                "measure_every must be positive",
+            ));
         }
         if !(0.0..=1.0).contains(&self.drop_probability) {
             return Err(InvalidParams::from_message(
@@ -157,6 +167,12 @@ impl ExperimentConfigBuilder {
     /// Controls whether the run stops at perfect convergence.
     pub fn stop_when_perfect(&mut self, stop: bool) -> &mut Self {
         self.config.stop_when_perfect = stop;
+        self
+    }
+
+    /// Sets the observer cadence (convergence measured every `cycles` cycles).
+    pub fn measure_every(&mut self, cycles: u64) -> &mut Self {
+        self.config.measure_every = cycles;
         self
     }
 
@@ -370,12 +386,14 @@ impl Experiment {
         protocol.init_all(engine.context_mut());
 
         // Under churn the live membership changes every cycle, so the oracle has to
-        // be rebuilt; without churn one oracle serves the whole run.
+        // be rebuilt; without churn one oracle serves the whole run and the
+        // convergence can be tracked incrementally over the protocol's dirty set.
         let static_oracle = if config.churn_rate == 0.0 {
             Some(protocol.oracle_for(engine.context()))
         } else {
             None
         };
+        let mut tracker = ConvergenceTracker::new();
 
         let mut leaf_series = Series::new("missing_leafset_proportion");
         let mut prefix_series = Series::new("missing_prefix_proportion");
@@ -384,8 +402,12 @@ impl Experiment {
 
         let cycles_executed =
             engine.run_with_observer(&mut protocol, config.max_cycles, |protocol, ctx, cycle| {
+                // Off-cadence cycles skip the (global) convergence pass entirely.
+                if cycle % config.measure_every != 0 {
+                    return ControlFlow::Continue(());
+                }
                 let measured = match &static_oracle {
-                    Some(oracle) => protocol.measure(oracle, ctx),
+                    Some(oracle) => protocol.measure_incremental(oracle, &mut tracker, ctx),
                     None => {
                         let oracle = protocol.oracle_for(ctx);
                         protocol.measure(&oracle, ctx)

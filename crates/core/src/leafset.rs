@@ -120,12 +120,16 @@ impl<A: Address> LeafSet<A> {
     ///
     /// Descriptors equal to the own identifier are ignored; duplicates keep the
     /// freshest timestamp.
-    pub fn update(&mut self, incoming: impl IntoIterator<Item = Descriptor<A>>) {
+    ///
+    /// Returns whether the *membership* of the leaf set changed (timestamp-only
+    /// refreshes of already-present identifiers do not count) — the signal the
+    /// incremental convergence tracker uses to decide which nodes to re-measure.
+    pub fn update(&mut self, incoming: impl IntoIterator<Item = Descriptor<A>>) -> bool {
         // Merge: current content plus the incoming descriptors.
         let mut merged: Vec<Descriptor<A>> = self.to_vec();
         merged.extend(incoming.into_iter().filter(|d| d.id() != self.own_id));
         if merged.is_empty() {
-            return;
+            return false;
         }
         bss_util::descriptor::dedup_freshest(&mut merged);
 
@@ -139,13 +143,17 @@ impl<A: Address> LeafSet<A> {
                 predecessors.push(descriptor);
             }
         }
+        // Partial selection: after spilling, at most `capacity` entries per side
+        // can ever be kept, so only that prefix needs to be in order. (A side's
+        // shortfall is computed from its candidate count, which truncation to
+        // `capacity >= half` cannot disturb.)
         let own = self.own_id;
-        successors.sort_by(|a, b| {
+        bss_util::view::rank_top_by(&mut successors, self.capacity, |a, b| {
             own.clockwise_distance(a.id())
                 .cmp(&own.clockwise_distance(b.id()))
                 .then_with(|| a.id().cmp(&b.id()))
         });
-        predecessors.sort_by(|a, b| {
+        bss_util::view::rank_top_by(&mut predecessors, self.capacity, |a, b| {
             a.id()
                 .clockwise_distance(own)
                 .cmp(&b.id().clockwise_distance(own))
@@ -161,20 +169,36 @@ impl<A: Address> LeafSet<A> {
         successors.truncate(succ_keep);
         predecessors.truncate(pred_keep);
 
+        // Membership comparison: the kept orderings are deterministic (distance,
+        // ties by identifier), so equal membership means equal id sequences.
+        let same_ids = |kept: &[Descriptor<A>], current: &[Descriptor<A>]| {
+            kept.len() == current.len()
+                && kept
+                    .iter()
+                    .zip(current.iter())
+                    .all(|(a, b)| a.id() == b.id())
+        };
+        let changed = !same_ids(&successors, &self.successors)
+            || !same_ids(&predecessors, &self.predecessors);
+
         self.successors = successors;
         self.predecessors = predecessors;
+        changed
     }
 
     /// The descriptors sorted by undirected ring distance from the own identifier,
-    /// closest first — the ordering `SELECTPEER` uses before picking a random
-    /// element from the first half.
+    /// closest first — the ordering `SELECTPEER` is defined over. (The protocol
+    /// driver ranks the closer half in place via partial selection instead of
+    /// calling this; the method remains as the reference ordering for
+    /// diagnostics and tests.)
     pub fn sorted_by_distance_from_self(&self) -> Vec<Descriptor<A>> {
         self.sorted_by_distance_from(self.own_id)
     }
 
     /// The descriptors sorted by undirected ring distance from an arbitrary
-    /// reference identifier, closest first (used by `CREATEMESSAGE` to target the
-    /// content at the peer).
+    /// reference identifier, closest first — the ordering `CREATEMESSAGE`'s
+    /// ring-targeted part is defined over (the hot path selects it directly on
+    /// the merge union rather than through this method).
     pub fn sorted_by_distance_from(&self, reference: NodeId) -> Vec<Descriptor<A>> {
         let mut all = self.to_vec();
         all.sort_by(|a, b| {

@@ -14,6 +14,7 @@ use crate::leafset::LeafSet;
 use crate::prefix_table::PrefixTable;
 use bss_util::descriptor::{dedup_freshest, Address, Descriptor};
 use bss_util::id::NodeId;
+use bss_util::view::rank_top_by;
 
 /// Builds the message a node sends to `peer_id`.
 ///
@@ -24,9 +25,39 @@ use bss_util::id::NodeId;
 /// * `ring_entries` — the number of entries kept from the distance-ordered union
 ///   (the paper's `c`).
 ///
-/// The returned message contains at most `ring_entries` descriptors chosen by ring
-/// distance to the peer plus every locally known descriptor sharing a prefix with
-/// the peer; duplicates are removed. The peer's own descriptor is never included.
+/// Reusable working memory for [`create_message_with`].
+///
+/// One instance per driver (not per node) is enough: threading it through makes
+/// message composition allocation-free in the steady state — composing a
+/// message is the single most-executed operation of a simulation (twice per
+/// exchange).
+#[derive(Debug, Clone)]
+pub struct MessageScratch<A> {
+    union: Vec<Descriptor<A>>,
+    successors: Vec<u32>,
+    predecessors: Vec<u32>,
+    keep_positions: Vec<u32>,
+    slot_counts: Vec<u16>,
+    winners: Vec<(u16, u32)>,
+    in_part_one: Vec<bool>,
+}
+
+impl<A> Default for MessageScratch<A> {
+    fn default() -> Self {
+        MessageScratch {
+            union: Vec::new(),
+            successors: Vec::new(),
+            predecessors: Vec::new(),
+            keep_positions: Vec::new(),
+            slot_counts: Vec::new(),
+            winners: Vec::new(),
+            in_part_one: Vec::new(),
+        }
+    }
+}
+
+/// Builds the message a node sends to `peer_id`, allocating fresh working
+/// buffers. Prefer [`create_message_with`] on hot paths.
 pub fn create_message<A: Address>(
     own: Descriptor<A>,
     leaf_set: &LeafSet<A>,
@@ -35,15 +66,47 @@ pub fn create_message<A: Address>(
     peer_id: NodeId,
     ring_entries: usize,
 ) -> Vec<Descriptor<A>> {
+    create_message_with(
+        &mut MessageScratch::default(),
+        own,
+        leaf_set,
+        prefix_table,
+        random_samples,
+        peer_id,
+        ring_entries,
+    )
+}
+
+/// The returned message contains at most `ring_entries` descriptors chosen by ring
+/// distance to the peer plus every locally known descriptor sharing a prefix with
+/// the peer; duplicates are removed. The peer's own descriptor is never included.
+///
+/// This is the single most-executed function of a simulation (twice per
+/// exchange), so both selections run directly over the deduplicated union —
+/// part one as a partial selection of the peer-view ring neighbours, part two
+/// as one capped-counting pass over the peer's slot space — instead of
+/// materialising a temporary [`LeafSet`] and [`PrefixTable`] per message, and
+/// all working memory comes from the caller-owned `scratch`. The output is
+/// element-for-element identical to the naive construction.
+pub fn create_message_with<A: Address>(
+    scratch: &mut MessageScratch<A>,
+    own: Descriptor<A>,
+    leaf_set: &LeafSet<A>,
+    prefix_table: &PrefixTable<A>,
+    random_samples: &[Descriptor<A>],
+    peer_id: NodeId,
+    ring_entries: usize,
+) -> Vec<Descriptor<A>> {
     // The union of all locally available information.
-    let mut union: Vec<Descriptor<A>> =
-        Vec::with_capacity(1 + leaf_set.len() + prefix_table.len() + random_samples.len());
+    let union = &mut scratch.union;
+    union.clear();
+    union.reserve(1 + leaf_set.len() + prefix_table.len() + random_samples.len());
     union.push(own);
     union.extend(leaf_set.iter().copied());
     union.extend(random_samples.iter().copied());
     union.extend(prefix_table.iter().copied());
     union.retain(|d| d.id() != peer_id);
-    dedup_freshest(&mut union);
+    dedup_freshest(union);
 
     // Part one: the `c` descriptors closest to the peer on the ring, selected the
     // same way the peer's own `UPDATELEAFSET` will select them — up to `c/2`
@@ -51,36 +114,97 @@ pub fn create_message<A: Address>(
     // one side is short). A plain undirected-distance cut-off would starve the
     // peer's sparser ring side whenever its denser side has more than `c` nodes
     // nearby, which is exactly the "last few entries" end-game the paper relies on
-    // the message optimisation to finish quickly.
-    let by_distance: Vec<Descriptor<A>> = if ring_entries == 0 {
-        Vec::new()
-    } else {
-        let balanced_budget = if ring_entries % 2 == 0 {
-            ring_entries
-        } else {
-            ring_entries + 1
-        };
-        let mut targeted = LeafSet::new(peer_id, balanced_budget);
-        targeted.update(union.iter().copied());
-        let mut selected = targeted.to_vec();
-        selected.truncate(ring_entries);
-        selected
-    };
+    // the message optimisation to finish quickly. Selection works on union
+    // *positions* so part two can cheaply skip already-shipped entries.
+    let keep_positions = &mut scratch.keep_positions;
+    keep_positions.clear();
+    if ring_entries > 0 && !union.is_empty() {
+        let balanced_budget = ring_entries + ring_entries % 2;
+        let half = balanced_budget / 2;
+        let successors = &mut scratch.successors;
+        let predecessors = &mut scratch.predecessors;
+        successors.clear();
+        predecessors.clear();
+        for (position, d) in union.iter().enumerate() {
+            if peer_id.is_successor(d.id()) {
+                successors.push(position as u32);
+            } else {
+                predecessors.push(position as u32);
+            }
+        }
+        // Partial selection: only the best `balanced_budget` of each side can
+        // ever be kept, even after spilling.
+        rank_top_by(successors, balanced_budget, |&x, &y| {
+            let (a, b) = (union[x as usize].id(), union[y as usize].id());
+            peer_id
+                .clockwise_distance(a)
+                .cmp(&peer_id.clockwise_distance(b))
+                .then_with(|| a.cmp(&b))
+        });
+        rank_top_by(predecessors, balanced_budget, |&x, &y| {
+            let (a, b) = (union[x as usize].id(), union[y as usize].id());
+            a.clockwise_distance(peer_id)
+                .cmp(&b.clockwise_distance(peer_id))
+                .then_with(|| a.cmp(&b))
+        });
+        // Keep half per side, spilling into the other side when one is short —
+        // mirroring LeafSet::update (the truncation to `balanced_budget` above
+        // cannot disturb the shortfall computation because a side is only ever
+        // short when it held fewer than `half <= balanced_budget` candidates).
+        let successor_short = half.saturating_sub(successors.len());
+        let predecessor_short = half.saturating_sub(predecessors.len());
+        let keep_successors = (half + predecessor_short).min(successors.len());
+        let keep_predecessors = (half + successor_short).min(predecessors.len());
+        keep_positions.extend(&successors[..keep_successors]);
+        keep_positions.extend(&predecessors[..keep_predecessors]);
+        keep_positions.truncate(ring_entries);
+    }
 
     // Part two: every descriptor "potentially useful for the peer for its prefix
-    // table". The sender estimates usefulness by building, from its local union, the
-    // prefix table the *peer* would construct (same geometry, keyed on the peer's
-    // identifier) and shipping its content. This is what bounds the additional part
-    // "by the size of the full prefix table" — at most `k` descriptors per slot are
-    // ever selected — and it is what lets a node's already-complete rows (for
-    // example row 0, which holds every other leading digit) propagate to peers whose
+    // table" — what the peer's own UPDATEPREFIXTABLE would store from the union:
+    // per slot of the *peer's* table, the first `k` union entries (in union
+    // order) that fall into it, emitted in (row, column) slot order. This is
+    // what bounds the additional part "by the size of the full prefix table" —
+    // and it is what lets a node's already-complete rows (for example row 0,
+    // which holds every other leading digit) propagate to peers whose
     // corresponding rows are still empty.
-    let mut useful_for_peer: PrefixTable<A> = PrefixTable::new(peer_id, prefix_table.geometry());
-    useful_for_peer.update(union.iter().copied());
+    let geometry = prefix_table.geometry();
+    let columns = geometry.columns();
+    let per_slot = geometry.entries_per_slot();
+    let slot_counts = &mut scratch.slot_counts;
+    slot_counts.clear();
+    slot_counts.resize(geometry.rows() * columns, 0);
+    let winners = &mut scratch.winners;
+    winners.clear();
+    for (position, d) in union.iter().enumerate() {
+        if let Some((row, column)) = geometry.slot_of(peer_id, d.id()) {
+            let slot = row * columns + column as usize;
+            if (slot_counts[slot] as usize) < per_slot {
+                slot_counts[slot] += 1;
+                winners.push((slot as u16, position as u32));
+            }
+        }
+    }
+    // Stable by slot key: within a slot, union order — the table's iteration
+    // order.
+    winners.sort_by_key(|&(slot, _)| slot);
 
-    let mut message = by_distance;
-    message.extend(useful_for_peer.iter().copied());
-    dedup_freshest(&mut message);
+    // Assemble: part one, then the part-two entries not already shipped (the
+    // union is deduplicated, so position equality is identifier equality).
+    let in_part_one = &mut scratch.in_part_one;
+    in_part_one.clear();
+    in_part_one.resize(union.len(), false);
+    for &position in keep_positions.iter() {
+        in_part_one[position as usize] = true;
+    }
+    let mut message: Vec<Descriptor<A>> = Vec::with_capacity(keep_positions.len() + winners.len());
+    message.extend(keep_positions.iter().map(|&p| union[p as usize]));
+    message.extend(
+        winners
+            .iter()
+            .filter(|&&(_, p)| !in_part_one[p as usize])
+            .map(|&(_, p)| union[p as usize]),
+    );
     message
 }
 
@@ -174,6 +298,88 @@ mod tests {
             .collect();
         assert_eq!(copies.len(), 1);
         assert_eq!(copies[0].timestamp(), 2, "freshest copy wins");
+    }
+
+    /// The original construction: build the temporary peer-keyed LeafSet and
+    /// PrefixTable, concatenate, dedup. The optimised `create_message` must be
+    /// element-for-element identical to this.
+    fn create_message_reference(
+        own: Descriptor<u32>,
+        leaf_set: &LeafSet<u32>,
+        prefix_table: &PrefixTable<u32>,
+        random_samples: &[Descriptor<u32>],
+        peer_id: NodeId,
+        ring_entries: usize,
+    ) -> Vec<Descriptor<u32>> {
+        let mut union: Vec<Descriptor<u32>> = Vec::new();
+        union.push(own);
+        union.extend(leaf_set.iter().copied());
+        union.extend(random_samples.iter().copied());
+        union.extend(prefix_table.iter().copied());
+        union.retain(|d| d.id() != peer_id);
+        dedup_freshest(&mut union);
+
+        let by_distance: Vec<Descriptor<u32>> = if ring_entries == 0 {
+            Vec::new()
+        } else {
+            let balanced_budget = ring_entries + ring_entries % 2;
+            let mut targeted = LeafSet::new(peer_id, balanced_budget);
+            targeted.update(union.iter().copied());
+            let mut selected = targeted.to_vec();
+            selected.truncate(ring_entries);
+            selected
+        };
+
+        let mut useful_for_peer: PrefixTable<u32> =
+            PrefixTable::new(peer_id, prefix_table.geometry());
+        useful_for_peer.update(union.iter().copied());
+
+        let mut message = by_distance;
+        message.extend(useful_for_peer.iter().copied());
+        dedup_freshest(&mut message);
+        message
+    }
+
+    #[test]
+    fn optimised_message_matches_the_reference_construction() {
+        use bss_util::rng::SimRng;
+        let mut rng = SimRng::seed_from(4242);
+        for round in 0..60u64 {
+            let own_id = rng.next_u64();
+            let own = Descriptor::new(NodeId::new(own_id), 0u32, round);
+            let capacity = [2usize, 4, 8, 20][rng.index(4)];
+            let mut leaf_set: LeafSet<u32> = LeafSet::new(NodeId::new(own_id), capacity);
+            let mut table: PrefixTable<u32> =
+                PrefixTable::new(NodeId::new(own_id), TableGeometry::new(4, 3).unwrap());
+            let population = rng.index(120) + 1;
+            for i in 0..population {
+                let descriptor =
+                    Descriptor::new(NodeId::new(rng.next_u64()), i as u32, rng.next_u64() % 8);
+                leaf_set.update([descriptor]);
+                table.insert(descriptor);
+            }
+            let samples: Vec<Descriptor<u32>> = (0..rng.index(30))
+                .map(|i| Descriptor::new(NodeId::new(rng.next_u64()), i as u32, rng.next_u64() % 8))
+                .collect();
+            // Sometimes target a known identifier, sometimes a stranger.
+            let peer_id = if rng.chance(0.3) && !leaf_set.is_empty() {
+                leaf_set.to_vec()[rng.index(leaf_set.len())].id()
+            } else {
+                NodeId::new(rng.next_u64())
+            };
+            for ring_entries in [0usize, 1, 2, 7, 20] {
+                let fast = create_message(own, &leaf_set, &table, &samples, peer_id, ring_entries);
+                let reference = create_message_reference(
+                    own,
+                    &leaf_set,
+                    &table,
+                    &samples,
+                    peer_id,
+                    ring_entries,
+                );
+                assert_eq!(fast, reference, "round {round} ring_entries {ring_entries}");
+            }
+        }
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! UDP deployment in `bss-net`.
 
 use crate::leafset::LeafSet;
-use crate::message::create_message;
+use crate::message::{create_message_with, MessageScratch};
 use crate::prefix_table::PrefixTable;
 use bss_util::config::BootstrapParams;
 use bss_util::descriptor::{Address, Descriptor};
@@ -120,16 +120,25 @@ impl<A: Address> BootstrapNode<A> {
         self.leaf_set.update(random_contacts);
     }
 
-    /// `SELECTPEER`: sorts the leaf set by ring distance from the own identifier
+    /// `SELECTPEER`: orders the leaf set by ring distance from the own identifier
     /// and picks a random element from the first (closer) half. Returns `None`
     /// when the leaf set is empty.
+    ///
+    /// Only the closer half is actually put in order (partial selection) — the
+    /// picked element is identical to sorting the whole set.
     pub fn select_peer(&self, rng: &mut SimRng) -> Option<Descriptor<A>> {
-        let sorted = self.leaf_set.sorted_by_distance_from_self();
-        if sorted.is_empty() {
+        let mut candidates = self.leaf_set.to_vec();
+        if candidates.is_empty() {
             return None;
         }
-        let half = (sorted.len() / 2).max(1);
-        Some(sorted[rng.index(half)])
+        let half = (candidates.len() / 2).max(1);
+        let own = self.own.id();
+        bss_util::view::rank_top_by(&mut candidates, half, |a, b| {
+            own.ring_distance(a.id())
+                .cmp(&own.ring_distance(b.id()))
+                .then_with(|| a.id().cmp(&b.id()))
+        });
+        Some(candidates[rng.index(half)])
     }
 
     /// `CREATEMESSAGE`: composes the message to send to `peer_id`, mixing in the
@@ -141,10 +150,28 @@ impl<A: Address> BootstrapNode<A> {
         random_samples: &[Descriptor<A>],
         initiating: bool,
     ) -> Vec<Descriptor<A>> {
+        self.create_message_with(
+            peer_id,
+            random_samples,
+            initiating,
+            &mut MessageScratch::default(),
+        )
+    }
+
+    /// [`BootstrapNode::create_message`] with caller-owned working memory — the
+    /// allocation-free variant the simulation driver uses on the hot path.
+    pub fn create_message_with(
+        &mut self,
+        peer_id: NodeId,
+        random_samples: &[Descriptor<A>],
+        initiating: bool,
+        scratch: &mut MessageScratch<A>,
+    ) -> Vec<Descriptor<A>> {
         if initiating {
             self.exchanges_initiated += 1;
         }
-        create_message(
+        create_message_with(
+            scratch,
             self.own,
             &self.leaf_set,
             &self.prefix_table,
@@ -157,10 +184,16 @@ impl<A: Address> BootstrapNode<A> {
     /// Processes a received message: `UPDATELEAFSET` followed by
     /// `UPDATEPREFIXTABLE` (both the active and the passive thread do exactly
     /// this, Fig. 2).
-    pub fn receive(&mut self, descriptors: &[Descriptor<A>]) {
+    ///
+    /// Returns whether the message changed the node's tables (leaf-set
+    /// membership or prefix-table content) — timestamp-only refreshes do not
+    /// count. The convergence tracker uses this to skip re-measuring nodes
+    /// whose state is unchanged.
+    pub fn receive(&mut self, descriptors: &[Descriptor<A>]) -> bool {
         self.descriptors_received += descriptors.len() as u64;
-        self.leaf_set.update(descriptors.iter().copied());
-        self.prefix_table.update(descriptors.iter().copied());
+        let leaf_changed = self.leaf_set.update(descriptors.iter().copied());
+        let inserted = self.prefix_table.update(descriptors.iter().copied());
+        leaf_changed || inserted > 0
     }
 
     /// Removes every trace of a departed peer from the local state (used by the

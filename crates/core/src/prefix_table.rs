@@ -6,16 +6,16 @@
 //! routing table of Pastry, Kademlia (per-bucket view), Tapestry and Bamboo, which
 //! is why bootstrapping it bootstraps all those substrates at once.
 //!
-//! Rows are allocated lazily: in a network of `n` nodes only about
-//! `log_{2^b}(n)` rows can ever contain entries, so dense allocation of all
-//! `64 / b` rows would waste memory at large scale.
+//! Storage is a flat arena: all descriptors live in one contiguous vector
+//! ordered by slot, with a per-slot offset index. Iterating the table — which
+//! the message-composition hot path does twice per exchange — is a linear walk
+//! over one allocation instead of a pointer chase through nested row/cell
+//! vectors, and a table costs two allocations total regardless of how many
+//! slots fill up.
 
 use bss_util::descriptor::{Address, Descriptor};
 use bss_util::geometry::TableGeometry;
 use bss_util::id::NodeId;
-
-/// One row of the table: `columns` slots, each holding up to `k` descriptors.
-type Row<A> = Vec<Vec<Descriptor<A>>>;
 
 /// A prefix routing table under construction.
 ///
@@ -46,8 +46,12 @@ type Row<A> = Vec<Vec<Descriptor<A>>>;
 pub struct PrefixTable<A> {
     own_id: NodeId,
     geometry: TableGeometry,
-    rows: Vec<Option<Row<A>>>,
-    entries: usize,
+    /// All stored descriptors, ordered by slot `(row, column)` and, within a
+    /// slot, by insertion order.
+    store: Vec<Descriptor<A>>,
+    /// Per-slot start offsets into `store`: slot `s` holds
+    /// `store[offsets[s]..offsets[s + 1]]`. Length `rows * columns + 1`.
+    offsets: Vec<u32>,
 }
 
 impl<A: Address> PrefixTable<A> {
@@ -56,9 +60,15 @@ impl<A: Address> PrefixTable<A> {
         PrefixTable {
             own_id,
             geometry,
-            rows: vec![None; geometry.rows()],
-            entries: 0,
+            store: Vec::new(),
+            offsets: vec![0; geometry.rows() * geometry.columns() + 1],
         }
+    }
+
+    /// The linear index of slot `(row, column)`.
+    #[inline]
+    fn slot_index(&self, row: usize, column: u8) -> usize {
+        row * self.geometry.columns() + column as usize
     }
 
     /// The identifier of the owning node.
@@ -73,12 +83,12 @@ impl<A: Address> PrefixTable<A> {
 
     /// Total number of descriptors stored.
     pub fn len(&self) -> usize {
-        self.entries
+        self.store.len()
     }
 
     /// Whether the table holds no descriptors.
     pub fn is_empty(&self) -> bool {
-        self.entries == 0
+        self.store.is_empty()
     }
 
     /// The descriptors stored in slot `(row, column)` (empty when none).
@@ -92,10 +102,8 @@ impl<A: Address> PrefixTable<A> {
             (column as usize) < self.geometry.columns(),
             "column {column} out of range"
         );
-        match &self.rows[row] {
-            Some(cells) => &cells[column as usize],
-            None => &[],
-        }
+        let slot = self.slot_index(row, column);
+        &self.store[self.offsets[slot] as usize..self.offsets[slot + 1] as usize]
     }
 
     /// Whether the slot that `id` would occupy already holds `k` descriptors (or
@@ -135,14 +143,21 @@ impl<A: Address> PrefixTable<A> {
             return false; // own descriptor
         };
         let capacity = self.geometry.entries_per_slot();
-        let columns = self.geometry.columns();
-        let row_cells = self.rows[row].get_or_insert_with(|| vec![Vec::new(); columns]);
-        let cell = &mut row_cells[column as usize];
-        if cell.len() >= capacity || cell.iter().any(|d| d.id() == descriptor.id()) {
+        let slot = self.slot_index(row, column);
+        let (start, end) = (self.offsets[slot] as usize, self.offsets[slot + 1] as usize);
+        if end - start >= capacity
+            || self.store[start..end]
+                .iter()
+                .any(|d| d.id() == descriptor.id())
+        {
             return false;
         }
-        cell.push(descriptor);
-        self.entries += 1;
+        // Append at the end of the slot's range (preserving insertion order)
+        // and shift every later slot's offset.
+        self.store.insert(end, descriptor);
+        for offset in &mut self.offsets[slot + 1..] {
+            *offset += 1;
+        }
         true
     }
 
@@ -152,28 +167,32 @@ impl<A: Address> PrefixTable<A> {
         let Some((row, column)) = self.geometry.slot_of(self.own_id, id) else {
             return 0;
         };
-        if let Some(cells) = &mut self.rows[row] {
-            let cell = &mut cells[column as usize];
-            let before = cell.len();
-            cell.retain(|d| d.id() != id);
-            let removed = before - cell.len();
-            self.entries -= removed;
-            return removed;
+        let slot = self.slot_index(row, column);
+        let (start, end) = (self.offsets[slot] as usize, self.offsets[slot + 1] as usize);
+        let mut removed = 0;
+        let mut position = start;
+        while position < end - removed {
+            if self.store[position].id() == id {
+                self.store.remove(position);
+                removed += 1;
+            } else {
+                position += 1;
+            }
         }
-        0
+        for offset in &mut self.offsets[slot + 1..] {
+            *offset -= removed as u32;
+        }
+        removed
     }
 
-    /// Iterates over every stored descriptor.
+    /// Iterates over every stored descriptor, in slot order.
     pub fn iter(&self) -> impl Iterator<Item = &Descriptor<A>> {
-        self.rows
-            .iter()
-            .flatten()
-            .flat_map(|cells| cells.iter().flat_map(|cell| cell.iter()))
+        self.store.iter()
     }
 
     /// Collects every stored descriptor into a vector.
     pub fn to_vec(&self) -> Vec<Descriptor<A>> {
-        self.iter().copied().collect()
+        self.store.clone()
     }
 
     /// The descriptors "potentially useful for the peer for its prefix table", as
@@ -190,21 +209,20 @@ impl<A: Address> PrefixTable<A> {
 
     /// Number of non-empty slots.
     pub fn occupied_slots(&self) -> usize {
-        self.rows
-            .iter()
-            .flatten()
-            .map(|cells| cells.iter().filter(|cell| !cell.is_empty()).count())
-            .sum()
+        self.offsets
+            .windows(2)
+            .filter(|pair| pair[1] > pair[0])
+            .count()
     }
 
     /// The deepest row (longest common prefix) that currently holds an entry, if
     /// any. In a uniformly random network this hovers around `log_{2^b}(n)`.
     pub fn deepest_occupied_row(&self) -> Option<usize> {
+        let columns = self.geometry.columns();
         (0..self.geometry.rows()).rev().find(|&row| {
-            self.rows[row]
-                .as_ref()
-                .map(|cells| cells.iter().any(|c| !c.is_empty()))
-                .unwrap_or(false)
+            let start = self.offsets[row * columns] as usize;
+            let end = self.offsets[(row + 1) * columns] as usize;
+            end > start
         })
     }
 

@@ -15,8 +15,10 @@ use bss_sim::network::NodeIndex;
 use bss_util::config::NewscastParams;
 use bss_util::descriptor::{dedup_freshest, Descriptor};
 use bss_util::id::NodeId;
+use bss_util::view::{rank_top_by, ViewArena};
 
-/// One node's NEWSCAST cache.
+/// One node's NEWSCAST cache (as a transient merge buffer; the resident storage
+/// is the protocol's [`ViewArena`]).
 type View = Vec<Descriptor<NodeIndex>>;
 
 /// The NEWSCAST protocol state for every node in a simulation.
@@ -24,22 +26,35 @@ type View = Vec<Descriptor<NodeIndex>>;
 /// The type implements both [`CycleProtocol`] (so it can be driven directly by the
 /// cycle engine) and [`PeerSampler`] (so the bootstrapping service can draw its
 /// `cr` random samples from it).
+///
+/// All views live in one flat [`ViewArena`] (a `view_size`-sized slot per node)
+/// and every exchange reuses the protocol-owned scratch buffers, so the steady
+/// state of a gossip cycle performs no heap allocation at all.
 #[derive(Debug)]
 pub struct NewscastProtocol {
     params: NewscastParams,
-    views: Vec<Option<View>>,
+    views: ViewArena<NodeIndex>,
     exchanges: u64,
     failed_exchanges: u64,
+    /// Reusable buffer for the request (initiator's fresh descriptor + view).
+    request_scratch: View,
+    /// Reusable buffer for the response (peer's fresh descriptor + view).
+    response_scratch: View,
+    /// Reusable buffer for view ∪ received merges.
+    merge_scratch: View,
 }
 
 impl NewscastProtocol {
     /// Creates the protocol with the given parameters and no initialised nodes.
     pub fn new(params: NewscastParams) -> Self {
         NewscastProtocol {
+            views: ViewArena::new(params.view_size),
             params,
-            views: Vec::new(),
             exchanges: 0,
             failed_exchanges: 0,
+            request_scratch: Vec::new(),
+            response_scratch: Vec::new(),
+            merge_scratch: Vec::new(),
         }
     }
 
@@ -60,7 +75,7 @@ impl NewscastProtocol {
 
     /// The current view of `node`, if the node has been initialised.
     pub fn view(&self, node: NodeIndex) -> Option<&[Descriptor<NodeIndex>]> {
-        self.views.get(node.as_usize()).and_then(|v| v.as_deref())
+        self.views.get(node.as_usize())
     }
 
     /// Initialises `node` with an explicit seed view (self-entries are removed and
@@ -74,45 +89,45 @@ impl NewscastProtocol {
         let own_id = ctx.network.id(node);
         let mut view = seeds;
         Self::normalise(&mut view, own_id, self.params.view_size);
-        self.slot_mut(node).replace(view);
+        self.views.set(node.as_usize(), &view);
     }
 
     /// Number of nodes currently holding a view.
     pub fn initialised_nodes(&self) -> usize {
-        self.views.iter().filter(|v| v.is_some()).count()
-    }
-
-    fn slot_mut(&mut self, node: NodeIndex) -> &mut Option<View> {
-        if node.as_usize() >= self.views.len() {
-            self.views.resize_with(node.as_usize() + 1, || None);
-        }
-        &mut self.views[node.as_usize()]
+        self.views.occupied_count()
     }
 
     /// Canonicalises a view: removes descriptors of `own_id`, keeps the freshest
-    /// descriptor per identifier, sorts freshest-first (ties broken by identifier)
-    /// and truncates to `capacity`.
+    /// descriptor per identifier, ranks freshest-first (ties broken by identifier)
+    /// and truncates to `capacity`. Ranking is a partial selection: only the kept
+    /// prefix is sorted, and a buffer already within capacity and in order (the
+    /// common case on early cycles) is not sorted at all.
     fn normalise(view: &mut View, own_id: NodeId, capacity: usize) {
         view.retain(|d| d.id() != own_id);
         dedup_freshest(view);
-        view.sort_by(|a, b| {
+        rank_top_by(view, capacity, |a, b| {
             b.timestamp()
                 .cmp(&a.timestamp())
                 .then_with(|| a.id().cmp(&b.id()))
         });
-        view.truncate(capacity);
     }
 
     /// Performs the merge step at one participant: current view ∪ received
-    /// descriptors, normalised.
-    fn merge_into(
-        view: &mut View,
+    /// descriptors, normalised and written back to the arena slot (occupying it
+    /// if the node held no view yet).
+    fn merge_slot(
+        views: &mut ViewArena<NodeIndex>,
+        scratch: &mut View,
+        node: NodeIndex,
         received: &[Descriptor<NodeIndex>],
         own_id: NodeId,
         capacity: usize,
     ) {
-        view.extend_from_slice(received);
-        Self::normalise(view, own_id, capacity);
+        scratch.clear();
+        scratch.extend_from_slice(views.get(node.as_usize()).unwrap_or(&[]));
+        scratch.extend_from_slice(received);
+        Self::normalise(scratch, own_id, capacity);
+        views.set(node.as_usize(), scratch);
     }
 
     /// One active NEWSCAST exchange initiated by `node` at cycle `cycle`.
@@ -138,36 +153,49 @@ impl NewscastProtocol {
             self.failed_exchanges += 1;
             return;
         }
-        let mut request: View = vec![ctx.network.descriptor(node, cycle)];
+        let mut request = std::mem::take(&mut self.request_scratch);
+        request.clear();
+        request.push(ctx.network.descriptor(node, cycle));
         request.extend_from_slice(self.view(node).unwrap_or(&[]));
 
         // A departed peer cannot reply (its descriptor will age out of views).
         if !ctx.network.is_alive(peer) {
             self.failed_exchanges += 1;
+            self.request_scratch = request;
             return;
         }
 
         // Response: the peer's own fresh descriptor + its pre-merge view.
-        let mut response: View = vec![ctx.network.descriptor(peer, cycle)];
+        let mut response = std::mem::take(&mut self.response_scratch);
+        response.clear();
+        response.push(ctx.network.descriptor(peer, cycle));
         response.extend_from_slice(self.view(peer).unwrap_or(&[]));
         let response_delivered = ctx.deliver(peer, node);
 
-        // The peer merges the request.
+        // The peer merges the request (occupying its slot if it held no view).
         let peer_id = ctx.network.id(peer);
-        if let Some(view) = self.slot_mut(peer).as_mut() {
-            Self::merge_into(view, &request, peer_id, capacity);
-        } else {
-            let mut view = Vec::new();
-            Self::merge_into(&mut view, &request, peer_id, capacity);
-            self.slot_mut(peer).replace(view);
-        }
+        Self::merge_slot(
+            &mut self.views,
+            &mut self.merge_scratch,
+            peer,
+            &request,
+            peer_id,
+            capacity,
+        );
 
         // The initiator merges the response, if it arrives.
-        if response_delivered {
-            if let Some(view) = self.slot_mut(node).as_mut() {
-                Self::merge_into(view, &response, own_id, capacity);
-            }
+        if response_delivered && self.views.is_occupied(node.as_usize()) {
+            Self::merge_slot(
+                &mut self.views,
+                &mut self.merge_scratch,
+                node,
+                &response,
+                own_id,
+                capacity,
+            );
         }
+        self.request_scratch = request;
+        self.response_scratch = response;
     }
 }
 
@@ -191,9 +219,7 @@ impl CycleProtocol for NewscastProtocol {
 
     fn node_departed(&mut self, node: NodeIndex, _cycle: u64, ctx: &mut EngineContext) {
         let _ = ctx;
-        if let Some(slot) = self.views.get_mut(node.as_usize()) {
-            *slot = None;
-        }
+        self.views.clear(node.as_usize());
     }
 }
 
@@ -203,12 +229,9 @@ impl PeerSampler for NewscastProtocol {
         // Section 3 notes that NEWSCAST quickly randomises the views even when the
         // initial caches are heavily skewed, so the exact seeding barely matters.
         let view_size = self.params.view_size;
-        let alive: Vec<NodeIndex> = ctx
+        let picked = ctx
             .network
-            .alive_indices()
-            .filter(|&candidate| candidate != node)
-            .collect();
-        let picked = ctx.rng.sample(&alive, view_size.min(alive.len()));
+            .sample_alive_excluding(node, view_size, &mut ctx.rng);
         let seeds = picked
             .into_iter()
             .map(|peer| ctx.network.descriptor(peer, 0))
@@ -232,10 +255,10 @@ impl PeerSampler for NewscastProtocol {
         ctx: &mut EngineContext,
     ) -> Vec<Descriptor<NodeIndex>> {
         let view = match self.view(node) {
-            Some(v) => v.to_vec(),
+            Some(v) => v,
             None => return Vec::new(),
         };
-        ctx.rng.sample(&view, count.min(view.len()))
+        ctx.rng.sample(view, count.min(view.len()))
     }
 }
 

@@ -13,11 +13,18 @@ use bss_sim::network::{Network, NodeIndex};
 use bss_util::stats::{Histogram, Summary};
 use std::collections::{HashSet, VecDeque};
 
+/// Materialises the alive-node set once, so each diagnostic walks the network
+/// a single time instead of re-filtering the registry per pass.
+fn alive_set(network: &Network) -> Vec<NodeIndex> {
+    network.alive_indices().collect()
+}
+
 /// The in-degree distribution of the directed graph "node → nodes in its view",
 /// computed over alive nodes only.
 pub fn in_degree_histogram(protocol: &NewscastProtocol, network: &Network) -> Histogram {
+    let alive = alive_set(network);
     let mut in_degree = vec![0u64; network.len()];
-    for node in network.alive_indices() {
+    for &node in &alive {
         if let Some(view) = protocol.view(node) {
             for descriptor in view {
                 let target = descriptor.address().as_usize();
@@ -28,7 +35,7 @@ pub fn in_degree_histogram(protocol: &NewscastProtocol, network: &Network) -> Hi
         }
     }
     let mut histogram = Histogram::new(1);
-    for node in network.alive_indices() {
+    for &node in &alive {
         histogram.record(in_degree[node.as_usize()]);
     }
     histogram
@@ -38,8 +45,9 @@ pub fn in_degree_histogram(protocol: &NewscastProtocol, network: &Network) -> Hi
 /// view size; the standard deviation measures how far the overlay is from a
 /// uniformly random graph).
 pub fn in_degree_summary(protocol: &NewscastProtocol, network: &Network) -> Summary {
+    let alive = alive_set(network);
     let mut in_degree = vec![0f64; network.len()];
-    for node in network.alive_indices() {
+    for &node in &alive {
         if let Some(view) = protocol.view(node) {
             for descriptor in view {
                 let target = descriptor.address().as_usize();
@@ -49,16 +57,15 @@ pub fn in_degree_summary(protocol: &NewscastProtocol, network: &Network) -> Summ
             }
         }
     }
-    let alive: Vec<f64> = network
-        .alive_indices()
-        .map(|n| in_degree[n.as_usize()])
-        .collect();
-    Summary::of(&alive)
+    let degrees: Vec<f64> = alive.iter().map(|n| in_degree[n.as_usize()]).collect();
+    Summary::of(&degrees)
 }
 
 /// Fraction of view entries (over all alive nodes) that point at departed nodes.
 /// NEWSCAST's freshest-first aging keeps this small even under churn.
 pub fn dead_pointer_fraction(protocol: &NewscastProtocol, network: &Network) -> f64 {
+    // Single pass: iterating the registry directly is already one walk, so no
+    // materialised alive set is needed here.
     let mut dead = 0usize;
     let mut total = 0usize;
     for node in network.alive_indices() {
@@ -84,7 +91,7 @@ pub fn dead_pointer_fraction(protocol: &NewscastProtocol, network: &Network) -> 
 /// built on top of it: a disconnected overlay cannot be repaired by the bootstrap
 /// protocol because information never flows between components.
 pub fn is_connected(protocol: &NewscastProtocol, network: &Network) -> bool {
-    let alive: Vec<NodeIndex> = network.alive_indices().collect();
+    let alive = alive_set(network);
     if alive.len() <= 1 {
         return true;
     }

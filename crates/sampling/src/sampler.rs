@@ -77,12 +77,12 @@ impl PeerSampler for OracleSampler {
         cycle: u64,
         ctx: &mut EngineContext,
     ) -> Vec<Descriptor<NodeIndex>> {
-        let alive: Vec<NodeIndex> = ctx
+        // O(count · log n) via the registry's Fenwick-backed alive set; the
+        // node sequence and RNG stream are identical to materialising the
+        // alive set and partial-Fisher–Yates sampling it.
+        let picked = ctx
             .network
-            .alive_indices()
-            .filter(|&candidate| candidate != node)
-            .collect();
-        let picked = ctx.rng.sample(&alive, count.min(alive.len()));
+            .sample_alive_excluding(node, count, &mut ctx.rng);
         picked
             .into_iter()
             .map(|peer| ctx.network.descriptor(peer, cycle))

@@ -92,6 +92,9 @@ pub struct CycleEngine {
     context: EngineContext,
     churn: Box<dyn ChurnModel>,
     current_cycle: u64,
+    /// Reusable per-cycle execution-order buffer; avoids one O(n) allocation
+    /// per cycle on the hot path.
+    order_scratch: Vec<NodeIndex>,
 }
 
 impl CycleEngine {
@@ -101,6 +104,7 @@ impl CycleEngine {
             context: EngineContext::new(network, rng),
             churn: Box::new(NoChurn),
             current_cycle: 0,
+            order_scratch: Vec::new(),
         }
     }
 
@@ -160,10 +164,14 @@ impl CycleEngine {
             protocol.begin_cycle(cycle, &mut self.context);
 
             // Fresh random execution order every cycle: this is the cycle-driven
-            // equivalent of each node waking up at a random phase inside Δ.
-            let mut order: Vec<NodeIndex> = self.context.network.alive_indices().collect();
-            self.context.rng.shuffle(&mut order);
-            for node in order {
+            // equivalent of each node waking up at a random phase inside Δ. The
+            // order buffer is engine-owned scratch, reused across cycles.
+            self.order_scratch.clear();
+            self.order_scratch
+                .extend(self.context.network.alive_indices());
+            self.context.rng.shuffle(&mut self.order_scratch);
+            for position in 0..self.order_scratch.len() {
+                let node = self.order_scratch[position];
                 // A node scheduled earlier in the cycle may since have been removed
                 // by protocol-driven actions; re-check liveness.
                 if self.context.network.is_alive(node) {

@@ -67,6 +67,12 @@ pub struct Network {
     entries: Vec<Entry>,
     by_id: HashMap<NodeId, NodeIndex>,
     alive_count: usize,
+    /// Fenwick (binary indexed) tree over the alive flags, 1-based. Supports
+    /// O(log n) rank ("how many alive nodes have a smaller index?") and select
+    /// ("which index is the k-th alive node?") queries, which is what lets
+    /// [`Network::sample_alive_excluding`] draw uniform samples without
+    /// materialising the alive set.
+    alive_tree: Vec<u32>,
 }
 
 impl Network {
@@ -83,11 +89,7 @@ impl Network {
     ///
     /// Panics if the identifiers are not pairwise distinct.
     pub fn from_ids(ids: impl IntoIterator<Item = NodeId>) -> Self {
-        let mut network = Network {
-            entries: Vec::new(),
-            by_id: HashMap::new(),
-            alive_count: 0,
-        };
+        let mut network = Network::empty();
         for id in ids {
             network.add_node(id);
         }
@@ -100,6 +102,7 @@ impl Network {
             entries: Vec::new(),
             by_id: HashMap::new(),
             alive_count: 0,
+            alive_tree: vec![0],
         }
     }
 
@@ -117,6 +120,7 @@ impl Network {
         self.entries.push(Entry { id, alive: true });
         self.by_id.insert(id, index);
         self.alive_count += 1;
+        self.alive_tree_push(1);
         index
     }
 
@@ -176,6 +180,7 @@ impl Network {
         if entry.alive {
             entry.alive = false;
             self.alive_count -= 1;
+            self.alive_tree_update(node.as_usize(), -1);
             true
         } else {
             false
@@ -189,6 +194,7 @@ impl Network {
         if !entry.alive {
             entry.alive = true;
             self.alive_count += 1;
+            self.alive_tree_update(node.as_usize(), 1);
             true
         } else {
             false
@@ -245,6 +251,139 @@ impl Network {
     /// Panics if the index is out of range.
     pub fn descriptor(&self, node: NodeIndex, timestamp: u64) -> Descriptor<NodeIndex> {
         Descriptor::new(self.id(node), node, timestamp)
+    }
+
+    /// Draws up to `count` distinct, uniformly random alive nodes other than
+    /// `exclude`, without materialising the alive set.
+    ///
+    /// This is the simulator's sampling hot path: the naive implementation
+    /// (collect the alive indices, partial-Fisher–Yates over them) is O(n) per
+    /// call and dominates large-network runs. This method produces the *exact*
+    /// same node sequence while consuming the *exact* same `rng` stream — the
+    /// partial Fisher–Yates runs over a sparse overlay of displaced positions,
+    /// and positions are resolved to node indices through the Fenwick tree in
+    /// O(log n) — so seeded traces are byte-identical to the naive version.
+    pub fn sample_alive_excluding(
+        &self,
+        exclude: NodeIndex,
+        count: usize,
+        rng: &mut SimRng,
+    ) -> Vec<NodeIndex> {
+        let excluded_alive = exclude.as_usize() < self.entries.len() && self.is_alive(exclude);
+        let available = self.alive_count - usize::from(excluded_alive);
+        let requested = count.min(available);
+        if requested == 0 {
+            return Vec::new();
+        }
+        if requested >= available {
+            // Mirrors SimRng::sample's whole-slice shuffle fallback.
+            let mut all: Vec<NodeIndex> = self
+                .alive_indices()
+                .filter(|&candidate| candidate != exclude)
+                .collect();
+            rng.shuffle(&mut all);
+            return all;
+        }
+        let exclude_rank = if excluded_alive {
+            self.alive_rank_below(exclude.as_usize())
+        } else {
+            usize::MAX
+        };
+        // Sparse partial Fisher–Yates: positions below `requested` live in a
+        // dense array (they are read every iteration), displaced positions at
+        // or above it in a small spill list (later entries shadow earlier
+        // ones). Together they represent the virtual index array `0..available`
+        // without materialising it.
+        let mut dense: Vec<usize> = (0..requested).collect();
+        let mut spill: Vec<(usize, usize)> = Vec::with_capacity(requested);
+        let mut out = Vec::with_capacity(requested);
+        for i in 0..requested {
+            let j = i + rng.index(available - i);
+            let picked = if j < requested {
+                dense[j]
+            } else {
+                spill
+                    .iter()
+                    .rev()
+                    .find(|&&(key, _)| key == j)
+                    .map(|&(_, value)| value)
+                    .unwrap_or(j)
+            };
+            let at_i = dense[i];
+            if j < requested {
+                dense[j] = at_i;
+            } else {
+                spill.push((j, at_i));
+            }
+            // Position -> global alive rank, skipping the excluded node.
+            let rank = if excluded_alive && picked >= exclude_rank {
+                picked + 1
+            } else {
+                picked
+            };
+            out.push(self.kth_alive(rank));
+        }
+        out
+    }
+
+    /// Number of alive nodes with an index strictly smaller than `index`.
+    fn alive_rank_below(&self, index: usize) -> usize {
+        if self.alive_count == self.entries.len() {
+            return index; // nobody ever died: ranks are identities
+        }
+        let mut i = index;
+        let mut sum = 0usize;
+        while i > 0 {
+            sum += self.alive_tree[i] as usize;
+            i -= i & i.wrapping_neg();
+        }
+        sum
+    }
+
+    /// The index of the `k`-th alive node (0-based, ascending index order).
+    ///
+    /// # Panics
+    ///
+    /// Panics (with an out-of-range index) if fewer than `k + 1` nodes are alive.
+    fn kth_alive(&self, k: usize) -> NodeIndex {
+        let n = self.entries.len();
+        if self.alive_count == n {
+            assert!(k < n, "rank {k} exceeds the alive population");
+            return NodeIndex::new(k as u32); // nobody ever died
+        }
+        let mut position = 0usize;
+        let mut remaining = k + 1;
+        let mut step = n.next_power_of_two();
+        while step > 0 {
+            let next = position + step;
+            if next <= n && (self.alive_tree[next] as usize) < remaining {
+                position = next;
+                remaining -= self.alive_tree[next] as usize;
+            }
+            step >>= 1;
+        }
+        assert!(position < n, "rank {k} exceeds the alive population");
+        NodeIndex::new(position as u32)
+    }
+
+    /// Appends a new Fenwick slot holding `value` (the alive flag of the node
+    /// that was just pushed onto `entries`).
+    fn alive_tree_push(&mut self, value: u32) {
+        // 1-based position of the new element; its tree node covers the range
+        // (p - lowbit(p), p], i.e. the new element plus a suffix of the prefix.
+        let p = self.entries.len();
+        let low = p - (p & p.wrapping_neg());
+        let covered = self.alive_rank_below(p - 1) - self.alive_rank_below(low);
+        self.alive_tree.push(covered as u32 + value);
+    }
+
+    fn alive_tree_update(&mut self, index: usize, delta: i32) {
+        let n = self.entries.len();
+        let mut i = index + 1;
+        while i <= n {
+            self.alive_tree[i] = (self.alive_tree[i] as i64 + i64::from(delta)) as u32;
+            i += i & i.wrapping_neg();
+        }
     }
 }
 
@@ -364,6 +503,47 @@ mod tests {
         assert_eq!(idx.to_string(), "#3");
         assert_eq!(idx.raw(), 3);
         assert_eq!(idx.as_usize(), 3);
+    }
+
+    #[test]
+    fn sample_alive_excluding_replays_the_naive_sampler_exactly() {
+        // The Fenwick-backed fast path must consume the same RNG stream and
+        // return the same nodes as "collect the alive set, partial
+        // Fisher–Yates over it" — that is what keeps seeded traces
+        // byte-identical after the hot-path optimisation.
+        let mut seed_rng = SimRng::seed_from(77);
+        let mut network = Network::with_random_ids(200, &mut seed_rng);
+        for raw in [3u32, 50, 51, 52, 120, 199] {
+            network.kill(NodeIndex::new(raw));
+        }
+        network.revive(NodeIndex::new(51));
+        for (exclude, count) in [(0u32, 10), (51, 25), (3, 7), (199, 1), (10, 500)] {
+            let exclude = NodeIndex::new(exclude);
+            let mut fast_rng = SimRng::seed_from(1000 + u64::from(exclude.raw()));
+            let mut naive_rng = fast_rng.clone();
+            let fast = network.sample_alive_excluding(exclude, count, &mut fast_rng);
+            let alive: Vec<NodeIndex> = network
+                .alive_indices()
+                .filter(|&candidate| candidate != exclude)
+                .collect();
+            let naive = naive_rng.sample(&alive, count.min(alive.len()));
+            assert_eq!(fast, naive, "exclude {exclude} count {count}");
+            assert_eq!(fast_rng, naive_rng, "RNG streams diverged");
+        }
+    }
+
+    #[test]
+    fn sample_alive_excluding_handles_tiny_populations() {
+        let mut network = Network::from_ids([1u64, 2].map(NodeId::new));
+        let mut rng = SimRng::seed_from(5);
+        assert_eq!(
+            network.sample_alive_excluding(NodeIndex::new(0), 4, &mut rng),
+            vec![NodeIndex::new(1)]
+        );
+        network.kill(NodeIndex::new(1));
+        assert!(network
+            .sample_alive_excluding(NodeIndex::new(0), 4, &mut rng)
+            .is_empty());
     }
 
     #[test]

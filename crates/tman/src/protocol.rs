@@ -12,6 +12,7 @@ use bss_sim::engine::cycle::{CycleProtocol, EngineContext};
 use bss_sim::network::NodeIndex;
 use bss_util::descriptor::{dedup_freshest, Descriptor};
 use bss_util::id::NodeId;
+use bss_util::view::ViewArena;
 
 /// Parameters of the generic protocol.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,13 +36,23 @@ impl Default for TmanConfig {
 }
 
 /// The T-Man protocol state for every node in a simulation.
+///
+/// Views are stored in a flat [`ViewArena`] (one fixed-capacity slot per node)
+/// and every exchange reuses protocol-owned scratch buffers, so the gossip hot
+/// path does not allocate per view or per message.
 #[derive(Debug)]
 pub struct TmanProtocol<R, S> {
     config: TmanConfig,
     ranking: R,
     sampler: S,
-    views: Vec<Option<Vec<Descriptor<NodeIndex>>>>,
+    views: ViewArena<NodeIndex>,
     exchanges: u64,
+    /// Reusable buffer for the initiator's outgoing message.
+    request_scratch: Vec<Descriptor<NodeIndex>>,
+    /// Reusable buffer for the peer's answer.
+    answer_scratch: Vec<Descriptor<NodeIndex>>,
+    /// Reusable buffer for view ∪ received merges.
+    merge_scratch: Vec<Descriptor<NodeIndex>>,
 }
 
 impl<R: Ranking, S: PeerSampler> TmanProtocol<R, S> {
@@ -54,11 +65,14 @@ impl<R: Ranking, S: PeerSampler> TmanProtocol<R, S> {
         assert!(config.view_size > 0, "view_size must be positive");
         assert!(config.message_size > 0, "message_size must be positive");
         TmanProtocol {
+            views: ViewArena::new(config.view_size),
             config,
             ranking,
             sampler,
-            views: Vec::new(),
             exchanges: 0,
+            request_scratch: Vec::new(),
+            answer_scratch: Vec::new(),
+            merge_scratch: Vec::new(),
         }
     }
 
@@ -74,7 +88,7 @@ impl<R: Ranking, S: PeerSampler> TmanProtocol<R, S> {
 
     /// The current view of `node`, best-ranked first, if initialised.
     pub fn view(&self, node: NodeIndex) -> Option<&[Descriptor<NodeIndex>]> {
-        self.views.get(node.as_usize()).and_then(|v| v.as_deref())
+        self.views.get(node.as_usize())
     }
 
     /// Initialises every alive node with random seeds from the sampler.
@@ -92,50 +106,51 @@ impl<R: Ranking, S: PeerSampler> TmanProtocol<R, S> {
         let own_id = ctx.network.id(node);
         let mut view = seeds;
         self.normalise(own_id, &mut view);
-        if node.as_usize() >= self.views.len() {
-            self.views.resize_with(node.as_usize() + 1, || None);
-        }
-        self.views[node.as_usize()] = Some(view);
+        self.views.set(node.as_usize(), &view);
     }
 
     fn normalise(&self, own_id: NodeId, view: &mut Vec<Descriptor<NodeIndex>>) {
         view.retain(|d| d.id() != own_id);
         dedup_freshest(view);
-        self.ranking.sort(own_id, view);
-        view.truncate(self.config.view_size);
+        self.ranking.select_top(own_id, view, self.config.view_size);
     }
 
-    /// Builds the buffer a node sends to `peer_id`: its own descriptor, its view and
-    /// some fresh random samples, ranked from the peer's point of view and truncated
-    /// to the message size.
-    fn buffer_for(
+    /// Fills `buffer` with what a node sends to `peer_id`: its own descriptor, its
+    /// view and some fresh random samples, ranked from the peer's point of view
+    /// (partial selection) and truncated to the message size.
+    fn fill_buffer(
         &mut self,
+        buffer: &mut Vec<Descriptor<NodeIndex>>,
         node: NodeIndex,
         peer_id: NodeId,
         cycle: u64,
         ctx: &mut EngineContext,
-    ) -> Vec<Descriptor<NodeIndex>> {
-        let mut buffer = vec![ctx.network.descriptor(node, cycle)];
+    ) {
+        buffer.clear();
+        buffer.push(ctx.network.descriptor(node, cycle));
         buffer.extend(self.view(node).unwrap_or(&[]).iter().copied());
         buffer.extend(
             self.sampler
                 .sample(node, self.config.random_samples, cycle, ctx),
         );
         buffer.retain(|d| d.id() != peer_id);
-        dedup_freshest(&mut buffer);
-        self.ranking.sort(peer_id, &mut buffer);
-        buffer.truncate(self.config.message_size);
-        buffer
+        dedup_freshest(buffer);
+        self.ranking
+            .select_top(peer_id, buffer, self.config.message_size);
     }
 
     fn merge(&mut self, node: NodeIndex, received: &[Descriptor<NodeIndex>], ctx: &EngineContext) {
-        let own_id = ctx.network.id(node);
-        if let Some(view) = self.views.get_mut(node.as_usize()).and_then(Option::as_mut) {
-            view.extend_from_slice(received);
-            let mut updated = std::mem::take(view);
-            self.normalise(own_id, &mut updated);
-            self.views[node.as_usize()] = Some(updated);
+        if !self.views.is_occupied(node.as_usize()) {
+            return;
         }
+        let own_id = ctx.network.id(node);
+        let mut scratch = std::mem::take(&mut self.merge_scratch);
+        scratch.clear();
+        scratch.extend_from_slice(self.views.get(node.as_usize()).unwrap_or(&[]));
+        scratch.extend_from_slice(received);
+        self.normalise(own_id, &mut scratch);
+        self.views.set(node.as_usize(), &scratch);
+        self.merge_scratch = scratch;
     }
 }
 
@@ -158,17 +173,22 @@ impl<R: Ranking, S: PeerSampler> CycleProtocol for TmanProtocol<R, S> {
         }
         let _ = own_id;
 
-        let request = self.buffer_for(node, peer.id(), cycle, ctx);
+        let mut request = std::mem::take(&mut self.request_scratch);
+        self.fill_buffer(&mut request, node, peer.id(), cycle, ctx);
         if !ctx.deliver(node, peer.address()) || !ctx.network.is_alive(peer.address()) {
+            self.request_scratch = request;
             return;
         }
         let node_id = ctx.network.id(node);
-        let answer = self.buffer_for(peer.address(), node_id, cycle, ctx);
+        let mut answer = std::mem::take(&mut self.answer_scratch);
+        self.fill_buffer(&mut answer, peer.address(), node_id, cycle, ctx);
         let answer_delivered = ctx.deliver(peer.address(), node);
         self.merge(peer.address(), &request, ctx);
         if answer_delivered {
             self.merge(node, &answer, ctx);
         }
+        self.request_scratch = request;
+        self.answer_scratch = answer;
     }
 
     fn node_joined(&mut self, node: NodeIndex, _cycle: u64, ctx: &mut EngineContext) {
@@ -178,9 +198,7 @@ impl<R: Ranking, S: PeerSampler> CycleProtocol for TmanProtocol<R, S> {
 
     fn node_departed(&mut self, node: NodeIndex, _cycle: u64, ctx: &mut EngineContext) {
         self.sampler.node_departed(node, ctx);
-        if let Some(slot) = self.views.get_mut(node.as_usize()) {
-            *slot = None;
-        }
+        self.views.clear(node.as_usize());
     }
 }
 

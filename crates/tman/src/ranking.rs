@@ -27,6 +27,24 @@ pub trait Ranking: Debug + Send + Sync {
                 .then_with(|| a.id().cmp(&b.id()))
         });
     }
+
+    /// Keeps only the best `keep` candidates, in the same order [`Ranking::sort`]
+    /// would put them in, discarding the rest.
+    ///
+    /// Equivalent to `sort` followed by `truncate(keep)` (the tie-break on the
+    /// identifier makes the order a strict total one whenever identifiers are
+    /// unique), but via partial selection: only the kept prefix is sorted, so
+    /// merge buffers pay O(len + keep·log keep) instead of O(len·log len).
+    fn select_top<A: Address>(&self, base: NodeId, candidates: &mut Vec<Descriptor<A>>, keep: usize)
+    where
+        Self: Sized,
+    {
+        bss_util::view::rank_top_by(candidates, keep, |a, b| {
+            self.distance(base, a.id())
+                .cmp(&self.distance(base, b.id()))
+                .then_with(|| a.id().cmp(&b.id()))
+        });
+    }
 }
 
 /// Undirected ring distance: produces a sorted ring (the leaf-set topology).

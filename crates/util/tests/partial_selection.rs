@@ -1,0 +1,105 @@
+//! Property tests: the partial-selection ranking used on the gossip merge hot
+//! path ([`bss_util::view::rank_top_by`]) must be element-for-element
+//! equivalent to the full-sort-then-truncate baseline it replaced, for every
+//! comparator the protocols actually use, across random buffers (seeds × sizes).
+
+use bss_util::descriptor::{dedup_freshest, Descriptor};
+use bss_util::id::NodeId;
+use bss_util::view::rank_top_by;
+use proptest::prelude::*;
+
+fn descriptor() -> impl Strategy<Value = Descriptor<u32>> {
+    // Small id/timestamp domains force duplicates and ranking ties, which is
+    // where a partial selection could diverge from a full sort.
+    (0u64..64, any::<u32>(), 0u64..8)
+        .prop_map(|(id, addr, ts)| Descriptor::new(NodeId::new(id), addr, ts))
+}
+
+/// NEWSCAST's view order: freshest first, ties broken by identifier.
+fn freshest_first(a: &Descriptor<u32>, b: &Descriptor<u32>) -> std::cmp::Ordering {
+    b.timestamp()
+        .cmp(&a.timestamp())
+        .then_with(|| a.id().cmp(&b.id()))
+}
+
+/// A T-Man style ranking: ring distance from a base identifier, ties broken by
+/// identifier.
+fn ring_closest(base: NodeId) -> impl Fn(&Descriptor<u32>, &Descriptor<u32>) -> std::cmp::Ordering {
+    move |a, b| {
+        base.ring_distance(a.id())
+            .cmp(&base.ring_distance(b.id()))
+            .then_with(|| a.id().cmp(&b.id()))
+    }
+}
+
+proptest! {
+    #[test]
+    fn newscast_view_merge_matches_the_full_sort_baseline(
+        buffer in prop::collection::vec(descriptor(), 0..200),
+        capacity in 1usize..40,
+    ) {
+        // The protocols always deduplicate before ranking, making the
+        // comparator a strict total order — the regime rank_top_by promises
+        // exact equivalence in.
+        let mut merged = buffer;
+        dedup_freshest(&mut merged);
+
+        let mut baseline = merged.clone();
+        baseline.sort_by(freshest_first);
+        baseline.truncate(capacity);
+
+        rank_top_by(&mut merged, capacity, freshest_first);
+        prop_assert_eq!(merged, baseline);
+    }
+
+    #[test]
+    fn tman_ranking_merge_matches_the_full_sort_baseline(
+        buffer in prop::collection::vec(descriptor(), 0..200),
+        base in any::<u64>(),
+        keep in 0usize..50,
+    ) {
+        let base = NodeId::new(base);
+        let mut merged = buffer;
+        dedup_freshest(&mut merged);
+
+        let mut baseline = merged.clone();
+        baseline.sort_by(ring_closest(base));
+        baseline.truncate(keep);
+
+        rank_top_by(&mut merged, keep, ring_closest(base));
+        prop_assert_eq!(merged, baseline);
+    }
+
+    #[test]
+    fn dedup_freshest_keeps_one_freshest_descriptor_per_id(
+        buffer in prop::collection::vec(descriptor(), 0..300),
+    ) {
+        let mut deduped = buffer.clone();
+        dedup_freshest(&mut deduped);
+
+        // Unique ids, and each surviving descriptor carries its id's maximal
+        // timestamp from the input.
+        for (i, d) in deduped.iter().enumerate() {
+            prop_assert!(deduped[..i].iter().all(|e| e.id() != d.id()));
+            let freshest = buffer
+                .iter()
+                .filter(|e| e.id() == d.id())
+                .map(Descriptor::timestamp)
+                .max()
+                .unwrap();
+            prop_assert_eq!(d.timestamp(), freshest);
+        }
+        // First-occurrence order is preserved.
+        let first_occurrences: Vec<NodeId> = {
+            let mut seen = Vec::new();
+            for d in &buffer {
+                if !seen.contains(&d.id()) {
+                    seen.push(d.id());
+                }
+            }
+            seen
+        };
+        let kept_ids: Vec<NodeId> = deduped.iter().map(Descriptor::id).collect();
+        prop_assert_eq!(kept_ids, first_occurrences);
+    }
+}

@@ -95,6 +95,54 @@ fn twenty_percent_message_loss_only_slows_convergence_down() {
 }
 
 #[test]
+fn combined_churn_and_loss_at_2048_nodes_keeps_tables_usable() {
+    // The harshest sustained scenario the paper's deployment would face: a
+    // 2048-node network bootstrapping under 20 % message loss *and* 0.5 %/cycle
+    // replacement churn at the same time. Perfection is unreachable (the
+    // protocol has no failure detector), but table quality must settle near the
+    // rT / (1 + rT) staleness bound rather than collapse, and the run must stay
+    // deterministic.
+    let config = ExperimentConfig::builder()
+        .network_size(1 << 11)
+        .seed(9)
+        .drop_probability(0.2)
+        .churn_rate(0.005)
+        .max_cycles(40)
+        .stop_when_perfect(false)
+        .build()
+        .unwrap();
+    let outcome = Experiment::new(config).run();
+    assert_eq!(outcome.cycles_executed(), 40);
+    assert!(!outcome.converged(), "churn never reaches perfection");
+    // With r = 0.5 %/cycle and T = 40, the staleness bound is ~0.17; allow
+    // headroom for the loss-slowed start-up.
+    let final_leaf = outcome.leaf_series().final_value().unwrap();
+    let final_prefix = outcome.prefix_series().final_value().unwrap();
+    assert!(
+        final_leaf < 0.30,
+        "leaf quality collapsed under churn+loss: {final_leaf}"
+    );
+    assert!(
+        final_prefix < 0.30,
+        "prefix quality collapsed under churn+loss: {final_prefix}"
+    );
+    // The mid-run epidemic must still have made fast progress despite both
+    // adversities: by cycle 15 the bulk of the entries are in place.
+    let mid = outcome.leaf_series().value_at(15).unwrap();
+    assert!(mid < 0.15, "epidemic too slow under churn+loss: {mid}");
+    // Determinism survives the full churn+loss machinery.
+    let replay = Experiment::new(config).run();
+    assert_eq!(
+        outcome.leaf_series().points(),
+        replay.leaf_series().points()
+    );
+    assert_eq!(
+        outcome.prefix_series().points(),
+        replay.prefix_series().points()
+    );
+}
+
+#[test]
 fn missing_entry_proportion_decays_roughly_exponentially() {
     // "Convergence of the leaf sets clearly follows an exponential behavior" (§5):
     // the proportion should fall by a large factor within a few cycles of the
