@@ -29,10 +29,18 @@ OPTIONS:
     --cycles <n>         cycle budget per run            [default: 60]
     --seed <n>           base random seed                [default: 1]
     --measure-every <n>  observer cadence in cycles      [default: 1]
+    --threads <n>        worker threads per run          [default: 1]
     --out <path>         output JSON path                [default: BENCH_scaling.json]
     --smoke              tiny sweep (exponents 8,9; finishes in seconds)
     --skip-reference     skip the fixed 10k-node oracle reference run
     --quiet              suppress progress output
+
+Thread counts change wall-clock only: every run's simulation output is
+bit-for-bit identical at any --threads value (the engine pre-draws all
+randomness sequentially and commits results in planning order), which CI
+verifies by diffing the JSON of a --threads 1 and a --threads 2 smoke run.
+When --threads > 1 the fixed 10k reference also runs at 1 thread so the
+JSON carries the speedup pair.
 ";
 
 /// One measured cell of the sweep.
@@ -41,6 +49,7 @@ struct Measurement {
     network_size: usize,
     sampler: &'static str,
     drop_probability: f64,
+    threads: usize,
     cycles_executed: u64,
     convergence_cycle: Option<u64>,
     elapsed_seconds: f64,
@@ -81,6 +90,7 @@ fn run_cell(config: ExperimentConfig, label: String, sampler_name: &'static str)
         network_size: config.network_size,
         sampler: sampler_name,
         drop_probability: config.drop_probability,
+        threads: config.threads,
         cycles_executed: cycles,
         convergence_cycle: outcome.convergence_cycle(),
         elapsed_seconds: elapsed,
@@ -106,13 +116,15 @@ fn render_json(measurements: &[Measurement]) -> String {
         let _ = write!(
             out,
             "    {{\"label\": \"{}\", \"network_size\": {}, \"sampler\": \"{}\", \
-             \"drop_probability\": {}, \"cycles_executed\": {}, \"convergence_cycle\": {}, \
+             \"drop_probability\": {}, \"threads\": {}, \"cycles_executed\": {}, \
+             \"convergence_cycle\": {}, \
              \"elapsed_seconds\": {:.4}, \"cycles_per_second\": {:.2}, \
              \"node_cycles_per_second\": {:.0}, \"peak_rss_kib\": {}}}",
             m.label,
             m.network_size,
             m.sampler,
             m.drop_probability,
+            m.threads,
             m.cycles_executed,
             convergence,
             m.elapsed_seconds,
@@ -146,6 +158,7 @@ fn main() {
     let cycles = args.parsed_or("cycles", 60u64);
     let seed = args.parsed_or("seed", 1u64);
     let measure_every = args.parsed_or("measure-every", 1u64);
+    let threads = args.parsed_or("threads", 1usize).max(1);
     let out_path = args.get("out").unwrap_or("BENCH_scaling.json").to_owned();
     let quiet = args.get("quiet").is_some();
     let skip_reference = args.get("skip-reference").is_some();
@@ -156,25 +169,42 @@ fn main() {
     // oracle sampling, no loss. Disabling the perfection stop makes the
     // wall-clock comparable across engine versions regardless of convergence.
     if !skip_reference && !smoke {
-        if !quiet {
-            eprintln!("# reference: N=10000, 60 cycles, oracle, loss 0");
+        // Always measure the fixed reference at one thread (the engine-version
+        // trajectory datapoint); when a thread pool is requested, measure it
+        // again with the pool so the JSON carries the speedup pair.
+        let mut reference_threads = vec![1usize];
+        if threads > 1 {
+            reference_threads.push(threads);
         }
-        let config = ExperimentConfig::builder()
-            .network_size(10_000)
-            .seed(seed)
-            .max_cycles(60)
-            .measure_every(measure_every)
-            .stop_when_perfect(false)
-            .build()
-            .expect("valid reference configuration");
-        let reference = run_cell(config, "fig3_10k".to_owned(), "oracle");
-        if !quiet {
-            eprintln!(
-                "#   {:.2}s ({:.1} cycles/s)",
-                reference.elapsed_seconds, reference.cycles_per_second
-            );
+        for reference_thread_count in reference_threads {
+            if !quiet {
+                eprintln!(
+                    "# reference: N=10000, 60 cycles, oracle, loss 0, {reference_thread_count} thread(s)"
+                );
+            }
+            let config = ExperimentConfig::builder()
+                .network_size(10_000)
+                .seed(seed)
+                .max_cycles(60)
+                .measure_every(measure_every)
+                .stop_when_perfect(false)
+                .threads(reference_thread_count)
+                .build()
+                .expect("valid reference configuration");
+            let label = if reference_thread_count == 1 {
+                "fig3_10k".to_owned()
+            } else {
+                format!("fig3_10k_t{reference_thread_count}")
+            };
+            let reference = run_cell(config, label, "oracle");
+            if !quiet {
+                eprintln!(
+                    "#   {:.2}s ({:.1} cycles/s)",
+                    reference.elapsed_seconds, reference.cycles_per_second
+                );
+            }
+            measurements.push(reference);
         }
-        measurements.push(reference);
     }
 
     let samplers: [(&'static str, SamplerChoice); 2] = [
@@ -200,6 +230,7 @@ fn main() {
                     .drop_probability(loss)
                     .max_cycles(cycles)
                     .measure_every(measure_every)
+                    .threads(threads)
                     .build()
                     .expect("valid sweep configuration");
                 let label = format!("2^{exponent}_{sampler_name}_loss{loss}");

@@ -57,6 +57,12 @@ pub struct ExperimentConfig {
     /// (1 = every cycle). Larger cadences make huge sweeps cheaper at the cost
     /// of coarser series; the perfection stop only triggers on measured cycles.
     pub measure_every: u64,
+    /// Number of worker threads executing each cycle's independent exchanges
+    /// (1 = the plain sequential engine). Any value produces bit-for-bit the
+    /// same outcome — the parallel engine pre-draws all randomness
+    /// sequentially and commits results in planning order — so this is purely
+    /// a wall-clock knob.
+    pub threads: usize,
 }
 
 impl ExperimentConfig {
@@ -74,6 +80,7 @@ impl ExperimentConfig {
                 max_cycles: 100,
                 stop_when_perfect: true,
                 measure_every: 1,
+                threads: 1,
             },
         }
     }
@@ -102,6 +109,9 @@ impl ExperimentConfig {
             return Err(InvalidParams::from_message(
                 "measure_every must be positive",
             ));
+        }
+        if self.threads == 0 {
+            return Err(InvalidParams::from_message("threads must be positive"));
         }
         if !(0.0..=1.0).contains(&self.drop_probability) {
             return Err(InvalidParams::from_message(
@@ -173,6 +183,13 @@ impl ExperimentConfigBuilder {
     /// Sets the observer cadence (convergence measured every `cycles` cycles).
     pub fn measure_every(&mut self, cycles: u64) -> &mut Self {
         self.config.measure_every = cycles;
+        self
+    }
+
+    /// Sets the number of worker threads (1 = sequential engine; the outcome
+    /// is bit-for-bit identical at any value).
+    pub fn threads(&mut self, threads: usize) -> &mut Self {
+        self.config.threads = threads;
         self
     }
 
@@ -400,8 +417,11 @@ impl Experiment {
         let mut convergence_cycle = None;
         let mut final_state = NetworkConvergence::default();
 
-        let cycles_executed =
-            engine.run_with_observer(&mut protocol, config.max_cycles, |protocol, ctx, cycle| {
+        let cycles_executed = engine.run_parallel_with_observer(
+            &mut protocol,
+            config.max_cycles,
+            config.threads,
+            |protocol, ctx, cycle| {
                 // Off-cadence cycles skip the (global) convergence pass entirely.
                 if cycle % config.measure_every != 0 {
                     return ControlFlow::Continue(());
@@ -428,7 +448,8 @@ impl Experiment {
                     convergence_cycle = convergence_cycle.filter(|_| config.churn_rate == 0.0);
                 }
                 ControlFlow::Continue(())
-            });
+            },
+        );
 
         let snapshot = PopulationSnapshot::capture(&protocol, engine.context());
         let outcome = ExperimentOutcome {

@@ -42,12 +42,37 @@ use bss_util::id::NodeId;
 pub struct LeafSet<A> {
     own_id: NodeId,
     capacity: usize,
-    /// Successors: nodes closer in the increasing (clockwise) direction, kept
-    /// sorted by clockwise distance, closest first.
-    successors: Vec<Descriptor<A>>,
-    /// Predecessors: nodes closer in the decreasing direction, kept sorted by
+    /// Flat single-buffer storage (mirroring `PrefixTable`'s flattened layout):
+    /// the first [`LeafSet::split`] entries are the successors — nodes closer in
+    /// the increasing (clockwise) direction, sorted by clockwise distance,
+    /// closest first — and the rest are the predecessors, sorted by
     /// counter-clockwise distance, closest first.
+    entries: Vec<Descriptor<A>>,
+    /// Number of successors at the front of `entries`.
+    split: usize,
+}
+
+/// Caller-owned working memory for [`LeafSet::update_with`].
+///
+/// One instance per driver (or per worker thread) is enough: threading it
+/// through makes `UPDATELEAFSET` allocation-free in the steady state, which
+/// matters because the merge runs once per received message — together with
+/// message composition it is the hot path of a simulation.
+#[derive(Debug, Clone)]
+pub struct MergeScratch<A> {
+    merged: Vec<Descriptor<A>>,
+    successors: Vec<Descriptor<A>>,
     predecessors: Vec<Descriptor<A>>,
+}
+
+impl<A> Default for MergeScratch<A> {
+    fn default() -> Self {
+        MergeScratch {
+            merged: Vec::new(),
+            successors: Vec::new(),
+            predecessors: Vec::new(),
+        }
+    }
 }
 
 impl<A: Address> LeafSet<A> {
@@ -64,8 +89,8 @@ impl<A: Address> LeafSet<A> {
         LeafSet {
             own_id,
             capacity,
-            successors: Vec::with_capacity(capacity),
-            predecessors: Vec::with_capacity(capacity),
+            entries: Vec::with_capacity(capacity),
+            split: 0,
         }
     }
 
@@ -81,27 +106,34 @@ impl<A: Address> LeafSet<A> {
 
     /// Number of descriptors currently held.
     pub fn len(&self) -> usize {
-        self.successors.len() + self.predecessors.len()
+        self.entries.len()
     }
 
     /// Whether the leaf set holds no descriptors.
     pub fn is_empty(&self) -> bool {
-        self.successors.is_empty() && self.predecessors.is_empty()
+        self.entries.is_empty()
     }
 
     /// The current successors, closest first.
     pub fn successors(&self) -> &[Descriptor<A>] {
-        &self.successors
+        &self.entries[..self.split]
     }
 
     /// The current predecessors, closest first.
     pub fn predecessors(&self) -> &[Descriptor<A>] {
-        &self.predecessors
+        &self.entries[self.split..]
     }
 
     /// Iterates over all descriptors (successors first, then predecessors).
     pub fn iter(&self) -> impl Iterator<Item = &Descriptor<A>> {
-        self.successors.iter().chain(self.predecessors.iter())
+        self.entries.iter()
+    }
+
+    /// All descriptors as one slice (successors first, then predecessors) —
+    /// the flat storage makes this a free view, so hot paths can borrow the
+    /// content without copying it out via [`LeafSet::to_vec`].
+    pub fn as_slice(&self) -> &[Descriptor<A>] {
+        &self.entries
     }
 
     /// Collects all descriptors into a vector.
@@ -124,19 +156,39 @@ impl<A: Address> LeafSet<A> {
     /// Returns whether the *membership* of the leaf set changed (timestamp-only
     /// refreshes of already-present identifiers do not count) — the signal the
     /// incremental convergence tracker uses to decide which nodes to re-measure.
+    ///
+    /// This convenience wrapper allocates a fresh [`MergeScratch`] per call;
+    /// hot paths should thread a reusable one through
+    /// [`LeafSet::update_with`] instead.
     pub fn update(&mut self, incoming: impl IntoIterator<Item = Descriptor<A>>) -> bool {
+        self.update_with(incoming, &mut MergeScratch::default())
+    }
+
+    /// [`LeafSet::update`] with caller-owned working memory — the
+    /// allocation-free variant the simulation drivers use on the hot path. In
+    /// the steady state neither the scratch buffers nor the leaf set's own flat
+    /// storage reallocate.
+    pub fn update_with(
+        &mut self,
+        incoming: impl IntoIterator<Item = Descriptor<A>>,
+        scratch: &mut MergeScratch<A>,
+    ) -> bool {
         // Merge: current content plus the incoming descriptors.
-        let mut merged: Vec<Descriptor<A>> = self.to_vec();
+        let merged = &mut scratch.merged;
+        merged.clear();
+        merged.extend_from_slice(&self.entries);
         merged.extend(incoming.into_iter().filter(|d| d.id() != self.own_id));
         if merged.is_empty() {
             return false;
         }
-        bss_util::descriptor::dedup_freshest(&mut merged);
+        bss_util::descriptor::dedup_freshest(merged);
 
         // Classify into successors and predecessors.
-        let mut successors: Vec<Descriptor<A>> = Vec::new();
-        let mut predecessors: Vec<Descriptor<A>> = Vec::new();
-        for descriptor in merged {
+        let successors = &mut scratch.successors;
+        let predecessors = &mut scratch.predecessors;
+        successors.clear();
+        predecessors.clear();
+        for &descriptor in merged.iter() {
             if self.own_id.is_successor(descriptor.id()) {
                 successors.push(descriptor);
             } else {
@@ -148,12 +200,12 @@ impl<A: Address> LeafSet<A> {
         // shortfall is computed from its candidate count, which truncation to
         // `capacity >= half` cannot disturb.)
         let own = self.own_id;
-        bss_util::view::rank_top_by(&mut successors, self.capacity, |a, b| {
+        bss_util::view::rank_top_by(successors, self.capacity, |a, b| {
             own.clockwise_distance(a.id())
                 .cmp(&own.clockwise_distance(b.id()))
                 .then_with(|| a.id().cmp(&b.id()))
         });
-        bss_util::view::rank_top_by(&mut predecessors, self.capacity, |a, b| {
+        bss_util::view::rank_top_by(predecessors, self.capacity, |a, b| {
             a.id()
                 .clockwise_distance(own)
                 .cmp(&b.id().clockwise_distance(own))
@@ -178,11 +230,14 @@ impl<A: Address> LeafSet<A> {
                     .zip(current.iter())
                     .all(|(a, b)| a.id() == b.id())
         };
-        let changed = !same_ids(&successors, &self.successors)
-            || !same_ids(&predecessors, &self.predecessors);
+        let changed = !same_ids(successors, self.successors())
+            || !same_ids(predecessors, self.predecessors());
 
-        self.successors = successors;
-        self.predecessors = predecessors;
+        // Write back into the flat buffer: successors first, then predecessors.
+        self.entries.clear();
+        self.entries.extend_from_slice(successors);
+        self.entries.extend_from_slice(predecessors);
+        self.split = succ_keep;
         changed
     }
 
@@ -213,12 +268,12 @@ impl<A: Address> LeafSet<A> {
     /// The closest known successor (the node that would follow this one on the
     /// ring), if any.
     pub fn closest_successor(&self) -> Option<&Descriptor<A>> {
-        self.successors.first()
+        self.successors().first()
     }
 
     /// The closest known predecessor, if any.
     pub fn closest_predecessor(&self) -> Option<&Descriptor<A>> {
-        self.predecessors.first()
+        self.predecessors().first()
     }
 }
 
@@ -351,6 +406,54 @@ mod tests {
         use super::*;
         use proptest::prelude::*;
 
+        /// The pre-flattening `UPDATELEAFSET`: two owned side vectors, fresh
+        /// allocations per call. `state` holds the resulting content
+        /// (successors then predecessors); returns the membership-change flag.
+        fn reference_update(
+            state: &mut Vec<Descriptor<u32>>,
+            own: NodeId,
+            capacity: usize,
+            incoming: &[Descriptor<u32>],
+        ) -> bool {
+            let mut merged: Vec<Descriptor<u32>> = state.clone();
+            merged.extend(incoming.iter().copied().filter(|d| d.id() != own));
+            if merged.is_empty() {
+                return false;
+            }
+            bss_util::descriptor::dedup_freshest(&mut merged);
+            let mut successors: Vec<Descriptor<u32>> = Vec::new();
+            let mut predecessors: Vec<Descriptor<u32>> = Vec::new();
+            for descriptor in merged {
+                if own.is_successor(descriptor.id()) {
+                    successors.push(descriptor);
+                } else {
+                    predecessors.push(descriptor);
+                }
+            }
+            successors.sort_by(|a, b| {
+                own.clockwise_distance(a.id())
+                    .cmp(&own.clockwise_distance(b.id()))
+                    .then_with(|| a.id().cmp(&b.id()))
+            });
+            predecessors.sort_by(|a, b| {
+                a.id()
+                    .clockwise_distance(own)
+                    .cmp(&b.id().clockwise_distance(own))
+                    .then_with(|| a.id().cmp(&b.id()))
+            });
+            let half = capacity / 2;
+            let succ_short = half.saturating_sub(successors.len());
+            let pred_short = half.saturating_sub(predecessors.len());
+            successors.truncate((half + pred_short).min(successors.len()));
+            predecessors.truncate((half + succ_short).min(predecessors.len()));
+            let mut kept = successors;
+            kept.append(&mut predecessors);
+            let changed = kept.len() != state.len()
+                || kept.iter().zip(state.iter()).any(|(a, b)| a.id() != b.id());
+            *state = kept;
+            changed
+        }
+
         fn descriptor() -> impl Strategy<Value = Descriptor<u32>> {
             (any::<u64>(), any::<u32>(), any::<u64>())
                 .prop_map(|(id, addr, ts)| Descriptor::new(NodeId::new(id), addr, ts))
@@ -422,6 +525,32 @@ mod tests {
                     prop_assert!(
                         reference.ring_distance(pair[0].id()) <= reference.ring_distance(pair[1].id())
                     );
+                }
+            }
+
+            #[test]
+            fn scratch_threaded_update_matches_the_reference(
+                own in any::<u64>(),
+                capacity in prop::sample::select(vec![2usize, 4, 8, 20]),
+                batches in prop::collection::vec(
+                    prop::collection::vec(descriptor(), 0..48),
+                    1..6,
+                ),
+            ) {
+                // `update_with` over a single reused scratch must behave exactly
+                // like the pre-flattening implementation (kept below as
+                // `reference_update`) across arbitrary batch sequences —
+                // including the returned membership-change flag.
+                let own = NodeId::new(own);
+                let mut fast = LeafSet::new(own, capacity);
+                let mut scratch = MergeScratch::default();
+                let mut reference: Vec<Descriptor<u32>> = Vec::new();
+                for batch in &batches {
+                    let changed = fast.update_with(batch.iter().copied(), &mut scratch);
+                    let ref_changed =
+                        reference_update(&mut reference, own, capacity, batch);
+                    prop_assert_eq!(changed, ref_changed);
+                    prop_assert_eq!(fast.to_vec(), reference.clone());
                 }
             }
 

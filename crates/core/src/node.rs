@@ -8,7 +8,7 @@
 //! cycle-driven simulator ([`crate::protocol`]), the event-driven simulator and the
 //! UDP deployment in `bss-net`.
 
-use crate::leafset::LeafSet;
+use crate::leafset::{LeafSet, MergeScratch};
 use crate::message::{create_message_with, MessageScratch};
 use crate::prefix_table::PrefixTable;
 use bss_util::config::BootstrapParams;
@@ -127,13 +127,25 @@ impl<A: Address> BootstrapNode<A> {
     /// Only the closer half is actually put in order (partial selection) — the
     /// picked element is identical to sorting the whole set.
     pub fn select_peer(&self, rng: &mut SimRng) -> Option<Descriptor<A>> {
-        let mut candidates = self.leaf_set.to_vec();
+        self.select_peer_with(rng, &mut Vec::new())
+    }
+
+    /// [`BootstrapNode::select_peer`] with a caller-owned candidate buffer —
+    /// the allocation-free variant the simulation drivers use on the hot path
+    /// (the leaf set content is copied into `candidates` and ranked there).
+    pub fn select_peer_with(
+        &self,
+        rng: &mut SimRng,
+        candidates: &mut Vec<Descriptor<A>>,
+    ) -> Option<Descriptor<A>> {
+        candidates.clear();
+        candidates.extend_from_slice(self.leaf_set.as_slice());
         if candidates.is_empty() {
             return None;
         }
         let half = (candidates.len() / 2).max(1);
         let own = self.own.id();
-        bss_util::view::rank_top_by(&mut candidates, half, |a, b| {
+        bss_util::view::rank_top_by(candidates, half, |a, b| {
             own.ring_distance(a.id())
                 .cmp(&own.ring_distance(b.id()))
                 .then_with(|| a.id().cmp(&b.id()))
@@ -190,8 +202,20 @@ impl<A: Address> BootstrapNode<A> {
     /// count. The convergence tracker uses this to skip re-measuring nodes
     /// whose state is unchanged.
     pub fn receive(&mut self, descriptors: &[Descriptor<A>]) -> bool {
+        self.receive_with(descriptors, &mut MergeScratch::default())
+    }
+
+    /// [`BootstrapNode::receive`] with caller-owned merge working memory — the
+    /// allocation-free variant the simulation drivers use on the hot path.
+    pub fn receive_with(
+        &mut self,
+        descriptors: &[Descriptor<A>],
+        scratch: &mut MergeScratch<A>,
+    ) -> bool {
         self.descriptors_received += descriptors.len() as u64;
-        let leaf_changed = self.leaf_set.update(descriptors.iter().copied());
+        let leaf_changed = self
+            .leaf_set
+            .update_with(descriptors.iter().copied(), scratch);
         let inserted = self.prefix_table.update(descriptors.iter().copied());
         leaf_changed || inserted > 0
     }

@@ -1,0 +1,168 @@
+//! The deterministic parallel engine must be bit-for-bit equivalent to the
+//! sequential engine at every thread count, for every scenario: samplers,
+//! message loss, churn, perfection-stop on and off.
+//!
+//! `threads = 1` runs the plain sequential engine; `threads >= 2` runs the
+//! wave-scheduled parallel engine, so comparing the two exercises the whole
+//! plan → execute → commit machinery on every run.
+
+use bss_core::experiment::{Experiment, ExperimentConfig, PopulationSnapshot, SamplerChoice};
+use bss_util::config::NewscastParams;
+use proptest::prelude::*;
+
+/// Everything observable about a finished run, in comparable form.
+#[derive(Debug, PartialEq)]
+struct RunTrace {
+    leaf_series: Vec<(u64, f64)>,
+    prefix_series: Vec<(u64, f64)>,
+    convergence_cycle: Option<u64>,
+    cycles_executed: u64,
+    requests_sent: u64,
+    requests_delivered: u64,
+    answers_sent: u64,
+    answers_delivered: u64,
+    max_message_size: u64,
+    mean_message_size: f64,
+    nodes: Vec<NodeDigest>,
+}
+
+#[derive(Debug, PartialEq)]
+struct NodeDigest {
+    id: u64,
+    leaf: Vec<(u64, u64)>,
+    prefix: Vec<(u64, u64)>,
+    exchanges_initiated: u64,
+    descriptors_received: u64,
+}
+
+fn run(config: ExperimentConfig, threads: usize) -> RunTrace {
+    let config = ExperimentConfig { threads, ..config };
+    let (outcome, snapshot) = Experiment::new(config).run_with_snapshot();
+    RunTrace {
+        leaf_series: outcome.leaf_series().points().to_vec(),
+        prefix_series: outcome.prefix_series().points().to_vec(),
+        convergence_cycle: outcome.convergence_cycle(),
+        cycles_executed: outcome.cycles_executed(),
+        requests_sent: outcome.traffic().requests_sent,
+        requests_delivered: outcome.traffic().requests_delivered,
+        answers_sent: outcome.traffic().answers_sent,
+        answers_delivered: outcome.traffic().answers_delivered,
+        max_message_size: outcome.traffic().max_message_size(),
+        mean_message_size: outcome.traffic().mean_message_size(),
+        nodes: digest_nodes(&snapshot),
+    }
+}
+
+fn digest_nodes(snapshot: &PopulationSnapshot) -> Vec<NodeDigest> {
+    (0..snapshot.len())
+        .map(|i| {
+            let node = snapshot.node_at(i).unwrap();
+            NodeDigest {
+                id: node.id().raw(),
+                leaf: node
+                    .leaf_set()
+                    .iter()
+                    .map(|d| (d.id().raw(), d.timestamp()))
+                    .collect(),
+                prefix: node
+                    .prefix_table()
+                    .iter()
+                    .map(|d| (d.id().raw(), d.timestamp()))
+                    .collect(),
+                exchanges_initiated: node.exchanges_initiated(),
+                descriptors_received: node.descriptors_received(),
+            }
+        })
+        .collect()
+}
+
+fn assert_thread_invariant(config: ExperimentConfig) {
+    let sequential = run(config, 1);
+    for threads in [2usize, 8] {
+        let parallel = run(config, threads);
+        assert_eq!(
+            sequential, parallel,
+            "trace diverged at {threads} threads for {config:?}"
+        );
+    }
+}
+
+#[test]
+fn oracle_run_is_thread_count_invariant() {
+    let config = ExperimentConfig::builder()
+        .network_size(300)
+        .seed(11)
+        .max_cycles(40)
+        .build()
+        .unwrap();
+    assert_thread_invariant(config);
+}
+
+#[test]
+fn lossy_run_is_thread_count_invariant() {
+    let config = ExperimentConfig::builder()
+        .network_size(250)
+        .seed(12)
+        .drop_probability(0.2)
+        .max_cycles(60)
+        .build()
+        .unwrap();
+    assert_thread_invariant(config);
+}
+
+#[test]
+fn churned_newscast_run_is_thread_count_invariant() {
+    // The hardest setting: a stateful sampler gossiping under the protocol
+    // (sampler steps consume RNG and mutate views during planning) plus
+    // membership churn at every cycle boundary.
+    let config = ExperimentConfig::builder()
+        .network_size(200)
+        .seed(13)
+        .sampler(SamplerChoice::Newscast(NewscastParams {
+            view_size: 20,
+            period_millis: 1000,
+        }))
+        .churn_rate(0.02)
+        .drop_probability(0.1)
+        .max_cycles(25)
+        .stop_when_perfect(false)
+        .build()
+        .unwrap();
+    assert_thread_invariant(config);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Arbitrary small scenarios: the parallel engine at 2 and 8 threads
+    /// produces snapshots identical to the sequential engine.
+    #[test]
+    fn parallel_engine_matches_sequential_on_arbitrary_scenarios(
+        size in 50usize..200,
+        seed in any::<u64>(),
+        drop_permille in 0u32..300,
+        churn_permille in 0u32..30,
+        newscast in any::<bool>(),
+        cycles in 5u64..20,
+    ) {
+        let mut builder = ExperimentConfig::builder();
+        builder
+            .network_size(size)
+            .seed(seed)
+            .drop_probability(f64::from(drop_permille) / 1000.0)
+            .churn_rate(f64::from(churn_permille) / 1000.0)
+            .max_cycles(cycles)
+            .stop_when_perfect(false);
+        if newscast {
+            builder.sampler(SamplerChoice::Newscast(NewscastParams {
+                view_size: 15,
+                period_millis: 1000,
+            }));
+        }
+        let config = builder.build().unwrap();
+        let sequential = run(config, 1);
+        for threads in [2usize, 8] {
+            prop_assert_eq!(&sequential, &run(config, threads), "threads {}", threads);
+        }
+    }
+}

@@ -54,19 +54,73 @@ impl fmt::Display for DecodeError {
 
 impl std::error::Error for DecodeError {}
 
+/// Error returned when a message cannot be encoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncodeError {
+    message: String,
+}
+
+impl EncodeError {
+    fn new(message: impl Into<String>) -> Self {
+        EncodeError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unencodable message: {}", self.message)
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
 const MAGIC: u8 = 0xB5;
 const VERSION: u8 = 1;
 
 /// Number of bytes one encoded descriptor occupies.
 pub const DESCRIPTOR_BYTES: usize = 8 + 4 + 2 + 8;
 
+/// Largest number of descriptors one datagram can carry: the count field on the
+/// wire is a `u16`.
+pub const MAX_DESCRIPTORS: usize = u16::MAX as usize;
+
 /// Encodes a message into a datagram payload.
 ///
 /// # Panics
 ///
-/// Panics if any descriptor carries a non-IPv4 address (the localhost deployment
-/// only uses IPv4).
+/// Panics if the message carries more than [`MAX_DESCRIPTORS`] descriptors
+/// (the wire count field is a `u16`; silently truncating the count while
+/// encoding every descriptor would emit a corrupt datagram) or if any
+/// descriptor carries a non-IPv4 address (the localhost deployment only uses
+/// IPv4). Use [`try_encode`] to handle oversized messages as a value.
 pub fn encode(message: &WireMessage) -> Bytes {
+    match try_encode(message) {
+        Ok(bytes) => bytes,
+        Err(error) => panic!("{error}"),
+    }
+}
+
+/// Encodes a message into a datagram payload, rejecting messages whose
+/// descriptor count does not fit the wire format's `u16` count field.
+///
+/// # Errors
+///
+/// Returns [`EncodeError`] when the message carries more than
+/// [`MAX_DESCRIPTORS`] descriptors.
+///
+/// # Panics
+///
+/// Panics if any descriptor carries a non-IPv4 address (the localhost
+/// deployment only uses IPv4).
+pub fn try_encode(message: &WireMessage) -> Result<Bytes, EncodeError> {
+    if message.descriptors.len() > MAX_DESCRIPTORS {
+        return Err(EncodeError::new(format!(
+            "{} descriptors exceed the wire format's limit of {MAX_DESCRIPTORS}",
+            message.descriptors.len()
+        )));
+    }
     let mut buffer =
         BytesMut::with_capacity(4 + DESCRIPTOR_BYTES * (1 + message.descriptors.len()));
     buffer.put_u8(MAGIC);
@@ -80,7 +134,7 @@ pub fn encode(message: &WireMessage) -> Bytes {
     for descriptor in &message.descriptors {
         put_descriptor(&mut buffer, descriptor);
     }
-    buffer.freeze()
+    Ok(buffer.freeze())
 }
 
 /// Decodes a datagram payload.
@@ -203,6 +257,43 @@ mod tests {
             descriptors: (0..60).map(|i| descriptor(i, 9000, 0)).collect(),
         };
         assert!(encode(&message).len() < 1500, "must fit a typical MTU");
+    }
+
+    #[test]
+    fn descriptor_count_boundary_round_trips_and_overflow_is_rejected() {
+        // Exactly at the u16 boundary: encodes and round-trips losslessly.
+        let at_limit = WireMessage {
+            kind: MessageKind::Request,
+            sender: descriptor(0, 1, 0),
+            descriptors: (0..MAX_DESCRIPTORS as u64)
+                .map(|i| descriptor(i, (i % 60_000) as u16, i))
+                .collect(),
+        };
+        let encoded = try_encode(&at_limit).expect("the boundary count must encode");
+        assert_eq!(encoded.len(), 5 + DESCRIPTOR_BYTES * (MAX_DESCRIPTORS + 1));
+        let decoded = decode(&encoded).unwrap();
+        assert_eq!(decoded, at_limit);
+
+        // One past the boundary: the count field would silently wrap to 0 while
+        // all 65 536 descriptors were still written — a corrupt datagram. The
+        // encoder must reject it instead.
+        let mut oversized = at_limit;
+        oversized.descriptors.push(descriptor(u64::MAX, 1, 1));
+        let error = try_encode(&oversized).unwrap_err();
+        assert!(error.to_string().contains("65536"), "{error}");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed the wire format's limit")]
+    fn infallible_encode_panics_on_oversized_messages() {
+        let oversized = WireMessage {
+            kind: MessageKind::Response,
+            sender: descriptor(0, 1, 0),
+            descriptors: (0..=MAX_DESCRIPTORS as u64)
+                .map(|i| descriptor(i, 9000, 0))
+                .collect(),
+        };
+        let _ = encode(&oversized);
     }
 
     #[test]

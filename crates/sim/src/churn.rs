@@ -11,9 +11,21 @@ use bss_util::rng::SimRng;
 use std::fmt::Debug;
 
 /// The membership changes applied at one cycle boundary.
+///
+/// # Non-aliasing guarantee
+///
+/// Within one `apply` call, `joined` and `departed` never contain the same
+/// [`NodeIndex`]: the registry hands every joiner a **fresh** index
+/// ([`Network::add_node`] always appends; dead slots are never reused), so a
+/// node killed this cycle cannot come back as this cycle's joiner under the
+/// same index. Protocols rely on this when tearing down per-node state for
+/// `departed` and initialising it for `joined` — if an index appeared in both
+/// lists the teardown/init order would corrupt the state of whichever event
+/// was processed second. [`UniformChurn`] asserts the guarantee on every
+/// application.
 #[derive(Debug, Default, Clone)]
 pub struct ChurnEvents {
-    /// Nodes that joined (new indices, already alive in the registry).
+    /// Nodes that joined (fresh indices, already alive in the registry).
     pub joined: Vec<NodeIndex>,
     /// Nodes that departed (already marked dead in the registry).
     pub departed: Vec<NodeIndex>,
@@ -78,11 +90,24 @@ impl ChurnModel for UniformChurn {
         if victims == 0 {
             return ChurnEvents::none();
         }
+        // Victims are sampled from the pre-join alive set, so the registry
+        // length before the joins is the watermark below which every victim
+        // index lies.
+        let watermark = network.len();
         let departed = rng.sample(&alive, victims);
         for &node in &departed {
             network.kill(node);
         }
         let joined: Vec<NodeIndex> = (0..victims).map(|_| network.add_random_node(rng)).collect();
+        // Pin the ChurnEvents non-aliasing guarantee: the registry never
+        // reuses slots, so every joiner's index is fresh — it cannot collide
+        // with a victim sampled from the pre-join population. If Network ever
+        // started recycling dead slots, this would fail loudly instead of
+        // silently corrupting protocol per-node state teardown/init.
+        assert!(
+            joined.iter().all(|j| j.as_usize() >= watermark),
+            "churn joiner reused a pre-existing node slot"
+        );
         ChurnEvents { joined, departed }
     }
 }
@@ -242,6 +267,39 @@ mod tests {
         }
         // Registry grows because departed nodes keep their entries.
         assert_eq!(net.len(), 150);
+    }
+
+    #[test]
+    fn churn_events_never_alias_joiners_with_victims() {
+        // Regression for the slot-reuse hazard: if the registry recycled dead
+        // indices, a node could be reported both departed and joined within
+        // one cycle and protocols would tear down freshly initialised state.
+        // Drive heavy replacement churn long enough that thousands of dead
+        // slots exist, and check the guarantee cycle by cycle.
+        let (mut net, mut rng) = network(200, 7);
+        let mut churn = UniformChurn::new(0.25);
+        for cycle in 0..50 {
+            let before_len = net.len();
+            let events = churn.apply(cycle, &mut net, &mut rng);
+            let departed: std::collections::HashSet<NodeIndex> =
+                events.departed.iter().copied().collect();
+            for &joiner in &events.joined {
+                assert!(
+                    !departed.contains(&joiner),
+                    "cycle {cycle}: {joiner} reported as both departed and joined"
+                );
+                assert!(
+                    joiner.as_usize() >= before_len,
+                    "cycle {cycle}: joiner {joiner} did not get a fresh slot"
+                );
+                assert!(net.is_alive(joiner));
+            }
+            for &victim in &events.departed {
+                assert!(!net.is_alive(victim));
+            }
+        }
+        assert_eq!(net.alive_count(), 200);
+        assert_eq!(net.len(), 200 + 50 * 50, "every joiner appended a slot");
     }
 
     #[test]

@@ -62,6 +62,88 @@ pub trait CycleProtocol {
     fn node_departed(&mut self, _node: NodeIndex, _cycle: u64, _ctx: &mut EngineContext) {}
 }
 
+/// What [`ParallelCycleProtocol::plan_node`] decided for one node.
+#[derive(Debug)]
+pub enum NodePlan<P> {
+    /// Nothing to execute for this node this cycle (all effects, if any,
+    /// already happened during planning).
+    Idle,
+    /// Deferred work. `peer` names the *other* node whose state the work will
+    /// read or write, if any; the planned node itself is always involved.
+    Work {
+        /// The second node touched by the work (`None` when the work only
+        /// involves the planned node's own state).
+        peer: Option<NodeIndex>,
+        /// The protocol-defined description of the deferred work.
+        plan: P,
+    },
+}
+
+/// One entry of a wave handed to [`ParallelCycleProtocol::execute_wave`], in
+/// planning order.
+#[derive(Debug)]
+pub struct PlannedWork<P> {
+    /// The node the plan was made for.
+    pub node: NodeIndex,
+    /// The protocol-defined description of the deferred work.
+    pub plan: P,
+    /// `false`: this item's node set is disjoint from every other
+    /// non-deferred item in the wave — it may execute concurrently with them.
+    /// `true`: it conflicts with an earlier item and must execute after all
+    /// non-deferred items, in list order relative to other deferred items.
+    pub deferred: bool,
+}
+
+/// A [`CycleProtocol`] whose per-node work can be split into a sequential
+/// *planning* phase and a parallelisable *execution* phase.
+///
+/// The contract that makes [`CycleEngine::run_parallel_with_observer`]
+/// bit-for-bit equivalent to the sequential engine at any thread count:
+///
+/// * [`plan_node`](ParallelCycleProtocol::plan_node) performs **all** RNG
+///   draws and all reads of mutable cross-node state that the sequential
+///   `execute_node` would perform before its heavy computation, in the same
+///   order. The engine calls it sequentially, in the cycle's shuffled order.
+/// * The deferred work described by the returned plan reads and writes only
+///   the state of the planned node and of the reported `peer`, and consumes
+///   no RNG.
+/// * [`execute_wave`](ParallelCycleProtocol::execute_wave) runs the wave's
+///   work — concurrently for non-deferred items — and returns one outcome per
+///   item in list order.
+/// * [`commit_outcome`](ParallelCycleProtocol::commit_outcome) applies an
+///   outcome's order-sensitive side effects (global counters, dirty lists);
+///   the engine replays outcomes strictly in planning order.
+pub trait ParallelCycleProtocol: CycleProtocol {
+    /// The deferred-work description produced by planning one node.
+    type Plan: Send;
+    /// The result of executing one plan, fed back to
+    /// [`commit_outcome`](ParallelCycleProtocol::commit_outcome).
+    type Outcome: Send;
+
+    /// Plans one node's cycle action, consuming the RNG stream exactly as the
+    /// sequential `execute_node` would.
+    fn plan_node(
+        &mut self,
+        node: NodeIndex,
+        cycle: u64,
+        ctx: &mut EngineContext,
+    ) -> NodePlan<Self::Plan>;
+
+    /// Executes a wave of plans, appending one outcome per item (in item
+    /// order) to `outcomes`. Non-deferred items touch pairwise-disjoint node
+    /// sets and may run on up to `threads` worker threads; deferred items run
+    /// after all non-deferred ones, in order.
+    fn execute_wave(
+        &mut self,
+        wave: &mut Vec<PlannedWork<Self::Plan>>,
+        threads: usize,
+        outcomes: &mut Vec<Self::Outcome>,
+    );
+
+    /// Applies one outcome's side effects. Called in planning order.
+    fn commit_outcome(&mut self, outcome: Self::Outcome, ctx: &mut EngineContext);
+}
+
 /// The cycle-driven engine.
 ///
 /// # Example
@@ -187,6 +269,152 @@ impl CycleEngine {
             }
         }
         executed
+    }
+
+    /// Runs `protocol` for exactly `cycles` cycles on `threads` worker threads.
+    /// See [`CycleEngine::run_parallel_with_observer`].
+    pub fn run_parallel<P: ParallelCycleProtocol>(
+        &mut self,
+        protocol: &mut P,
+        cycles: u64,
+        threads: usize,
+    ) -> u64 {
+        self.run_parallel_with_observer(protocol, cycles, threads, |_, _, _| {
+            ControlFlow::Continue(())
+        })
+    }
+
+    /// Parallel equivalent of [`CycleEngine::run_with_observer`]: executes the
+    /// independent per-node computations of each cycle on up to `threads`
+    /// worker threads while keeping the run bit-for-bit identical to the
+    /// sequential engine at any thread count.
+    ///
+    /// How: the cycle's shuffled order is scanned sequentially and each node is
+    /// *planned* ([`ParallelCycleProtocol::plan_node`] — all RNG consumption
+    /// and cross-node reads happen here, on the caller thread, in order). The
+    /// deferred work accumulates into a wave; a wave is flushed — executed,
+    /// then committed in planning order — whenever the scan reaches a node
+    /// whose state a pending plan would modify (planning it earlier would read
+    /// stale state). Within a wave, items whose node sets overlap an earlier
+    /// item are marked `deferred` and execute sequentially after the disjoint
+    /// majority, preserving the sequential interleaving exactly.
+    ///
+    /// `threads <= 1` falls back to [`CycleEngine::run_with_observer`].
+    pub fn run_parallel_with_observer<P, F>(
+        &mut self,
+        protocol: &mut P,
+        max_cycles: u64,
+        threads: usize,
+        mut observer: F,
+    ) -> u64
+    where
+        P: ParallelCycleProtocol,
+        F: FnMut(&mut P, &mut EngineContext, u64) -> ControlFlow<()>,
+    {
+        if threads <= 1 {
+            return self.run_with_observer(protocol, max_cycles, observer);
+        }
+        // Reused across cycles and waves: the pending wave, its outcomes, the
+        // claimed-node flags and the list of set flags (for O(wave) clearing).
+        let mut wave: Vec<PlannedWork<P::Plan>> = Vec::new();
+        let mut outcomes: Vec<P::Outcome> = Vec::new();
+        let mut claimed: Vec<bool> = Vec::new();
+        let mut claimed_list: Vec<NodeIndex> = Vec::new();
+
+        let mut executed = 0;
+        for _ in 0..max_cycles {
+            let cycle = self.current_cycle;
+            self.apply_churn(protocol, cycle);
+            protocol.begin_cycle(cycle, &mut self.context);
+
+            self.order_scratch.clear();
+            self.order_scratch
+                .extend(self.context.network.alive_indices());
+            self.context.rng.shuffle(&mut self.order_scratch);
+
+            claimed.resize(self.context.network.len(), false);
+            debug_assert!(claimed_list.is_empty() && wave.is_empty());
+            for position in 0..self.order_scratch.len() {
+                let node = self.order_scratch[position];
+                if !self.context.network.is_alive(node) {
+                    continue;
+                }
+                if claimed[node.as_usize()] {
+                    // A pending plan will modify this node's state; planning it
+                    // now would read the wrong (pre-wave) state. Flush first.
+                    Self::flush_wave(
+                        protocol,
+                        &mut self.context,
+                        &mut wave,
+                        &mut outcomes,
+                        threads,
+                    );
+                    for claimed_node in claimed_list.drain(..) {
+                        claimed[claimed_node.as_usize()] = false;
+                    }
+                }
+                match protocol.plan_node(node, cycle, &mut self.context) {
+                    NodePlan::Idle => {}
+                    NodePlan::Work { peer, plan } => {
+                        let conflict =
+                            claimed[node.as_usize()] || peer.is_some_and(|p| claimed[p.as_usize()]);
+                        if !claimed[node.as_usize()] {
+                            claimed[node.as_usize()] = true;
+                            claimed_list.push(node);
+                        }
+                        if let Some(p) = peer {
+                            if !claimed[p.as_usize()] {
+                                claimed[p.as_usize()] = true;
+                                claimed_list.push(p);
+                            }
+                        }
+                        wave.push(PlannedWork {
+                            node,
+                            plan,
+                            deferred: conflict,
+                        });
+                    }
+                }
+            }
+            Self::flush_wave(
+                protocol,
+                &mut self.context,
+                &mut wave,
+                &mut outcomes,
+                threads,
+            );
+            for claimed_node in claimed_list.drain(..) {
+                claimed[claimed_node.as_usize()] = false;
+            }
+
+            protocol.end_cycle(cycle, &mut self.context);
+            self.current_cycle += 1;
+            executed += 1;
+            if observer(protocol, &mut self.context, cycle).is_break() {
+                break;
+            }
+        }
+        executed
+    }
+
+    /// Executes and commits a pending wave (no-op when empty).
+    fn flush_wave<P: ParallelCycleProtocol>(
+        protocol: &mut P,
+        context: &mut EngineContext,
+        wave: &mut Vec<PlannedWork<P::Plan>>,
+        outcomes: &mut Vec<P::Outcome>,
+        threads: usize,
+    ) {
+        if wave.is_empty() {
+            return;
+        }
+        outcomes.clear();
+        protocol.execute_wave(wave, threads, outcomes);
+        debug_assert_eq!(outcomes.len(), wave.len());
+        wave.clear();
+        for outcome in outcomes.drain(..) {
+            protocol.commit_outcome(outcome, context);
+        }
     }
 
     fn apply_churn<P: CycleProtocol>(&mut self, protocol: &mut P, cycle: u64) {

@@ -84,7 +84,6 @@ pub struct EventContext<'a, M> {
     pub rng: &'a mut SimRng,
     outbox: Vec<(NodeIndex, NodeIndex, M)>,
     timers: Vec<(NodeIndex, u64, u64)>,
-    sent_messages: &'a mut u64,
 }
 
 impl<'a, M> EventContext<'a, M> {
@@ -99,9 +98,11 @@ impl<'a, M> EventContext<'a, M> {
     }
 
     /// Queues a message from `from` to `to`. Delivery (and loss) is decided by the
-    /// engine's transport when the callback returns.
+    /// engine's transport when the callback returns; the engine's sent counter is
+    /// incremented at that hand-off — not here — so "sent" means the same thing
+    /// in both engines: *offered to the transport* (see
+    /// [`EventEngine::messages_sent`]).
     pub fn send(&mut self, from: NodeIndex, to: NodeIndex, message: M) {
-        *self.sent_messages += 1;
         self.outbox.push((from, to, message));
     }
 
@@ -151,7 +152,16 @@ impl<M: Debug> EventEngine<M> {
         self.now
     }
 
-    /// Number of messages handed to the transport so far.
+    /// Number of messages handed to the transport so far (counted at the
+    /// hand-off, *before* the transport's loss decision). This matches the
+    /// cycle engine's accounting, where `TrafficStats` counts `requests_sent`
+    /// and `answers_sent` at the same hand-off point — under both engines,
+    /// `messages_sent == transport.messages_offered()` when the protocol is
+    /// the only transport user. It used to be incremented inside
+    /// [`EventContext::send`], which double-counted queued-but-never-offered
+    /// messages relative to the cycle engine whenever an engine discarded its
+    /// outbox (and made "sent" mean "queued" in one engine but "offered" in
+    /// the other).
     pub fn messages_sent(&self) -> u64 {
         self.sent
     }
@@ -159,6 +169,12 @@ impl<M: Debug> EventEngine<M> {
     /// Number of messages actually delivered so far.
     pub fn messages_delivered(&self) -> u64 {
         self.delivered
+    }
+
+    /// Read access to the transport (for checking its drop statistics against
+    /// the engine's own counters).
+    pub fn transport(&self) -> &dyn Transport {
+        self.transport.as_ref()
     }
 
     /// Read access to the node registry.
@@ -243,7 +259,6 @@ impl<M: Debug> EventEngine<M> {
             rng: &mut self.rng,
             outbox: Vec::new(),
             timers: Vec::new(),
-            sent_messages: &mut self.sent,
         };
         f(&mut ctx, protocol);
         effects.outbox = ctx.outbox;
@@ -252,6 +267,9 @@ impl<M: Debug> EventEngine<M> {
 
     fn apply_effects(&mut self, effects: &mut Effects<M>) {
         for (from, to, body) in effects.outbox.drain(..) {
+            // "Sent" is counted at the transport hand-off, mirroring the cycle
+            // engine's TrafficStats semantics.
+            self.sent += 1;
             if self.transport.should_deliver(from, to, &mut self.rng) {
                 let latency = self.transport.latency_millis(from, to, &mut self.rng);
                 self.seq += 1;
@@ -398,6 +416,32 @@ mod tests {
         assert_eq!(protocol.fired.len(), 30);
         assert!(protocol.fired.iter().all(|&(_, t)| t <= 100 && t % 10 == 0));
         assert_eq!(engine.now(), 100);
+    }
+
+    #[test]
+    fn sent_counter_agrees_with_the_transport_under_loss() {
+        // Unified semantics: "sent" is what was offered to the transport, in
+        // both engines. With a lossy transport the event engine must report
+        // sent == transport.offered and delivered == offered - dropped once
+        // the queue drains (nothing in flight, no dead recipients).
+        let mut engine: EventEngine<u32> =
+            small_engine::<u32>(2, 8).with_transport(Box::new(DropTransport::new(0.4)));
+        let mut protocol = PingPong {
+            received: Vec::new(),
+        };
+        engine.run_until(&mut protocol, 1_000_000);
+        assert_eq!(
+            engine.messages_sent(),
+            engine.transport().messages_offered()
+        );
+        assert_eq!(
+            engine.messages_delivered(),
+            engine.transport().messages_offered() - engine.transport().messages_dropped()
+        );
+        // The conversation ends at the first drop, so exactly one message was
+        // dropped and every earlier one was delivered.
+        assert_eq!(engine.transport().messages_dropped(), 1);
+        assert_eq!(protocol.received.len() as u64, engine.messages_delivered());
     }
 
     #[test]

@@ -129,10 +129,10 @@ impl<R: Ranking, S: PeerSampler> TmanProtocol<R, S> {
         buffer.clear();
         buffer.push(ctx.network.descriptor(node, cycle));
         buffer.extend(self.view(node).unwrap_or(&[]).iter().copied());
-        buffer.extend(
-            self.sampler
-                .sample(node, self.config.random_samples, cycle, ctx),
-        );
+        // Samples append straight into the reused buffer — no intermediate
+        // vector per exchange.
+        self.sampler
+            .sample_into(node, self.config.random_samples, cycle, ctx, buffer);
         buffer.retain(|d| d.id() != peer_id);
         dedup_freshest(buffer);
         self.ranking
