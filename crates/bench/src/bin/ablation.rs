@@ -11,7 +11,7 @@
 //! Each sweep reports the mean convergence cycle (over a few seeds) for each
 //! parameter value, at a fixed network size.
 
-use bss_bench::cli::Args;
+use bss_bench::cli::{Args, CommonDefaults, COMMON_OPTIONS_HELP};
 use bss_core::experiment::{Experiment, ExperimentConfig, SamplerChoice};
 use bss_util::config::{BootstrapParams, NewscastParams};
 
@@ -25,24 +25,17 @@ OPTIONS:
     --size <exp>     network size exponent (N = 2^exp)  [default: 11]
     --runs <n>       seeds per configuration            [default: 3]
     --cycles <n>     cycle budget per run               [default: 150]
-    --seed <n>       base random seed                   [default: 1]
 ";
 
-fn mean_convergence(config: ExperimentConfig, runs: usize, base_seed: u64) -> (f64, f64, usize) {
+fn mean_convergence(config: &ExperimentConfig, runs: usize, base_seed: u64) -> (f64, f64, usize) {
     let mut cycles = Vec::new();
     let mut message_size = 0.0;
     for run in 0..runs {
-        let mut builder = ExperimentConfig::builder();
-        builder
-            .network_size(config.network_size)
-            .seed(base_seed + run as u64)
-            .params(config.params)
-            .sampler(config.sampler)
-            .drop_probability(config.drop_probability)
-            .churn_rate(config.churn_rate)
-            .max_cycles(config.max_cycles)
-            .stop_when_perfect(true);
-        let outcome = Experiment::new(builder.build().expect("valid")).run();
+        let mut run_config = config.clone();
+        run_config.seed = base_seed + run as u64;
+        run_config.stop_when_perfect = true;
+        run_config.validate().expect("valid ablation configuration");
+        let outcome = Experiment::new(run_config).run();
         message_size += outcome.traffic().mean_message_size();
         if let Some(cycle) = outcome.convergence_cycle() {
             cycles.push(cycle);
@@ -60,17 +53,22 @@ fn mean_convergence(config: ExperimentConfig, runs: usize, base_seed: u64) -> (f
 fn main() {
     let args = Args::from_env();
     if args.wants_help() {
-        print!("{HELP}");
+        print!("{HELP}{COMMON_OPTIONS_HELP}");
         return;
     }
-    let exponent = args.parsed_or("size", 11u32);
-    let runs = args.parsed_or("runs", 3usize);
-    let cycles = args.parsed_or("cycles", 150u64);
-    let seed = args.parsed_or("seed", 1u64);
-    let size = 1usize << exponent;
+    let common = args.common(CommonDefaults {
+        sizes: &[11],
+        runs: 3,
+        cycles: 150,
+        seed: 1,
+    });
+    let exponent = common.size();
+    let runs = common.runs;
+    let seed = common.seed;
     let base = ExperimentConfig::builder()
-        .network_size(size)
-        .max_cycles(cycles)
+        .network_size(1usize << exponent)
+        .max_cycles(common.cycles)
+        .engine(common.engine)
         .build()
         .expect("valid configuration");
 
@@ -79,12 +77,12 @@ fn main() {
     println!("## Ablation A: random samples per message (cr)");
     println!("cr\tmean_convergence_cycle\tmean_message_size\tconverged_runs");
     for cr in [0usize, 5, 15, 30, 60] {
-        let mut config = base;
+        let mut config = base.clone();
         config.params = BootstrapParams {
             random_samples: cr,
             ..BootstrapParams::paper_default()
         };
-        let (mean, message, converged) = mean_convergence(config, runs, seed);
+        let (mean, message, converged) = mean_convergence(&config, runs, seed);
         println!("{cr}\t{mean:.1}\t{message:.1}\t{converged}/{runs}");
     }
     println!();
@@ -92,12 +90,12 @@ fn main() {
     println!("## Ablation B: leaf set size (c)");
     println!("c\tmean_convergence_cycle\tmean_message_size\tconverged_runs");
     for c in [8usize, 16, 20, 32] {
-        let mut config = base;
+        let mut config = base.clone();
         config.params = BootstrapParams {
             leaf_set_size: c,
             ..BootstrapParams::paper_default()
         };
-        let (mean, message, converged) = mean_convergence(config, runs, seed + 100);
+        let (mean, message, converged) = mean_convergence(&config, runs, seed + 100);
         println!("{c}\t{mean:.1}\t{message:.1}\t{converged}/{runs}");
     }
     println!();
@@ -111,9 +109,9 @@ fn main() {
             SamplerChoice::Newscast(NewscastParams::paper_default()),
         ),
     ] {
-        let mut config = base;
+        let mut config = base.clone();
         config.sampler = sampler;
-        let (mean, message, converged) = mean_convergence(config, runs, seed + 200);
+        let (mean, message, converged) = mean_convergence(&config, runs, seed + 200);
         println!("{name}\t{mean:.1}\t{message:.1}\t{converged}/{runs}");
     }
     println!();
@@ -121,9 +119,9 @@ fn main() {
     println!("## Ablation D: message drop probability");
     println!("drop\tmean_convergence_cycle\tmean_message_size\tconverged_runs");
     for drop in [0.0f64, 0.1, 0.2, 0.4] {
-        let mut config = base;
-        config.drop_probability = drop;
-        let (mean, message, converged) = mean_convergence(config, runs, seed + 300);
+        let mut config = base.clone();
+        config.scenario.set_whole_run_loss(drop);
+        let (mean, message, converged) = mean_convergence(&config, runs, seed + 300);
         println!("{drop}\t{mean:.1}\t{message:.1}\t{converged}/{runs}");
     }
 }

@@ -7,9 +7,11 @@
 //!
 //! The paper uses N ∈ {2^14, 2^16, 2^18} with 50/10/4 runs; the default here is a
 //! laptop-sized subset (2^10..2^14). Pass `--sizes 14,16,18 --runs 4` for the full
-//! setting (2^18 needs several gigabytes of memory and tens of minutes).
+//! setting (2^18 needs several gigabytes of memory and tens of minutes). Like
+//! every experiment binary, `--engine event` runs the same figure on the
+//! discrete-event engine instead of the cycle engine.
 
-use bss_bench::cli::Args;
+use bss_bench::cli::{Args, CommonDefaults, COMMON_OPTIONS_HELP};
 use bss_bench::figures::{run_figure, FigureConfig};
 use bss_bench::report::{panel_table, summary_table};
 use bss_core::experiment::ExperimentConfig;
@@ -24,34 +26,34 @@ OPTIONS:
     --sizes <list>   comma-separated size exponents     [default: 10,12,14]
     --runs <n>       independent runs per size          [default: 3]
     --cycles <n>     cycle budget per run               [default: 60]
-    --seed <n>       base random seed                   [default: 1]
-    --quiet          suppress progress output
 ";
 
 fn main() {
     let args = Args::from_env();
     if args.wants_help() {
-        print!("{HELP}");
+        print!("{HELP}{COMMON_OPTIONS_HELP}");
         return;
     }
-    let sizes = args.u32_list_or("sizes", &[10, 12, 14]);
-    let runs = args.parsed_or("runs", 3usize);
-    let cycles = args.parsed_or("cycles", 60u64);
-    let seed = args.parsed_or("seed", 1u64);
-    let quiet = args.get("quiet").is_some();
+    let common = args.common(CommonDefaults {
+        sizes: &[10, 12, 14],
+        runs: 3,
+        cycles: 60,
+        seed: 1,
+    });
 
     let config = FigureConfig {
-        size_exponents: sizes,
-        runs_per_size: runs,
+        size_exponents: common.sizes.clone(),
+        runs_per_size: common.runs,
         base: ExperimentConfig::builder()
-            .max_cycles(cycles)
+            .max_cycles(common.cycles)
+            .engine(common.engine)
             .build()
             .expect("valid configuration"),
-        base_seed: seed,
+        base_seed: common.seed,
     };
     eprintln!("# Figure 3 reproduction: no failures, paper parameters (b=4 k=3 c=20 cr=30)");
     let result = run_figure(&config, |exponent, run| {
-        if !quiet {
+        if !common.quiet {
             eprintln!("#   finished N=2^{exponent} run {run}");
         }
     });

@@ -4,9 +4,10 @@
 //! Because the protocol works in request/answer pairs, a dropped request also
 //! suppresses the answer; the paper computes the resulting effective message loss
 //! as 28 %. The expected result is the same convergence shape as Figure 3, only
-//! proportionally slower.
+//! proportionally slower. The `--drop` knob desugars into a whole-run loss window
+//! on the scenario timeline; `--engine event` runs the same figure event-driven.
 
-use bss_bench::cli::Args;
+use bss_bench::cli::{Args, CommonDefaults, COMMON_OPTIONS_HELP};
 use bss_bench::figures::{run_figure, FigureConfig};
 use bss_bench::report::{panel_table, summary_table};
 use bss_core::experiment::ExperimentConfig;
@@ -22,39 +23,39 @@ OPTIONS:
     --runs <n>       independent runs per size          [default: 3]
     --cycles <n>     cycle budget per run               [default: 100]
     --drop <p>       per-message drop probability       [default: 0.2]
-    --seed <n>       base random seed                   [default: 1]
-    --quiet          suppress progress output
 ";
 
 fn main() {
     let args = Args::from_env();
     if args.wants_help() {
-        print!("{HELP}");
+        print!("{HELP}{COMMON_OPTIONS_HELP}");
         return;
     }
-    let sizes = args.u32_list_or("sizes", &[10, 12, 14]);
-    let runs = args.parsed_or("runs", 3usize);
-    let cycles = args.parsed_or("cycles", 100u64);
+    let common = args.common(CommonDefaults {
+        sizes: &[10, 12, 14],
+        runs: 3,
+        cycles: 100,
+        seed: 1,
+    });
     let drop = args.parsed_or("drop", 0.2f64);
-    let seed = args.parsed_or("seed", 1u64);
-    let quiet = args.get("quiet").is_some();
 
     let config = FigureConfig {
-        size_exponents: sizes,
-        runs_per_size: runs,
+        size_exponents: common.sizes.clone(),
+        runs_per_size: common.runs,
         base: ExperimentConfig::builder()
-            .max_cycles(cycles)
+            .max_cycles(common.cycles)
             .drop_probability(drop)
+            .engine(common.engine)
             .build()
             .expect("valid configuration"),
-        base_seed: seed,
+        base_seed: common.seed,
     };
     eprintln!(
         "# Figure 4 reproduction: {:.0}% uniform message drop",
         drop * 100.0
     );
     let result = run_figure(&config, |exponent, run| {
-        if !quiet {
+        if !common.quiet {
             eprintln!("#   finished N=2^{exponent} run {run}");
         }
     });

@@ -2,25 +2,22 @@
 //! independent partitions and later merge back into one.
 //!
 //! Two halves of a network bootstrap while a partition blocks all traffic between
-//! them (the "split" phase: each half converges to perfect tables *for its own
-//! membership*). At a configurable cycle the partition heals (the "merge" phase)
-//! and the run continues until the merged network's tables are perfect for the
-//! full membership. The output reports the missing-entry proportions over time,
-//! measured against the full-membership oracle, so the split phase plateaus at the
-//! fraction of entries that live on the other side, and the merge phase shows the
-//! rapid re-convergence the architecture promises.
+//! them (the "split" phase: each half converges internally). At a configurable
+//! cycle the partition heals (the "merge" phase) and the run continues until the
+//! merged network's tables are perfect for the full membership. The whole
+//! experiment is one scenario timeline — a single `Partition` event whose window
+//! end is the merge — driven through the same engine-agnostic entry point as
+//! every other binary, so `--engine event` runs the same scenario event-driven.
+//!
+//! The output reports the missing-entry proportions over time, measured against
+//! the full-membership oracle: the split phase plateaus at the fraction of
+//! entries that live on the other side, and the merge phase shows the rapid
+//! re-convergence the architecture promises.
 
-use bss_bench::cli::Args;
+use bss_bench::cli::{Args, CommonDefaults, COMMON_OPTIONS_HELP};
 use bss_bench::report::series_table;
-use bss_core::protocol::BootstrapProtocol;
-use bss_sampling::sampler::OracleSampler;
-use bss_sim::engine::cycle::CycleEngine;
-use bss_sim::network::Network;
-use bss_sim::transport::PartitionTransport;
-use bss_util::config::BootstrapParams;
-use bss_util::rng::SimRng;
-use bss_util::stats::Series;
-use std::ops::ControlFlow;
+use bss_core::experiment::{Experiment, ExperimentConfig};
+use bss_core::scenario::{PartitionSpec, Phase, ScenarioEvent};
 
 const HELP: &str = "\
 merge_split — bootstrap two partitions independently, then merge them
@@ -32,20 +29,23 @@ OPTIONS:
     --size <exp>     network size exponent (N = 2^exp)  [default: 12]
     --merge-at <n>   cycle at which the partition heals [default: 25]
     --cycles <n>     total cycle budget                 [default: 80]
-    --seed <n>       random seed                        [default: 1]
 ";
 
 fn main() {
     let args = Args::from_env();
     if args.wants_help() {
-        print!("{HELP}");
+        print!("{HELP}{COMMON_OPTIONS_HELP}");
         return;
     }
-    let exponent = args.parsed_or("size", 12u32);
+    let common = args.common(CommonDefaults {
+        sizes: &[12],
+        runs: 1,
+        cycles: 80,
+        seed: 1,
+    });
+    let exponent = common.size();
     let merge_at = args.parsed_or("merge-at", 25u64);
-    let cycles = args.parsed_or("cycles", 80u64);
-    let seed = args.parsed_or("seed", 1u64);
-    let size = 1usize << exponent;
+    let cycles = common.cycles;
     assert!(
         merge_at < cycles,
         "--merge-at must be smaller than --cycles"
@@ -55,60 +55,42 @@ fn main() {
 
     // Even indices form partition 0, odd indices partition 1, so both halves span
     // the whole identifier space — the interesting case for merging prefix tables.
-    let mut rng = SimRng::seed_from(seed);
-    let network = Network::with_random_ids(size, &mut rng);
-    let groups: Vec<u32> = (0..size as u32).map(|index| index % 2).collect();
-    let mut engine = CycleEngine::new(network, rng)
-        .with_transport(Box::new(PartitionTransport::new(groups.clone())));
+    // The perfection stop waits for the heal (a pending scenario transition), so
+    // the run ends at the first full-membership perfection after the merge.
+    let config = ExperimentConfig::builder()
+        .network_size(1usize << exponent)
+        .seed(common.seed)
+        .max_cycles(cycles)
+        .event(ScenarioEvent::Partition {
+            phase: Phase::new(0, merge_at),
+            groups: PartitionSpec::IndexParity,
+        })
+        .engine(common.engine)
+        .build()
+        .expect("valid configuration");
+    let report = Experiment::new(config).run();
 
-    let params = BootstrapParams::paper_default();
-    let mut protocol = BootstrapProtocol::new(params, OracleSampler::new());
-    protocol.init_all(engine.context_mut());
-    let full_oracle = protocol.oracle_for(engine.context());
-
-    let mut leaf = Series::new("missing_leafset");
-    let mut prefix = Series::new("missing_prefix");
-
-    // Phase 1: partitioned. Each half converges internally; against the
-    // full-membership oracle roughly half of every node's neighbours stay missing.
-    engine.run_with_observer(&mut protocol, merge_at, |protocol, ctx, cycle| {
-        let measured = protocol.measure(&full_oracle, ctx);
-        leaf.push(cycle, measured.leaf_proportion());
-        prefix.push(cycle, measured.prefix_proportion());
-        ControlFlow::Continue(())
-    });
     eprintln!(
         "#   end of split phase: {:.3e} of full-membership leaf entries missing",
-        leaf.final_value().unwrap_or(f64::NAN)
+        report
+            .leaf_series()
+            .value_at(merge_at.saturating_sub(1))
+            .unwrap_or(f64::NAN)
     );
-
-    // Phase 2: the partition heals and the two halves merge.
-    let mut healed = PartitionTransport::new(groups);
-    healed.set_active(false);
-    engine.context_mut().transport = Box::new(healed);
-    let mut merge_convergence = None;
-    engine.run_with_observer(&mut protocol, cycles - merge_at, |protocol, ctx, cycle| {
-        let absolute = merge_at + cycle;
-        let measured = protocol.measure(&full_oracle, ctx);
-        leaf.push(absolute, measured.leaf_proportion());
-        prefix.push(absolute, measured.prefix_proportion());
-        if measured.is_perfect() {
-            merge_convergence = Some(absolute);
-            return ControlFlow::Break(());
-        }
-        ControlFlow::Continue(())
-    });
 
     println!("## Missing entries vs cycles (partition heals at cycle {merge_at})");
     print!(
         "{}",
-        series_table(&[("leaf_set".into(), leaf), ("prefix_table".into(), prefix)])
+        series_table(&[
+            ("leaf_set".into(), report.leaf_series().clone()),
+            ("prefix_table".into(), report.prefix_series().clone()),
+        ])
     );
     println!();
-    match merge_convergence {
+    match report.convergence_cycle() {
         Some(cycle) => println!(
             "## Merged network reached perfect tables at cycle {cycle} ({} cycles after the merge)",
-            cycle - merge_at + 1
+            cycle.saturating_sub(merge_at) + 1
         ),
         None => println!("## Merged network did not reach perfect tables within the budget"),
     }

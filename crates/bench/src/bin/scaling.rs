@@ -12,8 +12,9 @@
 //! with the perfection stop disabled — is the fixed datapoint used to compare
 //! engine versions.
 
-use bss_bench::cli::Args;
+use bss_bench::cli::{Args, CommonDefaults, COMMON_OPTIONS_HELP};
 use bss_core::experiment::{Experiment, ExperimentConfig, SamplerChoice};
+use bss_core::scenario::Engine;
 use bss_util::config::NewscastParams;
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -27,13 +28,10 @@ USAGE:
 OPTIONS:
     --sizes <list>       comma-separated size exponents  [default: 8,9,10,11,12,13,14,15]
     --cycles <n>         cycle budget per run            [default: 60]
-    --seed <n>           base random seed                [default: 1]
     --measure-every <n>  observer cadence in cycles      [default: 1]
-    --threads <n>        worker threads per run          [default: 1]
     --out <path>         output JSON path                [default: BENCH_scaling.json]
     --smoke              tiny sweep (exponents 8,9; finishes in seconds)
     --skip-reference     skip the fixed 10k-node oracle reference run
-    --quiet              suppress progress output
 
 Thread counts change wall-clock only: every run's simulation output is
 bit-for-bit identical at any --threads value (the engine pre-draws all
@@ -80,17 +78,17 @@ fn peak_rss_kib() -> u64 {
     0
 }
 
-fn run_cell(config: ExperimentConfig, label: String, sampler_name: &'static str) -> Measurement {
+fn run_cell(config: &ExperimentConfig, label: String, sampler_name: &'static str) -> Measurement {
     let start = Instant::now();
-    let outcome = Experiment::new(config).run();
+    let outcome = Experiment::new(config.clone()).run();
     let elapsed = start.elapsed().as_secs_f64();
     let cycles = outcome.cycles_executed();
     Measurement {
         label,
         network_size: config.network_size,
         sampler: sampler_name,
-        drop_probability: config.drop_probability,
-        threads: config.threads,
+        drop_probability: config.drop_probability(),
+        threads: config.threads(),
         cycles_executed: cycles,
         convergence_cycle: outcome.convergence_cycle(),
         elapsed_seconds: elapsed,
@@ -145,7 +143,7 @@ fn render_json(measurements: &[Measurement]) -> String {
 fn main() {
     let args = Args::from_env();
     if args.wants_help() {
-        print!("{HELP}");
+        print!("{HELP}{COMMON_OPTIONS_HELP}");
         return;
     }
     let smoke = args.get("smoke").is_some();
@@ -154,14 +152,34 @@ fn main() {
     } else {
         &[8, 9, 10, 11, 12, 13, 14, 15]
     };
-    let sizes = args.u32_list_or("sizes", default_sizes);
-    let cycles = args.parsed_or("cycles", 60u64);
-    let seed = args.parsed_or("seed", 1u64);
+    let common = args.common(CommonDefaults {
+        sizes: default_sizes,
+        runs: 1,
+        cycles: 60,
+        seed: 1,
+    });
+    let sizes = common.sizes.clone();
+    let cycles = common.cycles;
+    let seed = common.seed;
     let measure_every = args.parsed_or("measure-every", 1u64);
-    let threads = args.parsed_or("threads", 1usize).max(1);
-    let out_path = args.get("out").unwrap_or("BENCH_scaling.json").to_owned();
-    let quiet = args.get("quiet").is_some();
+    let threads = common.threads;
+    let out_path = common
+        .out
+        .clone()
+        .unwrap_or_else(|| "BENCH_scaling.json".to_owned());
+    let quiet = common.quiet;
     let skip_reference = args.get("skip-reference").is_some();
+    // Honour --engine: event-engine sweeps keep the selected engine verbatim
+    // (thread counts are meaningless there); cycle-family sweeps map each
+    // cell's thread count onto Cycle / ParallelCycle.
+    let event_engine = matches!(common.engine, Engine::Event { .. });
+    let engine_for = |cell_threads: usize| -> Engine {
+        if event_engine {
+            common.engine
+        } else {
+            Engine::with_threads(cell_threads)
+        }
+    };
 
     let mut measurements = Vec::new();
 
@@ -171,9 +189,10 @@ fn main() {
     if !skip_reference && !smoke {
         // Always measure the fixed reference at one thread (the engine-version
         // trajectory datapoint); when a thread pool is requested, measure it
-        // again with the pool so the JSON carries the speedup pair.
+        // again with the pool so the JSON carries the speedup pair. On the
+        // event engine the pair is meaningless, so only one reference runs.
         let mut reference_threads = vec![1usize];
-        if threads > 1 {
+        if threads > 1 && !event_engine {
             reference_threads.push(threads);
         }
         for reference_thread_count in reference_threads {
@@ -188,7 +207,7 @@ fn main() {
                 .max_cycles(60)
                 .measure_every(measure_every)
                 .stop_when_perfect(false)
-                .threads(reference_thread_count)
+                .engine(engine_for(reference_thread_count))
                 .build()
                 .expect("valid reference configuration");
             let label = if reference_thread_count == 1 {
@@ -196,7 +215,7 @@ fn main() {
             } else {
                 format!("fig3_10k_t{reference_thread_count}")
             };
-            let reference = run_cell(config, label, "oracle");
+            let reference = run_cell(&config, label, "oracle");
             if !quiet {
                 eprintln!(
                     "#   {:.2}s ({:.1} cycles/s)",
@@ -230,11 +249,11 @@ fn main() {
                     .drop_probability(loss)
                     .max_cycles(cycles)
                     .measure_every(measure_every)
-                    .threads(threads)
+                    .engine(engine_for(threads))
                     .build()
                     .expect("valid sweep configuration");
                 let label = format!("2^{exponent}_{sampler_name}_loss{loss}");
-                let m = run_cell(config, label, sampler_name);
+                let m = run_cell(&config, label, sampler_name);
                 if !quiet {
                     eprintln!(
                         "#   {:.2}s ({:.1} cycles/s, converged at {:?})",

@@ -1,0 +1,129 @@
+//! The scenario smoke suite: one timeline per scenario-event kind, each run on
+//! both the cycle engine and the discrete-event engine, through the same
+//! engine-agnostic entry point as every other experiment.
+//!
+//! For every cell the binary writes the full serializable `RunReport` as JSON
+//! (`<out-dir>/<kind>_<engine>.json`) — CI runs this as a dedicated job and
+//! uploads the reports as artifacts — and prints a one-line summary per run.
+
+use bss_bench::cli::{Args, CommonDefaults, COMMON_OPTIONS_HELP};
+use bss_core::experiment::{Experiment, ExperimentConfig};
+use bss_core::scenario::{Engine, PartitionSpec, Phase, Scenario, ScenarioEvent};
+
+const HELP: &str = "\
+scenarios — scenario smoke suite: every event kind x both engines
+
+USAGE:
+    cargo run --release -p bss-bench --bin scenarios [-- OPTIONS]
+
+OPTIONS:
+    --size <exp>     network size exponent (N = 2^exp)  [default: 8]
+    --cycles <n>     cycle budget per run               [default: 40]
+    --out-dir <dir>  directory for RunReport JSONs      [default: scenario-reports]
+";
+
+/// One timeline per scenario-event kind, sized relative to the network.
+fn smoke_timelines(network_size: usize) -> Vec<(&'static str, Scenario)> {
+    vec![
+        ("calm", Scenario::calm()),
+        (
+            "loss_window",
+            Scenario::calm().with(ScenarioEvent::LossWindow {
+                phase: Phase::new(5, 15),
+                probability: 0.4,
+            }),
+        ),
+        (
+            "churn_burst",
+            Scenario::calm().with(ScenarioEvent::ChurnBurst {
+                phase: Phase::new(5, 15),
+                rate: 0.05,
+            }),
+        ),
+        (
+            "catastrophic_failure",
+            Scenario::calm().with(ScenarioEvent::CatastrophicFailure {
+                at_cycle: 10,
+                fraction: 0.5,
+            }),
+        ),
+        (
+            "massive_join",
+            Scenario::calm().with(ScenarioEvent::MassiveJoin {
+                at_cycle: 10,
+                count: network_size,
+            }),
+        ),
+        (
+            "partition_merge",
+            Scenario::calm().with(ScenarioEvent::Partition {
+                phase: Phase::new(0, 10),
+                groups: PartitionSpec::IndexParity,
+            }),
+        ),
+    ]
+}
+
+fn main() {
+    let args = Args::from_env();
+    if args.wants_help() {
+        print!("{HELP}{COMMON_OPTIONS_HELP}");
+        return;
+    }
+    let common = args.common(CommonDefaults {
+        sizes: &[8],
+        runs: 1,
+        cycles: 40,
+        seed: 1,
+    });
+    let exponent = common.size();
+    let network_size = 1usize << exponent;
+    let out_dir = args.get("out-dir").unwrap_or("scenario-reports").to_owned();
+    std::fs::create_dir_all(&out_dir).expect("create output directory");
+
+    let engines: [(&'static str, Engine); 2] = [
+        ("cycle", Engine::with_threads(common.threads)),
+        (
+            "event",
+            Engine::Event {
+                latency: args.latency_model(),
+            },
+        ),
+    ];
+
+    eprintln!(
+        "# Scenario smoke suite: N=2^{exponent}, {} cycles budget",
+        common.cycles
+    );
+    println!(
+        "scenario\tengine\tcycles_executed\tconvergence_cycle\tfinal_leaf_missing\tevents_fired"
+    );
+    for (kind, scenario) in smoke_timelines(network_size) {
+        for (engine_name, engine) in engines {
+            let config = ExperimentConfig::builder()
+                .network_size(network_size)
+                .seed(common.seed)
+                .max_cycles(common.cycles)
+                .scenario(scenario.clone())
+                .engine(engine)
+                .build()
+                .expect("valid smoke configuration");
+            let report = Experiment::new(config).run();
+            let path = format!("{out_dir}/{kind}_{engine_name}.json");
+            std::fs::write(&path, report.to_json()).expect("write RunReport JSON");
+            println!(
+                "{kind}\t{engine_name}\t{}\t{}\t{:.3e}\t{}",
+                report.cycles_executed(),
+                report
+                    .convergence_cycle()
+                    .map(|cycle| cycle.to_string())
+                    .unwrap_or_else(|| "-".to_owned()),
+                report.final_state().leaf_proportion(),
+                report.events_fired().len(),
+            );
+            if !common.quiet {
+                eprintln!("#   wrote {path}");
+            }
+        }
+    }
+}

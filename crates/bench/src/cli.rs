@@ -3,7 +3,13 @@
 //! The binaries only need `--flag value` pairs and `--help`; pulling in a full
 //! argument-parsing dependency for that would violate the project's
 //! minimal-dependency policy, so this module implements exactly what is needed.
+//!
+//! Beyond the raw [`Args`] map, [`CommonArgs`] factors out the option set every
+//! experiment binary shares — sizes, run counts, cycle budgets, seed, engine
+//! selection (threads / event latency), output path and verbosity — so the six
+//! binaries no longer copy-paste their argument plumbing.
 
+use bss_core::scenario::{Engine, LatencyModel};
 use std::collections::BTreeMap;
 
 /// Parsed `--key value` arguments.
@@ -92,6 +98,143 @@ impl Args {
     }
 }
 
+/// Per-binary defaults for the shared option set.
+#[derive(Debug, Clone, Copy)]
+pub struct CommonDefaults {
+    /// Default `--sizes` (network-size exponents).
+    pub sizes: &'static [u32],
+    /// Default `--runs`.
+    pub runs: usize,
+    /// Default `--cycles`.
+    pub cycles: u64,
+    /// Default `--seed`.
+    pub seed: u64,
+}
+
+impl Default for CommonDefaults {
+    fn default() -> Self {
+        CommonDefaults {
+            sizes: &[12],
+            runs: 3,
+            cycles: 60,
+            seed: 1,
+        }
+    }
+}
+
+/// The options shared by every experiment binary, parsed once by
+/// [`Args::common`]:
+///
+/// * `--sizes a,b,c` / `--size n` — network-size exponents (the singular form
+///   overrides the list with one entry, for the single-size binaries);
+/// * `--runs`, `--cycles`, `--seed` — sweep shape;
+/// * `--threads n` — worker threads (selects the parallel cycle engine);
+/// * `--engine cycle|event` and `--latency min[,max]` — engine selection;
+/// * `--out path` — output artifact path;
+/// * `--quiet` — suppress progress output.
+#[derive(Debug, Clone)]
+pub struct CommonArgs {
+    /// Network-size exponents to sweep (`N = 2^exponent`).
+    pub sizes: Vec<u32>,
+    /// Independent runs per configuration.
+    pub runs: usize,
+    /// Cycle budget per run.
+    pub cycles: u64,
+    /// Base random seed.
+    pub seed: u64,
+    /// Worker thread count (1 = sequential).
+    pub threads: usize,
+    /// The engine selection derived from `--engine`, `--threads`, `--latency`.
+    pub engine: Engine,
+    /// Output path for the binary's artifact, when given.
+    pub out: Option<String>,
+    /// Whether progress output is suppressed.
+    pub quiet: bool,
+}
+
+impl CommonArgs {
+    /// The first (often only) size exponent.
+    pub fn size(&self) -> u32 {
+        self.sizes.first().copied().unwrap_or(12)
+    }
+}
+
+/// The usage text describing the shared options, appended to every binary's
+/// `--help` output.
+pub const COMMON_OPTIONS_HELP: &str = "\
+SHARED OPTIONS:
+    --seed <n>       base random seed
+    --threads <n>    worker threads (parallel cycle engine; output is
+                     bit-for-bit identical at any value)
+    --engine <name>  cycle (default) or event (discrete-event engine with
+                     per-link latency and timer-driven nodes)
+    --latency <spec> event-engine latency in ms: one value for constant,
+                     min,max for uniform                  [default: 1]
+    --quiet          suppress progress output
+";
+
+impl Args {
+    /// Parses the shared option set with the given per-binary defaults.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a readable message when a value cannot be parsed (same
+    /// policy as [`Args::parsed_or`]).
+    pub fn common(&self, defaults: CommonDefaults) -> CommonArgs {
+        let sizes = match self.get("size") {
+            Some(raw) => vec![raw
+                .parse()
+                .unwrap_or_else(|_| panic!("--size expects an exponent, got {raw:?}"))],
+            None => self.u32_list_or("sizes", defaults.sizes),
+        };
+        let threads = self.parsed_or("threads", 1usize).max(1);
+        let engine = match self.get("engine").unwrap_or("cycle") {
+            "cycle" => Engine::with_threads(threads),
+            "event" => Engine::Event {
+                latency: self.latency_model(),
+            },
+            other => panic!("--engine expects cycle or event, got {other:?}"),
+        };
+        CommonArgs {
+            sizes,
+            runs: self.parsed_or("runs", defaults.runs),
+            cycles: self.parsed_or("cycles", defaults.cycles),
+            seed: self.parsed_or("seed", defaults.seed),
+            threads,
+            engine,
+            out: self.get("out").map(str::to_owned),
+            quiet: self.get("quiet").is_some(),
+        }
+    }
+
+    /// Parses `--latency` into a [`LatencyModel`]: a single value is a
+    /// constant latency, `min,max` is uniform.
+    pub fn latency_model(&self) -> LatencyModel {
+        match self.get("latency") {
+            None => LatencyModel::Constant { millis: 1 },
+            Some(raw) => {
+                let parts: Vec<u64> = raw
+                    .split(',')
+                    .filter(|piece| !piece.is_empty())
+                    .map(|piece| {
+                        piece.trim().parse().unwrap_or_else(|_| {
+                            panic!("--latency expects ms values like 5 or 5,50, got {raw:?}")
+                        })
+                    })
+                    .collect();
+                match parts.as_slice() {
+                    [millis] => LatencyModel::Constant { millis: *millis },
+                    [min, max] => LatencyModel::Uniform {
+                        min_millis: *min,
+                        max_millis: *max,
+                    },
+                    _ => panic!("--latency expects one or two ms values, got {raw:?}"),
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -135,5 +278,87 @@ mod tests {
     fn default_size_list_is_used_when_absent() {
         let parsed = args(&[]);
         assert_eq!(parsed.u32_list_or("sizes", &[10, 11]), vec![10, 11]);
+    }
+
+    #[test]
+    fn common_args_apply_defaults_and_overrides() {
+        let defaults = CommonDefaults {
+            sizes: &[10, 12],
+            runs: 3,
+            cycles: 60,
+            seed: 1,
+        };
+        let parsed = args(&[]).common(defaults);
+        assert_eq!(parsed.sizes, vec![10, 12]);
+        assert_eq!(parsed.runs, 3);
+        assert_eq!(parsed.cycles, 60);
+        assert_eq!(parsed.seed, 1);
+        assert_eq!(parsed.threads, 1);
+        assert_eq!(parsed.engine, Engine::Cycle);
+        assert!(parsed.out.is_none());
+        assert!(!parsed.quiet);
+        assert_eq!(parsed.size(), 10);
+
+        let parsed = args(&[
+            "--sizes",
+            "8,9",
+            "--runs",
+            "5",
+            "--cycles",
+            "40",
+            "--seed",
+            "7",
+            "--threads",
+            "4",
+            "--out",
+            "x.json",
+            "--quiet",
+        ])
+        .common(defaults);
+        assert_eq!(parsed.sizes, vec![8, 9]);
+        assert_eq!(parsed.runs, 5);
+        assert_eq!(parsed.engine, Engine::ParallelCycle { threads: 4 });
+        assert_eq!(parsed.out.as_deref(), Some("x.json"));
+        assert!(parsed.quiet);
+    }
+
+    #[test]
+    fn singular_size_overrides_the_list() {
+        let parsed = args(&["--size", "11"]).common(CommonDefaults::default());
+        assert_eq!(parsed.sizes, vec![11]);
+        assert_eq!(parsed.size(), 11);
+    }
+
+    #[test]
+    fn engine_and_latency_flags_select_the_event_engine() {
+        let parsed = args(&["--engine", "event"]).common(CommonDefaults::default());
+        assert_eq!(
+            parsed.engine,
+            Engine::Event {
+                latency: LatencyModel::Constant { millis: 1 }
+            }
+        );
+        let parsed =
+            args(&["--engine", "event", "--latency", "5,50"]).common(CommonDefaults::default());
+        assert_eq!(
+            parsed.engine,
+            Engine::Event {
+                latency: LatencyModel::Uniform {
+                    min_millis: 5,
+                    max_millis: 50
+                }
+            }
+        );
+        let parsed = args(&["--engine", "event", "--latency", "20"]);
+        assert_eq!(
+            parsed.latency_model(),
+            LatencyModel::Constant { millis: 20 }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle or event")]
+    fn unknown_engine_names_panic() {
+        let _ = args(&["--engine", "quantum"]).common(CommonDefaults::default());
     }
 }

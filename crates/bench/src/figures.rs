@@ -58,20 +58,17 @@ pub fn run_figure(config: &FigureConfig, mut progress: impl FnMut(u32, usize)) -
         let mut convergence_cycles = Vec::new();
         let mut message_size_sum = 0.0;
         for run in 0..config.runs_per_size {
+            // The base carries everything — scenario timeline, engine
+            // selection, protocol parameters — and the sweep only overrides
+            // the network size and the per-run seed.
             let experiment_config = {
-                let mut builder = ExperimentConfig::builder();
-                builder
-                    .network_size(1usize << exponent)
-                    .seed(config.base_seed + 1000 * u64::from(exponent) + run as u64)
-                    .params(config.base.params)
-                    .sampler(config.base.sampler)
-                    .drop_probability(config.base.drop_probability)
-                    .churn_rate(config.base.churn_rate)
-                    .max_cycles(config.base.max_cycles)
-                    .stop_when_perfect(config.base.stop_when_perfect);
-                builder
-                    .build()
-                    .expect("figure sweep configuration is valid")
+                let mut experiment_config = config.base.clone();
+                experiment_config.network_size = 1usize << exponent;
+                experiment_config.seed = config.base_seed + 1000 * u64::from(exponent) + run as u64;
+                experiment_config
+                    .validate()
+                    .expect("figure sweep configuration is valid");
+                experiment_config
             };
             let outcome = Experiment::new(experiment_config).run();
             if let Some(cycle) = outcome.convergence_cycle() {

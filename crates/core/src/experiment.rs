@@ -1,24 +1,35 @@
-//! A batteries-included experiment runner.
+//! A batteries-included, engine-agnostic experiment runner.
 //!
 //! [`Experiment`] wires together everything a single simulation run needs — the
-//! network registry, the cycle engine, a transport, an optional churn model, the
-//! peer sampling layer and the bootstrap protocol — and records, cycle by cycle,
-//! the proportion of missing leaf-set and prefix-table entries (the series plotted
-//! in the paper's Figures 3 and 4). The examples, the integration tests and the
-//! benchmark harness are all thin wrappers around this module.
+//! network registry, the selected engine, the scenario timeline's transport and
+//! churn models, the peer sampling layer and the bootstrap protocol — and
+//! records, cycle by cycle, the proportion of missing leaf-set and prefix-table
+//! entries (the series plotted in the paper's Figures 3 and 4). The examples,
+//! the integration tests and the benchmark harness are all thin wrappers around
+//! this module.
+//!
+//! The heart of the module is [`run_scenario`]: one entry point that drives a
+//! [`BootstrapProtocol`] through an [`ExperimentConfig`]'s
+//! [`Scenario`](crate::scenario::Scenario) on whichever
+//! [`Engine`](crate::scenario::Engine) the configuration selects — the
+//! sequential cycle engine, the deterministic parallel cycle engine, or the
+//! discrete-event engine with per-link latency — reporting to a pluggable
+//! [`Observer`] and returning one serializable [`RunReport`].
 
-use crate::convergence::{ConvergenceTracker, NetworkConvergence};
-use crate::protocol::{BootstrapProtocol, TrafficStats};
+use crate::convergence::{ConvergenceOracle, ConvergenceTracker, NetworkConvergence};
+use crate::protocol::{BootstrapMessage, BootstrapProtocol, TrafficStats};
+use crate::scenario::{Engine, LatencyModel, NullObserver, Observer, Scenario};
 use bss_sampling::newscast::NewscastProtocol;
 use bss_sampling::sampler::{OracleSampler, PeerSampler};
-use bss_sim::churn::UniformChurn;
-use bss_sim::engine::cycle::CycleEngine;
+use bss_sim::engine::cycle::{CycleEngine, EngineContext};
+use bss_sim::engine::event::EventEngine;
 use bss_sim::network::Network;
-use bss_sim::transport::{DropTransport, ReliableTransport, Transport};
+use bss_sim::transport::UniformLatencyTransport;
 use bss_util::config::{BootstrapParams, InvalidParams, NewscastParams};
 use bss_util::rng::SimRng;
 use bss_util::stats::Series;
 use std::fmt;
+use std::fmt::Write as _;
 use std::ops::ControlFlow;
 
 /// Which peer sampling implementation an experiment runs over.
@@ -32,42 +43,47 @@ pub enum SamplerChoice {
     Newscast(NewscastParams),
 }
 
-/// Full description of one simulation run.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// Full description of one simulation run: *what* is simulated (network size,
+/// protocol parameters, sampler), *what happens to it* (the
+/// [`Scenario`] timeline) and *how it executes* (the [`Engine`] selection).
+///
+/// The legacy scalar knobs survive as builder sugar:
+/// [`drop_probability`](ExperimentConfigBuilder::drop_probability) and
+/// [`churn_rate`](ExperimentConfigBuilder::churn_rate) desugar into one-phase
+/// whole-run scenario windows, and
+/// [`threads`](ExperimentConfigBuilder::threads) desugars into the engine
+/// selection. Cycle-engine runs through this compatibility path are
+/// byte-identical to the pre-scenario code.
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentConfig {
     /// Number of nodes in the network.
     pub network_size: usize,
     /// Seed for the deterministic random number generator.
     pub seed: u64,
-    /// Bootstrapping-service parameters (`b`, `k`, `c`, `cr`).
+    /// Bootstrapping-service parameters (`b`, `k`, `c`, `cr`, Δ).
     pub params: BootstrapParams,
     /// Peer sampling implementation.
     pub sampler: SamplerChoice,
-    /// Probability that any individual message is dropped (the paper's Figure 4
-    /// uses 0.2; Figure 3 uses 0).
-    pub drop_probability: f64,
-    /// Fraction of nodes replaced per cycle (0 disables churn).
-    pub churn_rate: f64,
+    /// The timeline of adverse conditions applied during the run.
+    pub scenario: Scenario,
+    /// Which engine executes the run.
+    pub engine: Engine,
     /// Hard cycle budget.
     pub max_cycles: u64,
     /// Stop as soon as every node's tables are perfect (the paper's termination
-    /// rule). When false the run always uses the full cycle budget.
+    /// rule). When false the run always uses the full cycle budget. The stop
+    /// never triggers while a scenario transition still lies ahead.
     pub stop_when_perfect: bool,
     /// Observer cadence: convergence is measured every `measure_every` cycles
     /// (1 = every cycle). Larger cadences make huge sweeps cheaper at the cost
     /// of coarser series; the perfection stop only triggers on measured cycles.
     pub measure_every: u64,
-    /// Number of worker threads executing each cycle's independent exchanges
-    /// (1 = the plain sequential engine). Any value produces bit-for-bit the
-    /// same outcome — the parallel engine pre-draws all randomness
-    /// sequentially and commits results in planning order — so this is purely
-    /// a wall-clock knob.
-    pub threads: usize,
 }
 
 impl ExperimentConfig {
     /// Starts building a configuration from sensible defaults (256 nodes, paper
-    /// parameters, oracle sampling, no loss, no churn, 100-cycle budget).
+    /// parameters, oracle sampling, calm scenario, cycle engine, 100-cycle
+    /// budget).
     pub fn builder() -> ExperimentConfigBuilder {
         ExperimentConfigBuilder {
             config: ExperimentConfig {
@@ -75,14 +91,30 @@ impl ExperimentConfig {
                 seed: 0,
                 params: BootstrapParams::paper_default(),
                 sampler: SamplerChoice::Oracle,
-                drop_probability: 0.0,
-                churn_rate: 0.0,
+                scenario: Scenario::calm(),
+                engine: Engine::Cycle,
                 max_cycles: 100,
                 stop_when_perfect: true,
                 measure_every: 1,
-                threads: 1,
             },
         }
+    }
+
+    /// The probability of the scenario's whole-run loss window (0 when none):
+    /// the value the legacy `drop_probability` field used to hold.
+    pub fn drop_probability(&self) -> f64 {
+        self.scenario.whole_run_loss()
+    }
+
+    /// The rate of the scenario's whole-run churn burst (0 when none): the
+    /// value the legacy `churn_rate` field used to hold.
+    pub fn churn_rate(&self) -> f64 {
+        self.scenario.whole_run_churn()
+    }
+
+    /// The worker thread count implied by the engine selection.
+    pub fn threads(&self) -> usize {
+        self.engine.threads()
     }
 
     /// Validates the configuration.
@@ -90,8 +122,10 @@ impl ExperimentConfig {
     /// # Errors
     ///
     /// Returns [`InvalidParams`] when the protocol parameters are invalid, the
-    /// network has fewer than two nodes, the cycle budget is zero, or a probability
-    /// is outside `[0, 1]`.
+    /// network has fewer than two nodes, a budget or cadence is zero, the
+    /// engine selection is invalid, or the scenario timeline is rejected
+    /// (out-of-range probabilities, empty windows, overlapping exclusive
+    /// phases — see [`Scenario::validate`]).
     pub fn validate(&self) -> Result<(), InvalidParams> {
         self.params.validate()?;
         if let SamplerChoice::Newscast(p) = self.sampler {
@@ -110,17 +144,8 @@ impl ExperimentConfig {
                 "measure_every must be positive",
             ));
         }
-        if self.threads == 0 {
-            return Err(InvalidParams::from_message("threads must be positive"));
-        }
-        if !(0.0..=1.0).contains(&self.drop_probability) {
-            return Err(InvalidParams::from_message(
-                "drop_probability must lie in [0, 1]",
-            ));
-        }
-        if !(0.0..=1.0).contains(&self.churn_rate) {
-            return Err(InvalidParams::from_message("churn_rate must lie in [0, 1]"));
-        }
+        self.engine.validate()?;
+        self.scenario.validate()?;
         Ok(())
     }
 }
@@ -156,15 +181,36 @@ impl ExperimentConfigBuilder {
         self
     }
 
-    /// Sets the per-message drop probability.
-    pub fn drop_probability(&mut self, p: f64) -> &mut Self {
-        self.config.drop_probability = p;
+    /// Replaces the scenario timeline wholesale.
+    pub fn scenario(&mut self, scenario: Scenario) -> &mut Self {
+        self.config.scenario = scenario;
         self
     }
 
-    /// Sets the per-cycle replacement churn rate.
+    /// Appends one event to the scenario timeline.
+    pub fn event(&mut self, event: crate::scenario::ScenarioEvent) -> &mut Self {
+        self.config.scenario = std::mem::take(&mut self.config.scenario).with(event);
+        self
+    }
+
+    /// Selects the engine executing the run.
+    pub fn engine(&mut self, engine: Engine) -> &mut Self {
+        self.config.engine = engine;
+        self
+    }
+
+    /// Legacy sugar: sets the per-message drop probability by installing (or,
+    /// at zero, removing) a whole-run loss window on the scenario timeline.
+    pub fn drop_probability(&mut self, p: f64) -> &mut Self {
+        self.config.scenario.set_whole_run_loss(p);
+        self
+    }
+
+    /// Legacy sugar: sets the per-cycle replacement churn rate by installing
+    /// (or, at zero, removing) a whole-run churn burst on the scenario
+    /// timeline.
     pub fn churn_rate(&mut self, rate: f64) -> &mut Self {
-        self.config.churn_rate = rate;
+        self.config.scenario.set_whole_run_churn(rate);
         self
     }
 
@@ -186,10 +232,11 @@ impl ExperimentConfigBuilder {
         self
     }
 
-    /// Sets the number of worker threads (1 = sequential engine; the outcome
-    /// is bit-for-bit identical at any value).
+    /// Legacy sugar: sets the number of worker threads by selecting
+    /// [`Engine::Cycle`] (1) or [`Engine::ParallelCycle`] (more). The outcome
+    /// is bit-for-bit identical at any value.
     pub fn threads(&mut self, threads: usize) -> &mut Self {
-        self.config.threads = threads;
+        self.config.engine = Engine::with_threads(threads);
         self
     }
 
@@ -200,13 +247,15 @@ impl ExperimentConfigBuilder {
     /// Returns [`InvalidParams`] when [`ExperimentConfig::validate`] fails.
     pub fn build(&self) -> Result<ExperimentConfig, InvalidParams> {
         self.config.validate()?;
-        Ok(self.config)
+        Ok(self.config.clone())
     }
 }
 
-/// The result of one simulation run.
+/// The serializable result of one simulation run, produced identically by all
+/// engines and consumed by every experiment binary, the lookup evaluator and
+/// the examples.
 #[derive(Debug, Clone)]
-pub struct ExperimentOutcome {
+pub struct RunReport {
     config: ExperimentConfig,
     leaf_series: Series,
     prefix_series: Series,
@@ -214,10 +263,11 @@ pub struct ExperimentOutcome {
     cycles_executed: u64,
     final_state: NetworkConvergence,
     traffic: TrafficStats,
+    events_fired: Vec<(u64, String)>,
 }
 
-impl ExperimentOutcome {
-    /// The configuration that produced this outcome.
+impl RunReport {
+    /// The configuration that produced this report.
     pub fn config(&self) -> &ExperimentConfig {
         &self.config
     }
@@ -258,17 +308,87 @@ impl ExperimentOutcome {
     pub fn traffic(&self) -> &TrafficStats {
         &self.traffic
     }
+
+    /// The scenario events that took effect, as `(cycle, description)` pairs.
+    pub fn events_fired(&self) -> &[(u64, String)] {
+        &self.events_fired
+    }
+
+    /// Renders the report as a self-contained JSON document (engine, scenario,
+    /// convergence, traffic, fired events and both per-cycle series). This is
+    /// the artifact format the scenario smoke suite uploads from CI.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"engine\": \"{}\",", self.config.engine.label());
+        let _ = writeln!(out, "  \"threads\": {},", self.config.threads());
+        let _ = writeln!(out, "  \"scenario\": \"{}\",", self.config.scenario);
+        let _ = writeln!(out, "  \"network_size\": {},", self.config.network_size);
+        let _ = writeln!(out, "  \"seed\": {},", self.config.seed);
+        let _ = writeln!(out, "  \"max_cycles\": {},", self.config.max_cycles);
+        let _ = writeln!(out, "  \"cycles_executed\": {},", self.cycles_executed);
+        let _ = writeln!(
+            out,
+            "  \"convergence_cycle\": {},",
+            self.convergence_cycle
+                .map_or_else(|| "null".to_owned(), |cycle| cycle.to_string())
+        );
+        let _ = writeln!(
+            out,
+            "  \"final_missing_leaf\": {:.6e},",
+            self.final_state.leaf_proportion()
+        );
+        let _ = writeln!(
+            out,
+            "  \"final_missing_prefix\": {:.6e},",
+            self.final_state.prefix_proportion()
+        );
+        let _ = writeln!(
+            out,
+            "  \"traffic\": {{\"requests_sent\": {}, \"requests_delivered\": {}, \
+             \"answers_sent\": {}, \"answers_delivered\": {}, \"mean_message_size\": {:.2}, \
+             \"max_message_size\": {}}},",
+            self.traffic.requests_sent,
+            self.traffic.requests_delivered,
+            self.traffic.answers_sent,
+            self.traffic.answers_delivered,
+            self.traffic.mean_message_size(),
+            self.traffic.max_message_size(),
+        );
+        out.push_str("  \"events\": [");
+        for (position, (cycle, description)) in self.events_fired.iter().enumerate() {
+            if position > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{{\"cycle\": {cycle}, \"event\": \"{description}\"}}");
+        }
+        out.push_str("],\n");
+        for (name, series) in [
+            ("leaf_series", &self.leaf_series),
+            ("prefix_series", &self.prefix_series),
+        ] {
+            let _ = write!(out, "  \"{name}\": [");
+            for (position, (cycle, value)) in series.points().iter().enumerate() {
+                if position > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "[{cycle}, {value:.6e}]");
+            }
+            out.push_str(if name == "leaf_series" { "],\n" } else { "]\n" });
+        }
+        out.push_str("}\n");
+        out
+    }
 }
 
-impl fmt::Display for ExperimentOutcome {
+impl fmt::Display for RunReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
             "N={} seed={} drop={:.0}% churn={:.1}%/cycle: ",
             self.config.network_size,
             self.config.seed,
-            self.config.drop_probability * 100.0,
-            self.config.churn_rate * 100.0
+            self.config.drop_probability() * 100.0,
+            self.config.churn_rate() * 100.0
         )?;
         match self.convergence_cycle {
             Some(cycle) => write!(f, "perfect tables after {cycle} cycles"),
@@ -295,10 +415,8 @@ pub struct PopulationSnapshot {
 
 impl PopulationSnapshot {
     /// Builds a snapshot from the alive, initialised nodes of a protocol run.
-    pub fn capture<S: PeerSampler>(
-        protocol: &BootstrapProtocol<S>,
-        ctx: &bss_sim::engine::cycle::EngineContext,
-    ) -> Self {
+    /// Both engines expose the required [`EngineContext`].
+    pub fn capture<S: PeerSampler>(protocol: &BootstrapProtocol<S>, ctx: &EngineContext) -> Self {
         let mut snapshot = PopulationSnapshot::default();
         for node in ctx.network.alive_indices() {
             if let Some(state) = protocol.node(node) {
@@ -343,6 +461,234 @@ impl PopulationSnapshot {
     }
 }
 
+/// Per-run measurement bookkeeping shared by every engine path: cadenced
+/// convergence measurement (incremental when membership is static), the two
+/// figure series, the perfection stop and observer dispatch.
+struct MeasurementDriver<'a> {
+    config: &'a ExperimentConfig,
+    membership_stable: bool,
+    static_oracle: Option<ConvergenceOracle>,
+    tracker: ConvergenceTracker,
+    leaf_series: Series,
+    prefix_series: Series,
+    convergence_cycle: Option<u64>,
+    final_state: NetworkConvergence,
+    events_fired: Vec<(u64, String)>,
+}
+
+impl<'a> MeasurementDriver<'a> {
+    fn new<S: PeerSampler>(
+        config: &'a ExperimentConfig,
+        protocol: &BootstrapProtocol<S>,
+        ctx: &EngineContext,
+    ) -> Self {
+        // Under membership churn the live population changes, so the oracle has
+        // to be rebuilt per measurement; with static membership one oracle
+        // serves the whole run and the convergence can be tracked incrementally
+        // over the protocol's dirty set.
+        let membership_stable = !config.scenario.perturbs_membership();
+        let static_oracle = membership_stable.then(|| protocol.oracle_for(ctx));
+        MeasurementDriver {
+            config,
+            membership_stable,
+            static_oracle,
+            tracker: ConvergenceTracker::new(),
+            leaf_series: Series::new("missing_leafset_proportion"),
+            prefix_series: Series::new("missing_prefix_proportion"),
+            convergence_cycle: None,
+            final_state: NetworkConvergence::default(),
+            events_fired: Vec::new(),
+        }
+    }
+
+    /// Runs the per-cycle bookkeeping; returns `Break` when the run should
+    /// stop (perfection reached with nothing scheduled ahead, or the observer
+    /// asked to stop).
+    fn observe_cycle<S: PeerSampler>(
+        &mut self,
+        protocol: &mut BootstrapProtocol<S>,
+        ctx: &EngineContext,
+        cycle: u64,
+        observer: &mut dyn Observer,
+    ) -> ControlFlow<()> {
+        for event in self.config.scenario.events_starting_at(cycle) {
+            observer.on_scenario_event(cycle, event);
+            self.events_fired.push((cycle, event.to_string()));
+        }
+        // Off-cadence cycles skip the (global) convergence pass entirely.
+        if cycle % self.config.measure_every != 0 {
+            return ControlFlow::Continue(());
+        }
+        let measured = match &self.static_oracle {
+            Some(oracle) => protocol.measure_incremental(oracle, &mut self.tracker, ctx),
+            None => {
+                let oracle = protocol.oracle_for(ctx);
+                protocol.measure(&oracle, ctx)
+            }
+        };
+        self.leaf_series.push(cycle, measured.leaf_proportion());
+        self.prefix_series.push(cycle, measured.prefix_proportion());
+        self.final_state = measured;
+        let mut flow = observer.on_cycle(cycle, &measured);
+        if measured.is_perfect() {
+            if self.convergence_cycle.is_none() {
+                self.convergence_cycle = Some(cycle);
+            }
+            // The stop never fires while a scenario transition lies ahead: a
+            // network perfect at cycle 8 must still face the catastrophe
+            // scheduled for cycle 12.
+            if self.config.stop_when_perfect && !self.config.scenario.changes_after(cycle) {
+                flow = ControlFlow::Break(());
+            }
+        } else {
+            // Under membership churn a previously perfect network can degrade.
+            self.convergence_cycle = self.convergence_cycle.filter(|_| self.membership_stable);
+        }
+        flow
+    }
+
+    fn into_report(self, cycles_executed: u64, traffic: TrafficStats) -> RunReport {
+        RunReport {
+            config: self.config.clone(),
+            leaf_series: self.leaf_series,
+            prefix_series: self.prefix_series,
+            convergence_cycle: self.convergence_cycle,
+            cycles_executed,
+            final_state: self.final_state,
+            traffic,
+            events_fired: self.events_fired,
+        }
+    }
+}
+
+/// The engine-agnostic entry point: drives `protocol` through `config`'s
+/// scenario on whichever engine the configuration selects, reporting every
+/// measured cycle and scenario transition to `observer`.
+///
+/// All engines share the same measurement semantics (cadence, perfection stop,
+/// series) and produce the same [`RunReport`] shape; the cycle engines are
+/// additionally bit-for-bit deterministic across thread counts.
+pub fn run_scenario<S: PeerSampler>(
+    config: &ExperimentConfig,
+    protocol: &mut BootstrapProtocol<S>,
+    observer: &mut dyn Observer,
+) -> (RunReport, PopulationSnapshot) {
+    match config.engine {
+        Engine::Cycle | Engine::ParallelCycle { .. } => {
+            run_on_cycle_engine(config, protocol, observer)
+        }
+        Engine::Event { latency } => run_on_event_engine(config, protocol, observer, latency),
+    }
+}
+
+/// Runs on the (possibly parallel) cycle engine — the compatibility path whose
+/// output is byte-identical to the pre-scenario code for desugared legacy
+/// configurations.
+fn run_on_cycle_engine<S: PeerSampler>(
+    config: &ExperimentConfig,
+    protocol: &mut BootstrapProtocol<S>,
+    observer: &mut dyn Observer,
+) -> (RunReport, PopulationSnapshot) {
+    let mut rng = SimRng::seed_from(config.seed);
+    let network = Network::with_random_ids(config.network_size, &mut rng);
+    let mut engine = CycleEngine::new(network, rng).with_transport(Box::new(
+        config.scenario.build_transport(config.network_size),
+    ));
+    if let Some(churn) = config.scenario.build_churn() {
+        engine = engine.with_churn(churn);
+    }
+
+    protocol.init_all(engine.context_mut());
+    let mut driver = MeasurementDriver::new(config, protocol, engine.context());
+
+    let cycles_executed = engine.run_parallel_with_observer(
+        protocol,
+        config.max_cycles,
+        config.engine.threads(),
+        |protocol, ctx, cycle| driver.observe_cycle(protocol, ctx, cycle, observer),
+    );
+
+    let snapshot = PopulationSnapshot::capture(protocol, engine.context());
+    (
+        driver.into_report(cycles_executed, protocol.traffic().clone()),
+        snapshot,
+    )
+}
+
+/// Runs on the discrete-event engine: one `run_until` slice per cycle Δ, with
+/// scenario membership events applied and measured at the slice boundaries.
+/// Nodes wake on their own timers at random phases within Δ and messages
+/// travel with the configured per-link latency.
+fn run_on_event_engine<S: PeerSampler>(
+    config: &ExperimentConfig,
+    protocol: &mut BootstrapProtocol<S>,
+    observer: &mut dyn Observer,
+    latency: LatencyModel,
+) -> (RunReport, PopulationSnapshot) {
+    let mut rng = SimRng::seed_from(config.seed);
+    let network = Network::with_random_ids(config.network_size, &mut rng);
+    let timeline = config.scenario.build_transport(config.network_size);
+    let (min_millis, max_millis) = latency.bounds();
+    let transport = Box::new(UniformLatencyTransport::new(
+        timeline, min_millis, max_millis,
+    ));
+    let mut engine: EventEngine<BootstrapMessage> =
+        EventEngine::new(network, rng).with_transport(transport);
+    let mut churn = config.scenario.build_churn();
+
+    protocol.init_all(engine.context_mut());
+    let mut driver = MeasurementDriver::new(config, protocol, engine.context());
+    // Start the initial membership *before* applying cycle-0 scenario events:
+    // joiners added at cycle 0 are started individually below, and must not be
+    // started a second time by run_until's deferred start phase.
+    engine.start(protocol);
+
+    let delta = config.params.cycle_millis;
+    let mut cycles_executed = 0;
+    for cycle in 0..config.max_cycles {
+        let joined = {
+            let ctx = engine.context_mut();
+            ctx.transport.advance_to_cycle(cycle);
+            match churn.as_mut() {
+                Some(model) => {
+                    let events = model.apply(cycle, &mut ctx.network, &mut ctx.rng);
+                    for &node in &events.departed {
+                        bss_sim::engine::cycle::CycleProtocol::node_departed(
+                            protocol, node, cycle, ctx,
+                        );
+                    }
+                    for &node in &events.joined {
+                        bss_sim::engine::cycle::CycleProtocol::node_joined(
+                            protocol, node, cycle, ctx,
+                        );
+                    }
+                    events.joined
+                }
+                None => Vec::new(),
+            }
+        };
+        // Late joiners schedule their first exchange timers from "now".
+        for node in joined {
+            engine.start_node(protocol, node);
+        }
+
+        engine.run_until(protocol, (cycle + 1) * delta);
+        cycles_executed = cycle + 1;
+        if driver
+            .observe_cycle(protocol, engine.context(), cycle, observer)
+            .is_break()
+        {
+            break;
+        }
+    }
+
+    let snapshot = PopulationSnapshot::capture(protocol, engine.context());
+    (
+        driver.into_report(cycles_executed, protocol.traffic().clone()),
+        snapshot,
+    )
+}
+
 /// A single, ready-to-run simulation.
 #[derive(Debug, Clone)]
 pub struct Experiment {
@@ -360,114 +706,40 @@ impl Experiment {
         &self.config
     }
 
-    /// Runs the simulation to completion and returns the recorded outcome.
-    pub fn run(&self) -> ExperimentOutcome {
+    /// Runs the simulation to completion and returns the recorded report.
+    pub fn run(&self) -> RunReport {
         self.run_with_snapshot().0
     }
 
     /// Runs the simulation and additionally returns a [`PopulationSnapshot`] of
     /// every node's final leaf set and prefix table, ready to be handed to the
     /// routing-substrate consumers in `bss-overlay`.
-    pub fn run_with_snapshot(&self) -> (ExperimentOutcome, PopulationSnapshot) {
-        match self.config.sampler {
-            SamplerChoice::Oracle => self.run_with_sampler(OracleSampler::new(), false),
-            SamplerChoice::Newscast(params) => {
-                self.run_with_sampler(NewscastProtocol::new(params), true)
-            }
-        }
+    pub fn run_with_snapshot(&self) -> (RunReport, PopulationSnapshot) {
+        self.run_observed(&mut NullObserver)
     }
 
-    fn run_with_sampler<S: PeerSampler>(
-        &self,
-        sampler: S,
-        sampler_steps: bool,
-    ) -> (ExperimentOutcome, PopulationSnapshot) {
-        let config = self.config;
-        let mut rng = SimRng::seed_from(config.seed);
-        let network = Network::with_random_ids(config.network_size, &mut rng);
-
-        let transport: Box<dyn Transport> = if config.drop_probability > 0.0 {
-            Box::new(DropTransport::new(config.drop_probability))
-        } else {
-            Box::new(ReliableTransport::new())
-        };
-        let mut engine = CycleEngine::new(network, rng).with_transport(transport);
-        if config.churn_rate > 0.0 {
-            engine = engine.with_churn(Box::new(UniformChurn::new(config.churn_rate)));
+    /// Runs the simulation with a caller-supplied [`Observer`] receiving every
+    /// measured cycle and scenario transition.
+    pub fn run_observed(&self, observer: &mut dyn Observer) -> (RunReport, PopulationSnapshot) {
+        match self.config.sampler {
+            SamplerChoice::Oracle => {
+                let mut protocol = BootstrapProtocol::new(self.config.params, OracleSampler::new());
+                run_scenario(&self.config, &mut protocol, observer)
+            }
+            SamplerChoice::Newscast(params) => {
+                let mut protocol =
+                    BootstrapProtocol::new(self.config.params, NewscastProtocol::new(params))
+                        .with_sampler_steps();
+                run_scenario(&self.config, &mut protocol, observer)
+            }
         }
-
-        let mut protocol = BootstrapProtocol::new(config.params, sampler);
-        if sampler_steps {
-            protocol = protocol.with_sampler_steps();
-        }
-        protocol.init_all(engine.context_mut());
-
-        // Under churn the live membership changes every cycle, so the oracle has to
-        // be rebuilt; without churn one oracle serves the whole run and the
-        // convergence can be tracked incrementally over the protocol's dirty set.
-        let static_oracle = if config.churn_rate == 0.0 {
-            Some(protocol.oracle_for(engine.context()))
-        } else {
-            None
-        };
-        let mut tracker = ConvergenceTracker::new();
-
-        let mut leaf_series = Series::new("missing_leafset_proportion");
-        let mut prefix_series = Series::new("missing_prefix_proportion");
-        let mut convergence_cycle = None;
-        let mut final_state = NetworkConvergence::default();
-
-        let cycles_executed = engine.run_parallel_with_observer(
-            &mut protocol,
-            config.max_cycles,
-            config.threads,
-            |protocol, ctx, cycle| {
-                // Off-cadence cycles skip the (global) convergence pass entirely.
-                if cycle % config.measure_every != 0 {
-                    return ControlFlow::Continue(());
-                }
-                let measured = match &static_oracle {
-                    Some(oracle) => protocol.measure_incremental(oracle, &mut tracker, ctx),
-                    None => {
-                        let oracle = protocol.oracle_for(ctx);
-                        protocol.measure(&oracle, ctx)
-                    }
-                };
-                leaf_series.push(cycle, measured.leaf_proportion());
-                prefix_series.push(cycle, measured.prefix_proportion());
-                final_state = measured;
-                if measured.is_perfect() {
-                    if convergence_cycle.is_none() {
-                        convergence_cycle = Some(cycle);
-                    }
-                    if config.stop_when_perfect {
-                        return ControlFlow::Break(());
-                    }
-                } else {
-                    // Under churn a previously perfect network can degrade again.
-                    convergence_cycle = convergence_cycle.filter(|_| config.churn_rate == 0.0);
-                }
-                ControlFlow::Continue(())
-            },
-        );
-
-        let snapshot = PopulationSnapshot::capture(&protocol, engine.context());
-        let outcome = ExperimentOutcome {
-            config,
-            leaf_series,
-            prefix_series,
-            convergence_cycle,
-            cycles_executed,
-            final_state,
-            traffic: protocol.traffic().clone(),
-        };
-        (outcome, snapshot)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scenario::{PartitionSpec, Phase, ScenarioEvent};
 
     #[test]
     fn builder_validates_inputs() {
@@ -481,6 +753,19 @@ mod tests {
             .churn_rate(-0.1)
             .build()
             .is_err());
+        assert!(ExperimentConfig::builder().threads(0).build().is_err());
+        // Typed scenario rejections surface through the config builder.
+        let err = ExperimentConfig::builder()
+            .event(ScenarioEvent::LossWindow {
+                phase: Phase::new(5, 5),
+                probability: 0.1,
+            })
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            bss_util::config::InvalidParams::EmptyWindow { .. }
+        ));
         let ok = ExperimentConfig::builder()
             .network_size(64)
             .seed(3)
@@ -490,6 +775,30 @@ mod tests {
         assert_eq!(ok.network_size, 64);
         assert_eq!(ok.seed, 3);
         assert!(ok.stop_when_perfect);
+        assert!(ok.scenario.is_calm());
+        assert_eq!(ok.engine, Engine::Cycle);
+    }
+
+    #[test]
+    fn legacy_knobs_desugar_into_the_scenario() {
+        let config = ExperimentConfig::builder()
+            .drop_probability(0.2)
+            .churn_rate(0.01)
+            .threads(4)
+            .build()
+            .unwrap();
+        assert_eq!(config.drop_probability(), 0.2);
+        assert_eq!(config.churn_rate(), 0.01);
+        assert_eq!(config.threads(), 4);
+        assert_eq!(config.engine, Engine::ParallelCycle { threads: 4 });
+        assert_eq!(config.scenario.events().len(), 2);
+        // Setting a knob back to zero removes its event.
+        let calm = ExperimentConfig::builder()
+            .drop_probability(0.2)
+            .drop_probability(0.0)
+            .build()
+            .unwrap();
+        assert!(calm.scenario.is_calm());
     }
 
     #[test]
@@ -520,6 +829,10 @@ mod tests {
         assert_eq!(outcome.config().network_size, 100);
         let text = outcome.to_string();
         assert!(text.contains("perfect tables"));
+        let json = outcome.to_json();
+        assert!(json.contains("\"engine\": \"cycle\""));
+        assert!(json.contains("\"scenario\": \"calm\""));
+        assert!(json.contains("leaf_series"));
     }
 
     #[test]
@@ -530,7 +843,7 @@ mod tests {
             .max_cycles(50)
             .build()
             .unwrap();
-        let (a, snapshot_a) = Experiment::new(config).run_with_snapshot();
+        let (a, snapshot_a) = Experiment::new(config.clone()).run_with_snapshot();
         let (b, snapshot_b) = Experiment::new(config).run_with_snapshot();
         // The whole convergence trace must replay exactly: cycle counts, both
         // per-cycle series, traffic counters and every node's final tables.
@@ -697,5 +1010,122 @@ mod tests {
         assert_eq!(outcome.cycles_executed(), 30);
         assert!(outcome.converged());
         assert!(outcome.convergence_cycle().unwrap() < 30);
+    }
+
+    #[test]
+    fn perfection_stop_waits_for_pending_scenario_events() {
+        // A 64-node network converges well before cycle 25, but the scheduled
+        // catastrophe must still strike: the perfection stop defers while a
+        // scenario transition lies ahead. The protocol has no failure detector
+        // (it bootstraps; the substrate's own maintenance would take over), so
+        // after half the network dies the survivors' tables keep dead entries
+        // and perfection against the survivor oracle is never re-reached —
+        // the run uses its full budget and reports the degradation honestly.
+        let config = ExperimentConfig::builder()
+            .network_size(64)
+            .seed(19)
+            .max_cycles(80)
+            .event(ScenarioEvent::CatastrophicFailure {
+                at_cycle: 25,
+                fraction: 0.5,
+            })
+            .build()
+            .unwrap();
+        let (outcome, snapshot) = Experiment::new(config).run_with_snapshot();
+        assert_eq!(
+            outcome.cycles_executed(),
+            80,
+            "run must not stop at the pre-catastrophe perfection"
+        );
+        assert_eq!(
+            outcome.leaf_series().value_at(24),
+            Some(0.0),
+            "the network was perfect right before the catastrophe"
+        );
+        assert!(
+            outcome.leaf_series().value_at(25).unwrap() > 0.0,
+            "the catastrophe degrades the survivor-oracle measurement"
+        );
+        assert!(
+            !outcome.converged(),
+            "membership churn resets the recorded convergence: {outcome}"
+        );
+        assert_eq!(snapshot.len(), 32, "half the nodes died");
+        assert_eq!(outcome.events_fired().len(), 1);
+        assert_eq!(outcome.events_fired()[0].0, 25);
+    }
+
+    #[test]
+    fn massive_join_is_absorbed() {
+        let config = ExperimentConfig::builder()
+            .network_size(64)
+            .seed(23)
+            .max_cycles(80)
+            .event(ScenarioEvent::MassiveJoin {
+                at_cycle: 10,
+                count: 64,
+            })
+            .build()
+            .unwrap();
+        let (outcome, snapshot) = Experiment::new(config).run_with_snapshot();
+        assert!(outcome.converged(), "{outcome}");
+        assert_eq!(snapshot.len(), 128, "the flash crowd doubled the network");
+    }
+
+    #[test]
+    fn partition_heals_and_merges() {
+        // While the partition is in force, direct exchanges across the split
+        // are blocked (cross-half descriptors still circulate through the
+        // independent sampling service, which is the paper's premise), so
+        // convergence is slower than in a calm run; once the window closes the
+        // halves merge and the run reaches full-membership perfection.
+        let mut calm_builder = ExperimentConfig::builder();
+        calm_builder.network_size(256).seed(29).max_cycles(120);
+        let calm = Experiment::new(calm_builder.build().unwrap()).run();
+        let partitioned = Experiment::new(
+            calm_builder
+                .event(ScenarioEvent::Partition {
+                    phase: Phase::new(0, 12),
+                    groups: PartitionSpec::IndexParity,
+                })
+                .build()
+                .unwrap(),
+        )
+        .run();
+        assert!(calm.converged());
+        assert!(partitioned.converged(), "{partitioned}");
+        assert!(
+            partitioned.convergence_cycle().unwrap() >= calm.convergence_cycle().unwrap(),
+            "blocking half of all exchanges must not speed convergence up \
+             (calm {:?}, partitioned {:?})",
+            calm.convergence_cycle(),
+            partitioned.convergence_cycle()
+        );
+        // The heal at cycle 12 counts as a pending change, so even a network
+        // perfect during the split would have kept running until the merge.
+        assert_eq!(partitioned.events_fired().len(), 1);
+        assert_eq!(partitioned.events_fired()[0].0, 0);
+    }
+
+    #[test]
+    fn observers_see_cycles_and_events() {
+        let mut recorder = bss_sim::observer::MetricRecorder::new();
+        let config = ExperimentConfig::builder()
+            .network_size(64)
+            .seed(31)
+            .max_cycles(40)
+            .event(ScenarioEvent::MassiveJoin {
+                at_cycle: 5,
+                count: 16,
+            })
+            .build()
+            .unwrap();
+        let (outcome, _) = Experiment::new(config).run_observed(&mut recorder);
+        let leaf = recorder.series("missing_leafset_proportion").unwrap();
+        assert_eq!(leaf.len(), outcome.cycles_executed() as usize);
+        assert_eq!(leaf.points(), outcome.leaf_series().points());
+        let events = recorder.series("scenario_events").unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events.points()[0].0, 5);
     }
 }

@@ -31,8 +31,14 @@
 //! * [`convergence`] — the global oracle computing the *perfect* leaf sets and
 //!   prefix tables and the proportion of missing entries (the quantity plotted in
 //!   Figures 3 and 4).
+//! * [`scenario`] — engine-agnostic run descriptions: a composable timeline of
+//!   [`ScenarioEvent`](scenario::ScenarioEvent)s (loss windows, churn bursts,
+//!   catastrophic failures, massive joins, partitions that merge), the
+//!   [`Engine`](scenario::Engine) selection (cycle, parallel cycle,
+//!   discrete-event) and the pluggable [`Observer`](scenario::Observer) trait.
 //! * [`experiment`] — a batteries-included experiment runner combining all of the
-//!   above; this is what the examples and the benchmark harness drive.
+//!   above behind the engine-agnostic [`run_scenario`](experiment::run_scenario)
+//!   entry point; this is what the examples and the benchmark harness drive.
 //!
 //! # Example
 //!
@@ -64,11 +70,15 @@ pub mod message;
 pub mod node;
 pub mod prefix_table;
 pub mod protocol;
+pub mod scenario;
 
 pub use convergence::ConvergenceOracle;
-pub use experiment::{Experiment, ExperimentConfig, ExperimentOutcome, PopulationSnapshot};
+pub use experiment::{run_scenario, Experiment, ExperimentConfig, PopulationSnapshot, RunReport};
 pub use leafset::LeafSet;
 pub use message::create_message;
 pub use node::BootstrapNode;
 pub use prefix_table::PrefixTable;
-pub use protocol::BootstrapProtocol;
+pub use protocol::{BootstrapMessage, BootstrapProtocol};
+pub use scenario::{
+    Engine, LatencyModel, NullObserver, Observer, PartitionSpec, Phase, Scenario, ScenarioEvent,
+};

@@ -1,0 +1,1004 @@
+//! Engine-agnostic scenario descriptions.
+//!
+//! The paper evaluates the bootstrapping service under a fixed menu of adverse
+//! conditions — uniform message loss (Figure 4), continuous churn, catastrophic
+//! failure of up to 70 % of the nodes, massive joins and network partitions
+//! that later merge (§1–2, §5). Historically each condition was a flat scalar
+//! knob on `ExperimentConfig` and only the synchronous cycle engine could run
+//! it. This module replaces the knobs with a *composable timeline*:
+//!
+//! * a [`Scenario`] is an ordered list of [`ScenarioEvent`]s, each either a
+//!   one-shot (catastrophic failure, massive join) or a [`Phase`]-windowed
+//!   condition (loss window, churn burst, partition);
+//! * an [`Engine`] selects the execution model — the sequential cycle engine,
+//!   the deterministic parallel cycle engine, or the discrete-event engine
+//!   with a per-link [`LatencyModel`];
+//! * an [`Observer`] receives per-cycle convergence measurements and scenario
+//!   transitions, replacing the ad-hoc closures and `MetricRecorder` plumbing
+//!   that each driver used to reinvent.
+//!
+//! The legacy scalar knobs survive as builder sugar on
+//! [`ExperimentConfig`](crate::experiment::ExperimentConfig): setting a drop
+//! probability desugars into a single whole-run loss window, which compiles to
+//! a transport that consumes the exact RNG stream of the old `DropTransport`
+//! path — cycle-engine outputs through the compatibility path are
+//! byte-identical to the pre-scenario code.
+
+use crate::convergence::NetworkConvergence;
+use bss_sim::churn::{
+    CatastrophicFailure, ChurnModel, CompositeChurn, MassiveJoin, UniformChurn, WindowedChurn,
+};
+use bss_sim::observer::MetricRecorder;
+use bss_sim::transport::TimelineTransport;
+use bss_util::config::InvalidParams;
+use std::fmt;
+use std::ops::ControlFlow;
+
+/// A `[start, end)` window of cycles during which a scenario condition holds.
+///
+/// `end = u64::MAX` means "until the run ends" ([`Phase::whole_run`] and
+/// [`Phase::from`] produce such open windows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Phase {
+    /// First cycle of the window (inclusive).
+    pub start: u64,
+    /// End of the window (exclusive).
+    pub end: u64,
+}
+
+impl Phase {
+    /// A window covering `[start, end)`.
+    pub fn new(start: u64, end: u64) -> Self {
+        Phase { start, end }
+    }
+
+    /// A window covering the entire run.
+    pub fn whole_run() -> Self {
+        Phase {
+            start: 0,
+            end: u64::MAX,
+        }
+    }
+
+    /// An open window starting at `start` and lasting until the run ends.
+    pub fn from(start: u64) -> Self {
+        Phase {
+            start,
+            end: u64::MAX,
+        }
+    }
+
+    /// Whether `cycle` lies inside the window.
+    pub fn contains(&self, cycle: u64) -> bool {
+        cycle >= self.start && cycle < self.end
+    }
+
+    /// Whether this window shares at least one cycle with `other`.
+    pub fn overlaps(&self, other: &Phase) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+
+    fn validate(&self, field: &'static str) -> Result<(), InvalidParams> {
+        if self.start >= self.end {
+            return Err(InvalidParams::EmptyWindow {
+                field,
+                start: self.start,
+                end: self.end,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.end == u64::MAX {
+            write!(f, "[{}, ∞)", self.start)
+        } else {
+            write!(f, "[{}, {})", self.start, self.end)
+        }
+    }
+}
+
+/// How a partition event splits the network into groups.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PartitionSpec {
+    /// Even node indices form one group, odd indices the other. Both halves
+    /// span the whole identifier space, which is the interesting case for
+    /// merging prefix tables (the `merge_split` experiment).
+    IndexParity,
+    /// An explicit map from node index to group; indices beyond the vector
+    /// (later joiners) belong to group 0.
+    Explicit(Vec<u32>),
+}
+
+impl PartitionSpec {
+    /// Materialises the group map for a network of `network_size` initial nodes.
+    pub fn group_map(&self, network_size: usize) -> Vec<u32> {
+        match self {
+            PartitionSpec::IndexParity => (0..network_size as u32).map(|i| i % 2).collect(),
+            PartitionSpec::Explicit(groups) => groups.clone(),
+        }
+    }
+}
+
+/// One entry of a scenario timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioEvent {
+    /// Uniform message loss during a window: every message offered to the
+    /// transport while the window is active is dropped independently with
+    /// `probability` (the paper's Figure 4 uses 0.2 for the whole run).
+    LossWindow {
+        /// When the loss applies.
+        phase: Phase,
+        /// Per-message drop probability in `[0, 1]`.
+        probability: f64,
+    },
+    /// Continuous replacement churn during a window: each cycle inside the
+    /// window, `rate` of the alive nodes departs and the same number of fresh
+    /// nodes joins (§5's churn claim).
+    ChurnBurst {
+        /// When the churn applies.
+        phase: Phase,
+        /// Per-cycle replacement fraction in `[0, 1]`.
+        rate: f64,
+    },
+    /// A one-shot simultaneous failure of a fraction of the alive nodes (the
+    /// paper's sampling layer is designed to survive up to 70 %).
+    CatastrophicFailure {
+        /// The cycle at which the failure strikes.
+        at_cycle: u64,
+        /// Fraction of the alive nodes that dies, in `[0, 1]`.
+        fraction: f64,
+    },
+    /// A one-shot batch join of fresh nodes (the "flash crowd" scenario of §1).
+    MassiveJoin {
+        /// The cycle at which the batch joins.
+        at_cycle: u64,
+        /// Number of joining nodes (must be positive).
+        count: usize,
+    },
+    /// A network partition during a window: messages crossing group boundaries
+    /// are dropped while the window is active, and the partitions merge when
+    /// it ends (§1–2's split/merge scenario).
+    Partition {
+        /// When the partition is in force; its end is the merge.
+        phase: Phase,
+        /// How nodes are assigned to partition groups.
+        groups: PartitionSpec,
+    },
+}
+
+impl ScenarioEvent {
+    /// The cycle at which this event first takes effect.
+    pub fn starts_at(&self) -> u64 {
+        match self {
+            ScenarioEvent::LossWindow { phase, .. }
+            | ScenarioEvent::ChurnBurst { phase, .. }
+            | ScenarioEvent::Partition { phase, .. } => phase.start,
+            ScenarioEvent::CatastrophicFailure { at_cycle, .. }
+            | ScenarioEvent::MassiveJoin { at_cycle, .. } => *at_cycle,
+        }
+    }
+
+    /// The last cycle boundary at which this event changes the run's
+    /// conditions: the window end for phased events (the heal/calm
+    /// transition), the firing cycle for one-shots. Open windows never end.
+    fn last_transition(&self) -> u64 {
+        match self {
+            ScenarioEvent::LossWindow { phase, .. }
+            | ScenarioEvent::ChurnBurst { phase, .. }
+            | ScenarioEvent::Partition { phase, .. } => {
+                if phase.end == u64::MAX {
+                    phase.start
+                } else {
+                    phase.end
+                }
+            }
+            ScenarioEvent::CatastrophicFailure { at_cycle, .. }
+            | ScenarioEvent::MassiveJoin { at_cycle, .. } => *at_cycle,
+        }
+    }
+
+    /// Whether this event changes the network's membership (as opposed to its
+    /// connectivity). Membership-stable scenarios allow the runner to keep one
+    /// convergence oracle for the whole run.
+    pub fn perturbs_membership(&self) -> bool {
+        matches!(
+            self,
+            ScenarioEvent::ChurnBurst { .. }
+                | ScenarioEvent::CatastrophicFailure { .. }
+                | ScenarioEvent::MassiveJoin { .. }
+        )
+    }
+
+    fn validate(&self) -> Result<(), InvalidParams> {
+        let in_unit = |field: &'static str, value: f64| {
+            if (0.0..=1.0).contains(&value) {
+                Ok(())
+            } else {
+                Err(InvalidParams::OutOfRange {
+                    field,
+                    value,
+                    min: 0.0,
+                    max: 1.0,
+                })
+            }
+        };
+        match self {
+            ScenarioEvent::LossWindow { phase, probability } => {
+                phase.validate("loss")?;
+                in_unit("loss probability", *probability)
+            }
+            ScenarioEvent::ChurnBurst { phase, rate } => {
+                phase.validate("churn")?;
+                in_unit("churn rate", *rate)
+            }
+            ScenarioEvent::CatastrophicFailure { fraction, .. } => {
+                in_unit("failure fraction", *fraction)
+            }
+            ScenarioEvent::MassiveJoin { count, .. } => {
+                if *count == 0 {
+                    Err(InvalidParams::from_message(
+                        "massive join count must be positive",
+                    ))
+                } else {
+                    Ok(())
+                }
+            }
+            ScenarioEvent::Partition { phase, groups } => {
+                phase.validate("partition")?;
+                if matches!(groups, PartitionSpec::Explicit(map) if map.is_empty()) {
+                    return Err(InvalidParams::from_message(
+                        "explicit partition group map must not be empty",
+                    ));
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl fmt::Display for ScenarioEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioEvent::LossWindow { phase, probability } => {
+                write!(f, "{:.0}% message loss during {phase}", probability * 100.0)
+            }
+            ScenarioEvent::ChurnBurst { phase, rate } => {
+                write!(f, "{:.1}%/cycle churn during {phase}", rate * 100.0)
+            }
+            ScenarioEvent::CatastrophicFailure { at_cycle, fraction } => {
+                write!(
+                    f,
+                    "catastrophic failure of {:.0}% at cycle {at_cycle}",
+                    fraction * 100.0
+                )
+            }
+            ScenarioEvent::MassiveJoin { at_cycle, count } => {
+                write!(f, "massive join of {count} nodes at cycle {at_cycle}")
+            }
+            ScenarioEvent::Partition { phase, .. } => {
+                write!(f, "network partition during {phase}")
+            }
+        }
+    }
+}
+
+/// A composable timeline of [`ScenarioEvent`]s describing everything that
+/// happens *to* the network during a run.
+///
+/// # Example
+///
+/// ```rust
+/// use bss_core::scenario::{Phase, Scenario, ScenarioEvent};
+///
+/// // 20% loss for the first 10 cycles, then a catastrophe, then a flash crowd.
+/// let scenario = Scenario::calm()
+///     .with(ScenarioEvent::LossWindow {
+///         phase: Phase::new(0, 10),
+///         probability: 0.2,
+///     })
+///     .with(ScenarioEvent::CatastrophicFailure { at_cycle: 12, fraction: 0.5 })
+///     .with(ScenarioEvent::MassiveJoin { at_cycle: 20, count: 256 });
+/// assert!(scenario.validate().is_ok());
+/// assert!(scenario.perturbs_membership());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Scenario {
+    events: Vec<ScenarioEvent>,
+}
+
+impl Scenario {
+    /// The empty timeline: no loss, no churn, no failures (Figure 3's setting).
+    pub fn calm() -> Self {
+        Scenario::default()
+    }
+
+    /// Appends an event to the timeline (builder style). Within one cycle,
+    /// membership events apply in timeline order.
+    #[must_use]
+    pub fn with(mut self, event: ScenarioEvent) -> Self {
+        self.events.push(event);
+        self
+    }
+
+    /// Sugar: uniform message loss over the whole run (the legacy
+    /// `drop_probability` knob). A probability of zero yields a calm timeline.
+    pub fn uniform_loss(probability: f64) -> Self {
+        let mut scenario = Scenario::calm();
+        scenario.set_whole_run_loss(probability);
+        scenario
+    }
+
+    /// Sugar: continuous replacement churn over the whole run (the legacy
+    /// `churn_rate` knob). A rate of zero yields a calm timeline.
+    pub fn uniform_churn(rate: f64) -> Self {
+        let mut scenario = Scenario::calm();
+        scenario.set_whole_run_churn(rate);
+        scenario
+    }
+
+    /// Replaces any whole-run loss window with one of `probability` (removing
+    /// it entirely when `probability == 0`). This is what the legacy
+    /// `drop_probability` builder setter desugars to; scoped loss windows are
+    /// left untouched.
+    pub fn set_whole_run_loss(&mut self, probability: f64) {
+        self.events.retain(|event| {
+            !matches!(event, ScenarioEvent::LossWindow { phase, .. } if *phase == Phase::whole_run())
+        });
+        if probability != 0.0 {
+            self.events.push(ScenarioEvent::LossWindow {
+                phase: Phase::whole_run(),
+                probability,
+            });
+        }
+    }
+
+    /// Replaces any whole-run churn burst with one of `rate` (removing it
+    /// entirely when `rate == 0`). This is what the legacy `churn_rate`
+    /// builder setter desugars to.
+    pub fn set_whole_run_churn(&mut self, rate: f64) {
+        self.events.retain(|event| {
+            !matches!(event, ScenarioEvent::ChurnBurst { phase, .. } if *phase == Phase::whole_run())
+        });
+        if rate != 0.0 {
+            self.events.push(ScenarioEvent::ChurnBurst {
+                phase: Phase::whole_run(),
+                rate,
+            });
+        }
+    }
+
+    /// The timeline entries, in application order.
+    pub fn events(&self) -> &[ScenarioEvent] {
+        &self.events
+    }
+
+    /// Whether the timeline is empty.
+    pub fn is_calm(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Whether any event changes the network's membership (churn, failure,
+    /// join). When false, one convergence oracle serves the whole run and a
+    /// reached perfection can never degrade.
+    pub fn perturbs_membership(&self) -> bool {
+        self.events.iter().any(ScenarioEvent::perturbs_membership)
+    }
+
+    /// The probability of a whole-run loss window, if one is on the timeline
+    /// (the value the legacy `drop_probability` accessor reports).
+    pub fn whole_run_loss(&self) -> f64 {
+        self.events
+            .iter()
+            .find_map(|event| match event {
+                ScenarioEvent::LossWindow { phase, probability }
+                    if *phase == Phase::whole_run() =>
+                {
+                    Some(*probability)
+                }
+                _ => None,
+            })
+            .unwrap_or(0.0)
+    }
+
+    /// The rate of a whole-run churn burst, if one is on the timeline (the
+    /// value the legacy `churn_rate` accessor reports).
+    pub fn whole_run_churn(&self) -> f64 {
+        self.events
+            .iter()
+            .find_map(|event| match event {
+                ScenarioEvent::ChurnBurst { phase, rate } if *phase == Phase::whole_run() => {
+                    Some(*rate)
+                }
+                _ => None,
+            })
+            .unwrap_or(0.0)
+    }
+
+    /// Whether any scenario transition (a one-shot firing, a window opening or
+    /// a finite window closing) still lies strictly after `cycle`. The runner
+    /// refuses to stop at perfection while this holds — a network that
+    /// converges at cycle 8 must still face the catastrophe scheduled for
+    /// cycle 12.
+    pub fn changes_after(&self, cycle: u64) -> bool {
+        self.events
+            .iter()
+            .any(|event| event.last_transition() > cycle && event.last_transition() != u64::MAX)
+    }
+
+    /// The events that first take effect exactly at `cycle` (used for
+    /// [`Observer::on_scenario_event`] notifications).
+    pub fn events_starting_at(&self, cycle: u64) -> impl Iterator<Item = &ScenarioEvent> {
+        self.events
+            .iter()
+            .filter(move |event| event.starts_at() == cycle)
+    }
+
+    /// Validates every event and the mutual-exclusion rules: loss windows must
+    /// not overlap each other (the active probability would be ambiguous), and
+    /// partition windows must not overlap each other.
+    ///
+    /// # Errors
+    ///
+    /// Returns the typed [`InvalidParams`] variant describing the first
+    /// violation: [`InvalidParams::OutOfRange`] for probabilities, rates and
+    /// fractions outside `[0, 1]`, [`InvalidParams::EmptyWindow`] for windows
+    /// with `start >= end`, and [`InvalidParams::OverlappingPhases`] for
+    /// overlapping exclusive windows.
+    pub fn validate(&self) -> Result<(), InvalidParams> {
+        for event in &self.events {
+            event.validate()?;
+        }
+        self.check_exclusive("loss", |event| {
+            matches!(event, ScenarioEvent::LossWindow { .. })
+        })?;
+        self.check_exclusive("partition", |event| {
+            matches!(event, ScenarioEvent::Partition { .. })
+        })?;
+        Ok(())
+    }
+
+    fn check_exclusive(
+        &self,
+        kind: &'static str,
+        select: impl Fn(&ScenarioEvent) -> bool,
+    ) -> Result<(), InvalidParams> {
+        let phases: Vec<Phase> = self
+            .events
+            .iter()
+            .filter(|event| select(event))
+            .map(|event| match event {
+                ScenarioEvent::LossWindow { phase, .. }
+                | ScenarioEvent::ChurnBurst { phase, .. }
+                | ScenarioEvent::Partition { phase, .. } => *phase,
+                _ => unreachable!("one-shot events are never exclusive-window kinds"),
+            })
+            .collect();
+        for (i, first) in phases.iter().enumerate() {
+            for second in &phases[i + 1..] {
+                if first.overlaps(second) {
+                    return Err(InvalidParams::OverlappingPhases {
+                        kind,
+                        first: (first.start, first.end),
+                        second: (second.start, second.end),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Compiles the timeline's connectivity events (loss and partition
+    /// windows) into a [`TimelineTransport`] for a network of `network_size`
+    /// initial nodes. The engines drive the transport's clock through
+    /// [`Transport::advance_to_cycle`](bss_sim::transport::Transport::advance_to_cycle).
+    pub fn build_transport(&self, network_size: usize) -> TimelineTransport {
+        let mut transport = TimelineTransport::new();
+        for event in &self.events {
+            match event {
+                ScenarioEvent::LossWindow { phase, probability } => {
+                    transport = transport.with_loss_window(phase.start, phase.end, *probability);
+                }
+                ScenarioEvent::Partition { phase, groups } => {
+                    transport = transport.with_partition_window(
+                        phase.start,
+                        phase.end,
+                        groups.group_map(network_size),
+                    );
+                }
+                _ => {}
+            }
+        }
+        transport
+    }
+
+    /// Compiles the timeline's membership events into a churn model, or `None`
+    /// when membership is static. Models are composed in timeline order, so
+    /// within one cycle a join listed before a failure exposes the joiners to
+    /// that failure — exactly as in the legacy `CompositeChurn` usage.
+    pub fn build_churn(&self) -> Option<Box<dyn ChurnModel>> {
+        if !self.perturbs_membership() {
+            return None;
+        }
+        let mut composite = CompositeChurn::new();
+        for event in &self.events {
+            match event {
+                ScenarioEvent::ChurnBurst { phase, rate } => {
+                    composite = composite.with(Box::new(WindowedChurn::new(
+                        phase.start,
+                        phase.end,
+                        UniformChurn::new(*rate),
+                    )));
+                }
+                ScenarioEvent::CatastrophicFailure { at_cycle, fraction } => {
+                    composite =
+                        composite.with(Box::new(CatastrophicFailure::new(*at_cycle, *fraction)));
+                }
+                ScenarioEvent::MassiveJoin { at_cycle, count } => {
+                    composite = composite.with(Box::new(MassiveJoin::new(*at_cycle, *count)));
+                }
+                _ => {}
+            }
+        }
+        Some(Box::new(composite))
+    }
+}
+
+impl fmt::Display for Scenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.events.is_empty() {
+            return write!(f, "calm");
+        }
+        for (position, event) in self.events.iter().enumerate() {
+            if position > 0 {
+                write!(f, "; ")?;
+            }
+            write!(f, "{event}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The per-link latency model of the event-driven engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LatencyModel {
+    /// Every delivered message takes exactly `millis` milliseconds.
+    Constant {
+        /// The fixed latency in milliseconds.
+        millis: u64,
+    },
+    /// Uniformly random latency in `[min_millis, max_millis]` milliseconds.
+    Uniform {
+        /// Smallest latency (inclusive).
+        min_millis: u64,
+        /// Largest latency (inclusive).
+        max_millis: u64,
+    },
+}
+
+impl LatencyModel {
+    /// The latency bounds as a `(min, max)` pair.
+    pub fn bounds(&self) -> (u64, u64) {
+        match *self {
+            LatencyModel::Constant { millis } => (millis, millis),
+            LatencyModel::Uniform {
+                min_millis,
+                max_millis,
+            } => (min_millis, max_millis),
+        }
+    }
+
+    fn validate(&self) -> Result<(), InvalidParams> {
+        let (min, max) = self.bounds();
+        if min > max {
+            return Err(InvalidParams::from_message(format!(
+                "latency range is inverted: [{min}, {max}]"
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel::Constant { millis: 1 }
+    }
+}
+
+/// Which simulation engine drives a run. All three engines execute the same
+/// protocol over the same [`Scenario`] timeline behind the same
+/// [`run_scenario`](crate::experiment::run_scenario) entry point.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum Engine {
+    /// The sequential cycle-driven engine — the execution model under which
+    /// all of the paper's results were produced (PeerSim's cycle mode).
+    #[default]
+    Cycle,
+    /// The deterministic parallel cycle engine: bit-for-bit identical output
+    /// to [`Engine::Cycle`] at any thread count, faster wall-clock on
+    /// multi-core hosts.
+    ParallelCycle {
+        /// Number of worker threads (must be positive; 1 is the sequential
+        /// engine).
+        threads: usize,
+    },
+    /// The discrete-event engine: nodes wake on timers at random phases
+    /// within Δ, messages travel with per-link latency, replies can arrive
+    /// cycles after their request. Used to confirm the protocol's behaviour
+    /// is not an artifact of the synchronous cycle abstraction.
+    Event {
+        /// The per-link latency model.
+        latency: LatencyModel,
+    },
+}
+
+impl Engine {
+    /// Sugar mapping a thread count to an engine: 1 is the sequential cycle
+    /// engine, more is the parallel one.
+    pub fn with_threads(threads: usize) -> Self {
+        if threads == 1 {
+            Engine::Cycle
+        } else {
+            Engine::ParallelCycle { threads }
+        }
+    }
+
+    /// The worker thread count this engine uses (1 for `Cycle` and `Event`).
+    pub fn threads(&self) -> usize {
+        match *self {
+            Engine::ParallelCycle { threads } => threads,
+            _ => 1,
+        }
+    }
+
+    /// A short machine-readable name (used in report JSON and artifacts).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Engine::Cycle => "cycle",
+            Engine::ParallelCycle { .. } => "parallel_cycle",
+            Engine::Event { .. } => "event",
+        }
+    }
+
+    /// Validates the selection.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidParams`] for a zero thread count or an inverted
+    /// latency range.
+    pub fn validate(&self) -> Result<(), InvalidParams> {
+        match self {
+            Engine::Cycle => Ok(()),
+            Engine::ParallelCycle { threads } => {
+                if *threads == 0 {
+                    Err(InvalidParams::from_message("threads must be positive"))
+                } else {
+                    Ok(())
+                }
+            }
+            Engine::Event { latency } => latency.validate(),
+        }
+    }
+}
+
+/// A pluggable run observer: the one interface behind which the closure
+/// observers of `CycleEngine::run_with_observer`, the `MetricRecorder`
+/// plumbing and the benchmark binaries' ad-hoc series collection all unified.
+///
+/// Every measured cycle produces one [`Observer::on_cycle`] call (the cadence
+/// is [`ExperimentConfig::measure_every`](crate::experiment::ExperimentConfig));
+/// scenario transitions produce [`Observer::on_scenario_event`] calls. Both
+/// engines drive observers identically.
+pub trait Observer {
+    /// Called after every measured cycle with the network-wide convergence
+    /// state. Return [`ControlFlow::Break`] to stop the run early.
+    fn on_cycle(&mut self, cycle: u64, measured: &NetworkConvergence) -> ControlFlow<()> {
+        let _ = (cycle, measured);
+        ControlFlow::Continue(())
+    }
+
+    /// Called when a scenario event first takes effect (a window opens or a
+    /// one-shot fires).
+    fn on_scenario_event(&mut self, cycle: u64, event: &ScenarioEvent) {
+        let _ = (cycle, event);
+    }
+}
+
+/// The do-nothing observer.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullObserver;
+
+impl Observer for NullObserver {}
+
+/// Every closure over `(cycle, measurement)` is an observer — this is the
+/// migration path for the old `run_with_observer` call sites.
+impl<F> Observer for F
+where
+    F: FnMut(u64, &NetworkConvergence) -> ControlFlow<()>,
+{
+    fn on_cycle(&mut self, cycle: u64, measured: &NetworkConvergence) -> ControlFlow<()> {
+        self(cycle, measured)
+    }
+}
+
+/// A `MetricRecorder` is an observer: it collects the two missing-entry series
+/// under their canonical names and records scenario events as zero-one spikes
+/// under `scenario_events`.
+impl Observer for MetricRecorder {
+    fn on_cycle(&mut self, cycle: u64, measured: &NetworkConvergence) -> ControlFlow<()> {
+        self.record(
+            cycle,
+            "missing_leafset_proportion",
+            measured.leaf_proportion(),
+        );
+        self.record(
+            cycle,
+            "missing_prefix_proportion",
+            measured.prefix_proportion(),
+        );
+        ControlFlow::Continue(())
+    }
+
+    fn on_scenario_event(&mut self, cycle: u64, _event: &ScenarioEvent) {
+        self.record(cycle, "scenario_events", 1.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_know_their_geometry() {
+        let phase = Phase::new(5, 10);
+        assert!(phase.contains(5));
+        assert!(phase.contains(9));
+        assert!(!phase.contains(10));
+        assert!(phase.overlaps(&Phase::new(9, 20)));
+        assert!(!phase.overlaps(&Phase::new(10, 20)));
+        assert!(Phase::whole_run().contains(u64::MAX - 1));
+        assert_eq!(Phase::from(3), Phase::new(3, u64::MAX));
+        assert_eq!(Phase::new(0, 4).to_string(), "[0, 4)");
+        assert_eq!(Phase::from(2).to_string(), "[2, ∞)");
+    }
+
+    #[test]
+    fn sugar_constructors_desugar_to_whole_run_windows() {
+        let loss = Scenario::uniform_loss(0.2);
+        assert_eq!(loss.whole_run_loss(), 0.2);
+        assert_eq!(loss.whole_run_churn(), 0.0);
+        assert!(!loss.perturbs_membership());
+
+        let churn = Scenario::uniform_churn(0.01);
+        assert_eq!(churn.whole_run_churn(), 0.01);
+        assert!(churn.perturbs_membership());
+
+        // Zero knobs produce a calm timeline (so no RNG is ever drawn).
+        assert!(Scenario::uniform_loss(0.0).is_calm());
+        assert!(Scenario::uniform_churn(0.0).is_calm());
+
+        // Setting the knob twice replaces, like the old scalar field.
+        let mut replaced = Scenario::uniform_loss(0.5);
+        replaced.set_whole_run_loss(0.1);
+        assert_eq!(replaced.whole_run_loss(), 0.1);
+        assert_eq!(replaced.events().len(), 1);
+        replaced.set_whole_run_loss(0.0);
+        assert!(replaced.is_calm());
+    }
+
+    #[test]
+    fn validation_rejects_bad_timelines() {
+        // Out-of-range probability: the old code silently clamped this.
+        let too_lossy = Scenario::uniform_loss(1.5);
+        assert_eq!(
+            too_lossy.validate(),
+            Err(InvalidParams::OutOfRange {
+                field: "loss probability",
+                value: 1.5,
+                min: 0.0,
+                max: 1.0,
+            })
+        );
+        // Zero-length window.
+        let empty = Scenario::calm().with(ScenarioEvent::ChurnBurst {
+            phase: Phase::new(7, 7),
+            rate: 0.1,
+        });
+        assert_eq!(
+            empty.validate(),
+            Err(InvalidParams::EmptyWindow {
+                field: "churn",
+                start: 7,
+                end: 7,
+            })
+        );
+        // Overlapping exclusive loss windows.
+        let overlapping = Scenario::calm()
+            .with(ScenarioEvent::LossWindow {
+                phase: Phase::new(0, 10),
+                probability: 0.1,
+            })
+            .with(ScenarioEvent::LossWindow {
+                phase: Phase::new(9, 20),
+                probability: 0.4,
+            });
+        assert_eq!(
+            overlapping.validate(),
+            Err(InvalidParams::OverlappingPhases {
+                kind: "loss",
+                first: (0, 10),
+                second: (9, 20),
+            })
+        );
+        // Adjacent windows are fine.
+        let adjacent = Scenario::calm()
+            .with(ScenarioEvent::LossWindow {
+                phase: Phase::new(0, 10),
+                probability: 0.1,
+            })
+            .with(ScenarioEvent::LossWindow {
+                phase: Phase::new(10, 20),
+                probability: 0.4,
+            });
+        assert!(adjacent.validate().is_ok());
+        // Churn bursts may stack (they compose additively).
+        let stacked = Scenario::calm()
+            .with(ScenarioEvent::ChurnBurst {
+                phase: Phase::whole_run(),
+                rate: 0.01,
+            })
+            .with(ScenarioEvent::ChurnBurst {
+                phase: Phase::new(5, 10),
+                rate: 0.2,
+            });
+        assert!(stacked.validate().is_ok());
+        // Degenerate one-shots.
+        assert!(Scenario::calm()
+            .with(ScenarioEvent::MassiveJoin {
+                at_cycle: 3,
+                count: 0
+            })
+            .validate()
+            .is_err());
+        assert!(Scenario::calm()
+            .with(ScenarioEvent::CatastrophicFailure {
+                at_cycle: 3,
+                fraction: -0.1
+            })
+            .validate()
+            .is_err());
+        assert!(Scenario::calm()
+            .with(ScenarioEvent::Partition {
+                phase: Phase::new(0, 5),
+                groups: PartitionSpec::Explicit(Vec::new()),
+            })
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn pending_changes_gate_the_perfection_stop() {
+        let scenario = Scenario::calm()
+            .with(ScenarioEvent::CatastrophicFailure {
+                at_cycle: 12,
+                fraction: 0.5,
+            })
+            .with(ScenarioEvent::Partition {
+                phase: Phase::new(0, 25),
+                groups: PartitionSpec::IndexParity,
+            });
+        assert!(scenario.changes_after(0), "failure and heal still ahead");
+        assert!(scenario.changes_after(11));
+        assert!(scenario.changes_after(24), "the heal at 25 is a change");
+        assert!(!scenario.changes_after(25));
+        // Whole-run windows never block the stop (compatibility path).
+        assert!(!Scenario::uniform_loss(0.2).changes_after(0));
+        assert!(!Scenario::uniform_churn(0.05).changes_after(0));
+    }
+
+    #[test]
+    fn compilation_splits_connectivity_from_membership() {
+        let scenario = Scenario::calm()
+            .with(ScenarioEvent::LossWindow {
+                phase: Phase::new(0, 10),
+                probability: 0.2,
+            })
+            .with(ScenarioEvent::Partition {
+                phase: Phase::new(5, 15),
+                groups: PartitionSpec::IndexParity,
+            })
+            .with(ScenarioEvent::MassiveJoin {
+                at_cycle: 8,
+                count: 16,
+            });
+        let transport = scenario.build_transport(4);
+        assert_eq!(transport.active_loss(), 0.2);
+        assert!(!transport.partition_active(), "partition starts at 5");
+        assert!(scenario.build_churn().is_some());
+        assert!(Scenario::uniform_loss(0.3).build_churn().is_none());
+    }
+
+    #[test]
+    fn engine_selection_validates_and_labels() {
+        assert_eq!(Engine::default(), Engine::Cycle);
+        assert_eq!(Engine::with_threads(1), Engine::Cycle);
+        assert_eq!(
+            Engine::with_threads(4),
+            Engine::ParallelCycle { threads: 4 }
+        );
+        assert_eq!(Engine::Cycle.threads(), 1);
+        assert_eq!(Engine::ParallelCycle { threads: 8 }.threads(), 8);
+        assert_eq!(Engine::Cycle.label(), "cycle");
+        assert_eq!(
+            Engine::Event {
+                latency: LatencyModel::default()
+            }
+            .label(),
+            "event"
+        );
+        assert!(Engine::ParallelCycle { threads: 0 }.validate().is_err());
+        assert!(Engine::Event {
+            latency: LatencyModel::Uniform {
+                min_millis: 9,
+                max_millis: 3
+            }
+        }
+        .validate()
+        .is_err());
+        assert_eq!(LatencyModel::Constant { millis: 7 }.bounds(), (7, 7));
+    }
+
+    #[test]
+    fn observers_compose_with_recorders_and_closures() {
+        let mut recorder = MetricRecorder::new();
+        let convergence = NetworkConvergence::default();
+        assert!(recorder.on_cycle(0, &convergence).is_continue());
+        recorder.on_scenario_event(
+            3,
+            &ScenarioEvent::MassiveJoin {
+                at_cycle: 3,
+                count: 5,
+            },
+        );
+        assert_eq!(
+            recorder.series("missing_leafset_proportion").unwrap().len(),
+            1
+        );
+        assert_eq!(recorder.series("scenario_events").unwrap().len(), 1);
+
+        let mut seen = Vec::new();
+        let mut closure = |cycle: u64, _m: &NetworkConvergence| {
+            seen.push(cycle);
+            if cycle >= 1 {
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            }
+        };
+        assert!(Observer::on_cycle(&mut closure, 0, &convergence).is_continue());
+        assert!(Observer::on_cycle(&mut closure, 1, &convergence).is_break());
+        assert_eq!(seen, vec![0, 1]);
+        let _ = NullObserver.on_cycle(9, &convergence);
+    }
+
+    #[test]
+    fn event_displays_are_informative() {
+        let text = Scenario::calm()
+            .with(ScenarioEvent::CatastrophicFailure {
+                at_cycle: 2,
+                fraction: 0.7,
+            })
+            .events()[0]
+            .to_string();
+        assert!(text.contains("70%"));
+        assert!(text.contains("cycle 2"));
+        assert!(ScenarioEvent::LossWindow {
+            phase: Phase::whole_run(),
+            probability: 0.2
+        }
+        .to_string()
+        .contains("20%"));
+    }
+}

@@ -7,6 +7,7 @@
 //! plan → execute → commit machinery on every run.
 
 use bss_core::experiment::{Experiment, ExperimentConfig, PopulationSnapshot, SamplerChoice};
+use bss_core::scenario::Engine;
 use bss_util::config::NewscastParams;
 use proptest::prelude::*;
 
@@ -35,8 +36,9 @@ struct NodeDigest {
     descriptors_received: u64,
 }
 
-fn run(config: ExperimentConfig, threads: usize) -> RunTrace {
-    let config = ExperimentConfig { threads, ..config };
+fn run(config: &ExperimentConfig, threads: usize) -> RunTrace {
+    let mut config = config.clone();
+    config.engine = Engine::with_threads(threads);
     let (outcome, snapshot) = Experiment::new(config).run_with_snapshot();
     RunTrace {
         leaf_series: outcome.leaf_series().points().to_vec(),
@@ -77,9 +79,9 @@ fn digest_nodes(snapshot: &PopulationSnapshot) -> Vec<NodeDigest> {
 }
 
 fn assert_thread_invariant(config: ExperimentConfig) {
-    let sequential = run(config, 1);
+    let sequential = run(&config, 1);
     for threads in [2usize, 8] {
-        let parallel = run(config, threads);
+        let parallel = run(&config, threads);
         assert_eq!(
             sequential, parallel,
             "trace diverged at {threads} threads for {config:?}"
@@ -160,9 +162,9 @@ proptest! {
             }));
         }
         let config = builder.build().unwrap();
-        let sequential = run(config, 1);
+        let sequential = run(&config, 1);
         for threads in [2usize, 8] {
-            prop_assert_eq!(&sequential, &run(config, threads), "threads {}", threads);
+            prop_assert_eq!(&sequential, &run(&config, threads), "threads {}", threads);
         }
     }
 }

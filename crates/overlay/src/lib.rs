@@ -29,7 +29,7 @@
 //!     .build()
 //!     .unwrap();
 //! // The evaluator re-runs the bootstrap internally so it can keep the node states.
-//! let report = LookupEvaluator::bootstrap_and_evaluate(config, 200);
+//! let report = LookupEvaluator::bootstrap_and_evaluate(&config, 200);
 //! assert_eq!(report.success_rate(), 1.0);
 //! assert!(report.mean_hops() < 6.0);
 //! ```

@@ -129,14 +129,16 @@ impl LookupEvaluator {
         }
     }
 
-    /// Runs the bootstrap experiment described by `config`, then routes `lookups`
-    /// random Pastry-style lookups over the result and returns the report.
+    /// Runs the bootstrap experiment described by `config` — on whichever
+    /// engine and scenario the configuration selects — then routes `lookups`
+    /// random Pastry-style lookups over the resulting population snapshot and
+    /// returns the report.
     ///
     /// # Panics
     ///
     /// Panics if the bootstrap run produces an empty population.
-    pub fn bootstrap_and_evaluate(config: ExperimentConfig, lookups: usize) -> LookupReport {
-        let (_, population) = Experiment::new(config).run_with_snapshot();
+    pub fn bootstrap_and_evaluate(config: &ExperimentConfig, lookups: usize) -> LookupReport {
+        let (_, population) = Experiment::new(config.clone()).run_with_snapshot();
         let mut evaluator = LookupEvaluator::new(population, config.seed ^ 0x5eed);
         evaluator.evaluate(RouterKind::Pastry, lookups)
     }
@@ -231,7 +233,7 @@ mod tests {
             .max_cycles(60)
             .build()
             .unwrap();
-        let report = LookupEvaluator::bootstrap_and_evaluate(config, 100);
+        let report = LookupEvaluator::bootstrap_and_evaluate(&config, 100);
         assert_eq!(report.router(), RouterKind::Pastry);
         assert_eq!(report.success_rate(), 1.0);
     }

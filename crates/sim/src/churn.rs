@@ -194,7 +194,49 @@ impl ChurnModel for MassiveJoin {
     }
 }
 
+/// Restricts another churn model to a `[start, end)` window of cycles: inside
+/// the window every `apply` call is delegated verbatim (consuming exactly the
+/// RNG the inner model would consume on its own), outside it nothing happens
+/// and no randomness is drawn. This is the runtime form of a scenario churn
+/// burst; a whole-run window is byte-identical to the bare inner model.
+#[derive(Debug, Clone)]
+pub struct WindowedChurn<M> {
+    start: u64,
+    end: u64,
+    inner: M,
+}
+
+impl<M: ChurnModel> WindowedChurn<M> {
+    /// Wraps `inner`, activating it for cycles in `[start, end)`.
+    pub fn new(start: u64, end: u64, inner: M) -> Self {
+        WindowedChurn { start, end, inner }
+    }
+
+    /// The window as a `[start, end)` pair.
+    pub fn window(&self) -> (u64, u64) {
+        (self.start, self.end)
+    }
+}
+
+impl<M: ChurnModel> ChurnModel for WindowedChurn<M> {
+    fn apply(&mut self, cycle: u64, network: &mut Network, rng: &mut SimRng) -> ChurnEvents {
+        if cycle >= self.start && cycle < self.end {
+            self.inner.apply(cycle, network, rng)
+        } else {
+            ChurnEvents::none()
+        }
+    }
+}
+
 /// Composes several churn models; each is applied in order every cycle.
+///
+/// The aggregated [`ChurnEvents`] uphold the non-aliasing guarantee across the
+/// whole composition: when a later model kills a node that an earlier model
+/// joined *within the same cycle*, that node is reported in **neither** list —
+/// from the protocol's perspective it never existed (its registry slot stays
+/// dead, it is simply never initialised). Without this reconciliation the
+/// engine would tear the node down before initialising it, leaving protocol
+/// state behind for a dead node.
 #[derive(Debug, Default)]
 pub struct CompositeChurn {
     models: Vec<Box<dyn ChurnModel>>,
@@ -226,12 +268,20 @@ impl CompositeChurn {
 
 impl ChurnModel for CompositeChurn {
     fn apply(&mut self, cycle: u64, network: &mut Network, rng: &mut SimRng) -> ChurnEvents {
+        // Every joiner of this composite application gets a fresh slot at or
+        // above the current registry length, so the watermark cleanly
+        // separates pre-existing nodes from intra-cycle joiners.
+        let watermark = network.len();
         let mut events = ChurnEvents::none();
         for model in &mut self.models {
             let mut e = model.apply(cycle, network, rng);
+            // A departure at or above the watermark is an intra-cycle joiner
+            // killed by a later model: report it in neither list.
+            e.departed.retain(|node| node.as_usize() < watermark);
             events.joined.append(&mut e.joined);
             events.departed.append(&mut e.departed);
         }
+        events.joined.retain(|&node| network.is_alive(node));
         events
     }
 }
@@ -344,6 +394,42 @@ mod tests {
     }
 
     #[test]
+    fn windowed_churn_only_fires_inside_its_window() {
+        let (mut net, mut rng) = network(100, 8);
+        let mut churn = WindowedChurn::new(2, 4, UniformChurn::new(0.1));
+        assert_eq!(churn.window(), (2, 4));
+        for cycle in [0u64, 1] {
+            let fingerprint = rng.clone();
+            assert!(churn.apply(cycle, &mut net, &mut rng).is_empty());
+            assert_eq!(rng, fingerprint, "inactive window must not draw RNG");
+        }
+        assert_eq!(churn.apply(2, &mut net, &mut rng).joined.len(), 10);
+        assert_eq!(churn.apply(3, &mut net, &mut rng).joined.len(), 10);
+        assert!(
+            churn.apply(4, &mut net, &mut rng).is_empty(),
+            "end exclusive"
+        );
+        assert_eq!(net.alive_count(), 100);
+    }
+
+    #[test]
+    fn whole_run_window_matches_the_bare_model() {
+        // The scenario compatibility path relies on WindowedChurn(0, MAX)
+        // replaying UniformChurn exactly, cycle by cycle.
+        let (mut net_a, mut rng_a) = network(60, 9);
+        let (mut net_b, mut rng_b) = network(60, 9);
+        let mut bare = UniformChurn::new(0.05);
+        let mut windowed = WindowedChurn::new(0, u64::MAX, UniformChurn::new(0.05));
+        for cycle in 0..10 {
+            let a = bare.apply(cycle, &mut net_a, &mut rng_a);
+            let b = windowed.apply(cycle, &mut net_b, &mut rng_b);
+            assert_eq!(a.joined, b.joined);
+            assert_eq!(a.departed, b.departed);
+        }
+        assert_eq!(rng_a, rng_b);
+    }
+
+    #[test]
     fn composite_applies_all_models() {
         let (mut net, mut rng) = network(20, 6);
         let mut composite = CompositeChurn::new()
@@ -352,9 +438,25 @@ mod tests {
         assert_eq!(composite.len(), 2);
         assert!(!composite.is_empty());
         let events = composite.apply(0, &mut net, &mut rng);
-        assert_eq!(events.joined.len(), 5);
-        // The failure fires after the join added nodes: half of 25 = 12 or 13.
-        assert!(events.departed.len() == 12 || events.departed.len() == 13);
+        // The failure fires after the join added nodes: half of 25 = 12 or 13
+        // victims. Victims that were this same cycle's joiners are reported in
+        // neither list (they never existed from the protocol's perspective),
+        // so the reported lists cover exactly the surviving joiners and the
+        // pre-existing victims.
+        let victims = 25 - net.alive_count();
+        assert!(
+            victims == 12 || victims == 13,
+            "unexpected kill count {victims}"
+        );
+        let killed_joiners = victims - events.departed.len();
+        assert_eq!(events.joined.len(), 5 - killed_joiners);
+        for &joiner in &events.joined {
+            assert!(net.is_alive(joiner));
+        }
+        for &victim in &events.departed {
+            assert!(!net.is_alive(victim));
+            assert!(victim.as_usize() < 20, "reported victims pre-existed");
+        }
 
         let empty = CompositeChurn::new();
         assert!(empty.is_empty());

@@ -242,6 +242,7 @@ impl CycleEngine {
         let mut executed = 0;
         for _ in 0..max_cycles {
             let cycle = self.current_cycle;
+            self.context.transport.advance_to_cycle(cycle);
             self.apply_churn(protocol, cycle);
             protocol.begin_cycle(cycle, &mut self.context);
 
@@ -324,6 +325,7 @@ impl CycleEngine {
         let mut executed = 0;
         for _ in 0..max_cycles {
             let cycle = self.current_cycle;
+            self.context.transport.advance_to_cycle(cycle);
             self.apply_churn(protocol, cycle);
             protocol.begin_cycle(cycle, &mut self.context);
 

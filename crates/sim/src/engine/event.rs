@@ -8,8 +8,9 @@
 //! confirm that the protocol's behaviour is not an artifact of the synchronous
 //! cycle abstraction.
 
+use crate::engine::cycle::EngineContext;
 use crate::network::{Network, NodeIndex};
-use crate::transport::{ReliableTransport, Transport};
+use crate::transport::Transport;
 use bss_util::rng::SimRng;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -74,14 +75,16 @@ impl<M> Ord for Scheduled<M> {
 
 /// The engine-side interface handed to protocol callbacks: read the clock and the
 /// network, send messages, set timers.
+///
+/// The full [`EngineContext`] (network registry, RNG and transport) is exposed
+/// through [`EventContext::engine`], which is what lets protocols written
+/// against the cycle engine's context — peer samplers in particular — run
+/// unchanged under the event engine.
 #[derive(Debug)]
 pub struct EventContext<'a, M> {
     now: u64,
     node_count: usize,
-    /// The node registry (read/write: protocols may add or kill nodes).
-    pub network: &'a mut Network,
-    /// The deterministic random number generator.
-    pub rng: &'a mut SimRng,
+    engine: &'a mut EngineContext,
     outbox: Vec<(NodeIndex, NodeIndex, M)>,
     timers: Vec<(NodeIndex, u64, u64)>,
 }
@@ -95,6 +98,28 @@ impl<'a, M> EventContext<'a, M> {
     /// Number of nodes registered when the simulation started.
     pub fn initial_node_count(&self) -> usize {
         self.node_count
+    }
+
+    /// The shared engine context: node registry, RNG and transport. Handing
+    /// out the same type the cycle engine uses means cycle-oriented helpers
+    /// (samplers, convergence oracles) work inside event callbacks too.
+    pub fn engine(&mut self) -> &mut EngineContext {
+        self.engine
+    }
+
+    /// Read access to the node registry.
+    pub fn network(&self) -> &Network {
+        &self.engine.network
+    }
+
+    /// Write access to the node registry (protocols may add or kill nodes).
+    pub fn network_mut(&mut self) -> &mut Network {
+        &mut self.engine.network
+    }
+
+    /// The deterministic random number generator.
+    pub fn rng(&mut self) -> &mut SimRng {
+        &mut self.engine.rng
     }
 
     /// Queues a message from `from` to `to`. Delivery (and loss) is decided by the
@@ -115,36 +140,47 @@ impl<'a, M> EventContext<'a, M> {
 /// A discrete-event scheduler over a [`Network`], a [`Transport`] and a protocol.
 #[derive(Debug)]
 pub struct EventEngine<M> {
-    network: Network,
-    rng: SimRng,
-    transport: Box<dyn Transport>,
+    context: EngineContext,
     queue: BinaryHeap<Scheduled<M>>,
     now: u64,
     seq: u64,
     delivered: u64,
     sent: u64,
+    started: bool,
 }
 
 impl<M: Debug> EventEngine<M> {
     /// Creates an engine with a reliable, 1 ms transport.
     pub fn new(network: Network, rng: SimRng) -> Self {
         EventEngine {
-            network,
-            rng,
-            transport: Box::new(ReliableTransport::new()),
+            context: EngineContext::new(network, rng),
             queue: BinaryHeap::new(),
             now: 0,
             seq: 0,
             delivered: 0,
             sent: 0,
+            started: false,
         }
     }
 
     /// Replaces the transport (builder style).
     #[must_use]
     pub fn with_transport(mut self, transport: Box<dyn Transport>) -> Self {
-        self.transport = transport;
+        self.context.transport = transport;
         self
+    }
+
+    /// Shared access to the engine context (network, RNG, transport) — the
+    /// same type the cycle engine exposes, so measurement helpers work on
+    /// either engine.
+    pub fn context(&self) -> &EngineContext {
+        &self.context
+    }
+
+    /// Exclusive access to the engine context (for scenario scripting between
+    /// run slices: applying churn, advancing transport windows).
+    pub fn context_mut(&mut self) -> &mut EngineContext {
+        &mut self.context
     }
 
     /// Current simulation time in milliseconds.
@@ -174,51 +210,85 @@ impl<M: Debug> EventEngine<M> {
     /// Read access to the transport (for checking its drop statistics against
     /// the engine's own counters).
     pub fn transport(&self) -> &dyn Transport {
-        self.transport.as_ref()
+        self.context.transport.as_ref()
     }
 
     /// Read access to the node registry.
     pub fn network(&self) -> &Network {
-        &self.network
+        &self.context.network
     }
 
     /// Write access to the node registry (for scenario scripting between runs).
     pub fn network_mut(&mut self) -> &mut Network {
-        &mut self.network
+        &mut self.context.network
+    }
+
+    /// Runs the start phase now — one `on_start` callback per alive node — if
+    /// it has not run yet. [`EventEngine::run_until`] does this automatically
+    /// on its first invocation; scenario drivers call it explicitly *before*
+    /// applying cycle-0 membership events, so that joiners added at cycle 0
+    /// (started individually via [`EventEngine::start_node`]) are not started
+    /// a second time by the deferred start phase.
+    pub fn start<P>(&mut self, protocol: &mut P)
+    where
+        P: EventProtocol<Message = M>,
+    {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        let start_nodes: Vec<NodeIndex> = self.context.network.alive_indices().collect();
+        for node in start_nodes {
+            self.start_node(protocol, node);
+        }
+    }
+
+    /// Runs `node`'s `on_start` callback at the current simulation time and
+    /// applies its effects (queued messages, timers). The first
+    /// [`EventEngine::run_until`] call does this automatically for every node
+    /// alive at that point; call it explicitly for nodes that join *during*
+    /// the run (scenario joins) so they can schedule their first timers.
+    pub fn start_node<P>(&mut self, protocol: &mut P, node: NodeIndex)
+    where
+        P: EventProtocol<Message = M>,
+    {
+        let mut effects = Effects::default();
+        self.with_context(
+            &mut effects,
+            |ctx, p: &mut P| {
+                p.on_start(node, ctx);
+            },
+            protocol,
+        );
+        self.apply_effects(&mut effects);
     }
 
     /// Runs the protocol until the event queue drains or the clock passes
     /// `end_time_millis`, whichever comes first. Returns the number of events
     /// processed.
+    ///
+    /// The first call triggers the start phase (an `on_start` callback per
+    /// alive node); later calls simply resume the queue, so a driver can run
+    /// the simulation in slices — one per cycle Δ — and script scenario events
+    /// (churn, partitions) between them.
     pub fn run_until<P>(&mut self, protocol: &mut P, end_time_millis: u64) -> u64
     where
         P: EventProtocol<Message = M>,
     {
-        // Start phase: every alive node gets its on_start callback at time zero.
-        let start_nodes: Vec<NodeIndex> = self.network.alive_indices().collect();
-        let mut effects = Effects::default();
-        for node in start_nodes {
-            self.with_context(
-                &mut effects,
-                |protocol_ctx, p: &mut P| {
-                    p.on_start(node, protocol_ctx);
-                },
-                protocol,
-            );
-            self.apply_effects(&mut effects);
-        }
+        self.start(protocol);
 
+        let mut effects = Effects::default();
         let mut processed = 0;
         while let Some(event) = self.queue.pop() {
             if event.at > end_time_millis {
-                // Put it back conceptually; we simply stop (the queue is discarded
-                // state for this run's purposes).
+                // Put it back conceptually; we simply stop (the queue resumes
+                // on the next run_until slice).
                 self.queue.push(event);
                 break;
             }
             self.now = event.at;
             processed += 1;
-            if !self.network.is_alive(event.to) {
+            if !self.context.network.is_alive(event.to) {
                 continue; // Messages and timers for dead nodes are silently dropped.
             }
             match event.payload {
@@ -244,6 +314,9 @@ impl<M: Debug> EventEngine<M> {
             }
             self.apply_effects(&mut effects);
         }
+        // The slice ends on the requested horizon even when the queue drained
+        // earlier, so per-cycle drivers can map `now` back to a cycle index.
+        self.now = self.now.max(end_time_millis);
         processed
     }
 
@@ -251,12 +324,11 @@ impl<M: Debug> EventEngine<M> {
     where
         F: FnOnce(&mut EventContext<'_, M>, &mut P),
     {
-        let node_count = self.network.len();
+        let node_count = self.context.network.len();
         let mut ctx = EventContext {
             now: self.now,
             node_count,
-            network: &mut self.network,
-            rng: &mut self.rng,
+            engine: &mut self.context,
             outbox: Vec::new(),
             timers: Vec::new(),
         };
@@ -270,8 +342,9 @@ impl<M: Debug> EventEngine<M> {
             // "Sent" is counted at the transport hand-off, mirroring the cycle
             // engine's TrafficStats semantics.
             self.sent += 1;
-            if self.transport.should_deliver(from, to, &mut self.rng) {
-                let latency = self.transport.latency_millis(from, to, &mut self.rng);
+            let context = &mut self.context;
+            if context.transport.should_deliver(from, to, &mut context.rng) {
+                let latency = context.transport.latency_millis(from, to, &mut context.rng);
                 self.seq += 1;
                 self.queue.push(Scheduled {
                     at: self.now + latency.max(1),
@@ -311,7 +384,7 @@ impl<M> Default for Effects<M> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::transport::{DropTransport, UniformLatencyTransport};
+    use crate::transport::{DropTransport, ReliableTransport, UniformLatencyTransport};
 
     /// A ping-pong protocol: node 0 pings node 1, each pong triggers another ping,
     /// bounded by a hop counter in the message.
@@ -476,6 +549,40 @@ mod tests {
         engine2.run_until(&mut protocol2, 10_000);
         assert_eq!(protocol.received, protocol2.received);
         assert_eq!(engine.now(), engine2.now());
+    }
+
+    #[test]
+    fn run_until_can_be_sliced_without_restarting() {
+        // Two half-horizon slices must equal one full run: the start phase only
+        // fires once, and the queue resumes where the first slice stopped.
+        let mut sliced: EventEngine<()> = small_engine(3, 3);
+        let mut sliced_protocol = PeriodicTimer { fired: Vec::new() };
+        sliced.run_until(&mut sliced_protocol, 50);
+        assert_eq!(sliced.now(), 50);
+        sliced.run_until(&mut sliced_protocol, 100);
+
+        let mut whole: EventEngine<()> = small_engine(3, 3);
+        let mut whole_protocol = PeriodicTimer { fired: Vec::new() };
+        whole.run_until(&mut whole_protocol, 100);
+        assert_eq!(sliced_protocol.fired, whole_protocol.fired);
+        assert_eq!(sliced.now(), whole.now());
+    }
+
+    #[test]
+    fn late_joiners_start_when_asked() {
+        let mut engine: EventEngine<()> = small_engine(2, 7);
+        let mut protocol = PeriodicTimer { fired: Vec::new() };
+        engine.run_until(&mut protocol, 50);
+        assert_eq!(protocol.fired.len(), 10, "two nodes, five firings each");
+        // A node joins mid-run; its timers only begin once start_node is called.
+        let joiner = {
+            let context = engine.context_mut();
+            context.network.add_random_node(&mut context.rng)
+        };
+        engine.start_node(&mut protocol, joiner);
+        engine.run_until(&mut protocol, 100);
+        let join_firings = protocol.fired.iter().filter(|&&(n, _)| n == joiner).count();
+        assert_eq!(join_firings, 5, "joiner fires from t=60 to t=100");
     }
 
     #[test]

@@ -18,6 +18,13 @@ pub trait Transport: Debug + Send {
     /// Decides whether a single message from `from` to `to` is delivered.
     fn should_deliver(&mut self, from: NodeIndex, to: NodeIndex, rng: &mut SimRng) -> bool;
 
+    /// Advances the transport's notion of simulation time to `cycle`. The
+    /// engines call this at every cycle boundary (the event-driven runner maps
+    /// wall-clock time to cycles through Δ). Most transports are
+    /// time-invariant, so the default is a no-op; [`TimelineTransport`] uses
+    /// it to activate and deactivate its scheduled windows.
+    fn advance_to_cycle(&mut self, _cycle: u64) {}
+
     /// Latency, in milliseconds, of a delivered message from `from` to `to`.
     ///
     /// The default is a constant 1 ms, which is adequate for cycle-driven runs
@@ -182,6 +189,113 @@ impl Transport for PartitionTransport {
     }
 }
 
+/// A transport whose behaviour follows a scripted timeline of cycle windows:
+/// message-loss windows (each with its own drop probability) and partition
+/// windows (each with its own group map), all expressed as `[start, end)`
+/// cycle intervals. Outside every window the transport is reliable.
+///
+/// This is the runtime form of a scenario timeline: the engines call
+/// [`Transport::advance_to_cycle`] at every cycle boundary and the transport
+/// switches behaviour accordingly. A whole-run loss window draws exactly the
+/// same RNG stream as [`DropTransport`], and a run with no windows draws none
+/// (like [`ReliableTransport`]), which is what keeps the scenario layer's
+/// compatibility path byte-identical to the legacy scalar-knob configuration.
+#[derive(Debug, Clone, Default)]
+pub struct TimelineTransport {
+    /// `(start, end, probability)` loss windows, `[start, end)` in cycles.
+    loss_windows: Vec<(u64, u64, f64)>,
+    /// `(start, end, group map)` partition windows, `[start, end)` in cycles.
+    partition_windows: Vec<(u64, u64, Vec<u32>)>,
+    cycle: u64,
+    offered: u64,
+    dropped: u64,
+}
+
+impl TimelineTransport {
+    /// Creates a transport with an empty timeline (fully reliable).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a loss window: every message offered while the current cycle lies
+    /// in `[start, end)` is dropped independently with `probability` (clamped
+    /// to `[0, 1]`; validation of out-of-range inputs happens at the scenario
+    /// layer). Builder style.
+    #[must_use]
+    pub fn with_loss_window(mut self, start: u64, end: u64, probability: f64) -> Self {
+        self.loss_windows
+            .push((start, end, probability.clamp(0.0, 1.0)));
+        self
+    }
+
+    /// Adds a partition window: while the current cycle lies in `[start, end)`
+    /// every message crossing a group boundary is dropped. `group_of[i]` is the
+    /// partition group of node index `i`; out-of-range indices belong to group
+    /// 0 (so later joiners land in group 0). Builder style.
+    #[must_use]
+    pub fn with_partition_window(mut self, start: u64, end: u64, group_of: Vec<u32>) -> Self {
+        self.partition_windows.push((start, end, group_of));
+        self
+    }
+
+    /// The currently active loss probability (0 outside every loss window).
+    pub fn active_loss(&self) -> f64 {
+        self.loss_windows
+            .iter()
+            .find(|&&(start, end, _)| self.cycle >= start && self.cycle < end)
+            .map_or(0.0, |&(_, _, p)| p)
+    }
+
+    /// Whether a partition window is active at the current cycle.
+    pub fn partition_active(&self) -> bool {
+        self.partition_windows
+            .iter()
+            .any(|&(start, end, _)| self.cycle >= start && self.cycle < end)
+    }
+
+    fn crosses_partition(&self, from: NodeIndex, to: NodeIndex) -> bool {
+        self.partition_windows
+            .iter()
+            .filter(|&&(start, end, _)| self.cycle >= start && self.cycle < end)
+            .any(|(_, _, group_of)| {
+                let group = |node: NodeIndex| group_of.get(node.as_usize()).copied().unwrap_or(0);
+                group(from) != group(to)
+            })
+    }
+}
+
+impl Transport for TimelineTransport {
+    fn should_deliver(&mut self, from: NodeIndex, to: NodeIndex, rng: &mut SimRng) -> bool {
+        self.offered += 1;
+        // Partition decisions are deterministic (no RNG), exactly like
+        // PartitionTransport, so healing a partition never shifts the stream.
+        if self.crosses_partition(from, to) {
+            self.dropped += 1;
+            return false;
+        }
+        // The loss coin is only flipped while a window with positive
+        // probability is active — a quiet timeline consumes no randomness.
+        let probability = self.active_loss();
+        if probability > 0.0 && rng.chance(probability) {
+            self.dropped += 1;
+            return false;
+        }
+        true
+    }
+
+    fn advance_to_cycle(&mut self, cycle: u64) {
+        self.cycle = cycle;
+    }
+
+    fn messages_offered(&self) -> u64 {
+        self.offered
+    }
+
+    fn messages_dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
 /// A latency model layered over any delivery policy, for the event-driven engine:
 /// uniformly random latency in `[min_millis, max_millis]`.
 #[derive(Debug, Clone)]
@@ -215,6 +329,10 @@ impl<T: Transport> UniformLatencyTransport<T> {
 impl<T: Transport> Transport for UniformLatencyTransport<T> {
     fn should_deliver(&mut self, from: NodeIndex, to: NodeIndex, rng: &mut SimRng) -> bool {
         self.inner.should_deliver(from, to, rng)
+    }
+
+    fn advance_to_cycle(&mut self, cycle: u64) {
+        self.inner.advance_to_cycle(cycle);
     }
 
     fn latency_millis(&mut self, _from: NodeIndex, _to: NodeIndex, rng: &mut SimRng) -> u64 {
@@ -327,6 +445,78 @@ mod tests {
     #[should_panic(expected = "inverted")]
     fn uniform_latency_rejects_inverted_range() {
         UniformLatencyTransport::new(ReliableTransport::new(), 10, 5);
+    }
+
+    #[test]
+    fn timeline_transport_follows_its_loss_windows() {
+        let mut t = TimelineTransport::new().with_loss_window(2, 4, 1.0);
+        let mut rng = SimRng::seed_from(8);
+        // Before the window: reliable, and no RNG is consumed.
+        let fingerprint = rng.clone();
+        assert!(t.should_deliver(idx(0), idx(1), &mut rng));
+        assert_eq!(rng, fingerprint, "quiet timeline must not draw randomness");
+        // Inside the window: certain loss.
+        t.advance_to_cycle(2);
+        assert_eq!(t.active_loss(), 1.0);
+        assert!(!t.should_deliver(idx(0), idx(1), &mut rng));
+        t.advance_to_cycle(3);
+        assert!(!t.should_deliver(idx(0), idx(1), &mut rng));
+        // The window end is exclusive.
+        t.advance_to_cycle(4);
+        assert_eq!(t.active_loss(), 0.0);
+        assert!(t.should_deliver(idx(0), idx(1), &mut rng));
+        assert_eq!(t.messages_offered(), 4);
+        assert_eq!(t.messages_dropped(), 2);
+    }
+
+    #[test]
+    fn timeline_transport_matches_drop_transport_rng_stream() {
+        // A whole-run loss window must flip exactly the coins DropTransport
+        // flips — this is what keeps the scenario compatibility path
+        // byte-identical to the legacy drop_probability knob.
+        let mut timeline = TimelineTransport::new().with_loss_window(0, u64::MAX, 0.3);
+        let mut legacy = DropTransport::new(0.3);
+        let mut rng_a = SimRng::seed_from(9);
+        let mut rng_b = SimRng::seed_from(9);
+        for message in 0..500 {
+            timeline.advance_to_cycle(message / 10);
+            assert_eq!(
+                timeline.should_deliver(idx(0), idx(1), &mut rng_a),
+                legacy.should_deliver(idx(0), idx(1), &mut rng_b),
+            );
+        }
+        assert_eq!(rng_a, rng_b, "both transports must consume the same stream");
+        assert_eq!(timeline.messages_dropped(), legacy.messages_dropped());
+    }
+
+    #[test]
+    fn timeline_transport_partitions_and_heals() {
+        let mut t = TimelineTransport::new().with_partition_window(0, 5, vec![0, 0, 1, 1]);
+        let mut rng = SimRng::seed_from(10);
+        assert!(t.partition_active());
+        assert!(t.should_deliver(idx(0), idx(1), &mut rng));
+        assert!(!t.should_deliver(idx(0), idx(2), &mut rng));
+        // Unknown indices (later joiners) default to group 0.
+        assert!(t.should_deliver(idx(0), idx(9), &mut rng));
+        assert!(!t.should_deliver(idx(2), idx(9), &mut rng));
+        // The partition heals at its end cycle: the network merges.
+        t.advance_to_cycle(5);
+        assert!(!t.partition_active());
+        assert!(t.should_deliver(idx(0), idx(2), &mut rng));
+        assert_eq!(t.messages_dropped(), 2);
+    }
+
+    #[test]
+    fn latency_wrapper_forwards_the_clock() {
+        let mut t = UniformLatencyTransport::new(
+            TimelineTransport::new().with_loss_window(1, 2, 1.0),
+            1,
+            1,
+        );
+        let mut rng = SimRng::seed_from(11);
+        assert!(t.should_deliver(idx(0), idx(1), &mut rng));
+        t.advance_to_cycle(1);
+        assert!(!t.should_deliver(idx(0), idx(1), &mut rng));
     }
 
     #[test]

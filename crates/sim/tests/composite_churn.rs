@@ -1,0 +1,211 @@
+//! Property tests for [`CompositeChurn`] ordering and the non-aliasing
+//! guarantee of [`ChurnEvents`].
+//!
+//! A scenario timeline can compose continuous replacement churn with one-shot
+//! catastrophic failures and massive joins in any order. Whatever the
+//! composition, the aggregated per-cycle events must:
+//!
+//! * apply the composed models in timeline order within each cycle (observable
+//!   as strictly increasing joiner indices — the registry appends);
+//! * never report a node as both joined and departed in the same cycle, and
+//!   never hand a joiner a recycled (previously used) slot;
+//! * keep the registry's alive/dead bookkeeping consistent with the reported
+//!   lists, with one-shots firing exactly once at their scheduled cycle.
+
+use bss_sim::churn::{
+    CatastrophicFailure, ChurnModel, CompositeChurn, MassiveJoin, UniformChurn, WindowedChurn,
+};
+use bss_sim::network::{Network, NodeIndex};
+use bss_util::rng::SimRng;
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// A generatable description of one composed churn model.
+#[derive(Debug, Clone)]
+enum Spec {
+    Uniform {
+        rate_permille: u32,
+    },
+    Burst {
+        rate_permille: u32,
+        start: u64,
+        len: u64,
+    },
+    Failure {
+        at: u64,
+        percent: u32,
+    },
+    Join {
+        at: u64,
+        count: usize,
+    },
+}
+
+impl Spec {
+    fn build(&self) -> Box<dyn ChurnModel> {
+        match *self {
+            Spec::Uniform { rate_permille } => {
+                Box::new(UniformChurn::new(f64::from(rate_permille) / 1000.0))
+            }
+            Spec::Burst {
+                rate_permille,
+                start,
+                len,
+            } => Box::new(WindowedChurn::new(
+                start,
+                start + len,
+                UniformChurn::new(f64::from(rate_permille) / 1000.0),
+            )),
+            Spec::Failure { at, percent } => {
+                Box::new(CatastrophicFailure::new(at, f64::from(percent) / 100.0))
+            }
+            Spec::Join { at, count } => Box::new(MassiveJoin::new(at, count)),
+        }
+    }
+}
+
+fn spec_strategy(cycles: u64) -> impl Strategy<Value = Spec> {
+    (0u8..4, 0u32..300, 0..cycles, 1..cycles, 1usize..40).prop_map(
+        |(kind, rate, at, len, count)| match kind {
+            0 => Spec::Uniform {
+                rate_permille: rate % 120,
+            },
+            1 => Spec::Burst {
+                rate_permille: rate,
+                start: at,
+                len,
+            },
+            2 => Spec::Failure {
+                at,
+                percent: rate % 70,
+            },
+            _ => Spec::Join { at, count },
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Arbitrary compositions of UniformChurn (bare and windowed),
+    /// CatastrophicFailure and MassiveJoin, applied over several cycles.
+    #[test]
+    fn composite_preserves_order_and_never_aliases_slots(
+        specs in prop::collection::vec(spec_strategy(12), 1..5),
+        size in 30usize..150,
+        seed in any::<u64>(),
+    ) {
+        let cycles = 12u64;
+        let mut rng = SimRng::seed_from(seed);
+        let mut network = Network::with_random_ids(size, &mut rng);
+        let mut composite = CompositeChurn::new();
+        for spec in &specs {
+            composite = composite.with(spec.build());
+        }
+        prop_assert_eq!(composite.len(), specs.len());
+
+        let mut ever_joined: HashSet<NodeIndex> = HashSet::new();
+        for cycle in 0..cycles {
+            let len_before = network.len();
+            let alive_before = network.alive_count();
+            let events = composite.apply(cycle, &mut network, &mut rng);
+
+            // --- Non-aliasing: joiners and victims never share a slot. ---
+            let departed: HashSet<NodeIndex> = events.departed.iter().copied().collect();
+            prop_assert_eq!(departed.len(), events.departed.len(), "duplicate victims");
+            for &joiner in &events.joined {
+                prop_assert!(
+                    !departed.contains(&joiner),
+                    "cycle {}: {:?} reported as both joined and departed",
+                    cycle,
+                    joiner
+                );
+                // Fresh slot: at or above the pre-cycle registry watermark,
+                // and never a slot that was ever used before.
+                prop_assert!(joiner.as_usize() >= len_before, "recycled slot");
+                prop_assert!(ever_joined.insert(joiner), "slot joined twice");
+                prop_assert!(network.is_alive(joiner), "reported joiner is dead");
+            }
+
+            // --- Ordering: models apply in composition order, so the
+            // append-only registry hands out strictly increasing indices. ---
+            prop_assert!(
+                events
+                    .joined
+                    .windows(2)
+                    .all(|pair| pair[0].as_usize() < pair[1].as_usize()),
+                "cycle {}: joiners out of composition order: {:?}",
+                cycle,
+                events.joined
+            );
+
+            // --- Bookkeeping: the reported lists explain the registry delta.
+            // (Intra-cycle joiners killed by a later model appear in neither
+            // list; they occupy dead slots above the watermark.) ---
+            for &victim in &events.departed {
+                prop_assert!(victim.as_usize() < len_before, "victim must pre-date the cycle");
+                prop_assert!(!network.is_alive(victim));
+            }
+            let silently_dead =
+                (network.len() - len_before).saturating_sub(events.joined.len());
+            prop_assert_eq!(
+                network.alive_count(),
+                alive_before - events.departed.len() + events.joined.len(),
+                "cycle {}: alive count out of sync (silently dead intra-cycle joiners: {})",
+                cycle,
+                silently_dead
+            );
+        }
+
+        // One-shots fired exactly once: a second pass over later cycles adds
+        // no joiners from Join specs whose cycle already passed.
+        let replay = composite.apply(cycles + 1, &mut network, &mut rng);
+        for &joiner in &replay.joined {
+            prop_assert!(ever_joined.insert(joiner));
+        }
+    }
+
+    /// A join and a failure scheduled for the same cycle: whichever order they
+    /// are composed in, the guarantee holds — and when the failure comes
+    /// second, joiners it kills are reported in neither list.
+    #[test]
+    fn same_cycle_join_and_failure_reconcile(
+        join_first in any::<bool>(),
+        size in 20usize..80,
+        count in 5usize..40,
+        percent in 10u32..70,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = SimRng::seed_from(seed);
+        let mut network = Network::with_random_ids(size, &mut rng);
+        let join = Box::new(MassiveJoin::new(3, count));
+        let failure = Box::new(CatastrophicFailure::new(3, f64::from(percent) / 100.0));
+        let mut composite = if join_first {
+            CompositeChurn::new().with(join).with(failure)
+        } else {
+            CompositeChurn::new().with(failure).with(join)
+        };
+        for cycle in 0..3 {
+            prop_assert!(composite.apply(cycle, &mut network, &mut rng).is_empty());
+        }
+        let len_before = network.len();
+        let events = composite.apply(3, &mut network, &mut rng);
+        let departed: HashSet<NodeIndex> = events.departed.iter().copied().collect();
+        for &joiner in &events.joined {
+            prop_assert!(!departed.contains(&joiner));
+            prop_assert!(network.is_alive(joiner));
+            prop_assert!(joiner.as_usize() >= len_before);
+        }
+        if join_first {
+            // Some joiners may have been killed and silenced; the survivors
+            // plus the silenced ones account for the whole batch.
+            prop_assert!(events.joined.len() <= count);
+        } else {
+            // The failure fired before the join, so every joiner survived.
+            prop_assert_eq!(events.joined.len(), count);
+        }
+        for &victim in &events.departed {
+            prop_assert!(victim.as_usize() < len_before);
+        }
+    }
+}

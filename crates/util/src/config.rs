@@ -90,18 +90,21 @@ impl BootstrapParams {
     /// or not even (it must hold `c/2` successors and `c/2` predecessors), or the
     /// cycle length is zero.
     pub fn validate(&self) -> Result<(), InvalidParams> {
-        self.geometry().map_err(|e| InvalidParams(format!("{e}")))?;
+        self.geometry()
+            .map_err(|e| InvalidParams::Message(format!("{e}")))?;
         if self.leaf_set_size == 0 {
-            return Err(InvalidParams("leaf_set_size must be positive".into()));
+            return Err(InvalidParams::from_message(
+                "leaf_set_size must be positive",
+            ));
         }
         if self.leaf_set_size % 2 != 0 {
-            return Err(InvalidParams(format!(
+            return Err(InvalidParams::Message(format!(
                 "leaf_set_size must be even to balance successors and predecessors, got {}",
                 self.leaf_set_size
             )));
         }
         if self.cycle_millis == 0 {
-            return Err(InvalidParams("cycle_millis must be positive".into()));
+            return Err(InvalidParams::from_message("cycle_millis must be positive"));
         }
         Ok(())
     }
@@ -175,22 +178,83 @@ impl BootstrapParamsBuilder {
     }
 }
 
-/// Error returned when a parameter set fails validation.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct InvalidParams(String);
+/// Error returned when a parameter set (protocol parameters, experiment
+/// configuration or scenario timeline) fails validation.
+///
+/// The typed variants let callers react to *why* a configuration was rejected
+/// (out-of-range probability, empty scenario window, overlapping exclusive
+/// phases) instead of string-matching; [`InvalidParams::Message`] remains the
+/// catch-all for one-off conditions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InvalidParams {
+    /// A free-form validation failure (the catch-all used by simple checks).
+    Message(String),
+    /// A numeric field lies outside its allowed range (for example a drop
+    /// probability above 1.0, which older code silently clamped).
+    OutOfRange {
+        /// Which field was out of range.
+        field: &'static str,
+        /// The offending value.
+        value: f64,
+        /// Smallest allowed value (inclusive).
+        min: f64,
+        /// Largest allowed value (inclusive).
+        max: f64,
+    },
+    /// A scenario window is empty (`start >= end`), so it could never apply.
+    EmptyWindow {
+        /// Which timeline entry owned the window.
+        field: &'static str,
+        /// First cycle of the window (inclusive).
+        start: u64,
+        /// End of the window (exclusive).
+        end: u64,
+    },
+    /// Two phases of a kind that must not overlap (loss windows, partition
+    /// windows) cover a common cycle, making the active condition ambiguous.
+    OverlappingPhases {
+        /// Which kind of phase overlapped.
+        kind: &'static str,
+        /// The `[start, end)` window of the earlier phase.
+        first: (u64, u64),
+        /// The `[start, end)` window of the later, conflicting phase.
+        second: (u64, u64),
+    },
+}
 
 impl InvalidParams {
     /// Creates a validation error with the given message. Exposed so that
     /// higher-level configuration types (experiment configurations, benchmark
     /// sweeps) can report their own validation failures with the same error type.
     pub fn from_message(message: impl Into<String>) -> Self {
-        InvalidParams(message.into())
+        InvalidParams::Message(message.into())
     }
 }
 
 impl fmt::Display for InvalidParams {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid protocol parameters: {}", self.0)
+        write!(f, "invalid parameters: ")?;
+        match self {
+            InvalidParams::Message(message) => write!(f, "{message}"),
+            InvalidParams::OutOfRange {
+                field,
+                value,
+                min,
+                max,
+            } => write!(f, "{field} = {value} must lie in [{min}, {max}]"),
+            InvalidParams::EmptyWindow { field, start, end } => {
+                write!(f, "{field} window [{start}, {end}) is empty")
+            }
+            InvalidParams::OverlappingPhases {
+                kind,
+                first,
+                second,
+            } => write!(
+                f,
+                "{kind} phases [{}, {}) and [{}, {}) overlap",
+                first.0, first.1, second.0, second.1
+            ),
+        }
     }
 }
 
@@ -224,10 +288,12 @@ impl NewscastParams {
     /// Returns [`InvalidParams`] when the view size or period is zero.
     pub fn validate(&self) -> Result<(), InvalidParams> {
         if self.view_size == 0 {
-            return Err(InvalidParams("view_size must be positive".into()));
+            return Err(InvalidParams::from_message("view_size must be positive"));
         }
         if self.period_millis == 0 {
-            return Err(InvalidParams("period_millis must be positive".into()));
+            return Err(InvalidParams::from_message(
+                "period_millis must be positive",
+            ));
         }
         Ok(())
     }

@@ -111,7 +111,7 @@ fn combined_churn_and_loss_at_2048_nodes_keeps_tables_usable() {
         .stop_when_perfect(false)
         .build()
         .unwrap();
-    let outcome = Experiment::new(config).run();
+    let outcome = Experiment::new(config.clone()).run();
     assert_eq!(outcome.cycles_executed(), 40);
     assert!(!outcome.converged(), "churn never reaches perfection");
     // With r = 0.5 %/cycle and T = 40, the staleness bound is ~0.17; allow
@@ -217,7 +217,7 @@ fn deterministic_replay_across_the_whole_stack() {
         .max_cycles(100)
         .build()
         .unwrap();
-    let first = Experiment::new(config).run();
+    let first = Experiment::new(config.clone()).run();
     let second = Experiment::new(config).run();
     assert_eq!(first.convergence_cycle(), second.convergence_cycle());
     assert_eq!(first.leaf_series().points(), second.leaf_series().points());
