@@ -1,0 +1,171 @@
+//! The catastrophe-then-recover experiment: demonstrates that descriptor
+//! aging plus a `ReBootstrap` order turns a post-catastrophe overlay from
+//! "gossips the dead forever" into "purges every stale descriptor and
+//! re-converges" — the recovery claim the paper's architecture rests on
+//! (§1–2: bootstrapping is what you re-run after a catastrophic failure).
+//!
+//! For each engine (cycle and event) the binary runs the same timeline twice —
+//! detector-free and with aging + re-bootstrap — prints the per-cycle
+//! dead-descriptor fraction side by side, and writes the full `RunReport`
+//! JSONs (`<out-dir>/recovery_<mode>_<engine>.json`). With
+//! `--require-recovery` it exits non-zero unless every aged run reached zero
+//! dead descriptors and perfect tables again; CI runs it as a recovery gate.
+
+use bss_bench::cli::{Args, CommonDefaults, COMMON_OPTIONS_HELP};
+use bss_bench::report::series_table;
+use bss_core::experiment::{Experiment, ExperimentConfig, RunReport};
+use bss_core::scenario::{Engine, ScenarioEvent};
+
+const HELP: &str = "\
+recovery — catastrophe-then-recover timeline: aging + ReBootstrap vs detector-free
+
+USAGE:
+    cargo run --release -p bss-bench --bin recovery [-- OPTIONS]
+
+OPTIONS:
+    --size <exp>         network size exponent (N = 2^exp)     [default: 10]
+    --cycles <n>         cycle budget per run                   [default: 60]
+    --at <cycle>         catastrophe cycle                      [default: 15]
+    --fraction <f>       fraction of nodes that dies            [default: 0.5]
+    --max-age <n>        descriptor aging bound in cycles       [default: 10]
+    --out-dir <dir>      directory for RunReport JSONs          [default: scenario-reports]
+    --require-recovery   exit non-zero unless every aged run recovered
+";
+
+/// The shape of one catastrophe-then-recover timeline: when and how hard the
+/// failure strikes, and (for the aged mode) the detector bound plus the
+/// follow-up re-bootstrap order.
+#[derive(Clone, Copy)]
+struct Timeline {
+    at_cycle: u64,
+    fraction: f64,
+    max_age: Option<u64>,
+    rebootstrap: bool,
+}
+
+fn run_one(
+    network_size: usize,
+    seed: u64,
+    cycles: u64,
+    engine: Engine,
+    timeline: Timeline,
+) -> RunReport {
+    let mut builder = ExperimentConfig::builder();
+    builder
+        .network_size(network_size)
+        .seed(seed)
+        .max_cycles(cycles)
+        .stop_when_perfect(false)
+        .engine(engine)
+        .descriptor_max_age(timeline.max_age)
+        .event(ScenarioEvent::CatastrophicFailure {
+            at_cycle: timeline.at_cycle,
+            fraction: timeline.fraction,
+        });
+    if timeline.rebootstrap {
+        builder.event(ScenarioEvent::ReBootstrap {
+            at_cycle: timeline.at_cycle + 2,
+            fraction: 1.0,
+        });
+    }
+    let config = builder.build().expect("valid recovery configuration");
+    Experiment::new(config).run()
+}
+
+fn main() {
+    let args = Args::from_env();
+    if args.wants_help() {
+        print!("{HELP}{COMMON_OPTIONS_HELP}");
+        return;
+    }
+    let common = args.common(CommonDefaults {
+        sizes: &[10],
+        runs: 1,
+        cycles: 60,
+        seed: 7,
+    });
+    let exponent = common.size();
+    let network_size = 1usize << exponent;
+    let at_cycle: u64 = args.parsed_or("at", 15);
+    let fraction: f64 = args.parsed_or("fraction", 0.5);
+    let max_age: u64 = args.parsed_or("max-age", 10);
+    let out_dir = args.get("out-dir").unwrap_or("scenario-reports").to_owned();
+    let require_recovery = args.get("require-recovery").is_some();
+    std::fs::create_dir_all(&out_dir).expect("create output directory");
+
+    let engines: [(&'static str, Engine); 2] = [
+        ("cycle", Engine::with_threads(common.threads)),
+        (
+            "event",
+            Engine::Event {
+                latency: args.latency_model(),
+            },
+        ),
+    ];
+
+    eprintln!(
+        "# Recovery experiment: N=2^{exponent}, {:.0}% catastrophe at cycle {at_cycle}, \
+         max_age={max_age}, {} cycles budget",
+        fraction * 100.0,
+        common.cycles
+    );
+    let mut dead_columns = Vec::new();
+    let mut summary = String::from(
+        "mode\tengine\tdegraded_cycle\trecovered_cycle\tcycles_to_recover\t\
+         final_dead_fraction\tfinal_leaf_missing\n",
+    );
+    let mut all_recovered = true;
+    for (engine_name, engine) in engines {
+        for (mode, aged) in [("detector_free", false), ("aging_rebootstrap", true)] {
+            let report = run_one(
+                network_size,
+                common.seed,
+                common.cycles,
+                engine,
+                Timeline {
+                    at_cycle,
+                    fraction,
+                    max_age: aged.then_some(max_age),
+                    rebootstrap: aged,
+                },
+            );
+            let path = format!("{out_dir}/recovery_{mode}_{engine_name}.json");
+            std::fs::write(&path, report.to_json()).expect("write RunReport JSON");
+            if !common.quiet {
+                eprintln!("#   {mode} on {engine_name}: {report} -> {path}");
+            }
+            let optional = |value: Option<u64>| {
+                value.map_or_else(|| "-".to_owned(), |cycle| cycle.to_string())
+            };
+            summary.push_str(&format!(
+                "{mode}\t{engine_name}\t{}\t{}\t{}\t{:.3e}\t{:.3e}\n",
+                optional(report.degraded_cycle()),
+                optional(report.recovered_cycle()),
+                optional(report.cycles_to_recover()),
+                report.dead_series().final_value().unwrap_or(f64::NAN),
+                report.leaf_series().final_value().unwrap_or(f64::NAN),
+            ));
+            dead_columns.push((
+                format!("{mode}/{engine_name}"),
+                report.dead_series().clone(),
+            ));
+            if aged {
+                let recovered = report.recovered_cycle().is_some()
+                    && report.dead_series().final_value() == Some(0.0)
+                    && report.final_state().is_perfect();
+                all_recovered &= recovered;
+            }
+        }
+    }
+
+    println!("## Dead-descriptor fraction vs cycles, per mode and engine");
+    print!("{}", series_table(&dead_columns));
+    println!();
+    println!("## Summary");
+    print!("{summary}");
+
+    if require_recovery && !all_recovered {
+        eprintln!("# FAIL: an aged run did not reach zero dead descriptors + perfect tables");
+        std::process::exit(1);
+    }
+}

@@ -22,16 +22,20 @@ OPTIONS:
     --out-dir <dir>  directory for RunReport JSONs      [default: scenario-reports]
 ";
 
-/// One timeline per scenario-event kind, sized relative to the network.
-fn smoke_timelines(network_size: usize) -> Vec<(&'static str, Scenario)> {
+/// One timeline per scenario-event kind, sized relative to the network. The
+/// third element is the descriptor aging bound the run is configured with
+/// (`None` = the paper's detector-free protocol; only the recovery timeline
+/// needs the failure detector).
+fn smoke_timelines(network_size: usize) -> Vec<(&'static str, Scenario, Option<u64>)> {
     vec![
-        ("calm", Scenario::calm()),
+        ("calm", Scenario::calm(), None),
         (
             "loss_window",
             Scenario::calm().with(ScenarioEvent::LossWindow {
                 phase: Phase::new(5, 15),
                 probability: 0.4,
             }),
+            None,
         ),
         (
             "churn_burst",
@@ -39,6 +43,7 @@ fn smoke_timelines(network_size: usize) -> Vec<(&'static str, Scenario)> {
                 phase: Phase::new(5, 15),
                 rate: 0.05,
             }),
+            None,
         ),
         (
             "catastrophic_failure",
@@ -46,6 +51,7 @@ fn smoke_timelines(network_size: usize) -> Vec<(&'static str, Scenario)> {
                 at_cycle: 10,
                 fraction: 0.5,
             }),
+            None,
         ),
         (
             "massive_join",
@@ -53,6 +59,7 @@ fn smoke_timelines(network_size: usize) -> Vec<(&'static str, Scenario)> {
                 at_cycle: 10,
                 count: network_size,
             }),
+            None,
         ),
         (
             "partition_merge",
@@ -60,6 +67,24 @@ fn smoke_timelines(network_size: usize) -> Vec<(&'static str, Scenario)> {
                 phase: Phase::new(0, 10),
                 groups: PartitionSpec::IndexParity,
             }),
+            None,
+        ),
+        // The recovery timeline: a catastrophe followed by a full re-bootstrap
+        // of the survivors, with descriptor aging enabled so the stale
+        // descriptors of the dead actually age out and the overlay
+        // re-converges (the paper's recovery claim, end to end).
+        (
+            "catastrophe_recover",
+            Scenario::calm()
+                .with(ScenarioEvent::CatastrophicFailure {
+                    at_cycle: 10,
+                    fraction: 0.5,
+                })
+                .with(ScenarioEvent::ReBootstrap {
+                    at_cycle: 12,
+                    fraction: 1.0,
+                }),
+            Some(8),
         ),
     ]
 }
@@ -98,7 +123,7 @@ fn main() {
     println!(
         "scenario\tengine\tcycles_executed\tconvergence_cycle\tfinal_leaf_missing\tevents_fired"
     );
-    for (kind, scenario) in smoke_timelines(network_size) {
+    for (kind, scenario, max_age) in smoke_timelines(network_size) {
         for (engine_name, engine) in engines {
             let config = ExperimentConfig::builder()
                 .network_size(network_size)
@@ -106,6 +131,7 @@ fn main() {
                 .max_cycles(common.cycles)
                 .scenario(scenario.clone())
                 .engine(engine)
+                .descriptor_max_age(max_age)
                 .build()
                 .expect("valid smoke configuration");
             let report = Experiment::new(config).run();

@@ -97,6 +97,8 @@ impl ExperimentConfig {
                 stop_when_perfect: true,
                 measure_every: 1,
             },
+            aging_sugar: None,
+            newscast_bound_explicit: false,
         }
     }
 
@@ -154,6 +156,14 @@ impl ExperimentConfig {
 #[derive(Debug, Clone)]
 pub struct ExperimentConfigBuilder {
     config: ExperimentConfig,
+    /// Records that the [`ExperimentConfigBuilder::descriptor_max_age`] sugar
+    /// ran (and with what bound), so a later `sampler()` call still inherits
+    /// it — the sugar and the sampler selection compose in either order.
+    aging_sugar: Option<Option<u64>>,
+    /// Whether the selected NEWSCAST sampler carried its own explicit view
+    /// aging bound — an explicit bound always wins over the sugar, in either
+    /// call order.
+    newscast_bound_explicit: bool,
 }
 
 impl ExperimentConfigBuilder {
@@ -175,9 +185,38 @@ impl ExperimentConfigBuilder {
         self
     }
 
-    /// Selects the peer sampling implementation.
+    /// Selects the peer sampling implementation. If the aging sugar
+    /// ([`ExperimentConfigBuilder::descriptor_max_age`]) ran earlier and the
+    /// supplied NEWSCAST parameters carry no view aging bound of their own,
+    /// the sugar's bound is applied — the two calls compose in either order.
     pub fn sampler(&mut self, sampler: SamplerChoice) -> &mut Self {
         self.config.sampler = sampler;
+        if let SamplerChoice::Newscast(ref mut params) = self.config.sampler {
+            self.newscast_bound_explicit = params.descriptor_max_age.is_some();
+            if params.descriptor_max_age.is_none() {
+                if let Some(sugar) = self.aging_sugar {
+                    params.descriptor_max_age = sugar;
+                }
+            }
+        }
+        self
+    }
+
+    /// Sugar: sets (or, with `None`, disables) the descriptor aging bound on
+    /// the protocol parameters — the failure detector that lets
+    /// post-catastrophe scenarios recover. With a NEWSCAST sampler the same
+    /// bound is applied to the sampler's views (regardless of whether the
+    /// sampler is selected before or after this call; an explicit
+    /// [`NewscastParams::descriptor_max_age`](bss_util::config::NewscastParams)
+    /// value wins over the sugar).
+    pub fn descriptor_max_age(&mut self, max_age: Option<u64>) -> &mut Self {
+        self.config.params.descriptor_max_age = max_age;
+        self.aging_sugar = Some(max_age);
+        if let SamplerChoice::Newscast(ref mut params) = self.config.sampler {
+            if !self.newscast_bound_explicit {
+                params.descriptor_max_age = max_age;
+            }
+        }
         self
     }
 
@@ -259,7 +298,10 @@ pub struct RunReport {
     config: ExperimentConfig,
     leaf_series: Series,
     prefix_series: Series,
+    dead_series: Series,
     convergence_cycle: Option<u64>,
+    degraded_cycle: Option<u64>,
+    recovered_cycle: Option<u64>,
     cycles_executed: u64,
     final_state: NetworkConvergence,
     traffic: TrafficStats,
@@ -281,6 +323,43 @@ impl RunReport {
     /// panels).
     pub fn prefix_series(&self) -> &Series {
         &self.prefix_series
+    }
+
+    /// Per-cycle fraction of stored descriptors (leaf sets and prefix tables,
+    /// over every alive node) that point at dead nodes — the *dead-descriptor
+    /// fraction*, the recovery metric of the post-catastrophe scenarios. The
+    /// measurement walks every table, so it only runs when the scenario can
+    /// actually kill nodes (a churn burst or a catastrophe is on the
+    /// timeline); in every other run the fraction is structurally zero and
+    /// recorded as such without the walk.
+    pub fn dead_series(&self) -> &Series {
+        &self.dead_series
+    }
+
+    /// The first measured cycle at which stale (dead-node) descriptors
+    /// appeared in the tables — typically the catastrophe cycle.
+    pub fn degraded_cycle(&self) -> Option<u64> {
+        self.degraded_cycle
+    }
+
+    /// The first measured cycle after the *last* degradation at which the
+    /// dead-descriptor fraction returned to zero — and stayed there to the end
+    /// of the run: every trace of the failed nodes has been aged out or
+    /// displaced. `None` while stale descriptors linger (the detector-free
+    /// protocol's permanent state after a catastrophe) or when a later event
+    /// re-degraded the overlay and it never came back — a re-degradation voids
+    /// a previously recorded recovery.
+    pub fn recovered_cycle(&self) -> Option<u64> {
+        self.recovered_cycle
+    }
+
+    /// Number of cycles the overlay took to purge every dead descriptor after
+    /// the first degradation (`recovered - degraded`), when it recovered.
+    pub fn cycles_to_recover(&self) -> Option<u64> {
+        match (self.degraded_cycle, self.recovered_cycle) {
+            (Some(degraded), Some(recovered)) => Some(recovered - degraded),
+            _ => None,
+        }
     }
 
     /// The first cycle at which every node had perfect tables, if that happened
@@ -326,11 +405,27 @@ impl RunReport {
         let _ = writeln!(out, "  \"seed\": {},", self.config.seed);
         let _ = writeln!(out, "  \"max_cycles\": {},", self.config.max_cycles);
         let _ = writeln!(out, "  \"cycles_executed\": {},", self.cycles_executed);
+        let optional =
+            |cycle: Option<u64>| cycle.map_or_else(|| "null".to_owned(), |c| c.to_string());
         let _ = writeln!(
             out,
             "  \"convergence_cycle\": {},",
-            self.convergence_cycle
-                .map_or_else(|| "null".to_owned(), |cycle| cycle.to_string())
+            optional(self.convergence_cycle)
+        );
+        let _ = writeln!(
+            out,
+            "  \"degraded_cycle\": {},",
+            optional(self.degraded_cycle)
+        );
+        let _ = writeln!(
+            out,
+            "  \"recovered_cycle\": {},",
+            optional(self.recovered_cycle)
+        );
+        let _ = writeln!(
+            out,
+            "  \"cycles_to_recover\": {},",
+            optional(self.cycles_to_recover())
         );
         let _ = writeln!(
             out,
@@ -362,10 +457,13 @@ impl RunReport {
             let _ = write!(out, "{{\"cycle\": {cycle}, \"event\": \"{description}\"}}");
         }
         out.push_str("],\n");
-        for (name, series) in [
+        let series_list = [
             ("leaf_series", &self.leaf_series),
             ("prefix_series", &self.prefix_series),
-        ] {
+            ("dead_series", &self.dead_series),
+        ];
+        let last = series_list.len() - 1;
+        for (index, (name, series)) in series_list.into_iter().enumerate() {
             let _ = write!(out, "  \"{name}\": [");
             for (position, (cycle, value)) in series.points().iter().enumerate() {
                 if position > 0 {
@@ -373,7 +471,7 @@ impl RunReport {
                 }
                 let _ = write!(out, "[{cycle}, {value:.6e}]");
             }
-            out.push_str(if name == "leaf_series" { "],\n" } else { "]\n" });
+            out.push_str(if index < last { "],\n" } else { "]\n" });
         }
         out.push_str("}\n");
         out
@@ -466,12 +564,21 @@ impl PopulationSnapshot {
 /// figure series, the perfection stop and observer dispatch.
 struct MeasurementDriver<'a> {
     config: &'a ExperimentConfig,
-    membership_stable: bool,
+    /// No event ever degrades built tables (membership changes *or*
+    /// re-bootstrap orders): a recorded convergence cycle is final.
+    tables_stable: bool,
+    /// Some event can kill nodes (churn or catastrophe), so dead descriptors
+    /// are possible and worth the per-cycle table walk; otherwise the
+    /// dead-descriptor fraction is recorded as a structural zero.
+    deaths_possible: bool,
     static_oracle: Option<ConvergenceOracle>,
     tracker: ConvergenceTracker,
     leaf_series: Series,
     prefix_series: Series,
+    dead_series: Series,
     convergence_cycle: Option<u64>,
+    degraded_cycle: Option<u64>,
+    recovered_cycle: Option<u64>,
     final_state: NetworkConvergence,
     events_fired: Vec<(u64, String)>,
 }
@@ -490,12 +597,16 @@ impl<'a> MeasurementDriver<'a> {
         let static_oracle = membership_stable.then(|| protocol.oracle_for(ctx));
         MeasurementDriver {
             config,
-            membership_stable,
+            tables_stable: !config.scenario.perturbs_tables(),
+            deaths_possible: config.scenario.can_kill_nodes(),
             static_oracle,
             tracker: ConvergenceTracker::new(),
             leaf_series: Series::new("missing_leafset_proportion"),
             prefix_series: Series::new("missing_prefix_proportion"),
+            dead_series: Series::new("dead_descriptor_fraction"),
             convergence_cycle: None,
+            degraded_cycle: None,
+            recovered_cycle: None,
             final_state: NetworkConvergence::default(),
             events_fired: Vec::new(),
         }
@@ -528,6 +639,31 @@ impl<'a> MeasurementDriver<'a> {
         };
         self.leaf_series.push(cycle, measured.leaf_proportion());
         self.prefix_series.push(cycle, measured.prefix_proportion());
+        // The dead-descriptor fraction: only a scenario with churn or a
+        // catastrophe can ever kill a node, so every other run (calm, joins,
+        // re-bootstrap) records a structural zero without walking the tables.
+        let dead_fraction = if !self.deaths_possible {
+            0.0
+        } else {
+            let (dead, total) = protocol.dead_descriptor_stats(ctx);
+            if total == 0 {
+                0.0
+            } else {
+                dead as f64 / total as f64
+            }
+        };
+        self.dead_series.push(cycle, dead_fraction);
+        if dead_fraction > 0.0 {
+            if self.degraded_cycle.is_none() {
+                self.degraded_cycle = Some(cycle);
+            }
+            // A later degradation (second failure, ongoing churn) voids a
+            // previously recorded recovery: "recovered" always refers to the
+            // state the run actually ended in.
+            self.recovered_cycle = None;
+        } else if self.degraded_cycle.is_some() && self.recovered_cycle.is_none() {
+            self.recovered_cycle = Some(cycle);
+        }
         self.final_state = measured;
         let mut flow = observer.on_cycle(cycle, &measured);
         if measured.is_perfect() {
@@ -541,8 +677,9 @@ impl<'a> MeasurementDriver<'a> {
                 flow = ControlFlow::Break(());
             }
         } else {
-            // Under membership churn a previously perfect network can degrade.
-            self.convergence_cycle = self.convergence_cycle.filter(|_| self.membership_stable);
+            // Under membership churn or a re-bootstrap order a previously
+            // perfect network can degrade.
+            self.convergence_cycle = self.convergence_cycle.filter(|_| self.tables_stable);
         }
         flow
     }
@@ -552,7 +689,10 @@ impl<'a> MeasurementDriver<'a> {
             config: self.config.clone(),
             leaf_series: self.leaf_series,
             prefix_series: self.prefix_series,
+            dead_series: self.dead_series,
             convergence_cycle: self.convergence_cycle,
+            degraded_cycle: self.degraded_cycle,
+            recovered_cycle: self.recovered_cycle,
             cycles_executed,
             final_state: self.final_state,
             traffic,
@@ -646,7 +786,7 @@ fn run_on_event_engine<S: PeerSampler>(
     let delta = config.params.cycle_millis;
     let mut cycles_executed = 0;
     for cycle in 0..config.max_cycles {
-        let joined = {
+        let (joined, any_departed) = {
             let ctx = engine.context_mut();
             ctx.transport.advance_to_cycle(cycle);
             match churn.as_mut() {
@@ -662,11 +802,25 @@ fn run_on_event_engine<S: PeerSampler>(
                             protocol, node, cycle, ctx,
                         );
                     }
-                    events.joined
+                    // Recovery orders: survivors re-initialise in place. They
+                    // keep their running exchange timers — re-bootstrapping
+                    // replaces table state, not the node's schedule.
+                    for &node in &events.rebootstrapped {
+                        bss_sim::engine::cycle::CycleProtocol::node_rebootstrapped(
+                            protocol, node, cycle, ctx,
+                        );
+                    }
+                    (events.joined, !events.departed.is_empty())
                 }
-                None => Vec::new(),
+                None => (Vec::new(), false),
             }
         };
+        // Nodes killed this cycle must generate zero traffic from now on:
+        // purge their pending exchange timers and in-flight answer slots from
+        // the event queue (they used to linger until their due time).
+        if any_departed {
+            engine.cancel_dead();
+        }
         // Late joiners schedule their first exchange timers from "now".
         for node in joined {
             engine.start_node(protocol, node);
@@ -777,6 +931,58 @@ mod tests {
         assert!(ok.stop_when_perfect);
         assert!(ok.scenario.is_calm());
         assert_eq!(ok.engine, Engine::Cycle);
+    }
+
+    #[test]
+    fn aging_sugar_composes_with_the_sampler_in_either_order() {
+        let newscast = NewscastParams {
+            view_size: 20,
+            period_millis: 1000,
+            descriptor_max_age: None,
+        };
+        // Sugar before the sampler selection: the bound still reaches the views.
+        let sugar_first = ExperimentConfig::builder()
+            .descriptor_max_age(Some(8))
+            .sampler(SamplerChoice::Newscast(newscast))
+            .build()
+            .unwrap();
+        // Sampler first, sugar after: same result.
+        let sampler_first = ExperimentConfig::builder()
+            .sampler(SamplerChoice::Newscast(newscast))
+            .descriptor_max_age(Some(8))
+            .build()
+            .unwrap();
+        for config in [&sugar_first, &sampler_first] {
+            assert_eq!(config.params.descriptor_max_age, Some(8));
+            let SamplerChoice::Newscast(params) = config.sampler else {
+                panic!("newscast sampler expected");
+            };
+            assert_eq!(params.descriptor_max_age, Some(8));
+        }
+        // An explicit view bound wins over the sugar — in either call order.
+        let sugar_then_explicit = ExperimentConfig::builder()
+            .descriptor_max_age(Some(8))
+            .sampler(SamplerChoice::Newscast(NewscastParams {
+                descriptor_max_age: Some(3),
+                ..newscast
+            }))
+            .build()
+            .unwrap();
+        let explicit_then_sugar = ExperimentConfig::builder()
+            .sampler(SamplerChoice::Newscast(NewscastParams {
+                descriptor_max_age: Some(3),
+                ..newscast
+            }))
+            .descriptor_max_age(Some(8))
+            .build()
+            .unwrap();
+        for config in [&sugar_then_explicit, &explicit_then_sugar] {
+            assert_eq!(config.params.descriptor_max_age, Some(8));
+            let SamplerChoice::Newscast(params) = config.sampler else {
+                panic!("newscast sampler expected");
+            };
+            assert_eq!(params.descriptor_max_age, Some(3));
+        }
     }
 
     #[test]
@@ -931,6 +1137,7 @@ mod tests {
             .sampler(SamplerChoice::Newscast(NewscastParams {
                 view_size: 20,
                 period_millis: 1000,
+                descriptor_max_age: None,
             }))
             .max_cycles(80)
             .build()
@@ -1053,6 +1260,56 @@ mod tests {
         assert_eq!(snapshot.len(), 32, "half the nodes died");
         assert_eq!(outcome.events_fired().len(), 1);
         assert_eq!(outcome.events_fired()[0].0, 25);
+    }
+
+    #[test]
+    fn rebootstrap_wipes_survivor_state_and_reconverges() {
+        // A re-bootstrap order with no failure: membership stays static (the
+        // incremental measurement path keeps serving), but every node's tables
+        // are wiped at cycle 20 and rebuilt. The recorded convergence must be
+        // the *second* one — table-perturbing events reset it.
+        let config = ExperimentConfig::builder()
+            .network_size(64)
+            .seed(37)
+            .max_cycles(80)
+            .event(ScenarioEvent::ReBootstrap {
+                at_cycle: 20,
+                fraction: 1.0,
+            })
+            .build()
+            .unwrap();
+        let (outcome, snapshot) = Experiment::new(config).run_with_snapshot();
+        assert_eq!(
+            outcome.leaf_series().value_at(19),
+            Some(0.0),
+            "perfect before the order"
+        );
+        assert!(
+            outcome.leaf_series().value_at(20).unwrap() > 0.0,
+            "the wipe degrades the measurement at the order cycle"
+        );
+        assert!(outcome.converged(), "{outcome}");
+        assert!(
+            outcome.convergence_cycle().unwrap() > 20,
+            "pre-wipe perfection must not be the recorded convergence"
+        );
+        assert_eq!(snapshot.len(), 64, "membership untouched");
+        assert_eq!(outcome.events_fired().len(), 1);
+        // No node ever died, so the dead-descriptor series is identically zero
+        // and no degradation/recovery is recorded.
+        assert!(outcome
+            .dead_series()
+            .points()
+            .iter()
+            .all(|&(_, v)| v == 0.0));
+        assert_eq!(outcome.degraded_cycle(), None);
+        assert_eq!(outcome.recovered_cycle(), None);
+        assert_eq!(outcome.cycles_to_recover(), None);
+        // The report JSON carries the recovery fields and the new series.
+        let json = outcome.to_json();
+        assert!(json.contains("\"dead_series\""));
+        assert!(json.contains("\"recovered_cycle\": null"));
+        assert!(json.contains("re-bootstrap"));
     }
 
     #[test]

@@ -241,6 +241,33 @@ impl<A: Address> LeafSet<A> {
         changed
     }
 
+    /// Evicts every descriptor whose timestamp lags `now` by more than
+    /// `max_age` cycles (the failure-detecting half of descriptor aging; see
+    /// [`BootstrapParams::descriptor_max_age`](bss_util::config::BootstrapParams)).
+    ///
+    /// Runs fully in place on the flat storage — no allocation — preserving
+    /// each side's distance ordering and adjusting the successor/predecessor
+    /// split. Returns whether anything was removed.
+    pub fn evict_expired(&mut self, now: u64, max_age: u64) -> bool {
+        let before = self.entries.len();
+        let mut write = 0usize;
+        let mut surviving_successors = 0usize;
+        for read in 0..before {
+            let descriptor = self.entries[read];
+            if descriptor.is_expired(now, max_age) {
+                continue;
+            }
+            if read < self.split {
+                surviving_successors += 1;
+            }
+            self.entries[write] = descriptor;
+            write += 1;
+        }
+        self.entries.truncate(write);
+        self.split = surviving_successors;
+        write != before
+    }
+
     /// The descriptors sorted by undirected ring distance from the own identifier,
     /// closest first — the ordering `SELECTPEER` is defined over. (The protocol
     /// driver ranks the closer half in place via partial selection instead of
@@ -575,6 +602,45 @@ mod tests {
                 prop_assert_eq!(refed.to_vec(), once.to_vec());
             }
         }
+    }
+
+    #[test]
+    fn evict_expired_drops_stale_entries_and_keeps_the_split_consistent() {
+        let mut set = LeafSet::new(NodeId::new(1000), 6);
+        let fresh = |id: u64, addr: u32| Descriptor::new(NodeId::new(id), addr, 20);
+        let stale = |id: u64, addr: u32| Descriptor::new(NodeId::new(id), addr, 5);
+        set.update([
+            fresh(1001, 1),
+            stale(1002, 2),
+            fresh(1003, 3),
+            stale(999, 4),
+            fresh(998, 5),
+        ]);
+        assert_eq!(set.successors().len(), 3);
+        assert_eq!(set.predecessors().len(), 2);
+
+        // now = 20, max_age = 10: the timestamp-5 entries expire.
+        assert!(set.evict_expired(20, 10));
+        let mut kept = ids(&set);
+        kept.sort_unstable();
+        assert_eq!(kept, vec![998, 1001, 1003]);
+        assert_eq!(
+            set.successors().len(),
+            2,
+            "split tracks surviving successors"
+        );
+        assert_eq!(set.predecessors().len(), 1);
+        // Sides stay ordered closest-first after the in-place compaction.
+        assert_eq!(set.closest_successor().unwrap().id().raw(), 1001);
+        assert_eq!(set.closest_predecessor().unwrap().id().raw(), 998);
+
+        // Nothing left to evict: reports no change.
+        assert!(!set.evict_expired(20, 10));
+        // A generous bound keeps everything.
+        let mut untouched = LeafSet::new(NodeId::new(1000), 4);
+        untouched.update([stale(1001, 1)]);
+        assert!(!untouched.evict_expired(20, 100));
+        assert_eq!(untouched.len(), 1);
     }
 
     #[test]

@@ -193,6 +193,27 @@ impl<A: Address> BootstrapNode<A> {
         )
     }
 
+    /// The clock-aware [`BootstrapNode::create_message_with`]: when descriptor
+    /// aging is configured, the node first re-stamps its own descriptor with
+    /// `now` — this is the heartbeat half of the failure detector: a live node
+    /// keeps its circulating descriptor fresh by gossiping, so only departed
+    /// nodes' descriptors ever expire. Without an aging bound this is exactly
+    /// `create_message_with` (the timestamp is left untouched, keeping the
+    /// detector-free byte-identical path).
+    pub fn create_message_at(
+        &mut self,
+        peer_id: NodeId,
+        random_samples: &[Descriptor<A>],
+        initiating: bool,
+        now: u64,
+        scratch: &mut MessageScratch<A>,
+    ) -> Vec<Descriptor<A>> {
+        if self.params.descriptor_max_age.is_some() {
+            self.own = self.own.refreshed(now);
+        }
+        self.create_message_with(peer_id, random_samples, initiating, scratch)
+    }
+
     /// Processes a received message: `UPDATELEAFSET` followed by
     /// `UPDATEPREFIXTABLE` (both the active and the passive thread do exactly
     /// this, Fig. 2).
@@ -218,6 +239,37 @@ impl<A: Address> BootstrapNode<A> {
             .update_with(descriptors.iter().copied(), scratch);
         let inserted = self.prefix_table.update(descriptors.iter().copied());
         leaf_changed || inserted > 0
+    }
+
+    /// The clock-aware [`BootstrapNode::receive_with`]: when
+    /// `descriptor_max_age` is configured, the merge first evicts every stored
+    /// descriptor whose timestamp lags `now` by more than the bound (leaf set
+    /// and prefix table alike), rejects expired incoming descriptors, and
+    /// refreshes the timestamps of already-known prefix-table entries from
+    /// fresher sightings. All work runs on the caller-owned `scratch` and the
+    /// structures' own flat storage — the receive path stays allocation-free.
+    ///
+    /// Without an aging bound this is exactly `receive_with`, leaving the
+    /// detector-free simulation byte-identical.
+    pub fn receive_at(
+        &mut self,
+        descriptors: &[Descriptor<A>],
+        now: u64,
+        scratch: &mut MergeScratch<A>,
+    ) -> bool {
+        let Some(max_age) = self.params.descriptor_max_age else {
+            return self.receive_with(descriptors, scratch);
+        };
+        self.descriptors_received += descriptors.len() as u64;
+        let leaf_evicted = self.leaf_set.evict_expired(now, max_age);
+        let prefix_evicted = self.prefix_table.evict_expired(now, max_age) > 0;
+        let accepted = descriptors
+            .iter()
+            .copied()
+            .filter(|d| !d.is_expired(now, max_age));
+        let leaf_changed = self.leaf_set.update_with(accepted.clone(), scratch);
+        let inserted = self.prefix_table.update_refreshing(accepted);
+        leaf_evicted || prefix_evicted || leaf_changed || inserted > 0
     }
 
     /// Removes every trace of a departed peer from the local state (used by the
@@ -334,6 +386,91 @@ mod tests {
             n.exchanges_initiated(),
             1,
             "passive replies are not counted"
+        );
+    }
+
+    fn aged_node(id: u64, max_age: u64) -> BootstrapNode<u32> {
+        let params = BootstrapParams {
+            leaf_set_size: 4,
+            random_samples: 4,
+            descriptor_max_age: Some(max_age),
+            ..BootstrapParams::paper_default()
+        };
+        BootstrapNode::new(descriptor(id, 0), &params).unwrap()
+    }
+
+    #[test]
+    fn receive_at_without_aging_matches_receive() {
+        let mut clocked = node(1000);
+        let mut plain = node(1000);
+        let incoming = [
+            Descriptor::new(NodeId::new(1001), 1u32, 0),
+            Descriptor::new(NodeId::new(0xF000_0000_0000_0000), 2u32, 0),
+        ];
+        let a = clocked.receive_at(&incoming, 99, &mut MergeScratch::default());
+        let b = plain.receive(&incoming);
+        assert_eq!(a, b);
+        assert_eq!(clocked.leaf_set().to_vec(), plain.leaf_set().to_vec());
+        assert_eq!(
+            clocked.prefix_table().to_vec(),
+            plain.prefix_table().to_vec()
+        );
+    }
+
+    #[test]
+    fn receive_at_rejects_and_evicts_expired_descriptors() {
+        let mut n = aged_node(1000, 5);
+        // Accepted at cycle 10: stamped 10.
+        let near = Descriptor::new(NodeId::new(1001), 1u32, 10);
+        let far = Descriptor::new(NodeId::new(0xF000_0000_0000_0000), 2u32, 10);
+        assert!(n.receive_at(&[near, far], 10, &mut MergeScratch::default()));
+        assert!(n.leaf_set().contains(near.id()));
+        assert!(n.prefix_table().contains(far.id()));
+
+        // An expired incoming descriptor is rejected outright.
+        let stale = Descriptor::new(NodeId::new(999), 3u32, 2);
+        assert!(!n.receive_at(&[stale], 10, &mut MergeScratch::default()));
+        assert!(!n.leaf_set().contains(stale.id()));
+
+        // Time passes without refreshes: the merge at cycle 16 evicts both
+        // stored entries (age 6 > bound 5) even though the incoming batch is
+        // empty of news.
+        assert!(n.receive_at(&[], 16, &mut MergeScratch::default()));
+        assert!(n.leaf_set().is_empty());
+        assert!(n.prefix_table().is_empty());
+    }
+
+    #[test]
+    fn receive_at_refreshes_prefix_timestamps_of_live_peers() {
+        let mut n = aged_node(1000, 5);
+        let peer = Descriptor::new(NodeId::new(0xF000_0000_0000_0000), 2u32, 10);
+        n.receive_at(&[peer], 10, &mut MergeScratch::default());
+        // A fresher sighting arrives at cycle 14; the stored entry refreshes,
+        // so at cycle 17 it is still within the bound and survives.
+        let fresher = peer.refreshed(14);
+        n.receive_at(&[fresher], 14, &mut MergeScratch::default());
+        assert!(!n.receive_at(&[], 17, &mut MergeScratch::default()));
+        assert!(n.prefix_table().contains(peer.id()));
+        // Without the refresh it would have been evicted at age 7.
+        assert!(n.receive_at(&[], 20, &mut MergeScratch::default()));
+        assert!(!n.prefix_table().contains(peer.id()));
+    }
+
+    #[test]
+    fn create_message_at_restamps_own_descriptor_only_under_aging() {
+        let mut aged = aged_node(1000, 5);
+        aged.initialize([descriptor(1001, 1)]);
+        let _ = aged.create_message_at(NodeId::new(2000), &[], true, 42, &mut Default::default());
+        assert_eq!(aged.own_descriptor().timestamp(), 42);
+        assert_eq!(aged.exchanges_initiated(), 1);
+
+        let mut plain = node(1000);
+        plain.initialize([descriptor(1001, 1)]);
+        let _ = plain.create_message_at(NodeId::new(2000), &[], true, 42, &mut Default::default());
+        assert_eq!(
+            plain.own_descriptor().timestamp(),
+            0,
+            "aging off leaves the timestamp untouched"
         );
     }
 

@@ -161,6 +161,62 @@ impl<A: Address> PrefixTable<A> {
         true
     }
 
+    /// `UPDATEPREFIXTABLE` under descriptor aging: like [`PrefixTable::update`],
+    /// but an incoming descriptor whose identifier is already stored *refreshes*
+    /// the stored copy to the fresher of the two. The plain update never touches
+    /// existing entries (the table is add-only during a detector-free
+    /// bootstrap); with a failure detector the stored timestamps are the
+    /// detector's evidence, so they must track the freshest sighting or a live
+    /// node's entry would expire at its insertion age. Returns the number of
+    /// descriptors newly inserted (refreshes do not count).
+    pub fn update_refreshing(
+        &mut self,
+        incoming: impl IntoIterator<Item = Descriptor<A>>,
+    ) -> usize {
+        let mut inserted = 0;
+        for descriptor in incoming {
+            let Some((row, column)) = self.geometry.slot_of(self.own_id, descriptor.id()) else {
+                continue;
+            };
+            let slot = self.slot_index(row, column);
+            let (start, end) = (self.offsets[slot] as usize, self.offsets[slot + 1] as usize);
+            if let Some(existing) = self.store[start..end]
+                .iter_mut()
+                .find(|d| d.id() == descriptor.id())
+            {
+                *existing = existing.fresher_of(descriptor);
+            } else if self.insert(descriptor) {
+                inserted += 1;
+            }
+        }
+        inserted
+    }
+
+    /// Evicts every descriptor whose timestamp lags `now` by more than
+    /// `max_age` cycles (the failure-detecting half of descriptor aging).
+    ///
+    /// One in-place compaction pass over the flat store — no allocation — with
+    /// the per-slot offsets rebuilt as it goes. Returns the number of
+    /// descriptors removed.
+    pub fn evict_expired(&mut self, now: u64, max_age: u64) -> usize {
+        let mut write = 0usize;
+        for slot in 0..self.offsets.len() - 1 {
+            let (start, end) = (self.offsets[slot] as usize, self.offsets[slot + 1] as usize);
+            self.offsets[slot] = write as u32;
+            for read in start..end {
+                let descriptor = self.store[read];
+                if !descriptor.is_expired(now, max_age) {
+                    self.store[write] = descriptor;
+                    write += 1;
+                }
+            }
+        }
+        let removed = self.store.len() - write;
+        *self.offsets.last_mut().expect("offsets never empty") = write as u32;
+        self.store.truncate(write);
+        removed
+    }
+
     /// Removes every descriptor with the given identifier (used when a node learns
     /// that a peer has departed). Returns the number of descriptors removed.
     pub fn remove(&mut self, id: NodeId) -> usize {
@@ -309,6 +365,61 @@ mod tests {
         assert!(!table.insert(Descriptor::new(own(), 1u32, 0)));
         assert!(table.slot_is_full_for(own()));
         assert!(!table.contains(own()));
+    }
+
+    #[test]
+    fn update_refreshing_keeps_freshest_and_counts_only_insertions() {
+        let mut table = PrefixTable::new(own(), geometry());
+        let old = Descriptor::new(NodeId::new(0xAAAA_0000_0000_0000), 1u32, 3);
+        assert_eq!(table.update_refreshing([old]), 1);
+        // A fresher sighting of the same node refreshes in place.
+        let fresh = Descriptor::new(old.id(), 2u32, 9);
+        assert_eq!(table.update_refreshing([fresh]), 0);
+        let stored = table.slot(0, 0xA)[0];
+        assert_eq!(stored.timestamp(), 9);
+        assert_eq!(stored.address(), 2);
+        // A staler sighting does not regress the stored copy.
+        let stale = Descriptor::new(old.id(), 7u32, 1);
+        assert_eq!(table.update_refreshing([stale]), 0);
+        assert_eq!(table.slot(0, 0xA)[0].timestamp(), 9);
+        assert_eq!(table.len(), 1);
+        // Capacity discipline is unchanged for genuinely new identifiers.
+        let more = [
+            Descriptor::new(NodeId::new(0xAAAA_0000_0000_0001), 3u32, 5),
+            Descriptor::new(NodeId::new(0xAAAA_0000_0000_0002), 4u32, 5),
+            Descriptor::new(NodeId::new(0xAAAA_0000_0000_0003), 5u32, 5),
+        ];
+        assert_eq!(table.update_refreshing(more), 2, "slot capacity is k = 3");
+    }
+
+    #[test]
+    fn evict_expired_compacts_the_store_and_offsets() {
+        let mut table = PrefixTable::new(own(), geometry());
+        let entries = [
+            Descriptor::new(NodeId::new(0xF000_0000_0000_0001), 1u32, 2), // stale
+            Descriptor::new(NodeId::new(0xF000_0000_0000_0002), 2u32, 19), // fresh
+            Descriptor::new(NodeId::new(0x1239_0000_0000_0000), 3u32, 1), // stale, row 3
+            Descriptor::new(NodeId::new(0xAAAA_0000_0000_0000), 4u32, 20), // fresh
+        ];
+        assert_eq!(table.update(entries), 4);
+        // now = 20, max_age = 10: timestamps 1 and 2 expire.
+        assert_eq!(table.evict_expired(20, 10), 2);
+        assert_eq!(table.len(), 2);
+        assert!(!table.contains(NodeId::new(0xF000_0000_0000_0001)));
+        assert!(table.contains(NodeId::new(0xF000_0000_0000_0002)));
+        assert!(!table.contains(NodeId::new(0x1239_0000_0000_0000)));
+        assert!(table.contains(NodeId::new(0xAAAA_0000_0000_0000)));
+        // Slot lookups still work against the rebuilt offsets.
+        assert_eq!(table.slot(0, 0xF).len(), 1);
+        assert_eq!(table.slot(3, 0x9).len(), 0);
+        assert_eq!(table.slot(0, 0xA).len(), 1);
+        // The vacated slot accepts new entries again.
+        assert!(table.insert(Descriptor::new(
+            NodeId::new(0x1239_0000_0000_0001),
+            9u32,
+            20
+        )));
+        assert_eq!(table.evict_expired(20, 10), 0, "nothing stale remains");
     }
 
     #[test]

@@ -26,7 +26,8 @@
 
 use crate::convergence::NetworkConvergence;
 use bss_sim::churn::{
-    CatastrophicFailure, ChurnModel, CompositeChurn, MassiveJoin, UniformChurn, WindowedChurn,
+    CatastrophicFailure, ChurnModel, CompositeChurn, MassiveJoin, ReBootstrap, UniformChurn,
+    WindowedChurn,
 };
 use bss_sim::observer::MetricRecorder;
 use bss_sim::transport::TimelineTransport;
@@ -158,6 +159,21 @@ pub enum ScenarioEvent {
         /// Number of joining nodes (must be positive).
         count: usize,
     },
+    /// A one-shot recovery order: a fraction of the alive nodes re-initialises
+    /// its bootstrap state from the peer sampling service, exactly as at
+    /// start-up (§4's start condition re-applied to survivors). Schedule this
+    /// a few cycles after a [`ScenarioEvent::CatastrophicFailure`] — combined
+    /// with descriptor aging
+    /// ([`BootstrapParams::descriptor_max_age`](bss_util::config::BootstrapParams))
+    /// it is what makes a post-catastrophe overlay actually re-converge
+    /// instead of gossiping the dead forever. Membership is untouched.
+    ReBootstrap {
+        /// The cycle at which the survivors re-initialise.
+        at_cycle: u64,
+        /// Fraction of the alive nodes that re-bootstraps, in `[0, 1]`
+        /// (1.0 = every survivor).
+        fraction: f64,
+    },
     /// A network partition during a window: messages crossing group boundaries
     /// are dropped while the window is active, and the partitions merge when
     /// it ends (§1–2's split/merge scenario).
@@ -177,7 +193,8 @@ impl ScenarioEvent {
             | ScenarioEvent::ChurnBurst { phase, .. }
             | ScenarioEvent::Partition { phase, .. } => phase.start,
             ScenarioEvent::CatastrophicFailure { at_cycle, .. }
-            | ScenarioEvent::MassiveJoin { at_cycle, .. } => *at_cycle,
+            | ScenarioEvent::MassiveJoin { at_cycle, .. }
+            | ScenarioEvent::ReBootstrap { at_cycle, .. } => *at_cycle,
         }
     }
 
@@ -196,7 +213,8 @@ impl ScenarioEvent {
                 }
             }
             ScenarioEvent::CatastrophicFailure { at_cycle, .. }
-            | ScenarioEvent::MassiveJoin { at_cycle, .. } => *at_cycle,
+            | ScenarioEvent::MassiveJoin { at_cycle, .. }
+            | ScenarioEvent::ReBootstrap { at_cycle, .. } => *at_cycle,
         }
     }
 
@@ -209,6 +227,26 @@ impl ScenarioEvent {
             ScenarioEvent::ChurnBurst { .. }
                 | ScenarioEvent::CatastrophicFailure { .. }
                 | ScenarioEvent::MassiveJoin { .. }
+        )
+    }
+
+    /// Whether this event can degrade already-built tables (membership changes
+    /// do, and so does a re-bootstrap, which wipes survivor state without
+    /// touching membership). The runner resets a recorded convergence cycle
+    /// when a table-perturbing event can strike.
+    pub fn perturbs_tables(&self) -> bool {
+        self.perturbs_membership() || matches!(self, ScenarioEvent::ReBootstrap { .. })
+    }
+
+    /// Whether this event can kill nodes (churn replaces them, a catastrophe
+    /// removes them). Only scenarios containing such an event can ever produce
+    /// a dead descriptor, so the runner skips the per-cycle dead-descriptor
+    /// table walk entirely when none is present (a massive join perturbs
+    /// membership but can never create a dead node).
+    pub fn can_kill_nodes(&self) -> bool {
+        matches!(
+            self,
+            ScenarioEvent::ChurnBurst { .. } | ScenarioEvent::CatastrophicFailure { .. }
         )
     }
 
@@ -236,6 +274,9 @@ impl ScenarioEvent {
             }
             ScenarioEvent::CatastrophicFailure { fraction, .. } => {
                 in_unit("failure fraction", *fraction)
+            }
+            ScenarioEvent::ReBootstrap { fraction, .. } => {
+                in_unit("re-bootstrap fraction", *fraction)
             }
             ScenarioEvent::MassiveJoin { count, .. } => {
                 if *count == 0 {
@@ -277,6 +318,13 @@ impl fmt::Display for ScenarioEvent {
             }
             ScenarioEvent::MassiveJoin { at_cycle, count } => {
                 write!(f, "massive join of {count} nodes at cycle {at_cycle}")
+            }
+            ScenarioEvent::ReBootstrap { at_cycle, fraction } => {
+                write!(
+                    f,
+                    "re-bootstrap of {:.0}% of survivors at cycle {at_cycle}",
+                    fraction * 100.0
+                )
             }
             ScenarioEvent::Partition { phase, .. } => {
                 write!(f, "network partition during {phase}")
@@ -381,10 +429,23 @@ impl Scenario {
     }
 
     /// Whether any event changes the network's membership (churn, failure,
-    /// join). When false, one convergence oracle serves the whole run and a
-    /// reached perfection can never degrade.
+    /// join). When false, one convergence oracle serves the whole run.
     pub fn perturbs_membership(&self) -> bool {
         self.events.iter().any(ScenarioEvent::perturbs_membership)
+    }
+
+    /// Whether any event can degrade already-built tables — membership changes
+    /// or re-bootstrap orders. When false, a reached perfection can never
+    /// degrade, so the runner keeps the first recorded convergence cycle.
+    pub fn perturbs_tables(&self) -> bool {
+        self.events.iter().any(ScenarioEvent::perturbs_tables)
+    }
+
+    /// Whether any event can kill nodes — the precondition for a dead
+    /// descriptor to ever exist. When false, the dead-descriptor fraction is
+    /// structurally zero and the runner records it without walking any table.
+    pub fn can_kill_nodes(&self) -> bool {
+        self.events.iter().any(ScenarioEvent::can_kill_nodes)
     }
 
     /// The probability of a whole-run loss window, if one is on the timeline
@@ -514,12 +575,14 @@ impl Scenario {
         transport
     }
 
-    /// Compiles the timeline's membership events into a churn model, or `None`
-    /// when membership is static. Models are composed in timeline order, so
-    /// within one cycle a join listed before a failure exposes the joiners to
-    /// that failure — exactly as in the legacy `CompositeChurn` usage.
+    /// Compiles the timeline's membership and recovery events into a churn
+    /// model, or `None` when neither kind is present. Models are composed in
+    /// timeline order, so within one cycle a join listed before a failure
+    /// exposes the joiners to that failure — exactly as in the legacy
+    /// `CompositeChurn` usage — and a re-bootstrap listed after a failure
+    /// re-initialises only the survivors.
     pub fn build_churn(&self) -> Option<Box<dyn ChurnModel>> {
-        if !self.perturbs_membership() {
+        if !self.perturbs_tables() {
             return None;
         }
         let mut composite = CompositeChurn::new();
@@ -538,6 +601,9 @@ impl Scenario {
                 }
                 ScenarioEvent::MassiveJoin { at_cycle, count } => {
                     composite = composite.with(Box::new(MassiveJoin::new(*at_cycle, *count)));
+                }
+                ScenarioEvent::ReBootstrap { at_cycle, fraction } => {
+                    composite = composite.with(Box::new(ReBootstrap::new(*at_cycle, *fraction)));
                 }
                 _ => {}
             }
@@ -876,6 +942,43 @@ mod tests {
             })
             .validate()
             .is_err());
+    }
+
+    #[test]
+    fn rebootstrap_perturbs_tables_but_not_membership() {
+        let scenario = Scenario::calm().with(ScenarioEvent::ReBootstrap {
+            at_cycle: 12,
+            fraction: 1.0,
+        });
+        assert!(!scenario.perturbs_membership(), "membership is untouched");
+        assert!(scenario.perturbs_tables(), "survivor state is wiped");
+        assert!(
+            scenario.build_churn().is_some(),
+            "the recovery order still needs a model at cycle boundaries"
+        );
+        assert!(scenario.changes_after(11));
+        assert!(!scenario.changes_after(12));
+        // Validation: the fraction must lie in the unit interval.
+        assert!(scenario.validate().is_ok());
+        assert_eq!(
+            Scenario::calm()
+                .with(ScenarioEvent::ReBootstrap {
+                    at_cycle: 3,
+                    fraction: 1.5,
+                })
+                .validate(),
+            Err(InvalidParams::OutOfRange {
+                field: "re-bootstrap fraction",
+                value: 1.5,
+                min: 0.0,
+                max: 1.0,
+            })
+        );
+        // Display names the event for RunReport event logs.
+        let text = scenario.events()[0].to_string();
+        assert!(text.contains("re-bootstrap"), "{text}");
+        assert!(text.contains("100%"), "{text}");
+        assert!(text.contains("cycle 12"), "{text}");
     }
 
     #[test]

@@ -123,6 +123,7 @@ fn churned_newscast_run_is_thread_count_invariant() {
         .sampler(SamplerChoice::Newscast(NewscastParams {
             view_size: 20,
             period_millis: 1000,
+            descriptor_max_age: None,
         }))
         .churn_rate(0.02)
         .drop_probability(0.1)
@@ -159,6 +160,7 @@ proptest! {
             builder.sampler(SamplerChoice::Newscast(NewscastParams {
                 view_size: 15,
                 period_millis: 1000,
+                descriptor_max_age: None,
             }));
         }
         let config = builder.build().unwrap();

@@ -119,8 +119,8 @@ impl<S: PeerSampler> CycleProtocol for GossipBroadcast<S> {
         }
     }
 
-    fn node_joined(&mut self, node: NodeIndex, _cycle: u64, ctx: &mut EngineContext) {
-        self.sampler.init_node(node, ctx);
+    fn node_joined(&mut self, node: NodeIndex, cycle: u64, ctx: &mut EngineContext) {
+        self.sampler.init_node(node, cycle, ctx);
     }
 
     fn node_departed(&mut self, node: NodeIndex, _cycle: u64, ctx: &mut EngineContext) {

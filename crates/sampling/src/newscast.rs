@@ -114,7 +114,12 @@ impl NewscastProtocol {
 
     /// Performs the merge step at one participant: current view ∪ received
     /// descriptors, normalised and written back to the arena slot (occupying it
-    /// if the node held no view yet).
+    /// if the node held no view yet). When the configured
+    /// [`descriptor_max_age`](NewscastParams::descriptor_max_age) is set,
+    /// `aging` carries `(now, bound)` and descriptors older than the bound are
+    /// dropped before the freshest-first ranking — the view-level failure
+    /// detector that purges a departed node's last sighting even while the
+    /// view is not full.
     fn merge_slot(
         views: &mut ViewArena<NodeIndex>,
         scratch: &mut View,
@@ -122,10 +127,14 @@ impl NewscastProtocol {
         received: &[Descriptor<NodeIndex>],
         own_id: NodeId,
         capacity: usize,
+        aging: Option<(u64, u64)>,
     ) {
         scratch.clear();
         scratch.extend_from_slice(views.get(node.as_usize()).unwrap_or(&[]));
         scratch.extend_from_slice(received);
+        if let Some((now, bound)) = aging {
+            scratch.retain(|d| !d.is_expired(now, bound));
+        }
         Self::normalise(scratch, own_id, capacity);
         views.set(node.as_usize(), scratch);
     }
@@ -174,6 +183,7 @@ impl NewscastProtocol {
 
         // The peer merges the request (occupying its slot if it held no view).
         let peer_id = ctx.network.id(peer);
+        let aging = self.params.descriptor_max_age.map(|bound| (cycle, bound));
         Self::merge_slot(
             &mut self.views,
             &mut self.merge_scratch,
@@ -181,6 +191,7 @@ impl NewscastProtocol {
             &request,
             peer_id,
             capacity,
+            aging,
         );
 
         // The initiator merges the response, if it arrives.
@@ -192,6 +203,7 @@ impl NewscastProtocol {
                 &response,
                 own_id,
                 capacity,
+                aging,
             );
         }
         self.request_scratch = request;
@@ -224,17 +236,22 @@ impl CycleProtocol for NewscastProtocol {
 }
 
 impl PeerSampler for NewscastProtocol {
-    fn init_node(&mut self, node: NodeIndex, ctx: &mut EngineContext) {
+    fn init_node(&mut self, node: NodeIndex, cycle: u64, ctx: &mut EngineContext) {
         // The standard starting condition: a view seeded with random alive peers.
         // Section 3 notes that NEWSCAST quickly randomises the views even when the
         // initial caches are heavily skewed, so the exact seeding barely matters.
+        // The seeds are stamped with the initialisation cycle — stamping a
+        // mid-run joiner's seeds with 0 (the old behaviour) made its fresh
+        // contacts the *stalest* descriptors in the network, so freshness
+        // ranking discarded them instantly and the aging filter would have
+        // rejected them outright.
         let view_size = self.params.view_size;
         let picked = ctx
             .network
             .sample_alive_excluding(node, view_size, &mut ctx.rng);
         let seeds = picked
             .into_iter()
-            .map(|peer| ctx.network.descriptor(peer, 0))
+            .map(|peer| ctx.network.descriptor(peer, cycle))
             .collect();
         self.init_node_with(node, seeds, ctx);
     }
@@ -281,6 +298,7 @@ mod tests {
         let mut protocol = NewscastProtocol::new(NewscastParams {
             view_size: 20,
             period_millis: 1000,
+            descriptor_max_age: None,
         });
         protocol.init_all(eng.context_mut());
         eng.run(&mut protocol, cycles);
@@ -402,6 +420,7 @@ mod tests {
         let mut protocol = NewscastProtocol::new(NewscastParams {
             view_size: 3,
             period_millis: 1000,
+            descriptor_max_age: None,
         });
         let own = eng.context().network.descriptor(NodeIndex::new(0), 0);
         let seeds: Vec<_> = (0..10u32)
@@ -454,5 +473,80 @@ mod tests {
     fn params_accessor_returns_configuration() {
         let protocol = NewscastProtocol::new(NewscastParams::paper_default());
         assert_eq!(protocol.params().view_size, 30);
+    }
+
+    #[test]
+    fn view_aging_purges_expired_descriptors_during_merges() {
+        // Two identical runs, one with a view aging bound: after enough calm
+        // cycles both converge to fresh views, but only the aged protocol
+        // guarantees that *no* descriptor older than the bound survives a
+        // merge — even while views are not at capacity.
+        let mut rng = SimRng::seed_from(21);
+        let network = Network::with_random_ids(60, &mut rng);
+        let mut eng = CycleEngine::new(network, rng);
+        let mut protocol = NewscastProtocol::new(NewscastParams {
+            view_size: 20,
+            period_millis: 1000,
+            descriptor_max_age: Some(4),
+        });
+        protocol.init_all(eng.context_mut());
+        eng.run(&mut protocol, 12);
+        let now = 11; // last executed cycle stamped exchanges with this value
+        for node in eng.context().network.all_indices() {
+            for d in protocol.view(node).unwrap_or(&[]) {
+                assert!(
+                    !d.is_expired(now, 4),
+                    "aged view kept an expired descriptor: ts {} at cycle {now}",
+                    d.timestamp()
+                );
+            }
+        }
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Regression for the joiner-timestamp bug: a node initialised at
+            /// cycle `c` must have every seeded view descriptor stamped `c`,
+            /// not 0 — under churn, timestamp-0 seeds made fresh joiners'
+            /// contacts look maximally stale to freshness ranking and to the
+            /// descriptor-aging filter.
+            #[test]
+            fn joiners_views_are_stamped_with_their_join_cycle(
+                seed in 0u64..500,
+                join_cycle in 1u64..400,
+                view_size in 2usize..16,
+            ) {
+                let mut rng = SimRng::seed_from(seed);
+                let network = Network::with_random_ids(30, &mut rng);
+                let mut ctx = bss_sim::engine::cycle::EngineContext::new(network, rng);
+                let mut protocol = NewscastProtocol::new(NewscastParams {
+                    view_size,
+                    period_millis: 1000,
+                    descriptor_max_age: None,
+                });
+                let joiner = {
+                    let rng = &mut ctx.rng;
+                    ctx.network.add_random_node(rng)
+                };
+                PeerSampler::init_node(&mut protocol, joiner, join_cycle, &mut ctx);
+                let view = protocol.view(joiner).expect("joiner initialised");
+                prop_assert!(!view.is_empty());
+                for d in view {
+                    prop_assert_eq!(
+                        d.timestamp(),
+                        join_cycle,
+                        "seed descriptor stamped with the wrong cycle"
+                    );
+                }
+                // And under an aging bound the seeds survive the very next
+                // merge instead of being rejected as expired.
+                for d in view {
+                    prop_assert!(!d.is_expired(join_cycle + 1, 2));
+                }
+            }
+        }
     }
 }

@@ -138,6 +138,7 @@ mod tests {
         let mut protocol = NewscastProtocol::new(NewscastParams {
             view_size: 20,
             period_millis: 1000,
+            descriptor_max_age: None,
         });
         protocol.init_all(engine.context_mut());
         engine.run(&mut protocol, cycles);

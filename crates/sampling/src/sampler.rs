@@ -19,15 +19,21 @@ use std::fmt::Debug;
 /// oracle). All methods receive the [`EngineContext`] so they can reach the node
 /// registry, the RNG and the transport.
 pub trait PeerSampler: Debug {
-    /// Initialises per-node state for `node` (called for every initial node and for
-    /// every later joiner before it first samples).
-    fn init_node(&mut self, node: NodeIndex, ctx: &mut EngineContext);
+    /// Initialises per-node state for `node` (called for every initial node and
+    /// for every later joiner before it first samples). `cycle` is the logical
+    /// time of the initialisation — 0 at start-up, the join cycle for later
+    /// joiners — and is the timestamp stateful samplers must stamp on the
+    /// seeded descriptors: seeding a mid-run joiner's view with timestamp-0
+    /// descriptors would make the fresh node's contacts look maximally stale
+    /// to freshness ranking and to the descriptor-aging failure detector.
+    fn init_node(&mut self, node: NodeIndex, cycle: u64, ctx: &mut EngineContext);
 
-    /// Initialises every node currently alive in the registry.
+    /// Initialises every node currently alive in the registry (at cycle 0, the
+    /// start-up condition).
     fn init_all(&mut self, ctx: &mut EngineContext) {
         let nodes: Vec<NodeIndex> = ctx.network.alive_indices().collect();
         for node in nodes {
-            self.init_node(node, ctx);
+            self.init_node(node, 0, ctx);
         }
     }
 
@@ -84,7 +90,7 @@ impl OracleSampler {
 }
 
 impl PeerSampler for OracleSampler {
-    fn init_node(&mut self, _node: NodeIndex, _ctx: &mut EngineContext) {}
+    fn init_node(&mut self, _node: NodeIndex, _cycle: u64, _ctx: &mut EngineContext) {}
 
     fn sample(
         &mut self,

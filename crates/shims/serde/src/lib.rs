@@ -92,6 +92,18 @@ impl<'de> FieldMap<'de> {
             .ok_or_else(|| Error::custom(format!("missing field `{key}`")))
     }
 
+    /// Whether anything is stored under `key` itself or under a nested
+    /// `key.child` path — i.e. whether a value serialized at `key` is present
+    /// at all. `Option` deserialization uses this to distinguish a missing
+    /// value (`None`) from a present one.
+    pub fn contains(&self, key: &str) -> bool {
+        if self.entries.contains_key(key) {
+            return true;
+        }
+        let prefix = format!("{key}.");
+        self.entries.keys().any(|entry| entry.starts_with(&prefix))
+    }
+
     /// Looks up a full key and parses its value with [`std::str::FromStr`]
     /// (whitespace-trimmed, as no scalar carries significant whitespace).
     pub fn lookup<T>(&self, key: &str) -> Result<T, Error>
@@ -195,6 +207,34 @@ fn unescape_text(value: &str) -> Result<String, Error> {
     Ok(out)
 }
 
+// Options serialize as their content when present and as nothing at all when
+// absent; deserialization treats a missing key (and missing nested children)
+// as `None`. This matches serde's conventional `skip_serializing_if = "None"`
+// + `default` handling closely enough for configuration round-trips.
+//
+// Known limitation (inherent to presence-by-key): a `Some` whose payload
+// itself serializes to zero lines — `Some(None)`, or `Some` of a struct whose
+// every field is `None` — is indistinguishable from `None` after a round
+// trip. Scalar-or-struct optional fields (the only shape the workspace uses)
+// round-trip exactly; avoid nesting options directly inside options.
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_fields(&self, key: &str, out: &mut String) {
+        if let Some(value) = self {
+            value.serialize_fields(key, out);
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize_fields(key: &str, map: &FieldMap<'de>) -> Result<Self, Error> {
+        if map.contains(scalar_key(key)) || map.contains(key) {
+            T::deserialize_fields(key, map).map(Some)
+        } else {
+            Ok(None)
+        }
+    }
+}
+
 // Strings (and chars, which can be '=' or '\n') need escaping so that the
 // line-oriented format survives arbitrary content.
 impl Serialize for String {
@@ -246,6 +286,29 @@ impl<'de> Deserialize<'de> for char {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn options_round_trip_and_absent_keys_are_none() {
+        let mut out = String::new();
+        Some(7u64).serialize_fields("age", &mut out);
+        assert_eq!(out, "age=7\n");
+        let mut empty = String::new();
+        Option::<u64>::None.serialize_fields("age", &mut empty);
+        assert_eq!(empty, "", "None serializes to nothing");
+
+        let map = FieldMap::parse("age=7\nother=1\n");
+        assert_eq!(
+            Option::<u64>::deserialize_fields("age", &map).unwrap(),
+            Some(7)
+        );
+        assert_eq!(
+            Option::<u64>::deserialize_fields("missing", &map).unwrap(),
+            None
+        );
+        // A present key with garbage content is an error, not None.
+        let bad = FieldMap::parse("age=seven\n");
+        assert!(Option::<u64>::deserialize_fields("age", &bad).is_err());
+    }
 
     #[test]
     fn scalars_round_trip() {

@@ -29,6 +29,11 @@ pub struct ChurnEvents {
     pub joined: Vec<NodeIndex>,
     /// Nodes that departed (already marked dead in the registry).
     pub departed: Vec<NodeIndex>,
+    /// Alive nodes ordered to re-initialise their protocol state from the
+    /// seed set (the [`ReBootstrap`] recovery event). Membership is untouched:
+    /// the registry entry, identifier and liveness of these nodes do not
+    /// change — only their per-node protocol state is rebuilt.
+    pub rebootstrapped: Vec<NodeIndex>,
 }
 
 impl ChurnEvents {
@@ -39,7 +44,7 @@ impl ChurnEvents {
 
     /// Whether anything changed.
     pub fn is_empty(&self) -> bool {
-        self.joined.is_empty() && self.departed.is_empty()
+        self.joined.is_empty() && self.departed.is_empty() && self.rebootstrapped.is_empty()
     }
 }
 
@@ -108,7 +113,11 @@ impl ChurnModel for UniformChurn {
             joined.iter().all(|j| j.as_usize() >= watermark),
             "churn joiner reused a pre-existing node slot"
         );
-        ChurnEvents { joined, departed }
+        ChurnEvents {
+            joined,
+            departed,
+            rebootstrapped: Vec::new(),
+        }
     }
 }
 
@@ -154,6 +163,7 @@ impl ChurnModel for CatastrophicFailure {
         ChurnEvents {
             joined: Vec::new(),
             departed,
+            rebootstrapped: Vec::new(),
         }
     }
 }
@@ -190,6 +200,62 @@ impl ChurnModel for MassiveJoin {
         ChurnEvents {
             joined,
             departed: Vec::new(),
+            rebootstrapped: Vec::new(),
+        }
+    }
+}
+
+/// A one-shot recovery order: at a given cycle a fraction of the alive nodes
+/// re-initialises its protocol state from the peer sampling service, exactly
+/// as at start-up (§4's start condition re-applied to survivors). This is the
+/// scenario-level counterpart of a catastrophic failure — after a large
+/// fraction of the network dies, the survivors' tables are full of stale
+/// descriptors, and re-bootstrapping from the (self-healing) sampling layer is
+/// how the paper's architecture recovers (§1–2's repeated-bootstrap premise).
+///
+/// Membership is untouched: no node joins or departs; the affected nodes are
+/// reported in [`ChurnEvents::rebootstrapped`].
+#[derive(Debug, Clone)]
+pub struct ReBootstrap {
+    at_cycle: u64,
+    fraction: f64,
+    fired: bool,
+}
+
+impl ReBootstrap {
+    /// Creates an order for `fraction` of the alive nodes (clamped to
+    /// `[0, 1]`; 1.0 re-bootstraps every survivor) at cycle `at_cycle`.
+    pub fn new(at_cycle: u64, fraction: f64) -> Self {
+        ReBootstrap {
+            at_cycle,
+            fraction: fraction.clamp(0.0, 1.0),
+            fired: false,
+        }
+    }
+
+    /// Whether the order has already been applied.
+    pub fn has_fired(&self) -> bool {
+        self.fired
+    }
+}
+
+impl ChurnModel for ReBootstrap {
+    fn apply(&mut self, cycle: u64, network: &mut Network, rng: &mut SimRng) -> ChurnEvents {
+        if self.fired || cycle != self.at_cycle {
+            return ChurnEvents::none();
+        }
+        self.fired = true;
+        let alive: Vec<NodeIndex> = network.alive_indices().collect();
+        let count = ((alive.len() as f64) * self.fraction).round() as usize;
+        let rebootstrapped = if count >= alive.len() {
+            alive // everyone: no sampling draw needed, keep the RNG stream lean
+        } else {
+            rng.sample(&alive, count)
+        };
+        ChurnEvents {
+            joined: Vec::new(),
+            departed: Vec::new(),
+            rebootstrapped,
         }
     }
 }
@@ -280,8 +346,15 @@ impl ChurnModel for CompositeChurn {
             e.departed.retain(|node| node.as_usize() < watermark);
             events.joined.append(&mut e.joined);
             events.departed.append(&mut e.departed);
+            events.rebootstrapped.append(&mut e.rebootstrapped);
         }
         events.joined.retain(|&node| network.is_alive(node));
+        // A re-bootstrap order for a node a later model killed this same cycle
+        // is void (there is no state left to rebuild), and one for a node that
+        // joined this cycle is redundant (a joiner initialises fresh anyway).
+        events
+            .rebootstrapped
+            .retain(|&node| network.is_alive(node) && node.as_usize() < watermark);
         events
     }
 }
@@ -390,6 +463,57 @@ mod tests {
         assert!(join.apply(1, &mut net, &mut rng).is_empty());
         for &node in &events.joined {
             assert!(net.is_alive(node));
+        }
+    }
+
+    #[test]
+    fn rebootstrap_fires_once_and_touches_no_membership() {
+        let (mut net, mut rng) = network(100, 11);
+        let mut order = ReBootstrap::new(4, 0.5);
+        assert!(!order.has_fired());
+        for cycle in 0..4 {
+            assert!(order.apply(cycle, &mut net, &mut rng).is_empty());
+        }
+        let events = order.apply(4, &mut net, &mut rng);
+        assert!(order.has_fired());
+        assert_eq!(events.rebootstrapped.len(), 50);
+        assert!(events.joined.is_empty() && events.departed.is_empty());
+        assert_eq!(net.alive_count(), 100, "membership is untouched");
+        for &node in &events.rebootstrapped {
+            assert!(net.is_alive(node));
+        }
+        assert!(order.apply(4, &mut net, &mut rng).is_empty());
+        assert!(order.apply(5, &mut net, &mut rng).is_empty());
+
+        // Fraction 1.0 selects every survivor, in index order, drawing no RNG.
+        let (mut net, mut rng) = network(10, 12);
+        net.kill(NodeIndex::new(3));
+        let fingerprint = rng.clone();
+        let all = ReBootstrap::new(0, 1.0).apply(0, &mut net, &mut rng);
+        assert_eq!(rng, fingerprint, "full re-bootstrap draws no randomness");
+        assert_eq!(all.rebootstrapped.len(), 9);
+        assert!(!all.rebootstrapped.contains(&NodeIndex::new(3)));
+    }
+
+    #[test]
+    fn composite_voids_rebootstrap_orders_for_same_cycle_victims_and_joiners() {
+        // ReBootstrap(all) runs first, then a failure kills half, then a join
+        // adds fresh nodes. Reported re-bootstrap orders must cover exactly
+        // the pre-existing survivors: orders for same-cycle victims are void,
+        // and same-cycle joiners initialise fresh anyway.
+        let (mut net, mut rng) = network(20, 13);
+        let mut composite = CompositeChurn::new()
+            .with(Box::new(ReBootstrap::new(0, 1.0)))
+            .with(Box::new(CatastrophicFailure::new(0, 0.5)))
+            .with(Box::new(MassiveJoin::new(0, 7)));
+        let events = composite.apply(0, &mut net, &mut rng);
+        assert_eq!(events.departed.len(), 10);
+        assert_eq!(events.joined.len(), 7);
+        assert_eq!(events.rebootstrapped.len(), 10, "the surviving originals");
+        for &node in &events.rebootstrapped {
+            assert!(net.is_alive(node));
+            assert!(node.as_usize() < 20, "orders never cover fresh joiners");
+            assert!(!events.departed.contains(&node));
         }
     }
 

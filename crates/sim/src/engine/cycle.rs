@@ -60,6 +60,11 @@ pub trait CycleProtocol {
 
     /// Called when churn removes a node from the network.
     fn node_departed(&mut self, _node: NodeIndex, _cycle: u64, _ctx: &mut EngineContext) {}
+
+    /// Called when a scenario orders an alive node to re-initialise its
+    /// protocol state from the seed set (the `ReBootstrap` recovery event).
+    /// Membership is unchanged; the default does nothing.
+    fn node_rebootstrapped(&mut self, _node: NodeIndex, _cycle: u64, _ctx: &mut EngineContext) {}
 }
 
 /// What [`ParallelCycleProtocol::plan_node`] decided for one node.
@@ -420,14 +425,21 @@ impl CycleEngine {
     }
 
     fn apply_churn<P: CycleProtocol>(&mut self, protocol: &mut P, cycle: u64) {
-        let ChurnEvents { joined, departed } =
-            self.churn
-                .apply(cycle, &mut self.context.network, &mut self.context.rng);
+        let ChurnEvents {
+            joined,
+            departed,
+            rebootstrapped,
+        } = self
+            .churn
+            .apply(cycle, &mut self.context.network, &mut self.context.rng);
         for node in departed {
             protocol.node_departed(node, cycle, &mut self.context);
         }
         for node in joined {
             protocol.node_joined(node, cycle, &mut self.context);
+        }
+        for node in rebootstrapped {
+            protocol.node_rebootstrapped(node, cycle, &mut self.context);
         }
     }
 }

@@ -223,6 +223,27 @@ impl<M: Debug> EventEngine<M> {
         &mut self.context.network
     }
 
+    /// Number of events (messages and timers) currently queued.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Cancels every queued event addressed to a node that is dead in the
+    /// registry — pending exchange timers and in-flight answers alike — and
+    /// returns how many were removed. Scenario drivers call this right after
+    /// killing nodes (catastrophic failure, churn): a dead node must generate
+    /// zero traffic from the moment of its failure, and its timer chain must
+    /// not linger in the queue. (The pop loop also skips events for dead
+    /// recipients as a defence in depth, but that leaves the queue holding a
+    /// dead entry per victim until its due time; explicit cancellation keeps
+    /// the queue an honest picture of the live network.)
+    pub fn cancel_dead(&mut self) -> usize {
+        let before = self.queue.len();
+        let network = &self.context.network;
+        self.queue.retain(|event| network.is_alive(event.to));
+        before - self.queue.len()
+    }
+
     /// Runs the start phase now — one `on_start` callback per alive node — if
     /// it has not run yet. [`EventEngine::run_until`] does this automatically
     /// on its first invocation; scenario drivers call it explicitly *before*
@@ -515,6 +536,32 @@ mod tests {
         // dropped and every earlier one was delivered.
         assert_eq!(engine.transport().messages_dropped(), 1);
         assert_eq!(protocol.received.len() as u64, engine.messages_delivered());
+    }
+
+    #[test]
+    fn cancel_dead_purges_the_queue_and_silences_victims() {
+        let mut engine: EventEngine<()> = small_engine(4, 9);
+        let mut protocol = PeriodicTimer { fired: Vec::new() };
+        engine.run_until(&mut protocol, 25);
+        assert_eq!(engine.pending_events(), 4, "one pending timer per node");
+        // Two nodes die mid-run; cancellation removes exactly their timers.
+        engine.network_mut().kill(NodeIndex::new(1));
+        engine.network_mut().kill(NodeIndex::new(2));
+        assert_eq!(engine.cancel_dead(), 2);
+        assert_eq!(engine.pending_events(), 2);
+        assert_eq!(engine.cancel_dead(), 0, "idempotent");
+        let before = protocol.fired.len();
+        engine.run_until(&mut protocol, 60);
+        let survivors_fired = protocol.fired[before..]
+            .iter()
+            .filter(|&&(node, _)| node == NodeIndex::new(0) || node == NodeIndex::new(3))
+            .count();
+        assert_eq!(
+            protocol.fired.len() - before,
+            survivors_fired,
+            "dead nodes generate zero events after cancellation"
+        );
+        assert!(survivors_fired > 0);
     }
 
     #[test]

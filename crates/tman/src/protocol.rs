@@ -191,8 +191,8 @@ impl<R: Ranking, S: PeerSampler> CycleProtocol for TmanProtocol<R, S> {
         self.answer_scratch = answer;
     }
 
-    fn node_joined(&mut self, node: NodeIndex, _cycle: u64, ctx: &mut EngineContext) {
-        self.sampler.init_node(node, ctx);
+    fn node_joined(&mut self, node: NodeIndex, cycle: u64, ctx: &mut EngineContext) {
+        self.sampler.init_node(node, cycle, ctx);
         self.init_node(node, ctx);
     }
 

@@ -51,6 +51,19 @@ pub struct BootstrapParams {
     /// an abstract unit. The paper suggests periods "in the range of 10 seconds"
     /// for NEWSCAST; the bootstrap protocol can run much faster.
     pub cycle_millis: u64,
+    /// Descriptor aging bound, in cycles: when set, a descriptor whose freshness
+    /// timestamp lags the local logical clock by more than this bound is treated
+    /// as evidence of a departed node — it is rejected from incoming messages and
+    /// evicted from the leaf set and prefix table during every merge. This is the
+    /// NEWSCAST-style failure detector that lets the overlay *recover* after a
+    /// catastrophic failure instead of gossiping stale descriptors forever.
+    ///
+    /// `None` (the default) disables aging entirely, reproducing the paper's
+    /// detector-free protocol cycle for cycle. Sensible values are a small
+    /// multiple of the gossip diameter — around the leaf-set size `c` — so that
+    /// live descriptors, which are re-stamped by their owner on every exchange,
+    /// never look stale in the steady state.
+    pub descriptor_max_age: Option<u64>,
 }
 
 impl BootstrapParams {
@@ -63,6 +76,7 @@ impl BootstrapParams {
             leaf_set_size: 20,
             random_samples: 30,
             cycle_millis: 1000,
+            descriptor_max_age: None,
         }
     }
 
@@ -86,12 +100,22 @@ impl BootstrapParams {
     ///
     /// # Errors
     ///
-    /// Returns [`InvalidParams`] when the geometry is invalid, the leaf set is empty
-    /// or not even (it must hold `c/2` successors and `c/2` predecessors), or the
-    /// cycle length is zero.
+    /// Returns [`InvalidParams`] when the geometry is invalid
+    /// ([`InvalidParams::Geometry`]), the leaf set is empty or not even (it must
+    /// hold `c/2` successors and `c/2` predecessors), the cycle length is zero,
+    /// or a descriptor aging bound of zero cycles is requested
+    /// ([`InvalidParams::OutOfRange`] — every descriptor not stamped this very
+    /// cycle would count as stale).
     pub fn validate(&self) -> Result<(), InvalidParams> {
-        self.geometry()
-            .map_err(|e| InvalidParams::Message(format!("{e}")))?;
+        self.geometry()?;
+        if let Some(0) = self.descriptor_max_age {
+            return Err(InvalidParams::OutOfRange {
+                field: "descriptor_max_age",
+                value: 0.0,
+                min: 1.0,
+                max: u64::MAX as f64,
+            });
+        }
         if self.leaf_set_size == 0 {
             return Err(InvalidParams::from_message(
                 "leaf_set_size must be positive",
@@ -126,7 +150,11 @@ impl fmt::Display for BootstrapParams {
             self.leaf_set_size,
             self.random_samples,
             self.cycle_millis
-        )
+        )?;
+        if let Some(age) = self.descriptor_max_age {
+            write!(f, " max_age={age}")?;
+        }
+        Ok(())
     }
 }
 
@@ -167,6 +195,12 @@ impl BootstrapParamsBuilder {
         self
     }
 
+    /// Sets (or, with `None`, disables) the descriptor aging bound in cycles.
+    pub fn descriptor_max_age(&mut self, max_age: Option<u64>) -> &mut Self {
+        self.params.descriptor_max_age = max_age;
+        self
+    }
+
     /// Validates and returns the configuration.
     ///
     /// # Errors
@@ -189,6 +223,11 @@ impl BootstrapParamsBuilder {
 pub enum InvalidParams {
     /// A free-form validation failure (the catch-all used by simple checks).
     Message(String),
+    /// The prefix-table geometry (`b`, `k`) is invalid. Carrying the typed
+    /// [`InvalidGeometry`] instead of its rendered message lets callers match
+    /// on geometry misconfiguration (it used to be stringified into
+    /// [`InvalidParams::Message`]).
+    Geometry(InvalidGeometry),
     /// A numeric field lies outside its allowed range (for example a drop
     /// probability above 1.0, which older code silently clamped).
     OutOfRange {
@@ -231,11 +270,18 @@ impl InvalidParams {
     }
 }
 
+impl From<InvalidGeometry> for InvalidParams {
+    fn from(error: InvalidGeometry) -> Self {
+        InvalidParams::Geometry(error)
+    }
+}
+
 impl fmt::Display for InvalidParams {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "invalid parameters: ")?;
         match self {
             InvalidParams::Message(message) => write!(f, "{message}"),
+            InvalidParams::Geometry(error) => write!(f, "{error}"),
             InvalidParams::OutOfRange {
                 field,
                 value,
@@ -270,6 +316,11 @@ pub struct NewscastParams {
     /// Gossip period in milliseconds ("typically long, in the range of 10 seconds").
     /// Only meaningful outside the cycle-driven engine.
     pub period_millis: u64,
+    /// View aging bound, in cycles: when set, descriptors whose timestamp lags
+    /// the local clock by more than this bound are dropped during every view
+    /// merge, on top of NEWSCAST's keep-the-freshest ranking. `None` (the
+    /// default, matching §3's protocol exactly) relies on ranking alone.
+    pub descriptor_max_age: Option<u64>,
 }
 
 impl NewscastParams {
@@ -278,6 +329,7 @@ impl NewscastParams {
         NewscastParams {
             view_size: 30,
             period_millis: 10_000,
+            descriptor_max_age: None,
         }
     }
 
@@ -285,7 +337,8 @@ impl NewscastParams {
     ///
     /// # Errors
     ///
-    /// Returns [`InvalidParams`] when the view size or period is zero.
+    /// Returns [`InvalidParams`] when the view size or period is zero, or a view
+    /// aging bound of zero cycles is requested.
     pub fn validate(&self) -> Result<(), InvalidParams> {
         if self.view_size == 0 {
             return Err(InvalidParams::from_message("view_size must be positive"));
@@ -294,6 +347,14 @@ impl NewscastParams {
             return Err(InvalidParams::from_message(
                 "period_millis must be positive",
             ));
+        }
+        if let Some(0) = self.descriptor_max_age {
+            return Err(InvalidParams::OutOfRange {
+                field: "descriptor_max_age",
+                value: 0.0,
+                min: 1.0,
+                max: u64::MAX as f64,
+            });
         }
         Ok(())
     }
@@ -370,13 +431,67 @@ mod tests {
         let bad_view = NewscastParams {
             view_size: 0,
             period_millis: 1,
+            descriptor_max_age: None,
         };
         assert!(bad_view.validate().is_err());
         let bad_period = NewscastParams {
             view_size: 1,
             period_millis: 0,
+            descriptor_max_age: None,
         };
         assert!(bad_period.validate().is_err());
+    }
+
+    #[test]
+    fn geometry_errors_are_typed_and_matchable() {
+        // The stringly InvalidParams::Message mapping is gone: geometry
+        // misconfiguration surfaces as the typed Geometry variant (carrying
+        // the original InvalidGeometry), so callers can match on it.
+        let err = BootstrapParams::builder()
+            .bits_per_digit(3)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, InvalidParams::Geometry(_)), "{err:?}");
+        assert!(err.to_string().contains("geometry"), "{err}");
+        let err = BootstrapParams::builder()
+            .entries_per_slot(0)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, InvalidParams::Geometry(_)), "{err:?}");
+    }
+
+    #[test]
+    fn descriptor_aging_is_validated_and_off_by_default() {
+        assert_eq!(BootstrapParams::paper_default().descriptor_max_age, None);
+        assert_eq!(NewscastParams::paper_default().descriptor_max_age, None);
+
+        let aged = BootstrapParams::builder()
+            .descriptor_max_age(Some(8))
+            .build()
+            .unwrap();
+        assert_eq!(aged.descriptor_max_age, Some(8));
+        assert!(aged.to_string().contains("max_age=8"));
+
+        // A zero bound would declare everything stale; reject it, typed.
+        let err = BootstrapParams::builder()
+            .descriptor_max_age(Some(0))
+            .build()
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                InvalidParams::OutOfRange {
+                    field: "descriptor_max_age",
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
+        let bad_newscast = NewscastParams {
+            descriptor_max_age: Some(0),
+            ..NewscastParams::paper_default()
+        };
+        assert!(bad_newscast.validate().is_err());
     }
 
     #[test]

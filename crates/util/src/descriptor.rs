@@ -74,6 +74,23 @@ impl<A: Address> Descriptor<A> {
         self.timestamp
     }
 
+    /// The descriptor's age relative to the logical clock `now` (zero for
+    /// timestamps at or ahead of `now`).
+    #[inline]
+    pub fn age(&self, now: u64) -> u64 {
+        now.saturating_sub(self.timestamp)
+    }
+
+    /// Whether the descriptor counts as *expired* under an aging bound: its
+    /// timestamp lags `now` by strictly more than `max_age` cycles. Expired
+    /// descriptors are what the failure-detecting merge path rejects and
+    /// evicts — a node that keeps gossiping re-stamps its own descriptor every
+    /// exchange, so only departed nodes' information ever expires.
+    #[inline]
+    pub fn is_expired(&self, now: u64, max_age: u64) -> bool {
+        self.age(now) > max_age
+    }
+
     /// Returns a copy of the descriptor with its timestamp replaced by `now`.
     #[must_use]
     pub fn refreshed(&self, now: u64) -> Self {
@@ -235,6 +252,17 @@ mod tests {
         assert_eq!(desc.id(), NodeId::new(1));
         assert_eq!(desc.address(), 2);
         assert_eq!(desc.timestamp(), 3);
+    }
+
+    #[test]
+    fn age_and_expiry_follow_the_logical_clock() {
+        let desc = d(1, 2, 10);
+        assert_eq!(desc.age(10), 0);
+        assert_eq!(desc.age(25), 15);
+        assert_eq!(desc.age(3), 0, "future timestamps are not negative ages");
+        assert!(!desc.is_expired(15, 5), "age 5 == bound 5 is still fresh");
+        assert!(desc.is_expired(16, 5));
+        assert!(!desc.is_expired(3, 5));
     }
 
     #[test]
