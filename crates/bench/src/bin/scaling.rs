@@ -2,11 +2,19 @@
 //! network sizes, samplers and loss rates.
 //!
 //! Unlike the figure binaries (which reproduce the paper's *convergence* curves),
-//! this binary measures the *simulator itself*: cycles per second, wall-clock
-//! time, peak-RSS proxy and cycles-to-perfect for every cell of the sweep
-//! `sizes × {oracle, newscast} × loss {0, 0.2}`. The results are written as JSON
-//! (`BENCH_scaling.json` by default) so successive PRs have a perf trajectory to
-//! beat; see the "Performance" section of the README.
+//! this binary measures the *simulator itself*: cycles per second, messages per
+//! second, honest per-run peak heap, per-phase wall time and cycles-to-perfect
+//! for every cell of the sweep `sizes × {oracle, newscast} × loss {0, 0.2}`.
+//! The results are written as JSON (`BENCH_scaling.json` by default) so
+//! successive PRs have a perf trajectory to beat; see the "Performance" section
+//! of the README.
+//!
+//! Memory accounting: per-entry `peak_alloc_kib` comes from the counting
+//! global allocator ([`bss_bench::alloc`]) and is rearmed before every run, so
+//! each cell reports *its own* peak live heap. (The previous `peak_rss_kib`
+//! per-entry field read `VmHWM`, which is monotone over the process lifetime —
+//! every cell after the largest inherited its high-water mark. `VmHWM` is
+//! still reported, once, at the top level, as the whole-process figure it is.)
 //!
 //! The `fig3_10k` reference entry — a 10 000-node, 60-cycle, oracle-sampled run
 //! with the perfection stop disabled — is the fixed datapoint used to compare
@@ -15,12 +23,16 @@
 use bss_bench::cli::{Args, CommonDefaults, COMMON_OPTIONS_HELP};
 use bss_core::experiment::{Experiment, ExperimentConfig, SamplerChoice};
 use bss_core::scenario::Engine;
+use bss_sim::PhaseProfile;
 use bss_util::config::NewscastParams;
 use std::fmt::Write as _;
 use std::time::Instant;
 
+#[global_allocator]
+static ALLOC: bss_bench::alloc::CountingAllocator = bss_bench::alloc::CountingAllocator;
+
 const HELP: &str = "\
-scaling — hot-path scaling sweep (cycles/sec, peak RSS, cycles-to-perfect)
+scaling — hot-path scaling sweep (cycles/sec, peak heap, cycles-to-perfect)
 
 USAGE:
     cargo run --release -p bss-bench --bin scaling [-- OPTIONS]
@@ -29,6 +41,8 @@ OPTIONS:
     --sizes <list>       comma-separated size exponents  [default: 8,9,10,11,12,13,14,15]
     --cycles <n>         cycle budget per run            [default: 60]
     --measure-every <n>  observer cadence in cycles      [default: 1]
+    --samplers <list>    comma-separated subset of oracle,newscast [default: both]
+    --losses <list>      comma-separated drop probabilities [default: 0,0.2]
     --out <path>         output JSON path                [default: BENCH_scaling.json]
     --smoke              tiny sweep (exponents 8,9; finishes in seconds)
     --skip-reference     skip the fixed 10k-node oracle reference run
@@ -48,18 +62,21 @@ struct Measurement {
     sampler: &'static str,
     drop_probability: f64,
     threads: usize,
+    available_parallelism: usize,
     cycles_executed: u64,
     convergence_cycle: Option<u64>,
     elapsed_seconds: f64,
     cycles_per_second: f64,
     node_cycles_per_second: f64,
-    peak_rss_kib: u64,
+    messages_per_second: f64,
+    peak_alloc_kib: u64,
+    phase_profile: Option<PhaseProfile>,
 }
 
 /// Peak resident set size of this process in KiB (`VmHWM` from
-/// `/proc/self/status`). Monotone over the process lifetime, so per-run values
-/// are an upper-bound proxy, recorded in sweep order (small sizes first).
-fn peak_rss_kib() -> u64 {
+/// `/proc/self/status`). Monotone over the process lifetime — reported once at
+/// the top level as a whole-process figure, never per entry.
+fn process_peak_rss_kib() -> u64 {
     #[cfg(target_os = "linux")]
     {
         if let Ok(status) = std::fs::read_to_string("/proc/self/status") {
@@ -78,23 +95,39 @@ fn peak_rss_kib() -> u64 {
     0
 }
 
+/// The parallelism the host actually offers (1 when undetectable).
+fn available_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
 fn run_cell(config: &ExperimentConfig, label: String, sampler_name: &'static str) -> Measurement {
+    let mut config = config.clone();
+    config.profile = true;
+    bss_bench::alloc::reset_peak();
     let start = Instant::now();
     let outcome = Experiment::new(config.clone()).run();
     let elapsed = start.elapsed().as_secs_f64();
+    let peak_alloc_kib = bss_bench::alloc::peak_kib();
     let cycles = outcome.cycles_executed();
+    let traffic = outcome.traffic();
+    let messages = traffic.requests_sent + traffic.answers_sent;
     Measurement {
         label,
         network_size: config.network_size,
         sampler: sampler_name,
         drop_probability: config.drop_probability(),
         threads: config.threads(),
+        available_parallelism: available_parallelism(),
         cycles_executed: cycles,
         convergence_cycle: outcome.convergence_cycle(),
         elapsed_seconds: elapsed,
         cycles_per_second: cycles as f64 / elapsed.max(1e-9),
         node_cycles_per_second: (cycles as f64 * config.network_size as f64) / elapsed.max(1e-9),
-        peak_rss_kib: peak_rss_kib(),
+        messages_per_second: messages as f64 / elapsed.max(1e-9),
+        peak_alloc_kib,
+        phase_profile: outcome.phase_profile().copied(),
     }
 }
 
@@ -103,7 +136,15 @@ fn render_json(measurements: &[Measurement]) -> String {
     out.push_str(
         "\"cycles_per_second = simulated cycles / wall second; \
          node_cycles_per_second = network_size * cycles_per_second; \
-         peak_rss_kib = VmHWM proxy, monotone over the sweep\",\n",
+         messages_per_second = transport messages offered / wall second; \
+         peak_alloc_kib = per-run peak live heap from the counting allocator \
+         (rearmed before each run); process_peak_rss_kib = whole-process VmHWM, \
+         monotone over the sweep; phase_profile = engine wall seconds per phase\",\n",
+    );
+    let _ = writeln!(
+        out,
+        "  \"process_peak_rss_kib\": {},",
+        process_peak_rss_kib()
     );
     out.push_str("  \"entries\": [\n");
     for (i, m) in measurements.iter().enumerate() {
@@ -111,24 +152,41 @@ fn render_json(measurements: &[Measurement]) -> String {
             Some(cycle) => cycle.to_string(),
             None => "null".to_owned(),
         };
+        let phases = match m.phase_profile.as_ref() {
+            Some(p) => format!(
+                "{{\"plan_seconds\": {:.4}, \"execute_seconds\": {:.4}, \
+                 \"commit_seconds\": {:.4}, \"measure_seconds\": {:.4}, \
+                 \"profiled_cycles\": {}}}",
+                p.plan.as_secs_f64(),
+                p.execute.as_secs_f64(),
+                p.commit.as_secs_f64(),
+                p.measure.as_secs_f64(),
+                p.cycles
+            ),
+            None => "null".to_owned(),
+        };
         let _ = write!(
             out,
             "    {{\"label\": \"{}\", \"network_size\": {}, \"sampler\": \"{}\", \
-             \"drop_probability\": {}, \"threads\": {}, \"cycles_executed\": {}, \
-             \"convergence_cycle\": {}, \
+             \"drop_probability\": {}, \"threads\": {}, \"available_parallelism\": {}, \
+             \"cycles_executed\": {}, \"convergence_cycle\": {}, \
              \"elapsed_seconds\": {:.4}, \"cycles_per_second\": {:.2}, \
-             \"node_cycles_per_second\": {:.0}, \"peak_rss_kib\": {}}}",
+             \"node_cycles_per_second\": {:.0}, \"messages_per_second\": {:.0}, \
+             \"peak_alloc_kib\": {}, \"phase_profile\": {}}}",
             m.label,
             m.network_size,
             m.sampler,
             m.drop_probability,
             m.threads,
+            m.available_parallelism,
             m.cycles_executed,
             convergence,
             m.elapsed_seconds,
             m.cycles_per_second,
             m.node_cycles_per_second,
-            m.peak_rss_kib
+            m.messages_per_second,
+            m.peak_alloc_kib,
+            phases
         );
         out.push_str(if i + 1 < measurements.len() {
             ",\n"
@@ -169,6 +227,13 @@ fn main() {
         .unwrap_or_else(|| "BENCH_scaling.json".to_owned());
     let quiet = common.quiet;
     let skip_reference = args.get("skip-reference").is_some();
+    let available = available_parallelism();
+    if threads > available {
+        eprintln!(
+            "# warning: --threads {threads} exceeds available parallelism ({available}); \
+             extra workers only add scheduling overhead"
+        );
+    }
     // Honour --engine: event-engine sweeps keep the selected engine verbatim
     // (thread counts are meaningless there); cycle-family sweeps map each
     // cell's thread count onto Cycle / ParallelCycle.
@@ -218,27 +283,54 @@ fn main() {
             let reference = run_cell(&config, label, "oracle");
             if !quiet {
                 eprintln!(
-                    "#   {:.2}s ({:.1} cycles/s)",
-                    reference.elapsed_seconds, reference.cycles_per_second
+                    "#   {:.2}s ({:.1} cycles/s, peak heap {} KiB)",
+                    reference.elapsed_seconds,
+                    reference.cycles_per_second,
+                    reference.peak_alloc_kib
                 );
             }
             measurements.push(reference);
         }
     }
 
-    let samplers: [(&'static str, SamplerChoice); 2] = [
-        ("oracle", SamplerChoice::Oracle),
-        (
-            "newscast",
-            SamplerChoice::Newscast(NewscastParams::paper_default()),
-        ),
-    ];
-    let losses = [0.0, 0.2];
+    // `--samplers` / `--losses` restrict the sweep grid — the million-node
+    // runs use them to measure the oracle hot path alone.
+    let samplers: Vec<(&'static str, SamplerChoice)> = match args.get("samplers") {
+        None => vec![
+            ("oracle", SamplerChoice::Oracle),
+            (
+                "newscast",
+                SamplerChoice::Newscast(NewscastParams::paper_default()),
+            ),
+        ],
+        Some(list) => list
+            .split(',')
+            .map(|name| match name.trim() {
+                "oracle" => ("oracle", SamplerChoice::Oracle),
+                "newscast" => (
+                    "newscast",
+                    SamplerChoice::Newscast(NewscastParams::paper_default()),
+                ),
+                other => panic!("unknown sampler {other:?} (expected oracle or newscast)"),
+            })
+            .collect(),
+    };
+    let losses: Vec<f64> = match args.get("losses") {
+        None => vec![0.0, 0.2],
+        Some(list) => list
+            .split(',')
+            .map(|loss| {
+                loss.trim()
+                    .parse()
+                    .unwrap_or_else(|_| panic!("invalid loss {loss:?}"))
+            })
+            .collect(),
+    };
 
     for &exponent in &sizes {
         let network_size = 1usize << exponent;
-        for (sampler_name, sampler) in samplers {
-            for loss in losses {
+        for (sampler_name, sampler) in samplers.iter().copied() {
+            for loss in losses.iter().copied() {
                 if !quiet {
                     eprintln!("# N=2^{exponent} sampler={sampler_name} loss={loss}");
                 }
@@ -256,8 +348,11 @@ fn main() {
                 let m = run_cell(&config, label, sampler_name);
                 if !quiet {
                     eprintln!(
-                        "#   {:.2}s ({:.1} cycles/s, converged at {:?})",
-                        m.elapsed_seconds, m.cycles_per_second, m.convergence_cycle
+                        "#   {:.2}s ({:.1} cycles/s, peak heap {} KiB, converged at {:?})",
+                        m.elapsed_seconds,
+                        m.cycles_per_second,
+                        m.peak_alloc_kib,
+                        m.convergence_cycle
                     );
                 }
                 measurements.push(m);

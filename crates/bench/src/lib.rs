@@ -17,11 +17,15 @@
 //!
 //! The library part of the crate holds what the binaries share: a tiny
 //! dependency-free command-line parser ([`cli`]), figure-sweep drivers
-//! ([`figures`]) and tab-separated report formatting ([`report`]).
+//! ([`figures`]), tab-separated report formatting ([`report`]) and a counting
+//! global allocator for honest per-run memory measurement ([`alloc`]).
 
-#![forbid(unsafe_code)]
+// `deny` instead of `forbid`: the counting allocator wraps `System` behind
+// one audited `unsafe impl` (see `alloc`); everything else stays unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod alloc;
 pub mod cli;
 pub mod figures;
 pub mod report;

@@ -1,0 +1,324 @@
+//! Packed per-node storage: the memory layer behind million-node runs.
+//!
+//! A fat [`BootstrapNode`] stores every descriptor as 24 bytes (identifier,
+//! address, timestamp) and owns a 4-byte-per-slot offset table, which puts a
+//! converged node at several kilobytes — the memory wall that used to cap the
+//! scaling benchmark. [`CompactNode`] stores the same information as 8-byte
+//! [`PackedDescriptor`]s (a `u32` registry index plus a `u32` timestamp) and
+//! `u16` offsets; the 64-bit identifiers are recovered on demand from one
+//! shared index→identifier arena maintained by the protocol (the registry
+//! never reuses or reorders indices, so `ids[index]` is immutable once
+//! written).
+//!
+//! The pack/unpack round-trip is lossless for every state the simulation can
+//! reach: descriptors are always built through the network registry (so the
+//! identifier is a pure function of the index) and timestamps are cycle
+//! numbers, far below `u32::MAX`. The hot path therefore rehydrates a node
+//! into a scratch [`BootstrapNode`], runs the unchanged fat algorithms, and
+//! packs the result back — byte-identical behaviour at a third of the memory.
+
+use crate::node::BootstrapNode;
+use bss_sim::network::NodeIndex;
+use bss_util::config::BootstrapParams;
+use bss_util::descriptor::{Descriptor, PackedDescriptor};
+use bss_util::id::NodeId;
+
+/// Packs a simulation descriptor down to its registry index and timestamp.
+/// The identifier is deliberately dropped: it is recoverable from the shared
+/// arena because every simulation descriptor is minted by the registry.
+#[inline]
+pub fn pack_descriptor(descriptor: &Descriptor<NodeIndex>) -> PackedDescriptor {
+    PackedDescriptor::new(descriptor.address().raw(), descriptor.timestamp())
+}
+
+/// Rehydrates a packed descriptor using the shared index→identifier arena.
+#[inline]
+pub fn unpack_descriptor(packed: PackedDescriptor, ids: &[NodeId]) -> Descriptor<NodeIndex> {
+    Descriptor::new(
+        ids[packed.address() as usize],
+        NodeIndex::new(packed.address()),
+        packed.timestamp(),
+    )
+}
+
+/// One node's bootstrap state in packed form: the exact content of a
+/// [`BootstrapNode`] minus everything recoverable from shared context (the
+/// parameters, the geometry, and the identifiers behind each index).
+#[derive(Debug, Clone, Default)]
+pub struct CompactNode {
+    /// The own descriptor's timestamp (its index is the slot, its identifier
+    /// lives in the shared arena).
+    own_timestamp: u32,
+    /// Number of successors at the front of `leaf`.
+    leaf_split: u16,
+    exchanges_initiated: u64,
+    descriptors_received: u64,
+    /// Leaf-set entries: successors first, then predecessors.
+    leaf: Vec<PackedDescriptor>,
+    /// Prefix-table arena in slot order.
+    prefix_store: Vec<PackedDescriptor>,
+    /// Per-slot start offsets into `prefix_store` (`rows * columns + 1` of
+    /// them; a full table stays far below `u16::MAX` entries).
+    prefix_offsets: Vec<u16>,
+}
+
+impl CompactNode {
+    /// Packs a fat node state.
+    pub fn pack(state: &BootstrapNode<NodeIndex>) -> CompactNode {
+        let mut packed = CompactNode::default();
+        packed.repack_from(state);
+        packed
+    }
+
+    /// Packs a fat node state into `self`, reusing the existing allocations
+    /// (the repack half of the hot path's rehydrate → mutate → repack cycle).
+    pub fn repack_from(&mut self, state: &BootstrapNode<NodeIndex>) {
+        let own = state.own_descriptor();
+        debug_assert!(own.timestamp() <= u64::from(u32::MAX));
+        self.own_timestamp = own.timestamp() as u32;
+        self.exchanges_initiated = state.exchanges_initiated();
+        self.descriptors_received = state.descriptors_received();
+
+        let (leaf_entries, split) = state.leaf_set().raw_parts();
+        debug_assert!(split <= usize::from(u16::MAX));
+        self.leaf_split = split as u16;
+        self.leaf.clear();
+        self.leaf.extend(leaf_entries.iter().map(pack_descriptor));
+
+        let (prefix_entries, offsets) = state.prefix_table().raw_parts();
+        debug_assert!(prefix_entries.len() <= usize::from(u16::MAX));
+        self.prefix_store.clear();
+        self.prefix_store
+            .extend(prefix_entries.iter().map(pack_descriptor));
+        self.prefix_offsets.clear();
+        self.prefix_offsets
+            .extend(offsets.iter().map(|&offset| offset as u16));
+    }
+
+    /// Rehydrates into a scratch fat node, reusing its allocations. The
+    /// scratch must have been constructed with the same parameters the packed
+    /// state was built under (the protocol guarantees this: one parameter set
+    /// per run).
+    pub fn unpack_into(
+        &self,
+        node: NodeIndex,
+        ids: &[NodeId],
+        scratch: &mut BootstrapNode<NodeIndex>,
+    ) {
+        let own_id = ids[node.as_usize()];
+        let own = Descriptor::new(own_id, node, u64::from(self.own_timestamp));
+        scratch.restore_header(own, self.exchanges_initiated, self.descriptors_received);
+        scratch.leaf_set_mut().restore_from(
+            own_id,
+            self.leaf.iter().map(|&p| unpack_descriptor(p, ids)),
+            usize::from(self.leaf_split),
+        );
+        scratch.prefix_table_mut().restore_from(
+            own_id,
+            self.prefix_store.iter().map(|&p| unpack_descriptor(p, ids)),
+            self.prefix_offsets.iter().map(|&offset| u32::from(offset)),
+        );
+    }
+
+    /// Rehydrates into a freshly allocated fat node (the materialising
+    /// accessor path — diagnostics, snapshots and tests; hot paths use
+    /// [`CompactNode::unpack_into`] with a reused scratch).
+    pub fn unpack(
+        &self,
+        node: NodeIndex,
+        ids: &[NodeId],
+        params: &BootstrapParams,
+    ) -> BootstrapNode<NodeIndex> {
+        let own = Descriptor::new(ids[node.as_usize()], node, u64::from(self.own_timestamp));
+        let mut state = BootstrapNode::new(own, params).expect("parameters validated by caller");
+        self.unpack_into(node, ids, &mut state);
+        state
+    }
+
+    /// The packed leaf-set entries (successors first, then predecessors) —
+    /// for walks that only need indices and timestamps, no rehydration.
+    pub fn leaf_entries(&self) -> &[PackedDescriptor] {
+        &self.leaf
+    }
+
+    /// The packed prefix-table entries in slot order.
+    pub fn prefix_entries(&self) -> &[PackedDescriptor] {
+        &self.prefix_store
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bss_sim::network::Network;
+    use bss_util::rng::SimRng;
+
+    fn params() -> BootstrapParams {
+        BootstrapParams {
+            leaf_set_size: 8,
+            random_samples: 8,
+            ..BootstrapParams::paper_default()
+        }
+    }
+
+    fn scratch_node(params: &BootstrapParams) -> BootstrapNode<NodeIndex> {
+        let placeholder = Descriptor::new(NodeId::new(0), NodeIndex::new(0), 0);
+        BootstrapNode::new(placeholder, params).unwrap()
+    }
+
+    /// Drives a fat node through random receive batches and checks that
+    /// pack → unpack reproduces every observable bit of its state.
+    #[test]
+    fn pack_unpack_round_trips_reachable_states() {
+        let mut rng = SimRng::seed_from(11);
+        let network = Network::with_random_ids(64, &mut rng);
+        let mut ids: Vec<NodeId> = Vec::new();
+        network.sync_id_arena(&mut ids);
+        let params = params();
+
+        let node = NodeIndex::new(3);
+        let mut state = BootstrapNode::new(network.descriptor(node, 0), &params).unwrap();
+        let mut scratch = scratch_node(&params);
+        for cycle in 0..40u64 {
+            let batch: Vec<Descriptor<NodeIndex>> = (0..5)
+                .map(|_| {
+                    let target = NodeIndex::new(rng.range_u64(0, 64) as u32);
+                    network.descriptor(target, cycle)
+                })
+                .collect();
+            state.receive(&batch);
+            let _ = state.create_message(ids[7], &batch, true);
+
+            let packed = CompactNode::pack(&state);
+            packed.unpack_into(node, &ids, &mut scratch);
+            assert_eq!(scratch.own_descriptor(), state.own_descriptor());
+            assert_eq!(scratch.exchanges_initiated(), state.exchanges_initiated());
+            assert_eq!(scratch.descriptors_received(), state.descriptors_received());
+            assert_eq!(scratch.leaf_set().to_vec(), state.leaf_set().to_vec());
+            assert_eq!(
+                scratch.leaf_set().successors().len(),
+                state.leaf_set().successors().len()
+            );
+            assert_eq!(
+                scratch.prefix_table().to_vec(),
+                state.prefix_table().to_vec()
+            );
+            for row in 0..state.geometry().rows() {
+                for column in 0..state.geometry().columns() as u8 {
+                    assert_eq!(
+                        scratch.prefix_table().slot(row, column),
+                        state.prefix_table().slot(row, column),
+                        "slot ({row}, {column}) differs after round-trip"
+                    );
+                }
+            }
+        }
+    }
+
+    mod packed_equivalence {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+
+            /// Packed storage is observation-equivalent to the fat path on
+            /// arbitrary reachable states: whatever sequence of descriptor
+            /// batches a node absorbs, packing it and rehydrating reproduces
+            /// the exact tables, counters and per-slot structure.
+            #[test]
+            fn pack_unpack_is_lossless_on_arbitrary_receive_sequences(
+                network_seed in any::<u64>(),
+                network_size in 8u32..128,
+                node_raw in 0u32..8,
+                batches in prop::collection::vec(
+                    prop::collection::vec((0u32..128, 0u64..1000), 1..8),
+                    1..12,
+                ),
+            ) {
+                let mut rng = SimRng::seed_from(network_seed);
+                let network = Network::with_random_ids(network_size as usize, &mut rng);
+                let mut ids: Vec<NodeId> = Vec::new();
+                network.sync_id_arena(&mut ids);
+                let params = params();
+                let node = NodeIndex::new(node_raw % network_size);
+                let mut state =
+                    BootstrapNode::new(network.descriptor(node, 0), &params).unwrap();
+                let mut scratch = scratch_node(&params);
+                for batch in &batches {
+                    let descriptors: Vec<Descriptor<NodeIndex>> = batch
+                        .iter()
+                        .map(|&(target, timestamp)| {
+                            network.descriptor(
+                                NodeIndex::new(target % network_size),
+                                timestamp,
+                            )
+                        })
+                        .collect();
+                    state.receive(&descriptors);
+
+                    let packed = CompactNode::pack(&state);
+                    packed.unpack_into(node, &ids, &mut scratch);
+                    prop_assert_eq!(scratch.own_descriptor(), state.own_descriptor());
+                    prop_assert_eq!(
+                        scratch.exchanges_initiated(),
+                        state.exchanges_initiated()
+                    );
+                    prop_assert_eq!(
+                        scratch.descriptors_received(),
+                        state.descriptors_received()
+                    );
+                    prop_assert_eq!(scratch.leaf_set().to_vec(), state.leaf_set().to_vec());
+                    prop_assert_eq!(
+                        scratch.leaf_set().successors().len(),
+                        state.leaf_set().successors().len()
+                    );
+                    prop_assert_eq!(
+                        scratch.prefix_table().to_vec(),
+                        state.prefix_table().to_vec()
+                    );
+                    for row in 0..state.geometry().rows() {
+                        for column in 0..state.geometry().columns() as u8 {
+                            prop_assert_eq!(
+                                scratch.prefix_table().slot(row, column),
+                                state.prefix_table().slot(row, column),
+                                "slot ({}, {}) differs after round-trip",
+                                row,
+                                column
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unpack_allocating_matches_unpack_into() {
+        let mut rng = SimRng::seed_from(12);
+        let network = Network::with_random_ids(16, &mut rng);
+        let mut ids: Vec<NodeId> = Vec::new();
+        network.sync_id_arena(&mut ids);
+        let params = params();
+        let node = NodeIndex::new(5);
+        let mut state = BootstrapNode::new(network.descriptor(node, 2), &params).unwrap();
+        let contacts: Vec<Descriptor<NodeIndex>> = (0..16u32)
+            .filter(|&raw| raw != 5)
+            .map(|raw| network.descriptor(NodeIndex::new(raw), 1))
+            .collect();
+        state.receive(&contacts);
+
+        let packed = CompactNode::pack(&state);
+        let fresh = packed.unpack(node, &ids, &params);
+        let mut reused = scratch_node(&params);
+        packed.unpack_into(node, &ids, &mut reused);
+        assert_eq!(fresh.own_descriptor(), reused.own_descriptor());
+        assert_eq!(fresh.leaf_set().to_vec(), reused.leaf_set().to_vec());
+        assert_eq!(
+            fresh.prefix_table().to_vec(),
+            reused.prefix_table().to_vec()
+        );
+        assert_eq!(packed.leaf_entries().len(), state.leaf_set().len());
+        assert_eq!(packed.prefix_entries().len(), state.prefix_table().len());
+    }
+}

@@ -21,7 +21,7 @@ use crate::protocol::{BootstrapMessage, BootstrapProtocol, TrafficStats};
 use crate::scenario::{Engine, LatencyModel, NullObserver, Observer, Scenario};
 use bss_sampling::newscast::NewscastProtocol;
 use bss_sampling::sampler::{OracleSampler, PeerSampler};
-use bss_sim::engine::cycle::{CycleEngine, EngineContext};
+use bss_sim::engine::cycle::{CycleEngine, EngineContext, PhaseProfile};
 use bss_sim::engine::event::EventEngine;
 use bss_sim::network::Network;
 use bss_sim::transport::UniformLatencyTransport;
@@ -78,6 +78,11 @@ pub struct ExperimentConfig {
     /// (1 = every cycle). Larger cadences make huge sweeps cheaper at the cost
     /// of coarser series; the perfection stop only triggers on measured cycles.
     pub measure_every: u64,
+    /// Accumulate per-phase wall time (plan / execute / commit / measure) on
+    /// the cycle engines and attach it to the [`RunReport`]. Off by default:
+    /// timing is observational only — it never changes the simulated outcome —
+    /// but costs two clock reads per wave.
+    pub profile: bool,
 }
 
 impl ExperimentConfig {
@@ -96,6 +101,7 @@ impl ExperimentConfig {
                 max_cycles: 100,
                 stop_when_perfect: true,
                 measure_every: 1,
+                profile: false,
             },
             aging_sugar: None,
             newscast_bound_explicit: false,
@@ -271,6 +277,13 @@ impl ExperimentConfigBuilder {
         self
     }
 
+    /// Enables per-phase wall-time profiling on the cycle engines (see
+    /// [`ExperimentConfig::profile`]).
+    pub fn profile(&mut self, profile: bool) -> &mut Self {
+        self.config.profile = profile;
+        self
+    }
+
     /// Legacy sugar: sets the number of worker threads by selecting
     /// [`Engine::Cycle`] (1) or [`Engine::ParallelCycle`] (more). The outcome
     /// is bit-for-bit identical at any value.
@@ -306,6 +319,7 @@ pub struct RunReport {
     final_state: NetworkConvergence,
     traffic: TrafficStats,
     events_fired: Vec<(u64, String)>,
+    phase_profile: Option<PhaseProfile>,
 }
 
 impl RunReport {
@@ -393,6 +407,13 @@ impl RunReport {
         &self.events_fired
     }
 
+    /// Per-phase wall time accumulated by the engine, when the run was
+    /// configured with [`ExperimentConfig::profile`] and executed on a cycle
+    /// engine (the event engine has no phase structure to attribute).
+    pub fn phase_profile(&self) -> Option<&PhaseProfile> {
+        self.phase_profile.as_ref()
+    }
+
     /// Renders the report as a self-contained JSON document (engine, scenario,
     /// convergence, traffic, fired events and both per-cycle series). This is
     /// the artifact format the scenario smoke suite uploads from CI.
@@ -449,6 +470,24 @@ impl RunReport {
             self.traffic.mean_message_size(),
             self.traffic.max_message_size(),
         );
+        match self.phase_profile.as_ref() {
+            Some(profile) => {
+                let _ = writeln!(
+                    out,
+                    "  \"phase_profile\": {{\"plan_seconds\": {:.6}, \"execute_seconds\": {:.6}, \
+                     \"commit_seconds\": {:.6}, \"measure_seconds\": {:.6}, \
+                     \"profiled_cycles\": {}}},",
+                    profile.plan.as_secs_f64(),
+                    profile.execute.as_secs_f64(),
+                    profile.commit.as_secs_f64(),
+                    profile.measure.as_secs_f64(),
+                    profile.cycles,
+                );
+            }
+            None => {
+                let _ = writeln!(out, "  \"phase_profile\": null,");
+            }
+        }
         out.push_str("  \"events\": [");
         for (position, (cycle, description)) in self.events_fired.iter().enumerate() {
             if position > 0 {
@@ -521,7 +560,7 @@ impl PopulationSnapshot {
                 snapshot
                     .index_by_id
                     .insert(state.id(), snapshot.nodes.len());
-                snapshot.nodes.push(state.clone());
+                snapshot.nodes.push(state);
             }
         }
         snapshot
@@ -684,7 +723,12 @@ impl<'a> MeasurementDriver<'a> {
         flow
     }
 
-    fn into_report(self, cycles_executed: u64, traffic: TrafficStats) -> RunReport {
+    fn into_report(
+        self,
+        cycles_executed: u64,
+        traffic: TrafficStats,
+        phase_profile: Option<PhaseProfile>,
+    ) -> RunReport {
         RunReport {
             config: self.config.clone(),
             leaf_series: self.leaf_series,
@@ -697,6 +741,7 @@ impl<'a> MeasurementDriver<'a> {
             final_state: self.final_state,
             traffic,
             events_fired: self.events_fired,
+            phase_profile,
         }
     }
 }
@@ -738,6 +783,9 @@ fn run_on_cycle_engine<S: PeerSampler>(
         engine = engine.with_churn(churn);
     }
 
+    if config.profile {
+        engine.enable_profiling();
+    }
     protocol.init_all(engine.context_mut());
     let mut driver = MeasurementDriver::new(config, protocol, engine.context());
 
@@ -749,8 +797,9 @@ fn run_on_cycle_engine<S: PeerSampler>(
     );
 
     let snapshot = PopulationSnapshot::capture(protocol, engine.context());
+    let phase_profile = engine.phase_profile().copied();
     (
-        driver.into_report(cycles_executed, protocol.traffic().clone()),
+        driver.into_report(cycles_executed, protocol.traffic().clone(), phase_profile),
         snapshot,
     )
 }
@@ -838,7 +887,7 @@ fn run_on_event_engine<S: PeerSampler>(
 
     let snapshot = PopulationSnapshot::capture(protocol, engine.context());
     (
-        driver.into_report(cycles_executed, protocol.traffic().clone()),
+        driver.into_report(cycles_executed, protocol.traffic().clone(), None),
         snapshot,
     )
 }

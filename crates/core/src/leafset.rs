@@ -268,6 +268,29 @@ impl<A: Address> LeafSet<A> {
         write != before
     }
 
+    /// Raw view of the flat storage for the packed node store: the entry
+    /// sequence (successors first, then predecessors) and the successor split.
+    pub(crate) fn raw_parts(&self) -> (&[Descriptor<A>], usize) {
+        (&self.entries, self.split)
+    }
+
+    /// Rebuilds the leaf set in place from raw parts (the inverse of
+    /// [`LeafSet::raw_parts`]), reusing the existing allocation. The capacity
+    /// is left untouched — the packed store only round-trips between nodes
+    /// running identical parameters.
+    pub(crate) fn restore_from(
+        &mut self,
+        own_id: NodeId,
+        entries: impl IntoIterator<Item = Descriptor<A>>,
+        split: usize,
+    ) {
+        self.own_id = own_id;
+        self.entries.clear();
+        self.entries.extend(entries);
+        debug_assert!(split <= self.entries.len(), "split beyond entry count");
+        self.split = split;
+    }
+
     /// The descriptors sorted by undirected ring distance from the own identifier,
     /// closest first — the ordering `SELECTPEER` is defined over. (The protocol
     /// driver ranks the closer half in place via partial selection instead of

@@ -26,6 +26,9 @@
 //! * [`prefix_table`] — `UPDATEPREFIXTABLE` and the `(i, j, k)` slot structure.
 //! * [`message`] — `CREATEMESSAGE`: the peer-targeted message optimisation.
 //! * [`node`] — one node's protocol state and the active/passive thread logic.
+//! * [`compact`] — the packed per-node storage the simulation drivers keep
+//!   their population in (8-byte descriptors over a shared identifier arena),
+//!   rehydrated into fat [`node::BootstrapNode`]s on the exchange hot path.
 //! * [`protocol`] — the cycle-driven simulation driver running every node over a
 //!   [`PeerSampler`](bss_sampling::sampler::PeerSampler).
 //! * [`convergence`] — the global oracle computing the *perfect* leaf sets and
@@ -63,6 +66,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod compact;
 pub mod convergence;
 pub mod experiment;
 pub mod leafset;
@@ -72,6 +76,7 @@ pub mod prefix_table;
 pub mod protocol;
 pub mod scenario;
 
+pub use compact::CompactNode;
 pub use convergence::ConvergenceOracle;
 pub use experiment::{run_scenario, Experiment, ExperimentConfig, PopulationSnapshot, RunReport};
 pub use leafset::LeafSet;

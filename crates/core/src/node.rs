@@ -140,17 +140,7 @@ impl<A: Address> BootstrapNode<A> {
     ) -> Option<Descriptor<A>> {
         candidates.clear();
         candidates.extend_from_slice(self.leaf_set.as_slice());
-        if candidates.is_empty() {
-            return None;
-        }
-        let half = (candidates.len() / 2).max(1);
-        let own = self.own.id();
-        bss_util::view::rank_top_by(candidates, half, |a, b| {
-            own.ring_distance(a.id())
-                .cmp(&own.ring_distance(b.id()))
-                .then_with(|| a.id().cmp(&b.id()))
-        });
-        Some(candidates[rng.index(half)])
+        select_peer_in(self.own.id(), candidates, rng)
     }
 
     /// `CREATEMESSAGE`: composes the message to send to `peer_id`, mixing in the
@@ -272,6 +262,30 @@ impl<A: Address> BootstrapNode<A> {
         leaf_evicted || prefix_evicted || leaf_changed || inserted > 0
     }
 
+    /// Restores the identity header — own descriptor and activity counters —
+    /// when rehydrating a node from the packed store; the tables are restored
+    /// through their own raw accessors.
+    pub(crate) fn restore_header(
+        &mut self,
+        own: Descriptor<A>,
+        exchanges_initiated: u64,
+        descriptors_received: u64,
+    ) {
+        self.own = own;
+        self.exchanges_initiated = exchanges_initiated;
+        self.descriptors_received = descriptors_received;
+    }
+
+    /// Mutable access to the leaf set for the packed store's restore path.
+    pub(crate) fn leaf_set_mut(&mut self) -> &mut LeafSet<A> {
+        &mut self.leaf_set
+    }
+
+    /// Mutable access to the prefix table for the packed store's restore path.
+    pub(crate) fn prefix_table_mut(&mut self) -> &mut PrefixTable<A> {
+        &mut self.prefix_table
+    }
+
     /// Removes every trace of a departed peer from the local state (used by the
     /// churn-aware driver; the basic protocol never needs it because stale entries
     /// are simply out-competed).
@@ -286,6 +300,28 @@ impl<A: Address> BootstrapNode<A> {
         self.leaf_set = LeafSet::new(self.own.id(), self.params.leaf_set_size);
         self.leaf_set.update(survivors);
     }
+}
+
+/// The ranking nucleus of `SELECTPEER`, shared between the fat node state and
+/// the protocol's packed store: ranks the closer half of `candidates` by ring
+/// distance from `own` (partial selection — identical to sorting the whole
+/// set) and picks a uniform element of that half. Consumes exactly one RNG
+/// draw when candidates exist, none otherwise.
+pub(crate) fn select_peer_in<A: Address>(
+    own: NodeId,
+    candidates: &mut Vec<Descriptor<A>>,
+    rng: &mut SimRng,
+) -> Option<Descriptor<A>> {
+    if candidates.is_empty() {
+        return None;
+    }
+    let half = (candidates.len() / 2).max(1);
+    bss_util::view::rank_top_by(candidates, half, |a, b| {
+        own.ring_distance(a.id())
+            .cmp(&own.ring_distance(b.id()))
+            .then_with(|| a.id().cmp(&b.id()))
+    });
+    Some(candidates[rng.index(half)])
 }
 
 #[cfg(test)]

@@ -217,6 +217,34 @@ impl<A: Address> PrefixTable<A> {
         removed
     }
 
+    /// Raw view of the flat storage for the packed node store: the descriptor
+    /// arena (slot order) and the per-slot offsets.
+    pub(crate) fn raw_parts(&self) -> (&[Descriptor<A>], &[u32]) {
+        (&self.store, &self.offsets)
+    }
+
+    /// Rebuilds the table in place from raw parts (the inverse of
+    /// [`PrefixTable::raw_parts`]), reusing the existing allocations. The
+    /// geometry is left untouched — the packed store only round-trips between
+    /// nodes running identical parameters.
+    pub(crate) fn restore_from(
+        &mut self,
+        own_id: NodeId,
+        entries: impl IntoIterator<Item = Descriptor<A>>,
+        offsets: impl IntoIterator<Item = u32>,
+    ) {
+        self.own_id = own_id;
+        self.store.clear();
+        self.store.extend(entries);
+        self.offsets.clear();
+        self.offsets.extend(offsets);
+        debug_assert_eq!(
+            self.offsets.len(),
+            self.geometry.rows() * self.geometry.columns() + 1,
+            "offset table shape must match the geometry"
+        );
+    }
+
     /// Removes every descriptor with the given identifier (used when a node learns
     /// that a peer has departed). Returns the number of descriptors removed.
     pub fn remove(&mut self, id: NodeId) -> usize {

@@ -37,10 +37,20 @@ struct NodeDigest {
 }
 
 fn run(config: &ExperimentConfig, threads: usize) -> RunTrace {
+    run_with(config, threads, false).0
+}
+
+fn run_with(
+    config: &ExperimentConfig,
+    threads: usize,
+    profile: bool,
+) -> (RunTrace, Option<bss_sim::PhaseProfile>) {
     let mut config = config.clone();
     config.engine = Engine::with_threads(threads);
+    config.profile = profile;
     let (outcome, snapshot) = Experiment::new(config).run_with_snapshot();
-    RunTrace {
+    let phase_profile = outcome.phase_profile().copied();
+    let trace = RunTrace {
         leaf_series: outcome.leaf_series().points().to_vec(),
         prefix_series: outcome.prefix_series().points().to_vec(),
         convergence_cycle: outcome.convergence_cycle(),
@@ -52,7 +62,8 @@ fn run(config: &ExperimentConfig, threads: usize) -> RunTrace {
         max_message_size: outcome.traffic().max_message_size(),
         mean_message_size: outcome.traffic().mean_message_size(),
         nodes: digest_nodes(&snapshot),
-    }
+    };
+    (trace, phase_profile)
 }
 
 fn digest_nodes(snapshot: &PopulationSnapshot) -> Vec<NodeDigest> {
@@ -132,6 +143,38 @@ fn churned_newscast_run_is_thread_count_invariant() {
         .build()
         .unwrap();
     assert_thread_invariant(config);
+}
+
+#[test]
+fn profiling_does_not_perturb_the_simulation() {
+    // The per-phase profiler is observational: with it enabled — on the
+    // sequential engine and on the worker pool — the simulation trace must
+    // stay bit-identical to the unprofiled sequential run, and the profile
+    // itself must cover every executed cycle.
+    let config = ExperimentConfig::builder()
+        .network_size(200)
+        .seed(21)
+        .drop_probability(0.1)
+        .max_cycles(30)
+        .build()
+        .unwrap();
+    let baseline = run(&config, 1);
+    for threads in [1usize, 2, 8] {
+        let (profiled, profile) = run_with(&config, threads, true);
+        assert_eq!(
+            baseline, profiled,
+            "profiling changed the trace at {threads} threads"
+        );
+        let profile = profile.expect("profile requested but absent at {threads} threads");
+        assert_eq!(profile.cycles, profiled.cycles_executed);
+        assert!(
+            profile.total() > std::time::Duration::ZERO,
+            "profile accumulated no time at {threads} threads"
+        );
+    }
+    // Unprofiled runs must not grow a profile.
+    let (_, no_profile) = run_with(&config, 2, false);
+    assert!(no_profile.is_none());
 }
 
 proptest! {

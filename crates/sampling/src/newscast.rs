@@ -11,14 +11,14 @@
 
 use crate::sampler::PeerSampler;
 use bss_sim::engine::cycle::{CycleProtocol, EngineContext};
-use bss_sim::network::NodeIndex;
+use bss_sim::network::{Network, NodeIndex};
 use bss_util::config::NewscastParams;
-use bss_util::descriptor::{dedup_freshest, Descriptor};
+use bss_util::descriptor::{dedup_freshest, Descriptor, PackedDescriptor};
 use bss_util::id::NodeId;
 use bss_util::view::{rank_top_by, ViewArena};
 
 /// One node's NEWSCAST cache (as a transient merge buffer; the resident storage
-/// is the protocol's [`ViewArena`]).
+/// is the protocol's [`ViewArena`] of eight-byte [`PackedDescriptor`]s).
 type View = Vec<Descriptor<NodeIndex>>;
 
 /// The NEWSCAST protocol state for every node in a simulation.
@@ -28,12 +28,14 @@ type View = Vec<Descriptor<NodeIndex>>;
 /// `cr` random samples from it).
 ///
 /// All views live in one flat [`ViewArena`] (a `view_size`-sized slot per node)
-/// and every exchange reuses the protocol-owned scratch buffers, so the steady
-/// state of a gossip cycle performs no heap allocation at all.
+/// storing eight-byte packed descriptors — identifiers are recovered from the
+/// network registry on the way out — and every exchange reuses the
+/// protocol-owned scratch buffers, so the steady state of a gossip cycle
+/// performs no heap allocation at all.
 #[derive(Debug)]
 pub struct NewscastProtocol {
     params: NewscastParams,
-    views: ViewArena<NodeIndex>,
+    views: ViewArena<PackedDescriptor>,
     exchanges: u64,
     failed_exchanges: u64,
     /// Reusable buffer for the request (initiator's fresh descriptor + view).
@@ -42,6 +44,8 @@ pub struct NewscastProtocol {
     response_scratch: View,
     /// Reusable buffer for view ∪ received merges.
     merge_scratch: View,
+    /// Reusable buffer for re-packing a merged view into its arena slot.
+    packed_scratch: Vec<PackedDescriptor>,
 }
 
 impl NewscastProtocol {
@@ -55,6 +59,7 @@ impl NewscastProtocol {
             request_scratch: Vec::new(),
             response_scratch: Vec::new(),
             merge_scratch: Vec::new(),
+            packed_scratch: Vec::new(),
         }
     }
 
@@ -73,9 +78,24 @@ impl NewscastProtocol {
         self.failed_exchanges
     }
 
-    /// The current view of `node`, if the node has been initialised.
-    pub fn view(&self, node: NodeIndex) -> Option<&[Descriptor<NodeIndex>]> {
+    /// The current packed view of `node`, if the node has been initialised.
+    /// Entries carry addresses and timestamps; use
+    /// [`NewscastProtocol::view_unpacked`] (or [`Network::unpack`]) to recover
+    /// full descriptors with identifiers.
+    pub fn view(&self, node: NodeIndex) -> Option<&[PackedDescriptor]> {
         self.views.get(node.as_usize())
+    }
+
+    /// The current view of `node` expanded to full descriptors through the
+    /// network registry, if the node has been initialised.
+    pub fn view_unpacked(
+        &self,
+        node: NodeIndex,
+        network: &Network,
+    ) -> Option<Vec<Descriptor<NodeIndex>>> {
+        self.views
+            .get(node.as_usize())
+            .map(|view| view.iter().map(|&p| network.unpack(p)).collect())
     }
 
     /// Initialises `node` with an explicit seed view (self-entries are removed and
@@ -89,7 +109,9 @@ impl NewscastProtocol {
         let own_id = ctx.network.id(node);
         let mut view = seeds;
         Self::normalise(&mut view, own_id, self.params.view_size);
-        self.views.set(node.as_usize(), &view);
+        self.packed_scratch.clear();
+        self.packed_scratch.extend(view.iter().map(Network::pack));
+        self.views.set(node.as_usize(), &self.packed_scratch);
     }
 
     /// Number of nodes currently holding a view.
@@ -120,9 +142,12 @@ impl NewscastProtocol {
     /// dropped before the freshest-first ranking — the view-level failure
     /// detector that purges a departed node's last sighting even while the
     /// view is not full.
+    #[allow(clippy::too_many_arguments)]
     fn merge_slot(
-        views: &mut ViewArena<NodeIndex>,
+        views: &mut ViewArena<PackedDescriptor>,
         scratch: &mut View,
+        packed_scratch: &mut Vec<PackedDescriptor>,
+        network: &Network,
         node: NodeIndex,
         received: &[Descriptor<NodeIndex>],
         own_id: NodeId,
@@ -130,13 +155,17 @@ impl NewscastProtocol {
         aging: Option<(u64, u64)>,
     ) {
         scratch.clear();
-        scratch.extend_from_slice(views.get(node.as_usize()).unwrap_or(&[]));
+        if let Some(view) = views.get(node.as_usize()) {
+            scratch.extend(view.iter().map(|&p| network.unpack(p)));
+        }
         scratch.extend_from_slice(received);
         if let Some((now, bound)) = aging {
             scratch.retain(|d| !d.is_expired(now, bound));
         }
         Self::normalise(scratch, own_id, capacity);
-        views.set(node.as_usize(), scratch);
+        packed_scratch.clear();
+        packed_scratch.extend(scratch.iter().map(Network::pack));
+        views.set(node.as_usize(), packed_scratch);
     }
 
     /// One active NEWSCAST exchange initiated by `node` at cycle `cycle`.
@@ -154,7 +183,7 @@ impl NewscastProtocol {
                     return;
                 }
             };
-            view[ctx.rng.index(view.len())].address()
+            NodeIndex::new(view[ctx.rng.index(view.len())].address())
         };
 
         // Request: own fresh descriptor + current view.
@@ -165,7 +194,9 @@ impl NewscastProtocol {
         let mut request = std::mem::take(&mut self.request_scratch);
         request.clear();
         request.push(ctx.network.descriptor(node, cycle));
-        request.extend_from_slice(self.view(node).unwrap_or(&[]));
+        if let Some(view) = self.view(node) {
+            request.extend(view.iter().map(|&p| ctx.network.unpack(p)));
+        }
 
         // A departed peer cannot reply (its descriptor will age out of views).
         if !ctx.network.is_alive(peer) {
@@ -178,7 +209,9 @@ impl NewscastProtocol {
         let mut response = std::mem::take(&mut self.response_scratch);
         response.clear();
         response.push(ctx.network.descriptor(peer, cycle));
-        response.extend_from_slice(self.view(peer).unwrap_or(&[]));
+        if let Some(view) = self.view(peer) {
+            response.extend(view.iter().map(|&p| ctx.network.unpack(p)));
+        }
         let response_delivered = ctx.deliver(peer, node);
 
         // The peer merges the request (occupying its slot if it held no view).
@@ -187,6 +220,8 @@ impl NewscastProtocol {
         Self::merge_slot(
             &mut self.views,
             &mut self.merge_scratch,
+            &mut self.packed_scratch,
+            &ctx.network,
             peer,
             &request,
             peer_id,
@@ -199,6 +234,8 @@ impl NewscastProtocol {
             Self::merge_slot(
                 &mut self.views,
                 &mut self.merge_scratch,
+                &mut self.packed_scratch,
+                &ctx.network,
                 node,
                 &response,
                 own_id,
@@ -275,7 +312,14 @@ impl PeerSampler for NewscastProtocol {
             Some(v) => v,
             None => return Vec::new(),
         };
-        ctx.rng.sample(view, count.min(view.len()))
+        // Sampling over the packed entries consumes the same RNG stream as
+        // sampling full descriptors (draws depend only on lengths); the picked
+        // entries are expanded through the registry afterwards.
+        ctx.rng
+            .sample(view, count.min(view.len()))
+            .into_iter()
+            .map(|p| ctx.network.unpack(p))
+            .collect()
     }
 }
 
@@ -309,7 +353,9 @@ mod tests {
     fn views_stay_within_capacity_and_never_contain_self() {
         let (protocol, eng) = run_newscast(100, 15, 1);
         for node in eng.context().network.all_indices() {
-            let view = protocol.view(node).expect("every node initialised");
+            let view = protocol
+                .view_unpacked(node, &eng.context().network)
+                .expect("every node initialised");
             assert!(view.len() <= 20);
             assert!(!view.is_empty());
             let own_id = eng.context().network.id(node);
@@ -402,7 +448,7 @@ mod tests {
         for node in network.alive_indices() {
             for d in protocol.view(node).unwrap() {
                 total += 1;
-                if !network.is_alive(d.address()) {
+                if !network.is_alive(NodeIndex::new(d.address())) {
                     dead_pointers += 1;
                 }
             }
@@ -434,7 +480,7 @@ mod tests {
         protocol.init_node_with(NodeIndex::new(0), seeds, eng.context_mut());
         let view = protocol.view(NodeIndex::new(0)).unwrap();
         assert_eq!(view.len(), 3);
-        assert!(view.iter().all(|d| d.address() != NodeIndex::new(0)));
+        assert!(view.iter().all(|d| d.address() != 0));
         // Freshest first.
         assert!(view[0].timestamp() >= view[1].timestamp());
         assert_eq!(protocol.initialised_nodes(), 1);
@@ -459,7 +505,7 @@ mod tests {
         let mut seen = std::collections::HashSet::new();
         for node in eng.context().network.all_indices() {
             for d in protocol.view(node).unwrap_or(&[]) {
-                seen.insert(d.id());
+                seen.insert(d.address());
             }
         }
         assert!(
@@ -493,7 +539,10 @@ mod tests {
         eng.run(&mut protocol, 12);
         let now = 11; // last executed cycle stamped exchanges with this value
         for node in eng.context().network.all_indices() {
-            for d in protocol.view(node).unwrap_or(&[]) {
+            let view = protocol
+                .view_unpacked(node, &eng.context().network)
+                .unwrap_or_default();
+            for d in view {
                 assert!(
                     !d.is_expired(now, 4),
                     "aged view kept an expired descriptor: ts {} at cycle {now}",
@@ -532,9 +581,11 @@ mod tests {
                     ctx.network.add_random_node(rng)
                 };
                 PeerSampler::init_node(&mut protocol, joiner, join_cycle, &mut ctx);
-                let view = protocol.view(joiner).expect("joiner initialised");
+                let view = protocol
+                    .view_unpacked(joiner, &ctx.network)
+                    .expect("joiner initialised");
                 prop_assert!(!view.is_empty());
-                for d in view {
+                for d in &view {
                     prop_assert_eq!(
                         d.timestamp(),
                         join_cycle,
@@ -543,7 +594,7 @@ mod tests {
                 }
                 // And under an aging bound the seeds survive the very next
                 // merge instead of being rejected as expired.
-                for d in view {
+                for d in &view {
                     prop_assert!(!d.is_expired(join_cycle + 1, 2));
                 }
             }

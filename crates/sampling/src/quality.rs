@@ -27,9 +27,9 @@ pub fn in_degree_histogram(protocol: &NewscastProtocol, network: &Network) -> Hi
     for &node in &alive {
         if let Some(view) = protocol.view(node) {
             for descriptor in view {
-                let target = descriptor.address().as_usize();
-                if target < in_degree.len() && network.is_alive(descriptor.address()) {
-                    in_degree[target] += 1;
+                let target = NodeIndex::new(descriptor.address());
+                if target.as_usize() < in_degree.len() && network.is_alive(target) {
+                    in_degree[target.as_usize()] += 1;
                 }
             }
         }
@@ -50,7 +50,7 @@ pub fn in_degree_summary(protocol: &NewscastProtocol, network: &Network) -> Summ
     for &node in &alive {
         if let Some(view) = protocol.view(node) {
             for descriptor in view {
-                let target = descriptor.address().as_usize();
+                let target = descriptor.address() as usize;
                 if target < in_degree.len() {
                     in_degree[target] += 1.0;
                 }
@@ -72,7 +72,7 @@ pub fn dead_pointer_fraction(protocol: &NewscastProtocol, network: &Network) -> 
         if let Some(view) = protocol.view(node) {
             for descriptor in view {
                 total += 1;
-                if !network.is_alive(descriptor.address()) {
+                if !network.is_alive(NodeIndex::new(descriptor.address())) {
                     dead += 1;
                 }
             }
@@ -100,7 +100,7 @@ pub fn is_connected(protocol: &NewscastProtocol, network: &Network) -> bool {
     for &node in &alive {
         if let Some(view) = protocol.view(node) {
             for descriptor in view {
-                let target = descriptor.address();
+                let target = NodeIndex::new(descriptor.address());
                 if network.is_alive(target) {
                     adjacency[node.as_usize()].push(target.as_usize());
                     adjacency[target.as_usize()].push(node.as_usize());

@@ -9,9 +9,11 @@
 
 use crate::churn::{ChurnEvents, ChurnModel, NoChurn};
 use crate::network::{Network, NodeIndex};
+use crate::pool::WorkerPool;
 use crate::transport::{ReliableTransport, Transport};
 use bss_util::rng::SimRng;
 use std::ops::ControlFlow;
+use std::time::{Duration, Instant};
 
 /// Mutable state shared by the engine and the protocol during a run: the node
 /// registry, the random number generator and the transport.
@@ -136,17 +138,49 @@ pub trait ParallelCycleProtocol: CycleProtocol {
 
     /// Executes a wave of plans, appending one outcome per item (in item
     /// order) to `outcomes`. Non-deferred items touch pairwise-disjoint node
-    /// sets and may run on up to `threads` worker threads; deferred items run
+    /// sets and may run on the persistent worker `pool`; deferred items run
     /// after all non-deferred ones, in order.
     fn execute_wave(
         &mut self,
         wave: &mut Vec<PlannedWork<Self::Plan>>,
-        threads: usize,
+        pool: &mut WorkerPool,
         outcomes: &mut Vec<Self::Outcome>,
     );
 
     /// Applies one outcome's side effects. Called in planning order.
     fn commit_outcome(&mut self, outcome: Self::Outcome, ctx: &mut EngineContext);
+}
+
+/// Accumulated wall time per engine phase, enabled with
+/// [`CycleEngine::enable_profiling`] and read back with
+/// [`CycleEngine::phase_profile`].
+///
+/// The four phases partition a cycle: `plan` covers the sequential scan
+/// (churn, begin/end hooks, RNG draws and wave scheduling), `execute` the
+/// deferred per-node computation (the part the worker pool parallelises),
+/// `commit` the in-order outcome replay, and `measure` the observer callback
+/// (convergence oracles, metric emission). On the sequential engine the whole
+/// per-node step lands in `execute`, scheduling overhead in `plan`, and
+/// `commit` stays empty.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseProfile {
+    /// Sequential planning: churn, cycle hooks, RNG and wave scheduling.
+    pub plan: Duration,
+    /// Deferred per-node computation (parallelised across the worker pool).
+    pub execute: Duration,
+    /// In-planning-order outcome replay.
+    pub commit: Duration,
+    /// Observer callbacks (oracle measurement, metric emission).
+    pub measure: Duration,
+    /// Number of cycles the durations above accumulate over.
+    pub cycles: u64,
+}
+
+impl PhaseProfile {
+    /// Total profiled wall time across all four phases.
+    pub fn total(&self) -> Duration {
+        self.plan + self.execute + self.commit + self.measure
+    }
 }
 
 /// The cycle-driven engine.
@@ -182,6 +216,11 @@ pub struct CycleEngine {
     /// Reusable per-cycle execution-order buffer; avoids one O(n) allocation
     /// per cycle on the hot path.
     order_scratch: Vec<NodeIndex>,
+    /// Persistent worker pool for the parallel engine; created lazily on the
+    /// first parallel run and reused (workers stay alive) across runs.
+    pool: Option<WorkerPool>,
+    /// Per-phase wall-time accumulator; `None` until profiling is enabled.
+    profiler: Option<PhaseProfile>,
 }
 
 impl CycleEngine {
@@ -192,7 +231,23 @@ impl CycleEngine {
             churn: Box::new(NoChurn),
             current_cycle: 0,
             order_scratch: Vec::new(),
+            pool: None,
+            profiler: None,
         }
+    }
+
+    /// Starts accumulating per-phase wall time into a [`PhaseProfile`]
+    /// readable via [`CycleEngine::phase_profile`]. Idempotent: calling it
+    /// again keeps the accumulated numbers.
+    pub fn enable_profiling(&mut self) {
+        if self.profiler.is_none() {
+            self.profiler = Some(PhaseProfile::default());
+        }
+    }
+
+    /// The per-phase profile accumulated so far, if profiling is enabled.
+    pub fn phase_profile(&self) -> Option<&PhaseProfile> {
+        self.profiler.as_ref()
     }
 
     /// Replaces the transport (builder style).
@@ -247,6 +302,7 @@ impl CycleEngine {
         let mut executed = 0;
         for _ in 0..max_cycles {
             let cycle = self.current_cycle;
+            let cycle_start = Instant::now();
             self.context.transport.advance_to_cycle(cycle);
             self.apply_churn(protocol, cycle);
             protocol.begin_cycle(cycle, &mut self.context);
@@ -258,6 +314,7 @@ impl CycleEngine {
             self.order_scratch
                 .extend(self.context.network.alive_indices());
             self.context.rng.shuffle(&mut self.order_scratch);
+            let node_loop_start = Instant::now();
             for position in 0..self.order_scratch.len() {
                 let node = self.order_scratch[position];
                 // A node scheduled earlier in the cycle may since have been removed
@@ -266,11 +323,22 @@ impl CycleEngine {
                     protocol.execute_node(node, cycle, &mut self.context);
                 }
             }
+            let node_loop = node_loop_start.elapsed();
 
             protocol.end_cycle(cycle, &mut self.context);
             self.current_cycle += 1;
             executed += 1;
-            if observer(protocol, &mut self.context, cycle).is_break() {
+            if let Some(profile) = self.profiler.as_mut() {
+                profile.execute += node_loop;
+                profile.plan += cycle_start.elapsed().saturating_sub(node_loop);
+                profile.cycles += 1;
+            }
+            let measure_start = Instant::now();
+            let flow = observer(protocol, &mut self.context, cycle);
+            if let Some(profile) = self.profiler.as_mut() {
+                profile.measure += measure_start.elapsed();
+            }
+            if flow.is_break() {
                 break;
             }
         }
@@ -318,7 +386,17 @@ impl CycleEngine {
         F: FnMut(&mut P, &mut EngineContext, u64) -> ControlFlow<()>,
     {
         if threads <= 1 {
+            // The sequential engine also honours profiling, with a coarser
+            // split: the whole node step lands in `execute` (planning is not
+            // separable from execution there) and the remainder in `plan`.
+            // Keeping one thread on this path makes profiled and unprofiled
+            // runs of the same configuration directly comparable.
             return self.run_with_observer(protocol, max_cycles, observer);
+        }
+        // The persistent pool outlives individual runs; recreate it only when
+        // the requested thread count changes.
+        if self.pool.as_ref().map_or(true, |p| p.threads() != threads) {
+            self.pool = Some(WorkerPool::new(threads));
         }
         // Reused across cycles and waves: the pending wave, its outcomes, the
         // claimed-node flags and the list of set flags (for O(wave) clearing).
@@ -330,6 +408,8 @@ impl CycleEngine {
         let mut executed = 0;
         for _ in 0..max_cycles {
             let cycle = self.current_cycle;
+            let cycle_start = Instant::now();
+            let mut flushed = Duration::ZERO;
             self.context.transport.advance_to_cycle(cycle);
             self.apply_churn(protocol, cycle);
             protocol.begin_cycle(cycle, &mut self.context);
@@ -354,7 +434,9 @@ impl CycleEngine {
                         &mut self.context,
                         &mut wave,
                         &mut outcomes,
-                        threads,
+                        self.pool.as_mut().expect("pool created above"),
+                        &mut self.profiler,
+                        &mut flushed,
                     );
                     for claimed_node in claimed_list.drain(..) {
                         claimed[claimed_node.as_usize()] = false;
@@ -388,7 +470,9 @@ impl CycleEngine {
                 &mut self.context,
                 &mut wave,
                 &mut outcomes,
-                threads,
+                self.pool.as_mut().expect("pool created above"),
+                &mut self.profiler,
+                &mut flushed,
             );
             for claimed_node in claimed_list.drain(..) {
                 claimed[claimed_node.as_usize()] = false;
@@ -397,31 +481,55 @@ impl CycleEngine {
             protocol.end_cycle(cycle, &mut self.context);
             self.current_cycle += 1;
             executed += 1;
-            if observer(protocol, &mut self.context, cycle).is_break() {
+            if let Some(profile) = self.profiler.as_mut() {
+                // Everything this cycle spent outside execute/commit flushes is
+                // the sequential planning scan (plus churn and cycle hooks).
+                profile.plan += cycle_start.elapsed().saturating_sub(flushed);
+                profile.cycles += 1;
+            }
+            let measure_start = Instant::now();
+            let flow = observer(protocol, &mut self.context, cycle);
+            if let Some(profile) = self.profiler.as_mut() {
+                profile.measure += measure_start.elapsed();
+            }
+            if flow.is_break() {
                 break;
             }
         }
         executed
     }
 
-    /// Executes and commits a pending wave (no-op when empty).
+    /// Executes and commits a pending wave (no-op when empty). `flushed`
+    /// accumulates the wall time spent here so the caller can attribute the
+    /// remainder of the cycle to the planning phase.
     fn flush_wave<P: ParallelCycleProtocol>(
         protocol: &mut P,
         context: &mut EngineContext,
         wave: &mut Vec<PlannedWork<P::Plan>>,
         outcomes: &mut Vec<P::Outcome>,
-        threads: usize,
+        pool: &mut WorkerPool,
+        profile: &mut Option<PhaseProfile>,
+        flushed: &mut Duration,
     ) {
         if wave.is_empty() {
             return;
         }
         outcomes.clear();
-        protocol.execute_wave(wave, threads, outcomes);
+        let execute_start = Instant::now();
+        protocol.execute_wave(wave, pool, outcomes);
+        let execute_elapsed = execute_start.elapsed();
         debug_assert_eq!(outcomes.len(), wave.len());
         wave.clear();
+        let commit_start = Instant::now();
         for outcome in outcomes.drain(..) {
             protocol.commit_outcome(outcome, context);
         }
+        let commit_elapsed = commit_start.elapsed();
+        if let Some(profile) = profile.as_mut() {
+            profile.execute += execute_elapsed;
+            profile.commit += commit_elapsed;
+        }
+        *flushed += execute_elapsed + commit_elapsed;
     }
 
     fn apply_churn<P: CycleProtocol>(&mut self, protocol: &mut P, cycle: u64) {

@@ -15,6 +15,9 @@
 //! * [`churn`] — join/leave/catastrophic-failure scenarios applied at cycle
 //!   boundaries.
 //! * [`observer`] — periodic measurement hooks and control-flow helpers.
+//! * [`pool`] — the persistent worker pool behind the parallel cycle engine:
+//!   long-lived threads fed over channels, so a million-cycle run pays the
+//!   thread-spawn cost once instead of once per wave.
 //!
 //! # Example: a trivial cycle-driven protocol
 //!
@@ -42,7 +45,9 @@
 //! assert!(protocol.executions.iter().all(|&count| count == 10));
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` instead of `forbid`: the worker pool needs one audited lifetime
+// transmute (see `pool`); everything else stays unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
@@ -50,9 +55,11 @@ pub mod churn;
 pub mod engine;
 pub mod network;
 pub mod observer;
+pub mod pool;
 pub mod transport;
 
-pub use engine::cycle::{CycleEngine, CycleProtocol, EngineContext};
+pub use engine::cycle::{CycleEngine, CycleProtocol, EngineContext, PhaseProfile};
 pub use engine::event::{EventEngine, EventProtocol};
 pub use network::{Network, NodeIndex};
+pub use pool::WorkerPool;
 pub use transport::{DropTransport, PartitionTransport, ReliableTransport, Transport};

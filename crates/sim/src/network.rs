@@ -7,7 +7,7 @@
 //! churn models mutate and what the convergence oracle reads to decide what the
 //! *perfect* tables would be.
 
-use bss_util::descriptor::Descriptor;
+use bss_util::descriptor::{Descriptor, PackedDescriptor};
 use bss_util::id::NodeId;
 use bss_util::rng::SimRng;
 use std::collections::HashMap;
@@ -251,6 +251,40 @@ impl Network {
     /// Panics if the index is out of range.
     pub fn descriptor(&self, node: NodeIndex, timestamp: u64) -> Descriptor<NodeIndex> {
         Descriptor::new(self.id(node), node, timestamp)
+    }
+
+    /// Packs a simulator descriptor into its eight-byte form. The identifier
+    /// is dropped — it is recoverable from the registry because every
+    /// simulated descriptor is built via [`Network::descriptor`], so its
+    /// identifier always equals the registry identifier of its address.
+    #[inline]
+    pub fn pack(descriptor: &Descriptor<NodeIndex>) -> PackedDescriptor {
+        PackedDescriptor::new(descriptor.address().raw(), descriptor.timestamp())
+    }
+
+    /// Expands a packed descriptor back to the full form using the registry's
+    /// identifier for its address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the packed address is out of range.
+    #[inline]
+    pub fn unpack(&self, packed: PackedDescriptor) -> Descriptor<NodeIndex> {
+        let node = NodeIndex::new(packed.address());
+        Descriptor::new(self.id(node), node, packed.timestamp())
+    }
+
+    /// Synchronises a dense identifier arena (`index -> identifier`) with the
+    /// registry, extending `arena` with the entries added since the last call.
+    /// Registry indices are stable and identifiers immutable, so an
+    /// incremental extension is exact; a stale arena longer than the registry
+    /// (a harness reusing protocol state against a fresh network) is rebuilt
+    /// from scratch.
+    pub fn sync_id_arena(&self, arena: &mut Vec<NodeId>) {
+        if arena.len() > self.entries.len() {
+            arena.clear();
+        }
+        arena.extend(self.entries[arena.len()..].iter().map(|e| e.id));
     }
 
     /// Draws up to `count` distinct, uniformly random alive nodes other than

@@ -9,8 +9,8 @@
 use crate::ranking::Ranking;
 use bss_sampling::sampler::PeerSampler;
 use bss_sim::engine::cycle::{CycleProtocol, EngineContext};
-use bss_sim::network::NodeIndex;
-use bss_util::descriptor::{dedup_freshest, Descriptor};
+use bss_sim::network::{Network, NodeIndex};
+use bss_util::descriptor::{dedup_freshest, Descriptor, PackedDescriptor};
 use bss_util::id::NodeId;
 use bss_util::view::ViewArena;
 
@@ -38,14 +38,16 @@ impl Default for TmanConfig {
 /// The T-Man protocol state for every node in a simulation.
 ///
 /// Views are stored in a flat [`ViewArena`] (one fixed-capacity slot per node)
-/// and every exchange reuses protocol-owned scratch buffers, so the gossip hot
-/// path does not allocate per view or per message.
+/// of eight-byte packed descriptors — identifiers are recovered from the
+/// network registry on the way out — and every exchange reuses protocol-owned
+/// scratch buffers, so the gossip hot path does not allocate per view or per
+/// message.
 #[derive(Debug)]
 pub struct TmanProtocol<R, S> {
     config: TmanConfig,
     ranking: R,
     sampler: S,
-    views: ViewArena<NodeIndex>,
+    views: ViewArena<PackedDescriptor>,
     exchanges: u64,
     /// Reusable buffer for the initiator's outgoing message.
     request_scratch: Vec<Descriptor<NodeIndex>>,
@@ -53,6 +55,8 @@ pub struct TmanProtocol<R, S> {
     answer_scratch: Vec<Descriptor<NodeIndex>>,
     /// Reusable buffer for view ∪ received merges.
     merge_scratch: Vec<Descriptor<NodeIndex>>,
+    /// Reusable buffer for re-packing a merged view into its arena slot.
+    packed_scratch: Vec<PackedDescriptor>,
 }
 
 impl<R: Ranking, S: PeerSampler> TmanProtocol<R, S> {
@@ -73,6 +77,7 @@ impl<R: Ranking, S: PeerSampler> TmanProtocol<R, S> {
             request_scratch: Vec::new(),
             answer_scratch: Vec::new(),
             merge_scratch: Vec::new(),
+            packed_scratch: Vec::new(),
         }
     }
 
@@ -86,9 +91,22 @@ impl<R: Ranking, S: PeerSampler> TmanProtocol<R, S> {
         self.exchanges
     }
 
-    /// The current view of `node`, best-ranked first, if initialised.
-    pub fn view(&self, node: NodeIndex) -> Option<&[Descriptor<NodeIndex>]> {
+    /// The current packed view of `node`, best-ranked first, if initialised.
+    /// Use [`TmanProtocol::view_unpacked`] to recover full descriptors.
+    pub fn view(&self, node: NodeIndex) -> Option<&[PackedDescriptor]> {
         self.views.get(node.as_usize())
+    }
+
+    /// The current view of `node` expanded to full descriptors through the
+    /// network registry, best-ranked first, if initialised.
+    pub fn view_unpacked(
+        &self,
+        node: NodeIndex,
+        network: &Network,
+    ) -> Option<Vec<Descriptor<NodeIndex>>> {
+        self.views
+            .get(node.as_usize())
+            .map(|view| view.iter().map(|&p| network.unpack(p)).collect())
     }
 
     /// Initialises every alive node with random seeds from the sampler.
@@ -106,7 +124,9 @@ impl<R: Ranking, S: PeerSampler> TmanProtocol<R, S> {
         let own_id = ctx.network.id(node);
         let mut view = seeds;
         self.normalise(own_id, &mut view);
-        self.views.set(node.as_usize(), &view);
+        self.packed_scratch.clear();
+        self.packed_scratch.extend(view.iter().map(Network::pack));
+        self.views.set(node.as_usize(), &self.packed_scratch);
     }
 
     fn normalise(&self, own_id: NodeId, view: &mut Vec<Descriptor<NodeIndex>>) {
@@ -128,7 +148,9 @@ impl<R: Ranking, S: PeerSampler> TmanProtocol<R, S> {
     ) {
         buffer.clear();
         buffer.push(ctx.network.descriptor(node, cycle));
-        buffer.extend(self.view(node).unwrap_or(&[]).iter().copied());
+        if let Some(view) = self.views.get(node.as_usize()) {
+            buffer.extend(view.iter().map(|&p| ctx.network.unpack(p)));
+        }
         // Samples append straight into the reused buffer — no intermediate
         // vector per exchange.
         self.sampler
@@ -146,10 +168,15 @@ impl<R: Ranking, S: PeerSampler> TmanProtocol<R, S> {
         let own_id = ctx.network.id(node);
         let mut scratch = std::mem::take(&mut self.merge_scratch);
         scratch.clear();
-        scratch.extend_from_slice(self.views.get(node.as_usize()).unwrap_or(&[]));
+        if let Some(view) = self.views.get(node.as_usize()) {
+            scratch.extend(view.iter().map(|&p| ctx.network.unpack(p)));
+        }
         scratch.extend_from_slice(received);
         self.normalise(own_id, &mut scratch);
-        self.views.set(node.as_usize(), &scratch);
+        self.packed_scratch.clear();
+        self.packed_scratch
+            .extend(scratch.iter().map(Network::pack));
+        self.views.set(node.as_usize(), &self.packed_scratch);
         self.merge_scratch = scratch;
     }
 }
@@ -157,33 +184,37 @@ impl<R: Ranking, S: PeerSampler> TmanProtocol<R, S> {
 impl<R: Ranking, S: PeerSampler> CycleProtocol for TmanProtocol<R, S> {
     fn execute_node(&mut self, node: NodeIndex, cycle: u64, ctx: &mut EngineContext) {
         self.exchanges += 1;
-        let own_id = ctx.network.id(node);
         // Select a peer from the better half of the view (falling back to a random
         // sample while the view is still empty).
-        let peer_descriptor = match self.view(node) {
+        let peer = match self.view(node) {
             Some(view) if !view.is_empty() => {
                 let half = (view.len() / 2).max(1);
-                Some(view[ctx.rng.index(half)])
+                Some(NodeIndex::new(view[ctx.rng.index(half)].address()))
             }
-            _ => self.sampler.sample(node, 1, cycle, ctx).into_iter().next(),
+            _ => self
+                .sampler
+                .sample(node, 1, cycle, ctx)
+                .into_iter()
+                .next()
+                .map(|d| d.address()),
         };
-        let Some(peer) = peer_descriptor else { return };
-        if peer.address() == node {
+        let Some(peer) = peer else { return };
+        if peer == node {
             return;
         }
-        let _ = own_id;
+        let peer_id = ctx.network.id(peer);
 
         let mut request = std::mem::take(&mut self.request_scratch);
-        self.fill_buffer(&mut request, node, peer.id(), cycle, ctx);
-        if !ctx.deliver(node, peer.address()) || !ctx.network.is_alive(peer.address()) {
+        self.fill_buffer(&mut request, node, peer_id, cycle, ctx);
+        if !ctx.deliver(node, peer) || !ctx.network.is_alive(peer) {
             self.request_scratch = request;
             return;
         }
         let node_id = ctx.network.id(node);
         let mut answer = std::mem::take(&mut self.answer_scratch);
-        self.fill_buffer(&mut answer, peer.address(), node_id, cycle, ctx);
-        let answer_delivered = ctx.deliver(peer.address(), node);
-        self.merge(peer.address(), &request, ctx);
+        self.fill_buffer(&mut answer, peer, node_id, cycle, ctx);
+        let answer_delivered = ctx.deliver(peer, node);
+        self.merge(peer, &request, ctx);
         if answer_delivered {
             self.merge(node, &answer, ctx);
         }
@@ -225,7 +256,7 @@ mod tests {
         tman.init_all(eng.context_mut());
         eng.run(&mut tman, 10);
         for node in eng.context().network.all_indices() {
-            let view = tman.view(node).unwrap();
+            let view = tman.view_unpacked(node, &eng.context().network).unwrap();
             assert!(view.len() <= 20);
             let own = eng.context().network.id(node);
             assert!(view.iter().all(|d| d.id() != own));
@@ -266,7 +297,7 @@ mod tests {
             if position + 1 < ids.len() {
                 best_true = best_true.min(own.raw().abs_diff(ids[position + 1].raw()));
             }
-            let view = tman.view(node).unwrap();
+            let view = tman.view_unpacked(node, network).unwrap();
             if view
                 .first()
                 .map(|d| own.raw().abs_diff(d.id().raw()) == best_true)

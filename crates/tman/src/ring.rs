@@ -28,7 +28,7 @@ pub fn ring_completeness<R: Ranking, S: PeerSampler>(
         let position = ids.binary_search(&own).expect("alive node in id list");
         let successor = ids[(position + 1) % n];
         let predecessor = ids[(position + n - 1) % n];
-        let Some(view) = protocol.view(node) else {
+        let Some(view) = protocol.view_unpacked(node, network) else {
             continue;
         };
         measured += 1;
@@ -62,7 +62,7 @@ pub fn neighbourhood_coverage<R: Ranking, S: PeerSampler>(
     let mut covered = 0usize;
     let mut expected = 0usize;
     for node in network.alive_indices() {
-        let Some(view) = protocol.view(node) else {
+        let Some(view) = protocol.view_unpacked(node, network) else {
             continue;
         };
         let own = network.id(node);

@@ -117,6 +117,72 @@ impl<A: Address> Descriptor<A> {
     }
 }
 
+impl<A: Address + Default> Default for Descriptor<A> {
+    /// A placeholder descriptor (identifier 0, default address, timestamp 0),
+    /// used as arena filler and scratch initialiser.
+    fn default() -> Self {
+        Descriptor::new(NodeId::new(0), A::default(), 0)
+    }
+}
+
+/// A descriptor packed to eight bytes for the simulator's hot membership
+/// structures: the node's dense `u32` registry index (which is also its
+/// position in the shared identifier arena) plus a `u32` logical timestamp.
+///
+/// The full [`Descriptor`] spends 16 of its 24 bytes on the 64-bit identifier
+/// and timestamp, but inside the simulator the identifier is recoverable from
+/// the registry (`ids[address]`) and timestamps are cycle numbers that never
+/// approach `2^32`. Packing halves-to-thirds the per-entry footprint of every
+/// leaf set, prefix table and gossip view, which is what lets million-node
+/// networks fit in commodity memory.
+///
+/// # Example
+///
+/// ```rust
+/// use bss_util::descriptor::PackedDescriptor;
+///
+/// let p = PackedDescriptor::new(7, 3);
+/// assert_eq!(p.address(), 7);
+/// assert_eq!(p.timestamp(), 3);
+/// assert_eq!(std::mem::size_of::<PackedDescriptor>(), 8);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct PackedDescriptor {
+    address: u32,
+    timestamp: u32,
+}
+
+impl PackedDescriptor {
+    /// Packs an address index and logical timestamp.
+    ///
+    /// Debug builds assert that the timestamp fits in 32 bits; the simulator's
+    /// timestamps are cycle numbers (or millisecond event times), which stay
+    /// far below `2^32` for any feasible run length.
+    #[inline]
+    pub fn new(address: u32, timestamp: u64) -> Self {
+        debug_assert!(
+            timestamp <= u64::from(u32::MAX),
+            "timestamp {timestamp} exceeds the packed 32-bit range"
+        );
+        PackedDescriptor {
+            address,
+            timestamp: timestamp as u32,
+        }
+    }
+
+    /// The node's dense registry index.
+    #[inline]
+    pub fn address(self) -> u32 {
+        self.address
+    }
+
+    /// Logical freshness timestamp; larger is fresher.
+    #[inline]
+    pub fn timestamp(self) -> u64 {
+        u64::from(self.timestamp)
+    }
+}
+
 /// Buffers at most this long are deduplicated by in-place quadratic scanning
 /// (no allocation); longer buffers switch to the open-addressing path.
 const LINEAR_DEDUP_MAX: usize = 24;

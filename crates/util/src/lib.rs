@@ -49,7 +49,7 @@ pub mod stats;
 pub mod view;
 
 pub use config::{BootstrapParams, NewscastParams};
-pub use descriptor::{Address, Descriptor};
+pub use descriptor::{Address, Descriptor, PackedDescriptor};
 pub use geometry::TableGeometry;
 pub use id::NodeId;
 pub use rng::SimRng;

@@ -274,6 +274,11 @@ pub fn percentile_of_sorted(sorted: &[f64], q: f64) -> f64 {
 
 /// A fixed-width histogram over `u64` observations, used for in-degree
 /// distributions and message-size accounting.
+///
+/// Bucket storage is bounded: observations past bucket
+/// [`Histogram::MAX_BUCKETS`] saturate into a single overflow bucket, so a
+/// lone outlier (a u64 latency, say) costs O(1) memory instead of resizing
+/// `counts` to `value / bucket_width + 1` entries.
 #[derive(Clone, Debug)]
 pub struct Histogram {
     bucket_width: u64,
@@ -284,6 +289,11 @@ pub struct Histogram {
 }
 
 impl Histogram {
+    /// Upper bound on the number of distinct buckets, overflow bucket
+    /// included. Values mapping to bucket `MAX_BUCKETS - 1` or beyond all
+    /// land in that final saturating bucket.
+    pub const MAX_BUCKETS: usize = 4096;
+
     /// Creates a histogram whose buckets are `[0, w)`, `[w, 2w)`, ...
     ///
     /// # Panics
@@ -302,7 +312,7 @@ impl Histogram {
 
     /// Records one observation.
     pub fn record(&mut self, value: u64) {
-        let bucket = (value / self.bucket_width) as usize;
+        let bucket = ((value / self.bucket_width) as usize).min(Self::MAX_BUCKETS - 1);
         if bucket >= self.counts.len() {
             self.counts.resize(bucket + 1, 0);
         }
@@ -476,5 +486,25 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn histogram_rejects_zero_width() {
         Histogram::new(0);
+    }
+
+    #[test]
+    fn histogram_outlier_saturates_into_overflow_bucket() {
+        let mut h = Histogram::new(10);
+        h.record(3);
+        h.record(u64::MAX);
+        // Storage stays bounded by MAX_BUCKETS rather than resizing to
+        // u64::MAX / 10 + 1 entries.
+        assert!(h.counts.len() <= Histogram::MAX_BUCKETS);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), u64::MAX);
+        let overflow_lower = (Histogram::MAX_BUCKETS as u64 - 1) * 10;
+        let buckets: Vec<_> = h.buckets().collect();
+        assert!(buckets.contains(&(0, 1)));
+        assert!(buckets.contains(&(overflow_lower, 1)));
+        // A second outlier lands in the same saturating bucket.
+        h.record(u64::MAX - 1);
+        assert!(h.counts.len() <= Histogram::MAX_BUCKETS);
+        assert!(h.buckets().any(|(lo, c)| lo == overflow_lower && c == 2));
     }
 }
