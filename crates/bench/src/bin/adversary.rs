@@ -1,0 +1,244 @@
+//! The adversary sweep: attacker fraction × behaviour × countermeasure matrix,
+//! run on both engines over a real NEWSCAST sampler.
+//!
+//! For every cell the binary writes the full serializable `RunReport` as JSON
+//! (`<out-dir>/<behavior>_f<pct>_<defense>_<engine>.json`), prints a one-line
+//! summary per run, and appends every measured cycle of the attack metrics to
+//! a long-format timeline TSV
+//! (`<out-dir>/adversary_timeline.tsv`: behaviour, fraction, defense, engine,
+//! cycle, eclipse fraction, poisoned fraction, in-degree Gini/max) — the data
+//! behind the time-to-eclipse numbers in the roadmap.
+
+use bss_bench::cli::{Args, CommonDefaults, COMMON_OPTIONS_HELP};
+use bss_core::experiment::{Experiment, ExperimentConfig, RunReport, SamplerChoice};
+use bss_core::scenario::{AdversaryBehavior, Engine, Phase, ScenarioEvent};
+use bss_util::config::{BootstrapParams, NewscastParams};
+use std::fmt::Write as _;
+
+const HELP: &str = "\
+adversary — Byzantine sweep: fraction x behaviour x countermeasures x engines
+
+USAGE:
+    cargo run --release -p bss-bench --bin adversary [-- OPTIONS]
+
+OPTIONS:
+    --size <exp>       network size exponent (N = 2^exp)       [default: 8]
+    --cycles <n>       cycle budget per run                    [default: 60]
+    --fractions <list> attacker fractions in percent           [default: 10,20]
+    --out-dir <dir>    directory for JSONs and the timeline    [default: adversary-reports]
+";
+
+/// The attack window every sweep cell uses: the overlay converges first, then
+/// the conversion fires and stays active for 25 cycles.
+const ATTACK: Phase = Phase { start: 5, end: 30 };
+
+const VERIFIER_KEY: u64 = 0xad5e_ca7e;
+const QUOTA: usize = 2;
+
+/// One countermeasure configuration of the sweep.
+#[derive(Clone, Copy)]
+struct Defense {
+    name: &'static str,
+    verifier: Option<u64>,
+    quota: Option<usize>,
+}
+
+const DEFENSES: [Defense; 4] = [
+    Defense {
+        name: "none",
+        verifier: None,
+        quota: None,
+    },
+    Defense {
+        name: "verifier",
+        verifier: Some(VERIFIER_KEY),
+        quota: None,
+    },
+    Defense {
+        name: "quota",
+        verifier: None,
+        quota: Some(QUOTA),
+    },
+    Defense {
+        name: "both",
+        verifier: Some(VERIFIER_KEY),
+        quota: Some(QUOTA),
+    },
+];
+
+fn behaviors() -> [AdversaryBehavior; 3] {
+    [
+        AdversaryBehavior::ForgeDescriptors,
+        AdversaryBehavior::IdSpray { target: 0 },
+        AdversaryBehavior::HubAttack,
+    ]
+}
+
+fn config(
+    network_size: usize,
+    seed: u64,
+    cycles: u64,
+    engine: Engine,
+    fraction: f64,
+    behavior: AdversaryBehavior,
+    defense: Defense,
+) -> ExperimentConfig {
+    ExperimentConfig::builder()
+        .network_size(network_size)
+        .seed(seed)
+        .max_cycles(cycles)
+        .stop_when_perfect(false)
+        .engine(engine)
+        .params(BootstrapParams {
+            descriptor_verifier: defense.verifier,
+            ..BootstrapParams::paper_default()
+        })
+        .sampler(SamplerChoice::Newscast(NewscastParams {
+            view_size: 20,
+            period_millis: 1000,
+            view_diversity_quota: defense.quota,
+            ..NewscastParams::paper_default()
+        }))
+        .event(ScenarioEvent::ByzantineConvert {
+            phase: ATTACK,
+            fraction,
+            behavior,
+        })
+        .build()
+        .expect("valid adversary sweep configuration")
+}
+
+/// Appends this run's measured cycles to the long-format timeline.
+fn append_timeline(
+    timeline: &mut String,
+    behavior: &str,
+    percent: u32,
+    defense: &str,
+    engine: &str,
+    report: &RunReport,
+) {
+    for (position, &(cycle, eclipse)) in report.eclipse_series().points().iter().enumerate() {
+        let poisoned = report.poisoned_series().points()[position].1;
+        let gini = report
+            .in_degree_gini_series()
+            .points()
+            .get(position)
+            .map_or(0.0, |&(_, v)| v);
+        let max = report
+            .in_degree_max_series()
+            .points()
+            .get(position)
+            .map_or(0.0, |&(_, v)| v);
+        let _ = writeln!(
+            timeline,
+            "{behavior}\t{percent}\t{defense}\t{engine}\t{cycle}\t{eclipse:.6}\t{poisoned:.6}\
+             \t{gini:.6}\t{max:.1}"
+        );
+    }
+}
+
+fn main() {
+    let args = Args::from_env();
+    if args.wants_help() {
+        print!("{HELP}{COMMON_OPTIONS_HELP}");
+        return;
+    }
+    let common = args.common(CommonDefaults {
+        sizes: &[8],
+        runs: 1,
+        cycles: 60,
+        seed: 1,
+    });
+    let exponent = common.size();
+    let network_size = 1usize << exponent;
+    let fractions = args.u32_list_or("fractions", &[10, 20]);
+    let out_dir = args
+        .get("out-dir")
+        .unwrap_or("adversary-reports")
+        .to_owned();
+    std::fs::create_dir_all(&out_dir).expect("create output directory");
+
+    let engines: [(&'static str, Engine); 2] = [
+        ("cycle", Engine::with_threads(common.threads)),
+        (
+            "event",
+            Engine::Event {
+                latency: args.latency_model(),
+            },
+        ),
+    ];
+
+    eprintln!(
+        "# Adversary sweep: N=2^{exponent}, {} cycles budget, attack {ATTACK}",
+        common.cycles
+    );
+    println!(
+        "behavior\tfraction_pct\tdefense\tengine\teclipsed\ttime_to_eclipse\tpeak_eclipse\
+         \tpeak_poisoned\tconvergence_cycle"
+    );
+    let mut timeline = String::from(
+        "behavior\tfraction_pct\tdefense\tengine\tcycle\teclipse_fraction\tpoisoned_fraction\
+         \tin_degree_gini\tin_degree_max\n",
+    );
+    for behavior in behaviors() {
+        for &percent in &fractions {
+            for defense in DEFENSES {
+                for (engine_name, engine) in engines {
+                    let report = Experiment::new(config(
+                        network_size,
+                        common.seed,
+                        common.cycles,
+                        engine,
+                        f64::from(percent) / 100.0,
+                        behavior,
+                        defense,
+                    ))
+                    .run();
+                    let peak = |series: &bss_util::stats::Series| {
+                        series
+                            .points()
+                            .iter()
+                            .map(|&(_, v)| v)
+                            .fold(0.0f64, f64::max)
+                    };
+                    println!(
+                        "{}\t{percent}\t{}\t{engine_name}\t{}\t{}\t{:.3}\t{:.3}\t{}",
+                        behavior.label(),
+                        defense.name,
+                        report.eclipsed(),
+                        report
+                            .time_to_eclipse()
+                            .map(|c| c.to_string())
+                            .unwrap_or_else(|| "-".to_owned()),
+                        peak(report.eclipse_series()),
+                        peak(report.poisoned_series()),
+                        report
+                            .convergence_cycle()
+                            .map(|c| c.to_string())
+                            .unwrap_or_else(|| "-".to_owned()),
+                    );
+                    append_timeline(
+                        &mut timeline,
+                        behavior.label(),
+                        percent,
+                        defense.name,
+                        engine_name,
+                        &report,
+                    );
+                    let path = format!(
+                        "{out_dir}/{}_f{percent}_{}_{engine_name}.json",
+                        behavior.label(),
+                        defense.name
+                    );
+                    std::fs::write(&path, report.to_json()).expect("write RunReport JSON");
+                    if !common.quiet {
+                        eprintln!("#   wrote {path}");
+                    }
+                }
+            }
+        }
+    }
+    let timeline_path = format!("{out_dir}/adversary_timeline.tsv");
+    std::fs::write(&timeline_path, timeline).expect("write timeline TSV");
+    eprintln!("# wrote {timeline_path}");
+}

@@ -7,8 +7,11 @@
 //! uploads the reports as artifacts — and prints a one-line summary per run.
 
 use bss_bench::cli::{Args, CommonDefaults, COMMON_OPTIONS_HELP};
-use bss_core::experiment::{Experiment, ExperimentConfig};
-use bss_core::scenario::{Engine, PartitionSpec, Phase, Scenario, ScenarioEvent};
+use bss_core::experiment::{Experiment, ExperimentConfig, SamplerChoice};
+use bss_core::scenario::{
+    AdversaryBehavior, Engine, PartitionSpec, Phase, Scenario, ScenarioEvent,
+};
+use bss_util::config::{BootstrapParams, NewscastParams};
 
 const HELP: &str = "\
 scenarios — scenario smoke suite: every event kind x both engines
@@ -22,14 +25,53 @@ OPTIONS:
     --out-dir <dir>  directory for RunReport JSONs      [default: scenario-reports]
 ";
 
-/// One timeline per scenario-event kind, sized relative to the network. The
-/// third element is the descriptor aging bound the run is configured with
-/// (`None` = the paper's detector-free protocol; only the recovery timeline
-/// needs the failure detector).
-fn smoke_timelines(network_size: usize) -> Vec<(&'static str, Scenario, Option<u64>)> {
+/// One cell of the smoke suite: a named timeline plus the per-run knobs it
+/// needs (descriptor aging for the recovery cell; the NEWSCAST sampler and the
+/// countermeasures for the adversarial cells).
+struct SmokeCell {
+    kind: &'static str,
+    scenario: Scenario,
+    /// Descriptor aging bound (`None` = the paper's detector-free protocol;
+    /// only the recovery timeline needs the failure detector).
+    max_age: Option<u64>,
+    /// Run over a real NEWSCAST sampler instead of the oracle, with this
+    /// per-origin view diversity quota (adversarial cells only).
+    newscast_quota: Option<Option<usize>>,
+    /// Seeded descriptor-verification key (the defended adversarial cell).
+    verifier: Option<u64>,
+}
+
+impl SmokeCell {
+    fn honest(kind: &'static str, scenario: Scenario, max_age: Option<u64>) -> Self {
+        SmokeCell {
+            kind,
+            scenario,
+            max_age,
+            newscast_quota: None,
+            verifier: None,
+        }
+    }
+}
+
+/// One timeline per scenario-event kind, sized relative to the network.
+fn smoke_timelines(network_size: usize) -> Vec<SmokeCell> {
+    // The adversarial cells: a fifth of the network converts to id-spraying
+    // node 0. Undefended the victim is eclipsed; with the verifier and the
+    // view diversity quota on, it must not be (CI gates on `eclipsed`).
+    let eclipse = |kind, quota, verifier| SmokeCell {
+        kind,
+        scenario: Scenario::calm().with(ScenarioEvent::ByzantineConvert {
+            phase: Phase::new(5, 20),
+            fraction: 0.2,
+            behavior: AdversaryBehavior::IdSpray { target: 0 },
+        }),
+        max_age: None,
+        newscast_quota: Some(quota),
+        verifier,
+    };
     vec![
-        ("calm", Scenario::calm(), None),
-        (
+        SmokeCell::honest("calm", Scenario::calm(), None),
+        SmokeCell::honest(
             "loss_window",
             Scenario::calm().with(ScenarioEvent::LossWindow {
                 phase: Phase::new(5, 15),
@@ -37,7 +79,7 @@ fn smoke_timelines(network_size: usize) -> Vec<(&'static str, Scenario, Option<u
             }),
             None,
         ),
-        (
+        SmokeCell::honest(
             "churn_burst",
             Scenario::calm().with(ScenarioEvent::ChurnBurst {
                 phase: Phase::new(5, 15),
@@ -45,7 +87,7 @@ fn smoke_timelines(network_size: usize) -> Vec<(&'static str, Scenario, Option<u
             }),
             None,
         ),
-        (
+        SmokeCell::honest(
             "catastrophic_failure",
             Scenario::calm().with(ScenarioEvent::CatastrophicFailure {
                 at_cycle: 10,
@@ -53,7 +95,7 @@ fn smoke_timelines(network_size: usize) -> Vec<(&'static str, Scenario, Option<u
             }),
             None,
         ),
-        (
+        SmokeCell::honest(
             "massive_join",
             Scenario::calm().with(ScenarioEvent::MassiveJoin {
                 at_cycle: 10,
@@ -61,7 +103,7 @@ fn smoke_timelines(network_size: usize) -> Vec<(&'static str, Scenario, Option<u
             }),
             None,
         ),
-        (
+        SmokeCell::honest(
             "partition_merge",
             Scenario::calm().with(ScenarioEvent::Partition {
                 phase: Phase::new(0, 10),
@@ -73,7 +115,7 @@ fn smoke_timelines(network_size: usize) -> Vec<(&'static str, Scenario, Option<u
         // of the survivors, with descriptor aging enabled so the stale
         // descriptors of the dead actually age out and the overlay
         // re-converges (the paper's recovery claim, end to end).
-        (
+        SmokeCell::honest(
             "catastrophe_recover",
             Scenario::calm()
                 .with(ScenarioEvent::CatastrophicFailure {
@@ -86,6 +128,8 @@ fn smoke_timelines(network_size: usize) -> Vec<(&'static str, Scenario, Option<u
                 }),
             Some(8),
         ),
+        eclipse("eclipse_undefended", None, None),
+        eclipse("eclipse_defended", Some(2), Some(0xde7e_c7ed)),
     ]
 }
 
@@ -121,24 +165,40 @@ fn main() {
         common.cycles
     );
     println!(
-        "scenario\tengine\tcycles_executed\tconvergence_cycle\tfinal_leaf_missing\tevents_fired"
+        "scenario\tengine\tcycles_executed\tconvergence_cycle\tfinal_leaf_missing\tevents_fired\
+         \teclipsed\ttime_to_eclipse"
     );
-    for (kind, scenario, max_age) in smoke_timelines(network_size) {
+    for cell in smoke_timelines(network_size) {
+        let kind = cell.kind;
         for (engine_name, engine) in engines {
-            let config = ExperimentConfig::builder()
+            let mut builder = ExperimentConfig::builder();
+            builder
                 .network_size(network_size)
                 .seed(common.seed)
                 .max_cycles(common.cycles)
-                .scenario(scenario.clone())
+                .scenario(cell.scenario.clone())
                 .engine(engine)
-                .descriptor_max_age(max_age)
-                .build()
-                .expect("valid smoke configuration");
+                .descriptor_max_age(cell.max_age);
+            if let Some(quota) = cell.newscast_quota {
+                builder.sampler(SamplerChoice::Newscast(NewscastParams {
+                    view_size: 20,
+                    period_millis: 1000,
+                    view_diversity_quota: quota,
+                    ..NewscastParams::paper_default()
+                }));
+            }
+            if let Some(key) = cell.verifier {
+                builder.params(BootstrapParams {
+                    descriptor_verifier: Some(key),
+                    ..BootstrapParams::paper_default()
+                });
+            }
+            let config = builder.build().expect("valid smoke configuration");
             let report = Experiment::new(config).run();
             let path = format!("{out_dir}/{kind}_{engine_name}.json");
             std::fs::write(&path, report.to_json()).expect("write RunReport JSON");
             println!(
-                "{kind}\t{engine_name}\t{}\t{}\t{:.3e}\t{}",
+                "{kind}\t{engine_name}\t{}\t{}\t{:.3e}\t{}\t{}\t{}",
                 report.cycles_executed(),
                 report
                     .convergence_cycle()
@@ -146,6 +206,11 @@ fn main() {
                     .unwrap_or_else(|| "-".to_owned()),
                 report.final_state().leaf_proportion(),
                 report.events_fired().len(),
+                report.eclipsed(),
+                report
+                    .time_to_eclipse()
+                    .map(|cycle| cycle.to_string())
+                    .unwrap_or_else(|| "-".to_owned()),
             );
             if !common.quiet {
                 eprintln!("#   wrote {path}");

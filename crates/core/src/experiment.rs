@@ -23,7 +23,7 @@ use bss_sampling::newscast::NewscastProtocol;
 use bss_sampling::sampler::{OracleSampler, PeerSampler};
 use bss_sim::engine::cycle::{CycleEngine, EngineContext, PhaseProfile};
 use bss_sim::engine::event::EventEngine;
-use bss_sim::network::Network;
+use bss_sim::network::{Network, NodeIndex};
 use bss_sim::transport::UniformLatencyTransport;
 use bss_util::config::{BootstrapParams, InvalidParams, NewscastParams};
 use bss_util::rng::SimRng;
@@ -154,6 +154,18 @@ impl ExperimentConfig {
         }
         self.engine.validate()?;
         self.scenario.validate()?;
+        // An id-spray attack names its eclipse target by node index; a target
+        // outside the registry would silently never act, so reject it here
+        // (typed, no clamping) while the network size is in scope.
+        if let Some(target) = self.scenario.build_adversary().and_then(|m| m.target()) {
+            if target.as_usize() >= self.network_size {
+                return Err(InvalidParams::NodeOutOfBounds {
+                    field: "id_spray target",
+                    node: target.as_usize() as u64,
+                    network_size: self.network_size as u64,
+                });
+            }
+        }
         Ok(())
     }
 }
@@ -312,9 +324,16 @@ pub struct RunReport {
     leaf_series: Series,
     prefix_series: Series,
     dead_series: Series,
+    poisoned_series: Series,
+    eclipse_series: Series,
+    in_degree_mean_series: Series,
+    in_degree_max_series: Series,
+    in_degree_gini_series: Series,
+    dead_pointer_series: Series,
     convergence_cycle: Option<u64>,
     degraded_cycle: Option<u64>,
     recovered_cycle: Option<u64>,
+    time_to_eclipse: Option<u64>,
     cycles_executed: u64,
     final_state: NetworkConvergence,
     traffic: TrafficStats,
@@ -348,6 +367,62 @@ impl RunReport {
     /// recorded as such without the walk.
     pub fn dead_series(&self) -> &Series {
         &self.dead_series
+    }
+
+    /// Per measured cycle, the fraction of all stored descriptors (leaf sets
+    /// and prefix tables over every alive node) whose address is a converted
+    /// adversary — the *poisoned-descriptor fraction*. Structurally zero (and
+    /// recorded without the walk) on honest timelines.
+    pub fn poisoned_series(&self) -> &Series {
+        &self.poisoned_series
+    }
+
+    /// Per measured cycle, the fraction of the eclipse target's leaf-set slots
+    /// held by adversarial addresses. Only populated when the scenario's
+    /// adversary names a target (the id-spray behaviour); structurally zero
+    /// otherwise.
+    pub fn eclipse_series(&self) -> &Series {
+        &self.eclipse_series
+    }
+
+    /// Per measured cycle, the mean in-degree of the sampling overlay (close
+    /// to the view size when healthy). Empty when the sampler maintains no
+    /// overlay to measure (the oracle).
+    pub fn in_degree_mean_series(&self) -> &Series {
+        &self.in_degree_mean_series
+    }
+
+    /// Per measured cycle, the largest in-degree any alive node holds in the
+    /// sampling overlay — a hub attack spikes this. Empty under the oracle
+    /// sampler.
+    pub fn in_degree_max_series(&self) -> &Series {
+        &self.in_degree_max_series
+    }
+
+    /// Per measured cycle, the Gini coefficient of the sampling overlay's
+    /// in-degree distribution (0 balanced, → 1 hub). Empty under the oracle
+    /// sampler.
+    pub fn in_degree_gini_series(&self) -> &Series {
+        &self.in_degree_gini_series
+    }
+
+    /// Per measured cycle, the fraction of sampler view entries pointing at
+    /// departed nodes. Empty under the oracle sampler.
+    pub fn dead_pointer_series(&self) -> &Series {
+        &self.dead_pointer_series
+    }
+
+    /// The first measured cycle at which the eclipse target's leaf set was
+    /// *entirely* adversarial (eclipse fraction at 1.0) — the attack's
+    /// time-to-eclipse. `None` when the eclipse never completed (or no attack
+    /// targeted a node).
+    pub fn time_to_eclipse(&self) -> Option<u64> {
+        self.time_to_eclipse
+    }
+
+    /// Whether the eclipse completed at some measured cycle.
+    pub fn eclipsed(&self) -> bool {
+        self.time_to_eclipse.is_some()
     }
 
     /// The first measured cycle at which stale (dead-node) descriptors
@@ -450,6 +525,12 @@ impl RunReport {
         );
         let _ = writeln!(
             out,
+            "  \"time_to_eclipse\": {},",
+            optional(self.time_to_eclipse)
+        );
+        let _ = writeln!(out, "  \"eclipsed\": {},", self.eclipsed());
+        let _ = writeln!(
+            out,
             "  \"final_missing_leaf\": {:.6e},",
             self.final_state.leaf_proportion()
         );
@@ -500,6 +581,12 @@ impl RunReport {
             ("leaf_series", &self.leaf_series),
             ("prefix_series", &self.prefix_series),
             ("dead_series", &self.dead_series),
+            ("poisoned_series", &self.poisoned_series),
+            ("eclipse_series", &self.eclipse_series),
+            ("in_degree_mean_series", &self.in_degree_mean_series),
+            ("in_degree_max_series", &self.in_degree_max_series),
+            ("in_degree_gini_series", &self.in_degree_gini_series),
+            ("dead_pointer_series", &self.dead_pointer_series),
         ];
         let last = series_list.len() - 1;
         for (index, (name, series)) in series_list.into_iter().enumerate() {
@@ -610,17 +697,35 @@ struct MeasurementDriver<'a> {
     /// are possible and worth the per-cycle table walk; otherwise the
     /// dead-descriptor fraction is recorded as a structural zero.
     deaths_possible: bool,
+    /// A Byzantine conversion is on the timeline, so poisoned descriptors are
+    /// possible and worth the per-cycle table walk; otherwise the poisoned
+    /// fraction (and the eclipse fraction) is a structural zero.
+    adversary_possible: bool,
+    /// The node an id-spray adversary eclipses, when the timeline carries one.
+    eclipse_target: Option<NodeIndex>,
     static_oracle: Option<ConvergenceOracle>,
     tracker: ConvergenceTracker,
     leaf_series: Series,
     prefix_series: Series,
     dead_series: Series,
+    poisoned_series: Series,
+    eclipse_series: Series,
+    in_degree_mean_series: Series,
+    in_degree_max_series: Series,
+    in_degree_gini_series: Series,
+    dead_pointer_series: Series,
     convergence_cycle: Option<u64>,
     degraded_cycle: Option<u64>,
     recovered_cycle: Option<u64>,
+    time_to_eclipse: Option<u64>,
     final_state: NetworkConvergence,
     events_fired: Vec<(u64, String)>,
 }
+
+/// The eclipse is complete when every leaf-set slot of the target points at an
+/// adversary. The fraction is a ratio of small integers, so exact comparison
+/// with 1.0 is meaningful.
+const ECLIPSE_THRESHOLD: f64 = 1.0;
 
 impl<'a> MeasurementDriver<'a> {
     fn new<S: PeerSampler>(
@@ -636,16 +741,27 @@ impl<'a> MeasurementDriver<'a> {
         let static_oracle = membership_stable.then(|| protocol.oracle_for(ctx));
         MeasurementDriver {
             config,
-            tables_stable: !config.scenario.perturbs_tables(),
+            // An adversary corrupts tables without perturbing membership, so a
+            // convergence recorded before the attack window must not be final.
+            tables_stable: !config.scenario.perturbs_tables() && !config.scenario.has_adversary(),
             deaths_possible: config.scenario.can_kill_nodes(),
+            adversary_possible: config.scenario.has_adversary(),
+            eclipse_target: config.scenario.build_adversary().and_then(|m| m.target()),
             static_oracle,
             tracker: ConvergenceTracker::new(),
             leaf_series: Series::new("missing_leafset_proportion"),
             prefix_series: Series::new("missing_prefix_proportion"),
             dead_series: Series::new("dead_descriptor_fraction"),
+            poisoned_series: Series::new("poisoned_descriptor_fraction"),
+            eclipse_series: Series::new("eclipse_fraction"),
+            in_degree_mean_series: Series::new("in_degree_mean"),
+            in_degree_max_series: Series::new("in_degree_max"),
+            in_degree_gini_series: Series::new("in_degree_gini"),
+            dead_pointer_series: Series::new("dead_pointer_fraction"),
             convergence_cycle: None,
             degraded_cycle: None,
             recovered_cycle: None,
+            time_to_eclipse: None,
             final_state: NetworkConvergence::default(),
             events_fired: Vec::new(),
         }
@@ -692,6 +808,41 @@ impl<'a> MeasurementDriver<'a> {
             }
         };
         self.dead_series.push(cycle, dead_fraction);
+        // The attack metrics: like the dead-descriptor fraction, honest
+        // timelines record structural zeros without walking the tables.
+        let (poisoned_fraction, eclipse_fraction) = if !self.adversary_possible {
+            (0.0, 0.0)
+        } else {
+            let (poisoned, total) = protocol.poisoned_stats(ctx);
+            let poisoned_fraction = if total == 0 {
+                0.0
+            } else {
+                poisoned as f64 / total as f64
+            };
+            let eclipse_fraction = self
+                .eclipse_target
+                .map_or(0.0, |target| protocol.eclipse_fraction(target));
+            (poisoned_fraction, eclipse_fraction)
+        };
+        self.poisoned_series.push(cycle, poisoned_fraction);
+        self.eclipse_series.push(cycle, eclipse_fraction);
+        if self.eclipse_target.is_some()
+            && eclipse_fraction >= ECLIPSE_THRESHOLD
+            && self.time_to_eclipse.is_none()
+        {
+            self.time_to_eclipse = Some(cycle);
+        }
+        // Overlay-quality diagnostics, whenever the sampler maintains an
+        // overlay to measure (a real NEWSCAST instance; the oracle has none).
+        if let Some(quality) = protocol.sampling_quality(&ctx.network) {
+            self.in_degree_mean_series
+                .push(cycle, quality.in_degree_mean);
+            self.in_degree_max_series.push(cycle, quality.in_degree_max);
+            self.in_degree_gini_series
+                .push(cycle, quality.in_degree_gini);
+            self.dead_pointer_series
+                .push(cycle, quality.dead_pointer_fraction);
+        }
         if dead_fraction > 0.0 {
             if self.degraded_cycle.is_none() {
                 self.degraded_cycle = Some(cycle);
@@ -734,9 +885,16 @@ impl<'a> MeasurementDriver<'a> {
             leaf_series: self.leaf_series,
             prefix_series: self.prefix_series,
             dead_series: self.dead_series,
+            poisoned_series: self.poisoned_series,
+            eclipse_series: self.eclipse_series,
+            in_degree_mean_series: self.in_degree_mean_series,
+            in_degree_max_series: self.in_degree_max_series,
+            in_degree_gini_series: self.in_degree_gini_series,
+            dead_pointer_series: self.dead_pointer_series,
             convergence_cycle: self.convergence_cycle,
             degraded_cycle: self.degraded_cycle,
             recovered_cycle: self.recovered_cycle,
+            time_to_eclipse: self.time_to_eclipse,
             cycles_executed,
             final_state: self.final_state,
             traffic,
@@ -758,6 +916,13 @@ pub fn run_scenario<S: PeerSampler>(
     protocol: &mut BootstrapProtocol<S>,
     observer: &mut dyn Observer,
 ) -> (RunReport, PopulationSnapshot) {
+    // Compile the scenario's Byzantine conversion (when one is on the
+    // timeline) into the adversary model the protocol and the sampler consult
+    // at plan time. The churn layer marks the converted nodes when the
+    // conversion fires; installation itself is behaviour-neutral.
+    if let Some(model) = config.scenario.build_adversary() {
+        protocol.install_adversary(model);
+    }
     match config.engine {
         Engine::Cycle | Engine::ParallelCycle { .. } => {
             run_on_cycle_engine(config, protocol, observer)
@@ -859,6 +1024,13 @@ fn run_on_event_engine<S: PeerSampler>(
                             protocol, node, cycle, ctx,
                         );
                     }
+                    // Byzantine conversions: the node stays up but starts
+                    // playing its adversarial behaviour from this cycle on.
+                    for &node in &events.converted {
+                        bss_sim::engine::cycle::CycleProtocol::node_converted(
+                            protocol, node, cycle, ctx,
+                        );
+                    }
                     (events.joined, !events.departed.is_empty())
                 }
                 None => (Vec::new(), false),
@@ -942,7 +1114,7 @@ impl Experiment {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scenario::{PartitionSpec, Phase, ScenarioEvent};
+    use crate::scenario::{AdversaryBehavior, PartitionSpec, Phase, ScenarioEvent};
 
     #[test]
     fn builder_validates_inputs() {
@@ -983,11 +1155,109 @@ mod tests {
     }
 
     #[test]
+    fn id_spray_target_must_name_a_node() {
+        let mut builder = ExperimentConfig::builder();
+        builder
+            .network_size(64)
+            .event(ScenarioEvent::ByzantineConvert {
+                phase: Phase::new(5, 20),
+                fraction: 0.2,
+                behavior: AdversaryBehavior::IdSpray { target: 64 },
+            });
+        let err = builder.build().unwrap_err();
+        assert!(
+            matches!(
+                err,
+                InvalidParams::NodeOutOfBounds {
+                    field: "id_spray target",
+                    node: 64,
+                    network_size: 64,
+                }
+            ),
+            "unexpected error: {err}"
+        );
+        // The largest valid index passes; no clamping happens anywhere.
+        let ok = ExperimentConfig::builder()
+            .network_size(64)
+            .event(ScenarioEvent::ByzantineConvert {
+                phase: Phase::new(5, 20),
+                fraction: 0.2,
+                behavior: AdversaryBehavior::IdSpray { target: 63 },
+            })
+            .build()
+            .unwrap();
+        assert!(ok.scenario.has_adversary());
+    }
+
+    #[test]
+    fn id_spray_eclipses_the_target_and_the_verifier_defends() {
+        // Small-scale version of the headline experiment: a quarter of a
+        // 64-node network converts to id-spraying at cycle 5. Undefended, the
+        // victim's leaf set fills with attacker addresses; with descriptor
+        // verification on, the sprayed (forged-id) descriptors are rejected at
+        // receive time and the eclipse fraction stays bounded.
+        let attack = ScenarioEvent::ByzantineConvert {
+            phase: Phase::new(5, 35),
+            fraction: 0.25,
+            behavior: AdversaryBehavior::IdSpray { target: 0 },
+        };
+        let mut undefended_builder = ExperimentConfig::builder();
+        undefended_builder
+            .network_size(64)
+            .seed(41)
+            .max_cycles(40)
+            .stop_when_perfect(false)
+            .event(attack.clone());
+        let undefended = Experiment::new(undefended_builder.build().unwrap()).run();
+        let defended = Experiment::new(
+            undefended_builder
+                .params(BootstrapParams {
+                    descriptor_verifier: Some(0x5eed_cafe),
+                    ..BootstrapParams::paper_default()
+                })
+                .build()
+                .unwrap(),
+        )
+        .run();
+        let peak = |report: &RunReport| {
+            report
+                .eclipse_series()
+                .points()
+                .iter()
+                .map(|&(_, v)| v)
+                .fold(0.0f64, f64::max)
+        };
+        assert!(
+            undefended.eclipsed(),
+            "undefended target should be fully eclipsed (peak {})",
+            peak(&undefended)
+        );
+        assert!(undefended.time_to_eclipse().unwrap() >= 5);
+        assert!(
+            peak(&defended) < 0.5,
+            "verifier should keep the eclipse bounded (peak {})",
+            peak(&defended)
+        );
+        assert!(!defended.eclipsed());
+        // The poisoned series is live in both runs (the adversaries are real
+        // nodes, so their addresses legitimately appear in some tables), and
+        // the JSON carries the attack fields.
+        assert!(peak(&undefended) > 0.0);
+        let json = undefended.to_json();
+        assert!(json.contains("\"eclipsed\": true"));
+        assert!(json.contains("\"poisoned_series\""));
+        assert!(json.contains("\"eclipse_series\""));
+        let json = defended.to_json();
+        assert!(json.contains("\"eclipsed\": false"));
+        assert!(json.contains("\"time_to_eclipse\": null"));
+    }
+
+    #[test]
     fn aging_sugar_composes_with_the_sampler_in_either_order() {
         let newscast = NewscastParams {
             view_size: 20,
             period_millis: 1000,
-            descriptor_max_age: None,
+            ..NewscastParams::paper_default()
         };
         // Sugar before the sampler selection: the bound still reaches the views.
         let sugar_first = ExperimentConfig::builder()
@@ -1186,7 +1456,7 @@ mod tests {
             .sampler(SamplerChoice::Newscast(NewscastParams {
                 view_size: 20,
                 period_millis: 1000,
-                descriptor_max_age: None,
+                ..NewscastParams::paper_default()
             }))
             .max_cycles(80)
             .build()

@@ -262,6 +262,32 @@ impl<A: Address> BootstrapNode<A> {
         leaf_evicted || prefix_evicted || leaf_changed || inserted > 0
     }
 
+    /// [`BootstrapNode::receive_at`] behind an authenticity check: descriptors
+    /// failing `verify` are rejected before any merge, as if the message never
+    /// contained them. This is the enforcement point of the
+    /// [`descriptor_verifier`](BootstrapParams::descriptor_verifier)
+    /// countermeasure; the caller supplies the check because only it can reach
+    /// the identity registry the stamps are validated against. Counts every
+    /// received descriptor (accepted or not), so traffic accounting matches
+    /// the unverified path.
+    pub fn receive_verified_at(
+        &mut self,
+        descriptors: &[Descriptor<A>],
+        now: u64,
+        scratch: &mut MergeScratch<A>,
+        verify: impl Fn(&Descriptor<A>) -> bool,
+    ) -> bool {
+        let rejected = descriptors.iter().filter(|d| !verify(d)).count();
+        if rejected == 0 {
+            return self.receive_at(descriptors, now, scratch);
+        }
+        let accepted: Vec<Descriptor<A>> =
+            descriptors.iter().filter(|d| verify(d)).copied().collect();
+        let changed = self.receive_at(&accepted, now, scratch);
+        self.descriptors_received += rejected as u64;
+        changed
+    }
+
     /// Restores the identity header — own descriptor and activity counters —
     /// when rehydrating a node from the packed store; the tables are restored
     /// through their own raw accessors.
@@ -507,6 +533,36 @@ mod tests {
             plain.own_descriptor().timestamp(),
             0,
             "aging off leaves the timestamp untouched"
+        );
+    }
+
+    #[test]
+    fn receive_verified_at_rejects_failing_descriptors_before_merge() {
+        let mut n = node(1000);
+        let honest = descriptor(1001, 1);
+        let forged = descriptor(0xF000_0000_0000_0000, 2);
+        let changed =
+            n.receive_verified_at(&[honest, forged], 0, &mut MergeScratch::default(), |d| {
+                d.id() != forged.id()
+            });
+        assert!(changed, "the honest descriptor still merges");
+        assert!(n.leaf_set().contains(honest.id()));
+        assert!(!n.leaf_set().contains(forged.id()));
+        assert!(!n.prefix_table().contains(forged.id()));
+        assert_eq!(
+            n.descriptors_received(),
+            2,
+            "traffic accounting counts rejected descriptors too"
+        );
+        // An all-accepting verifier is exactly receive_at.
+        let mut verified = node(1000);
+        let mut plain = node(1000);
+        verified.receive_verified_at(&[honest, forged], 0, &mut MergeScratch::default(), |_| true);
+        plain.receive_at(&[honest, forged], 0, &mut MergeScratch::default());
+        assert_eq!(verified.leaf_set().to_vec(), plain.leaf_set().to_vec());
+        assert_eq!(
+            verified.descriptors_received(),
+            plain.descriptors_received()
         );
     }
 

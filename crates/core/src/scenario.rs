@@ -26,14 +26,16 @@
 
 use crate::convergence::NetworkConvergence;
 use bss_sim::churn::{
-    CatastrophicFailure, ChurnModel, CompositeChurn, MassiveJoin, ReBootstrap, UniformChurn,
-    WindowedChurn,
+    ByzantineConversion, CatastrophicFailure, ChurnModel, CompositeChurn, MassiveJoin, ReBootstrap,
+    UniformChurn, WindowedChurn,
 };
 use bss_sim::observer::MetricRecorder;
 use bss_sim::transport::TimelineTransport;
 use bss_util::config::InvalidParams;
 use std::fmt;
 use std::ops::ControlFlow;
+
+pub use bss_sim::adversary::{AdversaryBehavior, AdversaryModel};
 
 /// A `[start, end)` window of cycles during which a scenario condition holds.
 ///
@@ -183,6 +185,21 @@ pub enum ScenarioEvent {
         /// How nodes are assigned to partition groups.
         groups: PartitionSpec,
     },
+    /// A Byzantine conversion: at the window's start, `fraction` of the alive
+    /// nodes turns adversarial and plays `behavior` for every cycle inside the
+    /// window. Membership is untouched — converted nodes keep gossiping, they
+    /// just lie. Conversion is sticky (the set is drawn once, at the window
+    /// start) but the behaviour deactivates when the window closes, so a run
+    /// that outlives the attack shows whether the overlay heals.
+    ByzantineConvert {
+        /// When the adversarial behaviour is active; conversion happens at
+        /// `phase.start`.
+        phase: Phase,
+        /// Fraction of the alive nodes converted, in `[0, 1]`.
+        fraction: f64,
+        /// What the converted nodes do while the window is active.
+        behavior: AdversaryBehavior,
+    },
 }
 
 impl ScenarioEvent {
@@ -191,7 +208,8 @@ impl ScenarioEvent {
         match self {
             ScenarioEvent::LossWindow { phase, .. }
             | ScenarioEvent::ChurnBurst { phase, .. }
-            | ScenarioEvent::Partition { phase, .. } => phase.start,
+            | ScenarioEvent::Partition { phase, .. }
+            | ScenarioEvent::ByzantineConvert { phase, .. } => phase.start,
             ScenarioEvent::CatastrophicFailure { at_cycle, .. }
             | ScenarioEvent::MassiveJoin { at_cycle, .. }
             | ScenarioEvent::ReBootstrap { at_cycle, .. } => *at_cycle,
@@ -205,7 +223,8 @@ impl ScenarioEvent {
         match self {
             ScenarioEvent::LossWindow { phase, .. }
             | ScenarioEvent::ChurnBurst { phase, .. }
-            | ScenarioEvent::Partition { phase, .. } => {
+            | ScenarioEvent::Partition { phase, .. }
+            | ScenarioEvent::ByzantineConvert { phase, .. } => {
                 if phase.end == u64::MAX {
                     phase.start
                 } else {
@@ -296,6 +315,12 @@ impl ScenarioEvent {
                 }
                 Ok(())
             }
+            ScenarioEvent::ByzantineConvert {
+                phase, fraction, ..
+            } => {
+                phase.validate("byzantine")?;
+                in_unit("byzantine fraction", *fraction)
+            }
         }
     }
 }
@@ -328,6 +353,18 @@ impl fmt::Display for ScenarioEvent {
             }
             ScenarioEvent::Partition { phase, .. } => {
                 write!(f, "network partition during {phase}")
+            }
+            ScenarioEvent::ByzantineConvert {
+                phase,
+                fraction,
+                behavior,
+            } => {
+                write!(
+                    f,
+                    "byzantine conversion of {:.0}% playing {} during {phase}",
+                    fraction * 100.0,
+                    behavior.label()
+                )
             }
         }
     }
@@ -448,6 +485,28 @@ impl Scenario {
         self.events.iter().any(ScenarioEvent::can_kill_nodes)
     }
 
+    /// Whether the timeline converts any nodes to Byzantine behaviour. When
+    /// false the runner skips every attack-metric walk (poisoned descriptors,
+    /// eclipse fraction) — the adversarial analogue of the dead-descriptor
+    /// early-out.
+    pub fn has_adversary(&self) -> bool {
+        self.events
+            .iter()
+            .any(|event| matches!(event, ScenarioEvent::ByzantineConvert { .. }))
+    }
+
+    /// The Byzantine conversion on the timeline compiled to an
+    /// [`AdversaryModel`] (its converted set still empty — the churn layer
+    /// fills it when the conversion fires), or `None` on honest timelines.
+    pub fn build_adversary(&self) -> Option<AdversaryModel> {
+        self.events.iter().find_map(|event| match event {
+            ScenarioEvent::ByzantineConvert {
+                phase, behavior, ..
+            } => Some(AdversaryModel::new(phase.start, phase.end, *behavior)),
+            _ => None,
+        })
+    }
+
     /// The probability of a whole-run loss window, if one is on the timeline
     /// (the value the legacy `drop_probability` accessor reports).
     pub fn whole_run_loss(&self) -> f64 {
@@ -518,6 +577,20 @@ impl Scenario {
         self.check_exclusive("partition", |event| {
             matches!(event, ScenarioEvent::Partition { .. })
         })?;
+        // A run has one adversary model: two conversions with different
+        // behaviours would need per-node behaviour tracking the engines do not
+        // (yet) implement, so reject the ambiguity outright.
+        if self
+            .events
+            .iter()
+            .filter(|event| matches!(event, ScenarioEvent::ByzantineConvert { .. }))
+            .count()
+            > 1
+        {
+            return Err(InvalidParams::from_message(
+                "at most one byzantine conversion per scenario",
+            ));
+        }
         Ok(())
     }
 
@@ -582,7 +655,7 @@ impl Scenario {
     /// `CompositeChurn` usage — and a re-bootstrap listed after a failure
     /// re-initialises only the survivors.
     pub fn build_churn(&self) -> Option<Box<dyn ChurnModel>> {
-        if !self.perturbs_tables() {
+        if !self.perturbs_tables() && !self.has_adversary() {
             return None;
         }
         let mut composite = CompositeChurn::new();
@@ -604,6 +677,12 @@ impl Scenario {
                 }
                 ScenarioEvent::ReBootstrap { at_cycle, fraction } => {
                     composite = composite.with(Box::new(ReBootstrap::new(*at_cycle, *fraction)));
+                }
+                ScenarioEvent::ByzantineConvert {
+                    phase, fraction, ..
+                } => {
+                    composite =
+                        composite.with(Box::new(ByzantineConversion::new(phase.start, *fraction)));
                 }
                 _ => {}
             }
@@ -979,6 +1058,63 @@ mod tests {
         assert!(text.contains("re-bootstrap"), "{text}");
         assert!(text.contains("100%"), "{text}");
         assert!(text.contains("cycle 12"), "{text}");
+    }
+
+    #[test]
+    fn byzantine_conversion_is_membership_neutral_but_builds_a_model() {
+        let scenario = Scenario::calm().with(ScenarioEvent::ByzantineConvert {
+            phase: Phase::new(5, 45),
+            fraction: 0.2,
+            behavior: AdversaryBehavior::IdSpray { target: 7 },
+        });
+        assert!(scenario.validate().is_ok());
+        assert!(!scenario.perturbs_membership());
+        assert!(!scenario.perturbs_tables());
+        assert!(!scenario.can_kill_nodes());
+        assert!(scenario.has_adversary());
+        assert!(
+            scenario.build_churn().is_some(),
+            "the conversion still fires at a cycle boundary"
+        );
+        let model = scenario.build_adversary().expect("model compiled");
+        assert_eq!(model.start(), 5);
+        assert_eq!(model.target(), Some(bss_sim::network::NodeIndex::new(7)));
+        assert_eq!(model.converted_count(), 0, "conversion happens at runtime");
+        // The attack window gates the perfection stop like any finite window.
+        assert!(scenario.changes_after(44));
+        assert!(!scenario.changes_after(45));
+        // Display names the behaviour for RunReport event logs.
+        let text = scenario.events()[0].to_string();
+        assert!(text.contains("byzantine"), "{text}");
+        assert!(text.contains("20%"), "{text}");
+        assert!(text.contains("id_spray"), "{text}");
+        // Validation still applies inside the new arm.
+        assert!(Scenario::calm()
+            .with(ScenarioEvent::ByzantineConvert {
+                phase: Phase::new(5, 5),
+                fraction: 0.2,
+                behavior: AdversaryBehavior::ForgeDescriptors,
+            })
+            .validate()
+            .is_err());
+        assert!(Scenario::calm()
+            .with(ScenarioEvent::ByzantineConvert {
+                phase: Phase::from(0),
+                fraction: 1.2,
+                behavior: AdversaryBehavior::HubAttack,
+            })
+            .validate()
+            .is_err());
+        // At most one conversion per scenario.
+        assert!(scenario
+            .clone()
+            .with(ScenarioEvent::ByzantineConvert {
+                phase: Phase::from(50),
+                fraction: 0.1,
+                behavior: AdversaryBehavior::HubAttack,
+            })
+            .validate()
+            .is_err());
     }
 
     #[test]

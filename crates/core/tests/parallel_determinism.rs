@@ -7,8 +7,8 @@
 //! plan → execute → commit machinery on every run.
 
 use bss_core::experiment::{Experiment, ExperimentConfig, PopulationSnapshot, SamplerChoice};
-use bss_core::scenario::Engine;
-use bss_util::config::NewscastParams;
+use bss_core::scenario::{AdversaryBehavior, Engine, Phase, ScenarioEvent};
+use bss_util::config::{BootstrapParams, NewscastParams};
 use proptest::prelude::*;
 
 /// Everything observable about a finished run, in comparable form.
@@ -16,6 +16,9 @@ use proptest::prelude::*;
 struct RunTrace {
     leaf_series: Vec<(u64, f64)>,
     prefix_series: Vec<(u64, f64)>,
+    poisoned_series: Vec<(u64, f64)>,
+    eclipse_series: Vec<(u64, f64)>,
+    time_to_eclipse: Option<u64>,
     convergence_cycle: Option<u64>,
     cycles_executed: u64,
     requests_sent: u64,
@@ -53,6 +56,9 @@ fn run_with(
     let trace = RunTrace {
         leaf_series: outcome.leaf_series().points().to_vec(),
         prefix_series: outcome.prefix_series().points().to_vec(),
+        poisoned_series: outcome.poisoned_series().points().to_vec(),
+        eclipse_series: outcome.eclipse_series().points().to_vec(),
+        time_to_eclipse: outcome.time_to_eclipse(),
         convergence_cycle: outcome.convergence_cycle(),
         cycles_executed: outcome.cycles_executed(),
         requests_sent: outcome.traffic().requests_sent,
@@ -134,7 +140,7 @@ fn churned_newscast_run_is_thread_count_invariant() {
         .sampler(SamplerChoice::Newscast(NewscastParams {
             view_size: 20,
             period_millis: 1000,
-            descriptor_max_age: None,
+            ..NewscastParams::paper_default()
         }))
         .churn_rate(0.02)
         .drop_probability(0.1)
@@ -177,6 +183,46 @@ fn profiling_does_not_perturb_the_simulation() {
     assert!(no_profile.is_none());
 }
 
+#[test]
+fn adversarial_runs_are_thread_count_invariant() {
+    // Every adversarial behaviour, with the countermeasures both off and on:
+    // the attack mutations happen in the deterministic plan pass (honest RNG
+    // draws first, overrides after), so the parallel engine must replay them
+    // bit-identically at any thread count — including the attack metrics.
+    let behaviors = [
+        AdversaryBehavior::ForgeDescriptors,
+        AdversaryBehavior::IdSpray { target: 3 },
+        AdversaryBehavior::HubAttack,
+    ];
+    for behavior in behaviors {
+        for defended in [false, true] {
+            let config = ExperimentConfig::builder()
+                .network_size(128)
+                .seed(17)
+                .max_cycles(20)
+                .stop_when_perfect(false)
+                .params(BootstrapParams {
+                    descriptor_verifier: defended.then_some(0xb0b),
+                    ..BootstrapParams::paper_default()
+                })
+                .sampler(SamplerChoice::Newscast(NewscastParams {
+                    view_size: 15,
+                    period_millis: 1000,
+                    view_diversity_quota: defended.then_some(2),
+                    ..NewscastParams::paper_default()
+                }))
+                .event(ScenarioEvent::ByzantineConvert {
+                    phase: Phase::new(3, 18),
+                    fraction: 0.15,
+                    behavior,
+                })
+                .build()
+                .unwrap();
+            assert_thread_invariant(config);
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
@@ -203,7 +249,7 @@ proptest! {
             builder.sampler(SamplerChoice::Newscast(NewscastParams {
                 view_size: 15,
                 period_millis: 1000,
-                descriptor_max_age: None,
+                ..NewscastParams::paper_default()
             }));
         }
         let config = builder.build().unwrap();

@@ -9,7 +9,9 @@
 //! catastrophic failures, which is exactly the property the bootstrapping service
 //! builds on.
 
+use crate::quality::SamplingQuality;
 use crate::sampler::PeerSampler;
+use bss_sim::adversary::{forged_id, AdversaryBehavior, AdversaryModel};
 use bss_sim::engine::cycle::{CycleProtocol, EngineContext};
 use bss_sim::network::{Network, NodeIndex};
 use bss_util::config::NewscastParams;
@@ -20,6 +22,12 @@ use bss_util::view::{rank_top_by, ViewArena};
 /// One node's NEWSCAST cache (as a transient merge buffer; the resident storage
 /// is the protocol's [`ViewArena`] of eight-byte [`PackedDescriptor`]s).
 type View = Vec<Descriptor<NodeIndex>>;
+
+/// Key mixed into the sybil identifiers a hub attacker fabricates. Any fixed
+/// value works: hub sybils do not try to defeat the identity-stamp verifier
+/// (that is the bootstrap layer's defence) — they exploit freshness ranking,
+/// which only the per-origin diversity quota counters.
+const HUB_SYBIL_KEY: u64 = 0x4855_4241_5454_4143;
 
 /// The NEWSCAST protocol state for every node in a simulation.
 ///
@@ -46,6 +54,10 @@ pub struct NewscastProtocol {
     merge_scratch: View,
     /// Reusable buffer for re-packing a merged view into its arena slot.
     packed_scratch: Vec<PackedDescriptor>,
+    /// The scenario's Byzantine adversary model, when one is installed. Hub
+    /// attackers subvert their own view exchanges (sybil floods); everyone
+    /// else's traffic is untouched, so `None` is the byte-identical honest path.
+    adversary: Option<AdversaryModel>,
 }
 
 impl NewscastProtocol {
@@ -60,7 +72,28 @@ impl NewscastProtocol {
             response_scratch: Vec::new(),
             merge_scratch: Vec::new(),
             packed_scratch: Vec::new(),
+            adversary: None,
         }
+    }
+
+    /// Whether `node` is a converted hub attacker whose behaviour is active at
+    /// `cycle` — the only adversary class that subverts the NEWSCAST layer
+    /// itself (forgery and identity-spray act on bootstrap messages instead).
+    fn acts_as_hub(&self, node: NodeIndex, cycle: u64) -> bool {
+        self.adversary.as_ref().is_some_and(|model| {
+            matches!(model.behavior(), AdversaryBehavior::HubAttack) && model.acts_at(node, cycle)
+        })
+    }
+
+    /// Fills `out` with a hub attacker's payload: `capacity` copies of its own
+    /// address under distinct fabricated identifiers, all stamped with the
+    /// current cycle. Freshness ranking keeps every copy (the identifiers are
+    /// distinct, so dedup does not collapse them), wiping the receiver's view
+    /// — unless a per-origin diversity quota caps the run to a few slots.
+    fn hub_payload(out: &mut View, hub: NodeIndex, cycle: u64, capacity: usize) {
+        out.extend((0..capacity).map(|position| {
+            Descriptor::new(forged_id(HUB_SYBIL_KEY, hub, cycle, position), hub, cycle)
+        }));
     }
 
     /// The protocol parameters.
@@ -142,6 +175,12 @@ impl NewscastProtocol {
     /// dropped before the freshest-first ranking — the view-level failure
     /// detector that purges a departed node's last sighting even while the
     /// view is not full.
+    ///
+    /// When a `quota` is configured
+    /// ([`view_diversity_quota`](NewscastParams::view_diversity_quota)), at
+    /// most that many merge candidates per origin address survive — freshest
+    /// first — before the ranking step. Honest origins contribute one
+    /// identifier per address, so the quota only bites sybil floods.
     #[allow(clippy::too_many_arguments)]
     fn merge_slot(
         views: &mut ViewArena<PackedDescriptor>,
@@ -153,6 +192,7 @@ impl NewscastProtocol {
         own_id: NodeId,
         capacity: usize,
         aging: Option<(u64, u64)>,
+        quota: Option<usize>,
     ) {
         scratch.clear();
         if let Some(view) = views.get(node.as_usize()) {
@@ -161,6 +201,31 @@ impl NewscastProtocol {
         scratch.extend_from_slice(received);
         if let Some((now, bound)) = aging {
             scratch.retain(|d| !d.is_expired(now, bound));
+        }
+        if let Some(cap) = quota {
+            // Group by origin address (freshest first within a group, ties by
+            // identifier — a total order, so the outcome is independent of the
+            // incoming buffer order) and keep at most `cap` per group. The
+            // final view is re-ranked by `normalise` below, so this reordering
+            // of the merge buffer is invisible to the honest result.
+            scratch.sort_unstable_by(|a, b| {
+                a.address()
+                    .as_usize()
+                    .cmp(&b.address().as_usize())
+                    .then_with(|| b.timestamp().cmp(&a.timestamp()))
+                    .then_with(|| a.id().cmp(&b.id()))
+            });
+            let mut run_addr: Option<NodeIndex> = None;
+            let mut run_len = 0usize;
+            scratch.retain(|d| {
+                if run_addr == Some(d.address()) {
+                    run_len += 1;
+                } else {
+                    run_addr = Some(d.address());
+                    run_len = 1;
+                }
+                run_len <= cap
+            });
         }
         Self::normalise(scratch, own_id, capacity);
         packed_scratch.clear();
@@ -193,9 +258,13 @@ impl NewscastProtocol {
         }
         let mut request = std::mem::take(&mut self.request_scratch);
         request.clear();
-        request.push(ctx.network.descriptor(node, cycle));
-        if let Some(view) = self.view(node) {
-            request.extend(view.iter().map(|&p| ctx.network.unpack(p)));
+        if self.acts_as_hub(node, cycle) {
+            Self::hub_payload(&mut request, node, cycle, capacity);
+        } else {
+            request.push(ctx.network.descriptor(node, cycle));
+            if let Some(view) = self.view(node) {
+                request.extend(view.iter().map(|&p| ctx.network.unpack(p)));
+            }
         }
 
         // A departed peer cannot reply (its descriptor will age out of views).
@@ -205,18 +274,24 @@ impl NewscastProtocol {
             return;
         }
 
-        // Response: the peer's own fresh descriptor + its pre-merge view.
+        // Response: the peer's own fresh descriptor + its pre-merge view (or a
+        // sybil flood, if the contacted peer is an acting hub attacker).
         let mut response = std::mem::take(&mut self.response_scratch);
         response.clear();
-        response.push(ctx.network.descriptor(peer, cycle));
-        if let Some(view) = self.view(peer) {
-            response.extend(view.iter().map(|&p| ctx.network.unpack(p)));
+        if self.acts_as_hub(peer, cycle) {
+            Self::hub_payload(&mut response, peer, cycle, capacity);
+        } else {
+            response.push(ctx.network.descriptor(peer, cycle));
+            if let Some(view) = self.view(peer) {
+                response.extend(view.iter().map(|&p| ctx.network.unpack(p)));
+            }
         }
         let response_delivered = ctx.deliver(peer, node);
 
         // The peer merges the request (occupying its slot if it held no view).
         let peer_id = ctx.network.id(peer);
         let aging = self.params.descriptor_max_age.map(|bound| (cycle, bound));
+        let quota = self.params.view_diversity_quota;
         Self::merge_slot(
             &mut self.views,
             &mut self.merge_scratch,
@@ -227,6 +302,7 @@ impl NewscastProtocol {
             peer_id,
             capacity,
             aging,
+            quota,
         );
 
         // The initiator merges the response, if it arrives.
@@ -241,6 +317,7 @@ impl NewscastProtocol {
                 own_id,
                 capacity,
                 aging,
+                quota,
             );
         }
         self.request_scratch = request;
@@ -270,6 +347,10 @@ impl CycleProtocol for NewscastProtocol {
         let _ = ctx;
         self.views.clear(node.as_usize());
     }
+
+    fn node_converted(&mut self, node: NodeIndex, _cycle: u64, _ctx: &mut EngineContext) {
+        PeerSampler::node_converted(self, node);
+    }
 }
 
 impl PeerSampler for NewscastProtocol {
@@ -295,6 +376,20 @@ impl PeerSampler for NewscastProtocol {
 
     fn node_departed(&mut self, node: NodeIndex, ctx: &mut EngineContext) {
         CycleProtocol::node_departed(self, node, 0, ctx);
+    }
+
+    fn install_adversary(&mut self, model: AdversaryModel) {
+        self.adversary = Some(model);
+    }
+
+    fn node_converted(&mut self, node: NodeIndex) {
+        if let Some(model) = self.adversary.as_mut() {
+            model.note_converted(node);
+        }
+    }
+
+    fn quality(&self, network: &Network) -> Option<SamplingQuality> {
+        Some(crate::quality::snapshot(self, network))
     }
 
     fn step(&mut self, node: NodeIndex, cycle: u64, ctx: &mut EngineContext) {
@@ -342,7 +437,7 @@ mod tests {
         let mut protocol = NewscastProtocol::new(NewscastParams {
             view_size: 20,
             period_millis: 1000,
-            descriptor_max_age: None,
+            ..NewscastParams::paper_default()
         });
         protocol.init_all(eng.context_mut());
         eng.run(&mut protocol, cycles);
@@ -466,7 +561,7 @@ mod tests {
         let mut protocol = NewscastProtocol::new(NewscastParams {
             view_size: 3,
             period_millis: 1000,
-            descriptor_max_age: None,
+            ..NewscastParams::paper_default()
         });
         let own = eng.context().network.descriptor(NodeIndex::new(0), 0);
         let seeds: Vec<_> = (0..10u32)
@@ -534,6 +629,7 @@ mod tests {
             view_size: 20,
             period_millis: 1000,
             descriptor_max_age: Some(4),
+            ..NewscastParams::paper_default()
         });
         protocol.init_all(eng.context_mut());
         eng.run(&mut protocol, 12);
@@ -550,6 +646,89 @@ mod tests {
                 );
             }
         }
+    }
+
+    fn run_hub_attack(quota: Option<usize>, seed: u64) -> (NewscastProtocol, CycleEngine) {
+        let mut eng = engine(80, seed);
+        let mut protocol = NewscastProtocol::new(NewscastParams {
+            view_size: 10,
+            period_millis: 1000,
+            view_diversity_quota: quota,
+            ..NewscastParams::paper_default()
+        });
+        // One hub attacker, active from cycle 3 onwards.
+        let mut model = AdversaryModel::new(3, u64::MAX, AdversaryBehavior::HubAttack);
+        model.note_converted(NodeIndex::new(0));
+        PeerSampler::install_adversary(&mut protocol, model);
+        protocol.init_all(eng.context_mut());
+        eng.run(&mut protocol, 20);
+        (protocol, eng)
+    }
+
+    fn hub_slots_per_view(protocol: &NewscastProtocol, eng: &CycleEngine) -> usize {
+        let network = &eng.context().network;
+        let mut worst = 0usize;
+        for node in network.alive_indices().filter(|&n| n != NodeIndex::new(0)) {
+            let held = protocol
+                .view(node)
+                .map(|view| view.iter().filter(|d| d.address() == 0).count())
+                .unwrap_or(0);
+            worst = worst.max(held);
+        }
+        worst
+    }
+
+    #[test]
+    fn hub_attack_floods_views_and_quota_caps_it() {
+        // Undefended: the sybil flood (10 fresh distinct-identifier copies of
+        // the hub per exchange) captures most of its contacts' views.
+        let (protocol, eng) = run_hub_attack(None, 11);
+        assert!(
+            hub_slots_per_view(&protocol, &eng) >= 8,
+            "an undefended hub should dominate some view, worst {}",
+            hub_slots_per_view(&protocol, &eng)
+        );
+        // Defended: no view ever holds more than `quota` slots for one origin.
+        let (protocol, eng) = run_hub_attack(Some(2), 11);
+        assert!(
+            hub_slots_per_view(&protocol, &eng) <= 2,
+            "quota must cap per-origin slots, worst {}",
+            hub_slots_per_view(&protocol, &eng)
+        );
+    }
+
+    #[test]
+    fn diversity_quota_is_invisible_to_honest_traffic() {
+        // With one identifier per address (the honest registry), a quota of 1
+        // must leave the run byte-identical to the unconstrained protocol.
+        let (baseline, eng_a) = run_newscast(100, 15, 9);
+        let mut eng = engine(100, 9);
+        let mut quota = NewscastProtocol::new(NewscastParams {
+            view_size: 20,
+            period_millis: 1000,
+            view_diversity_quota: Some(1),
+            ..NewscastParams::paper_default()
+        });
+        quota.init_all(eng.context_mut());
+        eng.run(&mut quota, 15);
+        for node in eng_a.context().network.all_indices() {
+            assert_eq!(
+                baseline.view(node),
+                quota.view(node),
+                "quota changed an honest view at {node}"
+            );
+        }
+    }
+
+    #[test]
+    fn quality_snapshot_reports_overlay_health() {
+        let (protocol, eng) = run_newscast(100, 15, 10);
+        let quality = PeerSampler::quality(&protocol, &eng.context().network)
+            .expect("newscast maintains an overlay");
+        assert!((quality.in_degree_mean - 20.0).abs() < 2.0);
+        assert!(quality.in_degree_max >= quality.in_degree_mean);
+        assert!(quality.in_degree_gini >= 0.0 && quality.in_degree_gini < 0.5);
+        assert_eq!(quality.dead_pointer_fraction, 0.0);
     }
 
     mod props {
@@ -574,7 +753,7 @@ mod tests {
                 let mut protocol = NewscastProtocol::new(NewscastParams {
                     view_size,
                     period_millis: 1000,
-                    descriptor_max_age: None,
+                    ..NewscastParams::paper_default()
                 });
                 let joiner = {
                     let rng = &mut ctx.rng;

@@ -61,6 +61,83 @@ pub fn in_degree_summary(protocol: &NewscastProtocol, network: &Network) -> Summ
     Summary::of(&degrees)
 }
 
+/// The Gini coefficient of the in-degree distribution over alive nodes: 0 for
+/// a perfectly balanced overlay, approaching 1 when a few hubs hold almost all
+/// incoming pointers. A hub attack — one origin flooding sybil copies of
+/// itself into every view — drives this up sharply, which is why the
+/// measurement harness tracks it per cycle in adversarial runs.
+pub fn in_degree_gini(protocol: &NewscastProtocol, network: &Network) -> f64 {
+    snapshot(protocol, network).in_degree_gini
+}
+
+/// One consistent reading of the sampler's overlay quality, computed in a
+/// single pass over the views. This is what the experiment harness records per
+/// measured cycle (see `PeerSampler::quality`).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SamplingQuality {
+    /// Mean in-degree over alive nodes (close to the view size when healthy).
+    pub in_degree_mean: f64,
+    /// Largest in-degree held by any alive node (hubs spike this).
+    pub in_degree_max: f64,
+    /// Gini coefficient of the in-degree distribution (0 balanced, → 1 hub).
+    pub in_degree_gini: f64,
+    /// Fraction of view entries pointing at departed nodes.
+    pub dead_pointer_fraction: f64,
+}
+
+/// Computes a [`SamplingQuality`] snapshot: in-degree mean/max/Gini over alive
+/// nodes (counting pointers exactly like [`in_degree_summary`]) plus the
+/// dead-pointer fraction, all from one walk over the alive views.
+pub fn snapshot(protocol: &NewscastProtocol, network: &Network) -> SamplingQuality {
+    let alive = alive_set(network);
+    let mut in_degree = vec![0u64; network.len()];
+    let mut dead = 0usize;
+    let mut total = 0usize;
+    for &node in &alive {
+        if let Some(view) = protocol.view(node) {
+            for descriptor in view {
+                let target = descriptor.address() as usize;
+                if target < in_degree.len() {
+                    in_degree[target] += 1;
+                }
+                total += 1;
+                if !network.is_alive(NodeIndex::new(descriptor.address())) {
+                    dead += 1;
+                }
+            }
+        }
+    }
+    let mut degrees: Vec<u64> = alive.iter().map(|n| in_degree[n.as_usize()]).collect();
+    degrees.sort_unstable();
+    let count = degrees.len();
+    let sum: u64 = degrees.iter().sum();
+    let (mean, max, gini) = if count == 0 || sum == 0 {
+        (0.0, 0.0, 0.0)
+    } else {
+        // Gini over the sorted degrees: Σ (2i − n + 1)·xᵢ / (n·Σx).
+        let weighted: f64 = degrees
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| (2.0 * i as f64 - count as f64 + 1.0) * x as f64)
+            .sum();
+        (
+            sum as f64 / count as f64,
+            *degrees.last().expect("non-empty") as f64,
+            weighted / (count as f64 * sum as f64),
+        )
+    };
+    SamplingQuality {
+        in_degree_mean: mean,
+        in_degree_max: max,
+        in_degree_gini: gini,
+        dead_pointer_fraction: if total == 0 {
+            0.0
+        } else {
+            dead as f64 / total as f64
+        },
+    }
+}
+
 /// Fraction of view entries (over all alive nodes) that point at departed nodes.
 /// NEWSCAST's freshest-first aging keeps this small even under churn.
 pub fn dead_pointer_fraction(protocol: &NewscastProtocol, network: &Network) -> f64 {
@@ -138,7 +215,7 @@ mod tests {
         let mut protocol = NewscastProtocol::new(NewscastParams {
             view_size: 20,
             period_millis: 1000,
-            descriptor_max_age: None,
+            ..NewscastParams::paper_default()
         });
         protocol.init_all(engine.context_mut());
         engine.run(&mut protocol, cycles);

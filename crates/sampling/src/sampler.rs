@@ -8,8 +8,10 @@
 //! from the registry. Comparing the two isolates the effect of sampling quality on
 //! convergence (an ablation reported in `EXPERIMENTS.md`).
 
+use crate::quality::SamplingQuality;
+use bss_sim::adversary::AdversaryModel;
 use bss_sim::engine::cycle::EngineContext;
-use bss_sim::network::NodeIndex;
+use bss_sim::network::{Network, NodeIndex};
 use bss_util::descriptor::Descriptor;
 use std::fmt::Debug;
 
@@ -39,6 +41,24 @@ pub trait PeerSampler: Debug {
 
     /// Forgets per-node state for a departed node.
     fn node_departed(&mut self, _node: NodeIndex, _ctx: &mut EngineContext) {}
+
+    /// Installs the scenario's Byzantine adversary model: samplers whose own
+    /// gossip traffic can be subverted (NEWSCAST's view exchanges) keep the
+    /// model and consult it when composing messages. The default ignores it —
+    /// a stateless sampler like the oracle has no messages to subvert.
+    fn install_adversary(&mut self, _model: AdversaryModel) {}
+
+    /// Marks `node` as converted in the sampler's copy of the adversary model
+    /// (a no-op when no model is installed or the sampler keeps none).
+    fn node_converted(&mut self, _node: NodeIndex) {}
+
+    /// A snapshot of the sampler's overlay quality (in-degree distribution,
+    /// dead pointers), when the sampler maintains an overlay to measure.
+    /// Stateless samplers return `None` — the measurement harness uses this
+    /// as the capability gate for recording quality series.
+    fn quality(&self, _network: &Network) -> Option<SamplingQuality> {
+        None
+    }
 
     /// Executes one gossip step of the sampling protocol itself for `node` (a no-op
     /// for stateless implementations).

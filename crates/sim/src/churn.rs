@@ -34,6 +34,12 @@ pub struct ChurnEvents {
     /// the registry entry, identifier and liveness of these nodes do not
     /// change — only their per-node protocol state is rebuilt.
     pub rebootstrapped: Vec<NodeIndex>,
+    /// Alive nodes converted into Byzantine adversaries (the
+    /// [`ByzantineConversion`] event). Membership is untouched — the nodes
+    /// stay alive with their registry identifiers — but the protocol stacks
+    /// mark them in their [`AdversaryModel`](crate::adversary::AdversaryModel)
+    /// so subsequent messages they compose are adversarial.
+    pub converted: Vec<NodeIndex>,
 }
 
 impl ChurnEvents {
@@ -44,7 +50,10 @@ impl ChurnEvents {
 
     /// Whether anything changed.
     pub fn is_empty(&self) -> bool {
-        self.joined.is_empty() && self.departed.is_empty() && self.rebootstrapped.is_empty()
+        self.joined.is_empty()
+            && self.departed.is_empty()
+            && self.rebootstrapped.is_empty()
+            && self.converted.is_empty()
     }
 }
 
@@ -117,6 +126,7 @@ impl ChurnModel for UniformChurn {
             joined,
             departed,
             rebootstrapped: Vec::new(),
+            converted: Vec::new(),
         }
     }
 }
@@ -164,6 +174,7 @@ impl ChurnModel for CatastrophicFailure {
             joined: Vec::new(),
             departed,
             rebootstrapped: Vec::new(),
+            converted: Vec::new(),
         }
     }
 }
@@ -201,6 +212,7 @@ impl ChurnModel for MassiveJoin {
             joined,
             departed: Vec::new(),
             rebootstrapped: Vec::new(),
+            converted: Vec::new(),
         }
     }
 }
@@ -256,6 +268,61 @@ impl ChurnModel for ReBootstrap {
             joined: Vec::new(),
             departed: Vec::new(),
             rebootstrapped,
+            converted: Vec::new(),
+        }
+    }
+}
+
+/// A one-shot Byzantine conversion: at a given cycle a fraction of the alive
+/// nodes turns adversarial. Membership is untouched — converted nodes stay
+/// alive under their registry identifiers (an insider attack, not churn) —
+/// they are reported in [`ChurnEvents::converted`] so the protocol stacks can
+/// mark them in their [`AdversaryModel`](crate::adversary::AdversaryModel).
+/// What the converted nodes *do*, and for how long, is the model's business;
+/// this event only selects the membership of the adversary set, once, with a
+/// single RNG sample (an all-out conversion draws none, like [`ReBootstrap`]).
+#[derive(Debug, Clone)]
+pub struct ByzantineConversion {
+    at_cycle: u64,
+    fraction: f64,
+    fired: bool,
+}
+
+impl ByzantineConversion {
+    /// Creates a conversion of `fraction` of the alive nodes (clamped to
+    /// `[0, 1]`) at cycle `at_cycle`.
+    pub fn new(at_cycle: u64, fraction: f64) -> Self {
+        ByzantineConversion {
+            at_cycle,
+            fraction: fraction.clamp(0.0, 1.0),
+            fired: false,
+        }
+    }
+
+    /// Whether the conversion has already been applied.
+    pub fn has_fired(&self) -> bool {
+        self.fired
+    }
+}
+
+impl ChurnModel for ByzantineConversion {
+    fn apply(&mut self, cycle: u64, network: &mut Network, rng: &mut SimRng) -> ChurnEvents {
+        if self.fired || cycle != self.at_cycle {
+            return ChurnEvents::none();
+        }
+        self.fired = true;
+        let alive: Vec<NodeIndex> = network.alive_indices().collect();
+        let count = ((alive.len() as f64) * self.fraction).round() as usize;
+        let converted = if count >= alive.len() {
+            alive // everyone: no sampling draw needed, keep the RNG stream lean
+        } else {
+            rng.sample(&alive, count)
+        };
+        ChurnEvents {
+            joined: Vec::new(),
+            departed: Vec::new(),
+            rebootstrapped: Vec::new(),
+            converted,
         }
     }
 }
@@ -347,6 +414,7 @@ impl ChurnModel for CompositeChurn {
             events.joined.append(&mut e.joined);
             events.departed.append(&mut e.departed);
             events.rebootstrapped.append(&mut e.rebootstrapped);
+            events.converted.append(&mut e.converted);
         }
         events.joined.retain(|&node| network.is_alive(node));
         // A re-bootstrap order for a node a later model killed this same cycle
@@ -355,6 +423,19 @@ impl ChurnModel for CompositeChurn {
         events
             .rebootstrapped
             .retain(|&node| network.is_alive(node) && node.as_usize() < watermark);
+        // Same reconciliation for conversions: a node a later model killed this
+        // cycle is gone (converting a corpse would double-count it in attack
+        // metrics), and a same-cycle joiner cannot have been selected by the
+        // conversion's pre-join alive sample — drop both defensively so the
+        // converted list always names pre-existing survivors. Two conversions
+        // firing the same cycle can sample overlapping nodes; converting twice
+        // is converting once, so duplicates collapse (sorted order — the
+        // consumers' per-node hooks are order-insensitive).
+        events
+            .converted
+            .retain(|&node| network.is_alive(node) && node.as_usize() < watermark);
+        events.converted.sort_unstable();
+        events.converted.dedup();
         events
     }
 }
@@ -513,6 +594,57 @@ mod tests {
         for &node in &events.rebootstrapped {
             assert!(net.is_alive(node));
             assert!(node.as_usize() < 20, "orders never cover fresh joiners");
+            assert!(!events.departed.contains(&node));
+        }
+    }
+
+    #[test]
+    fn byzantine_conversion_fires_once_and_touches_no_membership() {
+        let (mut net, mut rng) = network(100, 17);
+        let mut conversion = ByzantineConversion::new(3, 0.2);
+        assert!(!conversion.has_fired());
+        for cycle in 0..3 {
+            assert!(conversion.apply(cycle, &mut net, &mut rng).is_empty());
+        }
+        let events = conversion.apply(3, &mut net, &mut rng);
+        assert!(conversion.has_fired());
+        assert_eq!(events.converted.len(), 20);
+        assert!(events.joined.is_empty() && events.departed.is_empty());
+        assert!(events.rebootstrapped.is_empty());
+        assert_eq!(net.alive_count(), 100, "membership is untouched");
+        for &node in &events.converted {
+            assert!(net.is_alive(node));
+        }
+        assert!(conversion.apply(3, &mut net, &mut rng).is_empty());
+        assert!(conversion.apply(4, &mut net, &mut rng).is_empty());
+
+        // Fraction 1.0 converts every survivor, in index order, drawing no RNG.
+        let (mut net, mut rng) = network(10, 18);
+        net.kill(NodeIndex::new(2));
+        let fingerprint = rng.clone();
+        let all = ByzantineConversion::new(0, 1.0).apply(0, &mut net, &mut rng);
+        assert_eq!(rng, fingerprint, "full conversion draws no randomness");
+        assert_eq!(all.converted.len(), 9);
+        assert!(!all.converted.contains(&NodeIndex::new(2)));
+    }
+
+    #[test]
+    fn composite_voids_conversions_for_same_cycle_victims_and_joiners() {
+        // Convert everyone, then kill half, then add joiners: the reported
+        // conversions must cover exactly the pre-existing survivors — never a
+        // same-cycle corpse, never a fresh joiner.
+        let (mut net, mut rng) = network(20, 19);
+        let mut composite = CompositeChurn::new()
+            .with(Box::new(ByzantineConversion::new(0, 1.0)))
+            .with(Box::new(CatastrophicFailure::new(0, 0.5)))
+            .with(Box::new(MassiveJoin::new(0, 7)));
+        let events = composite.apply(0, &mut net, &mut rng);
+        assert_eq!(events.departed.len(), 10);
+        assert_eq!(events.joined.len(), 7);
+        assert_eq!(events.converted.len(), 10, "the surviving originals");
+        for &node in &events.converted {
+            assert!(net.is_alive(node));
+            assert!(node.as_usize() < 20, "conversions never cover joiners");
             assert!(!events.departed.contains(&node));
         }
     }

@@ -67,6 +67,13 @@ pub trait CycleProtocol {
     /// protocol state from the seed set (the `ReBootstrap` recovery event).
     /// Membership is unchanged; the default does nothing.
     fn node_rebootstrapped(&mut self, _node: NodeIndex, _cycle: u64, _ctx: &mut EngineContext) {}
+
+    /// Called when a scenario converts an alive node into a Byzantine
+    /// adversary (the `ByzantineConvert` event). Membership is unchanged;
+    /// protocols that model adversaries mark the node in their
+    /// [`AdversaryModel`](crate::adversary::AdversaryModel). The default does
+    /// nothing (honest protocols simply ignore conversions).
+    fn node_converted(&mut self, _node: NodeIndex, _cycle: u64, _ctx: &mut EngineContext) {}
 }
 
 /// What [`ParallelCycleProtocol::plan_node`] decided for one node.
@@ -537,6 +544,7 @@ impl CycleEngine {
             joined,
             departed,
             rebootstrapped,
+            converted,
         } = self
             .churn
             .apply(cycle, &mut self.context.network, &mut self.context.rng);
@@ -548,6 +556,9 @@ impl CycleEngine {
         }
         for node in rebootstrapped {
             protocol.node_rebootstrapped(node, cycle, &mut self.context);
+        }
+        for node in converted {
+            protocol.node_converted(node, cycle, &mut self.context);
         }
     }
 }

@@ -14,6 +14,9 @@
 //!   engine (a discrete-event scheduler with per-message latency).
 //! * [`churn`] — join/leave/catastrophic-failure scenarios applied at cycle
 //!   boundaries.
+//! * [`adversary`] — the Byzantine adversary model: which nodes were converted,
+//!   the active attack window, and the configured behavior (descriptor forgery,
+//!   eclipse sprays, hub attacks), consulted at message-composition time.
 //! * [`observer`] — periodic measurement hooks and control-flow helpers.
 //! * [`pool`] — the persistent worker pool behind the parallel cycle engine:
 //!   long-lived threads fed over channels, so a million-cycle run pays the
@@ -51,6 +54,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod adversary;
 pub mod churn;
 pub mod engine;
 pub mod network;
@@ -58,6 +62,7 @@ pub mod observer;
 pub mod pool;
 pub mod transport;
 
+pub use adversary::{AdversaryBehavior, AdversaryModel};
 pub use engine::cycle::{CycleEngine, CycleProtocol, EngineContext, PhaseProfile};
 pub use engine::event::{EventEngine, EventProtocol};
 pub use network::{Network, NodeIndex};

@@ -13,7 +13,8 @@
 //!   lists, with one-shots firing exactly once at their scheduled cycle.
 
 use bss_sim::churn::{
-    CatastrophicFailure, ChurnModel, CompositeChurn, MassiveJoin, UniformChurn, WindowedChurn,
+    ByzantineConversion, CatastrophicFailure, ChurnModel, CompositeChurn, MassiveJoin,
+    UniformChurn, WindowedChurn,
 };
 use bss_sim::network::{Network, NodeIndex};
 use bss_util::rng::SimRng;
@@ -39,6 +40,10 @@ enum Spec {
         at: u64,
         count: usize,
     },
+    Convert {
+        at: u64,
+        percent: u32,
+    },
 }
 
 impl Spec {
@@ -60,12 +65,15 @@ impl Spec {
                 Box::new(CatastrophicFailure::new(at, f64::from(percent) / 100.0))
             }
             Spec::Join { at, count } => Box::new(MassiveJoin::new(at, count)),
+            Spec::Convert { at, percent } => {
+                Box::new(ByzantineConversion::new(at, f64::from(percent) / 100.0))
+            }
         }
     }
 }
 
 fn spec_strategy(cycles: u64) -> impl Strategy<Value = Spec> {
-    (0u8..4, 0u32..300, 0..cycles, 1..cycles, 1usize..40).prop_map(
+    (0u8..5, 0u32..300, 0..cycles, 1..cycles, 1usize..40).prop_map(
         |(kind, rate, at, len, count)| match kind {
             0 => Spec::Uniform {
                 rate_permille: rate % 120,
@@ -76,6 +84,10 @@ fn spec_strategy(cycles: u64) -> impl Strategy<Value = Spec> {
                 len,
             },
             2 => Spec::Failure {
+                at,
+                percent: rate % 70,
+            },
+            3 => Spec::Convert {
                 at,
                 percent: rate % 70,
             },
@@ -125,6 +137,27 @@ proptest! {
                 prop_assert!(joiner.as_usize() >= len_before, "recycled slot");
                 prop_assert!(ever_joined.insert(joiner), "slot joined twice");
                 prop_assert!(network.is_alive(joiner), "reported joiner is dead");
+            }
+
+            // --- Conversions never double-count a node: a converted node is
+            // alive (a same-cycle kill removes it from the list), pre-dates
+            // the cycle (a same-cycle joiner is never converted), and appears
+            // at most once. ---
+            let converted: HashSet<NodeIndex> = events.converted.iter().copied().collect();
+            prop_assert_eq!(converted.len(), events.converted.len(), "duplicate converts");
+            for &node in &events.converted {
+                prop_assert!(
+                    !departed.contains(&node),
+                    "cycle {}: {:?} reported as both converted and departed",
+                    cycle,
+                    node
+                );
+                prop_assert!(network.is_alive(node), "converted node is dead");
+                prop_assert!(
+                    node.as_usize() < len_before,
+                    "cycle {}: converted a node that joined this cycle",
+                    cycle
+                );
             }
 
             // --- Ordering: models apply in composition order, so the
@@ -207,5 +240,55 @@ proptest! {
         for &victim in &events.departed {
             prop_assert!(victim.as_usize() < len_before);
         }
+    }
+
+    /// A Byzantine conversion and a catastrophic failure scheduled for the
+    /// same cycle: whichever order they are composed in, no node is counted
+    /// both ways. Converted-then-killed nodes report as departed only (the
+    /// reconciliation drops them from the converted list); killed-then-
+    /// converted cannot happen because the conversion samples alive nodes.
+    #[test]
+    fn same_cycle_convert_and_failure_never_double_count(
+        convert_first in any::<bool>(),
+        size in 20usize..80,
+        convert_percent in 10u32..70,
+        kill_percent in 10u32..70,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = SimRng::seed_from(seed);
+        let mut network = Network::with_random_ids(size, &mut rng);
+        let convert = Box::new(ByzantineConversion::new(3, f64::from(convert_percent) / 100.0));
+        let failure = Box::new(CatastrophicFailure::new(3, f64::from(kill_percent) / 100.0));
+        let mut composite = if convert_first {
+            CompositeChurn::new().with(convert).with(failure)
+        } else {
+            CompositeChurn::new().with(failure).with(convert)
+        };
+        for cycle in 0..3 {
+            prop_assert!(composite.apply(cycle, &mut network, &mut rng).is_empty());
+        }
+        let len_before = network.len();
+        let events = composite.apply(3, &mut network, &mut rng);
+        let departed: HashSet<NodeIndex> = events.departed.iter().copied().collect();
+        for &node in &events.converted {
+            prop_assert!(!departed.contains(&node), "{:?} converted and departed", node);
+            prop_assert!(network.is_alive(node));
+            prop_assert!(node.as_usize() < len_before);
+        }
+        let expected_converts =
+            ((size as f64) * f64::from(convert_percent) / 100.0).round() as usize;
+        if convert_first {
+            // The failure may have killed some converts; only survivors report.
+            prop_assert!(events.converted.len() <= expected_converts);
+        } else {
+            // The conversion sampled the post-failure population, so every
+            // reported convert survived by construction.
+            let survivors = size - events.departed.len();
+            let post_failure =
+                ((survivors as f64) * f64::from(convert_percent) / 100.0).round() as usize;
+            prop_assert_eq!(events.converted.len(), post_failure.min(survivors));
+        }
+        // The conversion is one-shot: replaying a later cycle converts no one.
+        prop_assert!(composite.apply(4, &mut network, &mut rng).converted.is_empty());
     }
 }

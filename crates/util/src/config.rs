@@ -64,6 +64,17 @@ pub struct BootstrapParams {
     /// live descriptors, which are re-stamped by their owner on every exchange,
     /// never look stale in the steady state.
     pub descriptor_max_age: Option<u64>,
+    /// Descriptor verification key: when set, every descriptor received by the
+    /// bootstrapping protocol is checked with the keyed identity stamp (the
+    /// simulator's stand-in for verifying a signature over the descriptor by
+    /// the identifier's key holder) and descriptors whose identifier does not
+    /// authentically bind to their address are rejected before any merge. This
+    /// is the countermeasure against forged-descriptor and eclipse (ID spray)
+    /// adversaries.
+    ///
+    /// `None` (the default) disables verification and leaves the honest
+    /// protocol path byte-identical to the unverified one.
+    pub descriptor_verifier: Option<u64>,
 }
 
 impl BootstrapParams {
@@ -77,6 +88,7 @@ impl BootstrapParams {
             random_samples: 30,
             cycle_millis: 1000,
             descriptor_max_age: None,
+            descriptor_verifier: None,
         }
     }
 
@@ -154,6 +166,9 @@ impl fmt::Display for BootstrapParams {
         if let Some(age) = self.descriptor_max_age {
             write!(f, " max_age={age}")?;
         }
+        if let Some(key) = self.descriptor_verifier {
+            write!(f, " verifier=0x{key:x}")?;
+        }
         Ok(())
     }
 }
@@ -198,6 +213,12 @@ impl BootstrapParamsBuilder {
     /// Sets (or, with `None`, disables) the descriptor aging bound in cycles.
     pub fn descriptor_max_age(&mut self, max_age: Option<u64>) -> &mut Self {
         self.params.descriptor_max_age = max_age;
+        self
+    }
+
+    /// Sets (or, with `None`, disables) the descriptor verification key.
+    pub fn descriptor_verifier(&mut self, key: Option<u64>) -> &mut Self {
+        self.params.descriptor_verifier = key;
         self
     }
 
@@ -249,6 +270,18 @@ pub enum InvalidParams {
         /// End of the window (exclusive).
         end: u64,
     },
+    /// A scenario event names a node index that does not exist in the
+    /// configured network (for example an eclipse attack targeting node 2048
+    /// in a 1024-node run). Rejected — never clamped — because a silently
+    /// retargeted attack would measure the wrong victim.
+    NodeOutOfBounds {
+        /// Which timeline entry named the node.
+        field: &'static str,
+        /// The offending node index.
+        node: u64,
+        /// Number of nodes in the configured network.
+        network_size: u64,
+    },
     /// Two phases of a kind that must not overlap (loss windows, partition
     /// windows) cover a common cycle, making the active condition ambiguous.
     OverlappingPhases {
@@ -291,6 +324,14 @@ impl fmt::Display for InvalidParams {
             InvalidParams::EmptyWindow { field, start, end } => {
                 write!(f, "{field} window [{start}, {end}) is empty")
             }
+            InvalidParams::NodeOutOfBounds {
+                field,
+                node,
+                network_size,
+            } => write!(
+                f,
+                "{field} names node {node} but the network only has nodes 0..{network_size}"
+            ),
             InvalidParams::OverlappingPhases {
                 kind,
                 first,
@@ -321,6 +362,15 @@ pub struct NewscastParams {
     /// merge, on top of NEWSCAST's keep-the-freshest ranking. `None` (the
     /// default, matching §3's protocol exactly) relies on ranking alone.
     pub descriptor_max_age: Option<u64>,
+    /// View diversity quota: when set, at most this many view slots may be
+    /// held by descriptors originating from any single address after a merge.
+    /// This caps the damage of a hub attack — a Byzantine node flooding
+    /// sybil-identified copies of its own address can occupy at most
+    /// `view_diversity_quota` slots instead of wiping the whole view.
+    ///
+    /// `None` (the default, matching §3's protocol exactly) leaves merges
+    /// byte-identical to the unquotaed path.
+    pub view_diversity_quota: Option<usize>,
 }
 
 impl NewscastParams {
@@ -330,6 +380,7 @@ impl NewscastParams {
             view_size: 30,
             period_millis: 10_000,
             descriptor_max_age: None,
+            view_diversity_quota: None,
         }
     }
 
@@ -356,6 +407,14 @@ impl NewscastParams {
                 max: u64::MAX as f64,
             });
         }
+        if let Some(0) = self.view_diversity_quota {
+            return Err(InvalidParams::OutOfRange {
+                field: "view_diversity_quota",
+                value: 0.0,
+                min: 1.0,
+                max: usize::MAX as f64,
+            });
+        }
         Ok(())
     }
 }
@@ -368,7 +427,11 @@ impl Default for NewscastParams {
 
 impl fmt::Display for NewscastParams {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "view={} period={}ms", self.view_size, self.period_millis)
+        write!(f, "view={} period={}ms", self.view_size, self.period_millis)?;
+        if let Some(quota) = self.view_diversity_quota {
+            write!(f, " quota={quota}")?;
+        }
+        Ok(())
     }
 }
 
@@ -431,13 +494,13 @@ mod tests {
         let bad_view = NewscastParams {
             view_size: 0,
             period_millis: 1,
-            descriptor_max_age: None,
+            ..NewscastParams::paper_default()
         };
         assert!(bad_view.validate().is_err());
         let bad_period = NewscastParams {
             view_size: 1,
             period_millis: 0,
-            descriptor_max_age: None,
+            ..NewscastParams::paper_default()
         };
         assert!(bad_period.validate().is_err());
     }
@@ -492,6 +555,57 @@ mod tests {
             ..NewscastParams::paper_default()
         };
         assert!(bad_newscast.validate().is_err());
+    }
+
+    #[test]
+    fn countermeasures_are_validated_and_off_by_default() {
+        assert_eq!(BootstrapParams::paper_default().descriptor_verifier, None);
+        assert_eq!(NewscastParams::paper_default().view_diversity_quota, None);
+
+        let verified = BootstrapParams::builder()
+            .descriptor_verifier(Some(0xBEEF))
+            .build()
+            .unwrap();
+        assert_eq!(verified.descriptor_verifier, Some(0xBEEF));
+        assert!(verified.to_string().contains("verifier=0xbeef"));
+
+        let quotaed = NewscastParams {
+            view_diversity_quota: Some(2),
+            ..NewscastParams::paper_default()
+        };
+        assert!(quotaed.validate().is_ok());
+        assert!(quotaed.to_string().contains("quota=2"));
+
+        // A zero quota would empty every view on merge; reject it, typed.
+        let err = NewscastParams {
+            view_diversity_quota: Some(0),
+            ..NewscastParams::paper_default()
+        }
+        .validate()
+        .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                InvalidParams::OutOfRange {
+                    field: "view_diversity_quota",
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn node_out_of_bounds_error_is_typed_and_informative() {
+        let err = InvalidParams::NodeOutOfBounds {
+            field: "id_spray target",
+            node: 2048,
+            network_size: 1024,
+        };
+        let text = err.to_string();
+        assert!(text.contains("id_spray target"), "{text}");
+        assert!(text.contains("2048"), "{text}");
+        assert!(text.contains("0..1024"), "{text}");
     }
 
     #[test]
