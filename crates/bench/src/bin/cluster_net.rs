@@ -1,0 +1,141 @@
+//! Wire-scale bench: loopback UDP clusters across sizes and cluster modes.
+//!
+//! This is the net-side twin of the `scaling` bench. For every cell of
+//! sizes x {thread, driver} it spawns a real loopback cluster, monitors it to
+//! convergence, and writes the full [`NetReport`] as JSON
+//! (`<out-dir>/cluster_<mode>_<N>.json`) plus one shared TSV timeline
+//! (`<out-dir>/timeline.tsv`) with every convergence sample of every run —
+//! the same artifact shapes CI uploads for the simulator benches.
+//!
+//! The headline cell is the single-loop driver at 512 nodes: one thread, one
+//! socket poll loop, hundreds of protocol instances — the report records node
+//! count, wall-clock to convergence, and datagrams/s so regressions in the
+//! driver show up as numbers, not vibes.
+//!
+//! Environments without loopback UDP (heavily sandboxed CI) are detected at
+//! the first failed bind and the whole bench skips with exit code 0, like the
+//! socket tests. A cluster that fails to converge exits non-zero.
+
+use bss_bench::cli::Args;
+use bss_net::cluster::{Cluster, ClusterConfig, ClusterMode};
+use bss_net::report::NetReport;
+use bss_util::config::BootstrapParams;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+const HELP: &str = "\
+cluster_net — loopback UDP clusters across sizes and cluster modes
+
+USAGE:
+    cargo run --release -p bss-bench --bin cluster_net [-- OPTIONS]
+
+OPTIONS:
+    --driver-sizes <list>  driver-mode size exponents (N = 2^exp) [default: 6,8,9]
+    --thread-sizes <list>  thread-mode size exponents             [default: 6,7]
+    --seed <n>             cluster seed                           [default: 7]
+    --timeout-secs <n>     per-run convergence deadline           [default: 120]
+    --out-dir <dir>        directory for NetReport JSONs + TSV    [default: net-reports]
+    --smoke                fast CI variant (driver 2^6, thread 2^5)
+";
+
+/// The tables every cell runs with: the paper's small-network parameters plus
+/// a wire cycle short enough to converge in seconds on loopback.
+fn bench_params() -> BootstrapParams {
+    BootstrapParams {
+        leaf_set_size: 6,
+        random_samples: 8,
+        cycle_millis: 40,
+        ..BootstrapParams::paper_default()
+    }
+}
+
+fn main() {
+    let args = Args::from_env();
+    if args.wants_help() {
+        print!("{HELP}");
+        return;
+    }
+
+    let smoke = args.get("smoke").is_some();
+    let (driver_default, thread_default): (&[u32], &[u32]) = if smoke {
+        (&[6], &[5])
+    } else {
+        (&[6, 8, 9], &[6, 7])
+    };
+    let driver_sizes = args.u32_list_or("driver-sizes", driver_default);
+    let thread_sizes = args.u32_list_or("thread-sizes", thread_default);
+    let seed: u64 = args.parsed_or("seed", 7);
+    let timeout = Duration::from_secs(args.parsed_or("timeout-secs", 120));
+    let out_dir = args.get("out-dir").unwrap_or("net-reports").to_owned();
+    std::fs::create_dir_all(&out_dir).expect("create output directory");
+
+    let cells = thread_sizes
+        .iter()
+        .map(|&exp| (ClusterMode::ThreadPerPeer, 1usize << exp))
+        .chain(
+            driver_sizes
+                .iter()
+                .map(|&exp| (ClusterMode::Driver, 1usize << exp)),
+        )
+        .collect::<Vec<_>>();
+
+    let mut timeline = String::from("mode\tnodes\tmillis\tmissing_leaf\tmissing_prefix\tdead\n");
+    let mut all_converged = true;
+
+    for (mode, size) in cells {
+        let cluster = match Cluster::spawn(ClusterConfig {
+            size,
+            params: bench_params(),
+            contacts_per_peer: 4,
+            seed,
+            mode,
+        }) {
+            Ok(cluster) => cluster,
+            Err(error) => {
+                // No loopback UDP here (sandboxed CI): skip the whole bench,
+                // successfully, like the socket tests do.
+                eprintln!("skipping cluster_net: cannot bind loopback sockets: {error}");
+                return;
+            }
+        };
+        let report = cluster.monitor(Duration::from_millis(50), timeout);
+        cluster.shutdown();
+
+        let path = format!("{out_dir}/cluster_{}_{}.json", report.mode, report.nodes);
+        std::fs::write(&path, report.to_json()).expect("write NetReport JSON");
+        append_timeline(&mut timeline, &report);
+        all_converged &= report.converged;
+
+        println!(
+            "mode {:>6}  N {:>4}  converged {:>5}  wall {:>6} ms  {:>9.1} datagrams/s  -> {path}",
+            report.mode,
+            report.nodes,
+            report.converged,
+            report.convergence_millis.unwrap_or(report.elapsed_millis),
+            report.datagrams_per_second(),
+        );
+    }
+
+    let tsv_path = format!("{out_dir}/timeline.tsv");
+    std::fs::write(&tsv_path, timeline).expect("write timeline TSV");
+    println!("timeline -> {tsv_path}");
+
+    if !all_converged {
+        eprintln!("cluster_net: at least one cluster failed to converge before the deadline");
+        std::process::exit(1);
+    }
+}
+
+/// Appends one TSV row per convergence sample; the three series are sampled at
+/// the same instants, so they zip into aligned rows.
+fn append_timeline(timeline: &mut String, report: &NetReport) {
+    for (index, &(millis, leaf)) in report.leaf_series.iter().enumerate() {
+        let prefix = report.prefix_series.get(index).map_or(f64::NAN, |p| p.1);
+        let dead = report.dead_series.get(index).map_or(f64::NAN, |p| p.1);
+        let _ = writeln!(
+            timeline,
+            "{}\t{}\t{}\t{:.6e}\t{:.6e}\t{:.6e}",
+            report.mode, report.nodes, millis, leaf, prefix, dead
+        );
+    }
+}

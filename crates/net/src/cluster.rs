@@ -1,20 +1,52 @@
 //! A supervised localhost cluster of UDP peers.
 //!
-//! [`Cluster::spawn`] binds `size` peers on loopback, gives each a random contact
-//! list (standing in for the peer sampling service) and lets them bootstrap. The
-//! convergence check reuses the simulator's
-//! [`ConvergenceOracle`](bss_core::convergence::ConvergenceOracle), so "perfect"
-//! means exactly what it means in the paper's figures.
+//! [`Cluster::spawn`] brings up `size` peers on loopback in one of two
+//! transport modes — a thread and socket per peer, or every peer multiplexed
+//! over one batched poll loop ([`crate::driver::NetDriver`]) — gives each a
+//! random contact list (seeding its sampling-gossip pool, from which the
+//! sampling layer takes over) and lets them bootstrap. The convergence check reuses the simulator's
+//! [`ConvergenceOracle`](bss_core::convergence::ConvergenceOracle), so
+//! "perfect" means exactly what it means in the paper's figures, and
+//! [`Cluster::monitor`] renders a whole run as a RunReport-shaped
+//! [`NetReport`].
 
-use crate::node::{UdpPeer, UdpPeerConfig};
+use crate::driver::{DriverConfig, NetDriver};
+use crate::node::{BoundUdpPeer, PeerHandle, UdpPeer};
+use crate::report::{NetReport, NetStats};
 use bss_core::convergence::{ConvergenceOracle, NetworkConvergence};
 use bss_util::config::BootstrapParams;
 use bss_util::descriptor::Descriptor;
 use bss_util::id::NodeId;
 use bss_util::rng::SimRng;
+use std::collections::HashSet;
 use std::io;
 use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// How a cluster runs its peers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ClusterMode {
+    /// One OS thread and blocking socket per peer — faithful to a real
+    /// multi-process deployment, practical up to a few hundred peers.
+    #[default]
+    ThreadPerPeer,
+    /// Every peer multiplexed over one batched poll loop — the way to run
+    /// hundreds-to-thousands of in-process peers.
+    Driver,
+}
+
+impl ClusterMode {
+    /// Short machine-readable label (used in reports and bench output).
+    pub fn label(&self) -> &'static str {
+        match self {
+            ClusterMode::ThreadPerPeer => "thread",
+            ClusterMode::Driver => "driver",
+        }
+    }
+}
 
 /// Configuration of a localhost cluster.
 #[derive(Debug, Clone)]
@@ -28,6 +60,8 @@ pub struct ClusterConfig {
     pub contacts_per_peer: usize,
     /// Seed for identifier assignment and contact-list sampling.
     pub seed: u64,
+    /// Transport mode.
+    pub mode: ClusterMode,
 }
 
 impl Default for ClusterConfig {
@@ -42,15 +76,33 @@ impl Default for ClusterConfig {
             },
             contacts_per_peer: 4,
             seed: 1,
+            mode: ClusterMode::ThreadPerPeer,
         }
     }
+}
+
+/// What actually runs the peers, per mode.
+#[derive(Debug)]
+enum Runtime {
+    /// Thread-per-peer: the peers own their threads; kept alive here.
+    Threads(Vec<UdpPeer>),
+    /// Single-loop driver on one supervisor-owned thread.
+    Driver {
+        running: Arc<AtomicBool>,
+        thread: Option<JoinHandle<()>>,
+    },
 }
 
 /// A running cluster of UDP peers.
 #[derive(Debug)]
 pub struct Cluster {
-    peers: Vec<UdpPeer>,
+    handles: Vec<PeerHandle>,
     params: BootstrapParams,
+    mode: ClusterMode,
+    seed: u64,
+    stats: Arc<NetStats>,
+    started: Instant,
+    runtime: Runtime,
 }
 
 impl Cluster {
@@ -66,6 +118,13 @@ impl Cluster {
     pub fn spawn(config: ClusterConfig) -> io::Result<Self> {
         assert!(config.size > 0, "a cluster needs at least one peer");
         config.params.validate().expect("invalid parameters");
+        match config.mode {
+            ClusterMode::ThreadPerPeer => Cluster::spawn_threads(config),
+            ClusterMode::Driver => Cluster::spawn_driver(config),
+        }
+    }
+
+    fn spawn_threads(config: ClusterConfig) -> io::Result<Self> {
         let mut rng = SimRng::seed_from(config.seed);
         let ids: Vec<NodeId> = rng
             .distinct_u64(config.size)
@@ -73,69 +132,185 @@ impl Cluster {
             .map(NodeId::new)
             .collect();
 
-        // Two-phase start: first bind every peer with an empty contact list in a
-        // paused state is unnecessary — instead we spawn peers in order and give
-        // each a contact list drawn from the peers already running plus, for the
-        // earliest peers, from peers that will start momentarily. To keep it simple
-        // and fully connected we spawn all peers first with no contacts, collect
-        // their addresses, and then... peers cannot be reseeded after spawn, so we
-        // instead pre-allocate ports by spawning in two waves: the first peer has no
-        // contacts, every later peer gets contacts among the already-spawned ones.
-        let mut peers: Vec<UdpPeer> = Vec::with_capacity(config.size);
-        for (position, &id) in ids.iter().enumerate() {
-            let contacts: Vec<Descriptor<SocketAddr>> = if peers.is_empty() {
-                Vec::new()
-            } else {
-                let existing: Vec<Descriptor<SocketAddr>> =
-                    peers.iter().map(UdpPeer::descriptor).collect();
-                rng.sample(&existing, config.contacts_per_peer.min(existing.len()))
-            };
-            let peer = UdpPeer::spawn(UdpPeerConfig {
-                id,
-                params: config.params,
-                contacts,
-                seed: config.seed ^ (position as u64 + 1),
-            })?;
-            peers.push(peer);
+        // Two-phase start. Phase one: bind every peer's socket without starting
+        // any protocol thread, so all addresses are known before any gossip
+        // flows. Phase two: sample every peer's contact list from the *other*
+        // peers' bound descriptors — the first-bound peer included, so nobody
+        // starts passively isolated — then start all the protocol threads.
+        let bound: Vec<BoundUdpPeer> = ids
+            .iter()
+            .enumerate()
+            .map(|(position, &id)| {
+                BoundUdpPeer::bind(id, config.params, config.seed ^ (position as u64 + 1))
+            })
+            .collect::<io::Result<_>>()?;
+        let descriptors: Vec<Descriptor<SocketAddr>> =
+            bound.iter().map(BoundUdpPeer::descriptor).collect();
+
+        let stats = Arc::new(NetStats::new());
+        let mut peers = Vec::with_capacity(config.size);
+        for (position, peer) in bound.into_iter().enumerate() {
+            let others: Vec<Descriptor<SocketAddr>> = descriptors
+                .iter()
+                .enumerate()
+                .filter(|&(index, _)| index != position)
+                .map(|(_, &descriptor)| descriptor)
+                .collect();
+            let contacts = rng.sample(&others, config.contacts_per_peer.min(others.len()));
+            peers.push(peer.start(contacts, Arc::clone(&stats))?);
         }
+
         Ok(Cluster {
-            peers,
+            handles: peers.iter().map(|peer| peer.handle().clone()).collect(),
             params: config.params,
+            mode: ClusterMode::ThreadPerPeer,
+            seed: config.seed,
+            stats,
+            started: Instant::now(),
+            runtime: Runtime::Threads(peers),
         })
     }
 
-    /// Number of peers in the cluster.
+    fn spawn_driver(config: ClusterConfig) -> io::Result<Self> {
+        let driver = NetDriver::bind(DriverConfig {
+            size: config.size,
+            params: config.params,
+            contacts_per_peer: config.contacts_per_peer,
+            seed: config.seed,
+        })?;
+        let handles = driver.handles();
+        let stats = driver.stats();
+        let running = Arc::new(AtomicBool::new(true));
+        let loop_flag = Arc::clone(&running);
+        let thread = std::thread::Builder::new()
+            .name("bss-driver".to_owned())
+            .spawn(move || driver.run(loop_flag))?;
+        Ok(Cluster {
+            handles,
+            params: config.params,
+            mode: ClusterMode::Driver,
+            seed: config.seed,
+            stats,
+            started: Instant::now(),
+            runtime: Runtime::Driver {
+                running,
+                thread: Some(thread),
+            },
+        })
+    }
+
+    /// Number of peers in the cluster (alive or killed).
     pub fn len(&self) -> usize {
-        self.peers.len()
+        self.handles.len()
     }
 
     /// Whether the cluster has no peers (never true for a spawned cluster).
     pub fn is_empty(&self) -> bool {
-        self.peers.is_empty()
+        self.handles.is_empty()
     }
 
-    /// The peers.
-    pub fn peers(&self) -> &[UdpPeer] {
-        &self.peers
+    /// The transport mode.
+    pub fn mode(&self) -> ClusterMode {
+        self.mode
     }
 
-    /// Measures the cluster against the convergence oracle right now.
+    /// The peers, as cheap cloneable handles (both modes).
+    pub fn peers(&self) -> &[PeerHandle] {
+        &self.handles
+    }
+
+    /// The shared traffic counters.
+    pub fn stats(&self) -> Arc<NetStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Measures the alive peers against the convergence oracle right now.
+    /// Killed peers are neither measured nor expected in anyone's tables.
     pub fn measure(&self) -> NetworkConvergence {
-        let oracle = ConvergenceOracle::new(self.peers.iter().map(UdpPeer::id), &self.params);
+        let alive: Vec<&PeerHandle> = self.handles.iter().filter(|h| h.is_alive()).collect();
+        let oracle = ConvergenceOracle::new(alive.iter().map(|h| h.id()), &self.params);
         let mut aggregate = NetworkConvergence::default();
-        for peer in &self.peers {
-            let snapshot = peer.state_snapshot();
-            aggregate.accumulate(oracle.measure_node(&snapshot));
+        for handle in alive {
+            aggregate.accumulate(oracle.measure_node(&handle.state_snapshot()));
         }
         aggregate
     }
 
-    /// Polls the cluster until every peer has perfect tables or `timeout` expires.
-    /// Returns whether convergence was reached.
+    /// The fraction of descriptors stored by alive peers (leaf sets and prefix
+    /// tables) that name killed peers — the wire-side recovery metric: with
+    /// descriptor aging on, it must fall back to 0 after a kill because dead
+    /// peers stop heartbeating and age out of every table.
+    pub fn dead_descriptor_fraction(&self) -> f64 {
+        let dead: HashSet<NodeId> = self
+            .handles
+            .iter()
+            .filter(|h| !h.is_alive())
+            .map(PeerHandle::id)
+            .collect();
+        if dead.is_empty() {
+            return 0.0;
+        }
+        let mut total = 0u64;
+        let mut stale = 0u64;
+        for handle in self.handles.iter().filter(|h| h.is_alive()) {
+            let snapshot = handle.state_snapshot();
+            for descriptor in snapshot.leaf_set().iter() {
+                total += 1;
+                if dead.contains(&descriptor.id()) {
+                    stale += 1;
+                }
+            }
+            for descriptor in snapshot.prefix_table().iter() {
+                total += 1;
+                if dead.contains(&descriptor.id()) {
+                    stale += 1;
+                }
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            stale as f64 / total as f64
+        }
+    }
+
+    /// Kills `fraction` of the alive peers (chosen by `seed`), leaving at
+    /// least one survivor. Killed peers stop sending and answering immediately
+    /// — in thread mode their loops exit, in driver mode the loop skips them —
+    /// but their descriptors keep circulating until aging evicts them.
+    /// Returns the killed identifiers.
+    pub fn kill(&self, fraction: f64, seed: u64) -> Vec<NodeId> {
+        let alive: Vec<&PeerHandle> = self.handles.iter().filter(|h| h.is_alive()).collect();
+        let count = ((alive.len() as f64 * fraction).round() as usize).min(alive.len() - 1);
+        let indices: Vec<usize> = (0..alive.len()).collect();
+        let mut rng = SimRng::seed_from(seed);
+        let chosen = rng.sample(&indices, count);
+        let mut killed = Vec::with_capacity(count);
+        for index in chosen {
+            alive[index].mark_dead();
+            killed.push(alive[index].id());
+        }
+        killed
+    }
+
+    /// Polls the cluster until every alive peer has perfect tables or
+    /// `timeout` expires. Returns whether convergence was reached.
     pub fn wait_for_convergence(&self, timeout: Duration) -> bool {
+        self.wait_until(timeout, |cluster| cluster.measure().is_perfect())
+    }
+
+    /// Polls until the cluster has both purged every dead descriptor and
+    /// re-converged among the survivors, or `timeout` expires.
+    pub fn wait_for_recovery(&self, timeout: Duration) -> bool {
+        self.wait_until(timeout, |cluster| {
+            cluster.dead_descriptor_fraction() == 0.0 && cluster.measure().is_perfect()
+        })
+    }
+
+    fn wait_until(&self, timeout: Duration, done: impl Fn(&Cluster) -> bool) -> bool {
         let deadline = Instant::now() + timeout;
         loop {
-            if self.measure().is_perfect() {
+            if done(self) {
                 return true;
             }
             if Instant::now() >= deadline {
@@ -145,11 +320,81 @@ impl Cluster {
         }
     }
 
-    /// Stops every peer.
-    pub fn shutdown(self) {
-        for peer in self.peers {
-            peer.shutdown();
+    /// Watches the cluster until it converges or `timeout` expires, sampling
+    /// the convergence series every `poll_every`, and renders the run as a
+    /// RunReport-shaped [`NetReport`]. Elapsed times are measured from cluster
+    /// start, so a monitor attached late still reports absolute progress.
+    pub fn monitor(&self, poll_every: Duration, timeout: Duration) -> NetReport {
+        let deadline = Instant::now() + timeout;
+        let mut leaf_series = Vec::new();
+        let mut prefix_series = Vec::new();
+        let mut dead_series = Vec::new();
+        let mut convergence_millis = None;
+        let (mut state, mut dead_fraction);
+        loop {
+            state = self.measure();
+            dead_fraction = self.dead_descriptor_fraction();
+            let elapsed = self.started.elapsed().as_millis() as u64;
+            leaf_series.push((elapsed, state.leaf_proportion()));
+            prefix_series.push((elapsed, state.prefix_proportion()));
+            dead_series.push((elapsed, dead_fraction));
+            if state.is_perfect() && convergence_millis.is_none() {
+                convergence_millis = Some(elapsed);
+            }
+            if convergence_millis.is_some() || Instant::now() >= deadline {
+                break;
+            }
+            std::thread::sleep(poll_every);
         }
+        NetReport {
+            mode: self.mode.label(),
+            nodes: self.handles.len(),
+            seed: self.seed,
+            converged: convergence_millis.is_some(),
+            convergence_millis,
+            elapsed_millis: self.started.elapsed().as_millis() as u64,
+            final_missing_leaf: state.leaf_proportion(),
+            final_missing_prefix: state.prefix_proportion(),
+            dead_descriptor_fraction: dead_fraction,
+            traffic: self.stats.snapshot(),
+            leaf_series,
+            prefix_series,
+            dead_series,
+        }
+    }
+
+    /// Stops every peer and joins all transport threads. Stop flags are raised
+    /// for the whole cluster *before* any join, so thread-mode teardown costs
+    /// one read-timeout across the cluster rather than one per peer, and the
+    /// driver loop (which checks its flag every sweep) exits within about a
+    /// millisecond.
+    pub fn shutdown(self) {
+        // Drop runs the teardown; the consuming signature is the public
+        // contract ("a shut-down cluster cannot be used again").
+    }
+
+    fn stop(&mut self) {
+        for handle in &self.handles {
+            handle.mark_dead();
+        }
+        match &mut self.runtime {
+            Runtime::Threads(peers) => {
+                // Every loop has already been flagged; the drops just join.
+                peers.clear();
+            }
+            Runtime::Driver { running, thread } => {
+                running.store(false, Ordering::Relaxed);
+                if let Some(thread) = thread.take() {
+                    let _ = thread.join();
+                }
+            }
+        }
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        self.stop();
     }
 }
 
@@ -157,30 +402,126 @@ impl Cluster {
 mod tests {
     use super::*;
 
+    fn spawn_or_skip(config: ClusterConfig) -> Option<Cluster> {
+        match Cluster::spawn(config) {
+            Ok(cluster) => Some(cluster),
+            // Environments without loopback UDP (heavily sandboxed CI) cannot
+            // run these tests; binding failure is the only acceptable excuse.
+            Err(error) => {
+                eprintln!("skipping UDP cluster test: {error}");
+                None
+            }
+        }
+    }
+
     #[test]
     fn a_small_cluster_bootstraps_over_real_sockets() {
-        let cluster = match Cluster::spawn(ClusterConfig {
+        let Some(cluster) = spawn_or_skip(ClusterConfig {
             size: 8,
             seed: 42,
             ..ClusterConfig::default()
-        }) {
-            Ok(cluster) => cluster,
-            // Environments without loopback UDP (heavily sandboxed CI) cannot run
-            // this test; binding failure is the only acceptable excuse.
-            Err(error) => {
-                eprintln!("skipping UDP cluster test: {error}");
-                return;
-            }
+        }) else {
+            return;
         };
         assert_eq!(cluster.len(), 8);
         assert!(!cluster.is_empty());
         assert_eq!(cluster.peers().len(), 8);
+        assert_eq!(cluster.mode(), ClusterMode::ThreadPerPeer);
         let converged = cluster.wait_for_convergence(Duration::from_secs(20));
         let state = cluster.measure();
         assert!(
             converged,
             "cluster did not converge over UDP: leaf missing {}, prefix missing {}",
             state.leaf_missing, state.prefix_missing
+        );
+        let traffic = cluster.stats().snapshot();
+        assert!(traffic.datagrams_sent > 0);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn a_driver_cluster_bootstraps_and_reports() {
+        let Some(cluster) = spawn_or_skip(ClusterConfig {
+            size: 16,
+            seed: 42,
+            mode: ClusterMode::Driver,
+            params: BootstrapParams {
+                cycle_millis: 20,
+                ..ClusterConfig::default().params
+            },
+            ..ClusterConfig::default()
+        }) else {
+            return;
+        };
+        assert_eq!(cluster.mode(), ClusterMode::Driver);
+        let report = cluster.monitor(Duration::from_millis(25), Duration::from_secs(30));
+        assert!(
+            report.converged,
+            "driver cluster did not converge: missing leaf {:.3}, missing prefix {:.3}",
+            report.final_missing_leaf, report.final_missing_prefix
+        );
+        assert_eq!(report.mode, "driver");
+        assert_eq!(report.nodes, 16);
+        assert!(report.convergence_millis.is_some());
+        assert!(!report.leaf_series.is_empty());
+        assert!(report.traffic.datagrams_sent > 0);
+        assert!(report.datagrams_per_second() > 0.0);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn repeated_spawn_and_teardown_is_prompt_in_both_modes() {
+        // The shutdown audit: stop flags are raised cluster-wide before any
+        // join, so teardown must not cost a read-timeout per peer, and the
+        // driver loop must exit promptly. Generous bound: well under a second
+        // per cycle even on a loaded CI runner, where leaking 10 ms per peer
+        // across 5 x 2 x 12 teardowns would blow through it.
+        for mode in [ClusterMode::ThreadPerPeer, ClusterMode::Driver] {
+            let started = Instant::now();
+            for round in 0..5 {
+                let Some(cluster) = spawn_or_skip(ClusterConfig {
+                    size: 12,
+                    seed: 100 + round,
+                    mode,
+                    ..ClusterConfig::default()
+                }) else {
+                    return;
+                };
+                cluster.shutdown();
+            }
+            assert!(
+                started.elapsed() < Duration::from_secs(5),
+                "{}-mode spawn/teardown x5 took {:?}",
+                mode.label(),
+                started.elapsed()
+            );
+        }
+    }
+
+    #[test]
+    fn killing_peers_shows_up_in_measures_and_dead_fraction() {
+        let Some(cluster) = spawn_or_skip(ClusterConfig {
+            size: 12,
+            seed: 11,
+            mode: ClusterMode::Driver,
+            params: BootstrapParams {
+                cycle_millis: 20,
+                ..ClusterConfig::default().params
+            },
+            ..ClusterConfig::default()
+        }) else {
+            return;
+        };
+        assert_eq!(cluster.dead_descriptor_fraction(), 0.0, "nobody dead yet");
+        assert!(cluster.wait_for_convergence(Duration::from_secs(30)));
+        let killed = cluster.kill(0.25, 5);
+        assert_eq!(killed.len(), 3);
+        let alive = cluster.peers().iter().filter(|h| h.is_alive()).count();
+        assert_eq!(alive, 9);
+        // Without aging the survivors keep the dead descriptors forever.
+        assert!(
+            cluster.dead_descriptor_fraction() > 0.0,
+            "converged tables must reference the freshly killed peers"
         );
         cluster.shutdown();
     }

@@ -7,33 +7,50 @@
 //! end to end outside the simulator:
 //!
 //! * [`codec`] — a compact binary wire format for descriptor lists (identifier,
-//!   IPv4 address, port, timestamp), built on [`bytes`].
+//!   IPv4 address, port, timestamp), built on [`bytes`], with optional keyed
+//!   identity stamps for the descriptor-verifier countermeasure.
 //! * [`node`] — a peer: one UDP socket, one background thread running the active
-//!   thread of Fig. 2 on a timer and the passive thread on receipt.
+//!   thread of Fig. 2 on a timer and the passive thread on receipt — plus the
+//!   shared *clocked* protocol glue (millisecond-derived cycle clock, descriptor
+//!   aging, heartbeat re-stamping, stamp verification) every transport mode runs
+//!   through.
+//! * [`driver`] — the batched single-loop datagram driver: hundreds-to-thousands
+//!   of in-process peers multiplexed over one poll loop and one thread.
 //! * [`cluster`] — spawns and supervises a set of peers on the loopback interface
-//!   and checks their convergence with the same
+//!   (thread-per-peer or driver mode), checks their convergence with the same
 //!   [`ConvergenceOracle`](bss_core::convergence::ConvergenceOracle) the simulator
-//!   uses.
+//!   uses, and renders runs as RunReport-shaped [`report::NetReport`]s.
+//! * [`report`] — shared traffic counters and the wire-side run report.
 //!
-//! The deployment makes one simplification relative to the full architecture: the
-//! peer sampling service is represented by a static random contact list given to
-//! every peer at start-up (the paper's working assumption is that sampling is
-//! "already functional" when the bootstrap starts). Everything above that — message
-//! content, leaf-set and prefix-table updates, peer selection — is byte-for-byte the
-//! same code the simulator exercises.
+//! The peer sampling service the paper assumes is "already functional" runs here
+//! as its own lightweight gossip layer: every peer keeps a bounded, NEWSCAST-style
+//! sample pool (seeded from its static start-up contacts) and piggybacks one
+//! sampling exchange — [`codec::MessageKind::SampleRequest`] /
+//! [`codec::MessageKind::SampleResponse`] — on every active firing, aimed at a
+//! uniformly random pool member. Sampling messages feed pools only and never the
+//! protocol tables, keeping the two layers separate exactly as in the paper's
+//! architecture; the `cr` random samples of Fig. 2 are drawn from the pool on both
+//! the active and the passive path. Everything above that — message content,
+//! leaf-set and prefix-table updates, peer selection, aging, verification — is the
+//! same clocked code path the simulator engines exercise, which is what the
+//! sim-vs-net parity tests in the workspace root assert.
 //!
 //! # Example
 //!
 //! ```rust,no_run
-//! use bss_net::cluster::{Cluster, ClusterConfig};
+//! use bss_net::cluster::{Cluster, ClusterConfig, ClusterMode};
 //!
 //! let cluster = Cluster::spawn(ClusterConfig {
-//!     size: 16,
+//!     size: 256,
+//!     mode: ClusterMode::Driver,
 //!     ..ClusterConfig::default()
 //! })
 //! .expect("sockets available");
-//! let converged = cluster.wait_for_convergence(std::time::Duration::from_secs(10));
-//! println!("converged: {converged}");
+//! let report = cluster.monitor(
+//!     std::time::Duration::from_millis(50),
+//!     std::time::Duration::from_secs(30),
+//! );
+//! println!("{}", report.to_json());
 //! cluster.shutdown();
 //! ```
 
@@ -43,7 +60,11 @@
 
 pub mod cluster;
 pub mod codec;
+pub mod driver;
 pub mod node;
+pub mod report;
 
-pub use cluster::{Cluster, ClusterConfig};
-pub use node::{UdpPeer, UdpPeerConfig};
+pub use cluster::{Cluster, ClusterConfig, ClusterMode};
+pub use driver::{DriverConfig, NetDriver};
+pub use node::{PeerHandle, UdpPeer, UdpPeerConfig};
+pub use report::{NetReport, NetStats, NetTraffic};

@@ -1,19 +1,38 @@
-//! A single UDP peer running the bootstrapping service.
+//! A single UDP peer running the bootstrapping service, plus the shared
+//! clocked protocol glue every transport mode runs through.
 //!
-//! Each peer owns one UDP socket bound to the loopback interface and one
-//! background thread. The thread implements both threads of Fig. 2: on a periodic
-//! timer it selects a peer, composes a message and sends a request (active
-//! thread); whenever a request arrives it answers with its own message and applies
-//! the received one (passive thread); responses are simply applied. The node-local
-//! state is the very same [`BootstrapNode`] the simulator uses, instantiated with
-//! `SocketAddr` as the address type.
+//! Each [`UdpPeer`] owns one UDP socket bound to the loopback interface and one
+//! background thread. The thread implements both threads of Fig. 2: on a
+//! periodic timer it selects a peer, composes a message and sends a request
+//! (active thread); whenever a request arrives it answers with its own message
+//! and applies the received one (passive thread); responses are simply applied.
+//! The node-local state is the very same [`BootstrapNode`] the simulator uses,
+//! instantiated with `SocketAddr` as the address type.
+//!
+//! The wire path is *clocked*: every peer derives a cycle number from its
+//! wall-clock uptime (`elapsed millis / Δ`) and drives the protocol through
+//! `create_message_at` / `receive_at`, so descriptor aging
+//! (`descriptor_max_age`), heartbeat re-stamping and the failure detector
+//! behave on real packets exactly as they do in the simulators. When a
+//! descriptor-verification key is configured, outgoing datagrams are sealed
+//! with per-descriptor identity stamps and incoming descriptors failing
+//! verification are rejected before any merge ([`crate::codec`]).
+//!
+//! [`compose_request`] and [`apply_message`] are the single implementation of
+//! that logic; the thread-per-peer loop here and the batched single-loop
+//! driver ([`crate::driver`]) both call them, which is what makes the two
+//! modes protocol-equivalent.
 
-use crate::codec::{decode, encode, MessageKind, WireMessage};
+use crate::codec::{decode, descriptor_stamp, encode, seal, MessageKind, WireMessage};
+use crate::report::NetStats;
+use bss_core::leafset::MergeScratch;
+use bss_core::message::MessageScratch;
 use bss_core::node::BootstrapNode;
 use bss_util::config::BootstrapParams;
 use bss_util::descriptor::Descriptor;
 use bss_util::id::NodeId;
 use bss_util::rng::SimRng;
+use bytes::Bytes;
 use parking_lot::Mutex;
 use std::io;
 use std::net::{Ipv4Addr, SocketAddr, SocketAddrV4, UdpSocket};
@@ -36,71 +55,360 @@ pub struct UdpPeerConfig {
     pub seed: u64,
 }
 
-/// A running UDP peer.
-#[derive(Debug)]
-pub struct UdpPeer {
-    address: SocketAddr,
-    id: NodeId,
-    state: Arc<Mutex<BootstrapNode<SocketAddr>>>,
-    running: Arc<AtomicBool>,
-    exchanges: Arc<AtomicU64>,
-    handle: Option<JoinHandle<()>>,
+/// The wire's cycle period: Δ, floored at 10 ms so a misconfigured Δ of 0
+/// cannot spin the active thread.
+pub(crate) fn effective_cycle_millis(params: &BootstrapParams) -> u64 {
+    params.cycle_millis.max(10)
 }
 
-impl UdpPeer {
-    /// Binds a socket on an ephemeral loopback port and starts the protocol
-    /// thread.
-    ///
-    /// # Errors
-    ///
-    /// Returns any I/O error raised while binding or configuring the socket.
-    pub fn spawn(config: UdpPeerConfig) -> io::Result<Self> {
-        let socket = UdpSocket::bind(SocketAddrV4::new(Ipv4Addr::LOCALHOST, 0))?;
-        socket.set_read_timeout(Some(Duration::from_millis(10)))?;
-        let address = socket.local_addr()?;
+/// The wire clock: the cycle number a peer started at `started` is in now.
+/// Per-peer clocks are independent; their skew (one period at most, plus
+/// scheduling noise) is far below any sensible `descriptor_max_age` bound,
+/// which is measured in whole cycles.
+pub(crate) fn wire_cycle(started: Instant, cycle_millis: u64) -> u64 {
+    started.elapsed().as_millis() as u64 / cycle_millis
+}
 
-        let own = Descriptor::new(config.id, address, 0);
-        let mut node = BootstrapNode::new(own, &config.params)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
-        node.initialize(config.contacts.iter().copied());
+/// Caller-owned working memory for the clocked wire path: message-composition
+/// and merge scratch plus the peer-selection candidate buffer, reusable across
+/// datagrams (and across *nodes* — the single-loop driver shares one).
+#[derive(Debug, Default)]
+pub(crate) struct ProtocolScratch {
+    message: MessageScratch<SocketAddr>,
+    merge: MergeScratch<SocketAddr>,
+    candidates: Vec<Descriptor<SocketAddr>>,
+    received: Vec<Descriptor<SocketAddr>>,
+    verdicts: Vec<bool>,
+}
 
-        let state = Arc::new(Mutex::new(node));
-        let running = Arc::new(AtomicBool::new(true));
-        let exchanges = Arc::new(AtomicU64::new(0));
+/// Capacity of a peer's [`SamplePool`]: comfortably above the cluster sizes
+/// the parity tests pin (there the pool converges to the whole population,
+/// matching the simulator's oracle sampler exactly) while keeping the
+/// per-datagram ingest scan cheap at larger deployments, where the pool
+/// behaves like a NEWSCAST-style partial view.
+const SAMPLE_POOL_CAPACITY: usize = 128;
 
-        let thread_state = Arc::clone(&state);
-        let thread_running = Arc::clone(&running);
-        let thread_exchanges = Arc::clone(&exchanges);
-        let contacts = config.contacts;
-        let params = config.params;
-        let seed = config.seed;
-        let handle = std::thread::Builder::new()
-            .name(format!("bss-peer-{}", config.id))
-            .spawn(move || {
-                peer_loop(
-                    socket,
-                    thread_state,
-                    thread_running,
-                    thread_exchanges,
-                    contacts,
-                    params,
-                    seed,
-                );
-            })?;
+/// The wire's peer-sampling stand-in: a bounded descriptor pool, seeded with
+/// the static start-up contacts and fed by the sampling-gossip layer's
+/// payloads plus every (verified) sender heartbeat. The `cr` random samples of
+/// Fig. 2 are drawn from it on both the active and the passive path, so sample
+/// content diffuses epidemically across the network — approximating the
+/// uniform sampling service the paper assumes is "already functional" when the
+/// bootstrap starts.
+///
+/// A *static* contact list is not enough: once the overlay is nearly
+/// converged, exchanges only flow along ring-local edges, and a structurally
+/// unlucky node whose neighbourhood never holds its last missing ring
+/// neighbour would wait forever for a descriptor no partner can supply. The
+/// pool restores the global reach that the simulator gets from its oracle
+/// sampler.
+#[derive(Debug, Clone)]
+pub(crate) struct SamplePool {
+    entries: Vec<Descriptor<SocketAddr>>,
+    capacity: usize,
+}
 
-        Ok(UdpPeer {
-            address,
-            id: config.id,
-            state,
-            running,
-            exchanges,
-            handle: Some(handle),
-        })
+impl SamplePool {
+    /// A pool seeded with the peer's static start-up contacts.
+    pub(crate) fn new(contacts: impl IntoIterator<Item = Descriptor<SocketAddr>>) -> Self {
+        let mut pool = SamplePool {
+            entries: Vec::new(),
+            capacity: SAMPLE_POOL_CAPACITY,
+        };
+        for contact in contacts {
+            if pool.entries.len() == pool.capacity {
+                break;
+            }
+            if pool.entries.iter().all(|entry| entry.id() != contact.id()) {
+                pool.entries.push(contact);
+            }
+        }
+        pool
     }
 
-    /// The peer's socket address.
-    pub fn address(&self) -> SocketAddr {
-        self.address
+    /// Folds descriptors into the pool, keeping the freshest copy per
+    /// identifier and evicting a *uniformly random* incumbent when full.
+    ///
+    /// Random eviction matters: sampling payloads carry descriptors stamped at
+    /// their owner's last heartbeat, so against a pool of fresher incumbents an
+    /// evict-the-oldest policy throws exactly those entries straight back out.
+    /// The pool then collapses to the most recently heard-from neighbourhood
+    /// and the `cr` draws stop being uniform — at a few hundred nodes that
+    /// starves last-mile convergence. A uniform victim keeps the pool a
+    /// reservoir over everything in circulation; *expiry* of dead peers is
+    /// [`SamplePool::prune`]'s job, not the eviction policy's.
+    pub(crate) fn ingest(
+        &mut self,
+        rng: &mut SimRng,
+        descriptors: impl IntoIterator<Item = Descriptor<SocketAddr>>,
+    ) {
+        for descriptor in descriptors {
+            match self
+                .entries
+                .iter_mut()
+                .find(|entry| entry.id() == descriptor.id())
+            {
+                Some(existing) => {
+                    if descriptor.timestamp() >= existing.timestamp() {
+                        *existing = descriptor;
+                    }
+                }
+                None => {
+                    if self.entries.len() == self.capacity {
+                        let victim = rng.index(self.entries.len());
+                        self.entries.swap_remove(victim);
+                    }
+                    self.entries.push(descriptor);
+                }
+            }
+        }
+    }
+
+    /// Drops entries older than the aging bound, mirroring table eviction:
+    /// dead peers stop heartbeating, so their pool entries expire too and the
+    /// sampling service stops resurrecting them.
+    pub(crate) fn prune(&mut self, now: u64, max_age: u64) {
+        self.entries
+            .retain(|entry| now.saturating_sub(entry.timestamp()) <= max_age);
+    }
+
+    /// Draws up to `count` distinct random samples from the pool.
+    pub(crate) fn draw(&self, rng: &mut SimRng, count: usize) -> Vec<Descriptor<SocketAddr>> {
+        rng.sample(&self.entries, count.min(self.entries.len()))
+    }
+
+    /// Picks a uniformly random pool member (other than the node itself) as
+    /// the target of one sampling-gossip exchange.
+    pub(crate) fn pick_target(&self, rng: &mut SimRng, own: NodeId) -> Option<SocketAddr> {
+        let eligible = self
+            .entries
+            .iter()
+            .filter(|entry| entry.id() != own)
+            .count();
+        if eligible == 0 {
+            return None;
+        }
+        let pick = rng.index(eligible);
+        self.entries
+            .iter()
+            .filter(|entry| entry.id() != own)
+            .nth(pick)
+            .map(|entry| entry.address())
+    }
+}
+
+/// One sampling-layer firing: gossip a draw from the own pool to a uniformly
+/// random pool member. This is what keeps the sampling service *connected*
+/// independently of the bootstrap overlay: once the leaf sets converge, the
+/// bootstrap exchange graph collapses to ring-local cliques (a node only ever
+/// initiates towards the closer half of its leaf set), and a descriptor the
+/// clique never held could otherwise not reach it — the sampling overlay, a
+/// random graph over pool membership, has no such cuts. Sampling messages
+/// feed pools only; the protocol tables are exclusively the bootstrap
+/// layer's.
+pub(crate) fn compose_sample_exchange(
+    node: &BootstrapNode<SocketAddr>,
+    rng: &mut SimRng,
+    pool: &mut SamplePool,
+    now: u64,
+) -> Option<(SocketAddr, Bytes)> {
+    let params = *node.params();
+    if let Some(max_age) = params.descriptor_max_age {
+        pool.prune(now, max_age);
+    }
+    let target = pool.pick_target(rng, node.own_descriptor().id())?;
+    let samples = pool.draw(rng, params.random_samples);
+    let mut message =
+        WireMessage::unstamped(MessageKind::SampleRequest, node.own_descriptor(), samples);
+    if let Some(key) = params.descriptor_verifier {
+        seal(&mut message, key);
+    }
+    Some((target, encode(&message)))
+}
+
+/// One active-thread firing (Fig. 2a): select a peer from the leaf set, compose
+/// the clocked message (re-stamping the own descriptor under aging) and encode
+/// the request datagram. Returns `None` when the leaf set is empty. Sealed
+/// with identity stamps when the parameters carry a verification key.
+pub(crate) fn compose_request(
+    node: &mut BootstrapNode<SocketAddr>,
+    rng: &mut SimRng,
+    pool: &mut SamplePool,
+    now: u64,
+    scratch: &mut ProtocolScratch,
+) -> Option<(SocketAddr, Bytes)> {
+    let params = *node.params();
+    if let Some(max_age) = params.descriptor_max_age {
+        pool.prune(now, max_age);
+    }
+    let peer = node.select_peer_with(rng, &mut scratch.candidates)?;
+    let samples = pool.draw(rng, params.random_samples);
+    let descriptors = node.create_message_at(peer.id(), &samples, true, now, &mut scratch.message);
+    let mut message =
+        WireMessage::unstamped(MessageKind::Request, node.own_descriptor(), descriptors);
+    if let Some(key) = params.descriptor_verifier {
+        seal(&mut message, key);
+    }
+    Some((peer.address(), encode(&message)))
+}
+
+/// Applies one received datagram to the node through the clocked (and, under a
+/// verification key, verified) receive path. For requests the passive thread's
+/// answer is composed *before* the request is applied (Fig. 2b) and returned
+/// for the caller to send; responses return `None`.
+///
+/// Descriptors that pass verification feed the peer's [`SamplePool`] first, so
+/// the passive thread's answer draws its `cr` samples from the same sampling
+/// service the active thread uses (Fig. 2 runs `CREATEMESSAGE` identically on
+/// both paths) — with the sample count bounded by what the pool actually
+/// holds, never a hard-coded constant.
+pub(crate) fn apply_message(
+    node: &mut BootstrapNode<SocketAddr>,
+    rng: &mut SimRng,
+    pool: &mut SamplePool,
+    message: WireMessage,
+    now: u64,
+    scratch: &mut ProtocolScratch,
+) -> Option<Bytes> {
+    let params = *node.params();
+    let own_id = node.own_descriptor().id();
+
+    // Stage the received descriptors (carried list plus the sender, held
+    // *last*) and, under a verification key, their per-descriptor verdicts:
+    // `stamps[0]` covers the sender, so the verdicts are aligned to `received`
+    // order. Unstamped or miscounted datagrams on a keyed deployment are
+    // rejected wholesale.
+    scratch.received.clear();
+    scratch.received.extend_from_slice(&message.descriptors);
+    scratch.received.push(message.sender);
+    let verified = params.descriptor_verifier.is_some();
+    scratch.verdicts.clear();
+    if let Some(key) = params.descriptor_verifier {
+        if message.stamps.len() == scratch.received.len() {
+            let count = scratch.received.len();
+            scratch
+                .verdicts
+                .extend(
+                    scratch
+                        .received
+                        .iter()
+                        .enumerate()
+                        .map(|(index, descriptor)| {
+                            message.stamps[(index + 1) % count] == descriptor_stamp(key, descriptor)
+                        }),
+                );
+        } else {
+            scratch.verdicts.resize(scratch.received.len(), false);
+        }
+    }
+
+    // The sampling service learns only from its own layer's payloads, plus
+    // every verified sender heartbeat. Bootstrap payloads are ring- and
+    // prefix-targeted table entries: letting their ~`2c` descriptors per
+    // datagram into a bounded pool drowns the uniform samples in ring-local
+    // neighbours, and at a few hundred nodes the `cr` draws stop being random
+    // and last-mile convergence stalls. Forged or unstamped descriptors must
+    // never be re-gossiped as samples either way.
+    let sampling_payload = matches!(
+        message.kind,
+        MessageKind::SampleRequest | MessageKind::SampleResponse
+    );
+    let sender_index = scratch.received.len() - 1;
+    let verdicts = &scratch.verdicts;
+    pool.ingest(
+        rng,
+        scratch
+            .received
+            .iter()
+            .enumerate()
+            .filter(|&(index, descriptor)| {
+                (sampling_payload || index == sender_index)
+                    && descriptor.id() != own_id
+                    && (!verified || verdicts[index])
+            })
+            .map(|(_, descriptor)| *descriptor),
+    );
+    if let Some(max_age) = params.descriptor_max_age {
+        pool.prune(now, max_age);
+    }
+
+    let answer = match message.kind {
+        MessageKind::Request => {
+            let samples = pool.draw(rng, params.random_samples);
+            let descriptors = node.create_message_at(
+                message.sender.id(),
+                &samples,
+                false,
+                now,
+                &mut scratch.message,
+            );
+            let mut answer =
+                WireMessage::unstamped(MessageKind::Response, node.own_descriptor(), descriptors);
+            if let Some(key) = params.descriptor_verifier {
+                seal(&mut answer, key);
+            }
+            Some(encode(&answer))
+        }
+        MessageKind::SampleRequest => {
+            let samples = pool.draw(rng, params.random_samples);
+            let mut answer =
+                WireMessage::unstamped(MessageKind::SampleResponse, node.own_descriptor(), samples);
+            if let Some(key) = params.descriptor_verifier {
+                seal(&mut answer, key);
+            }
+            Some(encode(&answer))
+        }
+        MessageKind::Response | MessageKind::SampleResponse => None,
+    };
+
+    // Merge bootstrap-layer messages into the protocol tables through
+    // `receive_at`, or `receive_verified_at` when a key is configured: a
+    // descriptor merges only with a matching identity stamp. Sampling-layer
+    // messages feed the pool alone — the two layers stay separate, exactly as
+    // in the paper's architecture.
+    if matches!(message.kind, MessageKind::Request | MessageKind::Response) {
+        let received = &scratch.received;
+        let verdicts = &scratch.verdicts;
+        if verified {
+            node.receive_verified_at(received, now, &mut scratch.merge, |descriptor| {
+                received
+                    .iter()
+                    .position(|candidate| candidate == descriptor)
+                    .is_some_and(|index| verdicts[index])
+            });
+        } else {
+            node.receive_at(received, now, &mut scratch.merge);
+        }
+    }
+    answer
+}
+
+/// A cheap, cloneable view of one running peer: its identity, address and
+/// shared protocol state. Both transport modes expose their peers through
+/// handles, so supervisors ([`crate::cluster::Cluster`]) and tests work
+/// identically against thread-per-peer and driver clusters.
+#[derive(Debug, Clone)]
+pub struct PeerHandle {
+    id: NodeId,
+    address: SocketAddr,
+    state: Arc<Mutex<BootstrapNode<SocketAddr>>>,
+    alive: Arc<AtomicBool>,
+    exchanges: Arc<AtomicU64>,
+}
+
+impl PeerHandle {
+    pub(crate) fn new(
+        id: NodeId,
+        address: SocketAddr,
+        state: Arc<Mutex<BootstrapNode<SocketAddr>>>,
+    ) -> Self {
+        PeerHandle {
+            id,
+            address,
+            state,
+            alive: Arc::new(AtomicBool::new(true)),
+            exchanges: Arc::new(AtomicU64::new(0)),
+        }
     }
 
     /// The peer's identifier.
@@ -108,9 +416,20 @@ impl UdpPeer {
         self.id
     }
 
-    /// The peer's descriptor (timestamp zero).
+    /// The peer's socket address.
+    pub fn address(&self) -> SocketAddr {
+        self.address
+    }
+
+    /// The peer's current descriptor — live, reflecting the latest heartbeat
+    /// re-stamp (not a stale timestamp-0 copy).
     pub fn descriptor(&self) -> Descriptor<SocketAddr> {
-        Descriptor::new(self.id, self.address, 0)
+        self.state.lock().own_descriptor()
+    }
+
+    /// Whether the peer is still running (not killed or shut down).
+    pub fn is_alive(&self) -> bool {
+        self.alive.load(Ordering::Relaxed)
     }
 
     /// Number of exchanges the peer has initiated so far.
@@ -123,47 +442,216 @@ impl UdpPeer {
         self.state.lock().clone()
     }
 
+    pub(crate) fn state(&self) -> &Arc<Mutex<BootstrapNode<SocketAddr>>> {
+        &self.state
+    }
+
+    pub(crate) fn record_exchange(&self) {
+        self.exchanges.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn mark_dead(&self) {
+        self.alive.store(false, Ordering::Relaxed);
+    }
+}
+
+/// A peer whose socket is bound but whose protocol thread has not started: the
+/// first phase of the two-phase start. Binding everything first lets a
+/// supervisor learn every address before any peer begins gossiping, so every
+/// contact list — including the first peer's — can name peers that actually
+/// exist.
+#[derive(Debug)]
+pub struct BoundUdpPeer {
+    socket: UdpSocket,
+    id: NodeId,
+    address: SocketAddr,
+    params: BootstrapParams,
+    seed: u64,
+}
+
+impl BoundUdpPeer {
+    /// Binds a socket on an ephemeral loopback port.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error raised while binding or configuring the socket.
+    pub fn bind(id: NodeId, params: BootstrapParams, seed: u64) -> io::Result<Self> {
+        let socket = UdpSocket::bind(SocketAddrV4::new(Ipv4Addr::LOCALHOST, 0))?;
+        socket.set_read_timeout(Some(Duration::from_millis(10)))?;
+        let address = socket.local_addr()?;
+        Ok(BoundUdpPeer {
+            socket,
+            id,
+            address,
+            params,
+            seed,
+        })
+    }
+
+    /// The bound socket address.
+    pub fn address(&self) -> SocketAddr {
+        self.address
+    }
+
+    /// The peer's identifier.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The peer's start-of-life descriptor (timestamp 0 — the wire clock
+    /// starts when the protocol thread does).
+    pub fn descriptor(&self) -> Descriptor<SocketAddr> {
+        Descriptor::new(self.id, self.address, 0)
+    }
+
+    /// Starts the protocol thread with the given contact list: the second
+    /// phase of the two-phase start. Traffic is counted against `stats`.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error raised while spawning the thread, or
+    /// `InvalidInput` when the parameters are invalid.
+    pub fn start(
+        self,
+        contacts: Vec<Descriptor<SocketAddr>>,
+        stats: Arc<NetStats>,
+    ) -> io::Result<UdpPeer> {
+        let own = self.descriptor();
+        let mut node = BootstrapNode::new(own, &self.params)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+        node.initialize(contacts.iter().copied());
+
+        let handle = PeerHandle::new(self.id, self.address, Arc::new(Mutex::new(node)));
+        let thread_handle = handle.clone();
+        let socket = self.socket;
+        let params = self.params;
+        let seed = self.seed;
+        let thread = std::thread::Builder::new()
+            .name(format!("bss-peer-{}", self.id))
+            .spawn(move || {
+                peer_loop(socket, thread_handle, contacts, params, seed, stats);
+            })?;
+
+        Ok(UdpPeer {
+            handle,
+            thread: Some(thread),
+        })
+    }
+}
+
+/// A running UDP peer (socket + protocol thread).
+#[derive(Debug)]
+pub struct UdpPeer {
+    handle: PeerHandle,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl UdpPeer {
+    /// Binds a socket on an ephemeral loopback port and starts the protocol
+    /// thread — [`BoundUdpPeer::bind`] and [`BoundUdpPeer::start`] in one
+    /// step, for peers that do not need the two-phase start.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error raised while binding or configuring the socket.
+    pub fn spawn(config: UdpPeerConfig) -> io::Result<Self> {
+        BoundUdpPeer::bind(config.id, config.params, config.seed)?
+            .start(config.contacts, Arc::new(NetStats::new()))
+    }
+
+    /// The peer's socket address.
+    pub fn address(&self) -> SocketAddr {
+        self.handle.address()
+    }
+
+    /// The peer's identifier.
+    pub fn id(&self) -> NodeId {
+        self.handle.id()
+    }
+
+    /// The peer's current descriptor (live — reflects heartbeat re-stamps).
+    pub fn descriptor(&self) -> Descriptor<SocketAddr> {
+        self.handle.descriptor()
+    }
+
+    /// Number of exchanges the peer has initiated so far.
+    pub fn exchanges_initiated(&self) -> u64 {
+        self.handle.exchanges_initiated()
+    }
+
+    /// A snapshot of the peer's current protocol state.
+    pub fn state_snapshot(&self) -> BootstrapNode<SocketAddr> {
+        self.handle.state_snapshot()
+    }
+
+    /// A cloneable view of this peer.
+    pub fn handle(&self) -> &PeerHandle {
+        &self.handle
+    }
+
     /// Asks the protocol thread to stop and waits for it to exit.
     pub fn shutdown(mut self) {
-        self.running.store(false, Ordering::Relaxed);
-        if let Some(handle) = self.handle.take() {
-            let _ = handle.join();
+        self.handle.mark_dead();
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
         }
     }
 }
 
 impl Drop for UdpPeer {
     fn drop(&mut self) {
-        self.running.store(false, Ordering::Relaxed);
-        if let Some(handle) = self.handle.take() {
-            let _ = handle.join();
+        self.handle.mark_dead();
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
         }
     }
 }
 
-#[allow(clippy::too_many_arguments)]
 fn peer_loop(
     socket: UdpSocket,
-    state: Arc<Mutex<BootstrapNode<SocketAddr>>>,
-    running: Arc<AtomicBool>,
-    exchanges: Arc<AtomicU64>,
+    handle: PeerHandle,
     contacts: Vec<Descriptor<SocketAddr>>,
     params: BootstrapParams,
     seed: u64,
+    stats: Arc<NetStats>,
 ) {
     let mut rng = SimRng::seed_from(seed);
-    let period = Duration::from_millis(params.cycle_millis.max(10));
-    // Desynchronise the peers' periodic timers, like the random start phase in §5.
-    let mut next_active = Instant::now() + period.mul_f64(rng.unit_f64());
-    let mut buffer = [0u8; 65_536];
+    let cycle_millis = effective_cycle_millis(&params);
+    let period = Duration::from_millis(cycle_millis);
     let started = Instant::now();
+    // Desynchronise the peers' periodic timers, like the random start phase in §5.
+    let mut next_active = started + period.mul_f64(rng.unit_f64());
+    let mut pool = SamplePool::new(contacts);
+    let mut scratch = ProtocolScratch::default();
+    let mut buffer = [0u8; 65_536];
 
-    while running.load(Ordering::Relaxed) {
+    while handle.is_alive() {
         // Passive thread: serve whatever arrives until the next active deadline.
         match socket.recv_from(&mut buffer) {
             Ok((length, from)) => {
-                if let Ok(message) = decode(&buffer[..length]) {
-                    handle_datagram(&socket, &state, &params, &mut rng, message, from, &started);
+                stats.record_received(length);
+                match decode(&buffer[..length]) {
+                    Ok(message) => {
+                        let now = wire_cycle(started, cycle_millis);
+                        let answer = {
+                            let mut node = handle.state().lock();
+                            apply_message(
+                                &mut node,
+                                &mut rng,
+                                &mut pool,
+                                message,
+                                now,
+                                &mut scratch,
+                            )
+                        };
+                        if let Some(payload) = answer {
+                            match socket.send_to(&payload, from) {
+                                Ok(sent) => stats.record_sent(sent),
+                                Err(_) => stats.record_send_failure(),
+                            }
+                        }
+                    }
+                    Err(_) => stats.record_decode_failure(),
                 }
             }
             Err(error)
@@ -172,61 +660,30 @@ fn peer_loop(
             Err(_) => {}
         }
 
-        // Active thread: every Δ, select a peer and send it a request.
+        // Active thread: every Δ, select a peer and send it a request — and
+        // let the sampling layer gossip one pool draw of its own.
         if Instant::now() >= next_active {
             next_active += period;
-            exchanges.fetch_add(1, Ordering::Relaxed);
-            let now = started.elapsed().as_millis() as u64;
-            let (target, payload) = {
-                let mut node = state.lock();
-                let Some(peer) = node.select_peer(&mut rng) else {
-                    continue;
-                };
-                let samples = rng.sample(&contacts, params.random_samples.min(contacts.len()));
-                let descriptors = node.create_message(peer.id(), &samples, true);
-                let message = WireMessage {
-                    kind: MessageKind::Request,
-                    sender: node.own_descriptor().refreshed(now),
-                    descriptors,
-                };
-                (peer.address(), encode(&message))
+            let now = wire_cycle(started, cycle_millis);
+            let (request, sampling) = {
+                let mut node = handle.state().lock();
+                let request = compose_request(&mut node, &mut rng, &mut pool, now, &mut scratch);
+                let sampling = compose_sample_exchange(&node, &mut rng, &mut pool, now);
+                (request, sampling)
             };
-            let _ = socket.send_to(&payload, target);
-        }
-    }
-}
-
-fn handle_datagram(
-    socket: &UdpSocket,
-    state: &Arc<Mutex<BootstrapNode<SocketAddr>>>,
-    params: &BootstrapParams,
-    rng: &mut SimRng,
-    message: WireMessage,
-    from: SocketAddr,
-    started: &Instant,
-) {
-    let now = started.elapsed().as_millis() as u64;
-    let mut node = state.lock();
-    match message.kind {
-        MessageKind::Request => {
-            // Compose the answer before applying the request (Fig. 2b), then apply.
-            let samples = rng.sample(&message.descriptors, params.random_samples.min(8));
-            let answer_descriptors = node.create_message(message.sender.id(), &samples, false);
-            let answer = WireMessage {
-                kind: MessageKind::Response,
-                sender: node.own_descriptor().refreshed(now),
-                descriptors: answer_descriptors,
-            };
-            let mut received = message.descriptors;
-            received.push(message.sender);
-            node.receive(&received);
-            drop(node);
-            let _ = socket.send_to(&encode(&answer), from);
-        }
-        MessageKind::Response => {
-            let mut received = message.descriptors;
-            received.push(message.sender);
-            node.receive(&received);
+            if let Some((target, payload)) = request {
+                handle.record_exchange();
+                match socket.send_to(&payload, target) {
+                    Ok(sent) => stats.record_sent(sent),
+                    Err(_) => stats.record_send_failure(),
+                }
+            }
+            if let Some((target, payload)) = sampling {
+                match socket.send_to(&payload, target) {
+                    Ok(sent) => stats.record_sent(sent),
+                    Err(_) => stats.record_send_failure(),
+                }
+            }
         }
     }
 }
@@ -244,37 +701,48 @@ mod tests {
         }
     }
 
-    #[test]
-    fn a_pair_of_peers_learns_about_each_other() {
+    fn spawn_pair(params: BootstrapParams) -> io::Result<(UdpPeer, UdpPeer)> {
         let first = UdpPeer::spawn(UdpPeerConfig {
             id: NodeId::new(0x1111_0000_0000_0000),
-            params: params(),
+            params,
             contacts: vec![],
             seed: 1,
-        })
-        .expect("bind first peer");
+        })?;
         let second = UdpPeer::spawn(UdpPeerConfig {
             id: NodeId::new(0x9999_0000_0000_0000),
-            params: params(),
+            params,
             contacts: vec![first.descriptor()],
             seed: 2,
-        })
-        .expect("bind second peer");
+        })?;
+        Ok((first, second))
+    }
 
-        // Within a few active periods the second peer must have contacted the
-        // first, and both must list each other in their leaf sets.
-        let deadline = Instant::now() + Duration::from_secs(5);
-        let mut linked = false;
+    fn wait_linked(first: &UdpPeer, second: &UdpPeer) -> bool {
+        let deadline = Instant::now() + Duration::from_secs(10);
         while Instant::now() < deadline {
             let first_knows = first.state_snapshot().leaf_set().contains(second.id());
             let second_knows = second.state_snapshot().leaf_set().contains(first.id());
             if first_knows && second_knows {
-                linked = true;
-                break;
+                return true;
             }
             std::thread::sleep(Duration::from_millis(20));
         }
-        assert!(linked, "peers never learned about each other");
+        false
+    }
+
+    #[test]
+    fn a_pair_of_peers_learns_about_each_other() {
+        let (first, second) = match spawn_pair(params()) {
+            Ok(pair) => pair,
+            Err(error) => {
+                eprintln!("skipping UDP peer test: {error}");
+                return;
+            }
+        };
+        assert!(
+            wait_linked(&first, &second),
+            "peers never learned about each other"
+        );
         assert!(second.exchanges_initiated() > 0);
         assert_ne!(first.address(), second.address());
         first.shutdown();
@@ -282,17 +750,174 @@ mod tests {
     }
 
     #[test]
+    fn aging_peers_heartbeat_their_own_descriptor_on_the_wire() {
+        let aged = BootstrapParams {
+            descriptor_max_age: Some(4),
+            ..params()
+        };
+        let (first, second) = match spawn_pair(aged) {
+            Ok(pair) => pair,
+            Err(error) => {
+                eprintln!("skipping UDP peer test: {error}");
+                return;
+            }
+        };
+        assert!(
+            wait_linked(&first, &second),
+            "aged peers never learned about each other"
+        );
+        // Several cycles in, the active thread must have re-stamped the own
+        // descriptor with the current wire cycle — the timestamp-0 descriptor
+        // of an aging peer would otherwise expire out of every table.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let mut restamped = false;
+        while Instant::now() < deadline {
+            if second.descriptor().timestamp() > 0 {
+                restamped = true;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        assert!(restamped, "heartbeat never re-stamped the own descriptor");
+        first.shutdown();
+        second.shutdown();
+    }
+
+    #[test]
+    fn keyed_peers_exchange_stamped_datagrams_and_still_link() {
+        let keyed = BootstrapParams {
+            descriptor_verifier: Some(0xfeed_beef),
+            ..params()
+        };
+        let (first, second) = match spawn_pair(keyed) {
+            Ok(pair) => pair,
+            Err(error) => {
+                eprintln!("skipping UDP peer test: {error}");
+                return;
+            }
+        };
+        assert!(
+            wait_linked(&first, &second),
+            "keyed peers never learned about each other"
+        );
+        first.shutdown();
+        second.shutdown();
+    }
+
+    #[test]
     fn peer_exposes_descriptor_and_id() {
-        let peer = UdpPeer::spawn(UdpPeerConfig {
+        let peer = match UdpPeer::spawn(UdpPeerConfig {
             id: NodeId::new(7),
             params: params(),
             contacts: vec![],
             seed: 3,
-        })
-        .expect("bind peer");
+        }) {
+            Ok(peer) => peer,
+            Err(error) => {
+                eprintln!("skipping UDP peer test: {error}");
+                return;
+            }
+        };
         assert_eq!(peer.descriptor().id(), NodeId::new(7));
         assert_eq!(peer.descriptor().address(), peer.address());
         assert_eq!(peer.id(), NodeId::new(7));
+        assert!(peer.handle().is_alive());
         peer.shutdown();
+    }
+
+    #[test]
+    fn keyed_merges_reject_unstamped_and_forged_descriptors() {
+        // Unit-level check of the verification glue, no sockets involved.
+        let key = 0xdead_cafe;
+        let keyed = BootstrapParams {
+            leaf_set_size: 4,
+            random_samples: 4,
+            descriptor_verifier: Some(key),
+            ..BootstrapParams::paper_default()
+        };
+        let addr = |port: u16| SocketAddr::V4(SocketAddrV4::new(Ipv4Addr::LOCALHOST, port));
+        let own = Descriptor::new(NodeId::new(1000), addr(1), 0);
+        let mut node = BootstrapNode::new(own, &keyed).unwrap();
+        let mut pool = SamplePool::new([]);
+        let mut scratch = ProtocolScratch::default();
+        let mut rng = SimRng::seed_from(1);
+
+        // An unstamped message on a keyed deployment merges nothing — and
+        // feeds nothing to the sampling pool.
+        let honest = Descriptor::new(NodeId::new(2000), addr(2), 0);
+        let unstamped = WireMessage::unstamped(MessageKind::Response, honest, vec![]);
+        apply_message(&mut node, &mut rng, &mut pool, unstamped, 0, &mut scratch);
+        assert!(
+            node.leaf_set().is_empty(),
+            "unstamped sender must not merge"
+        );
+        assert!(
+            pool.entries.is_empty(),
+            "unstamped sender must not be sampled"
+        );
+
+        // A properly sealed message merges; a forged descriptor inside it
+        // (stamp minted for a different identifier) is rejected alone.
+        let forged = Descriptor::new(NodeId::new(3000), addr(3), 0);
+        let mut message = WireMessage::unstamped(MessageKind::Response, honest, vec![forged]);
+        seal(&mut message, key);
+        // Corrupt the forged descriptor's stamp: bind it to another id.
+        message.stamps[1] = descriptor_stamp(key, &Descriptor::new(NodeId::new(4000), addr(3), 0));
+        apply_message(&mut node, &mut rng, &mut pool, message, 0, &mut scratch);
+        assert!(
+            node.leaf_set().contains(honest.id()),
+            "sealed sender merges"
+        );
+        assert!(
+            !node.leaf_set().contains(forged.id()),
+            "forged descriptor must be rejected"
+        );
+        assert!(
+            pool.entries.iter().any(|entry| entry.id() == honest.id()),
+            "verified sender feeds the sampling pool"
+        );
+        assert!(
+            pool.entries.iter().all(|entry| entry.id() != forged.id()),
+            "forged descriptor must not be re-gossiped as a sample"
+        );
+    }
+
+    #[test]
+    fn sample_pool_keeps_freshest_stays_bounded_and_prunes_expired() {
+        let addr = |port: u16| SocketAddr::V4(SocketAddrV4::new(Ipv4Addr::LOCALHOST, port));
+        let mut pool = SamplePool::new([Descriptor::new(NodeId::new(1), addr(1), 0)]);
+        pool.capacity = 3;
+        let mut rng = SimRng::seed_from(3);
+
+        // A fresher copy of a known identifier replaces the stale one in place.
+        pool.ingest(&mut rng, [Descriptor::new(NodeId::new(1), addr(1), 5)]);
+        assert_eq!(pool.entries.len(), 1);
+        assert_eq!(pool.entries[0].timestamp(), 5);
+
+        // Filling past capacity stays bounded and always admits the arrival —
+        // the victim is a uniformly random incumbent, *not* the oldest entry,
+        // so stale-but-alive descriptors keep circulating as samples.
+        pool.ingest(
+            &mut rng,
+            [
+                Descriptor::new(NodeId::new(2), addr(2), 2),
+                Descriptor::new(NodeId::new(3), addr(3), 8),
+                Descriptor::new(NodeId::new(4), addr(4), 7),
+            ],
+        );
+        assert_eq!(pool.entries.len(), 3);
+        assert!(
+            pool.entries
+                .iter()
+                .any(|entry| entry.id() == NodeId::new(4)),
+            "the newest arrival must always be admitted"
+        );
+
+        // Pruning drops everything beyond the aging bound.
+        pool.prune(10, 3);
+        assert!(pool.entries.iter().all(|entry| entry.timestamp() >= 7));
+
+        // Draws are bounded by what the pool holds.
+        assert_eq!(pool.draw(&mut rng, 10).len(), pool.entries.len());
     }
 }

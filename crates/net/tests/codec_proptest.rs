@@ -1,0 +1,95 @@
+//! Decode-robustness properties for the wire codec: `decode` must be total —
+//! any byte string either decodes or returns `Err`, never panics — and
+//! encode/decode must be a stable round trip, stamped or not.
+
+use bss_net::codec::{decode, encode, seal, MessageKind, WireMessage};
+use bss_util::descriptor::Descriptor;
+use bss_util::id::NodeId;
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::net::{Ipv4Addr, SocketAddr, SocketAddrV4};
+
+fn descriptor(raw: (u64, u32, u16, u64)) -> Descriptor<SocketAddr> {
+    let (id, ip, port, timestamp) = raw;
+    let address = SocketAddr::V4(SocketAddrV4::new(Ipv4Addr::from(ip), port));
+    Descriptor::new(NodeId::new(id), address, timestamp)
+}
+
+fn message(
+    request: bool,
+    sender: (u64, u32, u16, u64),
+    carried: Vec<(u64, u32, u16, u64)>,
+    key: Option<u64>,
+) -> WireMessage {
+    let kind = if request {
+        MessageKind::Request
+    } else {
+        MessageKind::Response
+    };
+    let mut message = WireMessage::unstamped(
+        kind,
+        descriptor(sender),
+        carried.into_iter().map(descriptor).collect(),
+    );
+    if let Some(key) = key {
+        seal(&mut message, key);
+    }
+    message
+}
+
+proptest! {
+    #[test]
+    fn round_trips_are_stable(
+        request in any::<bool>(),
+        sender in (any::<u64>(), any::<u32>(), any::<u16>(), any::<u64>()),
+        carried in vec((any::<u64>(), any::<u32>(), any::<u16>(), any::<u64>()), 0..40),
+        stamped in any::<bool>(),
+        key in any::<u64>(),
+    ) {
+        let original = message(request, sender, carried, stamped.then_some(key));
+        let encoded = encode(&original);
+        let decoded = decode(&encoded).expect("a fresh encoding must decode");
+        prop_assert_eq!(&decoded, &original);
+        // Stability: re-encoding the decoded message yields the same bytes.
+        prop_assert_eq!(encode(&decoded), encoded);
+    }
+
+    #[test]
+    fn truncations_of_valid_encodings_are_rejected_not_panics(
+        sender in (any::<u64>(), any::<u32>(), any::<u16>(), any::<u64>()),
+        carried in vec((any::<u64>(), any::<u32>(), any::<u16>(), any::<u64>()), 0..20),
+        stamped in any::<bool>(),
+        cut in any::<u64>(),
+    ) {
+        let original = message(true, sender, carried, stamped.then_some(1));
+        let encoded = encode(&original);
+        // Every strict prefix is malformed: the header advertises more bytes
+        // than remain.
+        let length = (cut % encoded.len() as u64) as usize;
+        prop_assert!(decode(&encoded[..length]).is_err());
+    }
+
+    #[test]
+    fn byte_mutations_never_panic_the_decoder(
+        sender in (any::<u64>(), any::<u32>(), any::<u16>(), any::<u64>()),
+        carried in vec((any::<u64>(), any::<u32>(), any::<u16>(), any::<u64>()), 0..20),
+        stamped in any::<bool>(),
+        position in any::<u64>(),
+        xor in 1u8..=255,
+    ) {
+        let original = message(false, sender, carried, stamped.then_some(2));
+        let mut bytes = encode(&original).to_vec();
+        let index = (position % bytes.len() as u64) as usize;
+        bytes[index] ^= xor;
+        // Mutations may still decode (a flipped payload byte yields a
+        // different but well-formed message); they must never panic.
+        let _ = decode(&bytes);
+    }
+
+    #[test]
+    fn arbitrary_byte_soup_never_panics_the_decoder(
+        bytes in vec(any::<u8>(), 0..200),
+    ) {
+        let _ = decode(&bytes);
+    }
+}

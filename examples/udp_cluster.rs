@@ -1,8 +1,13 @@
 //! Bootstrap a real cluster of UDP peers on localhost.
 //!
 //! The simulator results (Figures 3 and 4) use the cycle-driven engine; this
-//! example runs the very same node-local protocol over real sockets and threads,
-//! which is how a deployment would actually use the bootstrapping service.
+//! example runs the very same clocked protocol core over real sockets, which
+//! is how a deployment would actually use the bootstrapping service. Both
+//! transport modes are exercised: a thread-per-peer cluster (one socket and
+//! two protocol threads per node, the faithful deployment shape) and the
+//! single-loop driver (one thread polling hundreds of in-process nodes, the
+//! shape that scales to 512+ peers on one machine — see the `cluster_net`
+//! bench).
 //!
 //! Run with:
 //!
@@ -10,44 +15,51 @@
 //! cargo run --release --example udp_cluster
 //! ```
 
-use bootstrapping_service::net::cluster::{Cluster, ClusterConfig};
-use std::time::{Duration, Instant};
+use bootstrapping_service::net::cluster::{Cluster, ClusterConfig, ClusterMode};
+use std::time::Duration;
 
 fn main() {
-    let config = ClusterConfig {
-        size: 24,
-        seed: 7,
-        ..ClusterConfig::default()
-    };
-    println!("spawning {} UDP peers on localhost ...", config.size);
-    let cluster = match Cluster::spawn(config) {
-        Ok(cluster) => cluster,
-        Err(error) => {
-            eprintln!("cannot bind loopback UDP sockets in this environment: {error}");
-            return;
-        }
-    };
-
-    let started = Instant::now();
-    let converged = cluster.wait_for_convergence(Duration::from_secs(30));
-    let state = cluster.measure();
-    println!(
-        "after {:.1}s: converged = {converged} (missing leaf entries: {}, missing prefix entries: {})",
-        started.elapsed().as_secs_f64(),
-        state.leaf_missing,
-        state.prefix_missing
-    );
-
-    if let Some(peer) = cluster.peers().first() {
-        let snapshot = peer.state_snapshot();
+    for (mode, size) in [(ClusterMode::ThreadPerPeer, 24), (ClusterMode::Driver, 128)] {
+        let config = ClusterConfig {
+            size,
+            seed: 7,
+            mode,
+            ..ClusterConfig::default()
+        };
         println!(
-            "peer {} @ {}: leaf set {} entries, prefix table {} entries, {} exchanges initiated",
-            peer.id(),
-            peer.address(),
-            snapshot.leaf_set().len(),
-            snapshot.prefix_table().len(),
-            peer.exchanges_initiated()
+            "spawning {size} UDP peers on localhost ({} mode) ...",
+            mode.label()
         );
+        let cluster = match Cluster::spawn(config) {
+            Ok(cluster) => cluster,
+            Err(error) => {
+                eprintln!("cannot bind loopback UDP sockets in this environment: {error}");
+                return;
+            }
+        };
+
+        // `monitor` samples convergence until the oracle says every table is
+        // perfect (or the deadline passes) and returns the wire-side twin of
+        // the simulator's RunReport.
+        let report = cluster.monitor(Duration::from_millis(50), Duration::from_secs(60));
+        println!(
+            "  converged = {} after {} ms ({:.0} datagrams/s on the wire)",
+            report.converged,
+            report.convergence_millis.unwrap_or(report.elapsed_millis),
+            report.datagrams_per_second()
+        );
+
+        if let Some(peer) = cluster.peers().first() {
+            let snapshot = peer.state_snapshot();
+            println!(
+                "  peer {} @ {}: leaf set {} entries, prefix table {} entries, {} exchanges initiated",
+                peer.id(),
+                peer.address(),
+                snapshot.leaf_set().len(),
+                snapshot.prefix_table().len(),
+                peer.exchanges_initiated()
+            );
+        }
+        cluster.shutdown();
     }
-    cluster.shutdown();
 }

@@ -188,14 +188,14 @@ proptest! {
         use std::net::{Ipv4Addr, SocketAddr, SocketAddrV4};
 
         let addr = |port: u16| SocketAddr::V4(SocketAddrV4::new(Ipv4Addr::LOCALHOST, port));
-        let message = WireMessage {
-            kind: if kind_is_request { MessageKind::Request } else { MessageKind::Response },
-            sender: Descriptor::new(NodeId::new(sender_id), addr(sender_port), 1),
-            descriptors: entries
+        let message = WireMessage::unstamped(
+            if kind_is_request { MessageKind::Request } else { MessageKind::Response },
+            Descriptor::new(NodeId::new(sender_id), addr(sender_port), 1),
+            entries
                 .into_iter()
                 .map(|(id, port, ts)| Descriptor::new(NodeId::new(id), addr(port), ts))
                 .collect(),
-        };
+        );
         let decoded = decode(&encode(&message)).expect("round trip");
         prop_assert_eq!(decoded, message);
     }
