@@ -9,7 +9,7 @@
 use bss_bench::cli::{Args, CommonDefaults, COMMON_OPTIONS_HELP};
 use bss_core::experiment::{Experiment, ExperimentConfig, SamplerChoice};
 use bss_core::scenario::{
-    AdversaryBehavior, Engine, PartitionSpec, Phase, Scenario, ScenarioEvent,
+    AdversaryBehavior, Engine, KeyDist, PartitionSpec, Phase, Scenario, ScenarioEvent,
 };
 use bss_util::config::{BootstrapParams, NewscastParams};
 
@@ -130,6 +130,23 @@ fn smoke_timelines(network_size: usize) -> Vec<SmokeCell> {
         ),
         eclipse("eclipse_undefended", None, None),
         eclipse("eclipse_defended", Some(2), Some(0xde7e_c7ed)),
+        // Live lookup traffic served straight through a churn burst: the
+        // success series must dip while the tables are stale and recover once
+        // the failure detector ages the dead out (CI gates the final window).
+        SmokeCell::honest(
+            "traffic_churn",
+            Scenario::calm()
+                .with(ScenarioEvent::TrafficPhase {
+                    phase: Phase::new(0, 40),
+                    lookups_per_cycle: 200,
+                    key_dist: KeyDist::Uniform,
+                })
+                .with(ScenarioEvent::ChurnBurst {
+                    phase: Phase::new(10, 18),
+                    rate: 0.02,
+                }),
+            Some(8),
+        ),
     ]
 }
 

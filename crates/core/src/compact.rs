@@ -11,11 +11,16 @@
 //! written).
 //!
 //! The pack/unpack round-trip is lossless for every state the simulation can
-//! reach: descriptors are always built through the network registry (so the
-//! identifier is a pure function of the index) and timestamps are cycle
-//! numbers, far below `u32::MAX`. The hot path therefore rehydrates a node
-//! into a scratch [`BootstrapNode`], runs the unchanged fat algorithms, and
-//! packs the result back — byte-identical behaviour at a third of the memory.
+//! reach. Honest descriptors are always built through the network registry, so
+//! their identifier is a pure function of the index and costs nothing to
+//! store; timestamps are cycle numbers, far below `u32::MAX`. The one state a
+//! registry lookup cannot reproduce is a *forged* descriptor absorbed from a
+//! Byzantine peer, whose advertised identifier deliberately disagrees with the
+//! registry entry for its address — those survive the round-trip through a
+//! sparse per-table alias list that is empty on honest runs. The hot path
+//! therefore rehydrates a node into a scratch [`BootstrapNode`], runs the
+//! unchanged fat algorithms, and packs the result back — byte-identical
+//! behaviour at a third of the memory.
 
 use crate::node::BootstrapNode;
 use bss_sim::network::NodeIndex;
@@ -24,8 +29,10 @@ use bss_util::descriptor::{Descriptor, PackedDescriptor};
 use bss_util::id::NodeId;
 
 /// Packs a simulation descriptor down to its registry index and timestamp.
-/// The identifier is deliberately dropped: it is recoverable from the shared
-/// arena because every simulation descriptor is minted by the registry.
+/// The identifier is deliberately dropped: for every registry-minted
+/// descriptor it is recoverable from the shared arena. Advertised identifiers
+/// that disagree with the registry (forged descriptors) are preserved
+/// separately by [`CompactNode`]'s alias lists.
 #[inline]
 pub fn pack_descriptor(descriptor: &Descriptor<NodeIndex>) -> PackedDescriptor {
     PackedDescriptor::new(descriptor.address().raw(), descriptor.timestamp())
@@ -39,6 +46,50 @@ pub fn unpack_descriptor(packed: PackedDescriptor, ids: &[NodeId]) -> Descriptor
         NodeIndex::new(packed.address()),
         packed.timestamp(),
     )
+}
+
+/// An advertised identifier that disagrees with the registry entry for its
+/// address: the entry's position within its table plus the identifier the
+/// descriptor actually carried. Honest tables have none of these.
+type Alias = (u16, NodeId);
+
+/// Packs a run of fat entries, recording an alias for every descriptor whose
+/// advertised identifier is not the registry identifier of its address.
+fn pack_entries(
+    entries: &[Descriptor<NodeIndex>],
+    ids: &[NodeId],
+    packed: &mut Vec<PackedDescriptor>,
+    aliases: &mut Vec<Alias>,
+) {
+    packed.clear();
+    aliases.clear();
+    for (position, descriptor) in entries.iter().enumerate() {
+        packed.push(pack_descriptor(descriptor));
+        if ids[descriptor.address().as_usize()] != descriptor.id() {
+            aliases.push((position as u16, descriptor.id()));
+        }
+    }
+}
+
+/// Rehydrates a run of packed entries, substituting the advertised identifier
+/// wherever an alias was recorded. Aliases are stored in ascending position
+/// order, so a single cursor keeps the honest fast path alias-free.
+fn unpack_entries<'a>(
+    entries: &'a [PackedDescriptor],
+    aliases: &'a [Alias],
+    ids: &'a [NodeId],
+) -> impl Iterator<Item = Descriptor<NodeIndex>> + 'a {
+    let mut pending = aliases.iter().copied().peekable();
+    entries.iter().enumerate().map(move |(position, &p)| {
+        let descriptor = unpack_descriptor(p, ids);
+        match pending.peek() {
+            Some(&(alias_position, advertised)) if usize::from(alias_position) == position => {
+                pending.next();
+                Descriptor::new(advertised, descriptor.address(), descriptor.timestamp())
+            }
+            _ => descriptor,
+        }
+    })
 }
 
 /// One node's bootstrap state in packed form: the exact content of a
@@ -60,19 +111,28 @@ pub struct CompactNode {
     /// Per-slot start offsets into `prefix_store` (`rows * columns + 1` of
     /// them; a full table stays far below `u16::MAX` entries).
     prefix_offsets: Vec<u16>,
+    /// Leaf entries whose advertised identifier disagrees with the registry
+    /// (forged descriptors absorbed from an adversary), in ascending position
+    /// order. Empty on honest runs, so honest storage stays eight bytes per
+    /// entry and honest rehydration never consults it.
+    leaf_aliases: Vec<Alias>,
+    /// The prefix-table counterpart of `leaf_aliases`.
+    prefix_aliases: Vec<Alias>,
 }
 
 impl CompactNode {
-    /// Packs a fat node state.
-    pub fn pack(state: &BootstrapNode<NodeIndex>) -> CompactNode {
+    /// Packs a fat node state. `ids` is the shared index→identifier arena,
+    /// consulted to detect advertised identifiers the registry cannot
+    /// reproduce.
+    pub fn pack(state: &BootstrapNode<NodeIndex>, ids: &[NodeId]) -> CompactNode {
         let mut packed = CompactNode::default();
-        packed.repack_from(state);
+        packed.repack_from(state, ids);
         packed
     }
 
     /// Packs a fat node state into `self`, reusing the existing allocations
     /// (the repack half of the hot path's rehydrate → mutate → repack cycle).
-    pub fn repack_from(&mut self, state: &BootstrapNode<NodeIndex>) {
+    pub fn repack_from(&mut self, state: &BootstrapNode<NodeIndex>, ids: &[NodeId]) {
         let own = state.own_descriptor();
         debug_assert!(own.timestamp() <= u64::from(u32::MAX));
         self.own_timestamp = own.timestamp() as u32;
@@ -82,14 +142,16 @@ impl CompactNode {
         let (leaf_entries, split) = state.leaf_set().raw_parts();
         debug_assert!(split <= usize::from(u16::MAX));
         self.leaf_split = split as u16;
-        self.leaf.clear();
-        self.leaf.extend(leaf_entries.iter().map(pack_descriptor));
+        pack_entries(leaf_entries, ids, &mut self.leaf, &mut self.leaf_aliases);
 
         let (prefix_entries, offsets) = state.prefix_table().raw_parts();
         debug_assert!(prefix_entries.len() <= usize::from(u16::MAX));
-        self.prefix_store.clear();
-        self.prefix_store
-            .extend(prefix_entries.iter().map(pack_descriptor));
+        pack_entries(
+            prefix_entries,
+            ids,
+            &mut self.prefix_store,
+            &mut self.prefix_aliases,
+        );
         self.prefix_offsets.clear();
         self.prefix_offsets
             .extend(offsets.iter().map(|&offset| offset as u16));
@@ -110,12 +172,12 @@ impl CompactNode {
         scratch.restore_header(own, self.exchanges_initiated, self.descriptors_received);
         scratch.leaf_set_mut().restore_from(
             own_id,
-            self.leaf.iter().map(|&p| unpack_descriptor(p, ids)),
+            unpack_entries(&self.leaf, &self.leaf_aliases, ids),
             usize::from(self.leaf_split),
         );
         scratch.prefix_table_mut().restore_from(
             own_id,
-            self.prefix_store.iter().map(|&p| unpack_descriptor(p, ids)),
+            unpack_entries(&self.prefix_store, &self.prefix_aliases, ids),
             self.prefix_offsets.iter().map(|&offset| u32::from(offset)),
         );
     }
@@ -139,6 +201,18 @@ impl CompactNode {
     /// for walks that only need indices and timestamps, no rehydration.
     pub fn leaf_entries(&self) -> &[PackedDescriptor] {
         &self.leaf
+    }
+
+    /// The leaf-set entries as full descriptors, advertised identifiers
+    /// included — what `SELECTPEER` ranks over without rehydrating the whole
+    /// node. Identical to mapping [`unpack_descriptor`] over
+    /// [`CompactNode::leaf_entries`] on honest state; on adversarial state it
+    /// additionally reproduces forged identifiers.
+    pub fn leaf_descriptors<'a>(
+        &'a self,
+        ids: &'a [NodeId],
+    ) -> impl Iterator<Item = Descriptor<NodeIndex>> + 'a {
+        unpack_entries(&self.leaf, &self.leaf_aliases, ids)
     }
 
     /// The packed prefix-table entries in slot order.
@@ -189,7 +263,7 @@ mod tests {
             state.receive(&batch);
             let _ = state.create_message(ids[7], &batch, true);
 
-            let packed = CompactNode::pack(&state);
+            let packed = CompactNode::pack(&state, &ids);
             packed.unpack_into(node, &ids, &mut scratch);
             assert_eq!(scratch.own_descriptor(), state.own_descriptor());
             assert_eq!(scratch.exchanges_initiated(), state.exchanges_initiated());
@@ -257,7 +331,7 @@ mod tests {
                         .collect();
                     state.receive(&descriptors);
 
-                    let packed = CompactNode::pack(&state);
+                    let packed = CompactNode::pack(&state, &ids);
                     packed.unpack_into(node, &ids, &mut scratch);
                     prop_assert_eq!(scratch.own_descriptor(), state.own_descriptor());
                     prop_assert_eq!(
@@ -293,6 +367,55 @@ mod tests {
         }
     }
 
+    /// Forged descriptors — advertised identifiers the registry cannot
+    /// reproduce from the address — must survive the round-trip bit-for-bit:
+    /// the live lookup router's authenticity check (advertised id versus the
+    /// id the contacted node actually holds) is only meaningful if packing
+    /// does not quietly launder forgeries back into genuine identifiers.
+    #[test]
+    fn pack_unpack_preserves_forged_identifiers() {
+        let mut rng = SimRng::seed_from(13);
+        let network = Network::with_random_ids(32, &mut rng);
+        let mut ids: Vec<NodeId> = Vec::new();
+        network.sync_id_arena(&mut ids);
+        let params = params();
+        let node = NodeIndex::new(2);
+        let mut state = BootstrapNode::new(network.descriptor(node, 0), &params).unwrap();
+
+        // A mix of honest descriptors and forgeries pointing at node 9's
+        // address under identifiers minted to crowd the victim's vicinity.
+        let victim = ids[2];
+        let mut batch: Vec<Descriptor<NodeIndex>> = (0..8u32)
+            .filter(|&raw| raw != 2)
+            .map(|raw| network.descriptor(NodeIndex::new(raw), 1))
+            .collect();
+        for offset in 1..=4u64 {
+            batch.push(Descriptor::new(
+                NodeId::new(victim.raw().wrapping_add(offset)),
+                NodeIndex::new(9),
+                2,
+            ));
+        }
+        state.receive(&batch);
+        let forged_kept = state
+            .leaf_set()
+            .iter()
+            .filter(|d| ids[d.address().as_usize()] != d.id())
+            .count();
+        assert!(forged_kept > 0, "the merge must have absorbed a forgery");
+
+        let packed = CompactNode::pack(&state, &ids);
+        let mut scratch = scratch_node(&params);
+        packed.unpack_into(node, &ids, &mut scratch);
+        assert_eq!(scratch.leaf_set().to_vec(), state.leaf_set().to_vec());
+        assert_eq!(
+            scratch.prefix_table().to_vec(),
+            state.prefix_table().to_vec()
+        );
+        let rehydrated: Vec<_> = packed.leaf_descriptors(&ids).collect();
+        assert_eq!(rehydrated, state.leaf_set().raw_parts().0.to_vec());
+    }
+
     #[test]
     fn unpack_allocating_matches_unpack_into() {
         let mut rng = SimRng::seed_from(12);
@@ -308,7 +431,7 @@ mod tests {
             .collect();
         state.receive(&contacts);
 
-        let packed = CompactNode::pack(&state);
+        let packed = CompactNode::pack(&state, &ids);
         let fresh = packed.unpack(node, &ids, &params);
         let mut reused = scratch_node(&params);
         packed.unpack_into(node, &ids, &mut reused);

@@ -18,7 +18,9 @@
 
 use crate::convergence::{ConvergenceOracle, ConvergenceTracker, NetworkConvergence};
 use crate::protocol::{BootstrapMessage, BootstrapProtocol, TrafficStats};
+use crate::routing::RouterKind;
 use crate::scenario::{Engine, LatencyModel, NullObserver, Observer, Scenario};
+use crate::traffic::{LookupTraffic, LookupTrafficReport};
 use bss_sampling::newscast::NewscastProtocol;
 use bss_sampling::sampler::{OracleSampler, PeerSampler};
 use bss_sim::engine::cycle::{CycleEngine, EngineContext, PhaseProfile};
@@ -66,6 +68,9 @@ pub struct ExperimentConfig {
     pub sampler: SamplerChoice,
     /// The timeline of adverse conditions applied during the run.
     pub scenario: Scenario,
+    /// Which routing substrate resolves the lookups of the scenario's traffic
+    /// phases (ignored — and free — when the scenario schedules none).
+    pub traffic_router: RouterKind,
     /// Which engine executes the run.
     pub engine: Engine,
     /// Hard cycle budget.
@@ -97,6 +102,7 @@ impl ExperimentConfig {
                 params: BootstrapParams::paper_default(),
                 sampler: SamplerChoice::Oracle,
                 scenario: Scenario::calm(),
+                traffic_router: RouterKind::Pastry,
                 engine: Engine::Cycle,
                 max_cycles: 100,
                 stop_when_perfect: true,
@@ -250,6 +256,13 @@ impl ExperimentConfigBuilder {
         self
     }
 
+    /// Selects the routing substrate the scenario's traffic phases resolve
+    /// their lookups with (Pastry-style greedy prefix descent by default).
+    pub fn traffic_router(&mut self, router: RouterKind) -> &mut Self {
+        self.config.traffic_router = router;
+        self
+    }
+
     /// Selects the engine executing the run.
     pub fn engine(&mut self, engine: Engine) -> &mut Self {
         self.config.engine = engine;
@@ -337,6 +350,7 @@ pub struct RunReport {
     cycles_executed: u64,
     final_state: NetworkConvergence,
     traffic: TrafficStats,
+    lookups: Option<LookupTrafficReport>,
     events_fired: Vec<(u64, String)>,
     phase_profile: Option<PhaseProfile>,
 }
@@ -477,6 +491,13 @@ impl RunReport {
         &self.traffic
     }
 
+    /// The lookup-traffic summary (totals plus the per-measured-cycle success,
+    /// hop and latency series). `None` — and cost-free — unless the scenario
+    /// scheduled a [`TrafficPhase`](crate::scenario::ScenarioEvent).
+    pub fn lookups(&self) -> Option<&LookupTrafficReport> {
+        self.lookups.as_ref()
+    }
+
     /// The scenario events that took effect, as `(cycle, description)` pairs.
     pub fn events_fired(&self) -> &[(u64, String)] {
         &self.events_fired
@@ -551,6 +572,20 @@ impl RunReport {
             self.traffic.mean_message_size(),
             self.traffic.max_message_size(),
         );
+        if let Some(lookups) = self.lookups.as_ref() {
+            let _ = writeln!(
+                out,
+                "  \"lookup_traffic\": {{\"router\": \"{}\", \"issued\": {}, \
+                 \"delivered\": {}, \"success_rate\": {:.6}, \"mean_hops\": {:.6}, \
+                 \"max_hops\": {}}},",
+                lookups.router(),
+                lookups.issued(),
+                lookups.delivered(),
+                lookups.success_rate(),
+                lookups.mean_hops(),
+                lookups.max_hops(),
+            );
+        }
         match self.phase_profile.as_ref() {
             Some(profile) => {
                 let _ = writeln!(
@@ -577,7 +612,7 @@ impl RunReport {
             let _ = write!(out, "{{\"cycle\": {cycle}, \"event\": \"{description}\"}}");
         }
         out.push_str("],\n");
-        let series_list = [
+        let mut series_list = vec![
             ("leaf_series", &self.leaf_series),
             ("prefix_series", &self.prefix_series),
             ("dead_series", &self.dead_series),
@@ -588,6 +623,16 @@ impl RunReport {
             ("in_degree_gini_series", &self.in_degree_gini_series),
             ("dead_pointer_series", &self.dead_pointer_series),
         ];
+        if let Some(lookups) = self.lookups.as_ref() {
+            series_list.extend([
+                ("lookup_success_series", lookups.success_series()),
+                ("lookup_hop_mean_series", lookups.hop_mean_series()),
+                ("lookup_hop_max_series", lookups.hop_max_series()),
+                ("lookup_latency_p50_series", lookups.latency_p50_series()),
+                ("lookup_latency_p95_series", lookups.latency_p95_series()),
+                ("lookup_latency_p99_series", lookups.latency_p99_series()),
+            ]);
+        }
         let last = series_list.len() - 1;
         for (index, (name, series)) in series_list.into_iter().enumerate() {
             let _ = write!(out, "  \"{name}\": [");
@@ -720,6 +765,9 @@ struct MeasurementDriver<'a> {
     time_to_eclipse: Option<u64>,
     final_state: NetworkConvergence,
     events_fired: Vec<(u64, String)>,
+    /// The live lookup-traffic driver; built only when the scenario schedules
+    /// a traffic phase, so every other run pays nothing.
+    lookup_traffic: Option<LookupTraffic>,
 }
 
 /// The eclipse is complete when every leaf-set slot of the target points at an
@@ -764,6 +812,7 @@ impl<'a> MeasurementDriver<'a> {
             time_to_eclipse: None,
             final_state: NetworkConvergence::default(),
             events_fired: Vec::new(),
+            lookup_traffic: LookupTraffic::for_config(config),
         }
     }
 
@@ -781,9 +830,19 @@ impl<'a> MeasurementDriver<'a> {
             observer.on_scenario_event(cycle, event);
             self.events_fired.push((cycle, event.to_string()));
         }
+        // The lookup workload runs every cycle a traffic phase is active —
+        // cadence only coarsens the *series*, not the traffic itself. It rides
+        // in the sequential observer phase of every engine, so the parallel
+        // cycle engine stays bit-for-bit deterministic.
+        if let Some(traffic) = self.lookup_traffic.as_mut() {
+            traffic.drive_cycle(protocol, ctx, cycle);
+        }
         // Off-cadence cycles skip the (global) convergence pass entirely.
         if cycle % self.config.measure_every != 0 {
             return ControlFlow::Continue(());
+        }
+        if let Some(traffic) = self.lookup_traffic.as_mut() {
+            traffic.flush_window(cycle);
         }
         let measured = match &self.static_oracle {
             Some(oracle) => protocol.measure_incremental(oracle, &mut self.tracker, ctx),
@@ -898,6 +957,7 @@ impl<'a> MeasurementDriver<'a> {
             cycles_executed,
             final_state: self.final_state,
             traffic,
+            lookups: self.lookup_traffic.map(LookupTraffic::into_report),
             events_fired: self.events_fired,
             phase_profile,
         }

@@ -74,7 +74,9 @@ pub mod message;
 pub mod node;
 pub mod prefix_table;
 pub mod protocol;
+pub mod routing;
 pub mod scenario;
+pub mod traffic;
 
 pub use compact::CompactNode;
 pub use convergence::ConvergenceOracle;
@@ -84,6 +86,8 @@ pub use message::create_message;
 pub use node::BootstrapNode;
 pub use prefix_table::PrefixTable;
 pub use protocol::{BootstrapMessage, BootstrapProtocol};
+pub use routing::{Contact, RouterKind};
 pub use scenario::{
-    Engine, LatencyModel, NullObserver, Observer, PartitionSpec, Phase, Scenario, ScenarioEvent,
+    Engine, KeyDist, LatencyModel, NullObserver, Observer, PartitionSpec, Phase, Scenario,
+    ScenarioEvent,
 };

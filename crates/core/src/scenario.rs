@@ -125,6 +125,52 @@ impl PartitionSpec {
     }
 }
 
+/// How a traffic phase picks the keys it looks up.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KeyDist {
+    /// Every alive node's identifier is equally likely.
+    Uniform,
+    /// Zipf-distributed popularity over the alive population: the node at
+    /// alive-list position `r` is looked up with probability proportional to
+    /// `1 / (r + 1)^exponent`. Position 0 is the hottest key — deliberately
+    /// the same node the id-spray adversary targets by default, so skewed
+    /// traffic and the eclipse attack compose into one experiment.
+    Zipf {
+        /// The skew exponent (must be positive and finite; ~1.0 is web-like).
+        exponent: f64,
+    },
+}
+
+impl KeyDist {
+    fn validate(&self) -> Result<(), InvalidParams> {
+        if let KeyDist::Zipf { exponent } = *self {
+            if !exponent.is_finite() || exponent <= 0.0 {
+                return Err(InvalidParams::from_message(format!(
+                    "zipf exponent must be positive and finite, got {exponent}"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// A short machine-readable name (used in report JSON and TSV columns).
+    pub fn label(&self) -> &'static str {
+        match self {
+            KeyDist::Uniform => "uniform",
+            KeyDist::Zipf { .. } => "zipf",
+        }
+    }
+}
+
+impl fmt::Display for KeyDist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KeyDist::Uniform => write!(f, "uniform"),
+            KeyDist::Zipf { exponent } => write!(f, "zipf({exponent})"),
+        }
+    }
+}
+
 /// One entry of a scenario timeline.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ScenarioEvent {
@@ -200,6 +246,22 @@ pub enum ScenarioEvent {
         /// What the converted nodes do while the window is active.
         behavior: AdversaryBehavior,
     },
+    /// Sustained lookup traffic during a window: every cycle inside the
+    /// window, `lookups_per_cycle` key lookups are routed iteratively against
+    /// the nodes' *current* tables (open-loop arrival; the router is selected
+    /// by [`ExperimentConfig::traffic_router`](crate::experiment::ExperimentConfig)).
+    /// The phase is condition-neutral — it kills nobody and corrupts nothing —
+    /// but it composes with every other event on the timeline: lookups routed
+    /// through a churn burst or an id-spray window measure what users
+    /// experience *while* the overlay degrades and recovers.
+    TrafficPhase {
+        /// When lookups are issued.
+        phase: Phase,
+        /// Lookups issued per cycle (must be positive).
+        lookups_per_cycle: u32,
+        /// How lookup keys are drawn from the alive population.
+        key_dist: KeyDist,
+    },
 }
 
 impl ScenarioEvent {
@@ -209,7 +271,8 @@ impl ScenarioEvent {
             ScenarioEvent::LossWindow { phase, .. }
             | ScenarioEvent::ChurnBurst { phase, .. }
             | ScenarioEvent::Partition { phase, .. }
-            | ScenarioEvent::ByzantineConvert { phase, .. } => phase.start,
+            | ScenarioEvent::ByzantineConvert { phase, .. }
+            | ScenarioEvent::TrafficPhase { phase, .. } => phase.start,
             ScenarioEvent::CatastrophicFailure { at_cycle, .. }
             | ScenarioEvent::MassiveJoin { at_cycle, .. }
             | ScenarioEvent::ReBootstrap { at_cycle, .. } => *at_cycle,
@@ -224,7 +287,8 @@ impl ScenarioEvent {
             ScenarioEvent::LossWindow { phase, .. }
             | ScenarioEvent::ChurnBurst { phase, .. }
             | ScenarioEvent::Partition { phase, .. }
-            | ScenarioEvent::ByzantineConvert { phase, .. } => {
+            | ScenarioEvent::ByzantineConvert { phase, .. }
+            | ScenarioEvent::TrafficPhase { phase, .. } => {
                 if phase.end == u64::MAX {
                     phase.start
                 } else {
@@ -321,6 +385,19 @@ impl ScenarioEvent {
                 phase.validate("byzantine")?;
                 in_unit("byzantine fraction", *fraction)
             }
+            ScenarioEvent::TrafficPhase {
+                phase,
+                lookups_per_cycle,
+                key_dist,
+            } => {
+                phase.validate("traffic")?;
+                if *lookups_per_cycle == 0 {
+                    return Err(InvalidParams::from_message(
+                        "traffic lookups_per_cycle must be positive",
+                    ));
+                }
+                key_dist.validate()
+            }
         }
     }
 }
@@ -364,6 +441,16 @@ impl fmt::Display for ScenarioEvent {
                     "byzantine conversion of {:.0}% playing {} during {phase}",
                     fraction * 100.0,
                     behavior.label()
+                )
+            }
+            ScenarioEvent::TrafficPhase {
+                phase,
+                lookups_per_cycle,
+                key_dist,
+            } => {
+                write!(
+                    f,
+                    "{lookups_per_cycle} {key_dist} lookups/cycle during {phase}"
                 )
             }
         }
@@ -495,6 +582,29 @@ impl Scenario {
             .any(|event| matches!(event, ScenarioEvent::ByzantineConvert { .. }))
     }
 
+    /// Whether the timeline issues lookup traffic. When false the runner
+    /// builds no traffic driver and the report carries no traffic series —
+    /// non-traffic runs pay nothing (the analogue of the dead-descriptor and
+    /// attack-metric early-outs).
+    pub fn has_traffic(&self) -> bool {
+        self.events
+            .iter()
+            .any(|event| matches!(event, ScenarioEvent::TrafficPhase { .. }))
+    }
+
+    /// The traffic phases on the timeline, as `(phase, lookups_per_cycle,
+    /// key_dist)` triples in timeline order.
+    pub fn traffic_phases(&self) -> impl Iterator<Item = (Phase, u32, KeyDist)> + '_ {
+        self.events.iter().filter_map(|event| match event {
+            ScenarioEvent::TrafficPhase {
+                phase,
+                lookups_per_cycle,
+                key_dist,
+            } => Some((*phase, *lookups_per_cycle, *key_dist)),
+            _ => None,
+        })
+    }
+
     /// The Byzantine conversion on the timeline compiled to an
     /// [`AdversaryModel`] (its converted set still empty — the churn layer
     /// fills it when the conversion fires), or `None` on honest timelines.
@@ -577,6 +687,11 @@ impl Scenario {
         self.check_exclusive("partition", |event| {
             matches!(event, ScenarioEvent::Partition { .. })
         })?;
+        // Overlapping traffic phases would make the active arrival rate
+        // ambiguous, exactly like overlapping loss windows.
+        self.check_exclusive("traffic", |event| {
+            matches!(event, ScenarioEvent::TrafficPhase { .. })
+        })?;
         // A run has one adversary model: two conversions with different
         // behaviours would need per-node behaviour tracking the engines do not
         // (yet) implement, so reject the ambiguity outright.
@@ -606,7 +721,8 @@ impl Scenario {
             .map(|event| match event {
                 ScenarioEvent::LossWindow { phase, .. }
                 | ScenarioEvent::ChurnBurst { phase, .. }
-                | ScenarioEvent::Partition { phase, .. } => *phase,
+                | ScenarioEvent::Partition { phase, .. }
+                | ScenarioEvent::TrafficPhase { phase, .. } => *phase,
                 _ => unreachable!("one-shot events are never exclusive-window kinds"),
             })
             .collect();
@@ -1112,6 +1228,63 @@ mod tests {
                 phase: Phase::from(50),
                 fraction: 0.1,
                 behavior: AdversaryBehavior::HubAttack,
+            })
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn traffic_phases_are_condition_neutral_but_gate_the_stop() {
+        let scenario = Scenario::calm().with(ScenarioEvent::TrafficPhase {
+            phase: Phase::new(20, 40),
+            lookups_per_cycle: 100,
+            key_dist: KeyDist::Uniform,
+        });
+        assert!(scenario.validate().is_ok());
+        assert!(scenario.has_traffic());
+        assert!(!scenario.perturbs_membership());
+        assert!(!scenario.perturbs_tables());
+        assert!(!scenario.can_kill_nodes());
+        assert!(!scenario.has_adversary());
+        assert!(
+            scenario.build_churn().is_none(),
+            "traffic alone needs no churn model"
+        );
+        // A finite traffic window keeps a converged run alive until it closes.
+        assert!(scenario.changes_after(19));
+        assert!(scenario.changes_after(39));
+        assert!(!scenario.changes_after(40));
+        let phases: Vec<_> = scenario.traffic_phases().collect();
+        assert_eq!(phases, vec![(Phase::new(20, 40), 100, KeyDist::Uniform)]);
+        // Display names the workload for RunReport event logs.
+        let text = scenario.events()[0].to_string();
+        assert!(text.contains("100 uniform lookups/cycle"), "{text}");
+        assert_eq!(KeyDist::Zipf { exponent: 1.2 }.to_string(), "zipf(1.2)");
+        assert_eq!(KeyDist::Zipf { exponent: 1.2 }.label(), "zipf");
+        // Validation: zero arrivals, bad zipf exponents and overlapping
+        // windows are rejected.
+        assert!(Scenario::calm()
+            .with(ScenarioEvent::TrafficPhase {
+                phase: Phase::new(0, 5),
+                lookups_per_cycle: 0,
+                key_dist: KeyDist::Uniform,
+            })
+            .validate()
+            .is_err());
+        assert!(Scenario::calm()
+            .with(ScenarioEvent::TrafficPhase {
+                phase: Phase::new(0, 5),
+                lookups_per_cycle: 1,
+                key_dist: KeyDist::Zipf { exponent: 0.0 },
+            })
+            .validate()
+            .is_err());
+        assert!(scenario
+            .clone()
+            .with(ScenarioEvent::TrafficPhase {
+                phase: Phase::new(30, 50),
+                lookups_per_cycle: 1,
+                key_dist: KeyDist::Uniform,
             })
             .validate()
             .is_err());

@@ -223,6 +223,57 @@ fn adversarial_runs_are_thread_count_invariant() {
     }
 }
 
+#[test]
+fn traffic_series_are_thread_count_invariant() {
+    // The lookup-traffic driver rides in the sequential observer phase with
+    // its own salted RNG stream, so a run serving traffic — including through
+    // churn, where the alive list shifts under the lookups — must produce a
+    // byte-identical RunReport JSON at every thread count. Only the engine
+    // label and the threads tag themselves may differ.
+    use bss_core::scenario::KeyDist;
+    let config = ExperimentConfig::builder()
+        .network_size(256)
+        .seed(23)
+        .max_cycles(30)
+        .stop_when_perfect(false)
+        .churn_rate(0.02)
+        .descriptor_max_age(Some(8))
+        .event(ScenarioEvent::TrafficPhase {
+            phase: Phase::new(0, 30),
+            lookups_per_cycle: 50,
+            key_dist: KeyDist::Zipf { exponent: 1.1 },
+        })
+        .build()
+        .unwrap();
+    let normalized_json = |threads: usize| {
+        let mut config = config.clone();
+        config.engine = Engine::with_threads(threads);
+        Experiment::new(config)
+            .run()
+            .to_json()
+            .lines()
+            .filter(|line| {
+                !line.trim_start().starts_with("\"engine\":")
+                    && !line.trim_start().starts_with("\"threads\":")
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    let sequential = normalized_json(1);
+    assert!(
+        sequential.contains("\"lookup_traffic\""),
+        "traffic summary missing from the report"
+    );
+    assert!(sequential.contains("\"lookup_success_series\""));
+    for threads in [2usize, 8] {
+        assert_eq!(
+            sequential,
+            normalized_json(threads),
+            "traffic JSON diverged at {threads} threads"
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 

@@ -72,14 +72,12 @@ impl<'a> KademliaRouter<'a> {
 
 /// The known contact of `node` that is XOR-closest to `target`, provided it is
 /// strictly closer than `node` itself.
+///
+/// A thin wrapper over the shared step in [`bss_core::routing`] — the single
+/// implementation behind both this snapshot router and the live traffic
+/// driver, so the two can never drift apart.
 pub fn xor_next_hop(node: &BootstrapNode<NodeIndex>, target: NodeId) -> Option<NodeId> {
-    let own_distance = node.id().xor_distance(target);
-    node.leaf_set()
-        .iter()
-        .chain(node.prefix_table().iter())
-        .map(|d| d.id())
-        .filter(|candidate| candidate.xor_distance(target) < own_distance)
-        .min_by_key(|candidate| candidate.xor_distance(target))
+    bss_core::routing::next_hop(bss_core::routing::RouterKind::Kademlia, node, target).map(|c| c.id)
 }
 
 #[cfg(test)]

@@ -15,26 +15,12 @@ use bss_util::rng::SimRng;
 use bss_util::stats::Histogram;
 use std::fmt;
 
-/// Which router a batch of lookups was evaluated with.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum RouterKind {
-    /// Greedy prefix routing (Pastry / Tapestry / Bamboo style).
-    Pastry,
-    /// Greedy XOR-metric routing (Kademlia style).
-    Kademlia,
-    /// Greedy finger routing over an ideal Chord ring (baseline).
-    Chord,
-}
-
-impl fmt::Display for RouterKind {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            RouterKind::Pastry => write!(f, "pastry"),
-            RouterKind::Kademlia => write!(f, "kademlia"),
-            RouterKind::Chord => write!(f, "chord"),
-        }
-    }
-}
+// The shared router taxonomy now lives next to the shared routing step in
+// `bss_core::routing`; re-exported here so existing `bss_overlay::lookup`
+// consumers keep compiling. Note the evaluator interprets `Chord` as the
+// ideal-ring baseline (`ChordRing`, global fingers), while the live traffic
+// driver routes Chord-style over the node's own bootstrapped tables.
+pub use bss_core::routing::RouterKind;
 
 /// Statistics of one batch of lookups.
 #[derive(Debug, Clone)]
@@ -176,7 +162,7 @@ impl LookupEvaluator {
 
     /// Convenience: evaluates the same batch size with all three routers.
     pub fn evaluate_all(&mut self, lookups: usize) -> Vec<LookupReport> {
-        [RouterKind::Pastry, RouterKind::Kademlia, RouterKind::Chord]
+        RouterKind::ALL
             .into_iter()
             .map(|router| self.evaluate(router, lookups))
             .collect()

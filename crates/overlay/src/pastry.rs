@@ -107,46 +107,12 @@ impl<'a> PastryRouter<'a> {
 /// Chooses the next hop from `node` towards `target` following Pastry's rules.
 /// Returns `None` when no known contact is strictly closer to the target than the
 /// node itself.
+///
+/// A thin wrapper over the shared step in [`bss_core::routing`] — the single
+/// implementation behind both this snapshot router and the live traffic
+/// driver, so the two can never drift apart.
 pub fn next_hop(node: &BootstrapNode<NodeIndex>, target: NodeId) -> Option<NodeId> {
-    let own = node.id();
-    if own == target {
-        return None;
-    }
-    let bits = node.geometry().bits_per_digit();
-
-    // Rule 1: the exact target is already a known contact.
-    if node.leaf_set().contains(target) || node.prefix_table().contains(target) {
-        return Some(target);
-    }
-
-    // Rule 2: the slot the target belongs to holds an entry sharing a strictly
-    // longer prefix with the target than we do.
-    let own_prefix = own.common_prefix_len(target, bits);
-    let row = own_prefix;
-    let column = target.digit(row, bits);
-    if let Some(entry) = node.prefix_table().slot(row, column).first() {
-        return Some(entry.id());
-    }
-
-    // Rule 3 (the "rare case" in Pastry): any known contact that is strictly
-    // closer to the target than the current node — longer shared prefix, or equal
-    // prefix but numerically closer on the ring.
-    let own_distance = own.ring_distance(target);
-    node.leaf_set()
-        .iter()
-        .chain(node.prefix_table().iter())
-        .filter(|d| {
-            let prefix = d.id().common_prefix_len(target, bits);
-            prefix > own_prefix
-                || (prefix == own_prefix && d.id().ring_distance(target) < own_distance)
-        })
-        .min_by_key(|d| {
-            (
-                usize::MAX - d.id().common_prefix_len(target, bits),
-                d.id().ring_distance(target),
-            )
-        })
-        .map(|d| d.id())
+    bss_core::routing::next_hop(bss_core::routing::RouterKind::Pastry, node, target).map(|c| c.id)
 }
 
 #[cfg(test)]

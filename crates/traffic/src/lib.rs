@@ -1,0 +1,279 @@
+//! # bss-traffic — lookup workloads over the live overlay
+//!
+//! The bootstrapping service exists to make routing substrates usable; this
+//! crate asks the service-level question: *what do the users routing over the
+//! overlay experience while it converges, churns, or is attacked?* It wraps
+//! the live traffic machinery of [`bss_core::traffic`] in a workload
+//! vocabulary:
+//!
+//! * [`TrafficWorkload`] — an open-loop arrival model (lookups per cycle, a
+//!   uniform or Zipf key distribution, one of the three
+//!   [`RouterKind`] substrates, an active window) that installs itself onto an
+//!   [`ExperimentConfigBuilder`] as a
+//!   [`ScenarioEvent::TrafficPhase`] plus the router selection;
+//! * [`TrafficSummary`] — the run-level outcome extracted from a completed
+//!   [`RunReport`] (totals, success rate, hop and latency figures);
+//! * [`timeline_header`] / [`append_timeline`] — the long-format TSV timeline
+//!   (one row per measured cycle) the `traffic` bench bin emits, following the
+//!   same shape as the adversary sweep's timeline.
+//!
+//! The workload composes with every other scenario event: schedule a churn
+//! burst, a catastrophe, a partition or a `ByzantineConvert` alongside the
+//! traffic phase and the success series shows the service degrading and
+//! recovering as the tables do.
+//!
+//! ```rust
+//! use bss_core::experiment::ExperimentConfig;
+//! use bss_core::{Experiment, KeyDist, Phase, RouterKind};
+//! use bss_traffic::{TrafficSummary, TrafficWorkload};
+//!
+//! let mut builder = ExperimentConfig::builder();
+//! builder.network_size(64).seed(3).max_cycles(40);
+//! TrafficWorkload::new(Phase::new(20, 30))
+//!     .lookups_per_cycle(50)
+//!     .router(RouterKind::Kademlia)
+//!     .key_dist(KeyDist::Uniform)
+//!     .install(&mut builder);
+//! let report = Experiment::new(builder.build().unwrap()).run();
+//! let summary = TrafficSummary::from_report(&report).expect("traffic was scheduled");
+//! assert_eq!(summary.issued, 500);
+//! assert_eq!(summary.success_rate, 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use bss_core::experiment::{ExperimentConfigBuilder, RunReport};
+use bss_core::scenario::ScenarioEvent;
+use bss_core::{KeyDist, Phase, RouterKind};
+use std::fmt::Write as _;
+
+/// An open-loop lookup workload: so many lookups per cycle, keys drawn from a
+/// distribution, resolved by one of the three routing substrates, active
+/// during a window of the run. Install it on a config builder with
+/// [`TrafficWorkload::install`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrafficWorkload {
+    phase: Phase,
+    lookups_per_cycle: u32,
+    key_dist: KeyDist,
+    router: RouterKind,
+}
+
+impl TrafficWorkload {
+    /// A workload active during `phase`, with the defaults of 100 uniform
+    /// lookups per cycle over the Pastry-style router.
+    pub fn new(phase: Phase) -> Self {
+        TrafficWorkload {
+            phase,
+            lookups_per_cycle: 100,
+            key_dist: KeyDist::Uniform,
+            router: RouterKind::Pastry,
+        }
+    }
+
+    /// Sets the open-loop arrival rate (lookups issued every active cycle).
+    #[must_use]
+    pub fn lookups_per_cycle(mut self, rate: u32) -> Self {
+        self.lookups_per_cycle = rate;
+        self
+    }
+
+    /// Sets the key distribution.
+    #[must_use]
+    pub fn key_dist(mut self, dist: KeyDist) -> Self {
+        self.key_dist = dist;
+        self
+    }
+
+    /// Sets the routing substrate resolving the lookups.
+    #[must_use]
+    pub fn router(mut self, router: RouterKind) -> Self {
+        self.router = router;
+        self
+    }
+
+    /// The active window.
+    pub fn phase(&self) -> Phase {
+        self.phase
+    }
+
+    /// The scenario event this workload desugars into.
+    pub fn event(&self) -> ScenarioEvent {
+        ScenarioEvent::TrafficPhase {
+            phase: self.phase,
+            lookups_per_cycle: self.lookups_per_cycle,
+            key_dist: self.key_dist,
+        }
+    }
+
+    /// Installs the workload onto a config builder: appends the traffic phase
+    /// to the scenario timeline and selects the router. Composes with any
+    /// other events already on the builder.
+    pub fn install(&self, builder: &mut ExperimentConfigBuilder) {
+        builder.event(self.event()).traffic_router(self.router);
+    }
+
+    /// Total lookups the workload issues over a full window (rate × cycles).
+    pub fn total_lookups(&self) -> u64 {
+        u64::from(self.lookups_per_cycle) * (self.phase.end - self.phase.start)
+    }
+}
+
+/// Run-level traffic outcome extracted from a [`RunReport`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrafficSummary {
+    /// The routing substrate that resolved the lookups.
+    pub router: RouterKind,
+    /// Total lookups issued.
+    pub issued: u64,
+    /// Total lookups delivered.
+    pub delivered: u64,
+    /// Delivered over issued (1.0 when nothing was issued).
+    pub success_rate: f64,
+    /// Mean hops over delivered lookups.
+    pub mean_hops: f64,
+    /// The longest delivered lookup, in hops.
+    pub max_hops: u64,
+    /// The success rate of the final measured window, if any window saw
+    /// traffic — the post-recovery service level a churn timeline gates on.
+    pub final_window_success: Option<f64>,
+    /// The lowest per-window success rate — how deep the service dipped.
+    pub worst_window_success: Option<f64>,
+}
+
+impl TrafficSummary {
+    /// Extracts the summary from a completed run, or `None` when the run
+    /// scheduled no traffic phase.
+    pub fn from_report(report: &RunReport) -> Option<Self> {
+        let lookups = report.lookups()?;
+        let windows = lookups.success_series().points();
+        Some(TrafficSummary {
+            router: lookups.router(),
+            issued: lookups.issued(),
+            delivered: lookups.delivered(),
+            success_rate: lookups.success_rate(),
+            mean_hops: lookups.mean_hops(),
+            max_hops: lookups.max_hops(),
+            final_window_success: windows.last().map(|&(_, v)| v),
+            worst_window_success: windows
+                .iter()
+                .map(|&(_, v)| v)
+                .min_by(|a, b| a.total_cmp(b)),
+        })
+    }
+}
+
+/// Header row of the long-format traffic timeline TSV (one row per measured
+/// cycle per run; see [`append_timeline`]).
+pub fn timeline_header() -> &'static str {
+    "scenario\trouter\tengine\tn\tcycle\tsuccess_rate\thop_mean\thop_max\tlatency_p50\
+     \tlatency_p95\tlatency_p99\n"
+}
+
+/// Appends one run's measured cycles to the long-format timeline: every row
+/// carries the sweep coordinates (`scenario`, `router`, `engine`, `n`) so the
+/// file concatenates across the whole sweep and plots with a single group-by.
+pub fn append_timeline(
+    timeline: &mut String,
+    scenario: &str,
+    router: RouterKind,
+    engine: &str,
+    network_size: usize,
+    report: &RunReport,
+) {
+    let Some(lookups) = report.lookups() else {
+        return;
+    };
+    for (position, &(cycle, success)) in lookups.success_series().points().iter().enumerate() {
+        let value_at = |series: &bss_util::stats::Series| {
+            series.points().get(position).map_or(0.0, |&(_, v)| v)
+        };
+        let _ = writeln!(
+            timeline,
+            "{scenario}\t{router}\t{engine}\t{network_size}\t{cycle}\t{success:.6}\t{:.6}\t{:.1}\
+             \t{:.1}\t{:.1}\t{:.1}",
+            value_at(lookups.hop_mean_series()),
+            value_at(lookups.hop_max_series()),
+            value_at(lookups.latency_p50_series()),
+            value_at(lookups.latency_p95_series()),
+            value_at(lookups.latency_p99_series()),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bss_core::experiment::ExperimentConfig;
+    use bss_core::Experiment;
+
+    fn run_workload(workload: TrafficWorkload) -> RunReport {
+        let mut builder = ExperimentConfig::builder();
+        builder.network_size(64).seed(5).max_cycles(40);
+        workload.install(&mut builder);
+        Experiment::new(builder.build().unwrap()).run()
+    }
+
+    #[test]
+    fn workload_installs_phase_and_router() {
+        let workload = TrafficWorkload::new(Phase::new(20, 30))
+            .lookups_per_cycle(40)
+            .router(RouterKind::Chord)
+            .key_dist(KeyDist::Zipf { exponent: 1.0 });
+        assert_eq!(workload.total_lookups(), 400);
+        let mut builder = ExperimentConfig::builder();
+        builder.network_size(64).max_cycles(40);
+        workload.install(&mut builder);
+        let config = builder.build().unwrap();
+        assert!(config.scenario.has_traffic());
+        assert_eq!(config.traffic_router, RouterKind::Chord);
+    }
+
+    #[test]
+    fn summary_reflects_a_calm_converged_run() {
+        let report = run_workload(
+            TrafficWorkload::new(Phase::new(20, 30))
+                .lookups_per_cycle(40)
+                .router(RouterKind::Kademlia),
+        );
+        let summary = TrafficSummary::from_report(&report).unwrap();
+        assert_eq!(summary.router, RouterKind::Kademlia);
+        assert_eq!(summary.issued, 400);
+        assert_eq!(summary.delivered, 400);
+        assert_eq!(summary.success_rate, 1.0);
+        assert_eq!(summary.final_window_success, Some(1.0));
+        assert_eq!(summary.worst_window_success, Some(1.0));
+        assert!(summary.mean_hops > 0.0 && summary.mean_hops < 8.0);
+        // A traffic-free run yields no summary.
+        let calm = Experiment::new(
+            ExperimentConfig::builder()
+                .network_size(32)
+                .build()
+                .unwrap(),
+        )
+        .run();
+        assert!(TrafficSummary::from_report(&calm).is_none());
+    }
+
+    #[test]
+    fn timeline_rows_carry_the_sweep_coordinates() {
+        let report = run_workload(TrafficWorkload::new(Phase::new(20, 25)).lookups_per_cycle(10));
+        let mut timeline = String::from(timeline_header());
+        append_timeline(
+            &mut timeline,
+            "calm",
+            RouterKind::Pastry,
+            "cycle",
+            64,
+            &report,
+        );
+        let rows: Vec<&str> = timeline.lines().skip(1).collect();
+        assert_eq!(rows.len(), 5, "one row per measured active cycle");
+        for row in rows {
+            assert!(row.starts_with("calm\tpastry\tcycle\t64\t"), "{row}");
+            assert_eq!(row.split('\t').count(), 11, "{row}");
+        }
+    }
+}

@@ -272,37 +272,66 @@ pub fn percentile_of_sorted(sorted: &[f64], q: f64) -> f64 {
     }
 }
 
-/// A fixed-width histogram over `u64` observations, used for in-degree
-/// distributions and message-size accounting.
+/// A fixed-bucket streaming histogram over `u64` observations with percentile
+/// queries — the single bucket implementation behind both [`Histogram`] and
+/// the per-cycle traffic latency series.
 ///
-/// Bucket storage is bounded: observations past bucket
-/// [`Histogram::MAX_BUCKETS`] saturate into a single overflow bucket, so a
+/// Two sizing modes share the code path:
+///
+/// * [`StreamingHistogram::with_buckets`] allocates every bucket up front, so
+///   recording is allocation-free from the first observation on and the
+///   histogram can be [`StreamingHistogram::reset`] between measurement
+///   windows without touching the allocator;
+/// * [`StreamingHistogram::growable`] starts empty and grows on demand up to
+///   a bucket cap (the legacy [`Histogram`] behaviour).
+///
+/// In both modes observations past the last bucket saturate into it, so a
 /// lone outlier (a u64 latency, say) costs O(1) memory instead of resizing
 /// `counts` to `value / bucket_width + 1` entries.
-#[derive(Clone, Debug)]
-pub struct Histogram {
+#[derive(Clone, Debug, PartialEq)]
+pub struct StreamingHistogram {
     bucket_width: u64,
+    /// Bucket-count cap, saturating overflow bucket included.
+    limit: usize,
     counts: Vec<u64>,
     total: u64,
     sum: u128,
     max: u64,
 }
 
-impl Histogram {
-    /// Upper bound on the number of distinct buckets, overflow bucket
-    /// included. Values mapping to bucket `MAX_BUCKETS - 1` or beyond all
-    /// land in that final saturating bucket.
-    pub const MAX_BUCKETS: usize = 4096;
-
-    /// Creates a histogram whose buckets are `[0, w)`, `[w, 2w)`, ...
+impl StreamingHistogram {
+    /// Creates a pre-sized histogram with `buckets` buckets of width
+    /// `bucket_width` (`[0, w)`, `[w, 2w)`, ..., last bucket saturating).
+    /// Recording never allocates after construction.
     ///
     /// # Panics
     ///
-    /// Panics if `bucket_width` is zero.
-    pub fn new(bucket_width: u64) -> Self {
+    /// Panics if `bucket_width` or `buckets` is zero.
+    pub fn with_buckets(bucket_width: u64, buckets: usize) -> Self {
         assert!(bucket_width > 0, "bucket width must be positive");
-        Histogram {
+        assert!(buckets > 0, "bucket count must be positive");
+        StreamingHistogram {
             bucket_width,
+            limit: buckets,
+            counts: vec![0; buckets],
+            total: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Creates an initially empty histogram that grows on demand, up to
+    /// `limit` buckets (the last one saturating).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_width` or `limit` is zero.
+    pub fn growable(bucket_width: u64, limit: usize) -> Self {
+        assert!(bucket_width > 0, "bucket width must be positive");
+        assert!(limit > 0, "bucket limit must be positive");
+        StreamingHistogram {
+            bucket_width,
+            limit,
             counts: Vec::new(),
             total: 0,
             sum: 0,
@@ -312,7 +341,7 @@ impl Histogram {
 
     /// Records one observation.
     pub fn record(&mut self, value: u64) {
-        let bucket = ((value / self.bucket_width) as usize).min(Self::MAX_BUCKETS - 1);
+        let bucket = ((value / self.bucket_width) as usize).min(self.limit - 1);
         if bucket >= self.counts.len() {
             self.counts.resize(bucket + 1, 0);
         }
@@ -341,6 +370,50 @@ impl Histogram {
         self.max
     }
 
+    /// The bucket width the histogram was constructed with.
+    pub fn bucket_width(&self) -> u64 {
+        self.bucket_width
+    }
+
+    /// Number of bucket slots currently allocated (at most the construction
+    /// limit; useful for asserting the allocation-free property).
+    pub fn allocated_buckets(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// The nearest-rank `q`-percentile (`q` in `[0, 1]`), resolved to the
+    /// lower bound of the bucket holding that rank — exact for integer data
+    /// recorded at bucket width 1. Returns 0 when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn percentile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+        if self.total == 0 {
+            return 0.0;
+        }
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (bucket, &count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return (bucket as u64 * self.bucket_width) as f64;
+            }
+        }
+        (self.max / self.bucket_width * self.bucket_width) as f64
+    }
+
+    /// Zeroes every counter while keeping the bucket allocation, so a
+    /// pre-sized histogram can be reused across measurement windows without
+    /// touching the allocator.
+    pub fn reset(&mut self) {
+        self.counts.iter_mut().for_each(|count| *count = 0);
+        self.total = 0;
+        self.sum = 0;
+        self.max = 0;
+    }
+
     /// Iterates over `(bucket_lower_bound, count)` pairs for non-empty buckets.
     pub fn buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
         self.counts
@@ -348,6 +421,70 @@ impl Histogram {
             .enumerate()
             .filter(|(_, &c)| c > 0)
             .map(move |(i, &c)| (i as u64 * self.bucket_width, c))
+    }
+}
+
+/// A fixed-width histogram over `u64` observations, used for in-degree
+/// distributions and message-size accounting.
+///
+/// A thin wrapper over [`StreamingHistogram`] in its growable mode: bucket
+/// storage is bounded by [`Histogram::MAX_BUCKETS`], past which observations
+/// saturate into a single overflow bucket.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    inner: StreamingHistogram,
+}
+
+impl Histogram {
+    /// Upper bound on the number of distinct buckets, overflow bucket
+    /// included. Values mapping to bucket `MAX_BUCKETS - 1` or beyond all
+    /// land in that final saturating bucket.
+    pub const MAX_BUCKETS: usize = 4096;
+
+    /// Creates a histogram whose buckets are `[0, w)`, `[w, 2w)`, ...
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_width` is zero.
+    pub fn new(bucket_width: u64) -> Self {
+        Histogram {
+            inner: StreamingHistogram::growable(bucket_width, Self::MAX_BUCKETS),
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: u64) {
+        self.inner.record(value);
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.inner.count()
+    }
+
+    /// Mean of all observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.inner.mean()
+    }
+
+    /// Largest observation recorded (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.inner.max()
+    }
+
+    /// The nearest-rank `q`-percentile (see [`StreamingHistogram::percentile`]).
+    pub fn percentile(&self, q: f64) -> f64 {
+        self.inner.percentile(q)
+    }
+
+    /// Number of bucket slots currently allocated.
+    pub fn allocated_buckets(&self) -> usize {
+        self.inner.allocated_buckets()
+    }
+
+    /// Iterates over `(bucket_lower_bound, count)` pairs for non-empty buckets.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.inner.buckets()
     }
 }
 
@@ -495,7 +632,7 @@ mod tests {
         h.record(u64::MAX);
         // Storage stays bounded by MAX_BUCKETS rather than resizing to
         // u64::MAX / 10 + 1 entries.
-        assert!(h.counts.len() <= Histogram::MAX_BUCKETS);
+        assert!(h.allocated_buckets() <= Histogram::MAX_BUCKETS);
         assert_eq!(h.count(), 2);
         assert_eq!(h.max(), u64::MAX);
         let overflow_lower = (Histogram::MAX_BUCKETS as u64 - 1) * 10;
@@ -504,7 +641,87 @@ mod tests {
         assert!(buckets.contains(&(overflow_lower, 1)));
         // A second outlier lands in the same saturating bucket.
         h.record(u64::MAX - 1);
-        assert!(h.counts.len() <= Histogram::MAX_BUCKETS);
+        assert!(h.allocated_buckets() <= Histogram::MAX_BUCKETS);
         assert!(h.buckets().any(|(lo, c)| lo == overflow_lower && c == 2));
+    }
+
+    #[test]
+    fn streaming_histogram_is_allocation_free_once_sized() {
+        let mut h = StreamingHistogram::with_buckets(1, 64);
+        assert_eq!(h.allocated_buckets(), 64);
+        for value in 0..200u64 {
+            h.record(value);
+        }
+        // Storage never grew past the construction size; the tail saturated.
+        assert_eq!(h.allocated_buckets(), 64);
+        assert_eq!(h.count(), 200);
+        assert_eq!(h.max(), 199);
+        assert!(h.buckets().any(|(lo, c)| lo == 63 && c == 137));
+        h.reset();
+        assert_eq!(h.allocated_buckets(), 64);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.percentile(0.5), 0.0);
+    }
+
+    #[test]
+    fn streaming_percentiles_are_exact_for_unit_width_integers() {
+        // 1..=100 at bucket width 1: the nearest-rank percentile of integers.
+        let mut h = StreamingHistogram::with_buckets(1, 128);
+        for value in 1..=100u64 {
+            h.record(value);
+        }
+        assert_eq!(h.percentile(0.50), 50.0);
+        assert_eq!(h.percentile(0.95), 95.0);
+        assert_eq!(h.percentile(0.99), 99.0);
+        assert_eq!(h.percentile(1.0), 100.0);
+        assert_eq!(h.percentile(0.0), 1.0);
+        assert!((h.mean() - 50.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn streaming_percentile_resolves_to_bucket_lower_bound() {
+        let mut h = StreamingHistogram::with_buckets(10, 16);
+        for value in [3u64, 14, 27, 150, 152] {
+            h.record(value);
+        }
+        assert_eq!(h.percentile(0.5), 20.0);
+        // The two saturated outliers dominate the tail.
+        assert_eq!(h.percentile(1.0), 150.0);
+        assert_eq!(h.bucket_width(), 10);
+    }
+
+    #[test]
+    fn streaming_percentile_on_skewed_mass() {
+        let mut h = StreamingHistogram::with_buckets(1, 8);
+        for _ in 0..99 {
+            h.record(1);
+        }
+        h.record(5);
+        assert_eq!(h.percentile(0.5), 1.0);
+        assert_eq!(h.percentile(0.99), 1.0);
+        assert_eq!(h.percentile(1.0), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn streaming_percentile_rejects_bad_quantile() {
+        StreamingHistogram::with_buckets(1, 4).percentile(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket count must be positive")]
+    fn streaming_histogram_rejects_zero_buckets() {
+        StreamingHistogram::with_buckets(1, 0);
+    }
+
+    #[test]
+    fn histogram_percentile_delegates_to_streaming_core() {
+        let mut h = Histogram::new(1);
+        for value in 0..10u64 {
+            h.record(value);
+        }
+        assert_eq!(h.percentile(0.5), 4.0);
+        assert_eq!(h.percentile(1.0), 9.0);
     }
 }

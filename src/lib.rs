@@ -17,6 +17,8 @@
 //!   the gossip protocol of Fig. 2 and the convergence oracle.
 //! * [`overlay`] — consumers of the bootstrapped tables: Pastry-style prefix
 //!   routing, Kademlia XOR routing and a Chord baseline.
+//! * [`traffic`] — sustained key-lookup workloads served against the live
+//!   overlay mid-run, with per-cycle success/hop/latency series.
 //! * [`net`] — a threaded UDP deployment of the protocol on real sockets.
 //!
 //! # Quickstart
@@ -43,4 +45,5 @@ pub use bss_overlay as overlay;
 pub use bss_sampling as sampling;
 pub use bss_sim as sim;
 pub use bss_tman as tman;
+pub use bss_traffic as traffic;
 pub use bss_util as util;

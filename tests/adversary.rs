@@ -130,6 +130,12 @@ fn id_spray_eclipses_undefended_target_and_countermeasures_hold_at_n1024() {
 /// same 10 % forge scenario runs on both engines at N = 512; both must show
 /// the poisoned-descriptor fraction rising above the adversaries' natural 10 %
 /// address share during the attack, and both must converge after it ends.
+///
+/// Descriptor aging is on: forged identifiers are indistinguishable from
+/// departed nodes (no honest peer ever re-stamps them), so the failure
+/// detector's expiry is the mechanism that actually evicts them once the
+/// forgers stop refreshing their fabrications. Without it the forged entries
+/// squat in the tables forever and the overlay never recovers.
 #[test]
 fn both_engines_agree_on_forge_poisoning_at_n512() {
     let forge_end = 30u64;
@@ -142,6 +148,7 @@ fn both_engines_agree_on_forge_poisoning_at_n512() {
                 .network_size(512)
                 .seed(42)
                 .max_cycles(100)
+                .descriptor_max_age(Some(8))
                 .engine(engine)
                 .event(ScenarioEvent::ByzantineConvert {
                     phase: Phase::new(ATTACK_START, forge_end),
