@@ -9,12 +9,19 @@
 //! (`<out-dir>/traffic_timeline.tsv`: scenario, router, engine, N, cycle,
 //! success rate, hop mean/max, latency p50/p95/p99) — the data behind the
 //! "Serve real traffic" numbers in the roadmap.
+//!
+//! With `--link wan[:placement]` the sweep runs over a WAN topology and also
+//! writes `<out-dir>/traffic_regions.tsv`, the same timeline split by client
+//! region, so the latency percentiles show their geography.
 
 use bss_bench::cli::{Args, CommonDefaults, COMMON_OPTIONS_HELP};
 use bss_core::experiment::{Experiment, ExperimentConfig, SamplerChoice};
-use bss_core::scenario::{AdversaryBehavior, Engine, KeyDist, Phase, ScenarioEvent};
+use bss_core::scenario::{AdversaryBehavior, Engine, KeyDist, LatencyModel, Phase, ScenarioEvent};
 use bss_core::RouterKind;
-use bss_traffic::{append_timeline, timeline_header, TrafficSummary, TrafficWorkload};
+use bss_traffic::{
+    append_region_timeline, append_timeline, region_timeline_header, timeline_header,
+    TrafficSummary, TrafficWorkload,
+};
 use bss_util::config::{BootstrapParams, NewscastParams};
 
 const HELP: &str = "\
@@ -27,6 +34,9 @@ OPTIONS:
     --sizes <list>   network size exponents (N = 2^exp)      [default: 8]
     --cycles <n>     cycle budget per run                    [default: 60]
     --rate <n>       lookups issued per active cycle         [default: 100]
+    --link <spec>    per-link latency override: constant:<ms>, uniform:<min>,<max>,
+                     wan:plane|clustered[:<regions>]|dumbbell (adds the
+                     per-client-region timeline traffic_regions.tsv)
     --out-dir <dir>  directory for JSONs and the timeline    [default: traffic-reports]
     --smoke          tiny CI sweep (N=2^7, 40 cycles, rate 50)
 ";
@@ -112,6 +122,7 @@ fn config(
     rate: u32,
     router: RouterKind,
     engine: Engine,
+    link: Option<LatencyModel>,
 ) -> ExperimentConfig {
     let mut builder = ExperimentConfig::builder();
     builder
@@ -120,6 +131,9 @@ fn config(
         .max_cycles(cycles)
         .stop_when_perfect(false)
         .engine(engine);
+    if let Some(model) = link {
+        builder.link_model(model);
+    }
     TrafficWorkload::new(Phase::new(0, cycles))
         .lookups_per_cycle(rate)
         .key_dist(cell.key_dist)
@@ -161,6 +175,7 @@ fn main() {
         seed: 1,
     });
     let rate = args.parsed_or("rate", if smoke { 50u32 } else { 100u32 });
+    let link = args.link_model_arg();
     let out_dir = args.get("out-dir").unwrap_or("traffic-reports").to_owned();
     std::fs::create_dir_all(&out_dir).expect("create output directory");
 
@@ -183,6 +198,7 @@ fn main() {
          \tworst_window\tfinal_window"
     );
     let mut timeline = String::from(timeline_header());
+    let mut regions = String::from(region_timeline_header());
     for &exponent in &common.sizes {
         let network_size = 1usize << exponent;
         for cell in cells(common.cycles) {
@@ -196,6 +212,7 @@ fn main() {
                         rate,
                         router,
                         engine,
+                        link,
                     ))
                     .run();
                     let summary =
@@ -214,6 +231,14 @@ fn main() {
                     );
                     append_timeline(
                         &mut timeline,
+                        cell.name,
+                        router,
+                        engine_name,
+                        network_size,
+                        &report,
+                    );
+                    append_region_timeline(
+                        &mut regions,
                         cell.name,
                         router,
                         engine_name,
@@ -240,4 +265,9 @@ fn main() {
     let timeline_path = format!("{out_dir}/traffic_timeline.tsv");
     std::fs::write(&timeline_path, timeline).expect("write timeline TSV");
     eprintln!("# wrote {timeline_path}");
+    if regions.len() > region_timeline_header().len() {
+        let regions_path = format!("{out_dir}/traffic_regions.tsv");
+        std::fs::write(&regions_path, regions).expect("write region timeline TSV");
+        eprintln!("# wrote {regions_path}");
+    }
 }

@@ -1,0 +1,286 @@
+//! The WAN-realism sweep: placement × link model × engine, measuring how much
+//! topology skews the convergence story and whether the bootstrapped overlay
+//! is proximity-aware for free.
+//!
+//! Each cell bootstraps a network under one per-link latency model — the two
+//! legacy global models (`constant`, `uniform` matched to the WAN's latency
+//! bounds) and the distance-dependent `wan` model over the three canonical
+//! placements (uniform plane, clustered regions, two-DC dumbbell) — while a
+//! lookup workload runs over the converging overlay. Two extra cells replay
+//! regional scenario events over the clustered placement: a full
+//! `RegionalOutage` of region 1 and a `SlowLinks` window multiplying region
+//! 1's latencies.
+//!
+//! Outputs, all deterministic (bit-for-bit identical at any `--threads`):
+//!
+//! * a summary TSV on stdout — one row per cell × engine with convergence
+//!   cycle, final missing proportions, leaf-set proximity vs. the
+//!   random-pairs baseline, and the traffic latency percentiles;
+//! * `<out-dir>/wan_timeline.tsv` — the per-cycle convergence + service
+//!   timeline (the canonical golden under `ci/golden/wan_small.tsv`);
+//! * `<out-dir>/wan_regions.tsv` — the traffic timeline split by client
+//!   region (see `bss_traffic::append_region_timeline`);
+//! * `<out-dir>/<cell>_<engine>.json` — the full `RunReport` per cell, the
+//!   artifact the CI jq gate inspects for the outage dip and recovery.
+
+use bss_bench::cli::{wan_placement, Args, CommonDefaults, COMMON_OPTIONS_HELP};
+use bss_core::experiment::{Experiment, ExperimentConfig, RunReport};
+use bss_core::scenario::{Engine, LatencyModel, Phase, ScenarioEvent, WanParams};
+use bss_core::RouterKind;
+use bss_traffic::{append_region_timeline, region_timeline_header, TrafficWorkload};
+use std::fmt::Write as _;
+
+const HELP: &str = "\
+wan — WAN-realism sweep: placement x link model x engine
+
+USAGE:
+    cargo run --release -p bss-bench --bin wan [-- OPTIONS]
+
+OPTIONS:
+    --sizes <list>   network size exponents (N = 2^exp)      [default: 8]
+    --cycles <n>     cycle budget per run                    [default: 60]
+    --rate <n>       lookups issued per active cycle         [default: 50]
+    --out-dir <dir>  directory for JSONs and timelines       [default: wan-reports]
+    --smoke          tiny CI sweep (N=2^7, 40 cycles)
+";
+
+/// The affected region of the regional-event cells (and the one the CI gate
+/// watches).
+const EVENT_REGION: u32 = 1;
+
+/// One cell of the sweep: a link model plus any regional events riding on it.
+struct WanCell {
+    name: &'static str,
+    link: LatencyModel,
+    events: Vec<ScenarioEvent>,
+}
+
+/// The sweep: legacy baselines, the three placements, and the two regional
+/// scenario events over the clustered placement.
+fn cells(cycles: u64) -> Vec<WanCell> {
+    let params = WanParams::default();
+    let clustered = LatencyModel::Wan {
+        placement: wan_placement("clustered", 4),
+        params,
+    };
+    // The uniform baseline spans the clustered WAN's latency bounds, so the
+    // cycle-vs-WAN comparison isolates *structure* (distance-dependence) from
+    // *magnitude*.
+    let (min_millis, max_millis) = clustered.bounds();
+    let event_window = Phase::new(cycles / 4, cycles / 2);
+    vec![
+        WanCell {
+            name: "constant",
+            link: LatencyModel::Constant { millis: 1 },
+            events: Vec::new(),
+        },
+        WanCell {
+            name: "uniform",
+            link: LatencyModel::Uniform {
+                min_millis,
+                max_millis,
+            },
+            events: Vec::new(),
+        },
+        WanCell {
+            name: "wan_plane",
+            link: LatencyModel::Wan {
+                placement: wan_placement("plane", 4),
+                params,
+            },
+            events: Vec::new(),
+        },
+        WanCell {
+            name: "wan_clustered",
+            link: clustered,
+            events: Vec::new(),
+        },
+        WanCell {
+            name: "wan_dumbbell",
+            link: LatencyModel::Wan {
+                placement: wan_placement("dumbbell", 4),
+                params,
+            },
+            events: Vec::new(),
+        },
+        WanCell {
+            name: "wan_outage",
+            link: clustered,
+            events: vec![ScenarioEvent::RegionalOutage {
+                phase: event_window,
+                region: EVENT_REGION,
+                loss: 1.0,
+            }],
+        },
+        WanCell {
+            name: "wan_slow",
+            link: clustered,
+            events: vec![ScenarioEvent::SlowLinks {
+                phase: event_window,
+                region: Some(EVENT_REGION),
+                factor: 4.0,
+            }],
+        },
+    ]
+}
+
+fn config(
+    cell: &WanCell,
+    network_size: usize,
+    seed: u64,
+    cycles: u64,
+    rate: u32,
+    engine: Engine,
+) -> ExperimentConfig {
+    let mut builder = ExperimentConfig::builder();
+    builder
+        .network_size(network_size)
+        .seed(seed)
+        .max_cycles(cycles)
+        .stop_when_perfect(false)
+        .engine(engine)
+        .link_model(cell.link);
+    TrafficWorkload::new(Phase::new(0, cycles))
+        .lookups_per_cycle(rate)
+        .install(&mut builder);
+    for event in &cell.events {
+        builder.event(event.clone());
+    }
+    builder.build().expect("valid wan sweep configuration")
+}
+
+/// Appends one run's per-cycle rows to the convergence + service timeline.
+fn append_wan_timeline(
+    timeline: &mut String,
+    cell: &str,
+    engine: &str,
+    network_size: usize,
+    report: &RunReport,
+) {
+    let lookups = report.lookups();
+    for (position, &(cycle, leaf_missing)) in report.leaf_series().points().iter().enumerate() {
+        let value_at = |series: Option<&bss_util::stats::Series>| {
+            series
+                .and_then(|series| series.points().get(position))
+                .map_or(0.0, |&(_, v)| v)
+        };
+        let _ = writeln!(
+            timeline,
+            "{cell}\t{engine}\t{network_size}\t{cycle}\t{leaf_missing:.6}\t{:.6}\t{:.6}\t{:.1}\
+             \t{:.1}",
+            value_at(Some(report.prefix_series())),
+            value_at(lookups.map(|l| l.success_series())),
+            value_at(lookups.map(|l| l.latency_p50_series())),
+            value_at(lookups.map(|l| l.latency_p99_series())),
+        );
+    }
+}
+
+fn main() {
+    let args = Args::from_env();
+    if args.wants_help() {
+        print!("{HELP}{COMMON_OPTIONS_HELP}");
+        return;
+    }
+    let smoke = args.get("smoke").is_some();
+    let common = args.common(CommonDefaults {
+        sizes: if smoke { &[7] } else { &[8] },
+        runs: 1,
+        cycles: if smoke { 40 } else { 60 },
+        seed: 1,
+    });
+    let rate = args.parsed_or("rate", 50u32);
+    let out_dir = args.get("out-dir").unwrap_or("wan-reports").to_owned();
+    std::fs::create_dir_all(&out_dir).expect("create output directory");
+
+    let engines: [(&'static str, Engine); 2] = [
+        ("cycle", Engine::with_threads(common.threads)),
+        (
+            "event",
+            Engine::Event {
+                latency: args.latency_model(),
+            },
+        ),
+    ];
+
+    eprintln!(
+        "# WAN sweep: sizes {:?} (exponents), {} cycles budget, {rate} lookups/cycle",
+        common.sizes, common.cycles
+    );
+    println!(
+        "cell\tlink\tengine\tn\tconverged_cycle\tfinal_leaf_missing\tfinal_prefix_missing\
+         \tleaf_link_distance\trandom_link_distance\tproximity_ratio\tlookup_success\
+         \tlookup_p50\tlookup_p99"
+    );
+    let mut timeline = String::from(
+        "cell\tengine\tn\tcycle\tleaf_missing\tprefix_missing\tlookup_success\tlookup_p50\
+         \tlookup_p99\n",
+    );
+    let mut regions = String::from(region_timeline_header());
+    for &exponent in &common.sizes {
+        let network_size = 1usize << exponent;
+        for cell in cells(common.cycles) {
+            for (engine_name, engine) in engines {
+                let report = Experiment::new(config(
+                    &cell,
+                    network_size,
+                    common.seed,
+                    common.cycles,
+                    rate,
+                    engine,
+                ))
+                .run();
+                let final_state = report.final_state();
+                let lookups = report.lookups().expect("traffic was scheduled");
+                let last = |series: &bss_util::stats::Series| {
+                    series.points().last().map_or(0.0, |&(_, v)| v)
+                };
+                let (leaf_distance, random_distance, ratio) =
+                    report.proximity().map_or((0.0, 0.0, 0.0), |proximity| {
+                        (
+                            proximity.mean_leaf_distance,
+                            proximity.mean_random_distance,
+                            proximity.ratio(),
+                        )
+                    });
+                println!(
+                    "{}\t{}\t{engine_name}\t{network_size}\t{}\t{:.6}\t{:.6}\t{leaf_distance:.2}\
+                     \t{random_distance:.2}\t{ratio:.4}\t{:.4}\t{:.1}\t{:.1}",
+                    cell.name,
+                    cell.link.label(),
+                    report.convergence_cycle().map_or(-1, |cycle| cycle as i64),
+                    final_state.leaf_proportion(),
+                    final_state.prefix_proportion(),
+                    lookups.success_rate(),
+                    last(lookups.latency_p50_series()),
+                    last(lookups.latency_p99_series()),
+                );
+                append_wan_timeline(&mut timeline, cell.name, engine_name, network_size, &report);
+                append_region_timeline(
+                    &mut regions,
+                    cell.name,
+                    RouterKind::Pastry,
+                    engine_name,
+                    network_size,
+                    &report,
+                );
+                let prefix = if common.sizes.len() > 1 {
+                    format!("n{network_size}_")
+                } else {
+                    String::new()
+                };
+                let path = format!("{out_dir}/{prefix}{}_{engine_name}.json", cell.name);
+                std::fs::write(&path, report.to_json()).expect("write RunReport JSON");
+                if !common.quiet {
+                    eprintln!("#   wrote {path}");
+                }
+            }
+        }
+    }
+    let timeline_path = format!("{out_dir}/wan_timeline.tsv");
+    std::fs::write(&timeline_path, timeline).expect("write timeline TSV");
+    eprintln!("# wrote {timeline_path}");
+    let regions_path = format!("{out_dir}/wan_regions.tsv");
+    std::fs::write(&regions_path, regions).expect("write region timeline TSV");
+    eprintln!("# wrote {regions_path}");
+}

@@ -9,8 +9,36 @@
 //! selection (threads / event latency), output path and verbosity — so the six
 //! binaries no longer copy-paste their argument plumbing.
 
-use bss_core::scenario::{Engine, LatencyModel};
+use bss_core::scenario::{Engine, LatencyModel, PlacementSpec, WanParams};
 use std::collections::BTreeMap;
+
+/// The canonical WAN placements the bench binaries sweep, by name — shared so
+/// `--link wan:<placement>` and the `wan` bin's sweep agree on the geometry
+/// (a 1000×1000 plane, four 60-unit-spread clusters on it, or two DCs 1000
+/// units apart).
+///
+/// # Panics
+///
+/// Panics on an unknown placement name.
+pub fn wan_placement(name: &str, regions: u32) -> PlacementSpec {
+    match name {
+        "plane" => PlacementSpec::UniformPlane {
+            width: 1000.0,
+            height: 1000.0,
+        },
+        "clustered" => PlacementSpec::Clustered {
+            regions,
+            width: 1000.0,
+            height: 1000.0,
+            spread: 60.0,
+        },
+        "dumbbell" => PlacementSpec::Dumbbell {
+            separation: 1000.0,
+            spread: 60.0,
+        },
+        other => panic!("unknown WAN placement {other:?}: expected plane, clustered or dumbbell"),
+    }
+}
 
 /// Parsed `--key value` arguments.
 #[derive(Debug, Default, Clone)]
@@ -207,6 +235,59 @@ impl Args {
         }
     }
 
+    /// Parses `--link` into a per-link latency model override, or `None` when
+    /// absent (the engine's own latency model applies). Accepted specs:
+    /// `constant:<ms>`, `uniform:<min>,<max>`, and `wan:<placement>` where
+    /// placement is `plane`, `clustered[:<regions>]` (default 4) or
+    /// `dumbbell` (see [`wan_placement`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics with a readable message on a malformed spec.
+    pub fn link_model_arg(&self) -> Option<LatencyModel> {
+        let raw = self.get("link")?;
+        let (kind, rest) = raw.split_once(':').unwrap_or((raw, ""));
+        let model = match kind {
+            "constant" => LatencyModel::Constant {
+                millis: rest
+                    .parse()
+                    .unwrap_or_else(|_| panic!("--link constant:<ms>, got {raw:?}")),
+            },
+            "uniform" => {
+                let (min, max) = rest
+                    .split_once(',')
+                    .unwrap_or_else(|| panic!("--link uniform:<min>,<max>, got {raw:?}"));
+                LatencyModel::Uniform {
+                    min_millis: min
+                        .trim()
+                        .parse()
+                        .unwrap_or_else(|_| panic!("--link uniform:<min>,<max>, got {raw:?}")),
+                    max_millis: max
+                        .trim()
+                        .parse()
+                        .unwrap_or_else(|_| panic!("--link uniform:<min>,<max>, got {raw:?}")),
+                }
+            }
+            "wan" => {
+                let (placement, regions) = match rest.split_once(':') {
+                    Some((placement, count)) => (
+                        placement,
+                        count.parse().unwrap_or_else(|_| {
+                            panic!("--link wan:clustered:<regions>, got {raw:?}")
+                        }),
+                    ),
+                    None => (if rest.is_empty() { "clustered" } else { rest }, 4),
+                };
+                LatencyModel::Wan {
+                    placement: wan_placement(placement, regions),
+                    params: WanParams::default(),
+                }
+            }
+            other => panic!("--link expects constant, uniform or wan specs, got {other:?}"),
+        };
+        Some(model)
+    }
+
     /// Parses `--latency` into a [`LatencyModel`]: a single value is a
     /// constant latency, `min,max` is uniform.
     pub fn latency_model(&self) -> LatencyModel {
@@ -360,5 +441,42 @@ mod tests {
     #[should_panic(expected = "cycle or event")]
     fn unknown_engine_names_panic() {
         let _ = args(&["--engine", "quantum"]).common(CommonDefaults::default());
+    }
+
+    #[test]
+    fn link_specs_parse_into_latency_models() {
+        assert_eq!(args(&[]).link_model_arg(), None);
+        assert_eq!(
+            args(&["--link", "constant:7"]).link_model_arg(),
+            Some(LatencyModel::Constant { millis: 7 })
+        );
+        assert_eq!(
+            args(&["--link", "uniform:2,40"]).link_model_arg(),
+            Some(LatencyModel::Uniform {
+                min_millis: 2,
+                max_millis: 40
+            })
+        );
+        let wan = args(&["--link", "wan:clustered:6"])
+            .link_model_arg()
+            .unwrap();
+        assert_eq!(wan.placement_spec(), Some(wan_placement("clustered", 6)));
+        // Bare `wan` defaults to the four-region clustered placement.
+        assert_eq!(
+            args(&["--link", "wan"]).link_model_arg(),
+            Some(LatencyModel::Wan {
+                placement: wan_placement("clustered", 4),
+                params: WanParams::default(),
+            })
+        );
+        for name in ["plane", "dumbbell"] {
+            assert!(wan_placement(name, 4).validate().is_ok());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "constant, uniform or wan")]
+    fn unknown_link_specs_panic() {
+        let _ = args(&["--link", "telepathy"]).link_model_arg();
     }
 }

@@ -17,6 +17,7 @@
 //! [`Observer`] and returning one serializable [`RunReport`].
 
 use crate::convergence::{ConvergenceOracle, ConvergenceTracker, NetworkConvergence};
+use crate::node::BootstrapNode;
 use crate::protocol::{BootstrapMessage, BootstrapProtocol, TrafficStats};
 use crate::routing::RouterKind;
 use crate::scenario::{Engine, LatencyModel, NullObserver, Observer, Scenario};
@@ -26,13 +27,16 @@ use bss_sampling::sampler::{OracleSampler, PeerSampler};
 use bss_sim::engine::cycle::{CycleEngine, EngineContext, PhaseProfile};
 use bss_sim::engine::event::EventEngine;
 use bss_sim::network::{Network, NodeIndex};
-use bss_sim::transport::UniformLatencyTransport;
 use bss_util::config::{BootstrapParams, InvalidParams, NewscastParams};
+use bss_util::coords::Placement;
+use bss_util::descriptor::Descriptor;
+use bss_util::id::NodeId;
 use bss_util::rng::SimRng;
 use bss_util::stats::Series;
 use std::fmt;
 use std::fmt::Write as _;
 use std::ops::ControlFlow;
+use std::sync::Arc;
 
 /// Which peer sampling implementation an experiment runs over.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -73,6 +77,13 @@ pub struct ExperimentConfig {
     pub traffic_router: RouterKind,
     /// Which engine executes the run.
     pub engine: Engine,
+    /// The link model every engine consults per `(src, dst)` message: latency
+    /// on the event engine, structural loss everywhere, and — with
+    /// [`LatencyModel::Wan`] — the node placement that defines regions for
+    /// regional scenario events and per-region report series. `None` falls
+    /// back to the event engine's latency selection (or a constant model on
+    /// the cycle engines), which keeps legacy configurations byte-identical.
+    pub link: Option<LatencyModel>,
     /// Hard cycle budget.
     pub max_cycles: u64,
     /// Stop as soon as every node's tables are perfect (the paper's termination
@@ -104,6 +115,7 @@ impl ExperimentConfig {
                 scenario: Scenario::calm(),
                 traffic_router: RouterKind::Pastry,
                 engine: Engine::Cycle,
+                link: None,
                 max_cycles: 100,
                 stop_when_perfect: true,
                 measure_every: 1,
@@ -129,6 +141,31 @@ impl ExperimentConfig {
     /// The worker thread count implied by the engine selection.
     pub fn threads(&self) -> usize {
         self.engine.threads()
+    }
+
+    /// The link model in force for this run: the explicit [`link`] selection
+    /// when present, else the event engine's latency model, else the default
+    /// constant model — exactly what the pre-topology code charged.
+    ///
+    /// [`link`]: ExperimentConfig::link
+    pub fn link_model(&self) -> LatencyModel {
+        if let Some(model) = self.link {
+            return model;
+        }
+        match self.engine {
+            Engine::Event { latency } => latency,
+            _ => LatencyModel::default(),
+        }
+    }
+
+    /// The node placement of the run's link model, shared by the transport,
+    /// the measurement layer and the traffic driver. `None` for the
+    /// placement-free (constant/uniform) models. Coordinates come from a
+    /// salted private stream, so building the placement never perturbs the
+    /// run's main RNG.
+    pub fn placement(&self) -> Option<Arc<Placement>> {
+        self.link_model()
+            .build_placement(self.network_size, self.seed)
     }
 
     /// Validates the configuration.
@@ -160,6 +197,39 @@ impl ExperimentConfig {
         }
         self.engine.validate()?;
         self.scenario.validate()?;
+        self.link_model().validate()?;
+        // Regional connectivity events only mean something under a placement:
+        // without a Wan link model no region exists to outage or slow down,
+        // so the event would silently do nothing.
+        if self.scenario.has_regional_events() && !self.link_model().is_wan() {
+            return Err(InvalidParams::from_message(
+                "regional scenario events require a wan link model (regions only exist under a node placement)",
+            ));
+        }
+        // A regional event naming a region the placement never populates
+        // would likewise be a silent no-op: reject it while both are in scope.
+        if let Some(spec) = self.link_model().placement_spec() {
+            let regions = spec.region_count();
+            let named = self
+                .scenario
+                .regional_outages()
+                .map(|(_, region, _)| ("regional outage region", region))
+                .chain(
+                    self.scenario
+                        .slow_link_windows()
+                        .filter_map(|(_, region, _)| region.map(|r| ("slow links region", r))),
+                );
+            for (field, region) in named {
+                if region >= regions {
+                    return Err(InvalidParams::OutOfRange {
+                        field,
+                        value: f64::from(region),
+                        min: 0.0,
+                        max: f64::from(regions.saturating_sub(1)),
+                    });
+                }
+            }
+        }
         // An id-spray attack names its eclipse target by node index; a target
         // outside the registry would silently never act, so reject it here
         // (typed, no clamping) while the network size is in scope.
@@ -269,6 +339,14 @@ impl ExperimentConfigBuilder {
         self
     }
 
+    /// Selects the link model explicitly (see [`ExperimentConfig::link`]).
+    /// Required for [`LatencyModel::Wan`] on the cycle engines, where no
+    /// event-engine latency selection exists to infer it from.
+    pub fn link_model(&mut self, model: LatencyModel) -> &mut Self {
+        self.config.link = Some(model);
+        self
+    }
+
     /// Legacy sugar: sets the per-message drop probability by installing (or,
     /// at zero, removing) a whole-run loss window on the scenario timeline.
     pub fn drop_probability(&mut self, p: f64) -> &mut Self {
@@ -328,6 +406,35 @@ impl ExperimentConfigBuilder {
     }
 }
 
+/// End-of-run proximity statistics of the converged overlay under a WAN
+/// placement: how geographically close the links nodes actually keep are,
+/// against a seeded random-pairs baseline over the same population. A
+/// bootstrap service that fills leaf sets purely by identifier distance
+/// should land near the baseline (identifiers are location-blind); a ratio
+/// well below 1 would indicate locality bias.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ProximityReport {
+    /// Mean coordinate distance over every stored leaf-set link.
+    pub mean_leaf_distance: f64,
+    /// Mean coordinate distance over the same number of random alive pairs,
+    /// drawn from a salted private stream.
+    pub mean_random_distance: f64,
+    /// Number of leaf-set links measured.
+    pub leaf_links: u64,
+}
+
+impl ProximityReport {
+    /// `mean_leaf_distance / mean_random_distance` (0 when the baseline is
+    /// degenerate).
+    pub fn ratio(&self) -> f64 {
+        if self.mean_random_distance == 0.0 {
+            0.0
+        } else {
+            self.mean_leaf_distance / self.mean_random_distance
+        }
+    }
+}
+
 /// The serializable result of one simulation run, produced identically by all
 /// engines and consumed by every experiment binary, the lookup evaluator and
 /// the examples.
@@ -343,6 +450,9 @@ pub struct RunReport {
     in_degree_max_series: Series,
     in_degree_gini_series: Series,
     dead_pointer_series: Series,
+    /// One missing-leaf-proportion series per placement region (empty without
+    /// a WAN link model).
+    region_leaf_series: Vec<Series>,
     convergence_cycle: Option<u64>,
     degraded_cycle: Option<u64>,
     recovered_cycle: Option<u64>,
@@ -351,6 +461,7 @@ pub struct RunReport {
     final_state: NetworkConvergence,
     traffic: TrafficStats,
     lookups: Option<LookupTrafficReport>,
+    proximity: Option<ProximityReport>,
     events_fired: Vec<(u64, String)>,
     phase_profile: Option<PhaseProfile>,
 }
@@ -498,6 +609,19 @@ impl RunReport {
         self.lookups.as_ref()
     }
 
+    /// Per placement region, the per-measured-cycle proportion of missing
+    /// leaf-set entries over that region's nodes. Empty — and cost-free —
+    /// without a WAN link model; with one, position `r` is region `r`.
+    pub fn region_leaf_series(&self) -> &[Series] {
+        &self.region_leaf_series
+    }
+
+    /// End-of-run leaf-set proximity statistics under the WAN placement;
+    /// `None` without one.
+    pub fn proximity(&self) -> Option<&ProximityReport> {
+        self.proximity.as_ref()
+    }
+
     /// The scenario events that took effect, as `(cycle, description)` pairs.
     pub fn events_fired(&self) -> &[(u64, String)] {
         &self.events_fired
@@ -586,6 +710,23 @@ impl RunReport {
                 lookups.max_hops(),
             );
         }
+        match self.proximity.as_ref() {
+            Some(proximity) => {
+                let _ = writeln!(
+                    out,
+                    "  \"proximity\": {{\"mean_leaf_distance\": {:.6}, \
+                     \"mean_random_distance\": {:.6}, \"ratio\": {:.6}, \
+                     \"leaf_links\": {}}},",
+                    proximity.mean_leaf_distance,
+                    proximity.mean_random_distance,
+                    proximity.ratio(),
+                    proximity.leaf_links,
+                );
+            }
+            None => {
+                let _ = writeln!(out, "  \"proximity\": null,");
+            }
+        }
         match self.phase_profile.as_ref() {
             Some(profile) => {
                 let _ = writeln!(
@@ -612,26 +753,59 @@ impl RunReport {
             let _ = write!(out, "{{\"cycle\": {cycle}, \"event\": \"{description}\"}}");
         }
         out.push_str("],\n");
-        let mut series_list = vec![
-            ("leaf_series", &self.leaf_series),
-            ("prefix_series", &self.prefix_series),
-            ("dead_series", &self.dead_series),
-            ("poisoned_series", &self.poisoned_series),
-            ("eclipse_series", &self.eclipse_series),
-            ("in_degree_mean_series", &self.in_degree_mean_series),
-            ("in_degree_max_series", &self.in_degree_max_series),
-            ("in_degree_gini_series", &self.in_degree_gini_series),
-            ("dead_pointer_series", &self.dead_pointer_series),
+        let mut series_list: Vec<(String, &Series)> = vec![
+            ("leaf_series".to_owned(), &self.leaf_series),
+            ("prefix_series".to_owned(), &self.prefix_series),
+            ("dead_series".to_owned(), &self.dead_series),
+            ("poisoned_series".to_owned(), &self.poisoned_series),
+            ("eclipse_series".to_owned(), &self.eclipse_series),
+            (
+                "in_degree_mean_series".to_owned(),
+                &self.in_degree_mean_series,
+            ),
+            (
+                "in_degree_max_series".to_owned(),
+                &self.in_degree_max_series,
+            ),
+            (
+                "in_degree_gini_series".to_owned(),
+                &self.in_degree_gini_series,
+            ),
+            ("dead_pointer_series".to_owned(), &self.dead_pointer_series),
         ];
+        for (region, series) in self.region_leaf_series.iter().enumerate() {
+            series_list.push((format!("leaf_series_r{region}"), series));
+        }
         if let Some(lookups) = self.lookups.as_ref() {
             series_list.extend([
-                ("lookup_success_series", lookups.success_series()),
-                ("lookup_hop_mean_series", lookups.hop_mean_series()),
-                ("lookup_hop_max_series", lookups.hop_max_series()),
-                ("lookup_latency_p50_series", lookups.latency_p50_series()),
-                ("lookup_latency_p95_series", lookups.latency_p95_series()),
-                ("lookup_latency_p99_series", lookups.latency_p99_series()),
+                ("lookup_success_series".to_owned(), lookups.success_series()),
+                (
+                    "lookup_hop_mean_series".to_owned(),
+                    lookups.hop_mean_series(),
+                ),
+                ("lookup_hop_max_series".to_owned(), lookups.hop_max_series()),
+                (
+                    "lookup_latency_p50_series".to_owned(),
+                    lookups.latency_p50_series(),
+                ),
+                (
+                    "lookup_latency_p95_series".to_owned(),
+                    lookups.latency_p95_series(),
+                ),
+                (
+                    "lookup_latency_p99_series".to_owned(),
+                    lookups.latency_p99_series(),
+                ),
             ]);
+            for (region, series) in lookups.region_success_series().iter().enumerate() {
+                series_list.push((format!("lookup_success_series_r{region}"), series));
+            }
+            for (region, series) in lookups.region_p50_series().iter().enumerate() {
+                series_list.push((format!("lookup_latency_p50_series_r{region}"), series));
+            }
+            for (region, series) in lookups.region_p99_series().iter().enumerate() {
+                series_list.push((format!("lookup_latency_p99_series_r{region}"), series));
+            }
         }
         let last = series_list.len() - 1;
         for (index, (name, series)) in series_list.into_iter().enumerate() {
@@ -750,6 +924,13 @@ struct MeasurementDriver<'a> {
     eclipse_target: Option<NodeIndex>,
     static_oracle: Option<ConvergenceOracle>,
     tracker: ConvergenceTracker,
+    /// The WAN node placement, when the link model defines one — the gate for
+    /// per-region measurement. Shared with the transport and the network.
+    placement: Option<Arc<Placement>>,
+    /// Reused per-region aggregation buckets (one per placement region).
+    region_buckets: Vec<NetworkConvergence>,
+    /// Reused rehydration target of the per-region walk (WAN runs only).
+    region_scratch: Option<BootstrapNode<NodeIndex>>,
     leaf_series: Series,
     prefix_series: Series,
     dead_series: Series,
@@ -759,6 +940,7 @@ struct MeasurementDriver<'a> {
     in_degree_max_series: Series,
     in_degree_gini_series: Series,
     dead_pointer_series: Series,
+    region_leaf_series: Vec<Series>,
     convergence_cycle: Option<u64>,
     degraded_cycle: Option<u64>,
     recovered_cycle: Option<u64>,
@@ -780,6 +962,7 @@ impl<'a> MeasurementDriver<'a> {
         config: &'a ExperimentConfig,
         protocol: &BootstrapProtocol<S>,
         ctx: &EngineContext,
+        placement: Option<&Arc<Placement>>,
     ) -> Self {
         // Under membership churn the live population changes, so the oracle has
         // to be rebuilt per measurement; with static membership one oracle
@@ -797,6 +980,13 @@ impl<'a> MeasurementDriver<'a> {
             eclipse_target: config.scenario.build_adversary().and_then(|m| m.target()),
             static_oracle,
             tracker: ConvergenceTracker::new(),
+            placement: placement.cloned(),
+            region_buckets: Vec::new(),
+            region_scratch: placement.map(|_| {
+                let placeholder = Descriptor::new(NodeId::new(0), NodeIndex::new(0), 0);
+                BootstrapNode::new(placeholder, &config.params)
+                    .expect("parameters validated by the config builder")
+            }),
             leaf_series: Series::new("missing_leafset_proportion"),
             prefix_series: Series::new("missing_prefix_proportion"),
             dead_series: Series::new("dead_descriptor_fraction"),
@@ -806,6 +996,11 @@ impl<'a> MeasurementDriver<'a> {
             in_degree_max_series: Series::new("in_degree_max"),
             in_degree_gini_series: Series::new("in_degree_gini"),
             dead_pointer_series: Series::new("dead_pointer_fraction"),
+            region_leaf_series: placement.map_or_else(Vec::new, |p| {
+                (0..p.region_count())
+                    .map(|region| Series::new(format!("missing_leafset_r{region}")))
+                    .collect()
+            }),
             convergence_cycle: None,
             degraded_cycle: None,
             recovered_cycle: None,
@@ -853,6 +1048,7 @@ impl<'a> MeasurementDriver<'a> {
         };
         self.leaf_series.push(cycle, measured.leaf_proportion());
         self.prefix_series.push(cycle, measured.prefix_proportion());
+        self.measure_regions(protocol, ctx, cycle);
         // The dead-descriptor fraction: only a scenario with churn or a
         // catastrophe can ever kill a node, so every other run (calm, joins,
         // re-bootstrap) records a structural zero without walking the tables.
@@ -933,11 +1129,55 @@ impl<'a> MeasurementDriver<'a> {
         flow
     }
 
+    /// Per-region convergence: one table walk over the alive population,
+    /// bucketing each node's counts by its placement region. Only WAN runs
+    /// (a placement is attached) pay the walk; every other run returns
+    /// immediately.
+    fn measure_regions<S: PeerSampler>(
+        &mut self,
+        protocol: &BootstrapProtocol<S>,
+        ctx: &EngineContext,
+        cycle: u64,
+    ) {
+        let Some(placement) = self.placement.clone() else {
+            return;
+        };
+        let scratch = self
+            .region_scratch
+            .as_mut()
+            .expect("scratch is built whenever a placement is");
+        self.region_buckets.clear();
+        self.region_buckets.resize(
+            placement.region_count() as usize,
+            NetworkConvergence::default(),
+        );
+        // Under churn the static oracle is absent; rebuild one for this pass,
+        // mirroring what the global measurement just did.
+        let rebuilt;
+        let oracle = match self.static_oracle.as_ref() {
+            Some(oracle) => oracle,
+            None => {
+                rebuilt = protocol.oracle_for(ctx);
+                &rebuilt
+            }
+        };
+        for node in ctx.network.alive_indices() {
+            if protocol.unpack_node_into(node, scratch) {
+                let region = placement.region(node.as_usize()) as usize;
+                self.region_buckets[region].accumulate(oracle.measure_node(scratch));
+            }
+        }
+        for (region, bucket) in self.region_buckets.iter().enumerate() {
+            self.region_leaf_series[region].push(cycle, bucket.leaf_proportion());
+        }
+    }
+
     fn into_report(
         self,
         cycles_executed: u64,
         traffic: TrafficStats,
         phase_profile: Option<PhaseProfile>,
+        proximity: Option<ProximityReport>,
     ) -> RunReport {
         RunReport {
             config: self.config.clone(),
@@ -950,6 +1190,7 @@ impl<'a> MeasurementDriver<'a> {
             in_degree_max_series: self.in_degree_max_series,
             in_degree_gini_series: self.in_degree_gini_series,
             dead_pointer_series: self.dead_pointer_series,
+            region_leaf_series: self.region_leaf_series,
             convergence_cycle: self.convergence_cycle,
             degraded_cycle: self.degraded_cycle,
             recovered_cycle: self.recovered_cycle,
@@ -958,9 +1199,62 @@ impl<'a> MeasurementDriver<'a> {
             final_state: self.final_state,
             traffic,
             lookups: self.lookup_traffic.map(LookupTraffic::into_report),
+            proximity,
             events_fired: self.events_fired,
             phase_profile,
         }
+    }
+}
+
+/// Salt of the proximity baseline's private draw stream (ASCII "baseline"),
+/// disjoint from the engine, protocol and traffic streams.
+const PROXIMITY_SALT: u64 = 0x6261_7365_6c69_6e65;
+
+/// End-of-run proximity measurement: mean coordinate distance over every
+/// stored leaf-set link, against the same number of random alive pairs drawn
+/// from a salted private stream. WAN runs only (the caller gates on the
+/// placement).
+fn measure_proximity<S: PeerSampler>(
+    protocol: &BootstrapProtocol<S>,
+    ctx: &EngineContext,
+    placement: &Placement,
+    seed: u64,
+) -> ProximityReport {
+    let alive: Vec<NodeIndex> = ctx.network.alive_indices().collect();
+    let mut links = 0u64;
+    let mut leaf_sum = 0.0;
+    for &node in &alive {
+        if let Some(packed) = protocol.packed_node(node) {
+            for entry in packed.leaf_entries() {
+                leaf_sum += placement.distance(node.as_usize(), entry.address() as usize);
+                links += 1;
+            }
+        }
+    }
+    let mut rng = SimRng::seed_from(seed ^ PROXIMITY_SALT);
+    let mut random_sum = 0.0;
+    if alive.len() >= 2 {
+        for _ in 0..links {
+            let a = alive[rng.index(alive.len())];
+            let mut b = a;
+            while b == a {
+                b = alive[rng.index(alive.len())];
+            }
+            random_sum += placement.distance(a.as_usize(), b.as_usize());
+        }
+    }
+    ProximityReport {
+        mean_leaf_distance: if links == 0 {
+            0.0
+        } else {
+            leaf_sum / links as f64
+        },
+        mean_random_distance: if links == 0 {
+            0.0
+        } else {
+            random_sum / links as f64
+        },
+        leaf_links: links,
     }
 }
 
@@ -987,7 +1281,7 @@ pub fn run_scenario<S: PeerSampler>(
         Engine::Cycle | Engine::ParallelCycle { .. } => {
             run_on_cycle_engine(config, protocol, observer)
         }
-        Engine::Event { latency } => run_on_event_engine(config, protocol, observer, latency),
+        Engine::Event { .. } => run_on_event_engine(config, protocol, observer),
     }
 }
 
@@ -1000,9 +1294,19 @@ fn run_on_cycle_engine<S: PeerSampler>(
     observer: &mut dyn Observer,
 ) -> (RunReport, PopulationSnapshot) {
     let mut rng = SimRng::seed_from(config.seed);
-    let network = Network::with_random_ids(config.network_size, &mut rng);
+    let mut network = Network::with_random_ids(config.network_size, &mut rng);
+    let placement = config.placement();
+    if let Some(placement) = placement.as_ref() {
+        network.set_placement(Arc::clone(placement));
+    }
+    let link_model = config.link_model();
     let mut engine = CycleEngine::new(network, rng).with_transport(Box::new(
-        config.scenario.build_transport(config.network_size),
+        config.scenario.build_link_transport(
+            config.network_size,
+            &link_model,
+            placement.as_ref(),
+            config.seed,
+        ),
     ));
     if let Some(churn) = config.scenario.build_churn() {
         engine = engine.with_churn(churn);
@@ -1012,7 +1316,7 @@ fn run_on_cycle_engine<S: PeerSampler>(
         engine.enable_profiling();
     }
     protocol.init_all(engine.context_mut());
-    let mut driver = MeasurementDriver::new(config, protocol, engine.context());
+    let mut driver = MeasurementDriver::new(config, protocol, engine.context(), placement.as_ref());
 
     let cycles_executed = engine.run_parallel_with_observer(
         protocol,
@@ -1022,9 +1326,17 @@ fn run_on_cycle_engine<S: PeerSampler>(
     );
 
     let snapshot = PopulationSnapshot::capture(protocol, engine.context());
+    let proximity = placement
+        .as_ref()
+        .map(|p| measure_proximity(protocol, engine.context(), p, config.seed));
     let phase_profile = engine.phase_profile().copied();
     (
-        driver.into_report(cycles_executed, protocol.traffic().clone(), phase_profile),
+        driver.into_report(
+            cycles_executed,
+            protocol.traffic().clone(),
+            phase_profile,
+            proximity,
+        ),
         snapshot,
     )
 }
@@ -1037,21 +1349,26 @@ fn run_on_event_engine<S: PeerSampler>(
     config: &ExperimentConfig,
     protocol: &mut BootstrapProtocol<S>,
     observer: &mut dyn Observer,
-    latency: LatencyModel,
 ) -> (RunReport, PopulationSnapshot) {
     let mut rng = SimRng::seed_from(config.seed);
-    let network = Network::with_random_ids(config.network_size, &mut rng);
-    let timeline = config.scenario.build_transport(config.network_size);
-    let (min_millis, max_millis) = latency.bounds();
-    let transport = Box::new(UniformLatencyTransport::new(
-        timeline, min_millis, max_millis,
+    let mut network = Network::with_random_ids(config.network_size, &mut rng);
+    let placement = config.placement();
+    if let Some(placement) = placement.as_ref() {
+        network.set_placement(Arc::clone(placement));
+    }
+    let link_model = config.link_model();
+    let transport = Box::new(config.scenario.build_link_transport(
+        config.network_size,
+        &link_model,
+        placement.as_ref(),
+        config.seed,
     ));
     let mut engine: EventEngine<BootstrapMessage> =
         EventEngine::new(network, rng).with_transport(transport);
     let mut churn = config.scenario.build_churn();
 
     protocol.init_all(engine.context_mut());
-    let mut driver = MeasurementDriver::new(config, protocol, engine.context());
+    let mut driver = MeasurementDriver::new(config, protocol, engine.context(), placement.as_ref());
     // Start the initial membership *before* applying cycle-0 scenario events:
     // joiners added at cycle 0 are started individually below, and must not be
     // started a second time by run_until's deferred start phase.
@@ -1118,8 +1435,11 @@ fn run_on_event_engine<S: PeerSampler>(
     }
 
     let snapshot = PopulationSnapshot::capture(protocol, engine.context());
+    let proximity = placement
+        .as_ref()
+        .map(|p| measure_proximity(protocol, engine.context(), p, config.seed));
     (
-        driver.into_report(cycles_executed, protocol.traffic().clone(), None),
+        driver.into_report(cycles_executed, protocol.traffic().clone(), None, proximity),
         snapshot,
     )
 }
@@ -1212,6 +1532,138 @@ mod tests {
         assert!(ok.stop_when_perfect);
         assert!(ok.scenario.is_calm());
         assert_eq!(ok.engine, Engine::Cycle);
+    }
+
+    #[test]
+    fn regional_events_require_a_wan_link_model() {
+        use crate::scenario::{LatencyModel, PlacementSpec, WanParams};
+        let outage = ScenarioEvent::RegionalOutage {
+            phase: Phase::new(10, 20),
+            region: 1,
+            loss: 1.0,
+        };
+        // Without a placement there are no regions to affect.
+        let err = ExperimentConfig::builder()
+            .network_size(64)
+            .event(outage.clone())
+            .build()
+            .unwrap_err();
+        assert!(
+            err.to_string().contains("wan link model"),
+            "unexpected error: {err}"
+        );
+        // With one, the same timeline is accepted…
+        let wan = LatencyModel::Wan {
+            placement: PlacementSpec::Clustered {
+                regions: 4,
+                width: 100.0,
+                height: 100.0,
+                spread: 10.0,
+            },
+            params: WanParams::default(),
+        };
+        let ok = ExperimentConfig::builder()
+            .network_size(64)
+            .link_model(wan)
+            .event(outage)
+            .build()
+            .unwrap();
+        assert_eq!(ok.link_model(), wan);
+        // …but a region id past the placement's region count is rejected
+        // typed, for outages and slow-links windows alike.
+        for event in [
+            ScenarioEvent::RegionalOutage {
+                phase: Phase::new(10, 20),
+                region: 4,
+                loss: 0.5,
+            },
+            ScenarioEvent::SlowLinks {
+                phase: Phase::new(10, 20),
+                region: Some(4),
+                factor: 2.0,
+            },
+        ] {
+            let err = ExperimentConfig::builder()
+                .network_size(64)
+                .link_model(wan)
+                .event(event)
+                .build()
+                .unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    InvalidParams::OutOfRange {
+                        value, max, ..
+                    } if value == 4.0 && max == 3.0
+                ),
+                "unexpected error: {err}"
+            );
+        }
+        // Zero-area placements are rejected typed through the same path.
+        let err = ExperimentConfig::builder()
+            .network_size(64)
+            .link_model(LatencyModel::Wan {
+                placement: PlacementSpec::UniformPlane {
+                    width: 0.0,
+                    height: 100.0,
+                },
+                params: WanParams::default(),
+            })
+            .build()
+            .unwrap_err();
+        assert!(
+            matches!(err, InvalidParams::OutOfRange { field, .. } if field.contains("width")),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn wan_runs_report_per_region_series_and_proximity() {
+        use crate::scenario::{LatencyModel, PlacementSpec, WanParams};
+        let mut builder = ExperimentConfig::builder();
+        builder
+            .network_size(64)
+            .seed(9)
+            .max_cycles(40)
+            .link_model(LatencyModel::Wan {
+                placement: PlacementSpec::Clustered {
+                    regions: 3,
+                    width: 400.0,
+                    height: 400.0,
+                    spread: 30.0,
+                },
+                params: WanParams::default(),
+            });
+        let report = Experiment::new(builder.build().unwrap()).run();
+        assert!(report.converged(), "{report}");
+        assert_eq!(report.region_leaf_series().len(), 3);
+        for series in report.region_leaf_series() {
+            let last = series.points().last().expect("measured cycles").1;
+            assert_eq!(last, 0.0, "every region converged: {report}");
+        }
+        let proximity = report.proximity().expect("wan runs measure proximity");
+        assert!(proximity.leaf_links > 0);
+        assert!(proximity.mean_leaf_distance > 0.0);
+        assert!(proximity.mean_random_distance > 0.0);
+        assert!(proximity.ratio() > 0.0);
+        // The JSON carries the per-region series and the proximity block.
+        let json = report.to_json();
+        assert!(json.contains("\"leaf_series_r2\""));
+        assert!(json.contains("\"mean_leaf_distance\""));
+
+        // A legacy run reports neither.
+        let calm = Experiment::new(
+            ExperimentConfig::builder()
+                .network_size(64)
+                .seed(9)
+                .max_cycles(40)
+                .build()
+                .unwrap(),
+        )
+        .run();
+        assert!(calm.region_leaf_series().is_empty());
+        assert!(calm.proximity().is_none());
+        assert!(calm.to_json().contains("\"proximity\": null"));
     }
 
     #[test]

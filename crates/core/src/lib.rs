@@ -88,6 +88,6 @@ pub use prefix_table::PrefixTable;
 pub use protocol::{BootstrapMessage, BootstrapProtocol};
 pub use routing::{Contact, RouterKind};
 pub use scenario::{
-    Engine, KeyDist, LatencyModel, NullObserver, Observer, PartitionSpec, Phase, Scenario,
-    ScenarioEvent,
+    Engine, KeyDist, LatencyModel, NullObserver, Observer, PartitionSpec, Phase, PlacementSpec,
+    Scenario, ScenarioEvent, WanParams,
 };

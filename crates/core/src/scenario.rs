@@ -29,13 +29,18 @@ use bss_sim::churn::{
     ByzantineConversion, CatastrophicFailure, ChurnModel, CompositeChurn, MassiveJoin, ReBootstrap,
     UniformChurn, WindowedChurn,
 };
+use bss_sim::link::{ConstantLink, LinkModel, LinkTransport, UniformLink, WanLink};
 use bss_sim::observer::MetricRecorder;
 use bss_sim::transport::TimelineTransport;
 use bss_util::config::InvalidParams;
+use bss_util::coords::Placement;
 use std::fmt;
 use std::ops::ControlFlow;
+use std::sync::Arc;
 
 pub use bss_sim::adversary::{AdversaryBehavior, AdversaryModel};
+pub use bss_sim::link::WanParams;
+pub use bss_util::coords::PlacementSpec;
 
 /// A `[start, end)` window of cycles during which a scenario condition holds.
 ///
@@ -262,6 +267,34 @@ pub enum ScenarioEvent {
         /// How lookup keys are drawn from the alive population.
         key_dist: KeyDist,
     },
+    /// A regional outage during a window: every message with an endpoint in
+    /// `region` is dropped independently with probability `loss` while the
+    /// window is active. Connectivity-only — nodes stay alive, so the region
+    /// re-joins the overlay the moment the window closes. Requires a
+    /// [`LatencyModel::Wan`] link model (regions come from its placement);
+    /// lookups from or to the region fail with the same probability while the
+    /// outage lasts.
+    RegionalOutage {
+        /// When the outage is in force.
+        phase: Phase,
+        /// The affected region id (must exist in the placement).
+        region: u32,
+        /// Per-message drop probability in `[0, 1]` for touched links.
+        loss: f64,
+    },
+    /// Degraded links during a window: the latency of every matching link
+    /// (an endpoint in `region`, or all links when `region` is `None`) is
+    /// multiplied by `factor`. Connectivity-only; only the event engine and
+    /// the traffic latency accounting feel it, since the cycle engines never
+    /// consult latency. Requires a [`LatencyModel::Wan`] link model.
+    SlowLinks {
+        /// When the slowdown is in force.
+        phase: Phase,
+        /// The affected region id, or `None` to slow every link.
+        region: Option<u32>,
+        /// Latency multiplier (must be at least 1.0 and finite).
+        factor: f64,
+    },
 }
 
 impl ScenarioEvent {
@@ -272,7 +305,9 @@ impl ScenarioEvent {
             | ScenarioEvent::ChurnBurst { phase, .. }
             | ScenarioEvent::Partition { phase, .. }
             | ScenarioEvent::ByzantineConvert { phase, .. }
-            | ScenarioEvent::TrafficPhase { phase, .. } => phase.start,
+            | ScenarioEvent::TrafficPhase { phase, .. }
+            | ScenarioEvent::RegionalOutage { phase, .. }
+            | ScenarioEvent::SlowLinks { phase, .. } => phase.start,
             ScenarioEvent::CatastrophicFailure { at_cycle, .. }
             | ScenarioEvent::MassiveJoin { at_cycle, .. }
             | ScenarioEvent::ReBootstrap { at_cycle, .. } => *at_cycle,
@@ -288,7 +323,9 @@ impl ScenarioEvent {
             | ScenarioEvent::ChurnBurst { phase, .. }
             | ScenarioEvent::Partition { phase, .. }
             | ScenarioEvent::ByzantineConvert { phase, .. }
-            | ScenarioEvent::TrafficPhase { phase, .. } => {
+            | ScenarioEvent::TrafficPhase { phase, .. }
+            | ScenarioEvent::RegionalOutage { phase, .. }
+            | ScenarioEvent::SlowLinks { phase, .. } => {
                 if phase.end == u64::MAX {
                     phase.start
                 } else {
@@ -398,6 +435,22 @@ impl ScenarioEvent {
                 }
                 key_dist.validate()
             }
+            ScenarioEvent::RegionalOutage { phase, loss, .. } => {
+                phase.validate("regional outage")?;
+                in_unit("regional outage loss", *loss)
+            }
+            ScenarioEvent::SlowLinks { phase, factor, .. } => {
+                phase.validate("slow links")?;
+                if !factor.is_finite() || *factor < 1.0 {
+                    return Err(InvalidParams::OutOfRange {
+                        field: "slow links factor",
+                        value: *factor,
+                        min: 1.0,
+                        max: f64::MAX,
+                    });
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -453,6 +506,27 @@ impl fmt::Display for ScenarioEvent {
                     "{lookups_per_cycle} {key_dist} lookups/cycle during {phase}"
                 )
             }
+            ScenarioEvent::RegionalOutage {
+                phase,
+                region,
+                loss,
+            } => {
+                write!(
+                    f,
+                    "{:.0}% outage of region {region} during {phase}",
+                    loss * 100.0
+                )
+            }
+            ScenarioEvent::SlowLinks {
+                phase,
+                region,
+                factor,
+            } => match region {
+                Some(region) => {
+                    write!(f, "{factor}x slow links in region {region} during {phase}")
+                }
+                None => write!(f, "{factor}x slow links everywhere during {phase}"),
+            },
         }
     }
 }
@@ -590,6 +664,45 @@ impl Scenario {
         self.events
             .iter()
             .any(|event| matches!(event, ScenarioEvent::TrafficPhase { .. }))
+    }
+
+    /// Whether the timeline contains regional connectivity events (outages or
+    /// slow links). Such timelines require a [`LatencyModel::Wan`] link model,
+    /// since regions only exist under a node placement.
+    pub fn has_regional_events(&self) -> bool {
+        self.events.iter().any(|event| {
+            matches!(
+                event,
+                ScenarioEvent::RegionalOutage { .. } | ScenarioEvent::SlowLinks { .. }
+            )
+        })
+    }
+
+    /// The regional outages on the timeline, as `(phase, region, loss)`
+    /// triples in timeline order. The traffic layer replays these to fail
+    /// lookups touching an outaged region at service level.
+    pub fn regional_outages(&self) -> impl Iterator<Item = (Phase, u32, f64)> + '_ {
+        self.events.iter().filter_map(|event| match event {
+            ScenarioEvent::RegionalOutage {
+                phase,
+                region,
+                loss,
+            } => Some((*phase, *region, *loss)),
+            _ => None,
+        })
+    }
+
+    /// The slow-link windows on the timeline, as `(phase, region, factor)`
+    /// triples in timeline order (`region == None` slows every link).
+    pub fn slow_link_windows(&self) -> impl Iterator<Item = (Phase, Option<u32>, f64)> + '_ {
+        self.events.iter().filter_map(|event| match event {
+            ScenarioEvent::SlowLinks {
+                phase,
+                region,
+                factor,
+            } => Some((*phase, *region, *factor)),
+            _ => None,
+        })
     }
 
     /// The traffic phases on the timeline, as `(phase, lookups_per_cycle,
@@ -764,6 +877,36 @@ impl Scenario {
         transport
     }
 
+    /// Compiles the full per-link transport both engines now run on: the
+    /// scripted timeline of [`Scenario::build_transport`] composed with the
+    /// link model of `latency` and the timeline's regional outage / slow-link
+    /// windows. With a trivial link model and no regional events the result
+    /// consumes exactly the legacy RNG streams (see `bss_sim::link`).
+    ///
+    /// `placement` must be the shared value of
+    /// [`LatencyModel::build_placement`] for this run (or `None` for the
+    /// placement-free models).
+    pub fn build_link_transport(
+        &self,
+        network_size: usize,
+        latency: &LatencyModel,
+        placement: Option<&Arc<Placement>>,
+        seed: u64,
+    ) -> LinkTransport {
+        let link = latency.build_link(placement, seed);
+        let mut transport = LinkTransport::new(self.build_transport(network_size), link);
+        if let Some(placement) = placement {
+            transport = transport.with_placement(Arc::clone(placement));
+        }
+        for (phase, region, loss) in self.regional_outages() {
+            transport = transport.with_outage_window(phase.start, phase.end, region, loss);
+        }
+        for (phase, region, factor) in self.slow_link_windows() {
+            transport = transport.with_slow_window(phase.start, phase.end, region, factor);
+        }
+        transport
+    }
+
     /// Compiles the timeline's membership and recovery events into a churn
     /// model, or `None` when neither kind is present. Models are composed in
     /// timeline order, so within one cycle a join listed before a failure
@@ -822,8 +965,15 @@ impl fmt::Display for Scenario {
     }
 }
 
-/// The per-link latency model of the event-driven engine.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// The per-link latency (and topology) model consulted by every engine.
+///
+/// `Constant` and `Uniform` are the historical global models: one latency
+/// distribution for every link, no geography. `Wan` places every node on a
+/// 2-D plane ([`PlacementSpec`]) and derives each link's latency from
+/// coordinate distance ([`WanParams`]) — which also unlocks the regional
+/// scenario events ([`ScenarioEvent::RegionalOutage`],
+/// [`ScenarioEvent::SlowLinks`]) and the per-region report series.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum LatencyModel {
     /// Every delivered message takes exactly `millis` milliseconds.
     Constant {
@@ -837,10 +987,19 @@ pub enum LatencyModel {
         /// Largest latency (inclusive).
         max_millis: u64,
     },
+    /// Distance-dependent WAN latency over a seeded node placement, with
+    /// deterministic per-pair jitter and asymmetric inter-region loss.
+    Wan {
+        /// How nodes are placed on the plane (and partitioned into regions).
+        placement: PlacementSpec,
+        /// The distance-to-milliseconds conversion and loss parameters.
+        params: WanParams,
+    },
 }
 
 impl LatencyModel {
-    /// The latency bounds as a `(min, max)` pair.
+    /// The latency bounds as a `(min, max)` pair. For `Wan` the maximum is
+    /// derived from the placement's maximum pairwise distance.
     pub fn bounds(&self) -> (u64, u64) {
         match *self {
             LatencyModel::Constant { millis } => (millis, millis),
@@ -848,15 +1007,89 @@ impl LatencyModel {
                 min_millis,
                 max_millis,
             } => (min_millis, max_millis),
+            LatencyModel::Wan { placement, params } => {
+                let max_propagation =
+                    (placement.max_distance() * params.millis_per_unit).round() as u64;
+                (
+                    params.base_millis.max(1),
+                    (params.base_millis + max_propagation + params.jitter_millis).max(1),
+                )
+            }
         }
     }
 
-    fn validate(&self) -> Result<(), InvalidParams> {
+    /// Whether this model carries a node placement (regional events and
+    /// per-region series require one).
+    pub fn is_wan(&self) -> bool {
+        matches!(self, LatencyModel::Wan { .. })
+    }
+
+    /// The placement spec, when this model has one.
+    pub fn placement_spec(&self) -> Option<PlacementSpec> {
+        match *self {
+            LatencyModel::Wan { placement, .. } => Some(placement),
+            _ => None,
+        }
+    }
+
+    /// A short machine-readable name (used in bench TSV columns).
+    pub fn label(&self) -> &'static str {
+        match self {
+            LatencyModel::Constant { .. } => "constant",
+            LatencyModel::Uniform { .. } => "uniform",
+            LatencyModel::Wan { .. } => "wan",
+        }
+    }
+
+    /// Generates the node placement for a network of `size` initial nodes,
+    /// or `None` for the placement-free models. Coordinates come from a
+    /// salted private stream, so this never perturbs the run's main RNG.
+    pub fn build_placement(&self, size: usize, seed: u64) -> Option<Arc<Placement>> {
+        self.placement_spec()
+            .map(|spec| Arc::new(spec.generate(size, seed)))
+    }
+
+    /// Compiles this model into the [`LinkModel`] the transports consult.
+    /// `placement` must be the value of [`LatencyModel::build_placement`]
+    /// (shared so the measurement layer sees the same coordinates).
+    pub fn build_link(&self, placement: Option<&Arc<Placement>>, seed: u64) -> Box<dyn LinkModel> {
+        match *self {
+            LatencyModel::Constant { millis } => Box::new(ConstantLink::new(millis)),
+            LatencyModel::Uniform {
+                min_millis,
+                max_millis,
+            } => Box::new(UniformLink::new(min_millis, max_millis)),
+            LatencyModel::Wan { params, .. } => {
+                let placement = placement
+                    .expect("a Wan latency model always builds a placement")
+                    .clone();
+                Box::new(WanLink::new(placement, params, seed))
+            }
+        }
+    }
+
+    /// Validates the model: the latency range must not be inverted, and a WAN
+    /// model's placement and parameters must each pass their own validation.
+    ///
+    /// # Errors
+    ///
+    /// Returns the typed [`InvalidParams::OutOfRange`] naming the offending
+    /// field.
+    pub fn validate(&self) -> Result<(), InvalidParams> {
         let (min, max) = self.bounds();
         if min > max {
-            return Err(InvalidParams::from_message(format!(
-                "latency range is inverted: [{min}, {max}]"
-            )));
+            // Typed rather than stringly: an inverted range means min_millis
+            // exceeds the inclusive ceiling max_millis sets.
+            return Err(InvalidParams::OutOfRange {
+                field: "latency min_millis",
+                value: min as f64,
+                min: 0.0,
+                max: max as f64,
+            });
+        }
+        if let LatencyModel::Wan { placement, params } = self {
+            placement.validate()?;
+            params.validate()?;
         }
         Ok(())
     }

@@ -14,11 +14,17 @@
 //! Per measured cycle the driver folds its window counters into six series on
 //! the [`RunReport`](crate::experiment::RunReport): lookup success rate, hop
 //! mean and max, and latency percentiles p50/p95/p99 computed by charging each
-//! hop through the run's [`LatencyModel`] (the event engine's model when that
-//! engine drives the run, one millisecond per hop otherwise). Everything is
-//! capability-gated on [`Scenario::has_traffic`](crate::scenario::Scenario):
-//! runs without a traffic phase build no driver, draw no random numbers and
-//! emit no traffic series, so their reports stay byte-identical.
+//! hop through the run's link model
+//! ([`ExperimentConfig::link_model`](crate::experiment::ExperimentConfig)).
+//! Under a [`LatencyModel::Wan`] link model the driver additionally keeps one
+//! window per placement region (keyed by the *client*'s region), charges each
+//! delivered lookup along its actual hop path at the pure per-link WAN
+//! latency, and replays the scenario's regional outages at the service level:
+//! a lookup issued from — or targeting — an outaged region fails before
+//! routing starts. Everything is capability-gated on
+//! [`Scenario::has_traffic`](crate::scenario::Scenario): runs without a
+//! traffic phase build no driver, draw no random numbers and emit no traffic
+//! series, so their reports stay byte-identical.
 //!
 //! Determinism: the driver owns a private [`SimRng`] stream seeded from
 //! `config.seed ^ TRAFFIC_SALT`, never touching the engine or protocol
@@ -29,9 +35,10 @@ use crate::experiment::ExperimentConfig;
 use crate::node::BootstrapNode;
 use crate::protocol::BootstrapProtocol;
 use crate::routing::{route, Contact, RouterKind, TableSource, DEFAULT_MAX_HOPS};
-use crate::scenario::{Engine, KeyDist, LatencyModel, Phase};
+use crate::scenario::{KeyDist, LatencyModel, Phase};
 use bss_sampling::sampler::PeerSampler;
 use bss_sim::engine::cycle::EngineContext;
+use bss_sim::link::WanLink;
 use bss_sim::network::{Network, NodeIndex};
 use bss_util::descriptor::Descriptor;
 use bss_util::id::NodeId;
@@ -108,6 +115,111 @@ impl Counters {
     }
 }
 
+/// Per-region window state of a WAN traffic run: counters and latency
+/// histogram over the lookups *issued by* clients of one placement region,
+/// flushed into per-region series on measured cycles.
+#[derive(Debug)]
+struct RegionWindow {
+    window: Counters,
+    latency: StreamingHistogram,
+    success_series: Series,
+    p50_series: Series,
+    p99_series: Series,
+}
+
+/// WAN-only traffic state: a pure link model over the run's shared placement
+/// (for path-distance charging), the scenario's regional windows replayed at
+/// the service level, and one [`RegionWindow`] per placement region.
+#[derive(Debug)]
+struct WanTraffic {
+    link: WanLink,
+    outages: Vec<(Phase, u32, f64)>,
+    slowdowns: Vec<(Phase, Option<u32>, f64)>,
+    regions: Vec<RegionWindow>,
+}
+
+impl WanTraffic {
+    /// Builds the WAN state when `latency` is a WAN model; `None` otherwise.
+    fn for_config(
+        config: &ExperimentConfig,
+        latency: &LatencyModel,
+        bucket_width: u64,
+    ) -> Option<Self> {
+        let LatencyModel::Wan { params, .. } = *latency else {
+            return None;
+        };
+        let placement = config
+            .placement()
+            .expect("a wan latency model always builds a placement");
+        let regions = (0..placement.region_count())
+            .map(|region| RegionWindow {
+                window: Counters::default(),
+                latency: StreamingHistogram::with_buckets(bucket_width, DEFAULT_MAX_HOPS + 2),
+                success_series: Series::new(format!("lookup_success_r{region}")),
+                p50_series: Series::new(format!("lookup_latency_p50_r{region}")),
+                p99_series: Series::new(format!("lookup_latency_p99_r{region}")),
+            })
+            .collect();
+        Some(WanTraffic {
+            link: WanLink::new(placement, params, config.seed),
+            outages: config.scenario.regional_outages().collect(),
+            slowdowns: config.scenario.slow_link_windows().collect(),
+            regions,
+        })
+    }
+
+    /// Placement region of a node's registry address.
+    fn region_of(&self, node: NodeIndex) -> u32 {
+        self.link.placement().region(node.as_usize())
+    }
+
+    /// Service-level outage gate: one loss coin per active outage window
+    /// touching the client's or the target's region, mirroring what
+    /// [`LinkTransport`](bss_sim::link::LinkTransport) does per message.
+    fn outage_drops(&self, cycle: u64, src: u32, tgt: u32, rng: &mut SimRng) -> bool {
+        for &(phase, region, loss) in &self.outages {
+            if phase.contains(cycle)
+                && loss > 0.0
+                && (src == region || tgt == region)
+                && rng.chance(loss)
+            {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Total latency of one delivered lookup along `path`: each consecutive
+    /// hop charged at the pure per-link WAN latency, scaled by every active
+    /// slow-link window matching that hop. Draws nothing.
+    fn charge_path(&self, cycle: u64, path: &[Contact]) -> u64 {
+        let mut total = 0u64;
+        for pair in path.windows(2) {
+            let (from, to) = (pair[0].address, pair[1].address);
+            let base = self.link.link_latency(from, to);
+            let mut factor = 1.0f64;
+            for &(phase, region, window_factor) in &self.slowdowns {
+                if phase.contains(cycle) {
+                    let matches = match region {
+                        None => true,
+                        Some(r) => self.region_of(from) == r || self.region_of(to) == r,
+                    };
+                    if matches {
+                        factor *= window_factor;
+                    }
+                }
+            }
+            total += if factor == 1.0 {
+                base
+            } else {
+                ((base as f64) * factor).round() as u64
+            }
+            .max(1);
+        }
+        total
+    }
+}
+
 /// The per-run lookup traffic driver. Built by the measurement layer only when
 /// the scenario carries a [`TrafficPhase`](crate::scenario::ScenarioEvent);
 /// every other run pays nothing.
@@ -129,6 +241,9 @@ pub struct LookupTraffic {
     window: Counters,
     totals: Counters,
     window_latency: StreamingHistogram,
+    /// WAN-only state (placement, path charging, regional windows); `None`
+    /// under the placement-free link models.
+    wan: Option<WanTraffic>,
     success_series: Series,
     hop_mean_series: Series,
     hop_max_series: Series,
@@ -145,10 +260,7 @@ impl LookupTraffic {
         if !config.scenario.has_traffic() {
             return None;
         }
-        let latency = match config.engine {
-            Engine::Event { latency } => latency,
-            _ => LatencyModel::default(),
-        };
+        let latency = config.link_model();
         // One bucket per possible hop at the per-hop latency ceiling keeps the
         // window histogram exact for constant latency and allocation-free
         // either way; anything past the ceiling saturates into the last
@@ -161,6 +273,7 @@ impl LookupTraffic {
         Some(LookupTraffic {
             router: config.traffic_router,
             phases: config.scenario.traffic_phases().collect(),
+            wan: WanTraffic::for_config(config, &latency, bucket_width),
             latency,
             rng: SimRng::seed_from(config.seed ^ TRAFFIC_SALT),
             scratch,
@@ -227,6 +340,7 @@ impl LookupTraffic {
             window,
             totals,
             window_latency,
+            wan,
             ..
         } = self;
         let mut tables = LiveTables {
@@ -237,19 +351,56 @@ impl LookupTraffic {
         for _ in 0..rate {
             let source = alive[rng.index(alive.len())];
             let target = match dist {
-                KeyDist::Uniform => alive[rng.index(alive.len())].id,
+                KeyDist::Uniform => alive[rng.index(alive.len())],
                 KeyDist::Zipf { .. } => {
                     let total = *zipf_cumulative.last().expect("population is non-empty");
                     let draw = rng.unit_f64() * total;
                     let position = zipf_cumulative.partition_point(|&cum| cum < draw);
-                    alive[position.min(alive.len() - 1)].id
+                    alive[position.min(alive.len() - 1)]
                 }
             };
-            let routed = route(&mut tables, *router, source, target, DEFAULT_MAX_HOPS, path);
+            // Service-level regional outages: a lookup issued from — or
+            // targeting — an outaged region fails before routing starts, the
+            // way a real client behind a dead uplink would time out.
+            let src_region = wan.as_ref().map(|state| state.region_of(source.address));
+            if let (Some(state), Some(src)) = (wan.as_ref(), src_region) {
+                let tgt = state.region_of(target.address);
+                if state.outage_drops(cycle, src, tgt, rng) {
+                    window.absorb(false, 0);
+                    totals.absorb(false, 0);
+                    wan.as_mut().expect("checked above").regions[src as usize]
+                        .window
+                        .absorb(false, 0);
+                    continue;
+                }
+            }
+            let routed = route(
+                &mut tables,
+                *router,
+                source,
+                target.id,
+                DEFAULT_MAX_HOPS,
+                path,
+            );
             window.absorb(routed.delivered(), routed.hops);
             totals.absorb(routed.delivered(), routed.hops);
-            if routed.delivered() {
-                window_latency.record(charge(latency, rng, routed.hops));
+            let millis = if routed.delivered() {
+                Some(match wan.as_ref() {
+                    Some(state) => state.charge_path(cycle, path),
+                    None => charge(latency, rng, routed.hops),
+                })
+            } else {
+                None
+            };
+            if let Some(millis) = millis {
+                window_latency.record(millis);
+            }
+            if let (Some(state), Some(src)) = (wan.as_mut(), src_region) {
+                let bucket = &mut state.regions[src as usize];
+                bucket.window.absorb(routed.delivered(), routed.hops);
+                if let Some(millis) = millis {
+                    bucket.latency.record(millis);
+                }
             }
         }
     }
@@ -258,6 +409,24 @@ impl LookupTraffic {
     /// only). Windows in which no lookup was issued push nothing, so calm
     /// stretches outside the traffic phase leave no points.
     pub fn flush_window(&mut self, cycle: u64) {
+        if let Some(state) = self.wan.as_mut() {
+            for bucket in &mut state.regions {
+                if bucket.window.issued == 0 {
+                    continue;
+                }
+                bucket
+                    .success_series
+                    .push(cycle, bucket.window.success_rate());
+                bucket
+                    .p50_series
+                    .push(cycle, bucket.latency.percentile(0.50));
+                bucket
+                    .p99_series
+                    .push(cycle, bucket.latency.percentile(0.99));
+                bucket.window = Counters::default();
+                bucket.latency.reset();
+            }
+        }
         if self.window.issued == 0 {
             return;
         }
@@ -276,6 +445,20 @@ impl LookupTraffic {
 
     /// Freezes the driver into the report-side summary.
     pub fn into_report(self) -> LookupTrafficReport {
+        let (region_success_series, region_p50_series, region_p99_series) = match self.wan {
+            Some(state) => {
+                let mut success = Vec::with_capacity(state.regions.len());
+                let mut p50 = Vec::with_capacity(state.regions.len());
+                let mut p99 = Vec::with_capacity(state.regions.len());
+                for bucket in state.regions {
+                    success.push(bucket.success_series);
+                    p50.push(bucket.p50_series);
+                    p99.push(bucket.p99_series);
+                }
+                (success, p50, p99)
+            }
+            None => (Vec::new(), Vec::new(), Vec::new()),
+        };
         LookupTrafficReport {
             router: self.router,
             issued: self.totals.issued,
@@ -288,13 +471,18 @@ impl LookupTraffic {
             p50_series: self.p50_series,
             p95_series: self.p95_series,
             p99_series: self.p99_series,
+            region_success_series,
+            region_p50_series,
+            region_p99_series,
         }
     }
 }
 
-/// Total latency of one delivered lookup: each hop charged through the run's
-/// [`LatencyModel`]. A constant model draws no randomness (hops × millis); a
-/// uniform model draws one latency per hop from the traffic stream.
+/// Total latency of one delivered lookup under the placement-free models:
+/// each hop charged through the run's [`LatencyModel`]. A constant model
+/// draws no randomness (hops × millis); a uniform model draws one latency per
+/// hop from the traffic stream. WAN runs never reach this — they charge along
+/// the actual hop path (see [`WanTraffic::charge_path`]).
 fn charge(latency: &LatencyModel, rng: &mut SimRng, hops: u64) -> u64 {
     match *latency {
         LatencyModel::Constant { millis } => hops * millis,
@@ -309,6 +497,9 @@ fn charge(latency: &LatencyModel, rng: &mut SimRng, hops: u64) -> u64 {
                     .map(|_| rng.range_u64(min_millis, max_millis + 1))
                     .sum()
             }
+        }
+        LatencyModel::Wan { .. } => {
+            unreachable!("wan lookups charge by path distance, not per-hop draws")
         }
     }
 }
@@ -329,6 +520,9 @@ pub struct LookupTrafficReport {
     p50_series: Series,
     p95_series: Series,
     p99_series: Series,
+    region_success_series: Vec<Series>,
+    region_p50_series: Vec<Series>,
+    region_p99_series: Vec<Series>,
 }
 
 impl LookupTrafficReport {
@@ -401,6 +595,25 @@ impl LookupTrafficReport {
     /// milliseconds.
     pub fn latency_p99_series(&self) -> &Series {
         &self.p99_series
+    }
+
+    /// Per placement region, the window success rate of lookups issued by
+    /// that region's clients. Empty under the placement-free link models;
+    /// with a WAN model, position `r` is region `r`.
+    pub fn region_success_series(&self) -> &[Series] {
+        &self.region_success_series
+    }
+
+    /// Per placement region, the median delivered-lookup latency of that
+    /// region's clients (empty without a WAN link model).
+    pub fn region_p50_series(&self) -> &[Series] {
+        &self.region_p50_series
+    }
+
+    /// Per placement region, the 99th-percentile delivered-lookup latency of
+    /// that region's clients (empty without a WAN link model).
+    pub fn region_p99_series(&self) -> &[Series] {
+        &self.region_p99_series
     }
 }
 

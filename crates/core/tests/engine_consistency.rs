@@ -14,8 +14,19 @@ use bss_core::scenario::{Engine, LatencyModel, Phase, Scenario, ScenarioEvent};
 
 #[test]
 fn both_engines_reach_the_same_converged_membership_at_512_nodes() {
+    // Both engines route delivery through the same explicit `Uniform` link
+    // model: the cycle engine never consults per-link latency (so its trace
+    // is the legacy one), while the event engine draws every delivery from
+    // it — membership agreement must survive the spread.
     let mut builder = ExperimentConfig::builder();
-    builder.network_size(512).seed(42).max_cycles(80);
+    builder
+        .network_size(512)
+        .seed(42)
+        .max_cycles(80)
+        .link_model(LatencyModel::Uniform {
+            min_millis: 1,
+            max_millis: 9,
+        });
     let cycle_config = builder.engine(Engine::Cycle).build().unwrap();
     let event_config = builder
         .engine(Engine::Event {

@@ -8,6 +8,11 @@
 //!   dense [`NodeIndex`](network::NodeIndex) addresses and descriptor creation.
 //! * [`transport`] — message delivery models: reliable, uniform drop (the paper's
 //!   20 % loss experiment), latency distributions and network partitions.
+//! * [`link`] — per-`(src, dst)` latency and loss: the [`LinkModel`](link::LinkModel)
+//!   trait with trivial constant/uniform impls (byte-compatible with the legacy
+//!   global models) and a distance-dependent WAN model over a node placement,
+//!   plus [`LinkTransport`](link::LinkTransport) composing a link model with the
+//!   scripted timeline and phase-windowed regional outages / slow links.
 //! * [`engine`] — the [`cycle`](engine::cycle) engine (each node acts once per
 //!   cycle, in a random order, exchanging request/response pairs synchronously,
 //!   exactly like PeerSim's cycle-driven mode) and the [`event`](engine::event)
@@ -57,6 +62,7 @@
 pub mod adversary;
 pub mod churn;
 pub mod engine;
+pub mod link;
 pub mod network;
 pub mod observer;
 pub mod pool;
@@ -65,6 +71,7 @@ pub mod transport;
 pub use adversary::{AdversaryBehavior, AdversaryModel};
 pub use engine::cycle::{CycleEngine, CycleProtocol, EngineContext, PhaseProfile};
 pub use engine::event::{EventEngine, EventProtocol};
+pub use link::{ConstantLink, LinkModel, LinkTransport, UniformLink, WanLink, WanParams};
 pub use network::{Network, NodeIndex};
 pub use pool::WorkerPool;
 pub use transport::{DropTransport, PartitionTransport, ReliableTransport, Transport};

@@ -1,0 +1,597 @@
+//! Per-link latency and loss models: the topology layer of the transport stack.
+//!
+//! Historically the event engine drew every message's latency from one global
+//! distribution ([`UniformLatencyTransport`](crate::transport::UniformLatencyTransport))
+//! and the cycle engine ignored latency entirely. A [`LinkModel`] instead
+//! answers per `(src, dst)` link, which lets a WAN model derive latency from
+//! coordinate distance ([`bss_util::coords`]) and lets scenario events target
+//! whole regions. [`LinkTransport`] stitches a link model onto the scripted
+//! [`TimelineTransport`] so both engines consult the same object.
+//!
+//! # Determinism contract
+//!
+//! The trivial models are drop-in replacements for the legacy transports and
+//! replay their **exact** RNG streams:
+//!
+//! * [`ConstantLink`] draws nothing, like `UniformLatencyTransport` with
+//!   `min == max`;
+//! * [`UniformLink`] draws exactly one `range_u64(min, max + 1)` per delivered
+//!   message, like `UniformLatencyTransport` with `min < max`;
+//! * [`WanLink`] draws **nothing** from the engine stream — its jitter is a
+//!   pure hash of `(seed, src, dst)` — so per-link latency is a deterministic
+//!   function of the pair, independent of message order.
+//!
+//! A [`LinkTransport`] with no regional windows and a zero-loss link model
+//! delegates its delivery decision verbatim to the inner timeline, which is
+//! what keeps the committed goldens byte-identical with topology off.
+
+use crate::network::NodeIndex;
+use crate::transport::{TimelineTransport, Transport};
+use bss_util::config::InvalidParams;
+use bss_util::coords::Placement;
+use bss_util::rng::SimRng;
+use std::fmt::Debug;
+use std::sync::Arc;
+
+/// Salt mixed into the seed of [`WanLink`]'s per-pair jitter hash (spells
+/// `"linkjit!"`), keeping it disjoint from every other derived stream.
+pub const LINK_JITTER_SALT: u64 = 0x6c69_6e6b_6a69_7421;
+
+/// Parameters of the distance-dependent WAN latency model.
+///
+/// Latency of a link is `base_millis + distance × millis_per_unit + jitter`,
+/// where `distance` is the Euclidean distance between the endpoints'
+/// coordinates and `jitter` is a per-`(src, dst)` hash draw in
+/// `[0, jitter_millis]`. The hash is ordered, so `a → b` and `b → a` generally
+/// differ — links are asymmetric, as in heterogeneous-link architectures.
+/// Messages crossing a region boundary are additionally dropped with
+/// probability `inter_region_loss`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WanParams {
+    /// Fixed per-link cost in milliseconds (propagation floor).
+    pub base_millis: u64,
+    /// Milliseconds added per coordinate distance unit.
+    pub millis_per_unit: f64,
+    /// Upper bound (inclusive) of the deterministic per-pair jitter, ms.
+    pub jitter_millis: u64,
+    /// Drop probability for messages whose endpoints lie in different regions.
+    pub inter_region_loss: f64,
+}
+
+impl Default for WanParams {
+    /// 5 ms floor, 0.05 ms per unit, 3 ms jitter, lossless.
+    fn default() -> Self {
+        WanParams {
+            base_millis: 5,
+            millis_per_unit: 0.05,
+            jitter_millis: 3,
+            inter_region_loss: 0.0,
+        }
+    }
+}
+
+impl WanParams {
+    /// Rejects non-finite or negative rates and out-of-unit loss with the
+    /// typed [`InvalidParams::OutOfRange`].
+    pub fn validate(&self) -> Result<(), InvalidParams> {
+        if !self.millis_per_unit.is_finite() || self.millis_per_unit < 0.0 {
+            return Err(InvalidParams::OutOfRange {
+                field: "wan millis_per_unit",
+                value: self.millis_per_unit,
+                min: 0.0,
+                max: f64::MAX,
+            });
+        }
+        if !self.inter_region_loss.is_finite() || !(0.0..=1.0).contains(&self.inter_region_loss) {
+            return Err(InvalidParams::OutOfRange {
+                field: "wan inter_region_loss",
+                value: self.inter_region_loss,
+                min: 0.0,
+                max: 1.0,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// A per-`(src, dst)` latency and loss model.
+///
+/// Implementations must be deterministic: latency may either consume a
+/// documented number of draws from the engine RNG (the trivial models, for
+/// stream compatibility) or none at all (the WAN model).
+pub trait LinkModel: Debug + Send {
+    /// Latency, in milliseconds, of a delivered message on this link.
+    fn latency_millis(&mut self, from: NodeIndex, to: NodeIndex, rng: &mut SimRng) -> u64;
+
+    /// Structural loss probability of this link (on top of whatever the
+    /// scripted timeline decides). The default is lossless.
+    fn link_loss(&self, _from: NodeIndex, _to: NodeIndex) -> f64 {
+        0.0
+    }
+
+    /// Inclusive `(min, max)` bounds every latency this model can return.
+    fn bounds(&self) -> (u64, u64);
+}
+
+/// Constant latency on every link. Draws nothing: byte-compatible with the
+/// legacy `UniformLatencyTransport` when `min == max`.
+#[derive(Debug, Clone, Copy)]
+pub struct ConstantLink {
+    millis: u64,
+}
+
+impl ConstantLink {
+    /// A link model answering `millis` for every pair.
+    pub fn new(millis: u64) -> Self {
+        ConstantLink { millis }
+    }
+}
+
+impl LinkModel for ConstantLink {
+    fn latency_millis(&mut self, _from: NodeIndex, _to: NodeIndex, _rng: &mut SimRng) -> u64 {
+        self.millis
+    }
+
+    fn bounds(&self) -> (u64, u64) {
+        (self.millis, self.millis)
+    }
+}
+
+/// Uniformly random latency in `[min, max]`, one draw per delivered message —
+/// the exact RNG stream of the legacy `UniformLatencyTransport`.
+#[derive(Debug, Clone, Copy)]
+pub struct UniformLink {
+    min_millis: u64,
+    max_millis: u64,
+}
+
+impl UniformLink {
+    /// A link model drawing uniformly from `[min_millis, max_millis]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_millis > max_millis` (validated ranges never reach
+    /// here; the panic mirrors `UniformLatencyTransport::new`).
+    pub fn new(min_millis: u64, max_millis: u64) -> Self {
+        assert!(min_millis <= max_millis, "latency range is inverted");
+        UniformLink {
+            min_millis,
+            max_millis,
+        }
+    }
+}
+
+impl LinkModel for UniformLink {
+    fn latency_millis(&mut self, _from: NodeIndex, _to: NodeIndex, rng: &mut SimRng) -> u64 {
+        if self.min_millis == self.max_millis {
+            self.min_millis
+        } else {
+            rng.range_u64(self.min_millis, self.max_millis + 1)
+        }
+    }
+
+    fn bounds(&self) -> (u64, u64) {
+        (self.min_millis, self.max_millis)
+    }
+}
+
+/// SplitMix64 finalizer: the bijective mixer behind the WAN jitter hash.
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Distance-dependent WAN latency over a node [`Placement`].
+///
+/// See [`WanParams`] for the formula. Latency draws **nothing** from the
+/// engine RNG: the jitter term is a pure hash of `(seed, src, dst)`, so the
+/// latency of a link is a deterministic function of the pair — a property the
+/// test suite pins with a property test.
+#[derive(Debug, Clone)]
+pub struct WanLink {
+    placement: Arc<Placement>,
+    params: WanParams,
+    seed: u64,
+}
+
+impl WanLink {
+    /// A WAN link model over `placement`, seeded with the experiment seed.
+    pub fn new(placement: Arc<Placement>, params: WanParams, seed: u64) -> Self {
+        WanLink {
+            placement,
+            params,
+            seed,
+        }
+    }
+
+    /// The placement this model measures distances on.
+    pub fn placement(&self) -> &Arc<Placement> {
+        &self.placement
+    }
+
+    /// Latency of the ordered link `from → to` (pure function; `&self`).
+    pub fn link_latency(&self, from: NodeIndex, to: NodeIndex) -> u64 {
+        let distance = self.placement.distance(from.as_usize(), to.as_usize());
+        let propagation = (distance * self.params.millis_per_unit).round() as u64;
+        let jitter = if self.params.jitter_millis == 0 {
+            0
+        } else {
+            let pair = (u64::from(from.raw()) << 32) | u64::from(to.raw());
+            mix(self.seed ^ LINK_JITTER_SALT ^ pair) % (self.params.jitter_millis + 1)
+        };
+        (self.params.base_millis + propagation + jitter).max(1)
+    }
+}
+
+impl LinkModel for WanLink {
+    fn latency_millis(&mut self, from: NodeIndex, to: NodeIndex, _rng: &mut SimRng) -> u64 {
+        self.link_latency(from, to)
+    }
+
+    fn link_loss(&self, from: NodeIndex, to: NodeIndex) -> f64 {
+        if self.placement.region(from.as_usize()) != self.placement.region(to.as_usize()) {
+            self.params.inter_region_loss
+        } else {
+            0.0
+        }
+    }
+
+    fn bounds(&self) -> (u64, u64) {
+        let max_propagation =
+            (self.placement.spec().max_distance() * self.params.millis_per_unit).round() as u64;
+        let min = self.params.base_millis.max(1);
+        let max = (self.params.base_millis + max_propagation + self.params.jitter_millis).max(1);
+        (min, max)
+    }
+}
+
+/// The full per-link transport: a scripted [`TimelineTransport`] (loss and
+/// partition windows) composed with a [`LinkModel`] and phase-windowed
+/// regional effects (outages, slow links).
+///
+/// Delivery order per message: the inner timeline decides first (preserving
+/// the legacy RNG stream), then active regional outages flip one coin per
+/// matching window, then the link model's structural loss flips one coin.
+/// Latency is the link model's answer, scaled by every active slow-link
+/// window that matches the link, floored at 1 ms.
+#[derive(Debug)]
+pub struct LinkTransport {
+    inner: TimelineTransport,
+    link: Box<dyn LinkModel>,
+    placement: Option<Arc<Placement>>,
+    /// `(start, end, region, loss)` outage windows, `[start, end)` in cycles.
+    outage_windows: Vec<(u64, u64, u32, f64)>,
+    /// `(start, end, region, factor)` slow-link windows; `region == None`
+    /// slows every link.
+    slow_windows: Vec<(u64, u64, Option<u32>, f64)>,
+    cycle: u64,
+    extra_dropped: u64,
+}
+
+impl LinkTransport {
+    /// Wraps `inner` with a link model; no regional windows, no placement.
+    pub fn new(inner: TimelineTransport, link: Box<dyn LinkModel>) -> Self {
+        LinkTransport {
+            inner,
+            link,
+            placement: None,
+            outage_windows: Vec::new(),
+            slow_windows: Vec::new(),
+            cycle: 0,
+            extra_dropped: 0,
+        }
+    }
+
+    /// Attaches the node placement regional windows consult. Builder style.
+    #[must_use]
+    pub fn with_placement(mut self, placement: Arc<Placement>) -> Self {
+        self.placement = Some(placement);
+        self
+    }
+
+    /// Adds a regional outage: while the current cycle lies in `[start, end)`,
+    /// every message with an endpoint in `region` is dropped independently
+    /// with probability `loss`. Builder style.
+    #[must_use]
+    pub fn with_outage_window(mut self, start: u64, end: u64, region: u32, loss: f64) -> Self {
+        self.outage_windows
+            .push((start, end, region, loss.clamp(0.0, 1.0)));
+        self
+    }
+
+    /// Adds a slow-link window: while active, the latency of every matching
+    /// link (an endpoint in `region`, or all links when `region` is `None`)
+    /// is multiplied by `factor`. Builder style.
+    #[must_use]
+    pub fn with_slow_window(
+        mut self,
+        start: u64,
+        end: u64,
+        region: Option<u32>,
+        factor: f64,
+    ) -> Self {
+        self.slow_windows.push((start, end, region, factor));
+        self
+    }
+
+    /// Region of a node under the attached placement (0 when none).
+    fn region(&self, node: NodeIndex) -> u32 {
+        self.placement
+            .as_ref()
+            .map_or(0, |p| p.region(node.as_usize()))
+    }
+
+    /// True when window `region` touches the `from → to` link.
+    fn touches(&self, region: u32, from: NodeIndex, to: NodeIndex) -> bool {
+        self.region(from) == region || self.region(to) == region
+    }
+
+    /// Combined slow-link factor active on this link at the current cycle.
+    fn slow_factor(&self, from: NodeIndex, to: NodeIndex) -> f64 {
+        let mut factor = 1.0;
+        for &(start, end, region, window_factor) in &self.slow_windows {
+            if self.cycle >= start && self.cycle < end {
+                let matches = match region {
+                    None => true,
+                    Some(r) => self.touches(r, from, to),
+                };
+                if matches {
+                    factor *= window_factor;
+                }
+            }
+        }
+        factor
+    }
+}
+
+impl Transport for LinkTransport {
+    fn should_deliver(&mut self, from: NodeIndex, to: NodeIndex, rng: &mut SimRng) -> bool {
+        // The scripted timeline decides first so that, with no regional
+        // windows and a lossless link model, this transport consumes exactly
+        // the legacy RNG stream.
+        if !self.inner.should_deliver(from, to, rng) {
+            return false;
+        }
+        for index in 0..self.outage_windows.len() {
+            let (start, end, region, loss) = self.outage_windows[index];
+            if self.cycle >= start
+                && self.cycle < end
+                && loss > 0.0
+                && self.touches(region, from, to)
+                && rng.chance(loss)
+            {
+                self.extra_dropped += 1;
+                return false;
+            }
+        }
+        let structural = self.link.link_loss(from, to);
+        if structural > 0.0 && rng.chance(structural) {
+            self.extra_dropped += 1;
+            return false;
+        }
+        true
+    }
+
+    fn advance_to_cycle(&mut self, cycle: u64) {
+        self.cycle = cycle;
+        self.inner.advance_to_cycle(cycle);
+    }
+
+    fn latency_millis(&mut self, from: NodeIndex, to: NodeIndex, rng: &mut SimRng) -> u64 {
+        let base = self.link.latency_millis(from, to, rng);
+        let factor = self.slow_factor(from, to);
+        if factor == 1.0 {
+            base
+        } else {
+            ((base as f64) * factor).round() as u64
+        }
+        .max(1)
+    }
+
+    fn messages_offered(&self) -> u64 {
+        self.inner.messages_offered()
+    }
+
+    fn messages_dropped(&self) -> u64 {
+        self.inner.messages_dropped() + self.extra_dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::UniformLatencyTransport;
+    use bss_util::coords::PlacementSpec;
+
+    fn idx(i: u32) -> NodeIndex {
+        NodeIndex::new(i)
+    }
+
+    fn dumbbell() -> Arc<Placement> {
+        Arc::new(
+            PlacementSpec::Dumbbell {
+                separation: 500.0,
+                spread: 20.0,
+            }
+            .generate(16, 7),
+        )
+    }
+
+    #[test]
+    fn trivial_links_replay_the_uniform_latency_transport_stream() {
+        // ConstantLink and UniformLink must consume exactly the draws the
+        // legacy UniformLatencyTransport consumed — this equivalence is what
+        // keeps event-engine goldens byte-identical after the refactor.
+        for (min, max) in [(5, 5), (10, 50)] {
+            let timeline = || TimelineTransport::new().with_loss_window(2, 4, 0.5);
+            let mut legacy = UniformLatencyTransport::new(timeline(), min, max);
+            let link: Box<dyn LinkModel> = if min == max {
+                Box::new(ConstantLink::new(min))
+            } else {
+                Box::new(UniformLink::new(min, max))
+            };
+            let mut refit = LinkTransport::new(timeline(), link);
+            let mut rng_a = SimRng::seed_from(42);
+            let mut rng_b = SimRng::seed_from(42);
+            for message in 0..600u64 {
+                let cycle = message / 100;
+                legacy.advance_to_cycle(cycle);
+                refit.advance_to_cycle(cycle);
+                let (from, to) = (idx((message % 7) as u32), idx((message % 5 + 7) as u32));
+                let a = legacy.should_deliver(from, to, &mut rng_a);
+                let b = refit.should_deliver(from, to, &mut rng_b);
+                assert_eq!(a, b);
+                if a {
+                    assert_eq!(
+                        legacy.latency_millis(from, to, &mut rng_a),
+                        refit.latency_millis(from, to, &mut rng_b)
+                    );
+                }
+            }
+            assert_eq!(rng_a, rng_b, "streams diverged for range [{min}, {max}]");
+            assert_eq!(legacy.messages_offered(), refit.messages_offered());
+            assert_eq!(legacy.messages_dropped(), refit.messages_dropped());
+        }
+    }
+
+    #[test]
+    fn wan_latency_is_deterministic_and_draws_nothing() {
+        let placement = dumbbell();
+        let mut wan = WanLink::new(placement, WanParams::default(), 99);
+        let mut rng = SimRng::seed_from(1);
+        let fingerprint = rng.clone();
+        let first = wan.latency_millis(idx(0), idx(1), &mut rng);
+        let second = wan.latency_millis(idx(0), idx(1), &mut rng);
+        assert_eq!(first, second);
+        assert_eq!(rng, fingerprint, "WAN latency must not consume engine RNG");
+    }
+
+    #[test]
+    fn wan_latency_is_asymmetric_but_bounded() {
+        let placement = dumbbell();
+        let params = WanParams {
+            jitter_millis: 10,
+            ..WanParams::default()
+        };
+        let wan = WanLink::new(placement, params, 3);
+        let (min, max) = wan.bounds();
+        let mut saw_asymmetry = false;
+        for a in 0..16u32 {
+            for b in 0..16u32 {
+                let forward = wan.link_latency(idx(a), idx(b));
+                assert!((min..=max).contains(&forward));
+                if a != b && forward != wan.link_latency(idx(b), idx(a)) {
+                    saw_asymmetry = true;
+                }
+            }
+        }
+        assert!(saw_asymmetry, "ordered jitter should split some pair");
+    }
+
+    #[test]
+    fn wan_cross_region_links_cost_more_than_local_ones() {
+        let placement = dumbbell();
+        let wan = WanLink::new(placement, WanParams::default(), 5);
+        // Dumbbell: even indices are region 0, odd are region 1.
+        let local = wan.link_latency(idx(0), idx(2));
+        let cross = wan.link_latency(idx(0), idx(1));
+        assert!(
+            cross > local,
+            "separation 500 must dominate: local {local}, cross {cross}"
+        );
+    }
+
+    #[test]
+    fn wan_inter_region_loss_applies_only_across_regions() {
+        let placement = dumbbell();
+        let params = WanParams {
+            inter_region_loss: 0.25,
+            ..WanParams::default()
+        };
+        let wan = WanLink::new(placement, params, 1);
+        assert_eq!(wan.link_loss(idx(0), idx(2)), 0.0);
+        assert_eq!(wan.link_loss(idx(0), idx(1)), 0.25);
+    }
+
+    #[test]
+    fn outage_window_drops_only_matching_region_and_window() {
+        let placement = dumbbell();
+        let mut transport =
+            LinkTransport::new(TimelineTransport::new(), Box::new(ConstantLink::new(1)))
+                .with_placement(placement)
+                .with_outage_window(5, 10, 1, 1.0);
+        let mut rng = SimRng::seed_from(2);
+        // Outside the window: everything flows, no coins flipped.
+        let fingerprint = rng.clone();
+        assert!(transport.should_deliver(idx(0), idx(1), &mut rng));
+        assert_eq!(rng, fingerprint);
+        // Inside: region-1 traffic dies (certain loss draws no surviving
+        // stream guarantees — loss 1.0 still flips the coin, as chance()
+        // always draws), region-0-local traffic survives untouched.
+        transport.advance_to_cycle(5);
+        assert!(!transport.should_deliver(idx(0), idx(1), &mut rng));
+        assert!(!transport.should_deliver(idx(1), idx(3), &mut rng));
+        let quiet = rng.clone();
+        assert!(transport.should_deliver(idx(0), idx(2), &mut rng));
+        assert_eq!(rng, quiet, "region-0 traffic must not flip outage coins");
+        // Past the window: region 1 recovers.
+        transport.advance_to_cycle(10);
+        assert!(transport.should_deliver(idx(0), idx(1), &mut rng));
+        assert_eq!(transport.messages_dropped(), 2);
+    }
+
+    #[test]
+    fn slow_window_scales_latency_and_heals() {
+        let placement = dumbbell();
+        let mut transport =
+            LinkTransport::new(TimelineTransport::new(), Box::new(ConstantLink::new(10)))
+                .with_placement(placement)
+                .with_slow_window(3, 6, Some(1), 2.5)
+                .with_slow_window(0, u64::MAX, None, 1.0);
+        let mut rng = SimRng::seed_from(3);
+        assert_eq!(transport.latency_millis(idx(0), idx(1), &mut rng), 10);
+        transport.advance_to_cycle(3);
+        assert_eq!(transport.latency_millis(idx(0), idx(1), &mut rng), 25);
+        assert_eq!(
+            transport.latency_millis(idx(0), idx(2), &mut rng),
+            10,
+            "region-0-local links are unaffected"
+        );
+        transport.advance_to_cycle(6);
+        assert_eq!(transport.latency_millis(idx(0), idx(1), &mut rng), 10);
+    }
+
+    #[test]
+    fn wan_params_validation_is_typed() {
+        let bad_rate = WanParams {
+            millis_per_unit: -1.0,
+            ..WanParams::default()
+        };
+        assert!(matches!(
+            bad_rate.validate(),
+            Err(InvalidParams::OutOfRange {
+                field: "wan millis_per_unit",
+                ..
+            })
+        ));
+        let bad_loss = WanParams {
+            inter_region_loss: 1.5,
+            ..WanParams::default()
+        };
+        assert!(matches!(
+            bad_loss.validate(),
+            Err(InvalidParams::OutOfRange {
+                field: "wan inter_region_loss",
+                ..
+            })
+        ));
+        assert_eq!(WanParams::default().validate(), Ok(()));
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn uniform_link_rejects_inverted_range() {
+        UniformLink::new(10, 5);
+    }
+}

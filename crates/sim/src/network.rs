@@ -7,11 +7,13 @@
 //! churn models mutate and what the convergence oracle reads to decide what the
 //! *perfect* tables would be.
 
+use bss_util::coords::Placement;
 use bss_util::descriptor::{Descriptor, PackedDescriptor};
 use bss_util::id::NodeId;
 use bss_util::rng::SimRng;
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// Dense index identifying a node inside the simulator. Acts as the descriptor
 /// address type for all simulated protocols.
@@ -73,6 +75,10 @@ pub struct Network {
     /// [`Network::sample_alive_excluding`] draw uniform samples without
     /// materialising the alive set.
     alive_tree: Vec<u32>,
+    /// Optional WAN node placement (coordinates + regions). `None` means the
+    /// network is homogeneous — the historical behaviour. Generated outside
+    /// the main RNG stream, so attaching one never perturbs a run.
+    placement: Option<Arc<Placement>>,
 }
 
 impl Network {
@@ -103,7 +109,20 @@ impl Network {
             by_id: HashMap::new(),
             alive_count: 0,
             alive_tree: vec![0],
+            placement: None,
         }
+    }
+
+    /// Attaches a node placement: coordinates and region ids keyed by raw
+    /// node index. Measurement and traffic layers use it for per-region
+    /// series and proximity metrics; link models hold their own handle.
+    pub fn set_placement(&mut self, placement: Arc<Placement>) {
+        self.placement = Some(placement);
+    }
+
+    /// The attached node placement, if any.
+    pub fn placement(&self) -> Option<&Arc<Placement>> {
+        self.placement.as_ref()
     }
 
     /// Adds a new alive node with the given identifier and returns its index.

@@ -15,7 +15,12 @@
 //!   [`RunReport`] (totals, success rate, hop and latency figures);
 //! * [`timeline_header`] / [`append_timeline`] — the long-format TSV timeline
 //!   (one row per measured cycle) the `traffic` bench bin emits, following the
-//!   same shape as the adversary sweep's timeline.
+//!   same shape as the adversary sweep's timeline;
+//! * [`region_timeline_header`] / [`append_region_timeline`] — the same
+//!   timeline split by *client region* for WAN runs: one row per region per
+//!   measured window, carrying that region's success rate and latency
+//!   percentiles, so tail latency shows its geography instead of one global
+//!   p99. Runs without a node placement contribute no rows.
 //!
 //! The workload composes with every other scenario event: schedule a churn
 //! burst, a catastrophe, a partition or a `ByzantineConvert` alongside the
@@ -203,6 +208,46 @@ pub fn append_timeline(
     }
 }
 
+/// Header row of the per-client-region traffic timeline TSV (one row per
+/// region per measured window; see [`append_region_timeline`]).
+pub fn region_timeline_header() -> &'static str {
+    "scenario\trouter\tengine\tn\tregion\tcycle\tsuccess_rate\tlatency_p50\tlatency_p99\n"
+}
+
+/// Appends one WAN run's per-client-region windows to the region timeline:
+/// every row carries the sweep coordinates plus the *client's* region id, so
+/// a single group-by surfaces which geography eats the tail latency. Runs
+/// without a node placement (no `Wan` link model) have no region series and
+/// contribute nothing.
+pub fn append_region_timeline(
+    timeline: &mut String,
+    scenario: &str,
+    router: RouterKind,
+    engine: &str,
+    network_size: usize,
+    report: &RunReport,
+) {
+    let Some(lookups) = report.lookups() else {
+        return;
+    };
+    for (region, success) in lookups.region_success_series().iter().enumerate() {
+        for (position, &(cycle, rate)) in success.points().iter().enumerate() {
+            let value_at = |series: Option<&bss_util::stats::Series>| {
+                series
+                    .and_then(|series| series.points().get(position))
+                    .map_or(0.0, |&(_, v)| v)
+            };
+            let _ = writeln!(
+                timeline,
+                "{scenario}\t{router}\t{engine}\t{network_size}\t{region}\t{cycle}\t{rate:.6}\
+                 \t{:.1}\t{:.1}",
+                value_at(lookups.region_p50_series().get(region)),
+                value_at(lookups.region_p99_series().get(region)),
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -255,6 +300,53 @@ mod tests {
         )
         .run();
         assert!(TrafficSummary::from_report(&calm).is_none());
+    }
+
+    #[test]
+    fn region_timeline_splits_rows_by_client_region() {
+        use bss_core::{LatencyModel, PlacementSpec, WanParams};
+        let mut builder = ExperimentConfig::builder();
+        builder.network_size(64).seed(5).max_cycles(40);
+        builder.link_model(LatencyModel::Wan {
+            placement: PlacementSpec::Clustered {
+                regions: 3,
+                width: 500.0,
+                height: 500.0,
+                spread: 25.0,
+            },
+            params: WanParams::default(),
+        });
+        TrafficWorkload::new(Phase::new(20, 30))
+            .lookups_per_cycle(30)
+            .install(&mut builder);
+        let report = Experiment::new(builder.build().unwrap()).run();
+
+        let mut timeline = String::from(region_timeline_header());
+        append_region_timeline(
+            &mut timeline,
+            "wan",
+            RouterKind::Pastry,
+            "cycle",
+            64,
+            &report,
+        );
+        let rows: Vec<&str> = timeline.lines().skip(1).collect();
+        assert!(!rows.is_empty(), "wan runs must produce region rows");
+        let regions: std::collections::BTreeSet<&str> = rows
+            .iter()
+            .map(|row| row.split('\t').nth(4).expect("region column"))
+            .collect();
+        assert!(regions.len() > 1, "rows should span regions: {regions:?}");
+        for row in &rows {
+            assert!(row.starts_with("wan\tpastry\tcycle\t64\t"), "{row}");
+            assert_eq!(row.split('\t').count(), 9, "{row}");
+        }
+
+        // A placement-free run contributes no region rows.
+        let calm = run_workload(TrafficWorkload::new(Phase::new(20, 25)));
+        let mut empty = String::new();
+        append_region_timeline(&mut empty, "calm", RouterKind::Pastry, "cycle", 64, &calm);
+        assert!(empty.is_empty());
     }
 
     #[test]

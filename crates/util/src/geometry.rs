@@ -6,6 +6,10 @@
 //! together with the quantities derived from them (number of rows, number of
 //! columns) and the slot arithmetic used by both the protocol and the convergence
 //! oracle.
+//!
+//! Despite the name, nothing here is spatial: this is identifier-space
+//! geometry. Physical node coordinates for WAN topology modelling live in
+//! [`crate::coords`].
 
 use crate::id::{NodeId, ID_BITS};
 use std::fmt;

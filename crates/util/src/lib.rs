@@ -22,6 +22,10 @@
 //!   merge hot path.
 //! * [`config`] — protocol parameter sets ([`BootstrapParams`](config::BootstrapParams),
 //!   [`NewscastParams`](config::NewscastParams)) with the paper's defaults.
+//! * [`coords`] — 2-D node placement ([`PlacementSpec`](coords::PlacementSpec),
+//!   [`Placement`](coords::Placement)): seeded coordinate/region generators for
+//!   WAN topology modelling (not to be confused with [`geometry`], which is
+//!   routing-*table* geometry).
 //!
 //! # Example
 //!
@@ -41,6 +45,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod config;
+pub mod coords;
 pub mod descriptor;
 pub mod geometry;
 pub mod id;
@@ -49,6 +54,7 @@ pub mod stats;
 pub mod view;
 
 pub use config::{BootstrapParams, NewscastParams};
+pub use coords::{Coord, Placement, PlacementSpec};
 pub use descriptor::{Address, Descriptor, PackedDescriptor};
 pub use geometry::TableGeometry;
 pub use id::NodeId;
